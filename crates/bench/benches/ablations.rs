@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! weight tying granularity, scan order, model-averaging period.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepdive_bench::experiments::chain_graph;
+use deepdive_factorgraph::{FactorArg, FactorFunction, FactorGraph, Variable};
+use deepdive_sampler::{learn_weights, learn_weights_model_averaging, GibbsSampler, LearnOptions};
+
+/// Weight tying: identical workload, tied (one weight per feature value) vs
+/// untied (one weight per grounding).
+fn tying_graphs(n: usize) -> (FactorGraph, FactorGraph) {
+    let mut tied = FactorGraph::new();
+    let mut untied = FactorGraph::new();
+    for i in 0..n {
+        let vt = tied.add_variable(Variable::evidence(i % 3 != 0));
+        let vu = untied.add_variable(Variable::evidence(i % 3 != 0));
+        let wt = tied.weights.tied(format!("feat{}", i % 5), 0.0);
+        let wu = untied.weights.tied(format!("feat{}_{i}", i % 5), 0.0);
+        tied.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(vt)], wt);
+        untied.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(vu)], wu);
+    }
+    (tied, untied)
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Weight tying: learning cost with 5 tied weights vs 2000 untied.
+    let (tied, untied) = tying_graphs(2000);
+    for (name, g) in [("weights_tied", &tied), ("weights_untied", &untied)] {
+        let compiled = g.compile();
+        group.bench_function(BenchmarkId::new("learning", name), |b| {
+            b.iter_batched(
+                || g.weights.clone(),
+                |mut store| {
+                    learn_weights(
+                        &compiled,
+                        &mut store,
+                        &LearnOptions { epochs: 10, ..Default::default() },
+                    )
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Scan order: sequential vs random sweeps.
+    let g = chain_graph(100, 20, 500);
+    let compiled = g.compile();
+    let weights = g.weights.values();
+    group.bench_function("scan_sequential", |b| {
+        let mut s = GibbsSampler::new(&compiled, 1, false);
+        let mut world = deepdive_factorgraph::initial_world(&compiled);
+        b.iter(|| s.sweep(&weights, &mut world));
+    });
+    group.bench_function("scan_random", |b| {
+        let mut s = GibbsSampler::new(&compiled, 1, false);
+        let mut world = deepdive_factorgraph::initial_world(&compiled);
+        b.iter(|| s.sweep_random(&weights, &mut world));
+    });
+
+    // Model-averaging period (statistical-efficiency knob of §4.2).
+    let (tied, _) = tying_graphs(500);
+    let compiled = tied.compile();
+    for period in [5usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("model_averaging_period", period),
+            &period,
+            |b, &period| {
+                b.iter_batched(
+                    || tied.weights.clone(),
+                    |mut store| {
+                        learn_weights_model_averaging(
+                            &compiled,
+                            &mut store,
+                            &LearnOptions { epochs: 20, ..Default::default() },
+                            2,
+                            period,
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E5 bench: incremental grounding (delta rules + DRed) vs full re-ground
+//! as the update batch grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepdive_bench::experiments::spouse_config;
+use deepdive_core::apps::SpouseApp;
+use deepdive_corpus::SpouseConfig;
+use deepdive_storage::BaseChange;
+
+fn incremental_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_grounding");
+    group.sample_size(10);
+
+    for k in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut app = SpouseApp::build(spouse_config(150)).expect("build");
+                    app.dd.grounder.initial_load(&app.dd.db).expect("load");
+                    let extra = deepdive_corpus::spouse::generate(&SpouseConfig {
+                        num_docs: k,
+                        seed: 0xFEED,
+                        ..Default::default()
+                    });
+                    let mut changes: Vec<BaseChange> = Vec::new();
+                    for doc in &extra.documents.clone() {
+                        changes.extend(app.document_changes(&doc.text));
+                    }
+                    (app, changes)
+                },
+                |(mut app, changes)| {
+                    app.dd.grounder.apply_update(&app.dd.db, changes).expect("update")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.bench_function("full_reground_150docs", |b| {
+        b.iter_batched(
+            || SpouseApp::build(spouse_config(150)).expect("build"),
+            |mut app| app.dd.grounder.initial_load(&app.dd.db).expect("load"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, incremental_grounding);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E6 bench: per-delta cost of the two incremental-inference
+//! materialization strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepdive_bench::experiments::chain_graph;
+use deepdive_inference::{
+    MeanField, MeanFieldOptions, SamplingMatOptions, SamplingMaterialization,
+};
+use deepdive_sampler::GibbsOptions;
+
+fn incremental_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_inference");
+    group.sample_size(20);
+
+    for (label, chains, extra) in [("sparse", 200usize, 0usize), ("dense", 200, 4000)] {
+        let g = chain_graph(chains, 10, extra);
+        let compiled = g.compile();
+        let weights = g.weights.values();
+
+        let s_opts = SamplingMatOptions {
+            num_worlds: 8,
+            gibbs: GibbsOptions { burn_in: 20, samples: 160, seed: 3, clamp_evidence: true },
+            radius: 2,
+            delta_sweeps: 20,
+            seed: 5,
+        };
+        let smat = SamplingMaterialization::materialize(&compiled, &weights, &s_opts);
+        let mf_opts = MeanFieldOptions::default();
+        let vmat = MeanField::materialize(&compiled, &weights, &mf_opts);
+
+        group.bench_with_input(
+            BenchmarkId::new("sampling_delta", label),
+            &(),
+            |b, _| {
+                let mut m = SamplingMaterialization {
+                    worlds: smat.worlds.clone(),
+                    marginals: smat.marginals.clone(),
+                    last_updates: 0,
+                };
+                b.iter(|| {
+                    m.update(&compiled, &weights, &[100], &s_opts);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("variational_delta", label),
+            &(),
+            |b, _| {
+                let mut m = vmat.clone();
+                b.iter(|| {
+                    m.relax(&compiled, &weights, &[100], &mf_opts);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental_inference);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 bench: NUMA-aware vs shared-chain parallel Gibbs under a simulated
+//! 4-socket topology (see DESIGN.md §3 for the penalty calibration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepdive_bench::experiments::chain_graph_layout;
+use deepdive_sampler::{parallel_gibbs, NumaStrategy, ParallelGibbsOptions, Topology};
+
+fn numa_scaling(c: &mut Criterion) {
+    let g = chain_graph_layout(150, 20, 75, true);
+    let compiled = g.compile();
+    let weights = g.weights.values();
+
+    let mut group = c.benchmark_group("numa_scaling");
+    group.sample_size(10);
+
+    for (name, strategy) in [
+        ("numa_aware", NumaStrategy::NumaAware),
+        ("shared_chain", NumaStrategy::SharedChain),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "4x2"), &strategy, |b, &strategy| {
+            b.iter(|| {
+                parallel_gibbs(
+                    &compiled,
+                    &weights,
+                    &ParallelGibbsOptions {
+                        topology: Topology::new(4, 2, 600),
+                        strategy,
+                        burn_in: 0,
+                        samples: 10,
+                        seed: 2,
+                        clamp_evidence: false,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, numa_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E1 bench: end-to-end pipeline phases on the spouse workload (the
+//! Figure-2 runtime breakdown at bench scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepdive_bench::experiments::spouse_config;
+use deepdive_core::apps::SpouseApp;
+
+fn phase_runtimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_runtimes");
+    group.sample_size(10);
+
+    group.bench_function("build_and_load_100docs", |b| {
+        b.iter(|| SpouseApp::build(spouse_config(100)).expect("build"))
+    });
+
+    group.bench_function("full_run_100docs", |b| {
+        b.iter_batched(
+            || SpouseApp::build(spouse_config(100)).expect("build"),
+            |mut app| app.run().expect("run"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, phase_runtimes);
+criterion_main!(benches);

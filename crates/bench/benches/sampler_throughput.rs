@@ -1,0 +1,49 @@
+//! E3 bench: Gibbs variable-update throughput — DimmWitted sequential scan
+//! vs random scan vs the GraphLab-style locking sampler on the same graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use deepdive_bench::experiments::chain_graph;
+use deepdive_sampler::{GibbsSampler, GraphLabOptions, GraphLabStyleSampler};
+
+fn sampler_throughput(c: &mut Criterion) {
+    let g = chain_graph(100, 20, 1000);
+    let compiled = g.compile();
+    let weights = g.weights.values();
+    let nv = compiled.num_variables as u64;
+
+    let mut group = c.benchmark_group("sampler_throughput");
+    group.throughput(Throughput::Elements(nv));
+    group.sample_size(20);
+
+    group.bench_function("dimmwitted_sequential_scan", |b| {
+        let mut s = GibbsSampler::new(&compiled, 1, false);
+        let mut world = deepdive_factorgraph::initial_world(&compiled);
+        b.iter(|| s.sweep(&weights, &mut world));
+    });
+
+    group.bench_function("random_scan_ablation", |b| {
+        let mut s = GibbsSampler::new(&compiled, 1, false);
+        let mut world = deepdive_factorgraph::initial_world(&compiled);
+        b.iter(|| s.sweep_random(&weights, &mut world));
+    });
+
+    group.bench_function("graphlab_style_locked", |b| {
+        let sampler = GraphLabStyleSampler::new(&compiled);
+        b.iter(|| {
+            sampler.run(
+                &weights,
+                &GraphLabOptions {
+                    workers: 2,
+                    burn_in: 0,
+                    samples: 1,
+                    seed: 1,
+                    clamp_evidence: false,
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sampler_throughput);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! The `DeepDive` application object: the three-phase execution of §3
+//! (candidate generation + feature extraction → supervision → learning and
+//! inference) over one DDlog program.
+
+use crate::calibration::{figure5, CalibrationData};
+use deepdive_ddlog::{compile, DdlogError, DdlogProgram};
+use deepdive_factorgraph::{CompiledGraph, VariableId, WeightStore};
+use deepdive_grounding::{Grounder, GroundingDelta, LoadTimings, VarKey};
+use deepdive_sampler::{
+    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions, Marginals,
+};
+use deepdive_storage::{BaseChange, Database, Row, StorageError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum DeepDiveError {
+    Ddlog(DdlogError),
+    Storage(StorageError),
+}
+
+impl fmt::Display for DeepDiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepDiveError::Ddlog(e) => write!(f, "ddlog: {e}"),
+            DeepDiveError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeepDiveError {}
+
+impl From<DdlogError> for DeepDiveError {
+    fn from(e: DdlogError) -> Self {
+        DeepDiveError::Ddlog(e)
+    }
+}
+
+impl From<StorageError> for DeepDiveError {
+    fn from(e: StorageError) -> Self {
+        DeepDiveError::Storage(e)
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Output threshold (§3.4: "e.g., p > 0.95").
+    pub threshold: f64,
+    pub learn: LearnOptions,
+    pub inference: GibbsOptions,
+    /// Fraction of evidence variables held out as the calibration/test set.
+    pub holdout_fraction: f64,
+    /// Compute the Figure-5 calibration artifacts (costs one extra
+    /// inference pass for the training histogram).
+    pub compute_calibration: bool,
+    /// Warm-start learning from the previous run's weights instead of
+    /// retraining from zero. Off by default: stacking SGD epochs across
+    /// developer iterations inflates weights and erodes precision.
+    pub warm_start: bool,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threshold: 0.9,
+            learn: LearnOptions::default(),
+            inference: GibbsOptions { clamp_evidence: true, ..GibbsOptions::default() },
+            holdout_fraction: 0.25,
+            compute_calibration: true,
+            warm_start: false,
+            seed: 0xDD,
+        }
+    }
+}
+
+/// Phase wall-clock breakdown (Figure 2's runtime annotations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    pub candidate_extraction: Duration,
+    pub supervision: Duration,
+    pub grounding: Duration,
+    pub learning: Duration,
+    pub inference: Duration,
+}
+
+impl PhaseTimings {
+    pub fn learning_inference(&self) -> Duration {
+        self.grounding + self.learning + self.inference
+    }
+
+    pub fn total(&self) -> Duration {
+        self.candidate_extraction + self.supervision + self.learning_inference()
+    }
+}
+
+/// Per-weight summary for the error-analysis document (§5.2: "summaries of
+/// features, including their learned weights and observed counts").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightSummary {
+    pub key: String,
+    pub value: f64,
+    pub references: usize,
+    pub fixed: bool,
+}
+
+/// Result of one full pipeline run.
+pub struct RunResult {
+    /// Marginal probability per query tuple (evidence tuples report their
+    /// clamped label; held-out tuples report inferred marginals).
+    pub marginals: HashMap<VarKey, f64>,
+    /// Held-out evidence tuples with their withheld labels (the test set).
+    pub holdout: Vec<(VarKey, bool, f64)>,
+    pub timings: PhaseTimings,
+    pub calibration: Option<CalibrationData>,
+    pub weights: Vec<WeightSummary>,
+    pub num_variables: usize,
+    pub num_factors: usize,
+    pub num_evidence: usize,
+    pub grounding_delta: GroundingDelta,
+}
+
+impl RunResult {
+    /// The output aspirational table: tuples of `relation` whose probability
+    /// clears `threshold`, with their probabilities.
+    pub fn output(&self, relation: &str, threshold: f64) -> Vec<(Row, f64)> {
+        let mut rows: Vec<(Row, f64)> = self
+            .marginals
+            .iter()
+            .filter(|((rel, _), &p)| rel == relation && p >= threshold)
+            .map(|((_, row), &p)| (row.clone(), p))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Probability of one tuple.
+    pub fn probability(&self, relation: &str, row: &Row) -> Option<f64> {
+        self.marginals.get(&(relation.to_string(), row.clone())).copied()
+    }
+
+    /// All predictions for a relation as `(row, probability)`.
+    pub fn predictions(&self, relation: &str) -> Vec<(Row, f64)> {
+        self.output(relation, 0.0)
+    }
+
+    /// The most heavily weighted features (for error analysis).
+    pub fn top_weights(&self, n: usize) -> Vec<&WeightSummary> {
+        let mut ws: Vec<&WeightSummary> = self.weights.iter().filter(|w| !w.fixed).collect();
+        ws.sort_by(|a, b| b.value.abs().total_cmp(&a.value.abs()));
+        ws.into_iter().take(n).collect()
+    }
+}
+
+/// The DeepDive application: database + DDlog program + configuration.
+pub struct DeepDive {
+    pub db: Database,
+    pub grounder: Grounder,
+    pub config: RunConfig,
+}
+
+/// Builder: register UDFs before the program is compiled against the
+/// database.
+pub struct DeepDiveBuilder {
+    db: Database,
+    ddlog_src: String,
+    config: RunConfig,
+}
+
+impl DeepDiveBuilder {
+    pub fn new(ddlog_src: impl Into<String>) -> Self {
+        DeepDiveBuilder {
+            db: Database::new(),
+            ddlog_src: ddlog_src.into(),
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Register a user-defined function callable from rules.
+    pub fn udf(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.db.register_udf(name, f);
+        self
+    }
+
+    /// Register the standard feature library (§5.3).
+    pub fn standard_features(mut self) -> Self {
+        crate::features::register_standard_features(&mut self.db);
+        self
+    }
+
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn build(mut self) -> Result<DeepDive, DeepDiveError> {
+        let ddlog: DdlogProgram = compile(&self.ddlog_src)?;
+        let grounder = Grounder::new(&mut self.db, ddlog)?;
+        Ok(DeepDive { db: self.db, grounder, config: self.config })
+    }
+}
+
+impl DeepDive {
+    pub fn builder(ddlog_src: impl Into<String>) -> DeepDiveBuilder {
+        DeepDiveBuilder::new(ddlog_src)
+    }
+
+    /// Insert a base tuple (corpus loading).
+    pub fn insert(&self, relation: &str, row: Row) -> Result<(), DeepDiveError> {
+        self.db.insert(relation, row)?;
+        Ok(())
+    }
+
+    /// Run the full pipeline: derivation rules, grounding, holdout split,
+    /// weight learning, marginal inference, calibration.
+    pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
+        let (delta, load) = self.grounder.initial_load_timed(&self.db)?;
+        self.infer_phase(delta, load)
+    }
+
+    /// Incremental developer iteration: apply base changes, re-ground
+    /// incrementally, re-learn and re-infer.
+    pub fn update(&mut self, changes: Vec<BaseChange>) -> Result<RunResult, DeepDiveError> {
+        let start = Instant::now();
+        let delta = self.grounder.apply_update(&self.db, changes)?;
+        let load = LoadTimings {
+            candidate_extraction: start.elapsed(),
+            supervision: Duration::ZERO,
+            grounding: Duration::ZERO,
+        };
+        self.infer_phase(delta, load)
+    }
+
+    fn infer_phase(
+        &mut self,
+        delta: GroundingDelta,
+        load: LoadTimings,
+    ) -> Result<RunResult, DeepDiveError> {
+        let mut timings = PhaseTimings {
+            candidate_extraction: load.candidate_extraction,
+            supervision: load.supervision,
+            grounding: load.grounding,
+            ..Default::default()
+        };
+
+        let (mut graph, tuple_to_var) = self.grounder.state.compile();
+        let mut weights: WeightStore = self.grounder.state.graph.weights.clone();
+
+        // Holdout split: deterministically unclamp a fraction of evidence
+        // variables; their labels become the test set.
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x401D);
+        let mut holdout_vars: Vec<(usize, bool)> = Vec::new();
+        let mut num_evidence = 0;
+        for v in 0..graph.num_variables {
+            if graph.is_evidence[v] {
+                num_evidence += 1;
+                if rng.gen::<f64>() < self.config.holdout_fraction {
+                    holdout_vars.push((v, graph.evidence_value[v]));
+                    graph.is_evidence[v] = false;
+                }
+            }
+        }
+
+        // Learning (§3.3 "train weights"). Fresh by default; warm_start
+        // reuses the previous iteration's weights.
+        if !self.config.warm_start {
+            weights.reset_learnable(0.0);
+        }
+        let learn_start = Instant::now();
+        learn_weights(&graph, &mut weights, &self.config.learn);
+        timings.learning = learn_start.elapsed();
+        // Persist learned weights back into the grounding state so
+        // incremental reruns warm-start from them.
+        self.grounder.state.graph.weights = weights.clone();
+
+        // Inference: evidence-clamped marginals for query + held-out vars.
+        let infer_start = Instant::now();
+        let marginals = gibbs_marginals(&graph, &weights.values(), &self.config.inference);
+        timings.inference = infer_start.elapsed();
+
+        let result = self.assemble_result(
+            &graph,
+            &tuple_to_var,
+            &weights,
+            &marginals,
+            holdout_vars,
+            num_evidence,
+            timings,
+            delta,
+        );
+        Ok(result)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_result(
+        &self,
+        graph: &CompiledGraph,
+        tuple_to_var: &HashMap<VarKey, VariableId>,
+        weights: &WeightStore,
+        marginals: &Marginals,
+        holdout_vars: Vec<(usize, bool)>,
+        num_evidence: usize,
+        mut timings: PhaseTimings,
+        grounding_delta: GroundingDelta,
+    ) -> RunResult {
+        let prob_of = |v: usize| -> f64 {
+            if graph.is_evidence[v] {
+                if graph.evidence_value[v] {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                marginals.probability(v)
+            }
+        };
+
+        let mut out_marginals = HashMap::with_capacity(tuple_to_var.len());
+        for (key, vid) in tuple_to_var {
+            out_marginals.insert(key.clone(), prob_of(vid.index()));
+        }
+
+        // Holdout predictions with withheld labels.
+        let var_to_tuple: HashMap<usize, &VarKey> =
+            tuple_to_var.iter().map(|(k, v)| (v.index(), k)).collect();
+        let holdout: Vec<(VarKey, bool, f64)> = holdout_vars
+            .iter()
+            .filter_map(|&(v, label)| {
+                var_to_tuple.get(&v).map(|&k| (k.clone(), label, marginals.probability(v)))
+            })
+            .collect();
+
+        // Calibration artifacts (Figure 5).
+        let calibration = if self.config.compute_calibration {
+            let cal_start = Instant::now();
+            let test: Vec<(f64, Option<bool>)> =
+                holdout.iter().map(|(_, label, p)| (*p, Some(*label))).collect();
+            // Training histogram: model predictions for training-evidence
+            // variables, computed with evidence unclamped.
+            let free_opts = GibbsOptions {
+                clamp_evidence: false,
+                seed: self.config.inference.seed ^ 0xF2EE,
+                ..self.config.inference.clone()
+            };
+            let free = gibbs_marginals(graph, &weights.values(), &free_opts);
+            let train: Vec<(f64, Option<bool>)> = (0..graph.num_variables)
+                .filter(|&v| graph.is_evidence[v])
+                .map(|v| (free.probability(v), Some(graph.evidence_value[v])))
+                .collect();
+            timings.inference += cal_start.elapsed();
+            Some(figure5(&train, &test, 10))
+        } else {
+            None
+        };
+
+        let weight_summaries: Vec<WeightSummary> = weights
+            .iter()
+            .map(|(_, w)| WeightSummary {
+                key: w.key.clone(),
+                value: w.value,
+                references: w.references,
+                fixed: w.fixed,
+            })
+            .collect();
+
+        RunResult {
+            marginals: out_marginals,
+            holdout,
+            timings,
+            calibration,
+            weights: weight_summaries,
+            num_variables: graph.num_variables,
+            num_factors: graph.num_factors,
+            num_evidence,
+            grounding_delta,
+        }
+    }
+}

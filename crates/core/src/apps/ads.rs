@@ -1,0 +1,262 @@
+//! The classified-ads application (§6.4, the human-trafficking deployment):
+//! extract `(ad, price)` and movement signals from Craigslist-style posts.
+//!
+//! Supervision follows the paper's book-price example: "we might know the
+//! true price for a subset of downloaded Web pages because of a previous
+//! hand-annotated database" — a fraction of ads is treated as previously
+//! annotated, labeling matching price candidates positive and non-matching
+//! ones negative (via stratified negation).
+//!
+//! This module also hosts the stacked-regex baseline of §5.3 ("few
+//! deterministic rules"): hand-written deterministic extraction rules whose
+//! marginal productivity collapses as more are stacked — experiment E9.
+
+use crate::app::{DeepDive, DeepDiveError, RunConfig, RunResult};
+use crate::metrics::Quality;
+use deepdive_corpus::{AdsConfig, AdsCorpus};
+use deepdive_nlp::tokenize;
+use deepdive_storage::{row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Ads application configuration.
+#[derive(Debug, Clone)]
+pub struct AdsAppConfig {
+    pub corpus: AdsConfig,
+    pub run: RunConfig,
+    /// Fraction of ads with hand annotations available for supervision.
+    pub annotated_fraction: f64,
+    pub negative_prior: Option<f64>,
+}
+
+impl Default for AdsAppConfig {
+    fn default() -> Self {
+        AdsAppConfig {
+            corpus: AdsConfig::default(),
+            run: RunConfig::default(),
+            annotated_fraction: 0.3,
+            negative_prior: Some(-0.5),
+        }
+    }
+}
+
+/// The assembled application.
+pub struct AdsApp {
+    pub dd: DeepDive,
+    pub corpus: AdsCorpus,
+    pub config: AdsAppConfig,
+}
+
+const PROGRAM_HEAD: &str = r#"
+    Ad(a id, content text).
+    PriceCandidate(a id, v int, ctext text).
+    AnnotatedPrice(a id, v int).
+    AnnotatedAd(a id).
+    AdPrice_Ev(a id, v int, label bool).
+    AdPrice?(a id, v int).
+
+    @name("s_pos")
+    AdPrice_Ev(a, v, true) :-
+        PriceCandidate(a, v, t), AnnotatedPrice(a, v).
+
+    @name("s_neg")
+    AdPrice_Ev(a, v, false) :-
+        PriceCandidate(a, v, t), AnnotatedAd(a), !AnnotatedPrice(a, v).
+
+    @name("fe_context")
+    AdPrice(a, v) :-
+        PriceCandidate(a, v, t), Ad(a, content),
+        f = f_context(content, t)
+        weight = f.
+"#;
+
+impl AdsApp {
+    pub fn build(config: AdsAppConfig) -> Result<AdsApp, DeepDiveError> {
+        let corpus = deepdive_corpus::ads::generate(&config.corpus);
+        Self::build_with_corpus(config, corpus)
+    }
+
+    pub fn build_with_corpus(
+        config: AdsAppConfig,
+        corpus: AdsCorpus,
+    ) -> Result<AdsApp, DeepDiveError> {
+        let mut src = PROGRAM_HEAD.to_string();
+        if let Some(w) = config.negative_prior {
+            src.push_str(&format!(
+                "@name(\"prior\")\nAdPrice(a, v) :- PriceCandidate(a, v, t) weight = {w}.\n"
+            ));
+        }
+        let dd = DeepDive::builder(src)
+            .standard_features()
+            .config(config.run.clone())
+            .build()?;
+        let app = AdsApp { dd, corpus, config };
+
+        // Load ads + candidates. Candidates are deliberately high-recall:
+        // every number in the ad is a possible price — ages and times are
+        // the natural confusion classes.
+        for doc in &app.corpus.documents {
+            let a = Value::Id(doc.doc_id);
+            app.dd.db.insert("Ad", row![a.clone(), doc.text.as_str()])?;
+            for (text, value) in candidate_numbers(&doc.text) {
+                app.dd.db.insert(
+                    "PriceCandidate",
+                    row![a.clone(), value, text.as_str()],
+                )?;
+            }
+        }
+
+        // Hand-annotated subset.
+        let mut rng = StdRng::seed_from_u64(app.config.run.seed ^ 0xA11);
+        for t in &app.corpus.truth {
+            if rng.gen::<f64>() < app.config.annotated_fraction {
+                app.dd.db.insert("AnnotatedAd", row![Value::Id(t.ad_id)])?;
+                if let Some(p) = t.price {
+                    app.dd.db.insert("AnnotatedPrice", row![Value::Id(t.ad_id), p])?;
+                }
+            }
+        }
+        Ok(app)
+    }
+
+    pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
+        self.dd.run()
+    }
+
+    /// Predictions keyed `"ad|price"`.
+    pub fn predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
+        result
+            .predictions("AdPrice")
+            .into_iter()
+            .filter_map(|(row, p)| {
+                let a = row[0].as_id()?;
+                let v = row[1].as_int()?;
+                Some((format!("{a}|{v}"), p))
+            })
+            .collect()
+    }
+
+    /// Truth keys over ads that actually carry a price.
+    pub fn truth_keys(&self) -> BTreeSet<String> {
+        self.corpus
+            .truth
+            .iter()
+            .filter_map(|t| t.price.map(|p| format!("{}|{p}", t.ad_id)))
+            .collect()
+    }
+
+    pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {
+        let extracted: BTreeSet<String> = self
+            .predictions(result)
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .map(|(k, _)| k)
+            .collect();
+        Quality::compare(&extracted, &self.truth_keys())
+    }
+}
+
+/// All numeric candidate spans in an ad (token text, parsed value).
+pub fn candidate_numbers(text: &str) -> Vec<(String, i64)> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for tok in tokenize(text) {
+        let digits: String = tok.text.chars().filter(char::is_ascii_digit).collect();
+        if digits.is_empty() || digits.len() > 4 {
+            continue; // phones and the like
+        }
+        if tok.text.chars().any(|c| c.is_alphabetic()) {
+            continue;
+        }
+        if let Ok(v) = digits.parse::<i64>() {
+            if seen.insert(v) {
+                out.push((tok.text.clone(), v));
+            }
+        }
+    }
+    out
+}
+
+/// One deterministic extraction rule: display name + extractor.
+pub type PriceRule = (&'static str, fn(&str) -> Vec<i64>);
+
+/// The stacked deterministic-rule ("regex") baseline of §5.3 / E9.
+///
+/// Each rule is a hand-written pattern an engineer might reach for, in the
+/// order they would plausibly be written. `regex_baseline_extract(corpus, k)`
+/// applies the first `k` rules; quality plateaus (then degrades) as k grows.
+pub fn regex_price_rules() -> Vec<PriceRule> {
+    fn rule_dollar(text: &str) -> Vec<i64> {
+        // "$150" or "$ 150"
+        let toks = tokenize(text);
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if toks[i].text == "$" && i + 1 < toks.len() {
+                if let Ok(v) = toks[i + 1].text.parse::<i64>() {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+    fn rule_roses(text: &str) -> Vec<i64> {
+        // "150 roses"
+        let toks = tokenize(text);
+        let mut out = Vec::new();
+        for i in 0..toks.len().saturating_sub(1) {
+            if toks[i + 1].text.eq_ignore_ascii_case("roses") {
+                if let Ok(v) = toks[i].text.parse::<i64>() {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+    fn rule_rates_from(text: &str) -> Vec<i64> {
+        // "rates start at N" / "rates from N"
+        let lower = text.to_lowercase();
+        let mut out = Vec::new();
+        for marker in ["rates start at", "rates from", "donations"] {
+            if let Some(pos) = lower.find(marker) {
+                for tok in tokenize(&text[pos + marker.len()..]).iter().take(3) {
+                    let digits: String =
+                        tok.text.chars().filter(char::is_ascii_digit).collect();
+                    if let Ok(v) = digits.parse::<i64>() {
+                        out.push(v);
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn rule_any_plausible_number(text: &str) -> Vec<i64> {
+        // Desperation rule: any 2–3 digit number in the price-ish range.
+        candidate_numbers(text)
+            .into_iter()
+            .map(|(_, v)| v)
+            .filter(|v| (50..=500).contains(v))
+            .collect()
+    }
+    vec![
+        ("$N", rule_dollar),
+        ("N roses", rule_roses),
+        ("rates from N", rule_rates_from),
+        ("any 50..500", rule_any_plausible_number),
+    ]
+}
+
+/// Apply the first `k` stacked rules to every ad; returns `"ad|price"` keys.
+pub fn regex_baseline_extract(corpus: &AdsCorpus, k: usize) -> BTreeSet<String> {
+    let rules = regex_price_rules();
+    let mut out = BTreeSet::new();
+    for doc in &corpus.documents {
+        for (_, rule) in rules.iter().take(k) {
+            for v in rule(&doc.text) {
+                out.insert(format!("{}|{v}", doc.doc_id));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,213 @@
+//! The medical-genetics application (§6.1): extract a
+//! `(gene, phenotype)` aspirational table from research abstracts, with an
+//! OMIM-like incomplete KB driving distant supervision.
+//!
+//! Negative supervision uses the closed-world-on-known-genes heuristic: a
+//! co-mention of a *curated* gene with a phenotype the KB does not list is
+//! labeled negative — expressed in DDlog with stratified negation.
+
+use crate::app::{DeepDive, DeepDiveError, RunConfig, RunResult};
+use crate::metrics::Quality;
+use deepdive_corpus::{GeneticsConfig, GeneticsCorpus};
+use deepdive_nlp::{split_sentences, spot_genes_in, Gazetteer};
+use deepdive_storage::{row, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Genetics application configuration.
+#[derive(Debug, Clone)]
+pub struct GeneticsAppConfig {
+    pub corpus: GeneticsConfig,
+    pub run: RunConfig,
+    /// Include the negation feature (`f_neg`) — the knob that fixes the
+    /// "no evidence linked X to Y" failure mode.
+    pub negation_feature: bool,
+    pub negative_prior: Option<f64>,
+}
+
+impl Default for GeneticsAppConfig {
+    fn default() -> Self {
+        GeneticsAppConfig {
+            corpus: GeneticsConfig::default(),
+            run: RunConfig::default(),
+            negation_feature: true,
+            negative_prior: Some(-0.5),
+        }
+    }
+}
+
+/// The assembled application.
+pub struct GeneticsApp {
+    pub dd: DeepDive,
+    pub corpus: GeneticsCorpus,
+    pub config: GeneticsAppConfig,
+    /// mention id → (gene or phenotype text).
+    pub mention_text: HashMap<u64, String>,
+}
+
+fn ddlog_program(negation_feature: bool, negative_prior: Option<f64>) -> String {
+    let mut src = String::from(
+        r#"
+        Sentence(s id, content text).
+        GeneMention(s id, m id, g text).
+        PhenoMention(s id, m id, p text).
+        AssocCandidate(m1 id, m2 id).
+        KB(g text, p text).
+        KnownGene(g text).
+        AssocMentions_Ev(m1 id, m2 id, label bool).
+        AssocMentions?(m1 id, m2 id).
+
+        @name("cand")
+        AssocCandidate(m1, m2) :-
+            GeneMention(s, m1, g), PhenoMention(s, m2, p).
+
+        @name("s_pos")
+        AssocMentions_Ev(m1, m2, true) :-
+            AssocCandidate(m1, m2),
+            GeneMention(s, m1, g), PhenoMention(s, m2, p),
+            KB(g, p).
+
+        # Closed world over curated genes: a curated gene co-mentioned with
+        # an unlisted phenotype is a negative example.
+        @name("s_neg")
+        AssocMentions_Ev(m1, m2, false) :-
+            AssocCandidate(m1, m2),
+            GeneMention(s, m1, g), PhenoMention(s, m2, p),
+            KnownGene(g), !KB(g, p).
+
+        @name("fe_phrase")
+        AssocMentions(m1, m2) :-
+            AssocCandidate(m1, m2),
+            GeneMention(s, m1, g), PhenoMention(s, m2, p),
+            Sentence(s, sent),
+            f = f_phrase(sent, g, p)
+            weight = f.
+
+        @name("fe_words")
+        AssocMentions(m1, m2) :-
+            AssocCandidate(m1, m2),
+            GeneMention(s, m1, g), PhenoMention(s, m2, p),
+            Sentence(s, sent),
+            f = f_words_between(sent, g, p)
+            weight = f.
+    "#,
+    );
+    if negation_feature {
+        src.push_str(
+            r#"
+            @name("fe_neg")
+            AssocMentions(m1, m2) :-
+                AssocCandidate(m1, m2),
+                GeneMention(s, m1, g), PhenoMention(s, m2, p),
+                Sentence(s, sent),
+                f = f_neg(sent, g, p)
+                weight = f.
+        "#,
+        );
+    }
+    if let Some(w) = negative_prior {
+        src.push_str(&format!(
+            "@name(\"prior\")\nAssocMentions(m1, m2) :- AssocCandidate(m1, m2) weight = {w}.\n"
+        ));
+    }
+    src
+}
+
+impl GeneticsApp {
+    pub fn build(config: GeneticsAppConfig) -> Result<GeneticsApp, DeepDiveError> {
+        let corpus = deepdive_corpus::genetics::generate(&config.corpus);
+        Self::build_with_corpus(config, corpus)
+    }
+
+    pub fn build_with_corpus(
+        config: GeneticsAppConfig,
+        corpus: GeneticsCorpus,
+    ) -> Result<GeneticsApp, DeepDiveError> {
+        let src = ddlog_program(config.negation_feature, config.negative_prior);
+        let dd = DeepDive::builder(src)
+            .standard_features()
+            .config(config.run.clone())
+            .build()?;
+
+        // Phenotype gazetteer: curated phenotype vocabularies (HPO-like)
+        // exist in the real world, so using the pool is fair game.
+        let phenos = Gazetteer::from_phrases(deepdive_corpus::names::PHENOTYPES.iter().copied());
+
+        let mut app = GeneticsApp { dd, corpus, config, mention_text: HashMap::new() };
+        let mut s_id = 0u64;
+        let mut m_id = 0u64;
+        let docs = app.corpus.documents.clone();
+        for doc in &docs {
+            for sent in split_sentences(&doc.text) {
+                app.dd.db.insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
+                for g in spot_genes_in(&sent.text) {
+                    app.mention_text.insert(m_id, g.clone());
+                    app.dd.db.insert(
+                        "GeneMention",
+                        row![Value::Id(s_id), Value::Id(m_id), g.as_str()],
+                    )?;
+                    m_id += 1;
+                }
+                // Phenotype mentions via gazetteer over the raw sentence.
+                let lower = sent.text.to_lowercase();
+                for pheno in deepdive_corpus::names::PHENOTYPES {
+                    if phenos.contains(pheno) && lower.contains(pheno) {
+                        app.mention_text.insert(m_id, (*pheno).to_string());
+                        app.dd.db.insert(
+                            "PhenoMention",
+                            row![Value::Id(s_id), Value::Id(m_id), *pheno],
+                        )?;
+                        m_id += 1;
+                    }
+                }
+                s_id += 1;
+            }
+        }
+        // Incomplete KB + the curated-gene list for closed-world negatives.
+        let mut known = BTreeSet::new();
+        for (g, p) in app.corpus.kb.clone() {
+            app.dd.db.insert("KB", row![g.as_str(), p.as_str()])?;
+            known.insert(g);
+        }
+        for g in known {
+            app.dd.db.insert("KnownGene", row![g.as_str()])?;
+        }
+        Ok(app)
+    }
+
+    pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
+        self.dd.run()
+    }
+
+    /// Entity-level predictions keyed `"gene|phenotype"`.
+    pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
+        let mut best: BTreeMap<String, f64> = BTreeMap::new();
+        for (row, p) in result.predictions("AssocMentions") {
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+            let (Some(g), Some(ph)) =
+                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            else {
+                continue;
+            };
+            let key = format!("{g}|{ph}");
+            let e = best.entry(key).or_insert(0.0);
+            if p > *e {
+                *e = p;
+            }
+        }
+        best.into_iter().collect()
+    }
+
+    pub fn truth_keys(&self) -> BTreeSet<String> {
+        self.corpus.expressed.iter().map(|(g, p)| format!("{g}|{p}")).collect()
+    }
+
+    pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {
+        let extracted: BTreeSet<String> = self
+            .entity_predictions(result)
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .map(|(k, _)| k)
+            .collect();
+        Quality::compare(&extracted, &self.truth_keys())
+    }
+}

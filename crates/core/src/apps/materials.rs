@@ -1,0 +1,198 @@
+//! The materials-science application (§6.3, the Toshiba collaboration):
+//! extract a `(formula, property)` handbook from semiconductor abstracts.
+//!
+//! Supervision comes from a seed handbook (a known subset of measurements);
+//! negatives use closed-world over seeded formulas.
+
+use crate::app::{DeepDive, DeepDiveError, RunConfig, RunResult};
+use crate::metrics::Quality;
+use deepdive_corpus::{MaterialsConfig, MaterialsCorpus};
+use deepdive_nlp::{split_sentences, spot_formulas, tokenize, Gazetteer};
+use deepdive_storage::{row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Materials application configuration.
+#[derive(Debug, Clone)]
+pub struct MaterialsAppConfig {
+    pub corpus: MaterialsConfig,
+    pub run: RunConfig,
+    /// Fraction of planted measurements in the seed handbook.
+    pub seed_fraction: f64,
+    pub negative_prior: Option<f64>,
+}
+
+impl Default for MaterialsAppConfig {
+    fn default() -> Self {
+        MaterialsAppConfig {
+            corpus: MaterialsConfig::default(),
+            run: RunConfig::default(),
+            seed_fraction: 0.35,
+            negative_prior: Some(-0.5),
+        }
+    }
+}
+
+/// The assembled application.
+pub struct MaterialsApp {
+    pub dd: DeepDive,
+    pub corpus: MaterialsCorpus,
+    pub config: MaterialsAppConfig,
+    pub mention_text: HashMap<u64, String>,
+}
+
+const PROGRAM_HEAD: &str = r#"
+    Sentence(s id, content text).
+    FormulaMention(s id, m id, f text).
+    PropMention(s id, m id, p text).
+    MeasCandidate(m1 id, m2 id).
+    Handbook(f text, p text).
+    SeededFormula(f text).
+    MeasMentions_Ev(m1 id, m2 id, label bool).
+    MeasMentions?(m1 id, m2 id).
+
+    @name("cand")
+    MeasCandidate(m1, m2) :-
+        FormulaMention(s, m1, f), PropMention(s, m2, p).
+
+    @name("s_pos")
+    MeasMentions_Ev(m1, m2, true) :-
+        MeasCandidate(m1, m2),
+        FormulaMention(s, m1, f), PropMention(s, m2, p),
+        Handbook(f, p).
+
+    @name("s_neg")
+    MeasMentions_Ev(m1, m2, false) :-
+        MeasCandidate(m1, m2),
+        FormulaMention(s, m1, f), PropMention(s, m2, p),
+        SeededFormula(f), !Handbook(f, p).
+
+    @name("fe_phrase")
+    MeasMentions(m1, m2) :-
+        MeasCandidate(m1, m2),
+        FormulaMention(s, m1, f), PropMention(s, m2, p),
+        Sentence(s, sent),
+        f2 = f_phrase(sent, f, p)
+        weight = f2.
+
+    @name("fe_words")
+    MeasMentions(m1, m2) :-
+        MeasCandidate(m1, m2),
+        FormulaMention(s, m1, f), PropMention(s, m2, p),
+        Sentence(s, sent),
+        f2 = f_words_between(sent, f, p)
+        weight = f2.
+"#;
+
+impl MaterialsApp {
+    pub fn build(config: MaterialsAppConfig) -> Result<MaterialsApp, DeepDiveError> {
+        let corpus = deepdive_corpus::materials::generate(&config.corpus);
+        Self::build_with_corpus(config, corpus)
+    }
+
+    pub fn build_with_corpus(
+        config: MaterialsAppConfig,
+        corpus: MaterialsCorpus,
+    ) -> Result<MaterialsApp, DeepDiveError> {
+        let mut src = PROGRAM_HEAD.to_string();
+        if let Some(w) = config.negative_prior {
+            src.push_str(&format!(
+                "@name(\"prior\")\nMeasMentions(m1, m2) :- MeasCandidate(m1, m2) weight = {w}.\n"
+            ));
+        }
+        let dd = DeepDive::builder(src)
+            .standard_features()
+            .config(config.run.clone())
+            .build()?;
+
+        // Property gazetteer (names are standard physics vocabulary).
+        let props: Vec<&str> =
+            deepdive_corpus::names::PROPERTIES.iter().map(|(p, _)| *p).collect();
+        let _gaz = Gazetteer::from_phrases(props.iter().copied());
+
+        let mut app = MaterialsApp { dd, corpus, config, mention_text: HashMap::new() };
+        let mut s_id = 0u64;
+        let mut m_id = 0u64;
+        let docs = app.corpus.documents.clone();
+        for doc in &docs {
+            for sent in split_sentences(&doc.text) {
+                app.dd.db.insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
+                let tokens = tokenize(&sent.text);
+                for span in spot_formulas(&tokens) {
+                    app.mention_text.insert(m_id, span.text.clone());
+                    app.dd.db.insert(
+                        "FormulaMention",
+                        row![Value::Id(s_id), Value::Id(m_id), span.text.as_str()],
+                    )?;
+                    m_id += 1;
+                }
+                let lower = sent.text.to_lowercase();
+                for p in &props {
+                    if lower.contains(p) {
+                        app.mention_text.insert(m_id, (*p).to_string());
+                        app.dd.db.insert(
+                            "PropMention",
+                            row![Value::Id(s_id), Value::Id(m_id), *p],
+                        )?;
+                        m_id += 1;
+                    }
+                }
+                s_id += 1;
+            }
+        }
+
+        // Seed handbook.
+        let mut rng = StdRng::seed_from_u64(app.config.run.seed ^ 0x3A7);
+        let mut seeded = BTreeSet::new();
+        for m in &app.corpus.measurements {
+            if rng.gen::<f64>() < app.config.seed_fraction {
+                app.dd
+                    .db
+                    .insert("Handbook", row![m.formula.as_str(), m.property.as_str()])?;
+                seeded.insert(m.formula.clone());
+            }
+        }
+        for f in seeded {
+            app.dd.db.insert("SeededFormula", row![f.as_str()])?;
+        }
+        Ok(app)
+    }
+
+    pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
+        self.dd.run()
+    }
+
+    /// Predictions keyed `"formula|property"`.
+    pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
+        let mut best: BTreeMap<String, f64> = BTreeMap::new();
+        for (row, p) in result.predictions("MeasMentions") {
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+            let (Some(f), Some(pr)) =
+                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            else {
+                continue;
+            };
+            let key = format!("{f}|{pr}");
+            let e = best.entry(key).or_insert(0.0);
+            if p > *e {
+                *e = p;
+            }
+        }
+        best.into_iter().collect()
+    }
+
+    pub fn truth_keys(&self) -> BTreeSet<String> {
+        self.corpus.expressed.iter().map(|(f, p)| format!("{f}|{p}")).collect()
+    }
+
+    pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {
+        let extracted: BTreeSet<String> = self
+            .entity_predictions(result)
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .map(|(k, _)| k)
+            .collect();
+        Quality::compare(&extracted, &self.truth_keys())
+    }
+}

@@ -1,0 +1,14 @@
+//! Domain applications (§6 of the paper): pre-wired corpora, DDlog programs,
+//! feature sets, and evaluation harnesses for each deployment the paper
+//! describes — spouse/TAC-KBP (Figure 3), medical genetics (§6.1/6.2),
+//! classified ads / human trafficking (§6.4), and materials science (§6.3).
+
+pub mod ads;
+pub mod genetics;
+pub mod materials;
+pub mod spouse;
+
+pub use ads::{candidate_numbers, regex_baseline_extract, regex_price_rules, AdsApp, AdsAppConfig};
+pub use genetics::{GeneticsApp, GeneticsAppConfig};
+pub use materials::{MaterialsApp, MaterialsAppConfig};
+pub use spouse::{spouse_ddlog_program, FeatureSet, SpouseApp, SpouseAppConfig, SupervisionMode};

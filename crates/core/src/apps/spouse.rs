@@ -1,0 +1,461 @@
+//! The spouse application (Figure 3 of the paper, TAC-KBP-style): extract a
+//! `HasSpouse(person1, person2)` aspirational table from news-like text.
+//!
+//! This is the reference end-to-end wiring: corpus → NLP preprocessing →
+//! mention relations → DDlog candidate mapping → distant supervision from an
+//! incomplete marriage KB (negatives from siblings) → feature extraction →
+//! learning/inference → entity-level output.
+
+use crate::app::{DeepDive, DeepDiveError, RunConfig, RunResult};
+use crate::metrics::Quality;
+use deepdive_corpus::{SpouseConfig, SpouseCorpus};
+use deepdive_nlp::{Pipeline, SpanKind};
+use deepdive_storage::{row, BaseChange, Row, Value};
+use deepdive_supervision::EntityLinker;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Which feature templates the DDlog program includes — the knob the
+/// improvement-iteration experiments turn (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    pub phrase: bool,
+    pub words_between: bool,
+    pub distance: bool,
+    pub windows: bool,
+}
+
+impl FeatureSet {
+    pub fn all() -> Self {
+        FeatureSet { phrase: true, words_between: true, distance: true, windows: true }
+    }
+
+    pub fn phrase_only() -> Self {
+        FeatureSet { phrase: true, words_between: false, distance: false, windows: false }
+    }
+}
+
+/// How evidence labels are produced (experiment E7: distant supervision vs
+/// manual labels).
+#[derive(Debug, Clone)]
+pub enum SupervisionMode {
+    /// DDlog distant-supervision rules over the incomplete KB (§3.2).
+    Distant,
+    /// Simulated hand labels: `num_labels` random candidates labeled with
+    /// their true relation status, flipped with probability `noise`.
+    Manual { num_labels: usize, noise: f64 },
+}
+
+/// Spouse application configuration.
+#[derive(Debug, Clone)]
+pub struct SpouseAppConfig {
+    pub corpus: SpouseConfig,
+    pub run: RunConfig,
+    pub features: FeatureSet,
+    pub supervision: SupervisionMode,
+    /// Include the sibling-based negative supervision rule.
+    pub negative_supervision: bool,
+    /// Fixed negative prior weight on every candidate (pushes unsupported
+    /// candidates below threshold; `None` disables the rule).
+    pub negative_prior: Option<f64>,
+}
+
+impl Default for SpouseAppConfig {
+    fn default() -> Self {
+        SpouseAppConfig {
+            corpus: SpouseConfig::default(),
+            run: RunConfig::default(),
+            features: FeatureSet::all(),
+            supervision: SupervisionMode::Distant,
+            negative_supervision: true,
+            negative_prior: Some(-0.7),
+        }
+    }
+}
+
+/// The assembled application.
+pub struct SpouseApp {
+    pub dd: DeepDive,
+    pub corpus: SpouseCorpus,
+    pub config: SpouseAppConfig,
+    /// mention id → surface text.
+    pub mention_text: HashMap<u64, String>,
+    /// mention id → source sentence text (Mindtagger context).
+    pub mention_sentence: HashMap<u64, String>,
+    linker: EntityLinker,
+    /// Candidate-level truth used by manual supervision: (m1, m2) → married.
+    next_sentence_id: u64,
+    next_mention_id: u64,
+}
+
+/// Build the DDlog program for a feature set / supervision mode.
+pub fn spouse_ddlog_program(
+    features: FeatureSet,
+    distant: bool,
+    negatives: bool,
+    negative_prior: Option<f64>,
+) -> String {
+    let mut src = String::from(
+        r#"
+        Sentence(s id, content text).
+        Mention(s id, m id, mtext text).
+        MarriedCandidate(m1 id, m2 id).
+        EL(m id, e text).
+        Married(e1 text, e2 text).
+        Siblings(e1 text, e2 text).
+        MarriedMentions?(m1 id, m2 id).
+
+        @name("r1")
+        MarriedCandidate(m1, m2) :-
+            Mention(s, m1, t1), Mention(s, m2, t2), m1 < m2.
+    "#,
+    );
+    src.push_str("MarriedMentions_Ev(m1 id, m2 id, label bool).\n");
+    if distant {
+        src.push_str(
+            r#"
+            @name("s_pos")
+            MarriedMentions_Ev(m1, m2, true) :-
+                MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+        "#,
+        );
+        if negatives {
+            src.push_str(
+                r#"
+                @name("s_neg")
+                MarriedMentions_Ev(m1, m2, false) :-
+                    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Siblings(e1, e2).
+            "#,
+            );
+        }
+    }
+    let mut fe = |name: &str, udf: &str| {
+        src.push_str(&format!(
+            r#"
+            @name("{name}")
+            MarriedMentions(m1, m2) :-
+                MarriedCandidate(m1, m2),
+                Mention(s, m1, t1), Mention(s, m2, t2),
+                Sentence(s, sent),
+                f = {udf}(sent, t1, t2)
+                weight = f.
+        "#
+        ));
+    };
+    if features.phrase {
+        fe("fe_phrase", "f_phrase");
+    }
+    if features.words_between {
+        fe("fe_words", "f_words_between");
+    }
+    if features.distance {
+        fe("fe_dist", "f_dist");
+    }
+    if features.windows {
+        fe("fe_left", "f_left");
+        fe("fe_right", "f_right");
+    }
+    if let Some(w) = negative_prior {
+        src.push_str(&format!(
+            r#"
+            @name("prior")
+            MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2) weight = {w}.
+        "#
+        ));
+    }
+    src
+}
+
+impl SpouseApp {
+    /// Generate the corpus, preprocess it, and load every base relation.
+    pub fn build(config: SpouseAppConfig) -> Result<SpouseApp, DeepDiveError> {
+        let corpus = deepdive_corpus::spouse::generate(&config.corpus);
+        Self::build_with_corpus(config, corpus)
+    }
+
+    /// Build against a pre-generated corpus (lets experiments share one).
+    pub fn build_with_corpus(
+        config: SpouseAppConfig,
+        corpus: SpouseCorpus,
+    ) -> Result<SpouseApp, DeepDiveError> {
+        let distant = matches!(config.supervision, SupervisionMode::Distant);
+        let src = spouse_ddlog_program(
+            config.features,
+            distant,
+            config.negative_supervision,
+            config.negative_prior,
+        );
+        let dd = DeepDive::builder(src)
+            .standard_features()
+            .config(config.run.clone())
+            .build()?;
+        Self::adopt(dd, config, corpus)
+    }
+
+    /// Wrap a pre-built [`DeepDive`] (e.g. with extra UDFs or a modified
+    /// program — see the supervision-leak experiment) and load the corpus
+    /// into it. The program must declare the standard spouse relations; use
+    /// [`spouse_ddlog_program`] as the starting point.
+    pub fn adopt(
+        dd: DeepDive,
+        config: SpouseAppConfig,
+        corpus: SpouseCorpus,
+    ) -> Result<SpouseApp, DeepDiveError> {
+        let mut linker = EntityLinker::new();
+        for p in &corpus.people {
+            linker.add_entity(p);
+        }
+
+        let mut app = SpouseApp {
+            dd,
+            corpus,
+            config,
+            mention_text: HashMap::new(),
+            mention_sentence: HashMap::new(),
+            linker,
+            next_sentence_id: 0,
+            next_mention_id: 0,
+        };
+        let docs = app.corpus.documents.clone();
+        for doc in &docs {
+            app.load_document(&doc.text)?;
+        }
+        app.load_kb()?;
+        if let SupervisionMode::Manual { num_labels, noise } = app.config.supervision {
+            app.load_manual_labels(num_labels, noise)?;
+        }
+        Ok(app)
+    }
+
+    /// NLP-preprocess one document and insert its sentence/mention/EL rows.
+    /// Returns the base changes (for incremental experiments).
+    pub fn document_changes(&mut self, text: &str) -> Vec<BaseChange> {
+        let pipeline = Pipeline::default();
+        let processed = pipeline.process(0, text);
+        let mut changes = Vec::new();
+        for sent in &processed.sentences {
+            let s_id = self.next_sentence_id;
+            self.next_sentence_id += 1;
+            changes.push(BaseChange::insert(
+                "Sentence",
+                row![Value::Id(s_id), sent.text.as_str()],
+            ));
+            for span in sent.spans_of(SpanKind::Person) {
+                let m_id = self.next_mention_id;
+                self.next_mention_id += 1;
+                self.mention_text.insert(m_id, span.text.clone());
+                self.mention_sentence.insert(m_id, sent.text.clone());
+                changes.push(BaseChange::insert(
+                    "Mention",
+                    row![Value::Id(s_id), Value::Id(m_id), span.text.as_str()],
+                ));
+                for entity in self.linker.link(&span.text) {
+                    changes.push(BaseChange::insert(
+                        "EL",
+                        row![Value::Id(m_id), entity.as_str()],
+                    ));
+                }
+            }
+        }
+        changes
+    }
+
+    fn load_document(&mut self, text: &str) -> Result<(), DeepDiveError> {
+        for ch in self.document_changes(text) {
+            self.dd.db.insert(&ch.relation, ch.row)?;
+        }
+        Ok(())
+    }
+
+    fn load_kb(&self) -> Result<(), DeepDiveError> {
+        // Symmetric relations: both orders, since candidates order mentions
+        // by id, not by entity name.
+        for (a, b) in &self.corpus.kb_married {
+            self.dd.db.insert("Married", row![a.as_str(), b.as_str()])?;
+            self.dd.db.insert("Married", row![b.as_str(), a.as_str()])?;
+        }
+        for (a, b) in &self.corpus.siblings {
+            self.dd.db.insert("Siblings", row![a.as_str(), b.as_str()])?;
+            self.dd.db.insert("Siblings", row![b.as_str(), a.as_str()])?;
+        }
+        Ok(())
+    }
+
+    /// Simulated hand labels for the manual-supervision mode: sample
+    /// candidate mention pairs (computed the same way rule r1 would) and
+    /// label each with its entity-level truth, flipped with `noise`.
+    fn load_manual_labels(&mut self, num_labels: usize, noise: f64) -> Result<(), DeepDiveError> {
+        let mut rng = StdRng::seed_from_u64(self.dd.config.seed ^ 0x3A9);
+        // Candidates: mention pairs in the same sentence.
+        let mentions = self.dd.db.rows("Mention")?;
+        let mut by_sentence: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for m in &mentions {
+            by_sentence
+                .entry(m[0].as_id().expect("sentence id"))
+                .or_default()
+                .push(m[1].as_id().expect("mention id"));
+        }
+        let mut candidates: Vec<(u64, u64)> = Vec::new();
+        for ms in by_sentence.values() {
+            for i in 0..ms.len() {
+                for j in i + 1..ms.len() {
+                    let (a, b) = (ms[i].min(ms[j]), ms[i].max(ms[j]));
+                    if a != b {
+                        candidates.push((a, b));
+                    }
+                }
+            }
+        }
+        candidates.shuffle(&mut rng);
+        for (m1, m2) in candidates.into_iter().take(num_labels) {
+            let truth = self.candidate_truth(m1, m2);
+            let mut label = truth;
+            if rng.gen::<f64>() < noise {
+                label = !label;
+            }
+            self.dd.db.insert(
+                "MarriedMentions_Ev",
+                row![Value::Id(m1), Value::Id(m2), label],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Entity-level truth of a candidate mention pair.
+    fn candidate_truth(&self, m1: u64, m2: u64) -> bool {
+        let link = |m: u64| {
+            self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+        };
+        match (link(m1), link(m2)) {
+            (Some(a), Some(b)) => self.corpus.married.contains(&ordered(&a, &b)),
+            _ => false,
+        }
+    }
+
+    /// Run the full pipeline.
+    pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
+        self.dd.run()
+    }
+
+    /// Map mention-pair marginals up to entity pairs (max marginal per
+    /// pair), keyed `"a|b"` with names sorted.
+    pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
+        let mut best: BTreeMap<String, f64> = BTreeMap::new();
+        for (row, p) in result.predictions("MarriedMentions") {
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+            let link = |m: u64| {
+                self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+            };
+            let (Some(e1), Some(e2)) = (link(m1), link(m2)) else { continue };
+            if e1 == e2 {
+                continue;
+            }
+            let (a, b) = ordered(&e1, &e2);
+            let key = format!("{a}|{b}");
+            let e = best.entry(key).or_insert(0.0);
+            if p > *e {
+                *e = p;
+            }
+        }
+        best.into_iter().collect()
+    }
+
+    /// Ground-truth keys: married pairs actually expressed in the corpus.
+    pub fn truth_keys(&self) -> BTreeSet<String> {
+        self.corpus.expressed_married.iter().map(|(a, b)| format!("{a}|{b}")).collect()
+    }
+
+    /// Build a Mindtagger labeling session (§3.4) over sampled extractions:
+    /// each item carries the source sentence and the mention surface forms
+    /// for highlighting.
+    pub fn labeling_task(
+        &self,
+        result: &RunResult,
+        threshold: f64,
+        n: usize,
+    ) -> crate::mindtagger::LabelingTask {
+        let mut items: Vec<(String, f64, String, Vec<String>)> = Vec::new();
+        for (row, p) in result.predictions("MarriedMentions") {
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+            let (Some(t1), Some(t2)) =
+                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            else {
+                continue;
+            };
+            let context = self
+                .mention_sentence
+                .get(&m1)
+                .or_else(|| self.mention_sentence.get(&m2))
+                .cloned()
+                .unwrap_or_default();
+            let link = |t: &String| self.linker.link_unique(t);
+            let key = match (link(t1), link(t2)) {
+                (Some(e1), Some(e2)) if e1 != e2 => {
+                    let (a, b) = ordered(&e1, &e2);
+                    format!("{a}|{b}")
+                }
+                _ => format!("{t1}|{t2}"),
+            };
+            items.push((key, p, context, vec![t1.clone(), t2.clone()]));
+        }
+        crate::mindtagger::LabelingTask::sample(
+            "spouse-precision",
+            &items,
+            threshold,
+            n,
+            self.dd.config.seed ^ 0x7A6,
+        )
+    }
+
+    /// Candidate recall (§5.2 bug class 1): the fraction of true expressed
+    /// pairs for which candidate generation produced SOME mention-pair
+    /// candidate. "This is easily checked by testing whether the correct
+    /// answer was contained in the set of candidates evaluated
+    /// probabilistically" — errors here cannot be fixed by features or
+    /// supervision, only by repairing the candidate generator.
+    pub fn candidate_recall(&self) -> f64 {
+        let truth = &self.corpus.expressed_married;
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let mut covered: BTreeSet<(String, String)> = BTreeSet::new();
+        if let Ok(rows) = self.dd.db.rows("MarriedCandidate") {
+            for row in rows {
+                let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+                let link = |m: u64| {
+                    self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+                };
+                if let (Some(e1), Some(e2)) = (link(m1), link(m2)) {
+                    covered.insert(ordered(&e1, &e2));
+                }
+            }
+        }
+        truth.intersection(&covered).count() as f64 / truth.len() as f64
+    }
+
+    /// Entity-level extraction quality at a threshold.
+    pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {
+        let extracted: BTreeSet<String> = self
+            .entity_predictions(result)
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .map(|(k, _)| k)
+            .collect();
+        Quality::compare(&extracted, &self.truth_keys())
+    }
+}
+
+fn ordered(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+/// Row helper for downstream consumers.
+pub fn mention_pair_row(m1: u64, m2: u64) -> Row {
+    row![Value::Id(m1), Value::Id(m2)]
+}

@@ -1,0 +1,235 @@
+//! `deepdive` — run DDlog programs from the command line.
+//!
+//! ```text
+//! deepdive check <program.ddl>
+//!     Parse and validate a DDlog program; print its relations and rules.
+//!
+//! deepdive run <program.ddl> --data <dir> [options]
+//!     Load `<Relation>.tsv` files from the data directory for every base
+//!     relation, execute the full pipeline, and write each query relation to
+//!     `<out>/<Relation>.tsv` with a trailing probability column.
+//!
+//!     --out <dir>        output directory (default: ./deepdive-out)
+//!     --threshold <p>    output threshold (default 0.9; 0 = everything)
+//!     --epochs <n>       learning epochs (default 100)
+//!     --samples <n>      inference sweeps (default 1000)
+//!     --seed <n>         run seed (default 221)
+//!     --calibration      print the Figure-5 calibration table
+//! ```
+//!
+//! The standard feature library (`f_phrase`, `f_words_between`, `f_dist`,
+//! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
+//! needing custom UDFs should use the `deepdive-core` library API instead.
+
+use deepdive_core::{render_calibration, DeepDive, RunConfig};
+use deepdive_ddlog::compile;
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_storage::row_to_tsv;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(args.get(1)),
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!("usage: deepdive check <program.ddl>");
+            eprintln!("       deepdive run <program.ddl> --data <dir> [--out <dir>] [--threshold p]");
+            eprintln!("                    [--epochs n] [--samples n] [--seed n] [--calibration]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(path: Option<&String>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("deepdive check: missing program path");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("deepdive: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match compile(&src) {
+        Ok(prog) => {
+            println!("{path}: OK");
+            println!("  relations:");
+            for (schema, query) in &prog.schemas {
+                println!("    {}{}", schema, if *query { "   [query]" } else { "" });
+            }
+            println!("  derivation rules: {}", prog.derivation_rules.len());
+            for r in &prog.derivation_rules {
+                println!("    {} ({})", r.name, r.head.relation);
+            }
+            println!("  factor rules: {}", prog.factor_rules.len());
+            for r in &prog.factor_rules {
+                println!("    {} ({:?}, weight {:?})", r.name, r.function, r.weight);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+struct RunArgs {
+    program: PathBuf,
+    data: PathBuf,
+    out: PathBuf,
+    threshold: f64,
+    epochs: usize,
+    samples: usize,
+    seed: u64,
+    calibration: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut program = None;
+    let mut data = None;
+    let mut out = PathBuf::from("deepdive-out");
+    let mut threshold = 0.9;
+    let mut epochs = 100;
+    let mut samples = 1000;
+    let mut seed = 221u64;
+    let mut calibration = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let mut take = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--data" => data = Some(PathBuf::from(take("--data")?)),
+            "--out" => out = PathBuf::from(take("--out")?),
+            "--threshold" => {
+                threshold = take("--threshold")?.parse().map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--epochs" => {
+                epochs = take("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--samples" => {
+                samples = take("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--calibration" => calibration = true,
+            other if !other.starts_with("--") && program.is_none() => {
+                program = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(RunArgs {
+        program: program.ok_or("missing program path")?,
+        data: data.ok_or("missing --data <dir>")?,
+        out,
+        threshold,
+        epochs,
+        samples,
+        seed,
+        calibration,
+    })
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let args = match parse_run_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("deepdive run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_inner(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("deepdive run: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_inner(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(&args.program)?;
+    let config = RunConfig {
+        threshold: args.threshold,
+        learn: LearnOptions { epochs: args.epochs, seed: args.seed, ..Default::default() },
+        inference: GibbsOptions {
+            burn_in: (args.samples / 10).max(10),
+            samples: args.samples,
+            seed: args.seed,
+            clamp_evidence: true,
+        },
+        compute_calibration: args.calibration,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let mut dd = DeepDive::builder(&src).standard_features().config(config).build()?;
+
+    // Load <Relation>.tsv for every relation (query relations usually have
+    // no file — they are populated by rules).
+    let ddlog = compile(&src)?;
+    let mut loaded = 0usize;
+    for (schema, _) in &ddlog.schemas {
+        let path: PathBuf = args.data.join(format!("{}.tsv", schema.name));
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let n = dd.db.load_tsv(&schema.name, &text)?;
+            println!("loaded {n:>7} rows into {}", schema.name);
+            loaded += n;
+        }
+    }
+    if loaded == 0 {
+        return Err(format!("no .tsv files found under {}", args.data.display()).into());
+    }
+
+    let result = dd.run()?;
+    println!(
+        "graph: {} variables / {} factors / {} evidence",
+        result.num_variables, result.num_factors, result.num_evidence
+    );
+    println!(
+        "phases: candidates {:?}, supervision {:?}, learning+inference {:?}",
+        result.timings.candidate_extraction,
+        result.timings.supervision,
+        result.timings.learning_inference()
+    );
+
+    std::fs::create_dir_all(&args.out)?;
+    for schema in ddlog.query_relations() {
+        let rows = result.output(&schema.name, args.threshold);
+        let path: PathBuf = args.out.join(format!("{}.tsv", schema.name));
+        let mut text = String::new();
+        for (row, p) in &rows {
+            text.push_str(&row_to_tsv(row));
+            text.push('\t');
+            text.push_str(&format!("{p:.4}\n"));
+        }
+        std::fs::write(&path, text)?;
+        println!("wrote {:>7} rows (p >= {}) to {}", rows.len(), args.threshold, path.display());
+    }
+
+    // Weight summary.
+    let weights_path: &Path = &args.out.join("weights.tsv");
+    let mut wtext = String::from("# weight\treferences\tkey\n");
+    let mut ws: Vec<_> = result.weights.iter().filter(|w| !w.fixed).collect();
+    ws.sort_by(|a, b| b.value.abs().total_cmp(&a.value.abs()));
+    for w in ws {
+        wtext.push_str(&format!("{:+.4}\t{}\t{}\n", w.value, w.references, w.key));
+    }
+    std::fs::write(weights_path, wtext)?;
+    println!("wrote learned weights to {}", weights_path.display());
+
+    if let Some(cal) = &result.calibration {
+        println!("\nFigure-5 calibration (held-out evidence):");
+        print!("{}", render_calibration(cal));
+    }
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Calibration plots and probability histograms (Figure 5 of the paper).
+//!
+//! "After each training run, DeepDive emits the diagrams shown in Figure 5.
+//! [...] The leftmost diagram is a calibration plot that shows whether
+//! DeepDive's emitted probabilities are accurate; e.g., for all of the items
+//! assessed a 20% probability, are 20% of them actually correct extractions?
+//! The center and right diagrams show a histogram of predictions in various
+//! probability buckets for the test and training sets [...] Ideal prediction
+//! histograms are U-shaped."
+
+use serde::{Deserialize, Serialize};
+
+/// One probability bucket of the calibration plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBucket {
+    pub lo: f64,
+    pub hi: f64,
+    /// Predictions landing in the bucket.
+    pub count: usize,
+    /// Of those with known truth, the fraction actually true.
+    pub accuracy: Option<f64>,
+    /// Mean predicted probability in the bucket.
+    pub mean_prediction: f64,
+}
+
+/// Figure-5 artifacts for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationData {
+    pub buckets: Vec<CalibrationBucket>,
+    /// Histogram over the test set (predictions with truth withheld or not).
+    pub test_histogram: Vec<usize>,
+    /// Histogram over the training set.
+    pub train_histogram: Vec<usize>,
+    /// Mean |predicted − empirical| over non-empty buckets (calibration
+    /// error; 0 = the dotted ideal line of Fig. 5).
+    pub calibration_error: f64,
+}
+
+/// Build the calibration plot from `(probability, truth)` pairs; `truth` is
+/// `None` for items without labels (they count toward histograms only).
+pub fn calibration_plot(
+    predictions: &[(f64, Option<bool>)],
+    num_buckets: usize,
+) -> Vec<CalibrationBucket> {
+    assert!(num_buckets > 0);
+    let mut buckets: Vec<(usize, usize, usize, f64)> = vec![(0, 0, 0, 0.0); num_buckets];
+    for &(p, truth) in predictions {
+        let b = bucket_of(p, num_buckets);
+        let e = &mut buckets[b];
+        e.0 += 1;
+        e.3 += p;
+        if let Some(t) = truth {
+            e.1 += 1;
+            if t {
+                e.2 += 1;
+            }
+        }
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (count, labeled, correct, sum_p))| CalibrationBucket {
+            lo: i as f64 / num_buckets as f64,
+            hi: (i + 1) as f64 / num_buckets as f64,
+            count,
+            accuracy: if labeled > 0 { Some(correct as f64 / labeled as f64) } else { None },
+            mean_prediction: if count > 0 { sum_p / count as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Histogram of predictions over equal-width probability buckets.
+pub fn histogram(predictions: &[f64], num_buckets: usize) -> Vec<usize> {
+    let mut h = vec![0usize; num_buckets];
+    for &p in predictions {
+        h[bucket_of(p, num_buckets)] += 1;
+    }
+    h
+}
+
+fn bucket_of(p: f64, num_buckets: usize) -> usize {
+    ((p * num_buckets as f64) as usize).min(num_buckets - 1)
+}
+
+/// Assemble the full Figure-5 artifact set.
+pub fn figure5(
+    train: &[(f64, Option<bool>)],
+    test: &[(f64, Option<bool>)],
+    num_buckets: usize,
+) -> CalibrationData {
+    let buckets = calibration_plot(test, num_buckets);
+    let calibration_error = {
+        let scored: Vec<f64> = buckets
+            .iter()
+            .filter_map(|b| b.accuracy.map(|a| (a - b.mean_prediction).abs()))
+            .collect();
+        if scored.is_empty() {
+            0.0
+        } else {
+            scored.iter().sum::<f64>() / scored.len() as f64
+        }
+    };
+    CalibrationData {
+        buckets,
+        test_histogram: histogram(&test.iter().map(|(p, _)| *p).collect::<Vec<_>>(), num_buckets),
+        train_histogram: histogram(
+            &train.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            num_buckets,
+        ),
+        calibration_error,
+    }
+}
+
+/// "Ideal prediction histograms are U-shaped": mass in the outer buckets
+/// relative to the middle. 1.0 = everything at the extremes.
+pub fn u_shape_score(hist: &[usize]) -> f64 {
+    if hist.len() < 3 {
+        return 0.0;
+    }
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let outer = hist[0] + hist[hist.len() - 1];
+    outer as f64 / total as f64
+}
+
+/// Render the calibration plot as an ASCII table (the developer-facing
+/// artifact; §5.2's error-analysis document embeds these).
+pub fn render_calibration(data: &CalibrationData) -> String {
+    let mut out = String::new();
+    out.push_str("bucket      n     mean_p  empirical\n");
+    for b in &data.buckets {
+        let acc = b
+            .accuracy
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "  —".to_string());
+        out.push_str(&format!(
+            "[{:.1},{:.1})  {:>5}  {:.3}   {}\n",
+            b.lo, b.hi, b.count, b.mean_prediction, acc
+        ));
+    }
+    out.push_str(&format!("calibration error: {:.4}\n", data.calibration_error));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_data_scores_zero_error() {
+        // 10 items at p=0.8, 8 true; 10 at p=0.2, 2 true.
+        let mut preds = Vec::new();
+        for i in 0..10 {
+            preds.push((0.8, Some(i < 8)));
+            preds.push((0.2, Some(i < 2)));
+        }
+        let data = figure5(&preds, &preds, 10);
+        assert!(data.calibration_error < 1e-9, "{}", data.calibration_error);
+    }
+
+    #[test]
+    fn miscalibration_is_detected() {
+        // Everything predicted 0.9 but only half true.
+        let preds: Vec<(f64, Option<bool>)> =
+            (0..20).map(|i| (0.9, Some(i % 2 == 0))).collect();
+        let data = figure5(&preds, &preds, 10);
+        assert!((data.calibration_error - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_count_correctly() {
+        let h = histogram(&[0.05, 0.15, 0.95, 0.99, 1.0], 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[9], 3, "p=1.0 lands in the top bucket");
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn unlabeled_predictions_count_in_histogram_not_accuracy() {
+        let preds = vec![(0.5, None), (0.5, Some(true))];
+        let buckets = calibration_plot(&preds, 10);
+        let b = &buckets[5];
+        assert_eq!(b.count, 2);
+        assert_eq!(b.accuracy, Some(1.0));
+    }
+
+    #[test]
+    fn u_shape_score_distinguishes_shapes() {
+        let u = u_shape_score(&[40, 5, 5, 5, 45]);
+        let flat = u_shape_score(&[20, 20, 20, 20, 20]);
+        assert!(u > 0.8);
+        assert!(flat < 0.5);
+        assert_eq!(u_shape_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn render_is_stable_text() {
+        let data = figure5(&[(0.9, Some(true))], &[(0.9, Some(true))], 5);
+        let txt = render_calibration(&data);
+        assert!(txt.contains("calibration error"));
+        assert!(txt.lines().count() >= 6);
+    }
+}

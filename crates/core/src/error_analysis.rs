@@ -1,0 +1,294 @@
+//! The error-analysis document (§5.2).
+//!
+//! "The first step in this process is when an engineer produces an error
+//! analysis. This is a strongly stylized document that helps the engineer
+//! determine: the true precision and recall of the extractor; an enumeration
+//! of observed extractor failure modes, along with error counts for each
+//! failure mode; for the top-ranked failure modes, the underlying reason."
+//!
+//! It also carries what the paper calls commodity statistics: feature
+//! weights with observation counts, and checksums of data products and code
+//! versions.
+
+use crate::app::WeightSummary;
+use crate::metrics::Quality;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One manually-judged extraction (here judged against planted truth).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Judgment {
+    pub key: String,
+    pub probability: f64,
+    pub correct: bool,
+    /// Failure-mode bucket for incorrect extractions (free-form tags, e.g.
+    /// "bad doctor name from addresses").
+    pub bucket: Option<String>,
+}
+
+/// Configuration of the analysis pass.
+#[derive(Debug, Clone)]
+pub struct ErrorAnalysisConfig {
+    /// Extractions sampled for the precision estimate (~100 in practice).
+    pub precision_sample: usize,
+    /// Truth items sampled for the recall estimate.
+    pub recall_sample: usize,
+    pub threshold: f64,
+    pub seed: u64,
+}
+
+impl Default for ErrorAnalysisConfig {
+    fn default() -> Self {
+        ErrorAnalysisConfig {
+            precision_sample: 100,
+            recall_sample: 100,
+            threshold: 0.9,
+            seed: 0xEA,
+        }
+    }
+}
+
+/// The stylized document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorAnalysis {
+    /// Exact quality over the full prediction set (we have planted truth;
+    /// the sampled estimates below mirror the human workflow).
+    pub quality: Quality,
+    pub sampled_precision: f64,
+    pub sampled_recall: f64,
+    pub precision_sample: Vec<Judgment>,
+    /// Truth items missed at the threshold (recall failures).
+    pub recall_misses: Vec<String>,
+    /// Failure-mode buckets, by error count.
+    pub failure_buckets: BTreeMap<String, usize>,
+    /// Feature weights + observation counts.
+    pub feature_summary: Vec<WeightSummary>,
+    /// FNV-1a checksums of the prediction set and program identity (§5.2:
+    /// "checksums of all data products and code").
+    pub predictions_checksum: u64,
+    pub program_checksum: u64,
+}
+
+/// Produce the document from predictions, truth, and a bucketing function
+/// that tags each false positive with a failure mode.
+pub fn analyze(
+    predictions: &[(String, f64)],
+    truth: &BTreeSet<String>,
+    weights: &[WeightSummary],
+    program_identity: &str,
+    config: &ErrorAnalysisConfig,
+    bucketer: &dyn Fn(&str) -> String,
+) -> ErrorAnalysis {
+    let extracted: Vec<&(String, f64)> =
+        predictions.iter().filter(|(_, p)| *p >= config.threshold).collect();
+    let extracted_keys: BTreeSet<String> =
+        extracted.iter().map(|(k, _)| k.clone()).collect();
+    let quality = Quality::compare(&extracted_keys, truth);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Precision sample: judge ~N random extractions.
+    let mut sample: Vec<&(String, f64)> = extracted.clone();
+    sample.shuffle(&mut rng);
+    sample.truncate(config.precision_sample);
+    let mut failure_buckets: BTreeMap<String, usize> = BTreeMap::new();
+    let precision_sample: Vec<Judgment> = sample
+        .into_iter()
+        .map(|(key, p)| {
+            let correct = truth.contains(key);
+            let bucket = if correct {
+                None
+            } else {
+                let b = bucketer(key);
+                *failure_buckets.entry(b.clone()).or_insert(0) += 1;
+                Some(b)
+            };
+            Judgment { key: key.clone(), probability: *p, correct, bucket }
+        })
+        .collect();
+    let sampled_precision = if precision_sample.is_empty() {
+        1.0
+    } else {
+        precision_sample.iter().filter(|j| j.correct).count() as f64
+            / precision_sample.len() as f64
+    };
+
+    // Recall sample: judge ~N random truth items.
+    let mut truth_sample: Vec<&String> = truth.iter().collect();
+    truth_sample.shuffle(&mut rng);
+    truth_sample.truncate(config.recall_sample);
+    let found = truth_sample.iter().filter(|k| extracted_keys.contains(**k)).count();
+    let sampled_recall = if truth_sample.is_empty() {
+        1.0
+    } else {
+        found as f64 / truth_sample.len() as f64
+    };
+    let recall_misses: Vec<String> = truth_sample
+        .iter()
+        .filter(|k| !extracted_keys.contains(**k))
+        .map(|k| (*k).clone())
+        .collect();
+
+    // Checksums.
+    let mut pred_bytes = String::new();
+    for (k, p) in predictions {
+        pred_bytes.push_str(k);
+        pred_bytes.push_str(&format!("{p:.6};"));
+    }
+
+    let mut feature_summary = weights.to_vec();
+    feature_summary.sort_by(|a, b| b.value.abs().total_cmp(&a.value.abs()));
+
+    ErrorAnalysis {
+        quality,
+        sampled_precision,
+        sampled_recall,
+        precision_sample,
+        recall_misses,
+        failure_buckets,
+        feature_summary,
+        predictions_checksum: fnv1a(pred_bytes.as_bytes()),
+        program_checksum: fnv1a(program_identity.as_bytes()),
+    }
+}
+
+impl ErrorAnalysis {
+    /// Failure modes ordered by descending count — "She always tries to
+    /// address the largest bucket first" (§5.2).
+    pub fn ranked_failure_modes(&self) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> =
+            self.failure_buckets.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Render as a human-readable document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Error Analysis ==\n");
+        out.push_str(&format!(
+            "exact     P={:.3} R={:.3} F1={:.3}\n",
+            self.quality.precision(),
+            self.quality.recall(),
+            self.quality.f1()
+        ));
+        out.push_str(&format!(
+            "sampled   P={:.3} R={:.3}\n",
+            self.sampled_precision, self.sampled_recall
+        ));
+        out.push_str("failure modes:\n");
+        for (bucket, count) in self.ranked_failure_modes() {
+            out.push_str(&format!("  {count:>4}  {bucket}\n"));
+        }
+        out.push_str("top features (|weight|):\n");
+        for w in self.feature_summary.iter().filter(|w| !w.fixed).take(10) {
+            out.push_str(&format!("  {:+.3}  n={:<5}  {}\n", w.value, w.references, w.key));
+        }
+        out.push_str(&format!(
+            "checksums: predictions={:016x} program={:016x}\n",
+            self.predictions_checksum, self.program_checksum
+        ));
+        out
+    }
+}
+
+/// FNV-1a 64-bit.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> BTreeSet<String> {
+        ["a|b", "c|d", "e|f"].iter().map(|s| s.to_string()).collect()
+    }
+
+    fn preds() -> Vec<(String, f64)> {
+        vec![
+            ("a|b".into(), 0.95),
+            ("c|d".into(), 0.97),
+            ("x|y".into(), 0.93), // false positive
+            ("e|f".into(), 0.40), // recall miss at 0.9
+        ]
+    }
+
+    fn analysis() -> ErrorAnalysis {
+        analyze(
+            &preds(),
+            &truth(),
+            &[],
+            "program-v1",
+            &ErrorAnalysisConfig::default(),
+            &|key| {
+                if key.starts_with('x') {
+                    "spurious-pair".to_string()
+                } else {
+                    "other".to_string()
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn quality_reflects_threshold() {
+        let a = analysis();
+        assert_eq!(a.quality.true_positives, 2);
+        assert_eq!(a.quality.false_positives, 1);
+        assert_eq!(a.quality.false_negatives, 1);
+    }
+
+    #[test]
+    fn failure_buckets_tag_false_positives() {
+        let a = analysis();
+        assert_eq!(a.failure_buckets.get("spurious-pair"), Some(&1));
+        assert_eq!(a.ranked_failure_modes()[0].0, "spurious-pair");
+    }
+
+    #[test]
+    fn recall_misses_listed() {
+        let a = analysis();
+        assert!(a.recall_misses.contains(&"e|f".to_string()));
+    }
+
+    #[test]
+    fn checksums_change_with_inputs() {
+        let a = analysis();
+        let mut p2 = preds();
+        p2[0].1 = 0.96;
+        let b = analyze(
+            &p2,
+            &truth(),
+            &[],
+            "program-v1",
+            &ErrorAnalysisConfig::default(),
+            &|_| "x".into(),
+        );
+        assert_ne!(a.predictions_checksum, b.predictions_checksum);
+        assert_eq!(a.program_checksum, b.program_checksum);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let r = analysis().render();
+        assert!(r.contains("Error Analysis"));
+        assert!(r.contains("failure modes"));
+        assert!(r.contains("checksums"));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

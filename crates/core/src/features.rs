@@ -1,0 +1,267 @@
+//! The feature library (§5.3).
+//!
+//! "In the past year we have introduced a feature library system that
+//! automatically proposes a massive number of features that plausibly work
+//! across many domains, and then uses statistical regularization to throw
+//! away all but the most effective features. [...] the hypothesized features
+//! are designed to always be human-understandable."
+//!
+//! Every feature here is a *template* producing string identifiers like
+//! `phrase=and his wife` or `wbtw=married` — the weight-tying keys of
+//! Ex. 3.2. All templates are registered as database UDFs so DDlog rules can
+//! call them directly.
+
+use deepdive_storage::{Database, Value};
+
+/// Cap on phrase feature length (tokens) — longer gaps are summarized by the
+/// distance feature instead.
+const MAX_PHRASE_TOKENS: usize = 6;
+
+/// Tokens between the first occurrences of two mentions in a sentence.
+fn between<'a>(sentence: &'a str, m1: &str, m2: &str) -> Option<Vec<&'a str>> {
+    let p1 = sentence.find(m1)?;
+    let p2 = sentence.find(m2)?;
+    let (lo, hi) =
+        if p1 <= p2 { (p1 + m1.len(), p2) } else { (p2 + m2.len(), p1) };
+    if lo >= hi {
+        return Some(Vec::new());
+    }
+    Some(sentence[lo..hi].split_whitespace().collect())
+}
+
+fn norm(tok: &str) -> String {
+    let t = tok.trim_matches(|c: char| !c.is_alphanumeric()).to_ascii_lowercase();
+    // Currency and unit symbols are meaningful context on their own
+    // ("is there a $ to the left of the candidate?").
+    if t.is_empty() && matches!(tok, "$" | "€" | "%" | "#") {
+        return tok.to_string();
+    }
+    t
+}
+
+/// `phrase=<words between>` — the paper's running example ("and his wife").
+pub fn phrase_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    match between(sentence, m1, m2) {
+        Some(toks) if toks.len() <= MAX_PHRASE_TOKENS => {
+            let words: Vec<String> =
+                toks.iter().map(|t| norm(t)).filter(|t| !t.is_empty()).collect();
+            vec![format!("phrase={}", words.join(" "))]
+        }
+        Some(_) => vec!["phrase=<far>".to_string()],
+        None => Vec::new(),
+    }
+}
+
+/// One `wbtw=<word>` feature per distinct word between the mentions
+/// (bag-of-words; flat-mapped by the rule engine).
+pub fn words_between_features(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
+    let mut words: Vec<String> =
+        toks.iter().map(|t| norm(t)).filter(|t| !t.is_empty()).collect();
+    words.sort();
+    words.dedup();
+    words.into_iter().map(|w| format!("wbtw={w}")).collect()
+}
+
+/// Bucketed token distance between the mentions.
+pub fn distance_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
+    let bucket = match toks.len() {
+        0 => "adj",
+        1..=3 => "1-3",
+        4..=8 => "4-8",
+        _ => "9+",
+    };
+    vec![format!("dist={bucket}")]
+}
+
+/// `left=<word>` — the word immediately left of the earlier mention.
+pub fn left_window_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    let (Some(p1), Some(p2)) = (sentence.find(m1), sentence.find(m2)) else {
+        return Vec::new();
+    };
+    let first = p1.min(p2);
+    let left = sentence[..first].split_whitespace().next_back().map(norm);
+    match left {
+        Some(w) if !w.is_empty() => vec![format!("left={w}")],
+        _ => vec!["left=<bos>".to_string()],
+    }
+}
+
+/// `right=<word>` — the word immediately right of the later mention.
+pub fn right_window_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    let (Some(p1), Some(p2)) = (sentence.find(m1), sentence.find(m2)) else {
+        return Vec::new();
+    };
+    let last_end = (p1 + m1.len()).max(p2 + m2.len());
+    let right = sentence[last_end.min(sentence.len())..].split_whitespace().next().map(norm);
+    match right {
+        Some(w) if !w.is_empty() => vec![format!("right={w}")],
+        _ => vec!["right=<eos>".to_string()],
+    }
+}
+
+/// `neg=yes|no` — negation cue between the mentions ("not", "no", "never",
+/// "without"); the workhorse for the genetics "no evidence linked" noise.
+pub fn negation_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
+    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
+    let negated = toks
+        .iter()
+        .map(|t| norm(t))
+        .any(|t| matches!(t.as_str(), "not" | "no" | "never" | "without" | "neither"));
+    vec![format!("neg={}", if negated { "yes" } else { "no" })]
+}
+
+/// `ctx=<word>` for each word in a window around a single mention (used for
+/// per-mention extractions like prices and locations).
+pub fn context_features(sentence: &str, mention: &str) -> Vec<String> {
+    let Some(p) = sentence.find(mention) else { return Vec::new() };
+    let before: Vec<String> = sentence[..p]
+        .split_whitespace()
+        .rev()
+        .take(2)
+        .map(norm)
+        .filter(|w| !w.is_empty())
+        .collect();
+    let after: Vec<String> = sentence[(p + mention.len()).min(sentence.len())..]
+        .split_whitespace()
+        .take(2)
+        .map(norm)
+        .filter(|w| !w.is_empty())
+        .collect();
+    let mut out: Vec<String> = Vec::new();
+    for w in before {
+        out.push(format!("ctxl={w}"));
+    }
+    for w in after {
+        out.push(format!("ctxr={w}"));
+    }
+    if out.is_empty() {
+        out.push("ctx=<none>".to_string());
+    }
+    out
+}
+
+fn text_args3(args: &[Value]) -> Option<(String, String, String)> {
+    Some((
+        args.first()?.as_text()?.to_string(),
+        args.get(1)?.as_text()?.to_string(),
+        args.get(2)?.as_text()?.to_string(),
+    ))
+}
+
+/// Register the whole library as database UDFs:
+/// `f_phrase`, `f_words_between`, `f_dist`, `f_left`, `f_right`, `f_neg`
+/// take `(sentence, mention1, mention2)`; `f_context` takes
+/// `(sentence, mention)`.
+pub fn register_standard_features(db: &mut Database) {
+    macro_rules! pairwise {
+        ($name:expr, $f:path) => {
+            db.register_udf($name, |args: &[Value]| match text_args3(args) {
+                Some((s, a, b)) => $f(&s, &a, &b).into_iter().map(Value::from).collect(),
+                None => Vec::new(),
+            });
+        };
+    }
+    pairwise!("f_phrase", phrase_feature);
+    pairwise!("f_words_between", words_between_features);
+    pairwise!("f_dist", distance_feature);
+    pairwise!("f_left", left_window_feature);
+    pairwise!("f_right", right_window_feature);
+    pairwise!("f_neg", negation_feature);
+    db.register_udf("f_context", |args: &[Value]| {
+        let (Some(s), Some(m)) = (
+            args.first().and_then(Value::as_text),
+            args.get(1).and_then(Value::as_text),
+        ) else {
+            return Vec::new();
+        };
+        context_features(s, m).into_iter().map(Value::from).collect()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: &str = "Barack Obama and his wife Michelle Obama visited Chicago.";
+
+    #[test]
+    fn phrase_feature_extracts_connecting_words() {
+        let f = phrase_feature(S, "Barack Obama", "Michelle Obama");
+        assert_eq!(f, vec!["phrase=and his wife"]);
+    }
+
+    #[test]
+    fn phrase_feature_is_order_insensitive() {
+        let a = phrase_feature(S, "Barack Obama", "Michelle Obama");
+        let b = phrase_feature(S, "Michelle Obama", "Barack Obama");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn words_between_dedups_and_sorts() {
+        let f = words_between_features(S, "Barack Obama", "Michelle Obama");
+        assert_eq!(f, vec!["wbtw=and", "wbtw=his", "wbtw=wife"]);
+    }
+
+    #[test]
+    fn distance_buckets() {
+        assert_eq!(distance_feature(S, "Barack Obama", "Michelle Obama"), vec!["dist=1-3"]);
+        let s2 = "Alice Smith saw Bob Jones";
+        assert_eq!(distance_feature(s2, "Alice Smith", "Bob Jones"), vec!["dist=1-3"]);
+    }
+
+    #[test]
+    fn windows_and_negation() {
+        assert_eq!(left_window_feature(S, "Barack Obama", "Michelle Obama"), vec!["left=<bos>"]);
+        assert_eq!(
+            right_window_feature(S, "Barack Obama", "Michelle Obama"),
+            vec!["right=visited"]
+        );
+        let neg = "GATA1 was not linked to anemia here";
+        assert_eq!(negation_feature(neg, "GATA1", "anemia"), vec!["neg=yes"]);
+        assert_eq!(negation_feature(S, "Barack Obama", "Michelle Obama"), vec!["neg=no"]);
+    }
+
+    #[test]
+    fn context_window_around_single_mention() {
+        let s = "rates start at $ 150 roses tonight";
+        let f = context_features(s, "150");
+        assert!(f.contains(&"ctxl=$".to_string()));
+        assert!(f.contains(&"ctxr=roses".to_string()));
+    }
+
+    #[test]
+    fn missing_mentions_yield_no_features() {
+        assert!(phrase_feature(S, "Nobody", "Michelle Obama").is_empty());
+        assert!(context_features(S, "Nobody").is_empty());
+    }
+
+    #[test]
+    fn far_apart_mentions_collapse_to_far_bucket() {
+        let long = format!(
+            "Alice {} Bob",
+            (0..12).map(|_| "meanwhile").collect::<Vec<_>>().join(" ")
+        );
+        assert_eq!(phrase_feature(&long, "Alice", "Bob"), vec!["phrase=<far>"]);
+        assert_eq!(distance_feature(&long, "Alice", "Bob"), vec!["dist=9+"]);
+    }
+
+    #[test]
+    fn registered_udfs_dispatch() {
+        let mut db = Database::new();
+        register_standard_features(&mut db);
+        let out = db
+            .call_udf(
+                "f_phrase",
+                &[Value::text(S), Value::text("Barack Obama"), Value::text("Michelle Obama")],
+            )
+            .unwrap();
+        assert_eq!(out, vec![Value::text("phrase=and his wife")]);
+        let ctx = db
+            .call_udf("f_context", &[Value::text("price $ 99 only"), Value::text("99")])
+            .unwrap();
+        assert!(!ctx.is_empty());
+    }
+}

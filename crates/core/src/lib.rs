@@ -1,0 +1,38 @@
+//! `deepdive-core`: the end-to-end DeepDive pipeline (SIGMOD 2016).
+//!
+//! This crate ties the substrates together into the three-phase execution of
+//! §3 of the paper:
+//!
+//! 1. **candidate generation and feature extraction** — documents are
+//!    preprocessed (`deepdive-nlp`), candidate mappings and feature UDF rules
+//!    run on the relational store (`deepdive-storage`);
+//! 2. **supervision** — distant-supervision rules derive evidence relations
+//!    (`deepdive-supervision`, `*_Ev` conventions);
+//! 3. **learning and inference** — the program is grounded into a factor
+//!    graph (`deepdive-grounding`), weights are learned and marginals
+//!    estimated by the DimmWitted engine (`deepdive-sampler`), and the
+//!    thresholded output database is produced.
+//!
+//! On top sit the developer-facing artifacts the paper argues are the real
+//! product: calibration plots (Figure 5, [`calibration`]), the stylized
+//! error-analysis document (§5.2, [`error_analysis`]), quality metrics and
+//! threshold sweeps ([`metrics`]), the reusable feature library (§5.3,
+//! [`features`]), and pre-wired domain applications (§6, [`apps`]).
+
+pub mod app;
+pub mod apps;
+pub mod calibration;
+pub mod error_analysis;
+pub mod features;
+pub mod metrics;
+pub mod mindtagger;
+
+pub use app::{
+    DeepDive, DeepDiveBuilder, DeepDiveError, PhaseTimings, RunConfig, RunResult, WeightSummary,
+};
+pub use calibration::{
+    calibration_plot, figure5, histogram, render_calibration, u_shape_score, CalibrationData,
+};
+pub use error_analysis::{analyze, ErrorAnalysis, ErrorAnalysisConfig, Judgment};
+pub use metrics::{best_f1, threshold_sweep, Quality, ThresholdPoint};
+pub use mindtagger::{LabelingItem, LabelingTask};

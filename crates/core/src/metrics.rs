@@ -1,0 +1,158 @@
+//! Extraction-quality metrics: precision, recall, F1, threshold sweeps.
+//!
+//! "The success of a single DeepDive run is determined by the quality — the
+//! precision and recall — of the output aspirational table" (§2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Precision/recall/F1 of one extraction run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quality {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl Quality {
+    /// Compare an extracted set against ground truth.
+    pub fn compare<T: Ord>(extracted: &BTreeSet<T>, truth: &BTreeSet<T>) -> Quality {
+        let tp = extracted.intersection(truth).count();
+        Quality {
+            true_positives: tp,
+            false_positives: extracted.len() - tp,
+            false_negatives: truth.len() - tp,
+        }
+    }
+
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0; // nothing extracted: vacuously precise
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0; // nothing to find
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// One point of a threshold sweep (§3.4: "DeepDive applies a user-chosen
+/// threshold, e.g., p > 0.95. For some applications that favor extremely
+/// high recall [...] it may be appropriate to lower this threshold").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    pub threshold: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub extracted: usize,
+}
+
+/// Sweep output thresholds over `(key, probability)` predictions against a
+/// truth set.
+pub fn threshold_sweep<T: Ord + Clone>(
+    predictions: &[(T, f64)],
+    truth: &BTreeSet<T>,
+    thresholds: &[f64],
+) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let extracted: BTreeSet<T> = predictions
+                .iter()
+                .filter(|(_, p)| *p >= t)
+                .map(|(k, _)| k.clone())
+                .collect();
+            let q = Quality::compare(&extracted, truth);
+            ThresholdPoint {
+                threshold: t,
+                precision: q.precision(),
+                recall: q.recall(),
+                f1: q.f1(),
+                extracted: extracted.len(),
+            }
+        })
+        .collect()
+}
+
+/// The threshold maximizing F1 in a sweep.
+pub fn best_f1(points: &[ThresholdPoint]) -> Option<&ThresholdPoint> {
+    points.iter().max_by(|a, b| a.f1.total_cmp(&b.f1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn quality_computes_prf() {
+        let q = Quality::compare(&set(&["a", "b", "c"]), &set(&["b", "c", "d", "e"]));
+        assert_eq!(q.true_positives, 2);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 2);
+        assert!((q.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_extraction_is_vacuously_precise() {
+        let q = Quality::compare(&set(&[]), &set(&["x"]));
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_extraction() {
+        let q = Quality::compare(&set(&["x", "y"]), &set(&["x", "y"]));
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn threshold_sweep_trades_precision_for_recall() {
+        let preds = vec![
+            ("a".to_string(), 0.99),
+            ("b".to_string(), 0.8),
+            ("c".to_string(), 0.6), // false positive
+            ("d".to_string(), 0.3),
+        ];
+        let truth = set(&["a", "b", "d"]);
+        let pts = threshold_sweep(&preds, &truth, &[0.9, 0.5, 0.1]);
+        // High threshold: precise, low recall.
+        assert_eq!(pts[0].precision, 1.0);
+        assert!(pts[0].recall < 0.5);
+        // Low threshold: full recall, lower precision.
+        assert_eq!(pts[2].recall, 1.0);
+        assert!(pts[2].precision < 1.0);
+        assert!(pts[2].recall >= pts[0].recall);
+    }
+
+    #[test]
+    fn best_f1_picks_maximum() {
+        let pts = vec![
+            ThresholdPoint { threshold: 0.9, precision: 1.0, recall: 0.2, f1: 0.33, extracted: 1 },
+            ThresholdPoint { threshold: 0.5, precision: 0.9, recall: 0.9, f1: 0.9, extracted: 5 },
+        ];
+        assert_eq!(best_f1(&pts).unwrap().threshold, 0.5);
+        assert!(best_f1(&[]).is_none());
+    }
+}

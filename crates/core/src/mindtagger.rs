@@ -1,0 +1,223 @@
+//! A Mindtagger-style labeling tool (§3.4: "To facilitate error analysis,
+//! users write standard SQL queries or use the Mindtagger tool \[45\]").
+//!
+//! Mindtagger presents sampled extractions *in context* — the source
+//! sentence with the mention spans highlighted — collects correct/incorrect
+//! judgments and failure-mode tags, and feeds the error-analysis document.
+//! This module is the programmatic equivalent: rendering, judgment
+//! recording, and precision/recall estimation over the sample.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One item queued for human judgment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelingItem {
+    /// Stable key of the extraction (e.g. `"Alice Smith|Bob Smith"`).
+    pub key: String,
+    pub probability: f64,
+    /// Source sentence text.
+    pub context: String,
+    /// Mention surface forms to highlight within the context.
+    pub mentions: Vec<String>,
+    /// The human's verdict, once recorded.
+    pub judgment: Option<bool>,
+    /// Free-form failure-mode tag for incorrect extractions (§5.2's
+    /// "failure mode buckets ... semantic tags applied by the engineer").
+    pub bucket: Option<String>,
+}
+
+/// A labeling session over a sample of extractions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelingTask {
+    pub name: String,
+    pub items: Vec<LabelingItem>,
+}
+
+impl LabelingTask {
+    /// Sample `n` extractions above `threshold` for judgment (the ~100-item
+    /// precision sample of §5.2).
+    pub fn sample(
+        name: impl Into<String>,
+        predictions: &[(String, f64, String, Vec<String>)],
+        threshold: f64,
+        n: usize,
+        seed: u64,
+    ) -> LabelingTask {
+        let mut eligible: Vec<&(String, f64, String, Vec<String>)> =
+            predictions.iter().filter(|(_, p, _, _)| *p >= threshold).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        eligible.shuffle(&mut rng);
+        let items = eligible
+            .into_iter()
+            .take(n)
+            .map(|(key, p, context, mentions)| LabelingItem {
+                key: key.clone(),
+                probability: *p,
+                context: context.clone(),
+                mentions: mentions.clone(),
+                judgment: None,
+                bucket: None,
+            })
+            .collect();
+        LabelingTask { name: name.into(), items }
+    }
+
+    /// Render one item as a text card with `[[...]]` highlights.
+    pub fn render_item(&self, idx: usize) -> String {
+        let item = &self.items[idx];
+        let mut ctx = item.context.clone();
+        for m in &item.mentions {
+            ctx = ctx.replace(m.as_str(), &format!("[[{m}]]"));
+        }
+        let status = match item.judgment {
+            Some(true) => "✓ correct",
+            Some(false) => "✗ incorrect",
+            None => "unjudged",
+        };
+        format!(
+            "[{}/{}] {}  p={:.3}  ({})\n    {}\n",
+            idx + 1,
+            self.items.len(),
+            item.key,
+            item.probability,
+            status,
+            ctx
+        )
+    }
+
+    /// Record a judgment (and a failure bucket for incorrect items).
+    pub fn judge(&mut self, idx: usize, correct: bool, bucket: Option<String>) {
+        let item = &mut self.items[idx];
+        item.judgment = Some(correct);
+        item.bucket = if correct { None } else { bucket };
+    }
+
+    /// Auto-judge every item against a truth oracle (used in tests and for
+    /// synthetic corpora where planted truth substitutes for the human).
+    pub fn judge_all(
+        &mut self,
+        oracle: impl Fn(&str) -> bool,
+        bucketer: impl Fn(&LabelingItem) -> String,
+    ) {
+        for idx in 0..self.items.len() {
+            let correct = oracle(&self.items[idx].key);
+            let bucket = if correct { None } else { Some(bucketer(&self.items[idx])) };
+            self.judge(idx, correct, bucket);
+        }
+    }
+
+    /// Fraction judged so far.
+    pub fn progress(&self) -> f64 {
+        if self.items.is_empty() {
+            return 1.0;
+        }
+        self.items.iter().filter(|i| i.judgment.is_some()).count() as f64
+            / self.items.len() as f64
+    }
+
+    /// Precision over judged items.
+    pub fn precision_estimate(&self) -> Option<f64> {
+        let judged: Vec<bool> = self.items.iter().filter_map(|i| i.judgment).collect();
+        if judged.is_empty() {
+            return None;
+        }
+        Some(judged.iter().filter(|&&c| c).count() as f64 / judged.len() as f64)
+    }
+
+    /// Failure buckets with counts, largest first.
+    pub fn failure_buckets(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for item in &self.items {
+            if let Some(b) = &item.bucket {
+                *counts.entry(b.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(String, usize)> =
+            counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Serialize the session to JSON (sessions are resumable artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+
+    pub fn from_json(s: &str) -> Result<LabelingTask, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds() -> Vec<(String, f64, String, Vec<String>)> {
+        vec![
+            (
+                "Alice|Bob".into(),
+                0.95,
+                "Alice and her husband Bob left.".into(),
+                vec!["Alice".into(), "Bob".into()],
+            ),
+            (
+                "Carol|Dan".into(),
+                0.92,
+                "Carol met Dan at work.".into(),
+                vec!["Carol".into(), "Dan".into()],
+            ),
+            ("Low|Pair".into(), 0.3, "noise".into(), vec![]),
+        ]
+    }
+
+    #[test]
+    fn sampling_respects_threshold_and_size() {
+        let t = LabelingTask::sample("precision", &preds(), 0.9, 10, 1);
+        assert_eq!(t.items.len(), 2, "only above-threshold items");
+        let t1 = LabelingTask::sample("precision", &preds(), 0.9, 1, 1);
+        assert_eq!(t1.items.len(), 1);
+    }
+
+    #[test]
+    fn render_highlights_mentions() {
+        let t = LabelingTask::sample("p", &preds(), 0.94, 10, 1);
+        let card = t.render_item(0);
+        assert!(card.contains("[[Alice]]"));
+        assert!(card.contains("[[Bob]]"));
+        assert!(card.contains("unjudged"));
+    }
+
+    #[test]
+    fn judgments_drive_precision_and_buckets() {
+        let mut t = LabelingTask::sample("p", &preds(), 0.9, 10, 1);
+        t.judge_all(
+            |key| key.starts_with("Alice"),
+            |_| "no marriage cue".to_string(),
+        );
+        assert_eq!(t.progress(), 1.0);
+        assert_eq!(t.precision_estimate(), Some(0.5));
+        assert_eq!(t.failure_buckets(), vec![("no marriage cue".to_string(), 1)]);
+    }
+
+    #[test]
+    fn sessions_roundtrip_through_json() {
+        let mut t = LabelingTask::sample("p", &preds(), 0.9, 10, 1);
+        t.judge(0, true, None);
+        let json = t.to_json();
+        let back = LabelingTask::from_json(&json).unwrap();
+        assert_eq!(back.items[0].judgment, Some(true));
+        assert_eq!(back.items.len(), t.items.len());
+    }
+
+    #[test]
+    fn empty_task_is_benign() {
+        let t = LabelingTask::sample("p", &[], 0.9, 10, 1);
+        assert_eq!(t.progress(), 1.0);
+        assert_eq!(t.precision_estimate(), None);
+        assert!(t.failure_buckets().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests for the genetics, ads, and materials applications.
+
+use deepdive_core::apps::*;
+use deepdive_core::RunConfig;
+use deepdive_corpus::{AdsConfig, GeneticsConfig, MaterialsConfig};
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+
+fn fast_run() -> RunConfig {
+    RunConfig {
+        learn: LearnOptions { epochs: 60, ..Default::default() },
+        inference: GibbsOptions { burn_in: 50, samples: 400, clamp_evidence: true, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn genetics_pipeline_extracts_associations() {
+    let mut app = GeneticsApp::build(GeneticsAppConfig {
+        corpus: GeneticsConfig { num_docs: 80, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+    assert!(result.num_evidence > 0);
+    let q = app.evaluate(&result, 0.7);
+    println!("genetics P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    assert!(q.f1() > 0.5, "F1 {}", q.f1());
+}
+
+#[test]
+fn ads_pipeline_extracts_prices() {
+    let mut app = AdsApp::build(AdsAppConfig {
+        corpus: AdsConfig { num_ads: 150, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+    assert!(result.num_evidence > 0);
+    let q = app.evaluate(&result, 0.7);
+    println!("ads P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    assert!(q.f1() > 0.5, "F1 {}", q.f1());
+}
+
+#[test]
+fn materials_pipeline_extracts_measurements() {
+    let mut app = MaterialsApp::build(MaterialsAppConfig {
+        corpus: MaterialsConfig { num_docs: 80, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+    assert!(result.num_evidence > 0);
+    let q = app.evaluate(&result, 0.7);
+    println!("materials P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    assert!(q.f1() > 0.5, "F1 {}", q.f1());
+}
+
+#[test]
+fn regex_baseline_productivity_collapses() {
+    let corpus = deepdive_corpus::ads::generate(&AdsConfig { num_ads: 300, ..Default::default() });
+    let truth: std::collections::BTreeSet<String> = corpus
+        .truth
+        .iter()
+        .filter_map(|t| t.price.map(|p| format!("{}|{p}", t.ad_id)))
+        .collect();
+    let mut f1s = Vec::new();
+    for k in 1..=4 {
+        let extracted = regex_baseline_extract(&corpus, k);
+        let q = deepdive_core::Quality::compare(&extracted, &truth);
+        println!("k={k}: P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+        f1s.push(q.f1());
+    }
+    // §5.3's shape: "this second deterministic rule will indeed address
+    // some bugs, but will be vastly less productive than the first one.
+    // The third regular expression will be even less productive."
+    let gains: Vec<f64> = (0..4)
+        .map(|k| if k == 0 { f1s[0] } else { f1s[k] - f1s[k - 1] })
+        .collect();
+    assert!(f1s[0] > 0.3);
+    assert!(gains[1] < gains[0], "rule 2 less productive: {gains:?}");
+    assert!(gains[2] < gains[1], "rule 3 less productive: {gains:?}");
+    assert!(gains[3] < gains[2], "rule 4 less productive: {gains:?}");
+}

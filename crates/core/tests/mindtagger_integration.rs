@@ -1,0 +1,61 @@
+//! Mindtagger ↔ pipeline integration: §5.2's precision-sample workflow,
+//! with the planted ground truth standing in for the human judge.
+
+use deepdive_core::apps::{SpouseApp, SpouseAppConfig};
+use deepdive_core::RunConfig;
+use deepdive_corpus::SpouseConfig;
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+
+#[test]
+fn labeling_session_estimates_precision_and_buckets_failures() {
+    let mut app = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+        run: RunConfig {
+            learn: LearnOptions { epochs: 60, ..Default::default() },
+            inference: GibbsOptions {
+                burn_in: 50,
+                samples: 400,
+                clamp_evidence: true,
+                ..Default::default()
+            },
+            compute_calibration: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+
+    // Sample ~100 extractions for the precision estimate (§5.2).
+    let mut task = app.labeling_task(&result, 0.5, 100);
+    assert!(!task.items.is_empty());
+    // Contexts are real sentences with the mentions inside them.
+    for item in task.items.iter().take(10) {
+        assert!(!item.context.is_empty(), "missing context for {}", item.key);
+        for m in &item.mentions {
+            assert!(
+                item.context.contains(m.as_str()),
+                "mention `{m}` not in context `{}`",
+                item.context
+            );
+        }
+    }
+    // Rendered cards highlight the mentions.
+    let card = task.render_item(0);
+    assert!(card.contains("[["));
+
+    // "Judge" against planted truth; the session's precision estimate must
+    // agree with the exact precision over the same sample.
+    let truth = app.truth_keys();
+    task.judge_all(|key| truth.contains(key), |_| "no marriage cue in context".to_string());
+    let est = task.precision_estimate().unwrap();
+    assert!((0.0..=1.0).contains(&est));
+    // Failure buckets exist only if there were false positives.
+    let fp = task.items.iter().filter(|i| i.judgment == Some(false)).count();
+    let bucketed: usize = task.failure_buckets().iter().map(|(_, c)| c).sum();
+    assert_eq!(fp, bucketed, "every false positive lands in a bucket");
+
+    // Sessions round-trip through JSON (resumable labeling).
+    let back = deepdive_core::LabelingTask::from_json(&task.to_json()).unwrap();
+    assert_eq!(back.precision_estimate(), task.precision_estimate());
+}

@@ -1,0 +1,243 @@
+//! Classified-ads corpus for the human-trafficking application (§6.4).
+//!
+//! Craigslist-style posts with "very little structure, lots of extremely
+//! nonstandard English", carrying price, location, phone and age fields —
+//! plus planted *movement patterns*: some workers post from many cities in
+//! rapid succession, the trafficking warning sign the paper describes
+//! ("a sex worker who posts from multiple cities in relatively rapid
+//! succession may be moved from place to place").
+
+use crate::names::CITIES;
+use crate::spouse::Document;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration for the ads corpus.
+#[derive(Debug, Clone)]
+pub struct AdsConfig {
+    pub num_ads: usize,
+    /// Distinct advertisers (phone numbers identify them).
+    pub num_workers: usize,
+    /// Fraction of workers exhibiting the multi-city movement pattern.
+    pub moved_fraction: f64,
+    /// Probability an ad omits its price / phone (field sparsity).
+    pub missing_field_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for AdsConfig {
+    fn default() -> Self {
+        AdsConfig {
+            num_ads: 300,
+            num_workers: 60,
+            moved_fraction: 0.15,
+            missing_field_rate: 0.2,
+            seed: 0xAD5,
+        }
+    }
+}
+
+/// Ground truth for one ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdTruth {
+    pub ad_id: u64,
+    pub worker: usize,
+    pub phone: Option<String>,
+    pub price: Option<i64>,
+    pub city: String,
+    pub age: i64,
+}
+
+/// Generated ads corpus.
+#[derive(Debug, Clone)]
+pub struct AdsCorpus {
+    pub documents: Vec<Document>,
+    pub truth: Vec<AdTruth>,
+    /// Worker → distinct cities posted from (movement signal).
+    pub worker_cities: BTreeMap<usize, Vec<String>>,
+    /// Workers planted as "moved" (trafficking warning sign).
+    pub moved_workers: Vec<usize>,
+}
+
+const OPENERS: &[&str] = &[
+    "Hey guys im new in town",
+    "Sweet and discreet visiting",
+    "Upscale companion available now",
+    "No rush fun lets play",
+    "Back in {CITY} for a short time",
+    "100 percent real pics",
+];
+
+const BODY: &[&str] = &[
+    "call me at {PHONE} anytime.",
+    // Price formats vary on purpose: each deterministic extraction rule
+    // only covers one shape (experiment E9's stacked-regex plateau).
+    "rates start at ${PRICE} tonight.",
+    "{PRICE} roses for a sweet time.",
+    "donations {PRICE} no explicit talk.",
+    "ask about my {PRICE} special offer.",
+    "im {AGE} yrs young and fun.",
+    "in {CITY} this week only.",
+    "txt {PHONE} serious gentlemen only.",
+    "available in {CITY} incall outcall.",
+];
+
+/// Generate the corpus.
+pub fn generate(config: &AdsConfig) -> AdsCorpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Workers: phone + home city + whether they move.
+    let num_moved = (config.num_workers as f64 * config.moved_fraction).round() as usize;
+    let mut worker_phone = Vec::new();
+    let mut worker_home = Vec::new();
+    for w in 0..config.num_workers {
+        worker_phone.push(format!(
+            "{}{:03}{:04}",
+            rng.gen_range(201..990),
+            rng.gen_range(100..1000),
+            w
+        ));
+        worker_home.push((*CITIES.choose(&mut rng).expect("city")).to_string());
+    }
+    let moved_workers: Vec<usize> = {
+        let mut all: Vec<usize> = (0..config.num_workers).collect();
+        all.shuffle(&mut rng);
+        all.into_iter().take(num_moved).collect()
+    };
+
+    let mut documents = Vec::with_capacity(config.num_ads);
+    let mut truth = Vec::with_capacity(config.num_ads);
+    let mut worker_cities: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+
+    for ad_id in 0..config.num_ads {
+        let worker = rng.gen_range(0..config.num_workers);
+        let city = if moved_workers.contains(&worker) {
+            // Movement pattern: any city, rarely home.
+            (*CITIES.choose(&mut rng).expect("city")).to_string()
+        } else {
+            worker_home[worker].clone()
+        };
+        let price: i64 = [80, 100, 120, 150, 180, 200, 250, 300]
+            .choose(&mut rng)
+            .copied()
+            .expect("price");
+        let age: i64 = rng.gen_range(19..38);
+        let phone = worker_phone[worker].clone();
+        let include_price = rng.gen::<f64>() >= config.missing_field_rate;
+        let include_phone = rng.gen::<f64>() >= config.missing_field_rate;
+
+        let mut parts = vec![(*OPENERS.choose(&mut rng).expect("opener")).to_string()];
+        let mut body: Vec<&str> = BODY.to_vec();
+        body.shuffle(&mut rng);
+        let mut used_price = false;
+        let mut used_phone = false;
+        for b in body.into_iter().take(4 + rng.gen_range(0..3)) {
+            if b.contains("{PRICE}") {
+                if !include_price || used_price {
+                    continue;
+                }
+                used_price = true;
+            }
+            if b.contains("{PHONE}") {
+                if !include_phone || used_phone {
+                    continue;
+                }
+                used_phone = true;
+            }
+            parts.push(b.to_string());
+        }
+        // Every ad names its city somewhere (location is the one field the
+        // §6.4 analyses always need).
+        if !parts.iter().any(|p| p.contains("{CITY}")) {
+            parts.push("visiting {CITY} now.".to_string());
+        }
+        let text = parts
+            .join(" ")
+            .replace("{CITY}", &city)
+            .replace("{PRICE}", &price.to_string())
+            .replace("{PHONE}", &format_phone(&phone))
+            .replace("{AGE}", &age.to_string());
+
+        worker_cities.entry(worker).or_default().push(city.clone());
+        truth.push(AdTruth {
+            ad_id: ad_id as u64,
+            worker,
+            phone: used_phone.then(|| phone.clone()),
+            price: used_price.then_some(price),
+            city,
+            age,
+        });
+        documents.push(Document { doc_id: ad_id as u64, text });
+    }
+
+    for cities in worker_cities.values_mut() {
+        cities.sort();
+        cities.dedup();
+    }
+
+    AdsCorpus { documents, truth, worker_cities, moved_workers }
+}
+
+fn format_phone(digits: &str) -> String {
+    if digits.len() == 10 {
+        format!("{}-{}-{}", &digits[..3], &digits[3..6], &digits[6..])
+    } else {
+        digits.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&AdsConfig::default());
+        let b = generate(&AdsConfig::default());
+        assert_eq!(a.documents[0].text, b.documents[0].text);
+        assert_eq!(a.truth[0], b.truth[0]);
+    }
+
+    #[test]
+    fn truth_fields_appear_in_text() {
+        let c = generate(&AdsConfig::default());
+        for (doc, t) in c.documents.iter().zip(&c.truth).take(50) {
+            if let Some(p) = t.price {
+                assert!(doc.text.contains(&p.to_string()), "{}", doc.text);
+            }
+            if let Some(ph) = &t.phone {
+                assert!(doc.text.contains(&format_phone(ph)), "{}", doc.text);
+            }
+            assert!(doc.text.contains(&t.city));
+        }
+    }
+
+    #[test]
+    fn moved_workers_post_from_more_cities() {
+        let c = generate(&AdsConfig { num_ads: 2000, ..Default::default() });
+        let avg_cities = |workers: &[usize]| -> f64 {
+            let mut total = 0.0f64;
+            let mut n = 0.0f64;
+            for w in workers {
+                if let Some(cs) = c.worker_cities.get(w) {
+                    total += cs.len() as f64;
+                    n += 1.0;
+                }
+            }
+            total / n.max(1.0)
+        };
+        let stationary: Vec<usize> =
+            (0..60).filter(|w| !c.moved_workers.contains(w)).collect();
+        assert!(avg_cities(&c.moved_workers) > 2.0 * avg_cities(&stationary));
+    }
+
+    #[test]
+    fn missing_fields_respect_rate() {
+        let c = generate(&AdsConfig { num_ads: 1000, ..Default::default() });
+        let with_price = c.truth.iter().filter(|t| t.price.is_some()).count();
+        // ~80% should carry a price (within generous tolerance).
+        assert!((600..950).contains(&with_price), "{with_price}");
+    }
+}

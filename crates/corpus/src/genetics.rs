@@ -1,0 +1,211 @@
+//! Medical-genetics / pharmacogenomics corpus (§6.1, §6.2 of the paper).
+//!
+//! Synthetic research-paper abstracts relating gene symbols to phenotypes
+//! (and drugs, for the pharmacogenomics variant), with an OMIM-like
+//! incomplete curated KB for distant supervision.
+
+use crate::names::{gene_symbols, DRUGS, PHENOTYPES};
+use crate::spouse::Document;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration for the genetics corpus.
+#[derive(Debug, Clone)]
+pub struct GeneticsConfig {
+    pub num_docs: usize,
+    pub sentences_per_doc: usize,
+    pub num_genes: usize,
+    /// Planted true gene–phenotype associations.
+    pub num_associations: usize,
+    /// Fraction of associations in the curated KB (OMIM grows ~50
+    /// records/month — it is always incomplete).
+    pub kb_fraction: f64,
+    /// Probability a sentence mentioning a gene+phenotype does NOT express
+    /// an association ("X was not linked to Y", co-mention noise).
+    pub negative_mention_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for GeneticsConfig {
+    fn default() -> Self {
+        GeneticsConfig {
+            num_docs: 200,
+            sentences_per_doc: 4,
+            num_genes: 60,
+            num_associations: 50,
+            kb_fraction: 0.4,
+            negative_mention_rate: 0.25,
+            seed: 0x6E6E,
+        }
+    }
+}
+
+/// Generated corpus + ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneticsCorpus {
+    pub documents: Vec<Document>,
+    pub genes: Vec<String>,
+    /// Planted (gene, phenotype) associations.
+    pub associations: BTreeSet<(String, String)>,
+    /// Associations actually expressed positively somewhere.
+    pub expressed: BTreeSet<(String, String)>,
+    /// Incomplete curated KB.
+    pub kb: BTreeSet<(String, String)>,
+    /// Planted (gene, drug) interactions (pharmacogenomics variant).
+    pub drug_interactions: BTreeSet<(String, String)>,
+    pub expressed_drug: BTreeSet<(String, String)>,
+}
+
+const POSITIVE_TEMPLATES: &[&str] = &[
+    "Mutations in {G} cause {P} in affected families.",
+    "We show that {G} is associated with {P}.",
+    "Loss of {G} function leads to {P}.",
+    "Patients carrying {G} variants exhibited {P}.",
+    "{G} regulates pathways implicated in {P}.",
+];
+
+const NEGATIVE_TEMPLATES: &[&str] = &[
+    "No evidence linked {G} to {P} in this cohort.",
+    "{G} expression was measured in patients with {P}.",
+    "Screening of {G} in {P} cases revealed no variants.",
+];
+
+const DRUG_TEMPLATES: &[&str] = &[
+    "{G} variants alter the response to {D}.",
+    "Dosing of {D} should consider {G} genotype.",
+    "{G} polymorphisms predict {D} toxicity.",
+];
+
+const FILLER: &[&str] = &[
+    "Samples were sequenced on a standard platform.",
+    "The study was approved by the institutional review board.",
+    "Further replication in larger cohorts is required.",
+    "Expression was quantified by standard assays.",
+];
+
+/// Generate the corpus.
+pub fn generate(config: &GeneticsConfig) -> GeneticsCorpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let genes = gene_symbols(config.num_genes);
+
+    // Planted associations: sample distinct (gene, phenotype) pairs.
+    let mut associations = BTreeSet::new();
+    while associations.len() < config.num_associations {
+        let g = genes.choose(&mut rng).expect("gene").clone();
+        let p = (*PHENOTYPES.choose(&mut rng).expect("phenotype")).to_string();
+        associations.insert((g, p));
+    }
+    // Drug interactions for the pharmacogenomics variant.
+    let mut drug_interactions = BTreeSet::new();
+    while drug_interactions.len() < config.num_associations / 2 {
+        let g = genes.choose(&mut rng).expect("gene").clone();
+        let d = (*DRUGS.choose(&mut rng).expect("drug")).to_string();
+        drug_interactions.insert((g, d));
+    }
+
+    let assoc_vec: Vec<&(String, String)> = associations.iter().collect();
+    let drug_vec: Vec<&(String, String)> = drug_interactions.iter().collect();
+    let mut expressed = BTreeSet::new();
+    let mut expressed_drug = BTreeSet::new();
+
+    let mut documents = Vec::with_capacity(config.num_docs);
+    for doc_id in 0..config.num_docs {
+        let mut sentences = Vec::new();
+        for _ in 0..config.sentences_per_doc {
+            let roll = rng.gen::<f64>();
+            if roll < 0.15 {
+                sentences.push((*FILLER.choose(&mut rng).expect("filler")).to_string());
+            } else if roll < 0.15 + config.negative_mention_rate {
+                // Co-mention that does NOT assert an association: random
+                // gene × random phenotype through a negative template.
+                let g = genes.choose(&mut rng).expect("gene");
+                let p = PHENOTYPES.choose(&mut rng).expect("phenotype");
+                sentences.push(
+                    NEGATIVE_TEMPLATES
+                        .choose(&mut rng)
+                        .expect("template")
+                        .replace("{G}", g)
+                        .replace("{P}", p),
+                );
+            } else if roll < 0.82 {
+                let (g, p) = assoc_vec.choose(&mut rng).copied().expect("assoc");
+                sentences.push(
+                    POSITIVE_TEMPLATES
+                        .choose(&mut rng)
+                        .expect("template")
+                        .replace("{G}", g)
+                        .replace("{P}", p),
+                );
+                expressed.insert((g.clone(), p.clone()));
+            } else {
+                let (g, d) = drug_vec.choose(&mut rng).copied().expect("drug pair");
+                sentences.push(
+                    DRUG_TEMPLATES
+                        .choose(&mut rng)
+                        .expect("template")
+                        .replace("{G}", g)
+                        .replace("{D}", d),
+                );
+                expressed_drug.insert((g.clone(), d.clone()));
+            }
+        }
+        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+    }
+
+    let kb_count = (associations.len() as f64 * config.kb_fraction).round() as usize;
+    let mut assoc_list: Vec<(String, String)> = associations.iter().cloned().collect();
+    assoc_list.shuffle(&mut rng);
+    let kb: BTreeSet<(String, String)> = assoc_list.into_iter().take(kb_count).collect();
+
+    GeneticsCorpus {
+        documents,
+        genes,
+        associations,
+        expressed,
+        kb,
+        drug_interactions,
+        expressed_drug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&GeneticsConfig::default());
+        let b = generate(&GeneticsConfig::default());
+        assert_eq!(a.documents[3].text, b.documents[3].text);
+        assert_eq!(a.kb, b.kb);
+    }
+
+    #[test]
+    fn associations_counts_match_config() {
+        let c = generate(&GeneticsConfig::default());
+        assert_eq!(c.associations.len(), 50);
+        assert!(c.kb.len() < c.associations.len());
+        assert!(c.kb.is_subset(&c.associations));
+    }
+
+    #[test]
+    fn expressed_pairs_have_gene_and_phenotype_in_text() {
+        let c = generate(&GeneticsConfig::default());
+        assert!(!c.expressed.is_empty());
+        let all: String =
+            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        for (g, p) in c.expressed.iter().take(5) {
+            assert!(all.contains(g));
+            assert!(all.contains(p));
+        }
+    }
+
+    #[test]
+    fn drug_interactions_generated() {
+        let c = generate(&GeneticsConfig::default());
+        assert!(!c.drug_interactions.is_empty());
+        assert!(!c.expressed_drug.is_empty());
+    }
+}

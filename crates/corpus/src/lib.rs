@@ -1,0 +1,27 @@
+//! `deepdive-corpus`: seeded synthetic corpora with planted ground truth for
+//! the DeepDive paper's application domains (§6).
+//!
+//! The paper's corpora (TAC-KBP news, PubMed, the paleo literature, 45M sex
+//! ads) are proprietary or unavailable offline; per the substitution policy
+//! in DESIGN.md we generate deterministic synthetic equivalents. Planting the
+//! ground truth actually *strengthens* the evaluation: exact precision and
+//! recall are computable without human annotation, and difficulty knobs
+//! (ambiguity, negative co-mentions, field sparsity, KB incompleteness) are
+//! explicit configuration.
+//!
+//! * [`spouse`] — news-style marriage/sibling text (Figure 3, TAC-KBP);
+//! * [`genetics`] — gene–phenotype / gene–drug abstracts (§6.1, §6.2);
+//! * [`materials`] — semiconductor property abstracts (§6.3);
+//! * [`ads`] — classified ads with prices/phones/cities and planted
+//!   movement patterns (§6.4).
+
+pub mod ads;
+pub mod genetics;
+pub mod materials;
+pub mod names;
+pub mod spouse;
+
+pub use ads::{AdsConfig, AdsCorpus, AdTruth};
+pub use genetics::{GeneticsConfig, GeneticsCorpus};
+pub use materials::{MaterialsConfig, MaterialsCorpus, Measurement};
+pub use spouse::{Document, SpouseConfig, SpouseCorpus};

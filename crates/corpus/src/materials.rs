@@ -1,0 +1,178 @@
+//! Materials-science corpus (§6.3 of the paper, the Toshiba collaboration):
+//! research abstracts reporting physical properties of semiconductor
+//! formulas. The aspirational database is the "handbook of semiconductor
+//! materials and their properties" the paper says does not exist.
+
+use crate::names::{FORMULAS, PROPERTIES};
+use crate::spouse::Document;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration for the materials corpus.
+#[derive(Debug, Clone)]
+pub struct MaterialsConfig {
+    pub num_docs: usize,
+    pub sentences_per_doc: usize,
+    /// Planted (formula, property, value) measurements.
+    pub num_measurements: usize,
+    pub seed: u64,
+}
+
+impl Default for MaterialsConfig {
+    fn default() -> Self {
+        MaterialsConfig { num_docs: 150, sentences_per_doc: 4, num_measurements: 60, seed: 0x3A7 }
+    }
+}
+
+/// One planted measurement.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub struct Measurement {
+    pub formula: String,
+    pub property: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+/// Generated corpus.
+#[derive(Debug, Clone)]
+pub struct MaterialsCorpus {
+    pub documents: Vec<Document>,
+    pub measurements: Vec<Measurement>,
+    /// (formula, property) pairs actually expressed in text.
+    pub expressed: BTreeSet<(String, String)>,
+}
+
+const POSITIVE_TEMPLATES: &[&str] = &[
+    "The {P} of {F} reaches {V} {U} at room temperature.",
+    "We measured a {P} of {V} {U} for {F} thin films.",
+    "{F} exhibits a {P} of {V} {U}.",
+    "Annealed {F} samples showed {P} up to {V} {U}.",
+];
+
+const DISTRACTOR_TEMPLATES: &[&str] = &[
+    "Growth of {F} was performed by molecular beam epitaxy.",
+    "The {P} of the substrate was not characterized.",
+    "{F} devices were fabricated with standard lithography.",
+];
+
+/// Generate the corpus.
+pub fn generate(config: &MaterialsConfig) -> MaterialsCorpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Planted measurements with property-appropriate value ranges.
+    let mut measurements = Vec::new();
+    let mut seen = BTreeSet::new();
+    while measurements.len() < config.num_measurements {
+        let f = (*FORMULAS.choose(&mut rng).expect("formula")).to_string();
+        let &(p, u) = PROPERTIES.choose(&mut rng).expect("property");
+        if !seen.insert((f.clone(), p.to_string())) {
+            continue;
+        }
+        let value = match p {
+            "electron mobility" => (rng.gen_range(100..90000) as f64).round(),
+            "band gap" => (rng.gen_range(30..620) as f64) / 100.0,
+            "thermal conductivity" => (rng.gen_range(10..4900) as f64) / 10.0,
+            "breakdown field" => (rng.gen_range(1..120) as f64) / 10.0,
+            "dielectric constant" => (rng.gen_range(20..300) as f64) / 10.0,
+            _ => (rng.gen_range(1..100) as f64) * 1e17,
+        };
+        measurements.push(Measurement {
+            formula: f,
+            property: p.to_string(),
+            value,
+            unit: u.to_string(),
+        });
+    }
+
+    let mut expressed = BTreeSet::new();
+    let mut documents = Vec::with_capacity(config.num_docs);
+    for doc_id in 0..config.num_docs {
+        let mut sentences = Vec::new();
+        for _ in 0..config.sentences_per_doc {
+            if rng.gen::<f64>() < 0.35 {
+                let f = FORMULAS.choose(&mut rng).expect("formula");
+                let &(p, _) = PROPERTIES.choose(&mut rng).expect("property");
+                sentences.push(
+                    DISTRACTOR_TEMPLATES
+                        .choose(&mut rng)
+                        .expect("template")
+                        .replace("{F}", f)
+                        .replace("{P}", p),
+                );
+            } else {
+                let m = measurements.choose(&mut rng).expect("measurement");
+                sentences.push(
+                    POSITIVE_TEMPLATES
+                        .choose(&mut rng)
+                        .expect("template")
+                        .replace("{F}", &m.formula)
+                        .replace("{P}", &m.property)
+                        .replace("{V}", &format_value(m.value))
+                        .replace("{U}", &m.unit)
+                        .replace("  ", " "),
+                );
+                expressed.insert((m.formula.clone(), m.property.clone()));
+            }
+        }
+        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+    }
+
+    MaterialsCorpus { documents, measurements, expressed }
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1e}", v)
+    } else if v.fract() == 0.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&MaterialsConfig::default());
+        let b = generate(&MaterialsConfig::default());
+        assert_eq!(a.documents[0].text, b.documents[0].text);
+    }
+
+    #[test]
+    fn measurements_are_unique_per_formula_property() {
+        let c = generate(&MaterialsConfig::default());
+        let keys: BTreeSet<(String, String)> = c
+            .measurements
+            .iter()
+            .map(|m| (m.formula.clone(), m.property.clone()))
+            .collect();
+        assert_eq!(keys.len(), c.measurements.len());
+    }
+
+    #[test]
+    fn expressed_measurements_appear_in_text() {
+        let c = generate(&MaterialsConfig::default());
+        assert!(!c.expressed.is_empty());
+        let all: String =
+            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        for (f, p) in c.expressed.iter().take(5) {
+            assert!(all.contains(f));
+            assert!(all.contains(p));
+        }
+    }
+
+    #[test]
+    fn values_are_property_plausible() {
+        let c = generate(&MaterialsConfig::default());
+        for m in &c.measurements {
+            if m.property == "band gap" {
+                assert!((0.0..10.0).contains(&m.value), "{m:?}");
+            }
+        }
+    }
+}

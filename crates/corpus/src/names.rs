@@ -1,0 +1,141 @@
+//! Shared name/word pools for the synthetic corpora.
+
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
+    "Charles", "Sarah", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Sandra", "Anthony",
+    "Betty", "Mark", "Ashley", "Donald", "Emily", "Steven", "Kimberly", "Andrew", "Margaret",
+    "Paul", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
+    "Melissa", "George", "Deborah", "Timothy", "Stephanie", "Ronald", "Rebecca", "Jason", "Laura",
+    "Edward", "Helen", "Jeffrey", "Sharon", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen", "Brenda",
+    "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon", "Samantha", "Benjamin",
+    "Katherine", "Samuel", "Christine", "Gregory", "Debra", "Alexander", "Rachel", "Patrick",
+    "Carolyn", "Frank", "Janet", "Raymond", "Catherine", "Jack", "Maria", "Dennis", "Heather",
+    "Jerry", "Diane",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+];
+
+pub const CITIES: &[&str] = &[
+    "Chicago", "Houston", "Phoenix", "Philadelphia", "San Antonio", "San Diego", "Dallas",
+    "Austin", "Jacksonville", "Columbus", "Charlotte", "Indianapolis", "Seattle", "Denver",
+    "Boston", "Nashville", "Detroit", "Portland", "Memphis", "Las Vegas", "Louisville",
+    "Baltimore", "Milwaukee", "Albuquerque", "Tucson", "Fresno", "Sacramento", "Atlanta",
+    "Miami", "Oakland", "Minneapolis", "Tulsa", "Cleveland", "Wichita", "Arlington",
+];
+
+/// Phenotype phrases for the medical-genetics corpus (OMIM-flavored).
+pub const PHENOTYPES: &[&str] = &[
+    "retinitis pigmentosa", "muscular dystrophy", "cardiac arrhythmia", "hearing loss",
+    "cystic fibrosis", "sickle cell anemia", "macular degeneration", "epileptic encephalopathy",
+    "short stature", "intellectual disability", "polycystic kidney disease", "ataxia",
+    "hypertrophic cardiomyopathy", "congenital cataract", "immune deficiency",
+    "peripheral neuropathy", "skeletal dysplasia", "optic atrophy", "ichthyosis",
+    "hypogonadism", "microcephaly", "anemia", "osteoporosis", "albinism", "deafness",
+    "night blindness", "seizures", "hypotonia", "nephrotic syndrome", "cleft palate",
+];
+
+/// Drug names for pharmacogenomics.
+pub const DRUGS: &[&str] = &[
+    "warfarin", "clopidogrel", "simvastatin", "metformin", "tamoxifen", "codeine",
+    "azathioprine", "carbamazepine", "abacavir", "irinotecan", "mercaptopurine", "phenytoin",
+    "voriconazole", "allopurinol", "capecitabine", "tacrolimus", "omeprazole", "citalopram",
+];
+
+/// Semiconductor-ish chemical formulas.
+pub const FORMULAS: &[&str] = &[
+    "GaAs", "InP", "GaN", "SiC", "ZnO", "CdTe", "InSb", "AlN", "GaSb", "InAs", "ZnS", "CdS",
+    "Al2O3", "TiO2", "MoS2", "WSe2", "HfO2", "Ga2O3", "SnO2", "In2O3", "BN", "GaP", "ZnSe",
+    "PbS", "CuO",
+];
+
+/// Material property names with units (property, unit).
+pub const PROPERTIES: &[(&str, &str)] = &[
+    ("electron mobility", "cm2/Vs"),
+    ("band gap", "eV"),
+    ("thermal conductivity", "W/mK"),
+    ("breakdown field", "MV/cm"),
+    ("dielectric constant", ""),
+    ("carrier concentration", "cm-3"),
+];
+
+/// Deterministically generate a gene symbol pool (`AAA1`-style).
+pub fn gene_symbols(n: usize) -> Vec<String> {
+    const STEMS: &[&str] = &[
+        "BRC", "GAT", "SOX", "PAX", "FOX", "HOX", "MYC", "KRA", "EGF", "TNF", "ABC", "CFT",
+        "DMD", "FBN", "COL", "LMN", "MEC", "NOT", "PTE", "RET", "SHH", "TGF", "VHL", "WNT",
+        "XPA", "ZNF", "CDK", "MAP", "JAK", "STA",
+    ];
+    (0..n).map(|i| format!("{}{}", STEMS[i % STEMS.len()], 1 + i / STEMS.len())).collect()
+}
+
+/// Deterministically generate `n` distinct person names.
+pub fn person_names(n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    'outer: for suffix in 0usize.. {
+        for f in FIRST_NAMES {
+            for l in LAST_NAMES {
+                if i >= n {
+                    break 'outer;
+                }
+                if suffix == 0 {
+                    out.push(format!("{f} {l}"));
+                } else {
+                    out.push(format!("{f} {l} {}", roman(suffix + 1)));
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn roman(n: usize) -> &'static str {
+    match n {
+        2 => "II",
+        3 => "III",
+        4 => "IV",
+        _ => "V",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn person_names_are_distinct() {
+        let names = person_names(5000);
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn gene_symbols_are_distinct_and_shaped() {
+        let gs = gene_symbols(100);
+        let set: HashSet<&String> = gs.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(gs.iter().all(|g| g.chars().any(|c| c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn pools_are_nonempty() {
+        assert!(FIRST_NAMES.len() >= 50);
+        assert!(LAST_NAMES.len() >= 50);
+        assert!(PHENOTYPES.len() >= 20);
+        assert!(FORMULAS.len() >= 20);
+    }
+}

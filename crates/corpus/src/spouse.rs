@@ -1,0 +1,332 @@
+//! The spouse / TAC-KBP-style corpus (Figure 3 of the paper).
+//!
+//! Synthetic news-flavored documents mentioning people in relationships.
+//! Ground truth is planted: we know exactly which real-world pairs are
+//! married, which are siblings (the classic distant-supervision negative
+//! class, §3.2), and which sentences express which relation — so exact
+//! precision/recall is computable without human annotation.
+
+use crate::names::person_names;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration for the spouse corpus generator.
+#[derive(Debug, Clone)]
+pub struct SpouseConfig {
+    pub num_docs: usize,
+    pub sentences_per_doc: usize,
+    /// Distinct people in the universe.
+    pub num_people: usize,
+    /// Married pairs planted in the universe.
+    pub num_married_pairs: usize,
+    /// Sibling pairs (negative relation).
+    pub num_sibling_pairs: usize,
+    /// Fraction of married pairs present in the (incomplete) KB used for
+    /// distant supervision.
+    pub kb_fraction: f64,
+    /// Probability a sentence is relational (vs. filler).
+    pub relation_density: f64,
+    /// Probability a relational sentence uses an AMBIGUOUS template that
+    /// does not actually express marriage (controls task difficulty).
+    pub ambiguity: f64,
+    /// Probability a sentence is corrupted by an OCR-style character error
+    /// inside a name (§5.2 bug class 1: "a preprocessing error emitted a
+    /// nonsense candidate (perhaps due to a bad character in the input, or
+    /// an OCR failure)").
+    pub typo_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for SpouseConfig {
+    fn default() -> Self {
+        SpouseConfig {
+            num_docs: 200,
+            sentences_per_doc: 4,
+            num_people: 120,
+            num_married_pairs: 30,
+            num_sibling_pairs: 30,
+            kb_fraction: 0.4,
+            relation_density: 0.8,
+            ambiguity: 0.15,
+            typo_rate: 0.0,
+            seed: 0x570,
+        }
+    }
+}
+
+/// One generated document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    pub doc_id: u64,
+    pub text: String,
+}
+
+/// The generated corpus plus its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SpouseCorpus {
+    pub documents: Vec<Document>,
+    /// All people (canonical full names).
+    pub people: Vec<String>,
+    /// Married pairs actually *expressed* somewhere in the corpus
+    /// (canonical, lexicographically ordered) — the recall denominator.
+    pub expressed_married: BTreeSet<(String, String)>,
+    /// All planted married pairs (superset of expressed).
+    pub married: BTreeSet<(String, String)>,
+    /// Sibling pairs (distant-supervision negatives).
+    pub siblings: BTreeSet<(String, String)>,
+    /// The incomplete KB: subset of `married` available for supervision.
+    pub kb_married: BTreeSet<(String, String)>,
+}
+
+const MARRIED_TEMPLATES: &[&str] = &[
+    "{A} and his wife {B} attended the ceremony in {C}.",
+    "{A} married {B} in {Y}.",
+    "{A} and {B} celebrated their tenth wedding anniversary.",
+    "{B}, who is married to {A}, spoke at the event.",
+    "{A} and her husband {B} bought a home near {C}.",
+    "The couple, {A} and {B}, exchanged vows last spring.",
+];
+
+const SIBLING_TEMPLATES: &[&str] = &[
+    "{A} and his brother {B} grew up in {C}.",
+    "{A} and her sister {B} founded the company together.",
+    "{B} is the younger sibling of {A}.",
+];
+
+const AMBIGUOUS_TEMPLATES: &[&str] = &[
+    "{A} met {B} at the {C} conference.",
+    "{A} and {B} appeared together on stage.",
+    "{A} praised {B} during the interview.",
+    "{A} worked with {B} for a decade.",
+];
+
+const FILLER: &[&str] = &[
+    "The committee approved the budget after a long debate.",
+    "Local officials announced new infrastructure plans.",
+    "The weather stayed unseasonably warm through the week.",
+    "Analysts expect the trend to continue next quarter.",
+    "The museum opened a new exhibition downtown.",
+];
+
+/// Generate the corpus.
+pub fn generate(config: &SpouseConfig) -> SpouseCorpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let people = person_names(config.num_people);
+
+    // Plant disjoint married and sibling pairs.
+    let mut shuffled: Vec<usize> = (0..config.num_people).collect();
+    shuffled.shuffle(&mut rng);
+    let mut married = BTreeSet::new();
+    let mut siblings = BTreeSet::new();
+    let mut cursor = 0;
+    for _ in 0..config.num_married_pairs {
+        if cursor + 1 >= shuffled.len() {
+            break;
+        }
+        married.insert(ordered(&people[shuffled[cursor]], &people[shuffled[cursor + 1]]));
+        cursor += 2;
+    }
+    for _ in 0..config.num_sibling_pairs {
+        if cursor + 1 >= shuffled.len() {
+            break;
+        }
+        siblings.insert(ordered(&people[shuffled[cursor]], &people[shuffled[cursor + 1]]));
+        cursor += 2;
+    }
+
+    let married_vec: Vec<&(String, String)> = married.iter().collect();
+    let sibling_vec: Vec<&(String, String)> = siblings.iter().collect();
+    let cities = crate::names::CITIES;
+
+    let mut expressed_married = BTreeSet::new();
+    let mut documents = Vec::with_capacity(config.num_docs);
+    for doc_id in 0..config.num_docs {
+        let mut sentences = Vec::with_capacity(config.sentences_per_doc);
+        for _ in 0..config.sentences_per_doc {
+            if rng.gen::<f64>() >= config.relation_density {
+                sentences.push((*FILLER.choose(&mut rng).expect("filler")).to_string());
+                continue;
+            }
+            let roll = rng.gen::<f64>();
+            if roll < config.ambiguity {
+                // Ambiguous sentence about a random pair (married or not).
+                let a = people.choose(&mut rng).expect("person");
+                let b = people.choose(&mut rng).expect("person");
+                if a == b {
+                    continue;
+                }
+                sentences.push(fill(
+                    AMBIGUOUS_TEMPLATES.choose(&mut rng).expect("template"),
+                    a,
+                    b,
+                    cities.choose(&mut rng).expect("city"),
+                    &mut rng,
+                ));
+            } else if roll < config.ambiguity + (1.0 - config.ambiguity) * 0.55 {
+                if let Some((a, b)) = married_vec.choose(&mut rng).copied() {
+                    sentences.push(fill(
+                        MARRIED_TEMPLATES.choose(&mut rng).expect("template"),
+                        a,
+                        b,
+                        cities.choose(&mut rng).expect("city"),
+                        &mut rng,
+                    ));
+                    expressed_married.insert(ordered(a, b));
+                }
+            } else if let Some((a, b)) = sibling_vec.choose(&mut rng).copied() {
+                sentences.push(fill(
+                    SIBLING_TEMPLATES.choose(&mut rng).expect("template"),
+                    a,
+                    b,
+                    cities.choose(&mut rng).expect("city"),
+                    &mut rng,
+                ));
+            }
+        }
+        // OCR-style corruption, per sentence.
+        let sentences: Vec<String> = sentences
+            .into_iter()
+            .map(|s| {
+                if config.typo_rate > 0.0 && rng.gen::<f64>() < config.typo_rate {
+                    inject_ocr_error(&s, &mut rng)
+                } else {
+                    s
+                }
+            })
+            .collect();
+        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+    }
+
+    // Incomplete KB: deterministic subset of the married pairs.
+    let kb_count = (married.len() as f64 * config.kb_fraction).round() as usize;
+    let mut married_list: Vec<(String, String)> = married.iter().cloned().collect();
+    married_list.shuffle(&mut rng);
+    let kb_married: BTreeSet<(String, String)> =
+        married_list.into_iter().take(kb_count).collect();
+
+    SpouseCorpus { documents, people, expressed_married, married, siblings, kb_married }
+}
+
+/// Corrupt one alphabetic character (uppercase-biased, so names are hit) —
+/// a minimal OCR-failure model.
+fn inject_ocr_error(text: &str, rng: &mut StdRng) -> String {
+    let uppercase_positions: Vec<usize> = text
+        .char_indices()
+        .filter(|(_, c)| c.is_ascii_uppercase())
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&pos) = uppercase_positions
+        .get(rng.gen_range(0..uppercase_positions.len().max(1)).min(uppercase_positions.len().saturating_sub(1)))
+    else {
+        return text.to_string();
+    };
+    let mut out = String::with_capacity(text.len());
+    for (i, c) in text.char_indices() {
+        if i == pos {
+            // Classic OCR confusions.
+            out.push(match c {
+                'O' => '0',
+                'I' => '1',
+                'S' => '5',
+                'B' => '8',
+                other => char::from(b'A' + ((other as u8).wrapping_add(7)) % 26),
+            });
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn ordered(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+fn fill(template: &str, a: &str, b: &str, city: &str, rng: &mut StdRng) -> String {
+    let year = 1980 + rng.gen_range(0..40);
+    template
+        .replace("{A}", a)
+        .replace("{B}", b)
+        .replace("{C}", city)
+        .replace("{Y}", &year.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SpouseConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.documents.len(), b.documents.len());
+        assert_eq!(a.documents[0].text, b.documents[0].text);
+        assert_eq!(a.married, b.married);
+        assert_eq!(a.kb_married, b.kb_married);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SpouseConfig::default());
+        let b = generate(&SpouseConfig { seed: 999, ..Default::default() });
+        assert_ne!(a.documents[0].text, b.documents[0].text);
+    }
+
+    #[test]
+    fn married_and_sibling_pairs_are_disjoint() {
+        let c = generate(&SpouseConfig::default());
+        assert!(c.married.is_disjoint(&c.siblings));
+        assert_eq!(c.married.len(), 30);
+        assert_eq!(c.siblings.len(), 30);
+    }
+
+    #[test]
+    fn kb_is_incomplete_subset() {
+        let c = generate(&SpouseConfig::default());
+        assert!(c.kb_married.is_subset(&c.married));
+        assert!(c.kb_married.len() < c.married.len());
+        assert!(!c.kb_married.is_empty());
+    }
+
+    #[test]
+    fn expressed_pairs_appear_in_text() {
+        let c = generate(&SpouseConfig::default());
+        assert!(!c.expressed_married.is_empty());
+        let all_text: String =
+            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        for (a, b) in c.expressed_married.iter().take(5) {
+            assert!(all_text.contains(a) && all_text.contains(b));
+        }
+    }
+
+    #[test]
+    fn typo_rate_corrupts_some_documents() {
+        let clean = generate(&SpouseConfig::default());
+        let noisy = generate(&SpouseConfig { typo_rate: 0.8, ..Default::default() });
+        let differing = clean
+            .documents
+            .iter()
+            .zip(&noisy.documents)
+            .filter(|(a, b)| a.text != b.text)
+            .count();
+        assert!(differing > clean.documents.len() / 2, "only {differing} corrupted");
+        // Truth sets are unchanged: the corruption is in the TEXT only.
+        assert_eq!(clean.married, noisy.married);
+    }
+
+    #[test]
+    fn pair_keys_are_ordered() {
+        let c = generate(&SpouseConfig::default());
+        for (a, b) in &c.married {
+            assert!(a <= b);
+        }
+    }
+}

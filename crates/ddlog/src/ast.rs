@@ -1,0 +1,70 @@
+//! Abstract syntax for the DDlog dialect.
+//!
+//! The term/atom/literal layer is shared with `deepdive-storage`'s rule IR so
+//! lowering is mostly a re-arrangement, not a translation.
+
+use deepdive_storage::{Atom, Builtin, Literal, UdfCall, ValueType};
+use serde::{Deserialize, Serialize};
+
+/// A parsed DDlog program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramAst {
+    pub statements: Vec<Statement>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Decl(RelationDecl),
+    Rule(RuleStmt),
+}
+
+/// `Name(col type, ...)` or `Name?(col type, ...)` — the `?` marks a *query*
+/// relation whose tuples become Boolean random variables (§3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationDecl {
+    pub name: String,
+    pub query: bool,
+    pub columns: Vec<(String, ValueType)>,
+    pub line: usize,
+}
+
+/// One rule:
+///
+/// * derivation rule — `Head(args) :- body.` (candidate mapping,
+///   supervision);
+/// * factor rule — any rule with a `weight = …` clause, and/or with an
+///   implication head `A(x) ^ B(x) => C(x) :- body weight = w.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleStmt {
+    pub annotations: Vec<Annotation>,
+    /// Heads. For `=>` rules the consequent is the LAST element and
+    /// `implies` is true.
+    pub heads: Vec<Atom>,
+    pub implies: bool,
+    pub body: Vec<Literal>,
+    pub builtins: Vec<Builtin>,
+    pub udfs: Vec<UdfCall>,
+    pub weight: Option<WeightSpec>,
+    pub line: usize,
+}
+
+/// `@name("...")` / `@function(equal)` annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    pub key: String,
+    pub value: String,
+}
+
+/// The `weight = …` clause of Ex. 3.2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightSpec {
+    /// `weight = 2.5` — fixed, not learned.
+    Fixed(f64),
+    /// `weight = f` where `f` is a body variable (usually a UDF output):
+    /// groundings with equal values of `f` share one learnable weight
+    /// ("weight tying").
+    Tied(String),
+    /// `weight = ?` spelled as a bare learnable constant: one learnable
+    /// weight shared by every grounding of this rule.
+    PerRule,
+}

@@ -1,0 +1,378 @@
+//! Lexer for the DDlog dialect.
+//!
+//! DDlog is the "high-level datalog-like language" of §2.3 that DeepDive
+//! programs are written in. Tokens: identifiers, numbers, strings,
+//! punctuation (`:- , ( ) . ! = != < <= > >= => ? @ ^`), comments (`#` and
+//! `//` to end of line).
+
+use std::fmt;
+
+/// One token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `:-`
+    Turnstile,
+    /// `=>`
+    Implies,
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Bang,
+    Question,
+    At,
+    Caret,
+    Underscore,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Turnstile => f.write_str("`:-`"),
+            TokenKind::Implies => f.write_str("`=>`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::Question => f.write_str("`?`"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::Caret => f.write_str("`^`"),
+            TokenKind::Underscore => f.write_str("`_`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Lexing error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a DDlog source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        match ch {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line: l, col: c });
+                bump!();
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line: l, col: c });
+                bump!();
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line: l, col: c });
+                bump!();
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, line: l, col: c });
+                bump!();
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Question, line: l, col: c });
+                bump!();
+            }
+            '@' => {
+                tokens.push(Token { kind: TokenKind::At, line: l, col: c });
+                bump!();
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, line: l, col: c });
+                bump!();
+            }
+            '!' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Ne, line: l, col: c });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, line: l, col: c });
+                }
+            }
+            '=' => {
+                bump!();
+                if i < chars.len() && chars[i] == '>' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Implies, line: l, col: c });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Eq, line: l, col: c });
+                }
+            }
+            '<' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Le, line: l, col: c });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, line: l, col: c });
+                }
+            }
+            '>' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Ge, line: l, col: c });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, line: l, col: c });
+                }
+            }
+            ':' => {
+                bump!();
+                if i < chars.len() && chars[i] == '-' {
+                    bump!();
+                    tokens.push(Token { kind: TokenKind::Turnstile, line: l, col: c });
+                } else {
+                    return Err(LexError {
+                        message: "expected `-` after `:`".into(),
+                        line: l,
+                        col: c,
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line: l,
+                            col: c,
+                        });
+                    }
+                    match chars[i] {
+                        '"' => {
+                            bump!();
+                            break;
+                        }
+                        '\\' => {
+                            bump!();
+                            if i >= chars.len() {
+                                return Err(LexError {
+                                    message: "dangling escape".into(),
+                                    line: l,
+                                    col: c,
+                                });
+                            }
+                            let esc = chars[i];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            bump!();
+                        }
+                        other => {
+                            s.push(other);
+                            bump!();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: l, col: c });
+            }
+            '-' | '0'..='9' => {
+                let mut s = String::new();
+                if ch == '-' {
+                    s.push('-');
+                    bump!();
+                    if i >= chars.len() || !chars[i].is_ascii_digit() {
+                        return Err(LexError {
+                            message: "expected digit after `-`".into(),
+                            line: l,
+                            col: c,
+                        });
+                    }
+                }
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.'
+                            && !is_float
+                            && i + 1 < chars.len()
+                            && chars[i + 1].is_ascii_digit()))
+                {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    s.push(chars[i]);
+                    bump!();
+                }
+                if is_float {
+                    let v = s.parse::<f64>().map_err(|e| LexError {
+                        message: format!("bad float `{s}`: {e}"),
+                        line: l,
+                        col: c,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Float(v), line: l, col: c });
+                } else {
+                    let v = s.parse::<i64>().map_err(|e| LexError {
+                        message: format!("bad integer `{s}`: {e}"),
+                        line: l,
+                        col: c,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(v), line: l, col: c });
+                }
+            }
+            '_' if i + 1 >= chars.len() || !is_ident_char(chars[i + 1]) => {
+                tokens.push(Token { kind: TokenKind::Underscore, line: l, col: c });
+                bump!();
+            }
+            c0 if c0.is_alphabetic() || c0 == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    s.push(chars[i]);
+                    bump!();
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), line: l, col: c });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: l,
+                    col: c,
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_rule_punctuation() {
+        let ks = kinds("Q(x) :- R(x, _), x != 3.");
+        assert!(ks.contains(&TokenKind::Turnstile));
+        assert!(ks.contains(&TokenKind::Underscore));
+        assert!(ks.contains(&TokenKind::Ne));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        let ks = kinds(r#"W(1, -2, 3.5, "a\"b")"#);
+        assert!(ks.contains(&TokenKind::Int(1)));
+        assert!(ks.contains(&TokenKind::Int(-2)));
+        assert!(ks.contains(&TokenKind::Float(3.5)));
+        assert!(ks.contains(&TokenKind::Str("a\"b".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("# full line\nQ(x) // trailing\n:- R(x).");
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "Q")));
+        assert!(ks.contains(&TokenKind::Turnstile));
+    }
+
+    #[test]
+    fn implies_vs_eq_and_ge() {
+        let ks = kinds("A => B, x >= 1, y = 2");
+        assert!(ks.contains(&TokenKind::Implies));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Eq));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("Q(x)\n  :- R(x).").unwrap();
+        let turnstile = ts.iter().find(|t| t.kind == TokenKind::Turnstile).unwrap();
+        assert_eq!(turnstile.line, 2);
+        assert_eq!(turnstile.col, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("Q(\"oops)").is_err());
+    }
+
+    #[test]
+    fn underscore_prefixed_ident_is_ident() {
+        let ks = kinds("_foo _");
+        assert!(matches!(&ks[0], TokenKind::Ident(s) if s == "_foo"));
+        assert_eq!(ks[1], TokenKind::Underscore);
+    }
+}

@@ -1,0 +1,43 @@
+//! `deepdive-ddlog`: the DDlog declarative language of the DeepDive paper
+//! (§2.3: "the developer uses a high-level datalog-like language called
+//! DDlog to describe the structured extraction problem").
+//!
+//! The dialect implemented here covers everything the paper's examples use:
+//!
+//! ```text
+//! # Relation declarations; `?` marks a query relation whose tuples become
+//! # Boolean random variables (§3.3).
+//! PersonCandidate(s id, m id).
+//! MarriedMentions?(m1 id, m2 id).
+//!
+//! # (R1) candidate mapping — plain datalog, runs on the relational store.
+//! MarriedCandidate(m1, m2) :-
+//!     PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.
+//!
+//! # (S1) distant supervision — derives the evidence relation.
+//! MarriedMentions_Ev(m1, m2, true) :-
+//!     MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+//!
+//! # (FE1) feature extraction with WEIGHT TYING: groundings that share the
+//! # value of `f` share one learnable weight (Ex. 3.2).
+//! MarriedMentions(m1, m2) :-
+//!     MarriedCandidate(m1, m2), Sentence(s, sent),
+//!     f = phrase(m1, m2, sent)
+//!     weight = f.
+//!
+//! # Correlation rules (Markov-logic style, §3.1 "rich correlations"):
+//! HasSpouse(a, b) => HasSpouse(b, a) :- PersonPair(a, b) weight = 5.
+//! ```
+//!
+//! Weight specs: `weight = 2.5` (fixed), `weight = ?` (one learnable weight
+//! per rule), `weight = v` (tied by the value of body variable `v`).
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Annotation, ProgramAst, RelationDecl, RuleStmt, Statement, WeightSpec};
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use lower::{compile, lower, DdlogError, DdlogProgram, FactorRule, LowerError};
+pub use parser::{parse, ParseError};

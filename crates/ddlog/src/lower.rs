@@ -1,0 +1,379 @@
+//! Lowering: AST → validated program (schemas + derivation rules + factor
+//! rules).
+//!
+//! The split mirrors DeepDive's execution phases (§3): derivation rules run
+//! on the relational store (candidate generation §3.1, supervision §3.2);
+//! factor rules drive grounding (§3.3), each grounding producing one factor
+//! whose weight is fixed, per-rule learnable, or tied by a feature value.
+
+use crate::ast::{ProgramAst, RelationDecl, RuleStmt, Statement, WeightSpec};
+use crate::parser::{parse, ParseError};
+use deepdive_factorgraph::FactorFunction;
+use deepdive_storage::{Atom, Builtin, Literal, Rule, Schema, UdfCall};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Semantic error produced during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Errors from compiling DDlog source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdlogError {
+    Parse(ParseError),
+    Lower(LowerError),
+}
+
+impl fmt::Display for DdlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdlogError::Parse(e) => e.fmt(f),
+            DdlogError::Lower(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DdlogError {}
+
+impl From<ParseError> for DdlogError {
+    fn from(e: ParseError) -> Self {
+        DdlogError::Parse(e)
+    }
+}
+
+impl From<LowerError> for DdlogError {
+    fn from(e: LowerError) -> Self {
+        DdlogError::Lower(e)
+    }
+}
+
+/// A factor rule ready for grounding: heads become factor arguments (the
+/// consequent last for `Imply`), the body is a relational query, and the
+/// weight spec picks fixed / per-rule / tied-by-value semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorRule {
+    pub name: String,
+    pub function: FactorFunction,
+    pub heads: Vec<Atom>,
+    pub body: Vec<Literal>,
+    pub builtins: Vec<Builtin>,
+    pub udfs: Vec<UdfCall>,
+    pub weight: WeightSpec,
+}
+
+/// A fully lowered DDlog program.
+#[derive(Debug, Clone, Default)]
+pub struct DdlogProgram {
+    /// Declared relations, with the query flag (`?`).
+    pub schemas: Vec<(Schema, bool)>,
+    /// Rules executed on the relational store.
+    pub derivation_rules: Vec<Rule>,
+    /// Rules grounded into factors.
+    pub factor_rules: Vec<FactorRule>,
+}
+
+impl DdlogProgram {
+    pub fn query_relations(&self) -> impl Iterator<Item = &Schema> {
+        self.schemas.iter().filter(|(_, q)| *q).map(|(s, _)| s)
+    }
+
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.iter().find(|(s, _)| s.name == name).map(|(s, _)| s)
+    }
+
+    pub fn is_query(&self, name: &str) -> bool {
+        self.schemas.iter().any(|(s, q)| *q && s.name == name)
+    }
+}
+
+/// Compile DDlog source end to end (parse + lower).
+pub fn compile(src: &str) -> Result<DdlogProgram, DdlogError> {
+    let ast = parse(src)?;
+    Ok(lower(&ast)?)
+}
+
+/// Lower a parsed AST, validating declarations and rule shapes.
+pub fn lower(ast: &ProgramAst) -> Result<DdlogProgram, LowerError> {
+    let mut prog = DdlogProgram::default();
+    let mut declared: HashMap<String, (usize, bool)> = HashMap::new(); // name -> (arity, query)
+
+    for stmt in &ast.statements {
+        if let Statement::Decl(d) = stmt {
+            lower_decl(d, &mut prog, &mut declared)?;
+        }
+    }
+    let mut auto_name = 0usize;
+    for stmt in &ast.statements {
+        if let Statement::Rule(r) = stmt {
+            lower_rule(r, &mut prog, &declared, &mut auto_name)?;
+        }
+    }
+    Ok(prog)
+}
+
+fn lower_decl(
+    d: &RelationDecl,
+    prog: &mut DdlogProgram,
+    declared: &mut HashMap<String, (usize, bool)>,
+) -> Result<(), LowerError> {
+    if declared.contains_key(&d.name) {
+        return Err(LowerError {
+            message: format!("relation `{}` declared twice", d.name),
+            line: d.line,
+        });
+    }
+    let mut b = Schema::build(&d.name);
+    let mut seen = HashSet::new();
+    for (col, ty) in &d.columns {
+        if !seen.insert(col.clone()) {
+            return Err(LowerError {
+                message: format!("duplicate column `{col}` in `{}`", d.name),
+                line: d.line,
+            });
+        }
+        b = b.col(col, *ty);
+    }
+    declared.insert(d.name.clone(), (d.columns.len(), d.query));
+    prog.schemas.push((b.finish(), d.query));
+    Ok(())
+}
+
+fn lower_rule(
+    r: &RuleStmt,
+    prog: &mut DdlogProgram,
+    declared: &HashMap<String, (usize, bool)>,
+    auto_name: &mut usize,
+) -> Result<(), LowerError> {
+    // All referenced relations must be declared with matching arity.
+    let check_atom = |a: &Atom| -> Result<(), LowerError> {
+        match declared.get(&a.relation) {
+            None => Err(LowerError {
+                message: format!("relation `{}` is not declared", a.relation),
+                line: r.line,
+            }),
+            Some((arity, _)) if *arity != a.terms.len() => Err(LowerError {
+                message: format!(
+                    "`{}` has arity {}, used with {} terms",
+                    a.relation,
+                    arity,
+                    a.terms.len()
+                ),
+                line: r.line,
+            }),
+            _ => Ok(()),
+        }
+    };
+    for h in &r.heads {
+        check_atom(h)?;
+    }
+    for l in &r.body {
+        check_atom(&l.atom)?;
+    }
+
+    let name = r
+        .annotations
+        .iter()
+        .find(|a| a.key == "name")
+        .map(|a| a.value.clone())
+        .unwrap_or_else(|| {
+            *auto_name += 1;
+            format!("rule_{auto_name}")
+        });
+
+    let is_factor_rule = r.weight.is_some() || r.implies;
+    if !is_factor_rule {
+        // Derivation rule: exactly one head, executed on the store.
+        let rule = Rule {
+            name,
+            head: r.heads[0].clone(),
+            body: r.body.clone(),
+            builtins: r.builtins.clone(),
+            udfs: r.udfs.clone(),
+        };
+        prog.derivation_rules.push(rule);
+        return Ok(());
+    }
+
+    // Factor rule: all heads must be query relations.
+    for h in &r.heads {
+        let (_, query) = declared[&h.relation];
+        if !query {
+            return Err(LowerError {
+                message: format!(
+                    "factor-rule head `{}` must be a query relation (declare it with `?`)",
+                    h.relation
+                ),
+                line: r.line,
+            });
+        }
+    }
+
+    let function = match r.annotations.iter().find(|a| a.key == "function") {
+        Some(a) => match a.value.as_str() {
+            "imply" => FactorFunction::Imply,
+            "and" => FactorFunction::And,
+            "or" => FactorFunction::Or,
+            "equal" => FactorFunction::Equal,
+            "istrue" => FactorFunction::IsTrue,
+            "linear" => FactorFunction::Linear,
+            "ratio" => FactorFunction::Ratio,
+            other => {
+                return Err(LowerError {
+                    message: format!("unknown factor function `{other}`"),
+                    line: r.line,
+                })
+            }
+        },
+        None => {
+            if r.implies {
+                FactorFunction::Imply
+            } else {
+                FactorFunction::IsTrue
+            }
+        }
+    };
+    if function == FactorFunction::IsTrue && r.heads.len() != 1 {
+        return Err(LowerError {
+            message: "IsTrue factor rules take exactly one head".into(),
+            line: r.line,
+        });
+    }
+
+    let weight = r.weight.clone().unwrap_or(WeightSpec::PerRule);
+    prog.factor_rules.push(FactorRule {
+        name,
+        function,
+        heads: r.heads.clone(),
+        body: r.body.clone(),
+        builtins: r.builtins.clone(),
+        udfs: r.udfs.clone(),
+        weight,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPOUSE: &str = r#"
+        # Schemas (Figure 3 of the paper)
+        PersonCandidate(s id, m id).
+        Sentence(s id, content text).
+        EL(m id, e text).
+        Married(e1 text, e2 text).
+        MarriedCandidate(m1 id, m2 id).
+        MarriedMentions_Ev(m1 id, m2 id, label bool).
+        MarriedMentions?(m1 id, m2 id).
+
+        # (R1) candidate mapping
+        MarriedCandidate(m1, m2) :-
+            PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.
+
+        # (S1) distant supervision
+        MarriedMentions_Ev(m1, m2, true) :-
+            MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+
+        # (FE1) feature extraction with weight tying
+        @name("fe1")
+        MarriedMentions(m1, m2) :-
+            MarriedCandidate(m1, m2), Sentence(s, sent),
+            f = phrase(m1, m2, sent)
+            weight = f.
+    "#;
+
+    #[test]
+    fn lowers_the_paper_example() {
+        let p = compile(SPOUSE).unwrap();
+        assert_eq!(p.schemas.len(), 7);
+        assert_eq!(p.derivation_rules.len(), 2);
+        assert_eq!(p.factor_rules.len(), 1);
+        let fr = &p.factor_rules[0];
+        assert_eq!(fr.name, "fe1");
+        assert_eq!(fr.function, FactorFunction::IsTrue);
+        assert_eq!(fr.weight, WeightSpec::Tied("f".into()));
+        assert!(p.is_query("MarriedMentions"));
+        assert!(!p.is_query("MarriedCandidate"));
+    }
+
+    #[test]
+    fn implication_rules_become_imply_factors() {
+        let src = r#"
+            A?(x int).
+            B?(x int).
+            D(x int).
+            A(x) => B(x) :- D(x) weight = 3.
+        "#;
+        let p = compile(src).unwrap();
+        let fr = &p.factor_rules[0];
+        assert_eq!(fr.function, FactorFunction::Imply);
+        assert_eq!(fr.heads.len(), 2);
+        assert_eq!(fr.weight, WeightSpec::Fixed(3.0));
+    }
+
+    #[test]
+    fn function_annotation_overrides() {
+        let src = r#"
+            A?(x int).
+            B?(x int).
+            D(x int).
+            @function(equal)
+            A(x) => B(x) :- D(x) weight = ?.
+        "#;
+        let p = compile(src).unwrap();
+        assert_eq!(p.factor_rules[0].function, FactorFunction::Equal);
+        assert_eq!(p.factor_rules[0].weight, WeightSpec::PerRule);
+    }
+
+    #[test]
+    fn undeclared_relation_rejected() {
+        let err = compile("A(x) :- B(x).").unwrap_err();
+        assert!(matches!(err, DdlogError::Lower(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let src = "B(x int).\nA(x int).\nA(x) :- B(x, y).";
+        let err = compile(src).unwrap_err();
+        let DdlogError::Lower(e) = err else { panic!() };
+        assert!(e.message.contains("arity"));
+    }
+
+    #[test]
+    fn factor_head_must_be_query_relation() {
+        let src = "A(x int).\nB(x int).\nA(x) :- B(x) weight = 1.";
+        let err = compile(src).unwrap_err();
+        let DdlogError::Lower(e) = err else { panic!() };
+        assert!(e.message.contains("query relation"));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let err = compile("A(x int).\nA(y int).").unwrap_err();
+        assert!(matches!(err, DdlogError::Lower(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = compile("A(x int, x text).").unwrap_err();
+        assert!(matches!(err, DdlogError::Lower(_)));
+    }
+
+    #[test]
+    fn rules_get_auto_names() {
+        let src = "B(x int).\nA(x int).\nA(x) :- B(x).";
+        let p = compile(src).unwrap();
+        assert_eq!(p.derivation_rules[0].name, "rule_1");
+    }
+}

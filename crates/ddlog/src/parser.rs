@@ -1,0 +1,454 @@
+//! Recursive-descent parser for the DDlog dialect.
+//!
+//! ```text
+//! program    := statement* EOF
+//! statement  := decl | rule
+//! decl       := IDENT '?'? '(' IDENT TYPE (',' IDENT TYPE)* ')' '.'
+//! rule       := annotation* atom ('^' atom)* ('=>' atom)? ':-' body wclause? '.'
+//! annotation := '@' IDENT '(' (STRING | IDENT) ')'
+//! body       := item (',' item)*
+//! item       := '!'? atom | term CMP term | IDENT '=' IDENT '(' terms ')'
+//! atom       := IDENT '(' term (',' term)* ')'
+//! term       := IDENT | '_' | INT | FLOAT | STRING | 'true' | 'false'
+//! wclause    := 'weight' '=' (NUMBER | IDENT | '?')
+//! ```
+
+use crate::ast::{Annotation, ProgramAst, RelationDecl, RuleStmt, Statement, WeightSpec};
+use crate::lexer::{lex, Token, TokenKind};
+use deepdive_storage::{Atom, CmpOp, Literal, Term, UdfCall, Value, ValueType};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse DDlog source into an AST.
+pub fn parse(src: &str) -> Result<ProgramAst, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        message: e.message.clone(),
+        line: e.line,
+        col: e.col,
+    })?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError { message: message.into(), line: t.line, col: t.col })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, ParseError> {
+        let mut statements = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            statements.push(self.statement()?);
+        }
+        Ok(ProgramAst { statements })
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        // Decl lookahead: IDENT ('?')? '(' IDENT IDENT — two consecutive
+        // identifiers inside the parens means `name type` column defs.
+        if matches!(self.peek().kind, TokenKind::Ident(_)) {
+            let mut off = 1;
+            if *self.peek_at(off) == TokenKind::Question {
+                off += 1;
+            }
+            if *self.peek_at(off) == TokenKind::LParen
+                && matches!(self.peek_at(off + 1), TokenKind::Ident(_))
+                && matches!(self.peek_at(off + 2), TokenKind::Ident(_))
+            {
+                return Ok(Statement::Decl(self.decl()?));
+            }
+        }
+        Ok(Statement::Rule(self.rule()?))
+    }
+
+    fn decl(&mut self) -> Result<RelationDecl, ParseError> {
+        let line = self.peek().line;
+        let name = self.ident()?;
+        let query = self.eat(TokenKind::Question);
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_tok = self.peek().clone();
+            let ty_name = self.ident()?;
+            let ty = match ty_name.as_str() {
+                "int" => ValueType::Int,
+                "float" => ValueType::Float,
+                "text" => ValueType::Text,
+                "bool" => ValueType::Bool,
+                "id" => ValueType::Id,
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "unknown column type `{other}` (expected int/float/text/bool/id)"
+                        ),
+                        line: ty_tok.line,
+                        col: ty_tok.col,
+                    })
+                }
+            };
+            columns.push((col, ty));
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Dot)?;
+        Ok(RelationDecl { name, query, columns, line })
+    }
+
+    fn annotation(&mut self) -> Result<Annotation, ParseError> {
+        self.expect(TokenKind::At)?;
+        let key = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let value = match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.bump();
+                s
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                s
+            }
+            other => return self.err(format!("expected string or identifier, found {other}")),
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(Annotation { key, value })
+    }
+
+    fn rule(&mut self) -> Result<RuleStmt, ParseError> {
+        let line = self.peek().line;
+        let mut annotations = Vec::new();
+        while self.peek().kind == TokenKind::At {
+            annotations.push(self.annotation()?);
+        }
+        let mut heads = vec![self.atom()?];
+        while self.eat(TokenKind::Caret) {
+            heads.push(self.atom()?);
+        }
+        let implies = if self.eat(TokenKind::Implies) {
+            heads.push(self.atom()?);
+            true
+        } else {
+            if heads.len() > 1 {
+                return self.err("multiple heads require `=>` (e.g. `A(x) ^ B(x) => C(x)`)");
+            }
+            false
+        };
+        self.expect(TokenKind::Turnstile)?;
+
+        let mut body = Vec::new();
+        let mut builtins = Vec::new();
+        let mut udfs = Vec::new();
+        let mut weight = None;
+        let at_weight_clause = |p: &Self| {
+            matches!(&p.peek().kind, TokenKind::Ident(s) if s == "weight")
+                && *p.peek_at(1) == TokenKind::Eq
+        };
+        loop {
+            // The `weight = …` clause trails the body with no comma (the
+            // paper's FE1 syntax), but tolerate a comma before it too.
+            if at_weight_clause(self) {
+                break;
+            }
+            self.body_item(&mut body, &mut builtins, &mut udfs)?;
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        if at_weight_clause(self) {
+            self.bump();
+            self.bump();
+            weight = Some(match self.peek().kind.clone() {
+                TokenKind::Float(x) => {
+                    self.bump();
+                    WeightSpec::Fixed(x)
+                }
+                TokenKind::Int(i) => {
+                    self.bump();
+                    WeightSpec::Fixed(i as f64)
+                }
+                TokenKind::Question => {
+                    self.bump();
+                    WeightSpec::PerRule
+                }
+                TokenKind::Ident(v) => {
+                    self.bump();
+                    WeightSpec::Tied(v)
+                }
+                other => return self.err(format!("bad weight spec: {other}")),
+            });
+        }
+        self.expect(TokenKind::Dot)?;
+        Ok(RuleStmt { annotations, heads, implies, body, builtins, udfs, weight, line })
+    }
+
+    fn body_item(
+        &mut self,
+        body: &mut Vec<Literal>,
+        builtins: &mut Vec<deepdive_storage::Builtin>,
+        udfs: &mut Vec<UdfCall>,
+    ) -> Result<(), ParseError> {
+        // Negated atom.
+        if self.eat(TokenKind::Bang) {
+            body.push(Literal::neg(self.atom()?));
+            return Ok(());
+        }
+        // UDF binding: IDENT '=' IDENT '('
+        if matches!(self.peek().kind, TokenKind::Ident(_))
+            && *self.peek_at(1) == TokenKind::Eq
+            && matches!(self.peek_at(2), TokenKind::Ident(_))
+            && *self.peek_at(3) == TokenKind::LParen
+        {
+            let out = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let name = self.ident()?;
+            self.expect(TokenKind::LParen)?;
+            let mut args = Vec::new();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    args.push(self.term()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            udfs.push(UdfCall { name, args, out });
+            return Ok(());
+        }
+        // Positive atom: IDENT '('
+        if matches!(self.peek().kind, TokenKind::Ident(_)) && *self.peek_at(1) == TokenKind::LParen
+        {
+            body.push(Literal::pos(self.atom()?));
+            return Ok(());
+        }
+        // Comparison: term CMP term.
+        let left = self.term()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            ref other => return self.err(format!("expected comparison operator, found {other}")),
+        };
+        self.bump();
+        let right = self.term()?;
+        builtins.push(deepdive_storage::Builtin { left, op, right });
+        Ok(())
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let relation = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                terms.push(self.term()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Atom { relation, terms })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Term::Wildcard)
+            }
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Term::Const(Value::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Term::Const(Value::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Term::Const(Value::text(s)))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Term::Const(Value::Bool(true)))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Term::Const(Value::Bool(false)))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Term::Var(s))
+            }
+            other => self.err(format!("expected term, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("PersonCandidate(s id, m id).\nMarried?(m1 id, m2 id).").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        let Statement::Decl(d) = &p.statements[0] else { panic!("decl") };
+        assert_eq!(d.name, "PersonCandidate");
+        assert!(!d.query);
+        let Statement::Decl(d) = &p.statements[1] else { panic!("decl") };
+        assert!(d.query);
+        assert_eq!(d.columns[1], ("m2".into(), ValueType::Id));
+    }
+
+    #[test]
+    fn parses_candidate_mapping_rule() {
+        let src = "MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.";
+        let p = parse(src).unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!("rule") };
+        assert_eq!(r.heads.len(), 1);
+        assert_eq!(r.body.len(), 2);
+        assert_eq!(r.builtins.len(), 1);
+        assert!(r.weight.is_none());
+    }
+
+    #[test]
+    fn parses_feature_rule_with_udf_and_tied_weight() {
+        let src = "MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2), Sentence(s, sent), f = phrase(m1, m2, sent) weight = f.";
+        let p = parse(src).unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!("rule") };
+        assert_eq!(r.udfs.len(), 1);
+        assert_eq!(r.udfs[0].name, "phrase");
+        assert_eq!(r.weight, Some(WeightSpec::Tied("f".into())));
+    }
+
+    #[test]
+    fn parses_fixed_and_per_rule_weights() {
+        let p = parse("A(x) :- B(x) weight = 2.5.\nC(x) :- D(x) weight = ?.").unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        assert_eq!(r.weight, Some(WeightSpec::Fixed(2.5)));
+        let Statement::Rule(r) = &p.statements[1] else { panic!() };
+        assert_eq!(r.weight, Some(WeightSpec::PerRule));
+    }
+
+    #[test]
+    fn parses_implication_factor_rule() {
+        let src = "@name(\"spouse-symmetry\") HasSpouse(a, b) => HasSpouse(b, a) :- PersonPair(a, b) weight = 5.";
+        let p = parse(src).unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        assert!(r.implies);
+        assert_eq!(r.heads.len(), 2);
+        assert_eq!(r.annotations[0].value, "spouse-symmetry");
+        assert_eq!(r.weight, Some(WeightSpec::Fixed(5.0)));
+    }
+
+    #[test]
+    fn parses_conjunction_heads() {
+        let src = "A(x) ^ B(x) => C(x) :- D(x) weight = 1.";
+        let p = parse(src).unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        assert_eq!(r.heads.len(), 3);
+        assert!(r.implies);
+    }
+
+    #[test]
+    fn parses_negation_and_constants() {
+        let src = r#"Ev(m, true) :- Cand(m), !Excl(m), Label(m, "pos")."#;
+        let p = parse(src).unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        assert!(r.body[1].negated);
+        assert_eq!(r.heads[0].terms[1], Term::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_multi_head_without_implies() {
+        assert!(parse("A(x) ^ B(x) :- C(x).").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_column_type() {
+        assert!(parse("R(x blob).").is_err());
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let err = parse("A(x) :-\n  %").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_arg_atoms_allowed() {
+        let p = parse("Flag() :- Other(x).").unwrap();
+        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        assert!(r.heads[0].terms.is_empty());
+    }
+}

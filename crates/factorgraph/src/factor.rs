@@ -1,0 +1,225 @@
+//! Factor functions — the Markov-logic potential family DeepDive grounds
+//! rules into (§3.3, Figure 4).
+//!
+//! A factor connects an ordered list of (possibly negated) Boolean variables
+//! and evaluates a potential `φ(I) ∈ [-1, 1]` under an assignment. Its
+//! contribution to the log-weight of a possible world is `w · φ(I)` where `w`
+//! is the (tied, possibly learned) weight: `W(F, I) = Σ_f w_f · φ_f(I)`.
+
+use crate::ids::{VariableId, WeightId};
+use serde::{Deserialize, Serialize};
+
+/// One argument of a factor: a variable reference with a polarity. A negated
+/// argument reads the complement of the variable's value, mirroring negated
+/// literals in DDlog inference rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactorArg {
+    pub variable: VariableId,
+    /// `true` = positive literal, `false` = negated.
+    pub positive: bool,
+}
+
+impl FactorArg {
+    pub fn pos(variable: VariableId) -> Self {
+        FactorArg { variable, positive: true }
+    }
+
+    pub fn neg(variable: VariableId) -> Self {
+        FactorArg { variable, positive: false }
+    }
+
+    /// The literal's truth value under `value` of the variable.
+    #[inline]
+    pub fn truth(&self, value: bool) -> bool {
+        value == self.positive
+    }
+}
+
+/// The factor-function family (the same set the open-source DeepDive sampler
+/// ships: IsTrue, Imply, And, Or, Equal, Linear, Ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FactorFunction {
+    /// φ = 1 if the single literal is true, else -1.
+    IsTrue,
+    /// φ = 1 if the implication body₁ ∧ … ∧ bodyₙ₋₁ → headₙ holds, else -1.
+    /// The *last* argument is the head.
+    Imply,
+    /// φ = 1 if all literals are true, else -1.
+    And,
+    /// φ = 1 if at least one literal is true, else -1.
+    Or,
+    /// φ = 1 if all literals agree (all true or all false), else -1.
+    Equal,
+    /// φ = (number of true literals) / n ∈ [0, 1]; a graded AND used for
+    /// soft voting.
+    Linear,
+    /// φ = log(1 + #true) / log(1 + n); sub-linear credit for redundant
+    /// evidence.
+    Ratio,
+}
+
+impl FactorFunction {
+    /// Evaluate the potential given literal truth values produced by
+    /// `truth(i)` for argument `i` of `n`.
+    pub fn potential(&self, n: usize, truth: impl Fn(usize) -> bool) -> f64 {
+        debug_assert!(n > 0, "factor with no arguments");
+        match self {
+            FactorFunction::IsTrue => {
+                if truth(0) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            FactorFunction::Imply => {
+                let body_holds = (0..n - 1).all(&truth);
+                let implied = !body_holds || truth(n - 1);
+                if implied {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            FactorFunction::And => {
+                if (0..n).all(&truth) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            FactorFunction::Or => {
+                if (0..n).any(&truth) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            FactorFunction::Equal => {
+                let first = truth(0);
+                if (1..n).all(|i| truth(i) == first) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            FactorFunction::Linear => {
+                let t = (0..n).filter(|&i| truth(i)).count();
+                t as f64 / n as f64
+            }
+            FactorFunction::Ratio => {
+                let t = (0..n).filter(|&i| truth(i)).count();
+                ((1 + t) as f64).ln() / ((1 + n) as f64).ln()
+            }
+        }
+    }
+}
+
+/// One factor: a function over ordered arguments, with a tied weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    pub function: FactorFunction,
+    pub args: Vec<FactorArg>,
+    pub weight: WeightId,
+}
+
+impl Factor {
+    pub fn new(function: FactorFunction, args: Vec<FactorArg>, weight: WeightId) -> Self {
+        debug_assert!(!args.is_empty(), "factor needs at least one argument");
+        Factor { function, args, weight }
+    }
+
+    /// Evaluate φ under a world given by `value_of(variable)`.
+    pub fn potential(&self, value_of: impl Fn(VariableId) -> bool) -> f64 {
+        self.function
+            .potential(self.args.len(), |i| self.args[i].truth(value_of(self.args[i].variable)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VariableId {
+        VariableId(i)
+    }
+
+    fn eval(f: &Factor, world: &[bool]) -> f64 {
+        f.potential(|vid| world[vid.index()])
+    }
+
+    #[test]
+    fn istrue_tracks_single_literal() {
+        let f = Factor::new(FactorFunction::IsTrue, vec![FactorArg::pos(v(0))], WeightId(0));
+        assert_eq!(eval(&f, &[true]), 1.0);
+        assert_eq!(eval(&f, &[false]), -1.0);
+    }
+
+    #[test]
+    fn negated_literal_flips_istrue() {
+        let f = Factor::new(FactorFunction::IsTrue, vec![FactorArg::neg(v(0))], WeightId(0));
+        assert_eq!(eval(&f, &[true]), -1.0);
+        assert_eq!(eval(&f, &[false]), 1.0);
+    }
+
+    #[test]
+    fn imply_truth_table() {
+        let f = Factor::new(
+            FactorFunction::Imply,
+            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1))],
+            WeightId(0),
+        );
+        assert_eq!(eval(&f, &[true, true]), 1.0); // T→T
+        assert_eq!(eval(&f, &[true, false]), -1.0); // T→F violated
+        assert_eq!(eval(&f, &[false, true]), 1.0); // vacuous
+        assert_eq!(eval(&f, &[false, false]), 1.0); // vacuous
+    }
+
+    #[test]
+    fn imply_with_multi_atom_body() {
+        let f = Factor::new(
+            FactorFunction::Imply,
+            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            WeightId(0),
+        );
+        assert_eq!(eval(&f, &[true, true, false]), -1.0);
+        assert_eq!(eval(&f, &[true, false, false]), 1.0);
+    }
+
+    #[test]
+    fn and_or_equal_basic() {
+        let args = vec![FactorArg::pos(v(0)), FactorArg::pos(v(1))];
+        let and = Factor::new(FactorFunction::And, args.clone(), WeightId(0));
+        let or = Factor::new(FactorFunction::Or, args.clone(), WeightId(0));
+        let eq = Factor::new(FactorFunction::Equal, args, WeightId(0));
+        assert_eq!(eval(&and, &[true, false]), -1.0);
+        assert_eq!(eval(&or, &[true, false]), 1.0);
+        assert_eq!(eval(&eq, &[true, false]), -1.0);
+        assert_eq!(eval(&eq, &[false, false]), 1.0);
+    }
+
+    #[test]
+    fn linear_counts_fraction_true() {
+        let f = Factor::new(
+            FactorFunction::Linear,
+            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            WeightId(0),
+        );
+        assert!((eval(&f, &[true, false, true]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(eval(&f, &[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn ratio_is_sublinear_in_true_count() {
+        let f = Factor::new(
+            FactorFunction::Ratio,
+            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            WeightId(0),
+        );
+        let p1 = eval(&f, &[true, false, false]);
+        let p2 = eval(&f, &[true, true, false]);
+        let p3 = eval(&f, &[true, true, true]);
+        assert!(p1 > 0.0 && p2 > p1 && p3 > p2);
+        assert!(p2 - p1 > p3 - p2, "marginal credit must shrink");
+        assert!((p3 - 1.0).abs() < 1e-12);
+    }
+}

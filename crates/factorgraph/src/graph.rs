@@ -1,0 +1,359 @@
+//! The factor graph `(V, F, w)` of §3.3 and its compiled CSR layout.
+//!
+//! [`FactorGraph`] is the mutable builder the grounding phase populates: one
+//! Boolean variable per tuple, one factor per rule grounding, tied weights.
+//! [`CompiledGraph`] is the immutable "column-to-row" matrix layout that
+//! DimmWitted samples over (§4.2: "each row corresponds to one factor, each
+//! column to one variable, and the non-zero elements in the matrix correspond
+//! to edges in the factor graph. To process one variable, DimmWitted fetches
+//! one column of the matrix to get the set of factors, and other columns to
+//! get the set of variables that connect to the same factor").
+
+use crate::factor::{Factor, FactorArg, FactorFunction};
+use crate::ids::{FactorId, VariableId, WeightId};
+use crate::weight::WeightStore;
+use serde::{Deserialize, Serialize};
+
+/// One Boolean random variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Evidence variables are clamped to `evidence_value` during the
+    /// evidence-conditioned phase of learning and excluded from marginals.
+    pub is_evidence: bool,
+    pub evidence_value: bool,
+    /// Initial value for sampling chains.
+    pub init_value: bool,
+    /// Human-readable provenance, e.g. `MarriedMentions(#12, #34)` —
+    /// debuggable decisions (§2.5) require tying every variable back to its
+    /// tuple.
+    pub label: Option<String>,
+}
+
+impl Variable {
+    pub fn query() -> Self {
+        Variable { is_evidence: false, evidence_value: false, init_value: false, label: None }
+    }
+
+    pub fn evidence(value: bool) -> Self {
+        Variable { is_evidence: true, evidence_value: value, init_value: value, label: None }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// Mutable factor-graph builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FactorGraph {
+    pub variables: Vec<Variable>,
+    pub factors: Vec<Factor>,
+    pub weights: WeightStore,
+}
+
+impl FactorGraph {
+    pub fn new() -> Self {
+        FactorGraph::default()
+    }
+
+    pub fn add_variable(&mut self, v: Variable) -> VariableId {
+        let id = VariableId::from(self.variables.len());
+        self.variables.push(v);
+        id
+    }
+
+    pub fn add_factor(
+        &mut self,
+        function: FactorFunction,
+        args: Vec<FactorArg>,
+        weight: WeightId,
+    ) -> FactorId {
+        debug_assert!(args.iter().all(|a| a.variable.index() < self.variables.len()));
+        let id = FactorId::from(self.factors.len());
+        self.factors.push(Factor::new(function, args, weight));
+        id
+    }
+
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    pub fn num_query_variables(&self) -> usize {
+        self.variables.iter().filter(|v| !v.is_evidence).count()
+    }
+
+    /// Freeze into the CSR layout used by samplers.
+    pub fn compile(&self) -> CompiledGraph {
+        let nv = self.variables.len();
+        let nf = self.factors.len();
+
+        // factor→args (flattened).
+        let mut factor_offsets = Vec::with_capacity(nf + 1);
+        let total_args: usize = self.factors.iter().map(|f| f.args.len()).sum();
+        let mut arg_vars = Vec::with_capacity(total_args);
+        let mut arg_positive = Vec::with_capacity(total_args);
+        let mut factor_function = Vec::with_capacity(nf);
+        let mut factor_weight = Vec::with_capacity(nf);
+        factor_offsets.push(0u32);
+        for f in &self.factors {
+            for a in &f.args {
+                arg_vars.push(a.variable.0);
+                arg_positive.push(a.positive);
+            }
+            factor_offsets.push(arg_vars.len() as u32);
+            factor_function.push(f.function);
+            factor_weight.push(f.weight.0);
+        }
+
+        // var→factors (CSR built by counting sort). A factor referencing the
+        // same variable through several arguments must appear ONCE in that
+        // variable's adjacency, or conditional-probability computations
+        // would double-count it.
+        let unique_vars = |f: &crate::factor::Factor| {
+            let mut vs: Vec<usize> = f.args.iter().map(|a| a.variable.index()).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        };
+        let mut var_degree = vec![0u32; nv];
+        for f in &self.factors {
+            for v in unique_vars(f) {
+                var_degree[v] += 1;
+            }
+        }
+        let mut var_offsets = Vec::with_capacity(nv + 1);
+        var_offsets.push(0u32);
+        for d in &var_degree {
+            let last = *var_offsets.last().expect("nonempty");
+            var_offsets.push(last + d);
+        }
+        let total_adjacency = *var_offsets.last().expect("nonempty") as usize;
+        let mut cursor: Vec<u32> = var_offsets[..nv].to_vec();
+        let mut var_factors = vec![0u32; total_adjacency];
+        for (fi, f) in self.factors.iter().enumerate() {
+            for v in unique_vars(f) {
+                var_factors[cursor[v] as usize] = fi as u32;
+                cursor[v] += 1;
+            }
+        }
+
+        let is_evidence = self.variables.iter().map(|v| v.is_evidence).collect();
+        let evidence_value = self.variables.iter().map(|v| v.evidence_value).collect();
+        let init_value = self.variables.iter().map(|v| v.init_value).collect();
+
+        CompiledGraph {
+            num_variables: nv,
+            num_factors: nf,
+            var_offsets,
+            var_factors,
+            factor_offsets,
+            arg_vars,
+            arg_positive,
+            factor_function,
+            factor_weight,
+            is_evidence,
+            evidence_value,
+            init_value,
+            num_weights: self.weights.len(),
+        }
+    }
+}
+
+/// Immutable CSR ("column-to-row") factor-graph layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledGraph {
+    pub num_variables: usize,
+    pub num_factors: usize,
+    /// Column access: factors touching variable `v` are
+    /// `var_factors[var_offsets[v]..var_offsets[v+1]]`.
+    pub var_offsets: Vec<u32>,
+    pub var_factors: Vec<u32>,
+    /// Row access: arguments of factor `f` are index range
+    /// `factor_offsets[f]..factor_offsets[f+1]` into `arg_vars`/`arg_positive`.
+    pub factor_offsets: Vec<u32>,
+    pub arg_vars: Vec<u32>,
+    pub arg_positive: Vec<bool>,
+    pub factor_function: Vec<FactorFunction>,
+    pub factor_weight: Vec<u32>,
+    pub is_evidence: Vec<bool>,
+    pub evidence_value: Vec<bool>,
+    pub init_value: Vec<bool>,
+    pub num_weights: usize,
+}
+
+impl CompiledGraph {
+    /// Factor ids adjacent to a variable (the "column").
+    #[inline]
+    pub fn factors_of(&self, v: usize) -> &[u32] {
+        &self.var_factors[self.var_offsets[v] as usize..self.var_offsets[v + 1] as usize]
+    }
+
+    /// Argument range of a factor (the "row").
+    #[inline]
+    pub fn args_of(&self, f: usize) -> std::ops::Range<usize> {
+        self.factor_offsets[f] as usize..self.factor_offsets[f + 1] as usize
+    }
+
+    /// Potential of factor `f` under `value_of`.
+    #[inline]
+    pub fn factor_potential(&self, f: usize, value_of: impl Fn(usize) -> bool) -> f64 {
+        let range = self.args_of(f);
+        let base = range.start;
+        let n = range.end - range.start;
+        self.factor_function[f].potential(n, |i| {
+            let idx = base + i;
+            value_of(self.arg_vars[idx] as usize) == self.arg_positive[idx]
+        })
+    }
+
+    /// Potential of factor `f` with variable `v` forced to `forced`, other
+    /// variables read through `value_of`. This is the inner loop of Gibbs:
+    /// evaluate each adjacent factor twice (v=0, v=1).
+    #[inline]
+    pub fn factor_potential_with(
+        &self,
+        f: usize,
+        v: usize,
+        forced: bool,
+        value_of: impl Fn(usize) -> bool,
+    ) -> f64 {
+        let range = self.args_of(f);
+        let base = range.start;
+        let n = range.end - range.start;
+        self.factor_function[f].potential(n, |i| {
+            let idx = base + i;
+            let var = self.arg_vars[idx] as usize;
+            let val = if var == v { forced } else { value_of(var) };
+            val == self.arg_positive[idx]
+        })
+    }
+
+    /// The Gibbs conditional logit for variable `v`:
+    /// `logit = Σ_{f∋v} w_f (φ_f[v=1] − φ_f[v=0])`, so
+    /// `P(v=1 | rest) = σ(logit)`.
+    #[inline]
+    pub fn conditional_logit(
+        &self,
+        v: usize,
+        weights: &[f64],
+        value_of: impl Fn(usize) -> bool + Copy,
+    ) -> f64 {
+        let mut logit = 0.0;
+        for &f in self.factors_of(v) {
+            let f = f as usize;
+            let w = weights[self.factor_weight[f] as usize];
+            if w == 0.0 {
+                continue;
+            }
+            let p1 = self.factor_potential_with(f, v, true, value_of);
+            let p0 = self.factor_potential_with(f, v, false, value_of);
+            logit += w * (p1 - p0);
+        }
+        logit
+    }
+
+    /// Log-weight `W(F, I)` of a possible world.
+    pub fn log_weight(&self, weights: &[f64], value_of: impl Fn(usize) -> bool + Copy) -> f64 {
+        (0..self.num_factors)
+            .map(|f| weights[self.factor_weight[f] as usize] * self.factor_potential(f, value_of))
+            .sum()
+    }
+
+    /// Total number of edges (non-zeros of the matrix).
+    pub fn num_edges(&self) -> usize {
+        self.arg_vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> (FactorGraph, Vec<VariableId>) {
+        // v0 —Imply→ v1 —Imply→ v2, plus IsTrue prior on v0.
+        let mut g = FactorGraph::new();
+        let vs: Vec<VariableId> = (0..3).map(|_| g.add_variable(Variable::query())).collect();
+        let w_prior = g.weights.tied("prior", 1.0);
+        let w_step = g.weights.tied("step", 2.0);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(vs[0])], w_prior);
+        g.add_factor(
+            FactorFunction::Imply,
+            vec![FactorArg::pos(vs[0]), FactorArg::pos(vs[1])],
+            w_step,
+        );
+        g.add_factor(
+            FactorFunction::Imply,
+            vec![FactorArg::pos(vs[1]), FactorArg::pos(vs[2])],
+            w_step,
+        );
+        (g, vs)
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let (g, _) = chain_graph();
+        let c = g.compile();
+        assert_eq!(c.num_variables, 3);
+        assert_eq!(c.num_factors, 3);
+        assert_eq!(c.num_edges(), 5);
+        // v1 participates in factors 1 and 2.
+        let mut f1: Vec<u32> = c.factors_of(1).to_vec();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![1, 2]);
+        // Factor 1's args are v0, v1.
+        let args: Vec<u32> = c.args_of(1).map(|i| c.arg_vars[i]).collect();
+        assert_eq!(args, vec![0, 1]);
+    }
+
+    #[test]
+    fn compiled_potentials_match_builder_factors() {
+        let (g, _) = chain_graph();
+        let c = g.compile();
+        let world = [true, false, true];
+        for (fi, f) in g.factors.iter().enumerate() {
+            let from_builder = f.potential(|v| world[v.index()]);
+            let from_csr = c.factor_potential(fi, |v| world[v]);
+            assert_eq!(from_builder, from_csr, "factor {fi}");
+        }
+    }
+
+    #[test]
+    fn conditional_logit_matches_brute_force() {
+        let (g, _) = chain_graph();
+        let c = g.compile();
+        let weights = g.weights.values();
+        let world = [false, true, false];
+        for v in 0..3 {
+            let mut w1 = world;
+            w1[v] = true;
+            let mut w0 = world;
+            w0[v] = false;
+            let expect =
+                c.log_weight(&weights, |i| w1[i]) - c.log_weight(&weights, |i| w0[i]);
+            let got = c.conditional_logit(v, &weights, |i| world[i]);
+            assert!((expect - got).abs() < 1e-12, "var {v}: {expect} vs {got}");
+        }
+    }
+
+    #[test]
+    fn evidence_flags_compile_through() {
+        let mut g = FactorGraph::new();
+        g.add_variable(Variable::evidence(true));
+        g.add_variable(Variable::query());
+        let c = g.compile();
+        assert_eq!(c.is_evidence, vec![true, false]);
+        assert_eq!(c.evidence_value, vec![true, false]);
+    }
+
+    #[test]
+    fn labels_preserved_on_builder() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query().with_label("MarriedMentions(#1,#2)"));
+        assert_eq!(g.variables[v.index()].label.as_deref(), Some("MarriedMentions(#1,#2)"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Strongly-typed identifiers for variables, factors and weights.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize, "id overflow");
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of one Boolean random variable (one tuple, §3.3: "each
+    /// variable corresponds to one tuple in the database").
+    VariableId,
+    "v"
+);
+id_type!(
+    /// Identifier of one factor (one grounding of one inference rule).
+    FactorId,
+    "f"
+);
+id_type!(
+    /// Identifier of one weight. Weights are shared across factors via
+    /// weight tying (§3.1 Ex. 3.2: "If phrase returns the same result for two
+    /// relation mentions, they receive the same weight").
+    WeightId,
+    "w"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let v = VariableId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(FactorId(1) < FactorId(2));
+        assert_eq!(WeightId(7), WeightId(7));
+    }
+}

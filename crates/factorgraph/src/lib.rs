@@ -1,0 +1,25 @@
+//! `deepdive-factorgraph`: the factor-graph model of §3.3 of the DeepDive
+//! paper.
+//!
+//! A factor graph is a triple `(V, F, w)`: Boolean random variables (one per
+//! database tuple), hyperedge factors (one per rule grounding), and a weight
+//! function. The probability of a possible world `I` is
+//! `Pr[I] = Z⁻¹ exp{W(F, I)}` with `W(F, I) = Σ_f w_f · φ_f(I)`.
+//!
+//! This crate provides the mutable [`FactorGraph`] builder that grounding
+//! populates, the frozen [`CompiledGraph`] CSR layout that the DimmWitted
+//! sampler consumes, the Markov-logic [`FactorFunction`] family, tied
+//! [`WeightStore`] weights, and exact enumeration oracles ([`world`]) used to
+//! validate approximate inference.
+
+pub mod factor;
+pub mod graph;
+pub mod ids;
+pub mod weight;
+pub mod world;
+
+pub use factor::{Factor, FactorArg, FactorFunction};
+pub use graph::{CompiledGraph, FactorGraph, Variable};
+pub use ids::{FactorId, VariableId, WeightId};
+pub use weight::{Weight, WeightStore};
+pub use world::{exact_log_z, exact_marginals, initial_world, log_sum_exp, World};

@@ -1,0 +1,177 @@
+//! Weights with tying.
+//!
+//! §3.1 Ex. 3.2: a feature UDF "returns an identifier that determines which
+//! weights should be used for a given relation mention"; identical
+//! identifiers share a weight. [`WeightStore`] interns those identifiers and
+//! tracks, per weight, whether it is fixed (rule-specified) or learnable,
+//! plus the observation count surfaced by the debugging tools (§2.5: "our
+//! debugging tool always presents, for each feature, the number of times the
+//! feature was observed in the training data").
+
+use crate::ids::WeightId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weight {
+    /// Current value (initial value before learning).
+    pub value: f64,
+    /// Fixed weights are never touched by learning.
+    pub fixed: bool,
+    /// The tying key — typically a feature identifier like
+    /// `phrase="and his wife"`.
+    pub key: String,
+    /// How many factors reference this weight (observation count).
+    pub references: usize,
+}
+
+/// Interning store for tied weights.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WeightStore {
+    weights: Vec<Weight>,
+    by_key: HashMap<String, WeightId>,
+}
+
+impl WeightStore {
+    pub fn new() -> Self {
+        WeightStore::default()
+    }
+
+    /// Get or create the learnable weight tied to `key`, bumping its
+    /// reference count.
+    pub fn tied(&mut self, key: impl AsRef<str>, initial: f64) -> WeightId {
+        let key = key.as_ref();
+        if let Some(&id) = self.by_key.get(key) {
+            self.weights[id.index()].references += 1;
+            return id;
+        }
+        let id = WeightId::from(self.weights.len());
+        self.weights.push(Weight {
+            value: initial,
+            fixed: false,
+            key: key.to_string(),
+            references: 1,
+        });
+        self.by_key.insert(key.to_string(), id);
+        id
+    }
+
+    /// Create a fresh fixed (non-learnable) weight.
+    pub fn fixed(&mut self, key: impl AsRef<str>, value: f64) -> WeightId {
+        let key = key.as_ref();
+        if let Some(&id) = self.by_key.get(key) {
+            self.weights[id.index()].references += 1;
+            return id;
+        }
+        let id = WeightId::from(self.weights.len());
+        self.weights.push(Weight { value, fixed: true, key: key.to_string(), references: 1 });
+        self.by_key.insert(key.to_string(), id);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    pub fn get(&self, id: WeightId) -> &Weight {
+        &self.weights[id.index()]
+    }
+
+    pub fn lookup(&self, key: &str) -> Option<WeightId> {
+        self.by_key.get(key).copied()
+    }
+
+    pub fn value(&self, id: WeightId) -> f64 {
+        self.weights[id.index()].value
+    }
+
+    pub fn set_value(&mut self, id: WeightId, v: f64) {
+        self.weights[id.index()].value = v;
+    }
+
+    /// Dense copy of all weight values (the "model" the sampler replicates
+    /// across NUMA nodes).
+    pub fn values(&self) -> Vec<f64> {
+        self.weights.iter().map(|w| w.value).collect()
+    }
+
+    /// Overwrite learnable weight values from a dense vector; fixed weights
+    /// keep their value.
+    pub fn load_values(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.weights.len());
+        for (w, &v) in self.weights.iter_mut().zip(values) {
+            if !w.fixed {
+                w.value = v;
+            }
+        }
+    }
+
+    /// Mask of learnable weights.
+    pub fn learnable_mask(&self) -> Vec<bool> {
+        self.weights.iter().map(|w| !w.fixed).collect()
+    }
+
+    /// Reset every learnable weight to `value` (fresh retraining between
+    /// developer iterations; fixed weights are untouched).
+    pub fn reset_learnable(&mut self, value: f64) {
+        for w in &mut self.weights {
+            if !w.fixed {
+                w.value = value;
+            }
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (WeightId, &Weight)> {
+        self.weights.iter().enumerate().map(|(i, w)| (WeightId::from(i), w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tying_reuses_ids_and_counts_references() {
+        let mut ws = WeightStore::new();
+        let a = ws.tied("phrase=and his wife", 0.0);
+        let b = ws.tied("phrase=and his wife", 0.0);
+        let c = ws.tied("phrase=divorced", 0.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ws.get(a).references, 2);
+        assert_eq!(ws.get(c).references, 1);
+    }
+
+    #[test]
+    fn fixed_weights_survive_load_values() {
+        let mut ws = WeightStore::new();
+        let f = ws.fixed("rule:hard-constraint", 10.0);
+        let l = ws.tied("feat:x", 0.0);
+        ws.load_values(&[0.5, 0.5]);
+        assert_eq!(ws.value(f), 10.0);
+        assert_eq!(ws.value(l), 0.5);
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let mut ws = WeightStore::new();
+        let id = ws.tied("k", 1.5);
+        assert_eq!(ws.lookup("k"), Some(id));
+        assert_eq!(ws.lookup("nope"), None);
+        assert_eq!(ws.value(id), 1.5);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let mut ws = WeightStore::new();
+        ws.tied("a", 1.0);
+        ws.tied("b", 2.0);
+        let vals = ws.values();
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Possible worlds and exact inference by enumeration.
+//!
+//! §3.3 defines the semantics: a possible world `I` assigns every variable a
+//! truth value; `Pr[I] = Z⁻¹ exp{W(F, I)}`; the marginal of `v` is
+//! `Σ_{I ∈ I⁺} Pr[I]`. Enumeration is exponential, so this module is the
+//! *test oracle* for samplers and variational approximations on small graphs,
+//! plus the exact evaluator used by property-based tests.
+
+use crate::graph::CompiledGraph;
+
+/// Maximum free variables [`exact_marginals`] will enumerate.
+pub const MAX_EXACT_VARS: usize = 24;
+
+/// A possible world: one Boolean per variable.
+pub type World = Vec<bool>;
+
+/// Initial world honoring evidence clamping and init values.
+pub fn initial_world(graph: &CompiledGraph) -> World {
+    (0..graph.num_variables)
+        .map(|v| if graph.is_evidence[v] { graph.evidence_value[v] } else { graph.init_value[v] })
+        .collect()
+}
+
+/// Exact marginal probabilities by enumerating all worlds over the *free*
+/// (non-evidence) variables; evidence variables stay clamped.
+///
+/// Returns `marginals[v] = P(v = 1)`; evidence variables report their clamped
+/// value as 0.0/1.0. Panics if there are more than [`MAX_EXACT_VARS`] free
+/// variables.
+pub fn exact_marginals(graph: &CompiledGraph, weights: &[f64]) -> Vec<f64> {
+    let free: Vec<usize> =
+        (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+    assert!(
+        free.len() <= MAX_EXACT_VARS,
+        "exact enumeration over {} variables is intractable",
+        free.len()
+    );
+
+    let mut world = initial_world(graph);
+    let mut z = 0.0f64;
+    let mut mass_true = vec![0.0f64; graph.num_variables];
+
+    // Stabilize: subtract the max log-weight to avoid overflow.
+    let mut max_logw = f64::NEG_INFINITY;
+    for bits in 0..(1u64 << free.len()) {
+        for (i, &v) in free.iter().enumerate() {
+            world[v] = (bits >> i) & 1 == 1;
+        }
+        let lw = graph.log_weight(weights, |i| world[i]);
+        if lw > max_logw {
+            max_logw = lw;
+        }
+    }
+    for bits in 0..(1u64 << free.len()) {
+        for (i, &v) in free.iter().enumerate() {
+            world[v] = (bits >> i) & 1 == 1;
+        }
+        let w = (graph.log_weight(weights, |i| world[i]) - max_logw).exp();
+        z += w;
+        for v in 0..graph.num_variables {
+            if world[v] {
+                mass_true[v] += w;
+            }
+        }
+    }
+
+    (0..graph.num_variables)
+        .map(|v| {
+            if graph.is_evidence[v] {
+                if graph.evidence_value[v] {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                mass_true[v] / z
+            }
+        })
+        .collect()
+}
+
+/// Exact log partition function `log Z` (free variables only; evidence
+/// clamped).
+pub fn exact_log_z(graph: &CompiledGraph, weights: &[f64]) -> f64 {
+    let free: Vec<usize> =
+        (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+    assert!(free.len() <= MAX_EXACT_VARS);
+    let mut world = initial_world(graph);
+    let mut logs = Vec::with_capacity(1 << free.len());
+    for bits in 0..(1u64 << free.len()) {
+        for (i, &v) in free.iter().enumerate() {
+            world[v] = (bits >> i) & 1 == 1;
+        }
+        logs.push(graph.log_weight(weights, |i| world[i]));
+    }
+    log_sum_exp(&logs)
+}
+
+/// Numerically-stable `log Σ exp(x)`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{FactorArg, FactorFunction};
+    use crate::graph::{FactorGraph, Variable};
+
+    #[test]
+    fn single_variable_prior_gives_sigmoid() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query());
+        let w = g.weights.tied("prior", 0.7);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let c = g.compile();
+        let m = exact_marginals(&c, &g.weights.values());
+        // φ ∈ {−1, +1} ⇒ P(v=1) = σ(2w).
+        let expect = 1.0 / (1.0 + (-2.0 * 0.7f64).exp());
+        assert!((m[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_is_clamped() {
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::evidence(true));
+        let q = g.add_variable(Variable::query());
+        let w = g.weights.tied("eq", 1.0);
+        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        let c = g.compile();
+        let m = exact_marginals(&c, &g.weights.values());
+        assert_eq!(m[0], 1.0);
+        assert!(m[1] > 0.5, "query should lean toward evidence");
+    }
+
+    #[test]
+    fn equal_factor_correlates_variables() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query());
+        let b = g.add_variable(Variable::query());
+        let w = g.weights.tied("eq", 2.0);
+        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        let c = g.compile();
+        let m = exact_marginals(&c, &g.weights.values());
+        // Symmetric: both marginals are exactly 1/2.
+        assert!((m[0] - 0.5).abs() < 1e-12);
+        assert!((m[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_give_uniform_marginals() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query());
+        let b = g.add_variable(Variable::query());
+        let w = g.weights.tied("z", 0.0);
+        g.add_factor(FactorFunction::And, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        let c = g.compile();
+        let m = exact_marginals(&c, &g.weights.values());
+        assert!((m[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_z_matches_manual_two_world_sum() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query());
+        let w = g.weights.tied("p", 0.3);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let c = g.compile();
+        let lz = exact_log_z(&c, &g.weights.values());
+        let manual = ((0.3f64).exp() + (-0.3f64).exp()).ln();
+        assert!((lz - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_inputs() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + (2.0f64).ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+}

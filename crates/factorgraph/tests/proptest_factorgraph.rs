@@ -1,0 +1,142 @@
+//! Property-based tests on factor-graph invariants.
+
+// Indexing parallel arrays by the same variable id is clearer than zip.
+#![allow(clippy::needless_range_loop)]
+
+use deepdive_factorgraph::{
+    exact_log_z, exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random small factor graph (≤ 8 variables, ≤ 12 factors).
+fn graph_strategy() -> impl Strategy<Value = FactorGraph> {
+    let nv = 2usize..8;
+    nv.prop_flat_map(|nv| {
+        let factor = (
+            prop_oneof![
+                Just(FactorFunction::IsTrue),
+                Just(FactorFunction::Imply),
+                Just(FactorFunction::And),
+                Just(FactorFunction::Or),
+                Just(FactorFunction::Equal),
+                Just(FactorFunction::Linear),
+                Just(FactorFunction::Ratio),
+            ],
+            proptest::collection::vec((0..nv, any::<bool>()), 1..4),
+            -2.0f64..2.0,
+        );
+        (
+            proptest::collection::vec(any::<bool>(), nv), // evidence mask... reused as values
+            proptest::collection::vec(factor, 1..12),
+            Just(nv),
+        )
+    })
+    .prop_map(|(evidence_bits, factors, nv)| {
+        let mut g = FactorGraph::new();
+        let vars: Vec<_> = (0..nv)
+            .map(|i| {
+                // Make roughly 1/4 of variables evidence.
+                if i % 4 == 3 {
+                    g.add_variable(Variable::evidence(evidence_bits[i]))
+                } else {
+                    g.add_variable(Variable::query())
+                }
+            })
+            .collect();
+        for (k, (function, args, weight)) in factors.into_iter().enumerate() {
+            let args: Vec<FactorArg> = args
+                .into_iter()
+                .map(|(v, pos)| FactorArg { variable: vars[v], positive: pos })
+                .collect();
+            let w = g.weights.tied(format!("w{k}"), weight);
+            g.add_factor(function, args, w);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled CSR layout computes the same potentials as the builder
+    /// representation, for every factor and any world.
+    #[test]
+    fn csr_potentials_match_builder(g in graph_strategy(), seed in any::<u64>()) {
+        let c = g.compile();
+        // Derive a pseudo-random world from the seed.
+        let world: Vec<bool> =
+            (0..c.num_variables).map(|v| (seed >> (v % 64)) & 1 == 1).collect();
+        for (fi, f) in g.factors.iter().enumerate() {
+            let a = f.potential(|vid| world[vid.index()]);
+            let b = c.factor_potential(fi, |v| world[v]);
+            prop_assert!((a - b).abs() < 1e-12, "factor {} mismatch: {} vs {}", fi, a, b);
+        }
+    }
+
+    /// The Gibbs conditional logit equals the log-weight difference between
+    /// the two flips of the variable — for every variable and any world.
+    #[test]
+    fn conditional_logit_is_log_weight_difference(g in graph_strategy(), seed in any::<u64>()) {
+        let c = g.compile();
+        let weights = g.weights.values();
+        let world: Vec<bool> =
+            (0..c.num_variables).map(|v| (seed >> (v % 64)) & 1 == 1).collect();
+        for v in 0..c.num_variables {
+            let mut w1 = world.clone();
+            w1[v] = true;
+            let mut w0 = world.clone();
+            w0[v] = false;
+            let expect = c.log_weight(&weights, |i| w1[i]) - c.log_weight(&weights, |i| w0[i]);
+            let got = c.conditional_logit(v, &weights, |i| world[i]);
+            prop_assert!((expect - got).abs() < 1e-9, "var {}: {} vs {}", v, expect, got);
+        }
+    }
+
+    /// Exact marginals are proper probabilities; evidence is clamped.
+    #[test]
+    fn exact_marginals_are_probabilities(g in graph_strategy()) {
+        let c = g.compile();
+        let m = exact_marginals(&c, &g.weights.values());
+        for v in 0..c.num_variables {
+            prop_assert!((0.0..=1.0).contains(&m[v]), "marginal {} out of range", m[v]);
+            if c.is_evidence[v] {
+                let expect = if c.evidence_value[v] { 1.0 } else { 0.0 };
+                prop_assert_eq!(m[v], expect);
+            }
+        }
+    }
+
+    /// Scaling every weight by zero makes all free marginals uniform.
+    #[test]
+    fn zero_weights_are_uniform(g in graph_strategy()) {
+        let c = g.compile();
+        let zeros = vec![0.0; g.weights.len()];
+        let m = exact_marginals(&c, &zeros);
+        for v in 0..c.num_variables {
+            if !c.is_evidence[v] {
+                prop_assert!((m[v] - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// log Z is finite and at least the log-weight of any single world.
+    #[test]
+    fn log_z_dominates_every_world(g in graph_strategy(), seed in any::<u64>()) {
+        let c = g.compile();
+        let weights = g.weights.values();
+        let lz = exact_log_z(&c, &weights);
+        prop_assert!(lz.is_finite());
+        // A world consistent with evidence.
+        let world: Vec<bool> = (0..c.num_variables)
+            .map(|v| {
+                if c.is_evidence[v] {
+                    c.evidence_value[v]
+                } else {
+                    (seed >> (v % 64)) & 1 == 1
+                }
+            })
+            .collect();
+        let lw = c.log_weight(&weights, |i| world[i]);
+        prop_assert!(lz >= lw - 1e-9, "log Z {} < world {}", lz, lw);
+    }
+}

@@ -1,0 +1,16 @@
+//! `deepdive-grounding`: translation of a DDlog program + relational data
+//! into an explicit factor graph (§3.3, Figure 4 of the DeepDive paper), with
+//! the incremental ΔV/ΔF maintenance of §4.1.
+//!
+//! The [`Grounder`] owns the whole story: it compiles factor rules against
+//! the database, evaluates derivation rules through the storage layer's
+//! incremental engine (counting + DRed), interns one Boolean variable per
+//! query-relation tuple, applies evidence labels from `*_Ev` relations, and
+//! creates one factor per rule grounding with fixed / per-rule / tied
+//! weights.
+
+pub mod grounder;
+pub mod state;
+
+pub use grounder::{Grounder, LoadTimings, EVIDENCE_SUFFIX};
+pub use state::{FactorKey, GroundingDelta, GroundingState, VarKey};

@@ -1,0 +1,341 @@
+//! Grounding state: the live factor graph plus the indexes that make
+//! incremental maintenance (ΔV / ΔF, §4.1) possible.
+
+use deepdive_factorgraph::{
+    CompiledGraph, FactorArg, FactorFunction, FactorGraph, FactorId, Variable, VariableId,
+    WeightId,
+};
+use deepdive_storage::Row;
+use std::collections::{HashMap, HashSet};
+
+/// Key of one random variable: the tuple it corresponds to.
+pub type VarKey = (String, Row);
+
+/// Key of one factor: (rule name, grounding row).
+pub type FactorKey = (String, Row);
+
+/// The mutable grounding state. Variables and factors are append-only with
+/// tombstones; [`GroundingState::live_graph`] compacts to a fresh
+/// [`FactorGraph`] for the sampler.
+#[derive(Debug, Default)]
+pub struct GroundingState {
+    pub graph: FactorGraph,
+    /// tuple → variable.
+    pub var_index: HashMap<VarKey, VariableId>,
+    /// variable → tuple (reverse index, for liveness cleanup).
+    pub var_key: HashMap<VariableId, VarKey>,
+    /// (rule, grounding row) → (factor, live derivation count).
+    pub factor_index: HashMap<FactorKey, (FactorId, i64)>,
+    /// Live-factor reference count per variable: a variable whose tuple left
+    /// its relation AND whose last factor died is garbage.
+    pub var_refs: HashMap<VariableId, i64>,
+    pub removed_vars: HashSet<VariableId>,
+    pub removed_factors: HashSet<FactorId>,
+}
+
+/// Summary of one incremental grounding step — the ΔV and ΔF of §4.1.
+#[derive(Debug, Default, Clone)]
+pub struct GroundingDelta {
+    pub added_variables: usize,
+    pub removed_variables: usize,
+    pub added_factors: usize,
+    pub removed_factors: usize,
+    /// Factor-rule body evaluations performed (effort metric).
+    pub rule_evaluations: usize,
+    /// Evidence flags changed.
+    pub evidence_changes: usize,
+}
+
+impl GroundingDelta {
+    pub fn total(&self) -> usize {
+        self.added_variables + self.removed_variables + self.added_factors + self.removed_factors
+    }
+
+    pub fn absorb(&mut self, other: &GroundingDelta) {
+        self.added_variables += other.added_variables;
+        self.removed_variables += other.removed_variables;
+        self.added_factors += other.added_factors;
+        self.removed_factors += other.removed_factors;
+        self.rule_evaluations += other.rule_evaluations;
+        self.evidence_changes += other.evidence_changes;
+    }
+}
+
+impl GroundingState {
+    pub fn new() -> Self {
+        GroundingState::default()
+    }
+
+    /// Get or create the variable for a tuple.
+    pub fn variable(&mut self, relation: &str, row: &Row, label: Option<String>) -> VariableId {
+        let key = (relation.to_string(), row.clone());
+        if let Some(&id) = self.var_index.get(&key) {
+            // Tuple re-appeared after removal: revive.
+            self.removed_vars.remove(&id);
+            return id;
+        }
+        let mut v = Variable::query();
+        v.label = label;
+        let id = self.graph.add_variable(v);
+        self.var_index.insert(key.clone(), id);
+        self.var_key.insert(id, key);
+        id
+    }
+
+    pub fn lookup_variable(&self, relation: &str, row: &Row) -> Option<VariableId> {
+        self.var_index.get(&(relation.to_string(), row.clone())).copied()
+    }
+
+    /// Tombstone a tuple's variable (and implicitly every factor touching it
+    /// — filtered during compaction).
+    pub fn remove_variable(&mut self, relation: &str, row: &Row) -> bool {
+        if let Some(&id) = self.var_index.get(&(relation.to_string(), row.clone())) {
+            self.removed_vars.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Set or clear the evidence flag of a tuple's variable.
+    pub fn set_evidence(&mut self, relation: &str, row: &Row, label: Option<bool>) -> bool {
+        let Some(&id) = self.var_index.get(&(relation.to_string(), row.clone())) else {
+            return false;
+        };
+        let v = &mut self.graph.variables[id.index()];
+        match label {
+            Some(value) => {
+                let changed = !v.is_evidence || v.evidence_value != value;
+                v.is_evidence = true;
+                v.evidence_value = value;
+                v.init_value = value;
+                changed
+            }
+            None => {
+                let changed = v.is_evidence;
+                v.is_evidence = false;
+                changed
+            }
+        }
+    }
+
+    /// Bump the derivation count of a grounding; creates its factor on the
+    /// 0→positive transition. Returns true if a factor was created/revived.
+    pub fn add_grounding(
+        &mut self,
+        rule: &str,
+        grounding: Row,
+        count: i64,
+        function: FactorFunction,
+        args: Vec<FactorArg>,
+        weight: WeightId,
+    ) -> bool {
+        debug_assert!(count > 0);
+        let key = (rule.to_string(), grounding);
+        match self.factor_index.get_mut(&key) {
+            Some((fid, c)) => {
+                let was_dead = *c <= 0;
+                *c += count;
+                if was_dead && *c > 0 {
+                    let fid = *fid;
+                    self.removed_factors.remove(&fid);
+                    self.bump_refs(fid, 1);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                let fid = self.graph.add_factor(function, args, weight);
+                self.factor_index.insert(key, (fid, count));
+                self.bump_refs(fid, 1);
+                true
+            }
+        }
+    }
+
+    /// Decrement the derivation count; tombstones the factor when it reaches
+    /// zero. Returns the factor id if the factor died.
+    pub fn remove_grounding(
+        &mut self,
+        rule: &str,
+        grounding: &Row,
+        count: i64,
+    ) -> Option<FactorId> {
+        debug_assert!(count > 0);
+        let key = (rule.to_string(), grounding.clone());
+        if let Some((fid, c)) = self.factor_index.get_mut(&key) {
+            *c -= count;
+            if *c <= 0 && !self.removed_factors.contains(fid) {
+                let fid = *fid;
+                self.removed_factors.insert(fid);
+                self.bump_refs(fid, -1);
+                return Some(fid);
+            }
+        }
+        None
+    }
+
+    fn bump_refs(&mut self, fid: FactorId, delta: i64) {
+        let args: Vec<VariableId> =
+            self.graph.factors[fid.index()].args.iter().map(|a| a.variable).collect();
+        for v in args {
+            *self.var_refs.entry(v).or_insert(0) += delta;
+        }
+    }
+
+    /// Argument variables of a factor.
+    pub fn factor_variables(&self, fid: FactorId) -> Vec<VariableId> {
+        self.graph.factors[fid.index()].args.iter().map(|a| a.variable).collect()
+    }
+
+    /// Live-factor reference count of a variable.
+    pub fn refs(&self, v: VariableId) -> i64 {
+        self.var_refs.get(&v).copied().unwrap_or(0)
+    }
+
+    pub fn num_live_variables(&self) -> usize {
+        self.graph.num_variables() - self.removed_vars.len()
+    }
+
+    pub fn num_live_factors(&self) -> usize {
+        self.graph.num_factors() - self.removed_factors.len()
+    }
+
+    /// Compact into a fresh builder graph: tombstoned variables and factors
+    /// (and factors touching tombstoned variables) are dropped; ids are
+    /// remapped densely. Returns the compacted graph and the map from live
+    /// old variable ids to new ones.
+    pub fn live_graph(&self) -> (FactorGraph, HashMap<VariableId, VariableId>) {
+        let mut out = FactorGraph::new();
+        out.weights = self.graph.weights.clone();
+        let mut remap: HashMap<VariableId, VariableId> = HashMap::new();
+        for (i, v) in self.graph.variables.iter().enumerate() {
+            let old = VariableId::from(i);
+            if self.removed_vars.contains(&old) {
+                continue;
+            }
+            let new = out.add_variable(v.clone());
+            remap.insert(old, new);
+        }
+        for (i, f) in self.graph.factors.iter().enumerate() {
+            let fid = FactorId::from(i);
+            if self.removed_factors.contains(&fid) {
+                continue;
+            }
+            let args: Option<Vec<FactorArg>> = f
+                .args
+                .iter()
+                .map(|a| {
+                    remap
+                        .get(&a.variable)
+                        .map(|&nv| FactorArg { variable: nv, positive: a.positive })
+                })
+                .collect();
+            if let Some(args) = args {
+                out.add_factor(f.function, args, f.weight);
+            }
+        }
+        (out, remap)
+    }
+
+    /// Compile the live graph for sampling, plus the tuple→compiled-variable
+    /// mapping used to read marginals back into the database.
+    pub fn compile(&self) -> (CompiledGraph, HashMap<VarKey, VariableId>) {
+        let (live, remap) = self.live_graph();
+        let compiled = live.compile();
+        let mut tuple_to_var = HashMap::new();
+        for (key, old) in &self.var_index {
+            if let Some(&new) = remap.get(old) {
+                tuple_to_var.insert(key.clone(), new);
+            }
+        }
+        (compiled, tuple_to_var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_storage::row;
+
+    #[test]
+    fn variable_interning_is_stable() {
+        let mut st = GroundingState::new();
+        let a = st.variable("R", &row![1], None);
+        let b = st.variable("R", &row![1], None);
+        let c = st.variable("R", &row![2], None);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(st.num_live_variables(), 2);
+    }
+
+    #[test]
+    fn grounding_counts_gate_factor_lifecycle() {
+        let mut st = GroundingState::new();
+        let v = st.variable("R", &row![1], None);
+        let w = st.graph.weights.tied("w", 0.0);
+        let created = st.add_grounding(
+            "rule",
+            row![1],
+            1,
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(v)],
+            w,
+        );
+        assert!(created);
+        // Second derivation of the same grounding: no new factor.
+        let created =
+            st.add_grounding("rule", row![1], 1, FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        assert!(!created);
+        assert_eq!(st.num_live_factors(), 1);
+        // Remove one derivation: factor survives; remove the last: it dies.
+        assert!(st.remove_grounding("rule", &row![1], 1).is_none());
+        assert!(st.remove_grounding("rule", &row![1], 1).is_some());
+        assert_eq!(st.num_live_factors(), 0);
+    }
+
+    #[test]
+    fn evidence_flags_toggle() {
+        let mut st = GroundingState::new();
+        st.variable("R", &row![1], None);
+        assert!(st.set_evidence("R", &row![1], Some(true)));
+        assert!(!st.set_evidence("R", &row![1], Some(true)), "no-op change");
+        assert!(st.set_evidence("R", &row![1], None));
+        assert!(!st.set_evidence("R", &row![9], Some(true)), "unknown tuple");
+    }
+
+    #[test]
+    fn live_graph_drops_tombstones_and_dangling_factors() {
+        let mut st = GroundingState::new();
+        let a = st.variable("R", &row![1], None);
+        let b = st.variable("R", &row![2], None);
+        let w = st.graph.weights.tied("w", 0.0);
+        st.add_grounding("r1", row![1], 1, FactorFunction::IsTrue, vec![FactorArg::pos(a)], w);
+        st.add_grounding(
+            "r2",
+            row![1, 2],
+            1,
+            FactorFunction::Imply,
+            vec![FactorArg::pos(a), FactorArg::pos(b)],
+            w,
+        );
+        st.remove_variable("R", &row![1]);
+        let (live, remap) = st.live_graph();
+        assert_eq!(live.num_variables(), 1);
+        // Both factors touched the removed variable.
+        assert_eq!(live.num_factors(), 0);
+        assert!(remap.contains_key(&b));
+        assert!(!remap.contains_key(&a));
+    }
+
+    #[test]
+    fn revived_variable_reuses_id() {
+        let mut st = GroundingState::new();
+        let a = st.variable("R", &row![1], None);
+        st.remove_variable("R", &row![1]);
+        assert_eq!(st.num_live_variables(), 0);
+        let b = st.variable("R", &row![1], None);
+        assert_eq!(a, b);
+        assert_eq!(st.num_live_variables(), 1);
+    }
+}

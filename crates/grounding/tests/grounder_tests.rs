@@ -1,0 +1,224 @@
+//! End-to-end grounding tests over the paper's Figure-3 spouse example.
+
+use deepdive_ddlog::compile;
+use deepdive_grounding::Grounder;
+use deepdive_storage::{row, BaseChange, Database, Value};
+
+const PROGRAM: &str = r#"
+    PersonCandidate(s id, m id).
+    Sentence(s id, content text).
+    EL(m id, e text).
+    Married(e1 text, e2 text).
+    MarriedCandidate(m1 id, m2 id).
+    MarriedMentions_Ev(m1 id, m2 id, label bool).
+    MarriedMentions?(m1 id, m2 id).
+
+    @name("r1")
+    MarriedCandidate(m1, m2) :-
+        PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.
+
+    @name("s1")
+    MarriedMentions_Ev(m1, m2, true) :-
+        MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+
+    @name("fe1")
+    MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2),
+        PersonCandidate(s, m1), PersonCandidate(s, m2),
+        Sentence(s, sent),
+        f = phrase(m1, m2, sent)
+        weight = f.
+"#;
+
+fn setup() -> (Database, Grounder) {
+    let mut db = Database::new();
+    db.register_udf("phrase", |args: &[Value]| {
+        // Toy phrase feature: sentence text itself keys the weight.
+        vec![Value::text(format!("phrase={}", args[2]))]
+    });
+    let ddlog = compile(PROGRAM).unwrap();
+    let g = Grounder::new(&mut db, ddlog).unwrap();
+    (db, g)
+}
+
+fn load_fixture(db: &Database) {
+    // Sentence 1: mentions 10, 20 (married pair in the KB).
+    db.insert("Sentence", row![Value::Id(1), "and his wife"]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)]).unwrap();
+    db.insert("EL", row![Value::Id(10), "Barack"]).unwrap();
+    db.insert("EL", row![Value::Id(20), "Michelle"]).unwrap();
+    db.insert("Married", row!["Barack", "Michelle"]).unwrap();
+}
+
+#[test]
+fn full_grounding_builds_variables_factors_and_evidence() {
+    let (db, mut g) = setup();
+    load_fixture(&db);
+    let delta = g.initial_load(&db).unwrap();
+    // One candidate pair → one variable.
+    assert_eq!(db.len("MarriedCandidate").unwrap(), 1);
+    assert_eq!(g.state.num_live_variables(), 1);
+    assert_eq!(g.state.num_live_factors(), 1);
+    assert!(delta.evidence_changes >= 1, "distant supervision labeled the pair");
+    let (compiled, map) = g.state.compile();
+    assert_eq!(compiled.num_variables, 1);
+    let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+    assert!(compiled.is_evidence[vid.index()]);
+    assert!(compiled.evidence_value[vid.index()]);
+}
+
+#[test]
+fn tied_weights_share_across_sentences() {
+    let (db, mut g) = setup();
+    load_fixture(&db);
+    // Second sentence with the same phrase and two new mentions.
+    db.insert("Sentence", row![Value::Id(2), "and his wife"]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(30)]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(40)]).unwrap();
+    g.initial_load(&db).unwrap();
+    assert_eq!(g.state.num_live_variables(), 2);
+    assert_eq!(g.state.num_live_factors(), 2);
+    // Both factors share one tied weight (same phrase).
+    let w = g.state.graph.weights.lookup("fe1:phrase=and his wife").unwrap();
+    assert_eq!(g.state.graph.weights.get(w).references, 2);
+}
+
+#[test]
+fn incremental_matches_full_reground_on_insert() {
+    let (db, mut g) = setup();
+    load_fixture(&db);
+    g.initial_load(&db).unwrap();
+
+    // New document arrives: sentence 3 with mentions 50, 60.
+    let changes = vec![
+        BaseChange::insert("Sentence", row![Value::Id(3), "divorced from"]),
+        BaseChange::insert("PersonCandidate", row![Value::Id(3), Value::Id(50)]),
+        BaseChange::insert("PersonCandidate", row![Value::Id(3), Value::Id(60)]),
+    ];
+    let delta = g.apply_update(&db, changes).unwrap();
+    assert_eq!(delta.added_variables, 1);
+    assert_eq!(delta.added_factors, 1);
+    assert_eq!(g.state.num_live_variables(), 2);
+    assert_eq!(g.state.num_live_factors(), 2);
+
+    // Reference: fresh grounder over the same database state.
+    let mut db2 = Database::new();
+    db2.register_udf("phrase", |args: &[Value]| {
+        vec![Value::text(format!("phrase={}", args[2]))]
+    });
+    let mut g2 = Grounder::new(&mut db2, compile(PROGRAM).unwrap()).unwrap();
+    for rel in ["Sentence", "PersonCandidate", "EL", "Married"] {
+        for r in db.rows(rel).unwrap() {
+            db2.insert(rel, r).unwrap();
+        }
+    }
+    g2.initial_load(&db2).unwrap();
+    assert_eq!(g.state.num_live_variables(), g2.state.num_live_variables());
+    assert_eq!(g.state.num_live_factors(), g2.state.num_live_factors());
+}
+
+#[test]
+fn incremental_deletion_retracts_variables_and_factors() {
+    let (db, mut g) = setup();
+    load_fixture(&db);
+    g.initial_load(&db).unwrap();
+    assert_eq!(g.state.num_live_factors(), 1);
+    // Retract one mention: candidate pair and factor must die.
+    let delta = g
+        .apply_update(
+            &db,
+            vec![BaseChange::delete("PersonCandidate", row![Value::Id(1), Value::Id(20)])],
+        )
+        .unwrap();
+    assert_eq!(delta.removed_variables, 1);
+    assert_eq!(delta.removed_factors, 1);
+    assert_eq!(g.state.num_live_variables(), 0);
+    assert_eq!(g.state.num_live_factors(), 0);
+    let (compiled, _) = g.state.compile();
+    assert_eq!(compiled.num_variables, 0);
+    assert_eq!(compiled.num_factors, 0);
+}
+
+#[test]
+fn evidence_updates_flow_incrementally() {
+    let (db, mut g) = setup();
+    // No KB entry yet: pair is unlabeled.
+    db.insert("Sentence", row![Value::Id(1), "and his wife"]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)]).unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)]).unwrap();
+    db.insert("EL", row![Value::Id(10), "Barack"]).unwrap();
+    db.insert("EL", row![Value::Id(20), "Michelle"]).unwrap();
+    g.initial_load(&db).unwrap();
+    {
+        let (compiled, map) = g.state.compile();
+        let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+        assert!(!compiled.is_evidence[vid.index()]);
+    }
+    // KB fact arrives → distant supervision fires → evidence set.
+    let delta = g
+        .apply_update(&db, vec![BaseChange::insert("Married", row!["Barack", "Michelle"])])
+        .unwrap();
+    assert_eq!(delta.evidence_changes, 1);
+    {
+        let (compiled, map) = g.state.compile();
+        let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+        assert!(compiled.is_evidence[vid.index()]);
+        assert!(compiled.evidence_value[vid.index()]);
+    }
+    // KB fact retracted → evidence cleared.
+    let delta = g
+        .apply_update(&db, vec![BaseChange::delete("Married", row!["Barack", "Michelle"])])
+        .unwrap();
+    assert_eq!(delta.evidence_changes, 1);
+    let (compiled, map) = g.state.compile();
+    let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+    assert!(!compiled.is_evidence[vid.index()]);
+}
+
+#[test]
+fn imply_factor_rules_connect_two_variables() {
+    let src = r#"
+        Pair(a id, b id).
+        HasSpouse?(a id, b id).
+        @name("sym")
+        HasSpouse(a, b) => HasSpouse(b, a) :- Pair(a, b) weight = 5.
+    "#;
+    let mut db = Database::new();
+    let mut g = Grounder::new(&mut db, compile(src).unwrap()).unwrap();
+    db.insert("Pair", row![Value::Id(1), Value::Id(2)]).unwrap();
+    g.initial_load(&db).unwrap();
+    assert_eq!(g.state.num_live_variables(), 2, "both direction tuples get variables");
+    assert_eq!(g.state.num_live_factors(), 1);
+    let (compiled, _) = g.state.compile();
+    assert_eq!(compiled.args_of(0).len(), 2);
+    // Fixed weight: not learnable.
+    let w = g.state.graph.weights.lookup("rule:sym").unwrap();
+    assert!(g.state.graph.weights.get(w).fixed);
+    assert_eq!(g.state.graph.weights.value(w), 5.0);
+}
+
+#[test]
+fn duplicate_derivations_do_not_duplicate_factors() {
+    // Same grounding row derivable through two facts → one factor with
+    // derivation count 2; deleting one keeps the factor alive.
+    let src = r#"
+        Seen(m id, s id).
+        Flagged?(m id).
+        @name("fe")
+        Flagged(m) :- Seen(m, s) weight = ?.
+    "#;
+    let mut db = Database::new();
+    let mut g = Grounder::new(&mut db, compile(src).unwrap()).unwrap();
+    db.insert("Seen", row![Value::Id(1), Value::Id(100)]).unwrap();
+    db.insert("Seen", row![Value::Id(1), Value::Id(200)]).unwrap();
+    g.initial_load(&db).unwrap();
+    // Grounding head row is just (m): both derivations share it.
+    assert_eq!(g.state.num_live_factors(), 1);
+    g.apply_update(&db, vec![BaseChange::delete("Seen", row![Value::Id(1), Value::Id(100)])])
+        .unwrap();
+    assert_eq!(g.state.num_live_factors(), 1, "still one derivation left");
+    g.apply_update(&db, vec![BaseChange::delete("Seen", row![Value::Id(1), Value::Id(200)])])
+        .unwrap();
+    assert_eq!(g.state.num_live_factors(), 0);
+}

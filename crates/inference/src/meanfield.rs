@@ -1,0 +1,341 @@
+//! Variational (mean-field) marginal approximation.
+//!
+//! One of the two materialization strategies for incremental inference
+//! (§4.2: "variational-based materialization (inspired by techniques for
+//! approximating graphical models \[49\])"). The materialized artifact is the
+//! vector of per-variable approximate marginals `q(v)`; on a delta, only the
+//! affected subgraph is relaxed (residual-style worklist), which is what
+//! makes the strategy attractive when changes are few and correlations are
+//! sparse.
+
+use deepdive_factorgraph::CompiledGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for mean-field relaxation.
+#[derive(Debug, Clone)]
+pub struct MeanFieldOptions {
+    /// Convergence threshold on per-variable marginal change.
+    pub tolerance: f64,
+    /// Hard cap on variable updates (defends against oscillation).
+    pub max_updates: usize,
+    /// Factor arity above which expectations are Monte-Carlo estimated
+    /// instead of enumerated.
+    pub enumeration_cap: usize,
+    pub seed: u64,
+}
+
+impl Default for MeanFieldOptions {
+    fn default() -> Self {
+        MeanFieldOptions { tolerance: 1e-4, max_updates: 1_000_000, enumeration_cap: 12, seed: 7 }
+    }
+}
+
+/// Mean-field state: `q[v] = q(v = 1)`.
+#[derive(Debug, Clone)]
+pub struct MeanField {
+    pub q: Vec<f64>,
+    /// Variable updates performed in the last relaxation (effort metric).
+    pub last_updates: usize,
+}
+
+impl MeanField {
+    /// Fresh state: evidence clamped, everything else at 0.5.
+    pub fn new(graph: &CompiledGraph) -> Self {
+        let q = (0..graph.num_variables)
+            .map(|v| {
+                if graph.is_evidence[v] {
+                    if graph.evidence_value[v] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        MeanField { q, last_updates: 0 }
+    }
+
+    /// Full relaxation: worklist seeded with every free variable.
+    pub fn materialize(
+        graph: &CompiledGraph,
+        weights: &[f64],
+        opts: &MeanFieldOptions,
+    ) -> MeanField {
+        let mut mf = MeanField::new(graph);
+        let all: Vec<usize> = (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+        mf.relax(graph, weights, &all, opts);
+        mf
+    }
+
+    /// Incremental relaxation: worklist seeded with `changed` variables;
+    /// updates propagate outward only while marginals keep moving.
+    pub fn relax(
+        &mut self,
+        graph: &CompiledGraph,
+        weights: &[f64],
+        changed: &[usize],
+        opts: &MeanFieldOptions,
+    ) {
+        // Re-clamp evidence (a delta may have changed labels).
+        for v in 0..graph.num_variables {
+            if graph.is_evidence[v] {
+                self.q[v] = if graph.evidence_value[v] { 1.0 } else { 0.0 };
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut in_queue = vec![false; graph.num_variables];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &v in changed {
+            if !graph.is_evidence[v] && !in_queue[v] {
+                in_queue[v] = true;
+                queue.push_back(v);
+            }
+            // Neighbors of changed evidence variables must react too.
+            if graph.is_evidence[v] {
+                for &f in graph.factors_of(v) {
+                    for idx in graph.args_of(f as usize) {
+                        let u = graph.arg_vars[idx] as usize;
+                        if !graph.is_evidence[u] && !in_queue[u] {
+                            in_queue[u] = true;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut updates = 0usize;
+        while let Some(v) = queue.pop_front() {
+            in_queue[v] = false;
+            if updates >= opts.max_updates {
+                break;
+            }
+            updates += 1;
+            let new_q = self.update_value(graph, weights, v, opts, &mut rng);
+            let delta = (new_q - self.q[v]).abs();
+            self.q[v] = new_q;
+            if delta > opts.tolerance {
+                // Push factor neighbors.
+                for &f in graph.factors_of(v) {
+                    for idx in graph.args_of(f as usize) {
+                        let u = graph.arg_vars[idx] as usize;
+                        if u != v && !graph.is_evidence[u] && !in_queue[u] {
+                            in_queue[u] = true;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+        self.last_updates = updates;
+    }
+
+    /// One mean-field coordinate update:
+    /// `q(v) = σ( Σ_f w_f ( E_q[φ_f | v=1] − E_q[φ_f | v=0] ) )`.
+    fn update_value(
+        &self,
+        graph: &CompiledGraph,
+        weights: &[f64],
+        v: usize,
+        opts: &MeanFieldOptions,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let mut logit = 0.0;
+        for &f in graph.factors_of(v) {
+            let f = f as usize;
+            let w = weights[graph.factor_weight[f] as usize];
+            if w == 0.0 {
+                continue;
+            }
+            let (e1, e0) = self.expected_potentials(graph, f, v, opts, rng);
+            logit += w * (e1 - e0);
+        }
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    /// `(E[φ_f | v=1], E[φ_f | v=0])` under the product distribution q.
+    fn expected_potentials(
+        &self,
+        graph: &CompiledGraph,
+        f: usize,
+        v: usize,
+        opts: &MeanFieldOptions,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let range = graph.args_of(f);
+        let base = range.start;
+        let n = range.end - range.start;
+        let others: Vec<usize> =
+            (0..n).filter(|&i| graph.arg_vars[base + i] as usize != v).collect();
+
+        let eval = |assign: &dyn Fn(usize) -> bool, forced: bool| {
+            graph.factor_potential(f, |u| if u == v { forced } else { assign(u) })
+        };
+
+        if others.len() <= opts.enumeration_cap {
+            // Exact enumeration over the other arguments.
+            let mut e1 = 0.0;
+            let mut e0 = 0.0;
+            let m = others.len();
+            for bits in 0..(1u64 << m) {
+                let mut prob = 1.0;
+                let mut vals: Vec<(usize, bool)> = Vec::with_capacity(m);
+                for (j, &ai) in others.iter().enumerate() {
+                    let u = graph.arg_vars[base + ai] as usize;
+                    let val = (bits >> j) & 1 == 1;
+                    prob *= if val { self.q[u] } else { 1.0 - self.q[u] };
+                    vals.push((u, val));
+                }
+                if prob == 0.0 {
+                    continue;
+                }
+                let assign = |u: usize|
+
+                    vals.iter().find(|(w, _)| *w == u).map(|(_, b)| *b).unwrap_or(false);
+                e1 += prob * eval(&assign, true);
+                e0 += prob * eval(&assign, false);
+            }
+            (e1, e0)
+        } else {
+            // Monte Carlo under q.
+            const DRAWS: usize = 64;
+            let mut e1 = 0.0;
+            let mut e0 = 0.0;
+            for _ in 0..DRAWS {
+                let vals: Vec<(usize, bool)> = others
+                    .iter()
+                    .map(|&ai| {
+                        let u = graph.arg_vars[base + ai] as usize;
+                        (u, rng.gen::<f64>() < self.q[u])
+                    })
+                    .collect();
+                let assign = |u: usize| {
+                    vals.iter().find(|(w, _)| *w == u).map(|(_, b)| *b).unwrap_or(false)
+                };
+                e1 += eval(&assign, true);
+                e0 += eval(&assign, false);
+            }
+            (e1 / DRAWS as f64, e0 / DRAWS as f64)
+        }
+    }
+
+    pub fn marginals(&self) -> &[f64] {
+        &self.q
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by var id
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_factorgraph::{
+        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
+    };
+
+    #[test]
+    fn single_prior_is_exact() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query());
+        let w = g.weights.tied("p", 0.8);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let c = g.compile();
+        let mf = MeanField::materialize(&c, &g.weights.values(), &MeanFieldOptions::default());
+        let exact = exact_marginals(&c, &g.weights.values());
+        assert!((mf.q[0] - exact[0]).abs() < 1e-6, "{} vs {}", mf.q[0], exact[0]);
+    }
+
+    #[test]
+    fn chain_is_approximately_right() {
+        let mut g = FactorGraph::new();
+        let vs: Vec<_> = (0..5).map(|_| g.add_variable(Variable::query())).collect();
+        let wp = g.weights.tied("p", 0.6);
+        let ws = g.weights.tied("s", 0.8);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(vs[0])], wp);
+        for i in 0..4 {
+            g.add_factor(
+                FactorFunction::Imply,
+                vec![FactorArg::pos(vs[i]), FactorArg::pos(vs[i + 1])],
+                ws,
+            );
+        }
+        let c = g.compile();
+        let mf = MeanField::materialize(&c, &g.weights.values(), &MeanFieldOptions::default());
+        let exact = exact_marginals(&c, &g.weights.values());
+        for v in 0..5 {
+            assert!(
+                (mf.q[v] - exact[v]).abs() < 0.12,
+                "v{v}: mf {} vs exact {}",
+                mf.q[v],
+                exact[v]
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_is_clamped_and_propagates() {
+        let mut g = FactorGraph::new();
+        let e = g.add_variable(Variable::evidence(true));
+        let q = g.add_variable(Variable::query());
+        let w = g.weights.tied("eq", 2.0);
+        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        let c = g.compile();
+        let mf = MeanField::materialize(&c, &g.weights.values(), &MeanFieldOptions::default());
+        assert_eq!(mf.q[0], 1.0);
+        assert!(mf.q[1] > 0.9);
+    }
+
+    #[test]
+    fn incremental_relax_touches_only_affected_region() {
+        // Two disconnected chains; change one, the other must not be updated.
+        let mut g = FactorGraph::new();
+        let vs: Vec<_> = (0..8).map(|_| g.add_variable(Variable::query())).collect();
+        let w = g.weights.tied("s", 1.0);
+        for i in 0..3 {
+            g.add_factor(
+                FactorFunction::Imply,
+                vec![FactorArg::pos(vs[i]), FactorArg::pos(vs[i + 1])],
+                w,
+            );
+            g.add_factor(
+                FactorFunction::Imply,
+                vec![FactorArg::pos(vs[4 + i]), FactorArg::pos(vs[4 + i + 1])],
+                w,
+            );
+        }
+        let c = g.compile();
+        let opts = MeanFieldOptions::default();
+        let mut mf = MeanField::materialize(&c, &g.weights.values(), &opts);
+        let full_updates = mf.last_updates;
+        // Incremental: poke only variable 0.
+        mf.relax(&c, &g.weights.values(), &[0], &opts);
+        assert!(
+            mf.last_updates < full_updates,
+            "incremental ({}) should do less work than full ({})",
+            mf.last_updates,
+            full_updates
+        );
+    }
+
+    #[test]
+    fn incremental_tracks_evidence_change() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query());
+        let b = g.add_variable(Variable::query());
+        let w = g.weights.tied("eq", 1.5);
+        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        let c = g.compile();
+        let opts = MeanFieldOptions::default();
+        let mut mf = MeanField::materialize(&c, &g.weights.values(), &opts);
+        assert!((mf.q[1] - 0.5).abs() < 0.05);
+        // Re-compile with a now evidence=true.
+        let mut g2 = g.clone();
+        g2.variables[0] = Variable::evidence(true);
+        let c2 = g2.compile();
+        mf.relax(&c2, &g2.weights.values(), &[0], &opts);
+        assert_eq!(mf.q[0], 1.0);
+        assert!(mf.q[1] > 0.8, "got {}", mf.q[1]);
+    }
+}

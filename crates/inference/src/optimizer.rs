@@ -1,0 +1,143 @@
+//! Rule-based strategy optimizer for incremental inference.
+//!
+//! §4.2: "We found these two approaches are sensitive to changes in the size
+//! of the factor graph, the sparsity of correlations, and the anticipated
+//! number of future changes. The performance varies by up to two orders of
+//! magnitude in different points of the space. To automatically choose the
+//! materialization strategy, we use a simple rule-based optimizer."
+
+use deepdive_factorgraph::CompiledGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which materialization to keep between developer iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Store possible worlds; re-sample affected regions on a delta.
+    Sampling,
+    /// Store mean-field marginals; relax affected regions on a delta.
+    Variational,
+}
+
+/// Workload statistics the optimizer consults.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadStats {
+    pub num_variables: usize,
+    pub num_factors: usize,
+    /// Mean variable degree (factors per variable) — the "sparsity of
+    /// correlations" axis.
+    pub avg_degree: f64,
+    /// Anticipated number of future delta applications before the next full
+    /// re-materialization (developer iterations).
+    pub anticipated_changes: usize,
+}
+
+impl WorkloadStats {
+    pub fn from_graph(graph: &CompiledGraph, anticipated_changes: usize) -> Self {
+        let nv = graph.num_variables.max(1);
+        WorkloadStats {
+            num_variables: graph.num_variables,
+            num_factors: graph.num_factors,
+            avg_degree: graph.num_edges() as f64 / nv as f64,
+            anticipated_changes,
+        }
+    }
+}
+
+/// Thresholds of the rule-based optimizer, empirically calibrated against
+/// this implementation (see EXPERIMENTS.md E6 for the measurements).
+#[derive(Debug, Clone)]
+pub struct OptimizerRules {
+    /// Above this mean degree correlations are "dense".
+    pub dense_degree: f64,
+    /// Graphs at or below this size are "small".
+    pub small_graph: usize,
+    /// Amortization break-even: variational materialization costs
+    /// `O(num_variables)` up front, while each sampling delta is region-
+    /// local; variational pays off once
+    /// `anticipated_changes > num_variables / breakeven_vars_per_change`.
+    pub breakeven_vars_per_change: f64,
+}
+
+impl Default for OptimizerRules {
+    fn default() -> Self {
+        OptimizerRules { dense_degree: 6.0, small_graph: 2_000, breakeven_vars_per_change: 40.0 }
+    }
+}
+
+/// Choose a strategy for a workload.
+///
+/// Two mechanisms (measured in E6):
+/// * **accuracy** — on small, densely-coupled graphs Gibbs chains restricted
+///   to r-hop delta regions mix poorly, so the sampling materialization's
+///   refreshed marginals drift; mean-field relaxation stays accurate there;
+/// * **amortization** — variational materialization costs a full mean-field
+///   build (`O(vars)`), sampling's stored worlds are a free by-product of
+///   the inference run; variational only pays off over enough future deltas.
+pub fn choose(stats: &WorkloadStats, rules: &OptimizerRules) -> Strategy {
+    if stats.avg_degree > rules.dense_degree && stats.num_variables <= rules.small_graph {
+        return Strategy::Variational;
+    }
+    if (stats.anticipated_changes as f64)
+        > stats.num_variables as f64 / rules.breakeven_vars_per_change
+    {
+        return Strategy::Variational;
+    }
+    Strategy::Sampling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(nv: usize, deg: f64, changes: usize) -> WorkloadStats {
+        WorkloadStats {
+            num_variables: nv,
+            num_factors: nv,
+            avg_degree: deg,
+            anticipated_changes: changes,
+        }
+    }
+
+    #[test]
+    fn small_dense_graphs_get_variational() {
+        // Region-restricted resampling mixes poorly on small dense graphs.
+        let r = OptimizerRules::default();
+        assert_eq!(choose(&stats(400, 10.0, 1), &r), Strategy::Variational);
+    }
+
+    #[test]
+    fn large_dense_one_shot_gets_sampling() {
+        let r = OptimizerRules::default();
+        assert_eq!(choose(&stats(1_000_000, 10.0, 1), &r), Strategy::Sampling);
+    }
+
+    #[test]
+    fn many_changes_amortize_variational() {
+        let r = OptimizerRules::default();
+        assert_eq!(choose(&stats(400, 2.0, 16), &r), Strategy::Variational);
+    }
+
+    #[test]
+    fn few_changes_on_big_graphs_get_sampling() {
+        // Mean-field materialization over 4000 vars is not worth 16 deltas.
+        let r = OptimizerRules::default();
+        assert_eq!(choose(&stats(4_000, 2.0, 16), &r), Strategy::Sampling);
+        assert_eq!(choose(&stats(1_000_000, 2.0, 1), &r), Strategy::Sampling);
+    }
+
+    #[test]
+    fn workload_stats_from_graph() {
+        use deepdive_factorgraph::{FactorArg, FactorFunction, FactorGraph, Variable};
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(Variable::query());
+        let b = g.add_variable(Variable::query());
+        let w = g.weights.tied("w", 1.0);
+        g.add_factor(FactorFunction::Imply, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        let c = g.compile();
+        let s = WorkloadStats::from_graph(&c, 3);
+        assert_eq!(s.num_variables, 2);
+        assert_eq!(s.num_factors, 1);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.anticipated_changes, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Gazetteers: multi-token dictionary matching.
+//!
+//! §3.1: features range "to highly domain-specific dictionaries and
+//! ontologies"; the integrated-processing argument of §2.4 hinges on being
+//! able to "simply filter out extracted tuples that contain movie titles (for
+//! which there are free and high-quality downloadable databases)" — i.e.
+//! dictionaries are first-class.
+
+use std::collections::{HashMap, HashSet};
+
+/// A case-insensitive phrase dictionary supporting longest-prefix matching
+/// over token sequences.
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    /// Full phrases (lowercased, single-space separated).
+    phrases: HashSet<String>,
+    /// All proper prefixes of multi-token phrases (for longest-match).
+    prefixes: HashSet<String>,
+    /// Max phrase length in tokens.
+    max_len: usize,
+    /// Optional canonical-form mapping (e.g. alias → entity id).
+    canonical: HashMap<String, String>,
+}
+
+impl Gazetteer {
+    pub fn new() -> Self {
+        Gazetteer::default()
+    }
+
+    /// Build from an iterator of phrases.
+    pub fn from_phrases<I, S>(phrases: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut g = Gazetteer::new();
+        for p in phrases {
+            g.insert(p.as_ref());
+        }
+        g
+    }
+
+    /// Insert a phrase.
+    pub fn insert(&mut self, phrase: &str) {
+        let norm = normalize(phrase);
+        if norm.is_empty() {
+            return;
+        }
+        let toks: Vec<&str> = norm.split(' ').collect();
+        self.max_len = self.max_len.max(toks.len());
+        for k in 1..toks.len() {
+            self.prefixes.insert(toks[..k].join(" "));
+        }
+        self.phrases.insert(norm);
+    }
+
+    /// Insert a phrase with a canonical form (entity linking support, §3.2's
+    /// `EL` relation).
+    pub fn insert_alias(&mut self, alias: &str, canonical: &str) {
+        self.insert(alias);
+        self.canonical.insert(normalize(alias), canonical.to_string());
+    }
+
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Exact phrase membership.
+    pub fn contains(&self, phrase: &str) -> bool {
+        self.phrases.contains(&normalize(phrase))
+    }
+
+    /// Canonical form of an alias, if registered.
+    pub fn canonical_of(&self, alias: &str) -> Option<&str> {
+        self.canonical.get(&normalize(alias)).map(String::as_str)
+    }
+
+    /// Longest match starting at `tokens[0]` (tokens must be lowercased).
+    /// Returns the match length in tokens.
+    pub fn longest_match(&self, tokens: &[String]) -> Option<usize> {
+        let mut best = None;
+        let mut current = String::new();
+        for (k, t) in tokens.iter().enumerate().take(self.max_len) {
+            if k > 0 {
+                current.push(' ');
+            }
+            current.push_str(t);
+            if self.phrases.contains(&current) {
+                best = Some(k + 1);
+            } else if !self.prefixes.contains(&current) {
+                break;
+            }
+        }
+        best
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_case_and_space_insensitive() {
+        let g = Gazetteer::from_phrases(["New  York", "Chicago"]);
+        assert!(g.contains("new york"));
+        assert!(g.contains("NEW YORK"));
+        assert!(!g.contains("york"));
+    }
+
+    #[test]
+    fn longest_match_prefers_longer_phrases() {
+        let g = Gazetteer::from_phrases(["new york", "new york city"]);
+        let toks: Vec<String> =
+            ["new", "york", "city", "hall"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(g.longest_match(&toks), Some(3));
+        assert_eq!(g.longest_match(&toks[1..]), None);
+    }
+
+    #[test]
+    fn prefix_pruning_stops_early() {
+        let g = Gazetteer::from_phrases(["alpha beta gamma"]);
+        let toks: Vec<String> = ["alpha", "delta"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(g.longest_match(&toks), None);
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical() {
+        let mut g = Gazetteer::new();
+        g.insert_alias("B. Obama", "Barack Obama");
+        g.insert_alias("Barack Obama", "Barack Obama");
+        assert_eq!(g.canonical_of("b. obama"), Some("Barack Obama"));
+        assert_eq!(g.canonical_of("nobody"), None);
+    }
+
+    #[test]
+    fn empty_phrases_are_ignored() {
+        let mut g = Gazetteer::new();
+        g.insert("   ");
+        assert!(g.is_empty());
+    }
+}

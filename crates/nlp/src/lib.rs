@@ -1,0 +1,31 @@
+//! `deepdive-nlp`: the text-preprocessing substrate of the DeepDive
+//! reproduction (§3.1 of the paper).
+//!
+//! The original system shells out to "standard NLP pre-processing tools"
+//! (Stanford CoreNLP). This crate rebuilds the pieces the pipeline
+//! experiments actually exercise, from scratch and with zero dependencies:
+//! HTML stripping, abbreviation-aware sentence splitting, offset-preserving
+//! tokenization, a lexicon+suffix part-of-speech tagger, gazetteer matching,
+//! and high-recall entity-candidate spotters (persons, prices, phones, gene
+//! symbols, chemical formulas, locations).
+//!
+//! Everything is deterministic and inspectable — candidate generation is
+//! supposed to be high-recall/low-precision (§3), and every downstream error
+//! must be traceable to its source span (§2.5 "debuggable decisions").
+
+pub mod dict;
+pub mod ner;
+pub mod pipeline;
+pub mod pos;
+pub mod sentence;
+pub mod tokenize;
+
+pub use dict::Gazetteer;
+pub use ner::{
+    spot_formulas, spot_genes, spot_genes_in, spot_locations, spot_persons, spot_phones,
+    spot_prices, spot_prices_in, Span, SpanKind,
+};
+pub use pipeline::{Pipeline, PipelineOptions, ProcessedDocument, ProcessedSentence};
+pub use pos::{tag, PosTag};
+pub use sentence::{split_sentences, strip_html, SentenceSpan};
+pub use tokenize::{tokenize, Token};

@@ -1,0 +1,290 @@
+//! Heuristic named-entity candidate spotting.
+//!
+//! Candidate generation must be "high-recall, low-precision" (§3): these
+//! spotters over-generate spans (person names, prices, phone numbers, gene
+//! symbols, locations) and leave precision to probabilistic inference.
+
+use crate::dict::Gazetteer;
+use crate::pos::PosTag;
+use crate::tokenize::Token;
+use serde::{Deserialize, Serialize};
+
+/// Entity-candidate categories the spotters produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    Person,
+    Price,
+    Phone,
+    Gene,
+    Location,
+    ChemicalFormula,
+}
+
+/// A candidate span over a token range `[first, last]` (inclusive).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    pub kind: SpanKind,
+    pub first: usize,
+    pub last: usize,
+    pub text: String,
+}
+
+impl Span {
+    fn from_tokens(kind: SpanKind, tokens: &[Token], first: usize, last: usize) -> Self {
+        let text =
+            tokens[first..=last].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+        Span { kind, first, last, text }
+    }
+}
+
+const HONORIFICS: &[&str] = &["dr.", "dr", "mr.", "mr", "mrs.", "mrs", "ms.", "ms", "prof.", "prof"];
+
+/// Spot person-name candidates: runs of proper nouns (NNP), optionally led by
+/// an honorific; single capitalized tokens count too (high recall — the
+/// "city names after Dr." failure mode of §5.2 is intentional here).
+pub fn spot_persons(tokens: &[Token], tags: &[PosTag]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_honorific = HONORIFICS.contains(&tokens[i].text.to_ascii_lowercase().as_str());
+        let starts_name = tags[i] == PosTag::Nnp && !is_honorific;
+        if starts_name {
+            let mut j = i;
+            while j + 1 < tokens.len()
+                && (tags[j + 1] == PosTag::Nnp
+                    || (tokens[j + 1].text.ends_with('.') && tokens[j + 1].text.len() == 2))
+            {
+                j += 1;
+            }
+            spans.push(Span::from_tokens(SpanKind::Person, tokens, i, j));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Spot price candidates: `$`/`€` followed by a number, `N dollars`,
+/// `N/hr`-style rates, or bare numbers adjacent to rate words.
+pub fn spot_prices(tokens: &[Token], tags: &[PosTag]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i].text;
+        if (t == "$" || t == "€") && i + 1 < tokens.len() && tags[i + 1] == PosTag::Cd {
+            spans.push(Span::from_tokens(SpanKind::Price, tokens, i, i + 1));
+        } else if tags[i] == PosTag::Cd && i + 1 < tokens.len() {
+            let next = tokens[i + 1].text.to_ascii_lowercase();
+            if ["dollars", "usd", "euro", "euros", "roses", "bucks"].contains(&next.as_str()) {
+                spans.push(Span::from_tokens(SpanKind::Price, tokens, i, i + 1));
+            }
+        }
+    }
+    spans
+}
+
+/// Spot phone-number candidates: runs of digit groups totaling 7–15 digits
+/// (optionally with `-`, `(`, `)` separators collapsed by the tokenizer), or
+/// single 10-digit tokens.
+pub fn spot_phones(tokens: &[Token]) -> Vec<Span> {
+    let digits = |s: &str| s.chars().filter(char::is_ascii_digit).count();
+    let digits_only = |s: &str| s.chars().all(|c| c.is_ascii_digit() || c == '-' || c == '.');
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if digits(&tokens[i].text) >= 3 && digits_only(&tokens[i].text) {
+            let mut j = i;
+            let mut total = digits(&tokens[i].text);
+            while j + 1 < tokens.len()
+                && digits_only(&tokens[j + 1].text)
+                && digits(&tokens[j + 1].text) >= 3
+                && total + digits(&tokens[j + 1].text) <= 15
+            {
+                j += 1;
+                total += digits(&tokens[j].text);
+            }
+            if (7..=15).contains(&total) {
+                spans.push(Span::from_tokens(SpanKind::Phone, tokens, i, j));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Spot gene-symbol candidates: short tokens of uppercase letters + digits
+/// (e.g. `BRCA1`, `TP53`), with at least two characters and one letter.
+pub fn spot_genes(tokens: &[Token]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let s = &t.text;
+        let ok = s.len() >= 2
+            && s.len() <= 8
+            && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+            && s.chars().any(|c| c.is_ascii_uppercase());
+        if ok {
+            spans.push(Span::from_tokens(SpanKind::Gene, tokens, i, i));
+        }
+    }
+    spans
+}
+
+/// Spot chemical-formula candidates: element-symbol sequences with
+/// subscripts, e.g. `GaAs`, `InP`, `Al2O3`, `SiC`.
+pub fn spot_formulas(tokens: &[Token]) -> Vec<Span> {
+    let looks_like_formula = |s: &str| {
+        if s.len() < 2 || s.len() > 12 {
+            return false;
+        }
+        let mut caps = 0;
+        let mut prev_was_upper = false;
+        let mut has_inner_upper_or_digit = false;
+        for (i, c) in s.chars().enumerate() {
+            if c.is_ascii_uppercase() {
+                caps += 1;
+                if i > 0 {
+                    has_inner_upper_or_digit = true;
+                }
+                prev_was_upper = true;
+            } else if c.is_ascii_lowercase() {
+                if !prev_was_upper {
+                    return false;
+                }
+                prev_was_upper = false;
+            } else if c.is_ascii_digit() {
+                if i == 0 {
+                    return false;
+                }
+                has_inner_upper_or_digit = true;
+                prev_was_upper = false;
+            } else {
+                return false;
+            }
+        }
+        caps >= 2 && has_inner_upper_or_digit || caps >= 1 && s.chars().any(|c| c.is_ascii_digit())
+    };
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| looks_like_formula(&t.text))
+        .map(|(i, _)| Span::from_tokens(SpanKind::ChemicalFormula, tokens, i, i))
+        .collect()
+}
+
+/// Convenience: gene-symbol texts in a raw string (tokenize + spot).
+pub fn spot_genes_in(text: &str) -> Vec<String> {
+    let tokens = crate::tokenize::tokenize(text);
+    spot_genes(&tokens).into_iter().map(|s| s.text).collect()
+}
+
+/// Convenience: price span texts + parsed values in a raw string.
+pub fn spot_prices_in(text: &str) -> Vec<(String, i64)> {
+    let tokens = crate::tokenize::tokenize(text);
+    let tags = crate::pos::tag(&tokens);
+    spot_prices(&tokens, &tags)
+        .into_iter()
+        .filter_map(|s| {
+            let digits: String = s.text.chars().filter(char::is_ascii_digit).collect();
+            digits.parse::<i64>().ok().map(|v| (s.text, v))
+        })
+        .collect()
+}
+
+/// Spot location candidates via gazetteer (multi-token, longest match wins).
+pub fn spot_locations(tokens: &[Token], gazetteer: &Gazetteer) -> Vec<Span> {
+    let texts: Vec<String> = tokens.iter().map(|t| t.text.to_ascii_lowercase()).collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(len) = gazetteer.longest_match(&texts[i..]) {
+            spans.push(Span::from_tokens(SpanKind::Location, tokens, i, i + len - 1));
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::tokenize::tokenize;
+
+    fn prep(s: &str) -> (Vec<Token>, Vec<PosTag>) {
+        let toks = tokenize(s);
+        let tags = tag(&toks);
+        (toks, tags)
+    }
+
+    #[test]
+    fn persons_span_multi_token_names() {
+        let (t, g) = prep("B. Obama and Michelle were married");
+        let ps = spot_persons(&t, &g);
+        let texts: Vec<&str> = ps.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"B. Obama") || texts.contains(&"Obama"), "{texts:?}");
+        assert!(texts.contains(&"Michelle"));
+    }
+
+    #[test]
+    fn honorific_bleeds_are_possible_by_design() {
+        // High recall: "Dr. Chicago" yields a (wrong) person candidate —
+        // inference is what filters it (the §5.2 example).
+        let (t, g) = prep("Dr. Chicago saw the patient");
+        let ps = spot_persons(&t, &g);
+        assert!(ps.iter().any(|s| s.text.contains("Chicago")));
+    }
+
+    #[test]
+    fn prices_with_currency_and_units() {
+        let (t, g) = prep("rates from $150 or 200 roses");
+        let ps = spot_prices(&t, &g);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].text, "$ 150");
+        assert_eq!(ps[1].text, "200 roses");
+    }
+
+    #[test]
+    fn phones_with_separators() {
+        let (t, _) = prep("call 555-123-4567 now");
+        let ps = spot_phones(&t);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].text.contains("555"));
+    }
+
+    #[test]
+    fn short_numbers_are_not_phones() {
+        let (t, _) = prep("room 42 on floor 3");
+        assert!(spot_phones(&t).is_empty());
+    }
+
+    #[test]
+    fn gene_symbols() {
+        let (t, _) = prep("mutations in BRCA1 and TP53 but not cat");
+        let gs = spot_genes(&t);
+        let texts: Vec<&str> = gs.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["BRCA1", "TP53"]);
+    }
+
+    #[test]
+    fn chemical_formulas() {
+        let (t, _) = prep("GaAs and Al2O3 substrates versus silicon");
+        let fs = spot_formulas(&t);
+        let texts: Vec<&str> = fs.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"GaAs"));
+        assert!(texts.contains(&"Al2O3"));
+        assert!(!texts.contains(&"silicon"));
+    }
+
+    #[test]
+    fn locations_from_gazetteer() {
+        let gaz = Gazetteer::from_phrases(["new york", "chicago", "san francisco"]);
+        let (t, _) = prep("flew from New York to San Francisco via Chicago");
+        let ls = spot_locations(&t, &gaz);
+        let texts: Vec<&str> = ls.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["New York", "San Francisco", "Chicago"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The document preprocessing pipeline (§3.1).
+//!
+//! "By default, DeepDive stores all documents in the database in one sentence
+//! per row with markup produced by standard NLP pre-processing tools,
+//! including HTML stripping, part-of-speech tagging, and linguistic parsing."
+//!
+//! [`Pipeline::process`] runs HTML stripping → sentence splitting →
+//! tokenization → POS tagging → entity-candidate spotting, producing the
+//! structured rows candidate-generation rules consume.
+
+use crate::dict::Gazetteer;
+use crate::ner::{
+    spot_formulas, spot_genes, spot_locations, spot_persons, spot_phones, spot_prices, Span,
+    SpanKind,
+};
+use crate::pos::{tag, PosTag};
+use crate::sentence::{split_sentences, strip_html};
+use crate::tokenize::{tokenize, Token};
+use serde::{Deserialize, Serialize};
+
+/// One preprocessed sentence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessedSentence {
+    /// Index of the sentence within the document.
+    pub index: usize,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    pub tags: Vec<PosTag>,
+    pub spans: Vec<Span>,
+}
+
+impl ProcessedSentence {
+    /// Spans of one kind.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// The token texts between two spans (exclusive) — the `phrase` UDF of
+    /// Ex. 3.2 ("the phrase between two mentions may indicate whether two
+    /// people are married", e.g. "and his wife").
+    pub fn phrase_between(&self, a: &Span, b: &Span) -> String {
+        let (lo, hi) = if a.last < b.first { (a.last, b.first) } else { (b.last, a.first) };
+        if lo + 1 >= hi {
+            return String::new();
+        }
+        self.tokens[lo + 1..hi]
+            .iter()
+            .map(|t| t.text.to_ascii_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A fully preprocessed document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessedDocument {
+    pub doc_id: u64,
+    pub sentences: Vec<ProcessedSentence>,
+}
+
+/// Which spotters to run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    pub strip_html: bool,
+    pub persons: bool,
+    pub prices: bool,
+    pub phones: bool,
+    pub genes: bool,
+    pub formulas: bool,
+    /// Location gazetteer (locations are spotted only when set).
+    pub location_gazetteer: Option<Gazetteer>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            strip_html: true,
+            persons: true,
+            prices: false,
+            phones: false,
+            genes: false,
+            formulas: false,
+            location_gazetteer: None,
+        }
+    }
+}
+
+/// The preprocessing pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    pub options: PipelineOptions,
+}
+
+impl Pipeline {
+    pub fn new(options: PipelineOptions) -> Self {
+        Pipeline { options }
+    }
+
+    /// Process one raw document.
+    pub fn process(&self, doc_id: u64, raw: &str) -> ProcessedDocument {
+        let text =
+            if self.options.strip_html { strip_html(raw) } else { raw.to_string() };
+        let sentences = split_sentences(&text)
+            .into_iter()
+            .enumerate()
+            .map(|(index, s)| {
+                let tokens = tokenize(&s.text);
+                let tags = tag(&tokens);
+                let mut spans = Vec::new();
+                if self.options.persons {
+                    spans.extend(spot_persons(&tokens, &tags));
+                }
+                if self.options.prices {
+                    spans.extend(spot_prices(&tokens, &tags));
+                }
+                if self.options.phones {
+                    spans.extend(spot_phones(&tokens));
+                }
+                if self.options.genes {
+                    spans.extend(spot_genes(&tokens));
+                }
+                if self.options.formulas {
+                    spans.extend(spot_formulas(&tokens));
+                }
+                if let Some(gaz) = &self.options.location_gazetteer {
+                    spans.extend(spot_locations(&tokens, gaz));
+                }
+                ProcessedSentence { index, text: s.text, tokens, tags, spans }
+            })
+            .collect();
+        ProcessedDocument { doc_id, sentences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_on_the_paper_sentence() {
+        let p = Pipeline::default();
+        let doc = p.process(1, "B. Obama and Michelle were married Oct. 3, 1992.");
+        assert_eq!(doc.sentences.len(), 1);
+        let s = &doc.sentences[0];
+        let persons: Vec<&str> =
+            s.spans_of(SpanKind::Person).map(|sp| sp.text.as_str()).collect();
+        assert!(persons.len() >= 2, "{persons:?}");
+    }
+
+    #[test]
+    fn phrase_between_extracts_connecting_words() {
+        let p = Pipeline::default();
+        let doc = p.process(1, "Barack married his wife Michelle in Chicago.");
+        let s = &doc.sentences[0];
+        let persons: Vec<Span> = s.spans_of(SpanKind::Person).cloned().collect();
+        assert!(persons.len() >= 2);
+        let phrase = s.phrase_between(&persons[0], &persons[1]);
+        assert_eq!(phrase, "married his wife");
+    }
+
+    #[test]
+    fn html_documents_are_stripped_first() {
+        let p = Pipeline::default();
+        let doc = p.process(1, "<html><p>Alice met Bob.</p><script>x()</script></html>");
+        assert_eq!(doc.sentences.len(), 1);
+        assert!(!doc.sentences[0].text.contains('<'));
+    }
+
+    #[test]
+    fn optional_spotters_are_gated() {
+        let opts = PipelineOptions { prices: true, phones: true, ..Default::default() };
+        let p = Pipeline::new(opts);
+        let doc = p.process(1, "Rates from $200. Call 555-123-4567 anytime.");
+        let all: Vec<SpanKind> =
+            doc.sentences.iter().flat_map(|s| s.spans.iter().map(|x| x.kind)).collect();
+        assert!(all.contains(&SpanKind::Price));
+        assert!(all.contains(&SpanKind::Phone));
+    }
+
+    #[test]
+    fn multiple_sentences_get_indexed() {
+        let p = Pipeline::default();
+        let doc = p.process(7, "First one. Second one. Third one.");
+        assert_eq!(doc.sentences.len(), 3);
+        assert_eq!(doc.sentences[2].index, 2);
+        assert_eq!(doc.doc_id, 7);
+    }
+}

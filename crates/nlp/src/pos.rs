@@ -1,0 +1,215 @@
+//! A lexicon + suffix-rule part-of-speech tagger.
+//!
+//! DeepDive's preprocessing includes "part-of-speech tagging" (§3.1). The
+//! pipeline experiments need POS tags only as *features* (e.g. "is the next
+//! token a verb?"), so a deterministic closed-class lexicon with suffix
+//! heuristics — the classic baseline tagger — is the right fidelity:
+//! transparent, fast, and fully debuggable (§2.5).
+
+use crate::tokenize::Token;
+use serde::{Deserialize, Serialize};
+
+/// Simplified Penn-style tagset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosTag {
+    /// Proper noun (capitalized, unknown word).
+    Nnp,
+    /// Common noun.
+    Nn,
+    /// Verb.
+    Vb,
+    /// Adjective.
+    Jj,
+    /// Adverb.
+    Rb,
+    /// Determiner.
+    Dt,
+    /// Preposition / subordinating conjunction.
+    In,
+    /// Coordinating conjunction.
+    Cc,
+    /// Pronoun.
+    Prp,
+    /// Cardinal number.
+    Cd,
+    /// Modal.
+    Md,
+    /// Punctuation.
+    Punct,
+    /// Symbol ($, %, ...).
+    Sym,
+}
+
+impl PosTag {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PosTag::Nnp => "NNP",
+            PosTag::Nn => "NN",
+            PosTag::Vb => "VB",
+            PosTag::Jj => "JJ",
+            PosTag::Rb => "RB",
+            PosTag::Dt => "DT",
+            PosTag::In => "IN",
+            PosTag::Cc => "CC",
+            PosTag::Prp => "PRP",
+            PosTag::Cd => "CD",
+            PosTag::Md => "MD",
+            PosTag::Punct => ".",
+            PosTag::Sym => "SYM",
+        }
+    }
+
+    pub fn is_noun(self) -> bool {
+        matches!(self, PosTag::Nn | PosTag::Nnp)
+    }
+
+    pub fn is_verb(self) -> bool {
+        matches!(self, PosTag::Vb | PosTag::Md)
+    }
+}
+
+const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "every", "each"];
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over", "under", "after",
+    "before", "between", "during", "through", "about", "against", "per",
+];
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so"];
+const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "him", "her", "his", "hers", "its", "their",
+    "them", "who", "whom", "which", "me", "us", "my", "your", "our",
+];
+const MODALS: &[&str] = &["can", "could", "may", "might", "must", "shall", "should", "will", "would"];
+const COMMON_VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "do", "does", "did",
+    "married", "divorced", "met", "said", "reported", "found", "shows", "showed", "causes",
+    "caused", "treats", "treated", "regulates", "regulated", "exhibits", "exhibited", "measured",
+    "observed", "filed", "visited", "posted", "works", "worked", "lives", "lived", "offers",
+    "charges", "includes", "interacts", "inhibits", "activates", "binds", "encodes",
+];
+const COMMON_ADVERBS: &[&str] =
+    &["very", "not", "also", "recently", "often", "never", "always", "now", "then", "here"];
+
+/// Tag a token sequence.
+pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let text = t.text.as_str();
+            let lower = text.to_ascii_lowercase();
+            let first = text.chars().next().unwrap_or(' ');
+
+            if !first.is_alphanumeric() {
+                return if first == '$' || first == '%' || first == '€' || first == '#' {
+                    PosTag::Sym
+                } else {
+                    PosTag::Punct
+                };
+            }
+            if first.is_ascii_digit() || lower.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.') {
+                return PosTag::Cd;
+            }
+            if DETERMINERS.contains(&lower.as_str()) {
+                return PosTag::Dt;
+            }
+            if PREPOSITIONS.contains(&lower.as_str()) {
+                return PosTag::In;
+            }
+            if CONJUNCTIONS.contains(&lower.as_str()) {
+                return PosTag::Cc;
+            }
+            if PRONOUNS.contains(&lower.as_str()) {
+                return PosTag::Prp;
+            }
+            if MODALS.contains(&lower.as_str()) {
+                return PosTag::Md;
+            }
+            if COMMON_VERBS.contains(&lower.as_str()) {
+                return PosTag::Vb;
+            }
+            if COMMON_ADVERBS.contains(&lower.as_str()) {
+                return PosTag::Rb;
+            }
+            // Suffix heuristics.
+            if lower.ends_with("ly") {
+                return PosTag::Rb;
+            }
+            if lower.ends_with("ing") || lower.ends_with("ize") || lower.ends_with("ise") {
+                return PosTag::Vb;
+            }
+            if lower.ends_with("ed") && i > 0 {
+                return PosTag::Vb;
+            }
+            if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
+                || lower.ends_with("able") || lower.ends_with("ic") || lower.ends_with("al")
+            {
+                return PosTag::Jj;
+            }
+            // Capitalized mid-sentence (or sentence-initial known-cap) →
+            // proper noun; sentence-initial otherwise defaults to noun.
+            if first.is_uppercase() && (i > 0 || text.chars().nth(1).map(char::is_alphabetic).unwrap_or(false)) {
+                return PosTag::Nnp;
+            }
+            PosTag::Nn
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn tags(s: &str) -> Vec<PosTag> {
+        tag(&tokenize(s))
+    }
+
+    #[test]
+    fn tags_the_paper_sentence() {
+        let t = tags("B. Obama and Michelle were married Oct. 3, 1992.");
+        // "Obama" NNP, "and" CC, "Michelle" NNP, "were" VB, "married" VB.
+        assert_eq!(t[1], PosTag::Nnp);
+        assert_eq!(t[2], PosTag::Cc);
+        assert_eq!(t[3], PosTag::Nnp);
+        assert_eq!(t[4], PosTag::Vb);
+        assert_eq!(t[5], PosTag::Vb);
+    }
+
+    #[test]
+    fn closed_classes_hit_lexicon() {
+        let t = tags("the gene in a cell");
+        assert_eq!(t[0], PosTag::Dt);
+        assert_eq!(t[2], PosTag::In);
+        assert_eq!(t[3], PosTag::Dt);
+    }
+
+    #[test]
+    fn numbers_and_symbols() {
+        let t = tags("$ 150 per hour");
+        assert_eq!(t[0], PosTag::Sym);
+        assert_eq!(t[1], PosTag::Cd);
+        assert_eq!(t[2], PosTag::In);
+    }
+
+    #[test]
+    fn suffix_rules_fire() {
+        let t = tags("quickly running biological");
+        assert_eq!(t[0], PosTag::Rb);
+        assert_eq!(t[1], PosTag::Vb);
+        assert_eq!(t[2], PosTag::Jj);
+    }
+
+    #[test]
+    fn capitalized_mid_sentence_is_proper() {
+        let t = tags("visited Chicago yesterday");
+        assert_eq!(t[1], PosTag::Nnp);
+    }
+
+    #[test]
+    fn tag_helpers() {
+        assert!(PosTag::Nnp.is_noun());
+        assert!(PosTag::Md.is_verb());
+        assert!(!PosTag::Jj.is_noun());
+        assert_eq!(PosTag::Cd.as_str(), "CD");
+    }
+}

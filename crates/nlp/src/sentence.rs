@@ -1,0 +1,238 @@
+//! Abbreviation-aware sentence splitting and HTML stripping.
+//!
+//! §3.1: "DeepDive stores all documents in the database in one sentence per
+//! row with markup produced by standard NLP pre-processing tools, including
+//! HTML stripping".
+
+/// A sentence with its byte span in the source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentenceSpan {
+    pub text: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Abbreviations that do not terminate a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "jr", "sr", "st", "vs", "etc", "inc", "ltd", "co", "corp",
+    "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "fig",
+    "eq", "e.g", "i.e", "al", "no", "vol", "pp", "approx",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_ascii_lowercase();
+    // Single capital letters ("B. Obama") are initials.
+    if w.len() == 1 {
+        return true;
+    }
+    ABBREVIATIONS.contains(&w.as_str())
+}
+
+/// Split text into sentences. Terminators: `.` `!` `?` followed by
+/// whitespace+capital/digit or end of text; periods after known
+/// abbreviations or initials do not split.
+pub fn split_sentences(text: &str) -> Vec<SentenceSpan> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut sentences = Vec::new();
+    let mut sent_start = 0usize; // char index
+
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i].1;
+        let is_term = c == '.' || c == '!' || c == '?' || c == '\n' && i + 1 < n && chars[i + 1].1 == '\n';
+        if is_term {
+            // Word immediately before the terminator.
+            let mut k = i;
+            while k > 0 && !chars[k - 1].1.is_whitespace() {
+                k -= 1;
+            }
+            let word: String = chars[k..i].iter().map(|(_, ch)| ch).collect();
+            let abbrev = c == '.' && is_abbreviation(&word);
+
+            // Lookahead: next non-space char.
+            let mut j = i + 1;
+            while j < n && chars[j].1.is_whitespace() {
+                j += 1;
+            }
+            let boundary = !abbrev
+                && (j >= n || chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit()
+                    || chars[j].1 == '"');
+            if boundary {
+                let start_b = chars[sent_start].0;
+                let end_b = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+                let s = text[start_b..end_b].trim();
+                if !s.is_empty() {
+                    sentences.push(SentenceSpan {
+                        text: s.to_string(),
+                        start: start_b,
+                        end: end_b,
+                    });
+                }
+                sent_start = j.min(n.saturating_sub(0));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if sent_start < n {
+        let start_b = chars[sent_start].0;
+        let s = text[start_b..].trim();
+        if !s.is_empty() {
+            sentences.push(SentenceSpan { text: s.to_string(), start: start_b, end: text.len() });
+        }
+    }
+    sentences
+}
+
+/// Strip HTML tags, decode a handful of common entities, and collapse
+/// whitespace. Script/style elements are dropped wholesale.
+pub fn strip_html(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut chars = html.char_indices().peekable();
+    let lower = html.to_ascii_lowercase();
+    let mut skip_until: Option<&str> = None;
+
+    while let Some((i, c)) = chars.next() {
+        if let Some(end_tag) = skip_until {
+            if c == '<' && lower[i..].starts_with(end_tag) {
+                // Consume through the closing '>'.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '>' {
+                        break;
+                    }
+                }
+                skip_until = None;
+            }
+            continue;
+        }
+        match c {
+            '<' => {
+                if lower[i..].starts_with("<script") {
+                    skip_until = Some("</script");
+                } else if lower[i..].starts_with("<style") {
+                    skip_until = Some("</style");
+                }
+                let mut tag = String::new();
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '>' {
+                        break;
+                    }
+                    tag.push(c2);
+                }
+                // Block-level tags become sentence-ish breaks.
+                let t = tag.trim_start_matches('/').to_ascii_lowercase();
+                if t.starts_with("p") || t.starts_with("br") || t.starts_with("div")
+                    || t.starts_with("li") || t.starts_with("tr") || t.starts_with("h")
+                {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            '&' => {
+                let rest = &html[i..];
+                let known = [
+                    ("&amp;", "&"),
+                    ("&lt;", "<"),
+                    ("&gt;", ">"),
+                    ("&quot;", "\""),
+                    ("&#39;", "'"),
+                    ("&apos;", "'"),
+                    ("&nbsp;", " "),
+                ];
+                let mut matched = false;
+                for (ent, rep) in known {
+                    if rest.starts_with(ent) {
+                        out.push_str(rep);
+                        for _ in 0..ent.len() - 1 {
+                            chars.next();
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    out.push('&');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    // Collapse runs of spaces (but keep newlines as break hints).
+    let mut collapsed = String::with_capacity(out.len());
+    let mut last_space = false;
+    for c in out.chars() {
+        if c == ' ' || c == '\t' {
+            if !last_space {
+                collapsed.push(' ');
+            }
+            last_space = true;
+        } else {
+            collapsed.push(c);
+            last_space = false;
+        }
+    }
+    collapsed.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        split_sentences(s).into_iter().map(|x| x.text).collect()
+    }
+
+    #[test]
+    fn splits_simple_sentences() {
+        assert_eq!(
+            texts("The cat sat. The dog ran! Did it?"),
+            vec!["The cat sat.", "The dog ran!", "Did it?"]
+        );
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = "Dr. Smith treated the claim. Mrs. Jones paid.";
+        assert_eq!(texts(s).len(), 2);
+        assert!(texts(s)[0].contains("Dr. Smith"));
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = "B. Obama and Michelle were married Oct. 3, 1992. They live in D.C. now.";
+        let got = texts(s);
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn spans_reference_source() {
+        let s = "One. Two.";
+        for sp in split_sentences(s) {
+            assert!(s[sp.start..sp.end].contains(sp.text.trim()));
+        }
+    }
+
+    #[test]
+    fn html_stripping_removes_tags_and_scripts() {
+        let html = "<html><script>var x = 1;</script><p>Hello &amp; welcome</p><div>Bye</div>";
+        let s = strip_html(html);
+        assert!(s.contains("Hello & welcome"));
+        assert!(s.contains("Bye"));
+        assert!(!s.contains("var x"));
+        assert!(!s.contains('<'));
+    }
+
+    #[test]
+    fn entities_decode() {
+        assert_eq!(strip_html("a &lt;b&gt; &quot;c&quot; &#39;d&#39;"), "a <b> \"c\" 'd'");
+    }
+
+    #[test]
+    fn empty_input_yields_no_sentences() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+}

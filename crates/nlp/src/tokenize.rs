@@ -1,0 +1,153 @@
+//! Tokenization with character offsets.
+//!
+//! Offsets are byte positions into the original sentence text, so mentions
+//! extracted downstream can always be traced back to the exact source span —
+//! a prerequisite for the "debuggable decisions" design goal (§2.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Short abbreviations whose trailing period belongs to the token
+/// (`Dr.`, `Oct.`, `B.`); single letters are handled separately.
+const ABBREV: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "jr", "sr", "st", "vs", "etc", "inc", "ltd", "co", "jan",
+    "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "no", "vol",
+];
+
+/// One token with its source span (byte offsets into the sentence).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    pub text: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
+        Token { text: text.into(), start, end }
+    }
+}
+
+/// Tokenize a sentence: alphanumeric runs (with internal `'`/`-`/`.` between
+/// alphanumerics, so `O'Brien`, `anti-viral` and `U.S.` stay whole), numbers
+/// (with `,`/`.` separators and optional unit suffix split), and single
+/// punctuation marks.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes: Vec<(usize, char)> = text.char_indices().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+
+    let end_of = |idx: usize| -> usize {
+        if idx < n {
+            bytes[idx].0
+        } else {
+            text.len()
+        }
+    };
+
+    while i < n {
+        let (start, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '$' && i + 1 < n && bytes[i + 1].1.is_ascii_digit() {
+            // Currency glued to number: split `$` as its own token first.
+            if c == '$' {
+                tokens.push(Token::new("$", start, end_of(i + 1)));
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n {
+                let cj = bytes[j].1;
+                let continues = cj.is_alphanumeric()
+                    || (cj == '\'' || cj == '-' || cj == '.' || cj == ',')
+                        && j + 1 < n
+                        && bytes[j + 1].1.is_alphanumeric();
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            let mut end = end_of(j);
+            // Attach a trailing period to single initials and known
+            // abbreviations ("B.", "Dr.", "Oct.").
+            if j < n && bytes[j].1 == '.' {
+                let word = &text[start..end];
+                let is_initial = word.chars().count() == 1
+                    && word.chars().next().is_some_and(char::is_uppercase);
+                if is_initial || ABBREV.contains(&word.to_ascii_lowercase().as_str()) {
+                    j += 1;
+                    end = end_of(j);
+                }
+            }
+            tokens.push(Token::new(&text[start..end], start, end));
+            i = j;
+        } else {
+            let end = end_of(i + 1);
+            tokens.push(Token::new(&text[start..end], start, end));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Lowercased token texts (bag-of-words helpers).
+pub fn token_texts(tokens: &[Token]) -> Vec<&str> {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_words_and_punctuation() {
+        assert_eq!(texts("B. Obama and Michelle were married Oct. 3, 1992."), vec![
+            "B.", "Obama", "and", "Michelle", "were", "married", "Oct.", "3", ",", "1992", "."
+        ]);
+    }
+
+    #[test]
+    fn keeps_internal_apostrophes_and_hyphens() {
+        assert_eq!(texts("O'Brien anti-viral"), vec!["O'Brien", "anti-viral"]);
+    }
+
+    #[test]
+    fn splits_currency_from_amount() {
+        assert_eq!(texts("$150 per hour"), vec!["$", "150", "per", "hour"]);
+    }
+
+    #[test]
+    fn numbers_keep_thousands_separators() {
+        assert_eq!(texts("1,234.56 units"), vec!["1,234.56", "units"]);
+    }
+
+    #[test]
+    fn offsets_cover_source_spans() {
+        let s = "Dr. Smith, MD";
+        for t in tokenize(s) {
+            assert_eq!(&s[t.start..t.end], t.text, "span mismatch");
+        }
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic_and_spans_align() {
+        let s = "Zoë visited Café 42 — twice";
+        for t in tokenize(s) {
+            assert_eq!(&s[t.start..t.end], t.text);
+        }
+        assert!(texts(s).contains(&"Zoë".to_string()));
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+}

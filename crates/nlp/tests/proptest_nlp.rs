@@ -1,0 +1,69 @@
+//! Property-based tests on the NLP substrate: offsets, idempotence, safety
+//! on arbitrary (including non-ASCII) input.
+
+use deepdive_nlp::{split_sentences, strip_html, tokenize, Gazetteer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every token's span slices the source to exactly the token text, and
+    /// spans are strictly increasing and non-overlapping.
+    #[test]
+    fn token_spans_are_faithful_and_ordered(s in "\\PC{0,200}") {
+        let toks = tokenize(&s);
+        let mut last_end = 0;
+        for t in &toks {
+            prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+            prop_assert!(t.start >= last_end, "overlap at {}", t.start);
+            prop_assert!(t.end > t.start);
+            last_end = t.end;
+        }
+    }
+
+    /// Tokenization never invents non-whitespace characters: the
+    /// concatenation of tokens is a subsequence of the input.
+    #[test]
+    fn tokens_preserve_content(s in "[a-zA-Z0-9 .,$'!?-]{0,120}") {
+        let toks = tokenize(&s);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        let squashed: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let rebuilt: String = rebuilt.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(rebuilt, squashed);
+    }
+
+    /// Sentence spans point into the source and cover the sentence text.
+    #[test]
+    fn sentence_spans_index_source(s in "\\PC{0,200}") {
+        for sp in split_sentences(&s) {
+            prop_assert!(sp.start <= sp.end && sp.end <= s.len());
+            prop_assert!(s[sp.start..sp.end].contains(sp.text.trim()));
+            prop_assert!(!sp.text.trim().is_empty());
+        }
+    }
+
+    /// HTML stripping never leaves a tag opener and never panics, on any
+    /// input (malformed markup included).
+    #[test]
+    fn strip_html_removes_all_tags(s in "\\PC{0,200}") {
+        let out = strip_html(&s);
+        // Any '<' left must have come from an entity-decoded `&lt;`.
+        let lt_entities = s.matches("&lt;").count();
+        let raw_lt = out.matches('<').count();
+        prop_assert!(raw_lt <= lt_entities, "{} tags left in {:?}", raw_lt, out);
+    }
+
+    /// Gazetteer: inserted phrases are always found; longest_match length
+    /// never exceeds the token window.
+    #[test]
+    fn gazetteer_finds_inserted_phrases(
+        words in proptest::collection::vec("[a-z]{1,8}", 1..4)
+    ) {
+        let phrase = words.join(" ");
+        let mut g = Gazetteer::new();
+        g.insert(&phrase);
+        prop_assert!(g.contains(&phrase));
+        let toks: Vec<String> = words.clone();
+        prop_assert_eq!(g.longest_match(&toks), Some(words.len()));
+    }
+}

@@ -1,0 +1,449 @@
+//! Weight learning (§3.3 "train weights", §4.2).
+//!
+//! DeepDive learns factor weights by maximizing the likelihood of the
+//! evidence labels produced by distant supervision. The gradient of the
+//! log-likelihood for tied weight `w` is
+//! `∂ℓ/∂w = E[Σ_{f: w_f = w} φ_f | evidence clamped] − E[Σ φ_f]`,
+//! estimated by running two Gibbs chains — one with evidence variables
+//! clamped to their labels, one free — and taking the potential difference
+//! (stochastic contrastive gradient, exactly what the open-source DimmWitted
+//! gibbs sampler does).
+//!
+//! Three execution modes, matching the paper's infrastructure story:
+//! * [`learn_weights`] — sequential SGD;
+//! * [`learn_weights_hogwild`] — lock-free parallel SGD \[41\]: workers
+//!   partition variables (sampling) and factors (gradient), racing benignly
+//!   on shared atomic weights;
+//! * [`learn_weights_model_averaging`] — per-socket weight replicas averaged
+//!   periodically \[57\], the NUMA-friendly strategy (§4.2 "DeepDive takes
+//!   advantage of the theoretical results of model averaging").
+
+use crate::gibbs::sigmoid;
+use crate::numa::{partition, AtomicWorld};
+use deepdive_factorgraph::{CompiledGraph, WeightStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Options for weight learning.
+#[derive(Debug, Clone)]
+pub struct LearnOptions {
+    pub epochs: usize,
+    /// Initial SGD step size.
+    pub step_size: f64,
+    /// Multiplicative per-epoch step decay (DeepDive's default is 0.95).
+    pub decay: f64,
+    /// ℓ2 regularization strength — this is the "statistical regularization
+    /// to throw away all but the most effective features" of §5.3.
+    pub l2: f64,
+    pub seed: u64,
+    /// Gibbs sweeps of each chain between gradient steps.
+    pub sweeps_per_epoch: usize,
+}
+
+impl Default for LearnOptions {
+    fn default() -> Self {
+        LearnOptions {
+            epochs: 100,
+            step_size: 0.1,
+            decay: 0.97,
+            l2: 0.01,
+            seed: 0x1EA2,
+            sweeps_per_epoch: 1,
+        }
+    }
+}
+
+/// Diagnostics from a learning run.
+#[derive(Debug, Clone)]
+pub struct LearnStats {
+    pub epochs_run: usize,
+    /// ‖gradient‖₂ per epoch (before regularization).
+    pub gradient_norms: Vec<f64>,
+}
+
+/// Sweep a world sequentially (optionally clamping evidence).
+fn sweep(
+    graph: &CompiledGraph,
+    weights: &[f64],
+    world: &mut [bool],
+    rng: &mut StdRng,
+    clamp_evidence: bool,
+) {
+    for v in 0..graph.num_variables {
+        if clamp_evidence && graph.is_evidence[v] {
+            world[v] = graph.evidence_value[v];
+            continue;
+        }
+        let logit = graph.conditional_logit(v, weights, |i| world[i]);
+        world[v] = rng.gen::<f64>() < sigmoid(logit);
+    }
+}
+
+/// Per-weight factor counts (tie sizes): gradients are averaged over a
+/// weight's groundings, not summed, so step sizes are invariant to how many
+/// factors share a tied weight.
+fn tie_sizes(graph: &CompiledGraph) -> Vec<f64> {
+    let mut refs = vec![0.0f64; graph.num_weights];
+    for f in 0..graph.num_factors {
+        refs[graph.factor_weight[f] as usize] += 1.0;
+    }
+    for r in &mut refs {
+        if *r < 1.0 {
+            *r = 1.0;
+        }
+    }
+    refs
+}
+
+/// Sequential SGD weight learning. Mutates the learnable weights in `store`.
+pub fn learn_weights(
+    graph: &CompiledGraph,
+    store: &mut WeightStore,
+    opts: &LearnOptions,
+) -> LearnStats {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut weights = store.values();
+    let learnable = store.learnable_mask();
+    let nw = weights.len();
+    let refs = tie_sizes(graph);
+
+    let mut clamped: Vec<bool> = (0..graph.num_variables)
+        .map(|v| if graph.is_evidence[v] { graph.evidence_value[v] } else { rng.gen() })
+        .collect();
+    let mut free: Vec<bool> = (0..graph.num_variables).map(|_| rng.gen()).collect();
+
+    let mut step = opts.step_size;
+    let mut gradient_norms = Vec::with_capacity(opts.epochs);
+    let mut grad = vec![0.0f64; nw];
+
+    for _ in 0..opts.epochs {
+        for _ in 0..opts.sweeps_per_epoch {
+            sweep(graph, &weights, &mut clamped, &mut rng, true);
+            sweep(graph, &weights, &mut free, &mut rng, false);
+        }
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for f in 0..graph.num_factors {
+            let w = graph.factor_weight[f] as usize;
+            if !learnable[w] {
+                continue;
+            }
+            let pc = graph.factor_potential(f, |v| clamped[v]);
+            let pf = graph.factor_potential(f, |v| free[v]);
+            grad[w] += pc - pf;
+        }
+        for (g, r) in grad.iter_mut().zip(&refs) {
+            *g /= r;
+        }
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        gradient_norms.push(norm);
+        for w in 0..nw {
+            if learnable[w] {
+                weights[w] += step * grad[w] - step * opts.l2 * weights[w];
+            }
+        }
+        step *= opts.decay;
+    }
+
+    store.load_values(&weights);
+    LearnStats { epochs_run: opts.epochs, gradient_norms }
+}
+
+/// f64 stored in an `AtomicU64`, with a CAS-free racy add for Hogwild.
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Hogwild add: read-modify-write without CAS retry. Lost updates are
+    /// permitted — that is the whole point of Hogwild \[41\]; the sparsity of
+    /// factor-weight access keeps collisions rare and convergence intact.
+    #[inline]
+    pub fn add_racy(&self, d: f64) {
+        self.store(self.load() + d);
+    }
+}
+
+/// Lock-free parallel SGD (Hogwild). `workers` threads share atomic weights;
+/// each epoch they (1) sweep disjoint variable slices of the shared clamped
+/// and free worlds, then (2) apply gradient updates for disjoint factor
+/// slices directly to the shared weights, with only an epoch barrier.
+pub fn learn_weights_hogwild(
+    graph: &CompiledGraph,
+    store: &mut WeightStore,
+    opts: &LearnOptions,
+    workers: usize,
+) -> LearnStats {
+    assert!(workers > 0);
+    let learnable = store.learnable_mask();
+    let refs = tie_sizes(graph);
+    let shared: Vec<AtomicF64> = store.values().into_iter().map(AtomicF64::new).collect();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let clamped = AtomicWorld::new(graph, &mut rng, true);
+    let free = AtomicWorld::new(graph, &mut rng, false);
+    let var_slices = partition(graph.num_variables, workers);
+    let factor_slices = partition(graph.num_factors, workers);
+    let barrier = Barrier::new(workers);
+
+    let (shared_ref, learnable_ref, refs_ref) = (&shared, &learnable, &refs);
+    let (clamped_ref, free_ref, barrier_ref) = (&clamped, &free, &barrier);
+
+    crossbeam::thread::scope(|scope| {
+        for (wi, (vslice, fslice)) in
+            var_slices.iter().cloned().zip(factor_slices.iter().cloned()).enumerate()
+        {
+            scope.spawn(move |_| {
+                let mut rng =
+                    StdRng::seed_from_u64(opts.seed ^ (wi as u64).wrapping_mul(0xB5297A4D));
+                let mut step = opts.step_size;
+                let mut local_weights = vec![0.0f64; shared_ref.len()];
+                for _ in 0..opts.epochs {
+                    // Snapshot weights once per epoch (racy but consistent
+                    // enough: Hogwild tolerates staleness).
+                    for (lw, sw) in local_weights.iter_mut().zip(shared_ref) {
+                        *lw = sw.load();
+                    }
+                    for _ in 0..opts.sweeps_per_epoch {
+                        for v in vslice.clone() {
+                            if graph.is_evidence[v] {
+                                clamped_ref.set(v, graph.evidence_value[v]);
+                            } else {
+                                let logit = graph
+                                    .conditional_logit(v, &local_weights, |i| clamped_ref.get(i));
+                                clamped_ref.set(v, rng.gen::<f64>() < sigmoid(logit));
+                            }
+                            let logit =
+                                graph.conditional_logit(v, &local_weights, |i| free_ref.get(i));
+                            free_ref.set(v, rng.gen::<f64>() < sigmoid(logit));
+                        }
+                    }
+                    barrier_ref.wait();
+                    for f in fslice.clone() {
+                        let w = graph.factor_weight[f] as usize;
+                        if !learnable_ref[w] {
+                            continue;
+                        }
+                        let pc = graph.factor_potential(f, |v| clamped_ref.get(v));
+                        let pf = graph.factor_potential(f, |v| free_ref.get(v));
+                        let g = (pc - pf) / refs_ref[w];
+                        if g != 0.0 {
+                            shared_ref[w].add_racy(step * g);
+                        }
+                    }
+                    barrier_ref.wait();
+                    // Regularization applied once per epoch by worker 0.
+                    if wi == 0 && opts.l2 > 0.0 {
+                        for (w, s) in shared_ref.iter().enumerate() {
+                            if learnable_ref[w] {
+                                s.store(s.load() * (1.0 - step * opts.l2));
+                            }
+                        }
+                    }
+                    barrier_ref.wait();
+                    step *= opts.decay;
+                }
+            });
+        }
+    })
+    .expect("hogwild scope");
+
+    let final_weights: Vec<f64> = shared.iter().map(AtomicF64::load).collect();
+    store.load_values(&final_weights);
+    LearnStats { epochs_run: opts.epochs, gradient_norms: Vec::new() }
+}
+
+/// Model-averaging parallel learning \[57\]: `replicas` independent learners
+/// (one per simulated NUMA node) each run `period` epochs on private weight
+/// copies, then the copies are averaged; repeat until `opts.epochs` total.
+pub fn learn_weights_model_averaging(
+    graph: &CompiledGraph,
+    store: &mut WeightStore,
+    opts: &LearnOptions,
+    replicas: usize,
+    period: usize,
+) -> LearnStats {
+    assert!(replicas > 0 && period > 0);
+    let rounds = opts.epochs.div_ceil(period);
+    let mut current = store.values();
+    let learnable = store.learnable_mask();
+    let mut gradient_norms = Vec::new();
+
+    for round in 0..rounds {
+        let round_opts = LearnOptions {
+            epochs: period,
+            step_size: opts.step_size * opts.decay.powi((round * period) as i32),
+            seed: opts.seed ^ ((round as u64) << 16),
+            ..opts.clone()
+        };
+        let results: Vec<(Vec<f64>, LearnStats)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..replicas)
+                .map(|r| {
+                    let mut replica_store = store.clone();
+                    replica_store.load_values(&current);
+                    let ro = LearnOptions {
+                        seed: round_opts.seed ^ (r as u64).wrapping_mul(0x2545F491),
+                        ..round_opts.clone()
+                    };
+                    scope.spawn(move |_| {
+                        let stats = learn_weights(graph, &mut replica_store, &ro);
+                        (replica_store.values(), stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replica")).collect()
+        })
+        .expect("averaging scope");
+
+        // Average learnable weights across replicas.
+        for w in 0..current.len() {
+            if learnable[w] {
+                current[w] =
+                    results.iter().map(|(vals, _)| vals[w]).sum::<f64>() / replicas as f64;
+            }
+        }
+        if let Some((_, stats)) = results.into_iter().next() {
+            gradient_norms.extend(stats.gradient_norms);
+        }
+    }
+
+    store.load_values(&current);
+    LearnStats { epochs_run: rounds * period, gradient_norms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_factorgraph::{FactorArg, FactorFunction, FactorGraph, Variable};
+
+    /// A graph where feature A fires on positives and feature B on
+    /// negatives: learning must drive w(A) up and w(B) down.
+    fn supervised_graph(n_pos: usize, n_neg: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let wa = g.weights.tied("feat:A", 0.0);
+        let wb = g.weights.tied("feat:B", 0.0);
+        for _ in 0..n_pos {
+            let v = g.add_variable(Variable::evidence(true));
+            g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], wa);
+        }
+        for _ in 0..n_neg {
+            let v = g.add_variable(Variable::evidence(false));
+            g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], wb);
+        }
+        g
+    }
+
+    #[test]
+    fn sgd_learns_signed_weights_from_evidence() {
+        let g = supervised_graph(30, 30);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions { epochs: 150, seed: 5, ..LearnOptions::default() };
+        learn_weights(&c, &mut store, &opts);
+        let wa = store.value(store.lookup("feat:A").unwrap());
+        let wb = store.value(store.lookup("feat:B").unwrap());
+        assert!(wa > 0.3, "positive feature weight should grow, got {wa}");
+        assert!(wb < -0.3, "negative feature weight should sink, got {wb}");
+    }
+
+    #[test]
+    fn learned_weights_classify_held_out_variables() {
+        // Train on evidence, then check a query variable with feature A gets
+        // probability > 0.5.
+        let mut g = supervised_graph(30, 30);
+        let wa = g.weights.lookup("feat:A").unwrap();
+        let q = g.add_variable(Variable::query());
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(q)], wa);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        learn_weights(&c, &mut store, &LearnOptions { epochs: 150, seed: 5, ..Default::default() });
+        let opts = crate::gibbs::GibbsOptions {
+            burn_in: 100,
+            samples: 2000,
+            seed: 9,
+            clamp_evidence: true,
+        };
+        let m = crate::gibbs::gibbs_marginals(&c, &store.values(), &opts);
+        assert!(m.probability(q.index()) > 0.7, "got {}", m.probability(q.index()));
+    }
+
+    #[test]
+    fn fixed_weights_are_untouched() {
+        let mut g = FactorGraph::new();
+        let wf = g.weights.fixed("rule:prior", 3.0);
+        let v = g.add_variable(Variable::evidence(false));
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], wf);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        learn_weights(&c, &mut store, &LearnOptions { epochs: 50, ..Default::default() });
+        assert_eq!(store.value(wf), 3.0);
+    }
+
+    #[test]
+    fn l2_regularization_shrinks_weights() {
+        let g = supervised_graph(20, 20);
+        let c = g.compile();
+        let mut strong = g.weights.clone();
+        let mut weak = g.weights.clone();
+        learn_weights(
+            &c,
+            &mut weak,
+            &LearnOptions { epochs: 120, l2: 0.0, seed: 3, ..Default::default() },
+        );
+        learn_weights(
+            &c,
+            &mut strong,
+            &LearnOptions { epochs: 120, l2: 0.5, seed: 3, ..Default::default() },
+        );
+        let wa_weak = weak.value(weak.lookup("feat:A").unwrap());
+        let wa_strong = strong.value(strong.lookup("feat:A").unwrap());
+        assert!(wa_strong.abs() < wa_weak.abs());
+    }
+
+    #[test]
+    fn hogwild_matches_sequential_direction() {
+        let g = supervised_graph(30, 30);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions { epochs: 150, seed: 5, ..Default::default() };
+        learn_weights_hogwild(&c, &mut store, &opts, 4);
+        let wa = store.value(store.lookup("feat:A").unwrap());
+        let wb = store.value(store.lookup("feat:B").unwrap());
+        assert!(wa > 0.3, "hogwild wa={wa}");
+        assert!(wb < -0.3, "hogwild wb={wb}");
+    }
+
+    #[test]
+    fn model_averaging_matches_sequential_direction() {
+        let g = supervised_graph(30, 30);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions { epochs: 120, seed: 5, ..Default::default() };
+        learn_weights_model_averaging(&c, &mut store, &opts, 4, 20);
+        let wa = store.value(store.lookup("feat:A").unwrap());
+        let wb = store.value(store.lookup("feat:B").unwrap());
+        assert!(wa > 0.3, "averaged wa={wa}");
+        assert!(wb < -0.3, "averaged wb={wb}");
+    }
+
+    #[test]
+    fn atomic_f64_roundtrips() {
+        let a = AtomicF64::new(1.5);
+        a.add_racy(2.5);
+        assert_eq!(a.load(), 4.0);
+        a.store(-1.0);
+        assert_eq!(a.load(), -1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the DimmWitted engine: sampler estimates must
+//! converge to the exact marginals on random small graphs, learning must be
+//! deterministic and respect fixed weights.
+
+// Indexing parallel arrays by the same variable id is clearer than zip.
+#![allow(clippy::needless_range_loop)]
+
+use deepdive_factorgraph::{
+    exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
+};
+use deepdive_sampler::{
+    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions,
+};
+use proptest::prelude::*;
+
+/// Random small graph with bounded weights (mixing stays fast).
+fn graph_strategy() -> impl Strategy<Value = FactorGraph> {
+    let nv = 2usize..6;
+    nv.prop_flat_map(|nv| {
+        let factor = (
+            prop_oneof![
+                Just(FactorFunction::IsTrue),
+                Just(FactorFunction::Imply),
+                Just(FactorFunction::Or),
+                Just(FactorFunction::Equal),
+            ],
+            proptest::collection::vec((0..nv, any::<bool>()), 1..3),
+            -1.2f64..1.2,
+        );
+        (proptest::collection::vec(factor, 1..8), Just(nv))
+    })
+    .prop_map(|(factors, nv)| {
+        let mut g = FactorGraph::new();
+        let vars: Vec<_> = (0..nv).map(|_| g.add_variable(Variable::query())).collect();
+        for (k, (function, args, weight)) in factors.into_iter().enumerate() {
+            let args: Vec<FactorArg> = args
+                .into_iter()
+                .map(|(v, pos)| FactorArg { variable: vars[v], positive: pos })
+                .collect();
+            let w = g.weights.tied(format!("w{k}"), weight);
+            g.add_factor(function, args, w);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Gibbs estimates converge to the exact marginals (loose tolerance,
+    /// bounded weights keep chains fast-mixing).
+    #[test]
+    fn gibbs_matches_exact_enumeration(g in graph_strategy()) {
+        let c = g.compile();
+        let weights = g.weights.values();
+        let exact = exact_marginals(&c, &weights);
+        let est = gibbs_marginals(
+            &c,
+            &weights,
+            &GibbsOptions { burn_in: 400, samples: 12_000, seed: 11, clamp_evidence: false },
+        );
+        for v in 0..c.num_variables {
+            prop_assert!(
+                (est.probability(v) - exact[v]).abs() < 0.06,
+                "v{}: gibbs {} vs exact {}",
+                v, est.probability(v), exact[v]
+            );
+        }
+    }
+
+    /// Same seed ⇒ identical marginal counts (bit-for-bit determinism).
+    #[test]
+    fn sampler_is_deterministic(g in graph_strategy(), seed in any::<u64>()) {
+        let c = g.compile();
+        let weights = g.weights.values();
+        let opts = GibbsOptions { burn_in: 20, samples: 100, seed, clamp_evidence: false };
+        let a = gibbs_marginals(&c, &weights, &opts);
+        let b = gibbs_marginals(&c, &weights, &opts);
+        prop_assert_eq!(a.true_counts, b.true_counts);
+    }
+
+    /// Learning is deterministic, bounded under ℓ2, and never touches fixed
+    /// weights.
+    #[test]
+    fn learning_is_deterministic_and_respects_fixed(g in graph_strategy()) {
+        // Clamp half the variables as evidence so there is a signal.
+        let mut g = g;
+        let n = g.variables.len();
+        for (i, v) in g.variables.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = Variable::evidence(i % 4 == 0);
+            }
+        }
+        let fixed = g.weights.fixed("hard", 3.0);
+        let anchor = g.add_variable(Variable::query());
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(anchor)], fixed);
+        let _ = n;
+        let c = g.compile();
+        let opts = LearnOptions { epochs: 30, l2: 0.05, seed: 7, ..Default::default() };
+
+        let mut s1 = g.weights.clone();
+        learn_weights(&c, &mut s1, &opts);
+        let mut s2 = g.weights.clone();
+        learn_weights(&c, &mut s2, &opts);
+        prop_assert_eq!(s1.values(), s2.values(), "learning must be deterministic");
+        prop_assert_eq!(s1.value(fixed), 3.0, "fixed weight moved");
+        for v in s1.values() {
+            prop_assert!(v.abs() < 50.0, "weight diverged: {}", v);
+        }
+    }
+}

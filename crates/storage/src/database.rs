@@ -1,0 +1,267 @@
+//! The database: a catalog of counted tables plus a UDF registry.
+//!
+//! Tables sit behind mutexes so read paths (rule evaluation) can build lazy
+//! indexes while the catalog itself is shared immutably; evaluation clones
+//! matched rows out of the lock, which keeps guard lifetimes local.
+
+use crate::schema::Schema;
+use crate::table::{Membership, Table};
+use crate::value::{Row, Value};
+use crate::StorageError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A user-defined function: maps an argument tuple to zero or more outputs.
+pub type Udf = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
+
+/// An in-memory relational database.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, Mutex<Table>>,
+    udfs: HashMap<String, Udf>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a relation. Errors if the name is taken.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<(), StorageError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(StorageError::DuplicateRelation(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), Mutex::new(Table::new(schema)));
+        Ok(())
+    }
+
+    /// Register a relation, replacing any existing one with the same name.
+    pub fn create_or_replace_relation(&mut self, schema: Schema) {
+        self.tables.insert(schema.name.clone(), Mutex::new(Table::new(schema)));
+    }
+
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), StorageError> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn schema(&self, name: &str) -> Result<Schema, StorageError> {
+        self.with_table(name, |t| t.schema().clone())
+    }
+
+    /// Run `f` with shared access to a table.
+    pub fn with_table<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> R,
+    ) -> Result<R, StorageError> {
+        let t = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?;
+        Ok(f(&mut t.lock()))
+    }
+
+    pub fn insert(&self, name: &str, r: Row) -> Result<Membership, StorageError> {
+        self.with_table(name, |t| t.insert(r))?
+    }
+
+    pub fn insert_all<I>(&self, name: &str, rows: I) -> Result<usize, StorageError>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        self.with_table(name, |t| {
+            let mut n = 0;
+            for r in rows {
+                if t.insert(r)? == Membership::Appeared {
+                    n += 1;
+                }
+            }
+            Ok(n)
+        })?
+    }
+
+    pub fn delete(&self, name: &str, r: &Row) -> Result<Membership, StorageError> {
+        self.with_table(name, |t| t.delete(r))
+    }
+
+    pub fn adjust(&self, name: &str, r: Row, delta: i64) -> Result<Membership, StorageError> {
+        self.with_table(name, |t| t.adjust(r, delta))?
+    }
+
+    pub fn clear(&self, name: &str) -> Result<(), StorageError> {
+        self.with_table(name, |t| t.clear())
+    }
+
+    pub fn len(&self, name: &str) -> Result<usize, StorageError> {
+        self.with_table(name, |t| t.len())
+    }
+
+    pub fn is_empty(&self, name: &str) -> Result<bool, StorageError> {
+        self.with_table(name, |t| t.is_empty())
+    }
+
+    pub fn contains(&self, name: &str, r: &Row) -> Result<bool, StorageError> {
+        self.with_table(name, |t| t.contains(r))
+    }
+
+    pub fn count(&self, name: &str, r: &Row) -> Result<i64, StorageError> {
+        self.with_table(name, |t| t.count(r))
+    }
+
+    /// All visible rows of a relation (cloned snapshot, sorted).
+    pub fn rows(&self, name: &str) -> Result<Vec<Row>, StorageError> {
+        self.with_table(name, |t| t.rows_sorted())
+    }
+
+    /// All `(row, count)` pairs of a relation (cloned snapshot).
+    pub fn rows_counted(&self, name: &str) -> Result<Vec<(Row, i64)>, StorageError> {
+        self.with_table(name, |t| t.iter_counted().map(|(r, c)| (r.clone(), c)).collect())
+    }
+
+    /// Indexed lookup; appends `(row, count)` matches to `out`.
+    pub fn lookup_counted(
+        &self,
+        name: &str,
+        key_cols: &[usize],
+        key_vals: &[Value],
+        out: &mut Vec<(Row, i64)>,
+    ) -> Result<(), StorageError> {
+        self.with_table(name, |t| {
+            if key_cols.is_empty() {
+                out.extend(t.iter_counted().map(|(r, c)| (r.clone(), c)));
+            } else {
+                t.lookup_counted(key_cols, key_vals, out);
+            }
+        })
+    }
+
+    /// Select rows satisfying a predicate (a "SQL query" for error analysis,
+    /// §3.4: "users write standard SQL queries").
+    pub fn select(
+        &self,
+        name: &str,
+        pred: impl Fn(&Row) -> bool,
+    ) -> Result<Vec<Row>, StorageError> {
+        self.with_table(name, |t| {
+            let mut v: Vec<Row> = t.iter().filter(|r| pred(r)).cloned().collect();
+            v.sort();
+            v
+        })
+    }
+
+    /// Register a UDF callable from rules.
+    pub fn register_udf(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) {
+        self.udfs.insert(name.into(), Arc::new(f));
+    }
+
+    pub fn has_udf(&self, name: &str) -> bool {
+        self.udfs.contains_key(name)
+    }
+
+    pub fn call_udf(&self, name: &str, args: &[Value]) -> Result<Vec<Value>, StorageError> {
+        let f = self.udfs.get(name).ok_or_else(|| StorageError::UnknownUdf(name.to_string()))?;
+        Ok(f(args))
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names = self.relation_names();
+        names.sort();
+        let mut s = f.debug_struct("Database");
+        for n in names {
+            let len = self.len(&n).unwrap_or(0);
+            s.field(&n, &len);
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let d = db();
+        d.insert("R", row![1, "a"]).unwrap();
+        d.insert("R", row![2, "b"]).unwrap();
+        let rows = d.select("R", |r| r[0].as_int() == Some(2)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], row![2, "b"]);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut d = db();
+        let err =
+            d.create_relation(Schema::build("R").col("z", ValueType::Int).finish()).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let d = db();
+        assert!(matches!(d.rows("nope"), Err(StorageError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn insert_all_reports_new_tuples() {
+        let d = db();
+        let n = d
+            .insert_all("R", vec![row![1, "a"], row![1, "a"], row![2, "b"]])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(d.len("R").unwrap(), 2);
+        assert_eq!(d.count("R", &row![1, "a"]).unwrap(), 2);
+    }
+
+    #[test]
+    fn udf_registry_dispatches() {
+        let mut d = db();
+        d.register_udf("double", |args: &[Value]| {
+            vec![Value::Int(args[0].as_int().unwrap_or(0) * 2)]
+        });
+        assert_eq!(d.call_udf("double", &[Value::Int(21)]).unwrap(), vec![Value::Int(42)]);
+        assert!(matches!(d.call_udf("nope", &[]), Err(StorageError::UnknownUdf(_))));
+    }
+
+    #[test]
+    fn create_or_replace_resets_contents() {
+        let mut d = db();
+        d.insert("R", row![1, "a"]).unwrap();
+        d.create_or_replace_relation(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+        );
+        assert_eq!(d.len("R").unwrap(), 0);
+    }
+}

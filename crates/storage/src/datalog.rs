@@ -1,0 +1,992 @@
+//! Datalog rules and their evaluation.
+//!
+//! DeepDive expresses candidate mappings, feature extraction, supervision and
+//! grounding as datalog-with-UDF rules over the relational store (§3.1). This
+//! module defines the rule IR, safety checking, rule compilation (variables →
+//! slots, atoms → indexed scans) and a counted evaluator that supports three
+//! *sources* per atom — `Old`, `Delta`, `New` — which is exactly what both
+//! semi-naive fixpoint evaluation and counting-based incremental view
+//! maintenance need (§4.1).
+
+use crate::database::Database;
+use crate::delta::DeltaRelation;
+use crate::value::{Row, Value};
+use crate::StorageError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term in an atom: a named variable, a constant, or `_`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+    Wildcard,
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Wildcard => f.write_str("_"),
+        }
+    }
+}
+
+/// A predicate applied to terms: `R(x, "a", _)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    pub relation: String,
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A body literal: possibly negated atom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Literal {
+    pub atom: Atom,
+    pub negated: bool,
+}
+
+impl Literal {
+    pub fn pos(atom: Atom) -> Self {
+        Literal { atom, negated: false }
+    }
+
+    pub fn neg(atom: Atom) -> Self {
+        Literal { atom, negated: true }
+    }
+}
+
+/// Comparison operators usable in rule bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = a.cmp(b);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A builtin comparison between two terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Builtin {
+    pub left: Term,
+    pub op: CmpOp,
+    pub right: Term,
+}
+
+/// A call to a registered user-defined function: `out = name(args...)`.
+///
+/// A UDF maps one tuple of arguments to zero or more output values; bindings
+/// flat-map over the outputs (this is how "bag-of-words"-style feature
+/// extractors emit many features per candidate, §3.1 Ex. 3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdfCall {
+    pub name: String,
+    pub args: Vec<Term>,
+    pub out: String,
+}
+
+/// One datalog rule: `head :- body, builtins, udfs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    pub name: String,
+    pub head: Atom,
+    pub body: Vec<Literal>,
+    pub builtins: Vec<Builtin>,
+    pub udfs: Vec<UdfCall>,
+}
+
+impl Rule {
+    pub fn new(name: impl Into<String>, head: Atom, body: Vec<Literal>) -> Self {
+        Rule { name: name.into(), head, body, builtins: Vec::new(), udfs: Vec::new() }
+    }
+
+    pub fn with_builtin(mut self, left: Term, op: CmpOp, right: Term) -> Self {
+        self.builtins.push(Builtin { left, op, right });
+        self
+    }
+
+    pub fn with_udf(
+        mut self,
+        name: impl Into<String>,
+        args: Vec<Term>,
+        out: impl Into<String>,
+    ) -> Self {
+        self.udfs.push(UdfCall { name: name.into(), args, out: out.into() });
+        self
+    }
+
+    /// Relations this rule reads positively.
+    pub fn positive_deps(&self) -> impl Iterator<Item = &str> {
+        self.body.iter().filter(|l| !l.negated).map(|l| l.atom.relation.as_str())
+    }
+
+    /// Relations this rule reads under negation.
+    pub fn negative_deps(&self) -> impl Iterator<Item = &str> {
+        self.body.iter().filter(|l| l.negated).map(|l| l.atom.relation.as_str())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        let mut first = true;
+        for l in &self.body {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            if l.negated {
+                f.write_str("!")?;
+            }
+            write!(f, "{}", l.atom)?;
+        }
+        for b in &self.builtins {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{} {} {}", b.left, b.op, b.right)?;
+        }
+        for u in &self.udfs {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            let args: Vec<String> = u.args.iter().map(|a| a.to_string()).collect();
+            write!(f, "{} = {}({})", u.out, u.name, args.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Which snapshot of a relation an atom scan should read.
+///
+/// With `new = old ⊎ delta` (counted union), the three sources let a single
+/// evaluator express both semi-naive iteration and counting IVM:
+/// `Δ(R1 ⋈ … ⋈ Rn) = Σᵢ R1ⁿᵉʷ ⋈ … ⋈ Rᵢ₋₁ⁿᵉʷ ⋈ ΔRᵢ ⋈ Rᵢ₊₁ᵒˡᵈ ⋈ … ⋈ Rnᵒˡᵈ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    Old,
+    Delta,
+    New,
+}
+
+/// Slot-compiled term.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Var(usize),
+    Const(Value),
+    Wildcard,
+}
+
+/// One execution step of a compiled rule.
+#[derive(Debug)]
+enum Step {
+    /// Indexed scan over a positive atom. `key` lists (column, slot) pairs
+    /// already bound at this point; `bind` lists (column, var) pairs to bind;
+    /// `check` lists (column, var) pairs that must equal an already-bound var
+    /// appearing earlier in the *same* atom.
+    Scan {
+        atom_index: usize,
+        relation: String,
+        key: Vec<(usize, Slot)>,
+        bind: Vec<(usize, usize)>,
+        check: Vec<(usize, usize)>,
+    },
+    /// Negated atom: succeeds when no visible tuple matches.
+    Negation { relation: String, terms: Vec<Slot> },
+    /// Builtin comparison.
+    Compare { left: Slot, op: CmpOp, right: Slot },
+    /// UDF call flat-mapping over outputs.
+    Udf { name: String, args: Vec<Slot>, out: usize },
+}
+
+/// A rule compiled against a database catalog: variables are slots, every
+/// atom has a chosen index key, and steps are ordered so that negations,
+/// builtins and UDFs run as soon as their inputs are bound.
+#[derive(Debug)]
+pub struct CompiledRule {
+    pub rule: Rule,
+    head_slots: Vec<Slot>,
+    steps: Vec<Step>,
+    num_vars: usize,
+    /// Positions (in `steps`) of each positive atom, by body-literal index.
+    positive_atom_count: usize,
+}
+
+impl CompiledRule {
+    /// Compile and safety-check `rule` against the catalog in `db`.
+    pub fn compile(rule: &Rule, db: &Database) -> Result<CompiledRule, StorageError> {
+        // Assign slots to variables in order of first appearance in positive
+        // atoms, then UDF outputs.
+        let mut var_ids: HashMap<String, usize> = HashMap::new();
+        let id_of = |name: &str, var_ids: &mut HashMap<String, usize>| -> usize {
+            let next = var_ids.len();
+            *var_ids.entry(name.to_string()).or_insert(next)
+        };
+
+        // Validate arities.
+        let check_arity = |atom: &Atom| -> Result<(), StorageError> {
+            let schema = db.schema(&atom.relation)?;
+            if schema.arity() != atom.terms.len() {
+                return Err(StorageError::RuleArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: schema.arity(),
+                    got: atom.terms.len(),
+                });
+            }
+            Ok(())
+        };
+        check_arity(&rule.head)?;
+        for l in &rule.body {
+            check_arity(&l.atom)?;
+        }
+
+        let mut steps: Vec<Step> = Vec::new();
+        let mut bound: Vec<bool> = Vec::new();
+        let mut positive_atom_count = 0usize;
+
+        // Pending items scheduled as soon as their variables are bound.
+        let mut pending_neg: Vec<&Literal> = rule.body.iter().filter(|l| l.negated).collect();
+        let mut pending_builtin: Vec<&Builtin> = rule.builtins.iter().collect();
+        let mut pending_udf: Vec<&UdfCall> = rule.udfs.iter().collect();
+
+        let slot_of = |t: &Term, var_ids: &HashMap<String, usize>| -> Option<Slot> {
+            match t {
+                Term::Var(v) => var_ids.get(v).map(|&i| Slot::Var(i)),
+                Term::Const(c) => Some(Slot::Const(c.clone())),
+                Term::Wildcard => Some(Slot::Wildcard),
+            }
+        };
+
+        let all_bound = |terms: &[Term], var_ids: &HashMap<String, usize>, bound: &[bool]| {
+            terms.iter().all(|t| match t {
+                Term::Var(v) => var_ids.get(v).map(|&i| bound[i]).unwrap_or(false),
+                _ => true,
+            })
+        };
+
+        // Helper: drain pending items whose inputs are now bound. Free
+        // identifiers in the macro body resolve at the expansion site, so it
+        // reads/writes `steps`, `bound`, `var_ids` and the pending queues of
+        // the enclosing function directly.
+        macro_rules! drain_pending {
+            () => {{
+                loop {
+                    let mut progressed = false;
+                    pending_builtin.retain(|b| {
+                        let terms = [b.left.clone(), b.right.clone()];
+                        if all_bound(&terms, &var_ids, &bound) {
+                            steps.push(Step::Compare {
+                                left: slot_of(&b.left, &var_ids).expect("bound"),
+                                op: b.op,
+                                right: slot_of(&b.right, &var_ids).expect("bound"),
+                            });
+                            progressed = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    pending_neg.retain(|l| {
+                        if all_bound(&l.atom.terms, &var_ids, &bound) {
+                            let terms = l
+                                .atom
+                                .terms
+                                .iter()
+                                .map(|t| slot_of(t, &var_ids).expect("bound"));
+                            steps.push(Step::Negation {
+                                relation: l.atom.relation.clone(),
+                                terms: terms.collect(),
+                            });
+                            progressed = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    // UDFs bind their output variable, so draining one may
+                    // unblock builtins — handled by the outer loop.
+                    let mut fired_udf = None;
+                    for (i, u) in pending_udf.iter().enumerate() {
+                        if all_bound(&u.args, &var_ids, &bound) {
+                            fired_udf = Some(i);
+                            break;
+                        }
+                    }
+                    if let Some(i) = fired_udf {
+                        let u = pending_udf.remove(i);
+                        let args: Vec<Slot> = u
+                            .args
+                            .iter()
+                            .map(|t| slot_of(t, &var_ids).expect("bound"))
+                            .collect();
+                        let out = id_of(&u.out, &mut var_ids);
+                        while bound.len() <= out {
+                            bound.push(false);
+                        }
+                        bound[out] = true;
+                        steps.push(Step::Udf { name: u.name.clone(), args, out });
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }};
+        }
+
+        for (atom_index, lit) in rule.body.iter().enumerate() {
+            if lit.negated {
+                continue;
+            }
+            positive_atom_count += 1;
+            let mut key: Vec<(usize, Slot)> = Vec::new();
+            let mut bind: Vec<(usize, usize)> = Vec::new();
+            let mut check: Vec<(usize, usize)> = Vec::new();
+            let mut newly_bound_here: Vec<usize> = Vec::new();
+            for (col, term) in lit.atom.terms.iter().enumerate() {
+                match term {
+                    Term::Wildcard => {}
+                    Term::Const(c) => key.push((col, Slot::Const(c.clone()))),
+                    Term::Var(v) => {
+                        let id = id_of(v, &mut var_ids);
+                        while bound.len() <= id {
+                            bound.push(false);
+                        }
+                        if bound[id] {
+                            key.push((col, Slot::Var(id)));
+                        } else if newly_bound_here.contains(&id) {
+                            // Repeated variable within this atom: equality
+                            // check against the first occurrence.
+                            check.push((col, id));
+                        } else {
+                            bind.push((col, id));
+                            newly_bound_here.push(id);
+                        }
+                    }
+                }
+            }
+            for id in newly_bound_here {
+                bound[id] = true;
+            }
+            steps.push(Step::Scan {
+                atom_index,
+                relation: lit.atom.relation.clone(),
+                key,
+                bind,
+                check,
+            });
+            drain_pending!();
+        }
+        drain_pending!();
+
+        // Safety checks: everything pending is unsafe; head vars must be bound.
+        if let Some(l) = pending_neg.first() {
+            let var = l
+                .atom
+                .terms
+                .iter()
+                .find_map(|t| match t {
+                    Term::Var(v) if var_ids.get(v).map(|&i| !bound[i]).unwrap_or(true) => {
+                        Some(v.clone())
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default();
+            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+        }
+        if let Some(b) = pending_builtin.first() {
+            let var = [&b.left, &b.right]
+                .iter()
+                .find_map(|t| match t {
+                    Term::Var(v) if var_ids.get(v.as_str()).map(|&i| !bound[i]).unwrap_or(true) => {
+                        Some(v.clone())
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default();
+            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+        }
+        if let Some(u) = pending_udf.first() {
+            let var = u
+                .args
+                .iter()
+                .find_map(|t| match t {
+                    Term::Var(v) if var_ids.get(v.as_str()).map(|&i| !bound[i]).unwrap_or(true) => {
+                        Some(v.clone())
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default();
+            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+        }
+
+        let mut head_slots = Vec::with_capacity(rule.head.terms.len());
+        for t in &rule.head.terms {
+            match t {
+                Term::Const(c) => head_slots.push(Slot::Const(c.clone())),
+                Term::Wildcard => {
+                    return Err(StorageError::UnboundHeadVariable {
+                        rule: rule.name.clone(),
+                        var: "_".into(),
+                    })
+                }
+                Term::Var(v) => match var_ids.get(v) {
+                    Some(&id) if bound[id] => head_slots.push(Slot::Var(id)),
+                    _ => {
+                        return Err(StorageError::UnboundHeadVariable {
+                            rule: rule.name.clone(),
+                            var: v.clone(),
+                        })
+                    }
+                },
+            }
+        }
+
+        Ok(CompiledRule {
+            rule: rule.clone(),
+            head_slots,
+            steps,
+            num_vars: var_ids.len(),
+            positive_atom_count,
+        })
+    }
+
+    /// Number of positive body atoms.
+    pub fn positive_atoms(&self) -> usize {
+        self.positive_atom_count
+    }
+
+    /// Evaluate the rule, returning derived head tuples with signed
+    /// derivation counts.
+    ///
+    /// `source_for(atom_index)` selects which snapshot each positive atom
+    /// reads; `atom_deltas` supplies, **per atom index**, the delta relation
+    /// that `Delta`/`New` sources read at that position. Keying deltas by
+    /// atom position (not relation name) is what makes the exact counting
+    /// maintenance formula expressible even for self-joins, where the same
+    /// relation must read `New` at one occurrence and `Old` at another.
+    /// Negated atoms always read the database as-is.
+    pub fn eval(
+        &self,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &dyn Fn(usize) -> Source,
+    ) -> Result<HashMap<Row, i64>, StorageError> {
+        let mut out: HashMap<Row, i64> = HashMap::new();
+        let mut bindings: Vec<Value> = vec![Value::Null; self.num_vars];
+        self.eval_step(db, atom_deltas, source_for, 0, &mut bindings, 1, &mut out)?;
+        Ok(out)
+    }
+
+    fn resolve(&self, bindings: &[Value], s: &Slot) -> Value {
+        match s {
+            Slot::Var(i) => bindings[*i].clone(),
+            Slot::Const(c) => c.clone(),
+            Slot::Wildcard => Value::Null,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_step(
+        &self,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &dyn Fn(usize) -> Source,
+        step_idx: usize,
+        bindings: &mut Vec<Value>,
+        count: i64,
+        out: &mut HashMap<Row, i64>,
+    ) -> Result<(), StorageError> {
+        if step_idx == self.steps.len() {
+            let head: Row = self.head_slots.iter().map(|s| self.resolve(bindings, s)).collect();
+            *out.entry(head).or_insert(0) += count;
+            return Ok(());
+        }
+        match &self.steps[step_idx] {
+            Step::Scan { atom_index, relation, key, bind, check } => {
+                let key_cols: Vec<usize> = key.iter().map(|(c, _)| *c).collect();
+                let key_vals: Vec<Value> =
+                    key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
+                let source = source_for(*atom_index);
+                let delta = atom_deltas.get(atom_index).copied();
+                let matches = fetch(db, delta, relation, source, &key_cols, &key_vals)?;
+                for (row, c) in matches {
+                    if c == 0 {
+                        continue;
+                    }
+                    let saved: Vec<(usize, Value)> =
+                        bind.iter().map(|(_, v)| (*v, bindings[*v].clone())).collect();
+                    for (col, var) in bind {
+                        bindings[*var] = row[*col].clone();
+                    }
+                    // Within-atom repeated variables: the check compares
+                    // against the binding established by the first
+                    // occurrence, so it must run after binding.
+                    let ok = check.iter().all(|(col, var)| row[*col] == bindings[*var]);
+                    if ok {
+                        self.eval_step(
+                            db,
+                            atom_deltas,
+                            source_for,
+                            step_idx + 1,
+                            bindings,
+                            count * c,
+                            out,
+                        )?;
+                    }
+                    for (v, old) in saved {
+                        bindings[v] = old;
+                    }
+                }
+                Ok(())
+            }
+            Step::Negation { relation, terms } => {
+                // Negation reads the database state as-is; IVM recomputes
+                // strata whose negated inputs changed rather than streaming
+                // deltas through negation. Wildcard positions are existential
+                // ("no tuple matching the bound columns"), so probe by the
+                // bound columns only.
+                let mut key_cols = Vec::new();
+                let mut key_vals = Vec::new();
+                for (col, slot) in terms.iter().enumerate() {
+                    if !matches!(slot, Slot::Wildcard) {
+                        key_cols.push(col);
+                        key_vals.push(self.resolve(bindings, slot));
+                    }
+                }
+                let visible = if key_cols.len() == terms.len() {
+                    let probe: Row = key_vals.into_boxed_slice();
+                    db.count(relation, &probe)? > 0
+                } else {
+                    let mut hits = Vec::new();
+                    db.lookup_counted(relation, &key_cols, &key_vals, &mut hits)?;
+                    hits.iter().any(|(_, c)| *c > 0)
+                };
+                if !visible {
+                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                }
+                Ok(())
+            }
+            Step::Compare { left, op, right } => {
+                let l = self.resolve(bindings, left);
+                let r = self.resolve(bindings, right);
+                if op.eval(&l, &r) {
+                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                }
+                Ok(())
+            }
+            Step::Udf { name, args, out: out_var } => {
+                let argv: Vec<Value> = args.iter().map(|s| self.resolve(bindings, s)).collect();
+                let results = db.call_udf(name, &argv)?;
+                for v in results {
+                    let saved = bindings[*out_var].clone();
+                    bindings[*out_var] = v;
+                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                    bindings[*out_var] = saved;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Per-atom delta assignment for one evaluation pass: atom index → delta
+/// relation read by `Source::Delta`/`Source::New` at that position.
+pub type AtomDeltas<'a> = HashMap<usize, &'a DeltaRelation>;
+
+/// Rotate body literal `front` to the head of the body, preserving the
+/// relative order of everything else. Returns the reordered rule and the
+/// map `new body index → original body index`.
+///
+/// This is the paper's "delta rule" shape (§4.1: `qδ(x) :- Rδ(x, y)`): when
+/// a rule is evaluated with one atom bound to a small delta, that atom must
+/// drive the join (outermost scan), or the prefix atoms degenerate into full
+/// relation scans.
+pub fn reorder_body_front(rule: &Rule, front: usize) -> (Rule, Vec<usize>) {
+    debug_assert!(front < rule.body.len());
+    let vars_of = |i: usize| -> Vec<&str> {
+        rule.body[i]
+            .atom
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect()
+    };
+    let mut order: Vec<usize> = vec![front];
+    let mut bound: std::collections::HashSet<&str> = vars_of(front).into_iter().collect();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != front).collect();
+    // Greedy bound-variable ordering for the rest: naively rotating only the
+    // delta atom leaves whichever atom came next potentially fully unbound
+    // (a cross-product scan). Pick, at each step, the positive atom sharing
+    // the most variables with the bound set (ties resolved by original
+    // position); negated atoms keep their slots at the end (the compiler
+    // schedules them independently once their variables bind).
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, usize, usize)> = None; // (bound_count, -pos→pos, idx)
+        for (slot, &i) in remaining.iter().enumerate() {
+            if rule.body[i].negated {
+                continue;
+            }
+            let count = vars_of(i).iter().filter(|v| bound.contains(*v)).count();
+            let better = match best {
+                None => true,
+                Some((bc, bi, _)) => count > bc || (count == bc && i < bi),
+            };
+            if better {
+                best = Some((count, i, slot));
+            }
+        }
+        match best {
+            Some((_, i, slot)) => {
+                remaining.remove(slot);
+                bound.extend(vars_of(i));
+                order.push(i);
+            }
+            None => {
+                // Only negated literals left: keep original order.
+                order.extend(remaining.iter().copied());
+                break;
+            }
+        }
+    }
+    let body: Vec<Literal> = order.iter().map(|&i| rule.body[i].clone()).collect();
+    (Rule { body, ..rule.clone() }, order)
+}
+
+/// Fetch matching `(row, signed count)` pairs for one atom scan.
+fn fetch(
+    db: &Database,
+    delta: Option<&DeltaRelation>,
+    relation: &str,
+    source: Source,
+    key_cols: &[usize],
+    key_vals: &[Value],
+) -> Result<Vec<(Row, i64)>, StorageError> {
+    let mut out = Vec::new();
+    match source {
+        Source::Old => db.lookup_counted(relation, key_cols, key_vals, &mut out)?,
+        Source::Delta => {
+            if let Some(d) = delta {
+                d.lookup(key_cols, key_vals, &mut out);
+            }
+        }
+        Source::New => {
+            db.lookup_counted(relation, key_cols, key_vals, &mut out)?;
+            if let Some(d) = delta {
+                d.lookup(key_cols, key_vals, &mut out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+        )
+        .unwrap();
+        db.create_relation(Schema::build("S").col("y", ValueType::Int).finish()).unwrap();
+        db.create_relation(
+            Schema::build("Q").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn all_old(_: usize) -> Source {
+        Source::Old
+    }
+
+    #[test]
+    fn simple_join_produces_expected_tuples() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("R", row![2, 20]).unwrap();
+        d.insert("S", row![10]).unwrap();
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![
+                Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")])),
+                Literal::pos(Atom::new("S", vec![Term::var("y")])),
+            ],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[&row![1, 10]], 1);
+    }
+
+    #[test]
+    fn counts_multiply_across_derivations() {
+        let mut d = db();
+        // Two derivations for Q(1,·): R(1,10) joins S(10) and R(1,11) joins S(11).
+        d.create_relation(Schema::build("P").col("x", ValueType::Int).finish()).unwrap();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("R", row![1, 11]).unwrap();
+        d.insert("S", row![10]).unwrap();
+        d.insert("S", row![11]).unwrap();
+        let rule = Rule::new(
+            "p",
+            Atom::new("P", vec![Term::var("x")]),
+            vec![
+                Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")])),
+                Literal::pos(Atom::new("S", vec![Term::var("y")])),
+            ],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res[&row![1]], 2);
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("R", row![2, 20]).unwrap();
+        let rule = Rule::new(
+            "q",
+            Atom::new("S", vec![Term::var("y")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::constant(2i64), Term::var("y")]))],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains_key(&row![20]));
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom_enforces_equality() {
+        let d = db();
+        d.insert("R", row![3, 3]).unwrap();
+        d.insert("R", row![3, 4]).unwrap();
+        let rule = Rule::new(
+            "q",
+            Atom::new("S", vec![Term::var("x")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("x")]))],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains_key(&row![3]));
+    }
+
+    #[test]
+    fn negation_excludes_matches() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("R", row![2, 20]).unwrap();
+        d.insert("S", row![10]).unwrap();
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![
+                Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")])),
+                Literal::neg(Atom::new("S", vec![Term::var("y")])),
+            ],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains_key(&row![2, 20]));
+    }
+
+    #[test]
+    fn builtin_comparisons_filter() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("R", row![2, 20]).unwrap();
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+        )
+        .with_builtin(Term::var("y"), CmpOp::Gt, Term::constant(15i64));
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains_key(&row![2, 20]));
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        let d = db();
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("z")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+        );
+        let err = CompiledRule::compile(&rule, &d).unwrap_err();
+        assert!(matches!(err, StorageError::UnboundHeadVariable { .. }));
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let d = db();
+        let rule = Rule::new(
+            "q",
+            Atom::new("S", vec![Term::var("y")]),
+            vec![
+                Literal::pos(Atom::new("S", vec![Term::var("y")])),
+                Literal::neg(Atom::new("R", vec![Term::var("w"), Term::var("y")])),
+            ],
+        );
+        let err = CompiledRule::compile(&rule, &d).unwrap_err();
+        assert!(matches!(err, StorageError::UnsafeVariable { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let d = db();
+        let rule = Rule::new(
+            "q",
+            Atom::new("S", vec![Term::var("y")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("y")]))],
+        );
+        let err = CompiledRule::compile(&rule, &d).unwrap_err();
+        assert!(matches!(err, StorageError::RuleArityMismatch { .. }));
+    }
+
+    #[test]
+    fn udf_flat_maps_outputs() {
+        let mut d = db();
+        d.create_relation(
+            Schema::build("W").col("x", ValueType::Int).col("t", ValueType::Text).finish(),
+        )
+        .unwrap();
+        d.register_udf("range3", |args: &[Value]| {
+            let n = args[0].as_int().unwrap_or(0);
+            (0..3).map(|i| Value::text(format!("{n}-{i}"))).collect()
+        });
+        d.insert("S", row![7]).unwrap();
+        let rule = Rule::new(
+            "w",
+            Atom::new("W", vec![Term::var("x"), Term::var("t")]),
+            vec![Literal::pos(Atom::new("S", vec![Term::var("x")]))],
+        )
+        .with_udf("range3", vec![Term::var("x")], "t");
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
+        assert_eq!(res.len(), 3);
+        assert!(res.contains_key(&row![7, "7-1"]));
+    }
+
+    #[test]
+    fn delta_source_only_sees_delta() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        let mut delta = DeltaRelation::new(d.schema("R").unwrap().clone());
+        delta.add(row![2, 20], 1);
+        let deltas: AtomDeltas = HashMap::from([(0usize, &delta)]);
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c.eval(&d, &deltas, &|_| Source::Delta).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains_key(&row![2, 20]));
+        let res_new = c.eval(&d, &deltas, &|_| Source::New).unwrap();
+        assert_eq!(res_new.len(), 2);
+    }
+
+    #[test]
+    fn negative_delta_counts_flow_through() {
+        let d = db();
+        d.insert("R", row![1, 10]).unwrap();
+        d.insert("S", row![10]).unwrap();
+        let mut delta = DeltaRelation::new(d.schema("R").unwrap().clone());
+        delta.add(row![1, 10], -1);
+        let deltas: AtomDeltas = HashMap::from([(0usize, &delta)]);
+        let rule = Rule::new(
+            "q",
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![
+                Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")])),
+                Literal::pos(Atom::new("S", vec![Term::var("y")])),
+            ],
+        );
+        let c = CompiledRule::compile(&rule, &d).unwrap();
+        let res = c
+            .eval(&d, &deltas, &|i| if i == 0 { Source::Delta } else { Source::Old })
+            .unwrap();
+        assert_eq!(res[&row![1, 10]], -1);
+    }
+}

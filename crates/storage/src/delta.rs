@@ -1,0 +1,187 @@
+//! Delta relations: signed, counted tuple collections.
+//!
+//! §4.1 of the paper: "for each relation Ri in the user's schema, we create a
+//! delta relation Rδi with the same schema as Ri and an additional column
+//! count." A [`DeltaRelation`] is that structure — counts may be negative
+//! (deletions) and flow through joins during counting IVM and DRed.
+
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One lazily-built lookup index: key values → matching (row, count) pairs.
+type DeltaIndex = HashMap<Vec<Value>, Vec<(Row, i64)>>;
+
+/// A set of signed tuple-count changes against one relation.
+#[derive(Debug)]
+pub struct DeltaRelation {
+    schema: Schema,
+    rows: HashMap<Row, i64>,
+    /// Lazy lookup indexes (key columns → key values → entries), built on
+    /// first probe and dropped on mutation. Deltas are probed heavily during
+    /// delta-rule evaluation; linear scans per probe would make maintenance
+    /// quadratic in the batch size.
+    indexes: Mutex<HashMap<Vec<usize>, DeltaIndex>>,
+}
+
+impl Clone for DeltaRelation {
+    fn clone(&self) -> Self {
+        DeltaRelation {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl DeltaRelation {
+    pub fn new(schema: Schema) -> Self {
+        DeltaRelation { schema, rows: HashMap::new(), indexes: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Accumulate `delta` derivations of `r`. Entries that cancel to zero are
+    /// dropped eagerly so emptiness checks stay meaningful.
+    pub fn add(&mut self, r: Row, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.indexes.get_mut().clear();
+        use std::collections::hash_map::Entry;
+        match self.rows.entry(r) {
+            Entry::Occupied(mut e) => {
+                let c = *e.get() + delta;
+                if c == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = c;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(delta);
+            }
+        }
+    }
+
+    /// Merge another delta into this one.
+    pub fn merge(&mut self, other: &DeltaRelation) {
+        for (r, c) in &other.rows {
+            self.add(r.clone(), *c);
+        }
+    }
+
+    pub fn count(&self, r: &Row) -> i64 {
+        self.rows.get(r).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, i64)> + '_ {
+        self.rows.iter().map(|(r, c)| (r, *c))
+    }
+
+    /// Drain into a vector of (row, count) pairs.
+    pub fn into_changes(self) -> Vec<(Row, i64)> {
+        self.rows.into_iter().collect()
+    }
+
+    /// Push matching rows into `out` via a lazily-built hash index (a whole-
+    /// delta scan when `key_cols` is empty).
+    pub fn lookup(&self, key_cols: &[usize], key_vals: &[Value], out: &mut Vec<(Row, i64)>) {
+        if key_cols.is_empty() {
+            out.extend(self.rows.iter().map(|(r, c)| (r.clone(), *c)));
+            return;
+        }
+        let mut indexes = self.indexes.lock();
+        let idx = indexes.entry(key_cols.to_vec()).or_insert_with(|| {
+            let mut m: DeltaIndex = HashMap::new();
+            for (r, c) in &self.rows {
+                let key: Vec<Value> = key_cols.iter().map(|&col| r[col].clone()).collect();
+                m.entry(key).or_default().push((r.clone(), *c));
+            }
+            m
+        });
+        if let Some(hits) = idx.get(key_vals) {
+            out.extend(hits.iter().cloned());
+        }
+    }
+
+    /// Positive part only (insertions), as a new delta.
+    pub fn positive_part(&self) -> DeltaRelation {
+        let rows = self.rows.iter().filter(|(_, &c)| c > 0).map(|(r, &c)| (r.clone(), c)).collect();
+        DeltaRelation { schema: self.schema.clone(), rows, indexes: Mutex::new(HashMap::new()) }
+    }
+
+    /// Negative part only (deletions), sign-flipped to positive counts.
+    pub fn negative_part(&self) -> DeltaRelation {
+        let rows =
+            self.rows.iter().filter(|(_, &c)| c < 0).map(|(r, &c)| (r.clone(), -c)).collect();
+        DeltaRelation { schema: self.schema.clone(), rows, indexes: Mutex::new(HashMap::new()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn delta() -> DeltaRelation {
+        DeltaRelation::new(Schema::build("R").col("x", ValueType::Int).finish())
+    }
+
+    #[test]
+    fn cancelling_counts_remove_entries() {
+        let mut d = delta();
+        d.add(row![1], 2);
+        d.add(row![1], -2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = delta();
+        a.add(row![1], 1);
+        let mut b = delta();
+        b.add(row![1], 3);
+        b.add(row![2], -1);
+        a.merge(&b);
+        assert_eq!(a.count(&row![1]), 4);
+        assert_eq!(a.count(&row![2]), -1);
+    }
+
+    #[test]
+    fn lookup_filters_on_key() {
+        let mut d = DeltaRelation::new(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+        );
+        d.add(row![1, 10], 1);
+        d.add(row![2, 20], -1);
+        let mut out = Vec::new();
+        d.lookup(&[0], &[Value::Int(2)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, -1);
+    }
+
+    #[test]
+    fn positive_and_negative_parts_split() {
+        let mut d = delta();
+        d.add(row![1], 2);
+        d.add(row![2], -3);
+        let pos = d.positive_part();
+        let neg = d.negative_part();
+        assert_eq!(pos.count(&row![1]), 2);
+        assert_eq!(pos.count(&row![2]), 0);
+        assert_eq!(neg.count(&row![2]), 3);
+    }
+}

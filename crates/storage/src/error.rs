@@ -1,0 +1,61 @@
+//! Storage-layer errors.
+
+use crate::value::ValueType;
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Relation not found in the database catalog.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Row has the wrong number of columns.
+    ArityMismatch { relation: String, expected: usize, got: usize },
+    /// Value does not conform to the declared column type.
+    TypeMismatch { relation: String, column: String, expected: ValueType, got: ValueType },
+    /// A datalog rule referenced a variable in the head that is not bound by
+    /// any positive body atom.
+    UnboundHeadVariable { rule: String, var: String },
+    /// A negated atom or builtin uses a variable not bound by a positive atom.
+    UnsafeVariable { rule: String, var: String },
+    /// A rule's atom arity does not match the relation schema.
+    RuleArityMismatch { relation: String, expected: usize, got: usize },
+    /// Referenced UDF is not registered.
+    UnknownUdf(String),
+    /// The program's dependency graph places a negation inside a recursive
+    /// cycle (not stratifiable).
+    NotStratifiable { relation: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StorageError::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            StorageError::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation `{relation}` expects {expected} columns, got {got}")
+            }
+            StorageError::TypeMismatch { relation, column, expected, got } => write!(
+                f,
+                "relation `{relation}` column `{column}` expects {expected}, got {got}"
+            ),
+            StorageError::UnboundHeadVariable { rule, var } => {
+                write!(f, "rule `{rule}`: head variable `{var}` not bound in body")
+            }
+            StorageError::UnsafeVariable { rule, var } => write!(
+                f,
+                "rule `{rule}`: variable `{var}` used in negation/builtin but never bound positively"
+            ),
+            StorageError::RuleArityMismatch { relation, expected, got } => {
+                write!(f, "atom over `{relation}` has {got} terms, schema has {expected}")
+            }
+            StorageError::UnknownUdf(u) => write!(f, "unknown UDF `{u}`"),
+            StorageError::NotStratifiable { relation } => {
+                write!(f, "program is not stratifiable: `{relation}` depends negatively on itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

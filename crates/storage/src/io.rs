@@ -1,0 +1,219 @@
+//! TSV import/export for relations.
+//!
+//! DeepDive deployments move data in and out of the store as delimited text
+//! (the original used PostgreSQL `COPY`). Values are rendered/parsed against
+//! the relation schema; `\N` is NULL (PostgreSQL convention), and text cells
+//! escape tab/newline/backslash.
+
+use crate::database::Database;
+use crate::schema::Schema;
+use crate::value::{Row, Value, ValueType};
+use crate::StorageError;
+use std::fmt::Write as _;
+
+/// Render one value as a TSV cell.
+pub fn value_to_tsv(v: &Value) -> String {
+    match v {
+        Value::Null => "\\N".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Keep round-trippable precision.
+            format!("{f:?}")
+        }
+        Value::Id(i) => i.to_string(),
+        Value::Text(t) => {
+            let mut out = String::with_capacity(t.len());
+            for c in t.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\t' => out.push_str("\\t"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    other => out.push(other),
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Parse one TSV cell against a column type.
+pub fn value_from_tsv(cell: &str, ty: ValueType) -> Result<Value, String> {
+    if cell == "\\N" {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ValueType::Bool => cell
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|_| format!("bad bool `{cell}`")),
+        ValueType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad int `{cell}`")),
+        ValueType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad float `{cell}`")),
+        ValueType::Id => cell
+            .parse::<u64>()
+            .map(Value::Id)
+            .map_err(|_| format!("bad id `{cell}`")),
+        ValueType::Text | ValueType::Any | ValueType::Null => {
+            let mut out = String::with_capacity(cell.len());
+            let mut chars = cell.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('t') => out.push('\t'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('\\') => out.push('\\'),
+                        Some(other) => {
+                            out.push('\\');
+                            out.push(other);
+                        }
+                        None => out.push('\\'),
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Ok(Value::text(out))
+        }
+    }
+}
+
+/// Parse one TSV line against a schema.
+pub fn row_from_tsv(line: &str, schema: &Schema) -> Result<Row, String> {
+    let cells: Vec<&str> = line.split('\t').collect();
+    if cells.len() != schema.arity() {
+        return Err(format!(
+            "expected {} columns for `{}`, got {}",
+            schema.arity(),
+            schema.name,
+            cells.len()
+        ));
+    }
+    cells
+        .iter()
+        .zip(&schema.columns)
+        .map(|(cell, col)| value_from_tsv(cell, col.ty))
+        .collect()
+}
+
+/// Render one row as a TSV line.
+pub fn row_to_tsv(row: &Row) -> String {
+    let mut out = String::new();
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        let _ = write!(out, "{}", value_to_tsv(v));
+    }
+    out
+}
+
+impl Database {
+    /// Bulk-load TSV text into a relation. Empty lines and `#` comments are
+    /// skipped. Returns the number of rows inserted.
+    pub fn load_tsv(&self, relation: &str, tsv: &str) -> Result<usize, StorageError> {
+        let schema = self.schema(relation)?;
+        let mut n = 0;
+        for (lineno, line) in tsv.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let row = row_from_tsv(line, &schema).map_err(|e| StorageError::TypeMismatch {
+                relation: relation.to_string(),
+                column: format!("line {}: {e}", lineno + 1),
+                expected: ValueType::Any,
+                got: ValueType::Text,
+            })?;
+            self.insert(relation, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Dump a relation as TSV text (sorted rows — deterministic output).
+    pub fn dump_tsv(&self, relation: &str) -> Result<String, StorageError> {
+        let mut out = String::new();
+        for row in self.rows(relation)? {
+            out.push_str(&row_to_tsv(&row));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn schema() -> Schema {
+        Schema::build("R")
+            .col("i", ValueType::Int)
+            .col("t", ValueType::Text)
+            .col("f", ValueType::Float)
+            .col("b", ValueType::Bool)
+            .col("id", ValueType::Id)
+            .finish()
+    }
+
+    #[test]
+    fn row_round_trips_through_tsv() {
+        let r: Row = row![42i64, "hello\tworld\n", 2.5, true, Value::Id(7)];
+        let line = row_to_tsv(&r);
+        assert!(!line.contains('\n'));
+        let back = row_from_tsv(&line, &schema()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn null_round_trips() {
+        let r: Row = row![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null];
+        let back = row_from_tsv(&row_to_tsv(&r), &schema()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn backslash_text_round_trips() {
+        let s = Schema::build("T").col("t", ValueType::Text).finish();
+        let r: Row = row!["a\\b\\tc"];
+        let back = row_from_tsv(&row_to_tsv(&r), &s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn arity_and_type_errors_are_reported() {
+        assert!(row_from_tsv("1\t2", &schema()).is_err());
+        assert!(row_from_tsv("x\ta\t1.0\ttrue\t1", &schema()).is_err());
+    }
+
+    #[test]
+    fn database_load_and_dump() {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::build("P").col("x", ValueType::Int).col("n", ValueType::Text).finish(),
+        )
+        .unwrap();
+        let n = db
+            .load_tsv("P", "# comment\n1\talice\n\n2\tbob\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        let dump = db.dump_tsv("P").unwrap();
+        assert_eq!(dump, "1\talice\n2\tbob\n");
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let s = Schema::build("F").col("f", ValueType::Float).finish();
+        let r: Row = row![0.1 + 0.2];
+        let back = row_from_tsv(&row_to_tsv(&r), &s).unwrap();
+        assert_eq!(back, r);
+    }
+}

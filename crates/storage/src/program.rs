@@ -1,0 +1,584 @@
+//! Programs: collections of rules, stratification, and fixpoint evaluation.
+//!
+//! A DeepDive program's candidate mappings and grounding queries are a
+//! (possibly recursive) datalog program. We stratify by strongly-connected
+//! components of the relation dependency graph — negation inside an SCC is
+//! rejected ("not stratifiable") — and evaluate SCCs in topological order.
+//! Non-recursive components use *counting* semantics (derivation counts, the
+//! `count` column of §4.1); recursive components use *set* semantics, which
+//! is what the DRed maintenance algorithm requires.
+
+use crate::database::Database;
+use crate::datalog::{AtomDeltas, CompiledRule, Rule, Source};
+use crate::delta::DeltaRelation;
+use crate::table::Membership;
+use crate::StorageError;
+use std::collections::{HashMap, HashSet};
+
+/// A datalog program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Relations defined by some rule head (the IDB).
+    pub fn derived_relations(&self) -> HashSet<String> {
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    }
+}
+
+/// One evaluation unit: an SCC of the relation dependency graph.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// Indices into `Program::rules` whose head lives in this SCC.
+    pub rule_indices: Vec<usize>,
+    /// Relations defined in this SCC.
+    pub relations: HashSet<String>,
+    /// True if the SCC has an internal edge (self-recursion or mutual).
+    pub recursive: bool,
+    /// True if any rule of the stratum uses negation.
+    pub has_negation: bool,
+}
+
+/// A stratified program ready for evaluation and maintenance.
+#[derive(Debug)]
+pub struct StratifiedProgram {
+    pub program: Program,
+    pub strata: Vec<Stratum>,
+    compiled: Vec<CompiledRule>,
+    /// Per rule, per positive body position: the rule recompiled with that
+    /// atom rotated to the front (the §4.1 "delta rule" shape) plus the
+    /// `new index → original index` order map.
+    variants: Vec<HashMap<usize, (CompiledRule, Vec<usize>)>>,
+}
+
+impl StratifiedProgram {
+    /// Stratify and compile `program` against the catalog of `db`.
+    pub fn new(program: Program, db: &Database) -> Result<Self, StorageError> {
+        let compiled: Result<Vec<_>, _> =
+            program.rules.iter().map(|r| CompiledRule::compile(r, db)).collect();
+        let compiled = compiled?;
+
+        // Delta-rule variants: one per positive body position.
+        let mut variants = Vec::with_capacity(program.rules.len());
+        for rule in &program.rules {
+            let mut per_rule = HashMap::new();
+            for (i, lit) in rule.body.iter().enumerate() {
+                if lit.negated {
+                    continue;
+                }
+                let (reordered, order) = crate::datalog::reorder_body_front(rule, i);
+                per_rule.insert(i, (CompiledRule::compile(&reordered, db)?, order));
+            }
+            variants.push(per_rule);
+        }
+
+        let derived = program.derived_relations();
+
+        // Dependency edges among *derived* relations: body → head.
+        // `neg_edges` additionally records negative dependencies for the
+        // stratifiability check.
+        let mut edges: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut neg_edges: HashSet<(&str, &str)> = HashSet::new();
+        for rule in &program.rules {
+            let head = rule.head.relation.as_str();
+            for dep in rule.positive_deps() {
+                if derived.contains(dep) {
+                    edges.entry(dep).or_default().insert(head);
+                }
+            }
+            for dep in rule.negative_deps() {
+                if derived.contains(dep) {
+                    edges.entry(dep).or_default().insert(head);
+                    neg_edges.insert((dep, head));
+                }
+            }
+        }
+
+        // Tarjan SCC over derived relations.
+        let nodes: Vec<&str> = {
+            let mut v: Vec<&str> = derived.iter().map(String::as_str).collect();
+            v.sort();
+            v
+        };
+        let index_of: HashMap<&str, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let sccs = tarjan_sccs(&nodes, &edges, &index_of);
+
+        // Reject negation within an SCC.
+        for scc in &sccs {
+            let set: HashSet<&str> = scc.iter().copied().collect();
+            for &(from, to) in &neg_edges {
+                if set.contains(from) && set.contains(to) {
+                    return Err(StorageError::NotStratifiable { relation: to.to_string() });
+                }
+            }
+        }
+
+        // Build strata in topological order (Tarjan emits reverse-topo).
+        let mut strata = Vec::new();
+        for scc in sccs.into_iter().rev() {
+            let relations: HashSet<String> = scc.iter().map(|s| s.to_string()).collect();
+            let rule_indices: Vec<usize> = program
+                .rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| relations.contains(&r.head.relation))
+                .map(|(i, _)| i)
+                .collect();
+            let recursive = {
+                let self_loop = program.rules.iter().any(|r| {
+                    relations.contains(&r.head.relation)
+                        && r.positive_deps().any(|d| relations.contains(d))
+                });
+                scc.len() > 1 || self_loop
+            };
+            let has_negation = rule_indices
+                .iter()
+                .any(|&i| program.rules[i].body.iter().any(|l| l.negated));
+            strata.push(Stratum { rule_indices, relations, recursive, has_negation });
+        }
+
+        Ok(StratifiedProgram { program, strata, compiled, variants })
+    }
+
+    /// The delta-rule variant of rule `rule_index` with body atom `front`
+    /// rotated to drive the join. Returns the compiled variant and the
+    /// `new body index → original body index` map (`order[0] == front`).
+    pub fn variant(&self, rule_index: usize, front: usize) -> &(CompiledRule, Vec<usize>) {
+        &self.variants[rule_index][&front]
+    }
+
+    pub fn compiled(&self, rule_index: usize) -> &CompiledRule {
+        &self.compiled[rule_index]
+    }
+
+    /// Relations defined by the program.
+    pub fn derived_relations(&self) -> HashSet<String> {
+        self.program.derived_relations()
+    }
+
+    /// Evaluate the program from scratch: clears every derived relation and
+    /// recomputes to fixpoint. Returns per-relation tuple counts for
+    /// diagnostics.
+    pub fn evaluate(&self, db: &Database) -> Result<HashMap<String, usize>, StorageError> {
+        self.evaluate_instrumented(db, |_, _| {})
+    }
+
+    /// Like [`StratifiedProgram::evaluate`], invoking `on_stratum` with each
+    /// stratum and its evaluation wall-clock (phase attribution for the
+    /// Figure-2 runtime breakdown).
+    pub fn evaluate_instrumented(
+        &self,
+        db: &Database,
+        mut on_stratum: impl FnMut(&Stratum, std::time::Duration),
+    ) -> Result<HashMap<String, usize>, StorageError> {
+        for rel in self.derived_relations() {
+            db.clear(&rel)?;
+        }
+        for stratum in &self.strata {
+            let start = std::time::Instant::now();
+            self.evaluate_stratum(db, stratum)?;
+            on_stratum(stratum, start.elapsed());
+        }
+        let mut sizes = HashMap::new();
+        for rel in self.derived_relations() {
+            sizes.insert(rel.clone(), db.len(&rel)?);
+        }
+        Ok(sizes)
+    }
+
+    /// Evaluate one stratum assuming lower strata (and the EDB) are complete
+    /// and this stratum's relations are empty.
+    fn evaluate_stratum(&self, db: &Database, stratum: &Stratum) -> Result<(), StorageError> {
+        let no_deltas: AtomDeltas = HashMap::new();
+
+        if !stratum.recursive {
+            // Single counted pass.
+            for &ri in &stratum.rule_indices {
+                let c = &self.compiled[ri];
+                let results = c.eval(db, &no_deltas, &|_| Source::Old)?;
+                let head = &c.rule.head.relation;
+                for (row, count) in results {
+                    if count > 0 {
+                        db.adjust(head, row, count)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        // Recursive stratum: set-semantics semi-naive fixpoint.
+        // Iteration 0: all atoms read the (currently empty-for-unit) tables.
+        let mut deltas: HashMap<String, DeltaRelation> = HashMap::new();
+        for &ri in &stratum.rule_indices {
+            let c = &self.compiled[ri];
+            let results = c.eval(db, &no_deltas, &|_| Source::Old)?;
+            let head = c.rule.head.relation.clone();
+            for (row, count) in results {
+                if count > 0 && !db.contains(&head, &row)? {
+                    db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
+                    deltas
+                        .entry(head.clone())
+                        .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
+                        .add(row, 1);
+                }
+            }
+        }
+
+        while !deltas.is_empty() {
+            let mut next: HashMap<String, DeltaRelation> = HashMap::new();
+            for &ri in &stratum.rule_indices {
+                let c = &self.compiled[ri];
+                // One pass per positive occurrence of a stratum relation.
+                for (occ, lit) in c.rule.body.iter().enumerate() {
+                    if lit.negated || !stratum.relations.contains(&lit.atom.relation) {
+                        continue;
+                    }
+                    let Some(delta) = deltas.get(&lit.atom.relation) else { continue };
+                    // Delta-first join order (the §4.1 delta-rule shape).
+                    let (variant, _) = self.variant(ri, occ);
+                    let atom_deltas: AtomDeltas = HashMap::from([(0usize, delta)]);
+                    let results = variant.eval(db, &atom_deltas, &|i| {
+                        if i == 0 {
+                            Source::Delta
+                        } else {
+                            Source::Old
+                        }
+                    })?;
+                    let head = c.rule.head.relation.clone();
+                    for (row, count) in results {
+                        if count > 0 && !db.contains(&head, &row)? {
+                            db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
+                            next.entry(head.clone())
+                                .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
+                                .add(row, 1);
+                        }
+                    }
+                }
+            }
+            deltas = next;
+        }
+        Ok(())
+    }
+
+    /// Re-evaluate a single stratum from scratch and report visible
+    /// membership changes against the previous contents. Used by the IVM
+    /// layer when exact delta propagation is unavailable (negation).
+    pub(crate) fn recompute_stratum_diff(
+        &self,
+        db: &Database,
+        stratum: &Stratum,
+    ) -> Result<HashMap<String, DeltaRelation>, StorageError> {
+        // Snapshot old contents.
+        let mut old: HashMap<String, Vec<(crate::value::Row, i64)>> = HashMap::new();
+        for rel in &stratum.relations {
+            old.insert(rel.clone(), db.rows_counted(rel)?);
+            db.clear(rel)?;
+        }
+        self.evaluate_stratum(db, stratum)?;
+        let mut diffs = HashMap::new();
+        for rel in &stratum.relations {
+            let mut delta = DeltaRelation::new(db.schema(rel)?);
+            let old_rows = &old[rel];
+            let old_set: HashSet<&crate::value::Row> = old_rows.iter().map(|(r, _)| r).collect();
+            for (r, _) in old_rows {
+                if !db.contains(rel, r)? {
+                    delta.add(r.clone(), -1);
+                }
+            }
+            for r in db.rows(rel)? {
+                if !old_set.contains(&r) {
+                    delta.add(r.clone(), 1);
+                }
+            }
+            if !delta.is_empty() {
+                diffs.insert(rel.clone(), delta);
+            }
+        }
+        Ok(diffs)
+    }
+}
+
+/// Iterative Tarjan strongly-connected components; returns SCCs in reverse
+/// topological order (standard Tarjan emission order).
+fn tarjan_sccs<'a>(
+    nodes: &[&'a str],
+    edges: &HashMap<&'a str, HashSet<&'a str>>,
+    index_of: &HashMap<&'a str, usize>,
+) -> Vec<Vec<&'a str>> {
+    let n = nodes.len();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&u| {
+            let mut targets: Vec<usize> = edges
+                .get(u)
+                .map(|s| s.iter().filter_map(|v| index_of.get(v).copied()).collect())
+                .unwrap_or_default();
+            targets.sort_unstable();
+            targets
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+    let mut sccs: Vec<Vec<&str>> = Vec::new();
+
+    // Iterative DFS frames: (node, next child offset).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, child)) = call.last() {
+            if child == 0 && index[v] == usize::MAX {
+                index[v] = counter;
+                lowlink[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if child < adj[v].len() {
+                call.last_mut().expect("frame").1 += 1;
+                let w = adj[v][child];
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack nonempty");
+                        on_stack[w] = false;
+                        scc.push(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Visible membership changes recorded while applying counted deltas.
+#[derive(Debug, Default)]
+pub struct AppliedChanges {
+    pub appeared: Vec<crate::value::Row>,
+    pub disappeared: Vec<crate::value::Row>,
+}
+
+/// Apply a counted delta to a relation, recording visibility transitions.
+pub(crate) fn apply_delta_counted(
+    db: &Database,
+    relation: &str,
+    delta: &DeltaRelation,
+) -> Result<AppliedChanges, StorageError> {
+    let mut changes = AppliedChanges::default();
+    for (row, count) in delta.iter() {
+        match db.adjust(relation, row.clone(), count)? {
+            Membership::Appeared => changes.appeared.push(row.clone()),
+            Membership::Disappeared => changes.disappeared.push(row.clone()),
+            _ => {}
+        }
+    }
+    Ok(changes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::{Atom, Literal, Term};
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn edge_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::build("edge").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+        )
+        .unwrap();
+        db.create_relation(
+            Schema::build("path").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                "base",
+                Atom::new("path", vec![Term::var("a"), Term::var("b")]),
+                vec![Literal::pos(Atom::new("edge", vec![Term::var("a"), Term::var("b")]))],
+            ),
+            Rule::new(
+                "step",
+                Atom::new("path", vec![Term::var("a"), Term::var("c")]),
+                vec![
+                    Literal::pos(Atom::new("path", vec![Term::var("a"), Term::var("b")])),
+                    Literal::pos(Atom::new("edge", vec![Term::var("b"), Term::var("c")])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_reaches_fixpoint() {
+        let db = edge_db();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert("edge", row![a, b]).unwrap();
+        }
+        let sp = StratifiedProgram::new(tc_program(), &db).unwrap();
+        sp.evaluate(&db).unwrap();
+        assert_eq!(db.len("path").unwrap(), 6);
+        assert!(db.contains("path", &row![1, 4]).unwrap());
+    }
+
+    #[test]
+    fn cyclic_edges_terminate() {
+        let db = edge_db();
+        for (a, b) in [(1, 2), (2, 1)] {
+            db.insert("edge", row![a, b]).unwrap();
+        }
+        let sp = StratifiedProgram::new(tc_program(), &db).unwrap();
+        sp.evaluate(&db).unwrap();
+        assert_eq!(db.len("path").unwrap(), 4); // 11,12,21,22
+    }
+
+    #[test]
+    fn recursive_stratum_detected() {
+        let db = edge_db();
+        let sp = StratifiedProgram::new(tc_program(), &db).unwrap();
+        assert_eq!(sp.strata.len(), 1);
+        assert!(sp.strata[0].recursive);
+    }
+
+    #[test]
+    fn nonrecursive_strata_ordered_topologically() {
+        let mut db = Database::new();
+        for n in ["A", "B", "C"] {
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+        }
+        // C :- B; B :- A.
+        let prog = Program::new(vec![
+            Rule::new(
+                "c",
+                Atom::new("C", vec![Term::var("x")]),
+                vec![Literal::pos(Atom::new("B", vec![Term::var("x")]))],
+            ),
+            Rule::new(
+                "b",
+                Atom::new("B", vec![Term::var("x")]),
+                vec![Literal::pos(Atom::new("A", vec![Term::var("x")]))],
+            ),
+        ]);
+        db.insert("A", row![7]).unwrap();
+        let sp = StratifiedProgram::new(prog, &db).unwrap();
+        assert_eq!(sp.strata.len(), 2);
+        assert!(sp.strata[0].relations.contains("B"));
+        assert!(sp.strata[1].relations.contains("C"));
+        sp.evaluate(&db).unwrap();
+        assert!(db.contains("C", &row![7]).unwrap());
+    }
+
+    #[test]
+    fn negation_across_strata_allowed() {
+        let mut db = Database::new();
+        for n in ["Base", "Excl", "Out"] {
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+        }
+        let prog = Program::new(vec![Rule::new(
+            "out",
+            Atom::new("Out", vec![Term::var("x")]),
+            vec![
+                Literal::pos(Atom::new("Base", vec![Term::var("x")])),
+                Literal::neg(Atom::new("Excl", vec![Term::var("x")])),
+            ],
+        )]);
+        db.insert("Base", row![1]).unwrap();
+        db.insert("Base", row![2]).unwrap();
+        db.insert("Excl", row![2]).unwrap();
+        let sp = StratifiedProgram::new(prog, &db).unwrap();
+        sp.evaluate(&db).unwrap();
+        assert_eq!(db.rows("Out").unwrap(), vec![row![1]]);
+    }
+
+    #[test]
+    fn negative_recursion_rejected() {
+        let mut db = Database::new();
+        for n in ["P", "Q"] {
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+        }
+        // P :- !Q; Q :- P — negation in a cycle.
+        let prog = Program::new(vec![
+            Rule::new(
+                "p",
+                Atom::new("P", vec![Term::var("x")]),
+                vec![
+                    Literal::pos(Atom::new("Q", vec![Term::var("x")])),
+                    Literal::neg(Atom::new("Q", vec![Term::var("x")])),
+                ],
+            ),
+            Rule::new(
+                "q",
+                Atom::new("Q", vec![Term::var("x")]),
+                vec![Literal::pos(Atom::new("P", vec![Term::var("x")]))],
+            ),
+        ]);
+        let err = StratifiedProgram::new(prog, &db).unwrap_err();
+        assert!(matches!(err, StorageError::NotStratifiable { .. }));
+    }
+
+    #[test]
+    fn counting_semantics_in_nonrecursive_stratum() {
+        let mut db = Database::new();
+        db.create_relation(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+        )
+        .unwrap();
+        db.create_relation(Schema::build("V").col("x", ValueType::Int).finish()).unwrap();
+        let prog = Program::new(vec![Rule::new(
+            "v",
+            Atom::new("V", vec![Term::var("x")]),
+            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+        )]);
+        db.insert("R", row![1, 10]).unwrap();
+        db.insert("R", row![1, 11]).unwrap();
+        let sp = StratifiedProgram::new(prog, &db).unwrap();
+        sp.evaluate(&db).unwrap();
+        assert_eq!(db.count("V", &row![1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn reevaluation_is_idempotent() {
+        let db = edge_db();
+        db.insert("edge", row![1, 2]).unwrap();
+        let sp = StratifiedProgram::new(tc_program(), &db).unwrap();
+        sp.evaluate(&db).unwrap();
+        let n1 = db.len("path").unwrap();
+        sp.evaluate(&db).unwrap();
+        assert_eq!(db.len("path").unwrap(), n1);
+    }
+}

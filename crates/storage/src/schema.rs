@@ -1,0 +1,178 @@
+//! Relation schemas.
+//!
+//! Every user relation in a DeepDive program is declared with a schema
+//! (§3.1 of the paper: "All data in DeepDive is stored in a relational
+//! database"). Evidence relations (§3.2) share the schema of their user
+//! relation plus a trailing boolean `label` column; we model that with
+//! [`Schema::evidence_schema`].
+
+use crate::value::{Row, Value, ValueType};
+use crate::StorageError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// The schema of one relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Schema { name: name.into(), columns }
+    }
+
+    /// Builder-style helper: `Schema::build("R").col("x", Int).col("y", Text)`.
+    pub fn build(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder { name: name.into(), columns: Vec::new() }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a row against this schema (arity + per-column type).
+    pub fn check_row(&self, r: &Row) -> Result<(), StorageError> {
+        if r.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity(),
+                got: r.len(),
+            });
+        }
+        for (v, c) in r.iter().zip(&self.columns) {
+            if !v.conforms_to(c.ty) {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.name.clone(),
+                    column: c.name.clone(),
+                    expected: c.ty,
+                    got: v.value_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The schema of this relation's evidence relation: same columns plus a
+    /// trailing boolean `label` (paper §3.2).
+    pub fn evidence_schema(&self) -> Schema {
+        let mut cols = self.columns.clone();
+        cols.push(Column::new("label", ValueType::Bool));
+        Schema::new(format!("{}__ev", self.name), cols)
+    }
+
+    /// Render a row under this schema as `name(v1, v2, ...)`.
+    pub fn render(&self, r: &Row) -> String {
+        let vals: Vec<String> = r.iter().map(Value::to_string).collect();
+        format!("{}({})", self.name, vals.join(", "))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Incremental builder for [`Schema`].
+pub struct SchemaBuilder {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl SchemaBuilder {
+    pub fn col(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.columns.push(Column::new(name, ty));
+        self
+    }
+
+    pub fn finish(self) -> Schema {
+        Schema { name: self.name, columns: self.columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn spouse_schema() -> Schema {
+        Schema::build("MarriedCandidate")
+            .col("m1", ValueType::Id)
+            .col("m2", ValueType::Id)
+            .finish()
+    }
+
+    #[test]
+    fn check_row_accepts_conforming() {
+        let s = spouse_schema();
+        assert!(s.check_row(&row![Value::Id(1), Value::Id(2)]).is_ok());
+    }
+
+    #[test]
+    fn check_row_rejects_wrong_arity() {
+        let s = spouse_schema();
+        let err = s.check_row(&row![Value::Id(1)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn check_row_rejects_wrong_type() {
+        let s = spouse_schema();
+        let err = s.check_row(&row![Value::Id(1), "oops"]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_pass_any_column() {
+        let s = spouse_schema();
+        assert!(s.check_row(&row![Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn evidence_schema_appends_label() {
+        let ev = spouse_schema().evidence_schema();
+        assert_eq!(ev.name, "MarriedCandidate__ev");
+        assert_eq!(ev.arity(), 3);
+        assert_eq!(ev.columns[2].name, "label");
+        assert_eq!(ev.columns[2].ty, ValueType::Bool);
+    }
+
+    #[test]
+    fn column_index_finds_by_name() {
+        let s = spouse_schema();
+        assert_eq!(s.column_index("m2"), Some(1));
+        assert_eq!(s.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(spouse_schema().to_string(), "MarriedCandidate(m1: id, m2: id)");
+    }
+}

@@ -1,0 +1,325 @@
+//! Counted tables with lazy hash indexes.
+//!
+//! Tables keep a *derivation count* per tuple — the `count` column of §4.1 of
+//! the paper ("for each tuple t, t.count represents the number of derivations
+//! of t in Ri"). A tuple is visible iff its count is positive; counting
+//! maintenance and DRed manipulate counts directly.
+
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+use crate::StorageError;
+use std::collections::HashMap;
+
+/// How a mutation changed tuple visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// The tuple became visible (count went 0 → positive).
+    Appeared,
+    /// Count changed but visibility did not.
+    CountChanged,
+    /// The tuple became invisible (count went positive → 0).
+    Disappeared,
+    /// No-op (e.g. deleting an absent tuple).
+    Unchanged,
+}
+
+/// One relation instance: schema + counted rows + lazily-built indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: HashMap<Row, i64>,
+    /// Lazily materialized hash indexes: key columns → (key values → rows).
+    /// Invalidated wholesale on mutation; grounding and IVM workloads are
+    /// read-heavy bursts between batched mutations, so this is cheap.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Row>>>,
+    generation: u64,
+}
+
+impl Table {
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: HashMap::new(), indexes: HashMap::new(), generation: 0 }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of visible tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Monotonically increasing mutation counter; used by readers to detect
+    /// staleness (e.g. cached grounding plans).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn contains(&self, r: &Row) -> bool {
+        self.rows.contains_key(r)
+    }
+
+    pub fn count(&self, r: &Row) -> i64 {
+        self.rows.get(r).copied().unwrap_or(0)
+    }
+
+    /// Iterate visible rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.keys()
+    }
+
+    /// Iterate `(row, count)` pairs.
+    pub fn iter_counted(&self) -> impl Iterator<Item = (&Row, i64)> + '_ {
+        self.rows.iter().map(|(r, c)| (r, *c))
+    }
+
+    /// Snapshot of all visible rows (sorted for deterministic output).
+    pub fn rows_sorted(&self) -> Vec<Row> {
+        let mut v: Vec<Row> = self.rows.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Insert with derivation count 1. Returns the membership transition.
+    pub fn insert(&mut self, r: Row) -> Result<Membership, StorageError> {
+        self.adjust(r, 1)
+    }
+
+    /// Delete one derivation of the tuple.
+    pub fn delete(&mut self, r: &Row) -> Membership {
+        match self.adjust(r.clone(), -1) {
+            Ok(m) => m,
+            Err(_) => Membership::Unchanged,
+        }
+    }
+
+    /// Remove a tuple entirely, regardless of count.
+    pub fn purge(&mut self, r: &Row) -> Membership {
+        self.touch();
+        if self.rows.remove(r).is_some() {
+            Membership::Disappeared
+        } else {
+            Membership::Unchanged
+        }
+    }
+
+    /// Adjust the derivation count of `r` by `delta` (may be negative).
+    ///
+    /// Counts are clamped at zero: deleting more derivations than exist
+    /// leaves the tuple absent (this is what DRed's over-deletion relies on).
+    pub fn adjust(&mut self, r: Row, delta: i64) -> Result<Membership, StorageError> {
+        if delta == 0 {
+            return Ok(Membership::Unchanged);
+        }
+        self.schema.check_row(&r)?;
+        self.touch();
+        use std::collections::hash_map::Entry;
+        match self.rows.entry(r) {
+            Entry::Occupied(mut e) => {
+                let c = *e.get() + delta;
+                if c <= 0 {
+                    e.remove();
+                    Ok(Membership::Disappeared)
+                } else {
+                    *e.get_mut() = c;
+                    Ok(Membership::CountChanged)
+                }
+            }
+            Entry::Vacant(e) => {
+                if delta > 0 {
+                    e.insert(delta);
+                    Ok(Membership::Appeared)
+                } else {
+                    Ok(Membership::Unchanged)
+                }
+            }
+        }
+    }
+
+    /// Set a tuple's count to an absolute value (used when re-deriving).
+    pub fn set_count(&mut self, r: Row, count: i64) -> Result<Membership, StorageError> {
+        self.schema.check_row(&r)?;
+        self.touch();
+        if count <= 0 {
+            return Ok(if self.rows.remove(&r).is_some() {
+                Membership::Disappeared
+            } else {
+                Membership::Unchanged
+            });
+        }
+        Ok(match self.rows.insert(r, count) {
+            None => Membership::Appeared,
+            Some(_) => Membership::CountChanged,
+        })
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.touch();
+        self.rows.clear();
+    }
+
+    /// Look up rows whose values at `key_cols` equal `key_vals`, using (and
+    /// building if needed) a hash index.
+    pub fn lookup(&mut self, key_cols: &[usize], key_vals: &[Value]) -> &[Row] {
+        debug_assert_eq!(key_cols.len(), key_vals.len());
+        self.ensure_index(key_cols);
+        self.indexes
+            .get(key_cols)
+            .and_then(|idx| idx.get(key_vals))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Like [`Table::lookup`], but appends `(row, count)` pairs to `out`.
+    pub fn lookup_counted(
+        &mut self,
+        key_cols: &[usize],
+        key_vals: &[Value],
+        out: &mut Vec<(Row, i64)>,
+    ) {
+        self.ensure_index(key_cols);
+        let Some(idx) = self.indexes.get(key_cols) else { return };
+        if let Some(rows) = idx.get(key_vals) {
+            for r in rows {
+                out.push((r.clone(), self.rows.get(r).copied().unwrap_or(0)));
+            }
+        }
+    }
+
+    fn ensure_index(&mut self, key_cols: &[usize]) {
+        if !self.indexes.contains_key(key_cols) {
+            let mut idx: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            for r in self.rows.keys() {
+                let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
+                idx.entry(key).or_default().push(r.clone());
+            }
+            self.indexes.insert(key_cols.to_vec(), idx);
+        }
+    }
+
+    fn touch(&mut self) {
+        self.generation += 1;
+        self.indexes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+        )
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut t = table();
+        assert_eq!(t.insert(row![1, "a"]).unwrap(), Membership::Appeared);
+        assert!(t.contains(&row![1, "a"]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_increments_count_not_len() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        assert_eq!(t.insert(row![1, "a"]).unwrap(), Membership::CountChanged);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(&row![1, "a"]), 2);
+    }
+
+    #[test]
+    fn delete_respects_counts() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        t.insert(row![1, "a"]).unwrap();
+        assert_eq!(t.delete(&row![1, "a"]), Membership::CountChanged);
+        assert!(t.contains(&row![1, "a"]));
+        assert_eq!(t.delete(&row![1, "a"]), Membership::Disappeared);
+        assert!(!t.contains(&row![1, "a"]));
+    }
+
+    #[test]
+    fn delete_absent_is_unchanged() {
+        let mut t = table();
+        assert_eq!(t.delete(&row![9, "z"]), Membership::Unchanged);
+    }
+
+    #[test]
+    fn negative_adjust_clamps_at_zero() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        assert_eq!(t.adjust(row![1, "a"], -100).unwrap(), Membership::Disappeared);
+        assert_eq!(t.count(&row![1, "a"]), 0);
+        // Further deletes do not create negative ghosts.
+        assert_eq!(t.adjust(row![1, "a"], -1).unwrap(), Membership::Unchanged);
+    }
+
+    #[test]
+    fn schema_is_enforced_on_insert() {
+        let mut t = table();
+        assert!(t.insert(row!["bad", 1]).is_err());
+    }
+
+    #[test]
+    fn lookup_builds_index_and_finds_matches() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        t.insert(row![1, "b"]).unwrap();
+        t.insert(row![2, "c"]).unwrap();
+        let hits = t.lookup(&[0], &[Value::Int(1)]);
+        assert_eq!(hits.len(), 2);
+        let hits = t.lookup(&[0], &[Value::Int(3)]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn mutation_invalidates_indexes() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        assert_eq!(t.lookup(&[0], &[Value::Int(1)]).len(), 1);
+        t.insert(row![1, "b"]).unwrap();
+        assert_eq!(t.lookup(&[0], &[Value::Int(1)]).len(), 2);
+    }
+
+    #[test]
+    fn set_count_overwrites() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        t.set_count(row![1, "a"], 5).unwrap();
+        assert_eq!(t.count(&row![1, "a"]), 5);
+        assert_eq!(t.set_count(row![1, "a"], 0).unwrap(), Membership::Disappeared);
+    }
+
+    #[test]
+    fn generation_advances_on_mutation() {
+        let mut t = table();
+        let g0 = t.generation();
+        t.insert(row![1, "a"]).unwrap();
+        assert!(t.generation() > g0);
+    }
+
+    #[test]
+    fn rows_sorted_is_deterministic() {
+        let mut t = table();
+        t.insert(row![2, "b"]).unwrap();
+        t.insert(row![1, "a"]).unwrap();
+        let rows = t.rows_sorted();
+        assert_eq!(rows[0], row![1, "a"]);
+        assert_eq!(rows[1], row![2, "b"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Labeling functions: programmatic supervision rules as first-class,
+//! debuggable objects.
+//!
+//! §3.2 treats distant supervision as *code*: "distant supervision rules can
+//! be revised, debugged, and cheaply reexecuted; in contrast, a flaw in the
+//! human labeling process can only be fixed by expensively redoing all of
+//! the work." This module generalizes the single-KB rule into a set of
+//! independent labeling functions over candidates, with the diagnostics an
+//! engineer needs to debug them: per-function coverage, pairwise overlap and
+//! conflict, and agreement-weighted combination. (This is the abstraction
+//! the DeepDive lineage later grew into Snorkel.)
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A labeling function: maps a candidate to `Some(label)` or abstains.
+pub type LabelFn<C> = Arc<dyn Fn(&C) -> Option<bool> + Send + Sync>;
+
+/// One named labeling function.
+pub struct LabelingFunction<C> {
+    pub name: String,
+    pub f: LabelFn<C>,
+}
+
+impl<C> LabelingFunction<C> {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&C) -> Option<bool> + Send + Sync + 'static,
+    ) -> Self {
+        LabelingFunction { name: name.into(), f: Arc::new(f) }
+    }
+
+    pub fn apply(&self, candidate: &C) -> Option<bool> {
+        (self.f)(candidate)
+    }
+}
+
+/// The label matrix: per candidate, per function, the emitted label.
+pub struct LabelMatrix {
+    /// `labels[i][j]` = function j's vote on candidate i.
+    pub labels: Vec<Vec<Option<bool>>>,
+    pub function_names: Vec<String>,
+}
+
+/// Per-function diagnostics (the §5.2 error-analysis companion for
+/// supervision code).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LfStats {
+    pub name: String,
+    /// Fraction of candidates the function labels at all.
+    pub coverage: f64,
+    /// Fraction labeled positive (of those labeled).
+    pub positive_rate: f64,
+    /// Fraction of its labeled candidates also labeled by another function.
+    pub overlap: f64,
+    /// Fraction of its labeled candidates where some other function
+    /// disagrees.
+    pub conflict: f64,
+}
+
+impl LabelMatrix {
+    /// Apply every function to every candidate.
+    pub fn build<C>(functions: &[LabelingFunction<C>], candidates: &[C]) -> LabelMatrix {
+        let labels = candidates
+            .iter()
+            .map(|c| functions.iter().map(|lf| lf.apply(c)).collect())
+            .collect();
+        LabelMatrix {
+            labels,
+            function_names: functions.iter().map(|lf| lf.name.clone()).collect(),
+        }
+    }
+
+    pub fn num_candidates(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn num_functions(&self) -> usize {
+        self.function_names.len()
+    }
+
+    /// Majority-vote combination: `Some(label)` when votes are non-empty and
+    /// untied (the same conflict policy evidence relations use).
+    pub fn majority(&self, candidate: usize) -> Option<bool> {
+        let mut pos = 0usize;
+        let mut neg = 0usize;
+        for l in &self.labels[candidate] {
+            match l {
+                Some(true) => pos += 1,
+                Some(false) => neg += 1,
+                None => {}
+            }
+        }
+        match pos.cmp(&neg) {
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// Majority labels for the whole matrix.
+    pub fn majority_labels(&self) -> Vec<Option<bool>> {
+        (0..self.num_candidates()).map(|i| self.majority(i)).collect()
+    }
+
+    /// Fraction of candidates receiving at least one label.
+    pub fn total_coverage(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let covered =
+            self.labels.iter().filter(|row| row.iter().any(Option::is_some)).count();
+        covered as f64 / self.labels.len() as f64
+    }
+
+    /// Per-function coverage / overlap / conflict diagnostics.
+    pub fn stats(&self) -> Vec<LfStats> {
+        let n = self.num_candidates().max(1);
+        (0..self.num_functions())
+            .map(|j| {
+                let mut labeled = 0usize;
+                let mut positive = 0usize;
+                let mut overlap = 0usize;
+                let mut conflict = 0usize;
+                for row in &self.labels {
+                    let Some(mine) = row[j] else { continue };
+                    labeled += 1;
+                    if mine {
+                        positive += 1;
+                    }
+                    let mut saw_other = false;
+                    let mut saw_disagree = false;
+                    for (k, other) in row.iter().enumerate() {
+                        if k == j {
+                            continue;
+                        }
+                        if let Some(o) = other {
+                            saw_other = true;
+                            if *o != mine {
+                                saw_disagree = true;
+                            }
+                        }
+                    }
+                    overlap += saw_other as usize;
+                    conflict += saw_disagree as usize;
+                }
+                let denom = labeled.max(1) as f64;
+                LfStats {
+                    name: self.function_names[j].clone(),
+                    coverage: labeled as f64 / n as f64,
+                    positive_rate: positive as f64 / denom,
+                    overlap: overlap as f64 / denom,
+                    conflict: conflict as f64 / denom,
+                }
+            })
+            .collect()
+    }
+
+    /// Render the diagnostics table (the supervision half of the §5.2
+    /// error-analysis document).
+    pub fn render_stats(&self) -> String {
+        let mut out =
+            String::from("labeling function        coverage  pos-rate  overlap  conflict\n");
+        for s in self.stats() {
+            out.push_str(&format!(
+                "{:<24} {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}\n",
+                s.name, s.coverage, s.positive_rate, s.overlap, s.conflict
+            ));
+        }
+        out.push_str(&format!("total coverage: {:.3}\n", self.total_coverage()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Candidates: (phrase, in_kb, is_sibling).
+    type Cand = (&'static str, bool, bool);
+
+    fn functions() -> Vec<LabelingFunction<Cand>> {
+        vec![
+            LabelingFunction::new("kb_married", |c: &Cand| c.1.then_some(true)),
+            LabelingFunction::new("kb_sibling", |c: &Cand| c.2.then_some(false)),
+            LabelingFunction::new("phrase_wife", |c: &Cand| {
+                c.0.contains("wife").then_some(true)
+            }),
+            LabelingFunction::new("phrase_brother", |c: &Cand| {
+                c.0.contains("brother").then_some(false)
+            }),
+        ]
+    }
+
+    fn candidates() -> Vec<Cand> {
+        vec![
+            ("and his wife", true, false),   // kb+phrase agree positive
+            ("and his brother", false, true), // kb+phrase agree negative
+            ("met at work", false, false),    // nobody labels
+            ("and his wife", false, true),    // CONFLICT: wife phrase vs sibling kb
+        ]
+    }
+
+    #[test]
+    fn matrix_applies_all_functions() {
+        let m = LabelMatrix::build(&functions(), &candidates());
+        assert_eq!(m.num_candidates(), 4);
+        assert_eq!(m.num_functions(), 4);
+        assert_eq!(m.labels[0][0], Some(true));
+        assert_eq!(m.labels[2], vec![None, None, None, None]);
+    }
+
+    #[test]
+    fn majority_vote_resolves_and_abstains() {
+        let m = LabelMatrix::build(&functions(), &candidates());
+        assert_eq!(m.majority(0), Some(true));
+        assert_eq!(m.majority(1), Some(false));
+        assert_eq!(m.majority(2), None, "no votes");
+        assert_eq!(m.majority(3), None, "tied votes abstain");
+    }
+
+    #[test]
+    fn coverage_and_conflict_statistics() {
+        let m = LabelMatrix::build(&functions(), &candidates());
+        assert!((m.total_coverage() - 0.75).abs() < 1e-12);
+        let stats = m.stats();
+        let wife = stats.iter().find(|s| s.name == "phrase_wife").unwrap();
+        // Labels candidates 0 and 3 → coverage 0.5.
+        assert!((wife.coverage - 0.5).abs() < 1e-12);
+        assert_eq!(wife.positive_rate, 1.0);
+        // Candidate 3 conflicts with kb_sibling → conflict 0.5.
+        assert!((wife.conflict - 0.5).abs() < 1e-12);
+        let kb = stats.iter().find(|s| s.name == "kb_married").unwrap();
+        assert_eq!(kb.conflict, 0.0);
+    }
+
+    #[test]
+    fn render_is_a_table() {
+        let m = LabelMatrix::build(&functions(), &candidates());
+        let t = m.render_stats();
+        assert!(t.contains("phrase_wife"));
+        assert!(t.contains("total coverage"));
+        assert_eq!(t.lines().count(), 6);
+    }
+
+    #[test]
+    fn empty_matrix_is_benign() {
+        let m = LabelMatrix::build(&functions(), &[]);
+        assert_eq!(m.total_coverage(), 0.0);
+        assert!(m.majority_labels().is_empty());
+        assert!(m.stats().iter().all(|s| s.coverage == 0.0));
+    }
+
+    /// The §8 failure-mode detector: a labeling function that never
+    /// conflicts and fully overlaps with another is suspicious (it may be
+    /// recomputing the same signal a feature uses).
+    #[test]
+    fn duplicate_functions_show_full_overlap_zero_conflict() {
+        let mut fns = functions();
+        fns.push(LabelingFunction::new("kb_married_copy", |c: &Cand| c.1.then_some(true)));
+        let m = LabelMatrix::build(&fns, &candidates());
+        let copy = m.stats().into_iter().find(|s| s.name == "kb_married_copy").unwrap();
+        assert_eq!(copy.overlap, 1.0);
+        assert_eq!(copy.conflict, 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! `deepdive-supervision`: entity linking and distant supervision (§3.2 of
+//! the DeepDive paper).
+//!
+//! "As a rule, we use distant supervision to obtain labels rather than
+//! manual efforts." The [`EntityLinker`] maps mention text to candidate
+//! real-world entities; the [`DistantSupervisor`] labels candidate mention
+//! pairs through an incomplete [`PairKb`] — positives from the target
+//! relation's known instances, negatives from a largely disjoint relation
+//! (e.g. siblings for marriage). Absence from the KB is *not* negative
+//! evidence; unlabeled candidates stay query variables.
+
+pub mod distant;
+pub mod lfs;
+pub mod linker;
+
+pub use distant::{DistantSupervisor, LabelStats, PairKb};
+pub use lfs::{LabelMatrix, LabelingFunction, LfStats};
+pub use linker::EntityLinker;

@@ -1,0 +1,149 @@
+//! Entity linking: mention text → candidate real-world entities.
+//!
+//! §3.2: "The relation EL is for 'entity linking' that maps mentions to
+//! their candidate entities." Linking is deliberately candidate-generating
+//! (possibly several entities per mention); distant supervision tolerates
+//! the noise and inference resolves it.
+
+use deepdive_nlp::Gazetteer;
+use std::collections::HashMap;
+
+/// Dictionary-driven entity linker with name-shape heuristics:
+/// exact/alias matches, unique-last-name matches, and `B. Obama`-style
+/// initial+surname matches.
+#[derive(Debug, Clone, Default)]
+pub struct EntityLinker {
+    /// alias (normalized) → canonical entity.
+    aliases: Gazetteer,
+    /// last name (lowercased) → canonical entities carrying it.
+    by_last_name: HashMap<String, Vec<String>>,
+    /// (first initial, last name) → canonical entities.
+    by_initial: HashMap<(char, String), Vec<String>>,
+    entities: Vec<String>,
+}
+
+impl EntityLinker {
+    pub fn new() -> Self {
+        EntityLinker::default()
+    }
+
+    /// Register a canonical entity (e.g. "Barack Obama").
+    pub fn add_entity(&mut self, canonical: &str) {
+        self.aliases.insert_alias(canonical, canonical);
+        self.entities.push(canonical.to_string());
+        let parts: Vec<&str> = canonical.split_whitespace().collect();
+        if let Some(last) = parts.last() {
+            self.by_last_name
+                .entry(last.to_lowercase())
+                .or_default()
+                .push(canonical.to_string());
+            if let Some(first) = parts.first() {
+                if let Some(init) = first.chars().next() {
+                    self.by_initial
+                        .entry((init.to_ascii_uppercase(), last.to_lowercase()))
+                        .or_default()
+                        .push(canonical.to_string());
+                }
+            }
+        }
+    }
+
+    /// Register an additional alias for an entity.
+    pub fn add_alias(&mut self, alias: &str, canonical: &str) {
+        self.aliases.insert_alias(alias, canonical);
+    }
+
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Candidate entities for a mention, best-effort ordered: exact/alias
+    /// match first, then initial+surname, then unique-last-name.
+    pub fn link(&self, mention: &str) -> Vec<String> {
+        let mention = mention.trim();
+        if let Some(c) = self.aliases.canonical_of(mention) {
+            return vec![c.to_string()];
+        }
+        let parts: Vec<&str> = mention.split_whitespace().collect();
+        // "B. Obama" / "B Obama": initial + surname.
+        if parts.len() == 2 {
+            let first = parts[0].trim_end_matches('.');
+            if first.chars().count() == 1 {
+                if let Some(init) = first.chars().next() {
+                    let key = (init.to_ascii_uppercase(), parts[1].to_lowercase());
+                    if let Some(cands) = self.by_initial.get(&key) {
+                        return cands.clone();
+                    }
+                }
+            }
+        }
+        // Bare surname: all entities sharing it (ambiguous on purpose).
+        if parts.len() == 1 {
+            if let Some(cands) = self.by_last_name.get(&mention.to_lowercase()) {
+                return cands.clone();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Link and keep only unambiguous (single-candidate) results.
+    pub fn link_unique(&self, mention: &str) -> Option<String> {
+        let mut cands = self.link(mention);
+        if cands.len() == 1 {
+            cands.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linker() -> EntityLinker {
+        let mut l = EntityLinker::new();
+        l.add_entity("Barack Obama");
+        l.add_entity("Michelle Obama");
+        l.add_entity("John Smith");
+        l.add_entity("Jane Smith");
+        l.add_alias("POTUS 44", "Barack Obama");
+        l
+    }
+
+    #[test]
+    fn exact_and_alias_matches() {
+        let l = linker();
+        assert_eq!(l.link("Barack Obama"), vec!["Barack Obama"]);
+        assert_eq!(l.link("potus 44"), vec!["Barack Obama"]);
+    }
+
+    #[test]
+    fn initial_plus_surname_matches() {
+        let l = linker();
+        assert_eq!(l.link("B. Obama"), vec!["Barack Obama"]);
+        assert_eq!(l.link("M Obama"), vec!["Michelle Obama"]);
+    }
+
+    #[test]
+    fn bare_surname_is_ambiguous() {
+        let l = linker();
+        let cands = l.link("Smith");
+        assert_eq!(cands.len(), 2);
+        assert!(l.link_unique("Smith").is_none());
+        assert_eq!(l.link_unique("Obama").map(|_| ()), None, "two Obamas");
+    }
+
+    #[test]
+    fn unknown_mentions_link_to_nothing() {
+        let l = linker();
+        assert!(l.link("Zardoz Quux").is_empty());
+    }
+
+    #[test]
+    fn link_unique_resolves_unambiguous() {
+        let l = linker();
+        assert_eq!(l.link_unique("J. Smith"), None, "John and Jane");
+        assert_eq!(l.link_unique("B. Obama"), Some("Barack Obama".into()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Quickstart: the paper's Figure-3 deployment in miniature.
+//!
+//! Builds a DeepDive app for the `HasSpouse` relation from a handful of raw
+//! sentences, supervises it distantly from a one-fact knowledge base, and
+//! prints the extracted aspirational table with marginal probabilities.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use deepdive_core::{DeepDive, RunConfig};
+use deepdive_nlp::{Pipeline, SpanKind};
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_storage::{row, Value};
+
+const PROGRAM: &str = r#"
+    # Schemas. `?` marks the query relation: its tuples become Boolean
+    # random variables (§3.3 of the paper).
+    Sentence(s id, content text).
+    Mention(s id, m id, mtext text).
+    MarriedCandidate(m1 id, m2 id).
+    EL(m id, e text).
+    Married(e1 text, e2 text).
+    MarriedMentions_Ev(m1 id, m2 id, label bool).
+    MarriedMentions?(m1 id, m2 id).
+
+    # (R1) candidate mapping: every same-sentence person pair.
+    MarriedCandidate(m1, m2) :-
+        Mention(s, m1, t1), Mention(s, m2, t2), m1 < m2.
+
+    # (S1) distant supervision from the incomplete Married KB.
+    MarriedMentions_Ev(m1, m2, true) :-
+        MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+
+    # (FE1) the phrase feature with weight tying (Ex. 3.2).
+    MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2),
+        Mention(s, m1, t1), Mention(s, m2, t2),
+        Sentence(s, sent),
+        f = f_phrase(sent, t1, t2)
+        weight = f.
+"#;
+
+const CORPUS: &[&str] = &[
+    "Barack Obama and his wife Michelle Obama attended the dinner.",
+    "John Smith and his wife Mary Smith bought a house.",
+    "David Miller and his wife Sarah Miller hosted the gala.",
+    "Robert Johnson praised Linda Johnson during the interview.",
+    "Malia Obama and Sasha Obama attended the state dinner.",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dd = DeepDive::builder(PROGRAM)
+        .standard_features()
+        .config(RunConfig {
+            threshold: 0.8,
+            holdout_fraction: 0.0,
+            learn: LearnOptions { epochs: 120, ..Default::default() },
+            inference: GibbsOptions {
+                burn_in: 100,
+                samples: 2000,
+                clamp_evidence: true,
+                ..Default::default()
+            },
+            compute_calibration: false,
+            ..Default::default()
+        })
+        .build()?;
+
+    // Phase 0: NLP preprocessing fills the base relations.
+    let pipeline = Pipeline::default();
+    let mut mention_names = std::collections::HashMap::new();
+    let mut m_id = 0u64;
+    for (s_id, text) in CORPUS.iter().enumerate() {
+        let doc = pipeline.process(s_id as u64, text);
+        for sent in &doc.sentences {
+            dd.insert("Sentence", row![Value::Id(s_id as u64), sent.text.as_str()])?;
+            for span in sent.spans_of(SpanKind::Person) {
+                dd.insert(
+                    "Mention",
+                    row![Value::Id(s_id as u64), Value::Id(m_id), span.text.as_str()],
+                )?;
+                dd.insert("EL", row![Value::Id(m_id), span.text.as_str()])?;
+                mention_names.insert(m_id, span.text.clone());
+                m_id += 1;
+            }
+        }
+    }
+    // The (incomplete) knowledge base: ONE known married couple.
+    dd.insert("Married", row!["Barack Obama", "Michelle Obama"])?;
+    dd.insert("Married", row!["Michelle Obama", "Barack Obama"])?;
+
+    // Run: candidates → supervision → grounding → learning → inference.
+    let result = dd.run()?;
+    println!(
+        "factor graph: {} variables, {} factors, {} evidence",
+        result.num_variables, result.num_factors, result.num_evidence
+    );
+    println!("\nOutput aspirational table (p >= 0.8):");
+    for (pair, p) in result.output("MarriedMentions", 0.8) {
+        let a = &mention_names[&pair[0].as_id().unwrap()];
+        let b = &mention_names[&pair[1].as_id().unwrap()];
+        println!("  HasSpouse({a}, {b})  p={p:.3}");
+    }
+    println!("\nLearned feature weights:");
+    for w in result.top_weights(5) {
+        println!("  {:+.3}  (seen {}x)  {}", w.value, w.references, w.key);
+    }
+    println!(
+        "\nNote: \"and his wife\" was learned from ONE supervised pair and \
+         generalized to the Smith and Miller couples — the KB never mentioned \
+         them. The Johnson pair (no marriage phrase) and the Obama daughters \
+         stay below threshold."
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full DeepDive pipeline, end to end,
+//! over every domain application.
+
+use deepdive_core::apps::{
+    AdsApp, AdsAppConfig, GeneticsApp, GeneticsAppConfig, MaterialsApp, MaterialsAppConfig,
+    SpouseApp, SpouseAppConfig,
+};
+use deepdive_core::{u_shape_score, RunConfig};
+use deepdive_corpus::{AdsConfig, GeneticsConfig, MaterialsConfig, SpouseConfig};
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+
+fn fast_run() -> RunConfig {
+    RunConfig {
+        learn: LearnOptions { epochs: 60, ..Default::default() },
+        inference: GibbsOptions {
+            burn_in: 50,
+            samples: 400,
+            clamp_evidence: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_four_domains_beat_half_f1() {
+    let spouse = {
+        let mut app = SpouseApp::build(SpouseAppConfig {
+            corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+            run: fast_run(),
+            ..Default::default()
+        })
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    let genetics = {
+        let mut app = GeneticsApp::build(GeneticsAppConfig {
+            corpus: GeneticsConfig { num_docs: 80, ..Default::default() },
+            run: fast_run(),
+            ..Default::default()
+        })
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    let ads = {
+        let mut app = AdsApp::build(AdsAppConfig {
+            corpus: AdsConfig { num_ads: 150, ..Default::default() },
+            run: fast_run(),
+            ..Default::default()
+        })
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    let materials = {
+        let mut app = MaterialsApp::build(MaterialsAppConfig {
+            corpus: MaterialsConfig { num_docs: 80, ..Default::default() },
+            run: fast_run(),
+            ..Default::default()
+        })
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    println!("F1 — spouse {spouse:.3}, genetics {genetics:.3}, ads {ads:.3}, materials {materials:.3}");
+    for (name, f1) in
+        [("spouse", spouse), ("genetics", genetics), ("ads", ads), ("materials", materials)]
+    {
+        assert!(f1 > 0.5, "{name} F1 {f1}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let build = || {
+        let mut app = SpouseApp::build(SpouseAppConfig {
+            corpus: SpouseConfig { num_docs: 50, ..Default::default() },
+            run: fast_run(),
+            ..Default::default()
+        })
+        .unwrap();
+        let r = app.run().unwrap();
+        let mut preds = app.entity_predictions(&r);
+        preds.sort_by(|a, b| a.0.cmp(&b.0));
+        preds
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.len(), b.len());
+    for ((ka, pa), (kb, pb)) in a.iter().zip(&b) {
+        assert_eq!(ka, kb);
+        assert!((pa - pb).abs() < 1e-12, "{ka}: {pa} vs {pb}");
+    }
+}
+
+#[test]
+fn run_result_surfaces_all_artifacts() {
+    let mut app = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 60, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+
+    // Marginals are probabilities keyed by tuple.
+    assert!(!result.marginals.is_empty());
+    for p in result.marginals.values() {
+        assert!((0.0..=1.0).contains(p));
+    }
+    // Holdout carries labels + predictions for calibration.
+    assert!(!result.holdout.is_empty());
+    // Figure-5 artifacts exist and the training histogram leans U-shaped.
+    let cal = result.calibration.as_ref().expect("calibration");
+    assert_eq!(cal.test_histogram.len(), 10);
+    assert!(u_shape_score(&cal.train_histogram) > 0.4);
+    // Weight summaries carry tying keys and observation counts (§5.2).
+    assert!(result.weights.iter().any(|w| w.key.starts_with("fe_") && w.references > 0));
+    // Phase timings populated.
+    assert!(result.timings.total() > std::time::Duration::ZERO);
+}
+
+#[test]
+fn output_threshold_controls_table_size() {
+    let mut app = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 60, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+    let strict = result.output("MarriedMentions", 0.95).len();
+    let lax = result.output("MarriedMentions", 0.1).len();
+    assert!(lax >= strict);
+    assert!(lax > 0);
+}

@@ -1,0 +1,121 @@
+//! Incremental grounding must be indistinguishable from re-grounding from
+//! scratch — across document additions, retractions, and KB changes.
+
+use deepdive_core::apps::{SpouseApp, SpouseAppConfig};
+use deepdive_core::RunConfig;
+use deepdive_corpus::SpouseConfig;
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_storage::{row, BaseChange};
+
+fn app_config(num_docs: usize) -> SpouseAppConfig {
+    SpouseAppConfig {
+        corpus: SpouseConfig { num_docs, ..Default::default() },
+        run: RunConfig {
+            learn: LearnOptions { epochs: 30, ..Default::default() },
+            inference: GibbsOptions {
+                burn_in: 30,
+                samples: 200,
+                clamp_evidence: true,
+                ..Default::default()
+            },
+            compute_calibration: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Incremental app (base docs + delta docs via apply_update) must match a
+/// fresh app grounded over everything at once.
+#[test]
+fn incremental_document_addition_matches_fresh_ground() {
+    let mut incr = SpouseApp::build(app_config(40)).unwrap();
+    incr.dd.grounder.initial_load(&incr.dd.db).unwrap();
+
+    let extra = deepdive_corpus::spouse::generate(&SpouseConfig {
+        num_docs: 5,
+        seed: 0xD0C5,
+        ..Default::default()
+    });
+    for doc in &extra.documents.clone() {
+        let changes = incr.document_changes(&doc.text);
+        incr.dd.grounder.apply_update(&incr.dd.db, changes).unwrap();
+    }
+
+    // Fresh app over the combined corpus.
+    let mut fresh = SpouseApp::build(app_config(40)).unwrap();
+    for doc in &extra.documents.clone() {
+        for ch in fresh.document_changes(&doc.text) {
+            fresh.dd.db.insert(&ch.relation, ch.row).unwrap();
+        }
+    }
+    fresh.dd.grounder.initial_load(&fresh.dd.db).unwrap();
+
+    assert_eq!(
+        incr.dd.grounder.state.num_live_variables(),
+        fresh.dd.grounder.state.num_live_variables(),
+        "variable counts diverge"
+    );
+    assert_eq!(
+        incr.dd.grounder.state.num_live_factors(),
+        fresh.dd.grounder.state.num_live_factors(),
+        "factor counts diverge"
+    );
+    // Same database contents for every derived relation.
+    for rel in ["MarriedCandidate", "MarriedMentions_Ev"] {
+        assert_eq!(incr.dd.db.rows(rel).unwrap(), fresh.dd.db.rows(rel).unwrap(), "{rel}");
+    }
+}
+
+/// Adding then retracting documents returns the graph to its original shape.
+#[test]
+fn document_retraction_roundtrips() {
+    let mut app = SpouseApp::build(app_config(40)).unwrap();
+    app.dd.grounder.initial_load(&app.dd.db).unwrap();
+    let vars0 = app.dd.grounder.state.num_live_variables();
+    let factors0 = app.dd.grounder.state.num_live_factors();
+
+    let extra = deepdive_corpus::spouse::generate(&SpouseConfig {
+        num_docs: 3,
+        seed: 0xD0C7,
+        ..Default::default()
+    });
+    let mut all_changes = Vec::new();
+    for doc in &extra.documents.clone() {
+        all_changes.extend(app.document_changes(&doc.text));
+    }
+    app.dd.grounder.apply_update(&app.dd.db, all_changes.clone()).unwrap();
+    assert!(app.dd.grounder.state.num_live_variables() >= vars0);
+
+    // Retract everything we added.
+    let retractions: Vec<BaseChange> = all_changes
+        .into_iter()
+        .map(|ch| BaseChange::delete(ch.relation, ch.row))
+        .collect();
+    app.dd.grounder.apply_update(&app.dd.db, retractions).unwrap();
+    assert_eq!(app.dd.grounder.state.num_live_variables(), vars0, "variables leak");
+    assert_eq!(app.dd.grounder.state.num_live_factors(), factors0, "factors leak");
+}
+
+/// KB facts arriving incrementally flip evidence labels in place and a
+/// subsequent run consumes them.
+#[test]
+fn kb_updates_change_learning_evidence() {
+    let mut cfg = app_config(60);
+    // Start with an empty KB and no negative rule: no distant labels at all.
+    cfg.corpus.kb_fraction = 0.0;
+    cfg.negative_supervision = false;
+    let mut app = SpouseApp::build(cfg).unwrap();
+    let r0 = app.run().unwrap();
+    assert_eq!(r0.num_evidence, 0, "empty KB should label nothing");
+
+    // Deliver the full marriage KB incrementally.
+    let mut changes = Vec::new();
+    for (a, b) in app.corpus.married.clone() {
+        changes.push(BaseChange::insert("Married", row![a.as_str(), b.as_str()]));
+        changes.push(BaseChange::insert("Married", row![b.as_str(), a.as_str()]));
+    }
+    let r1 = app.dd.update(changes).unwrap();
+    assert!(r1.num_evidence > 0, "KB arrival must create evidence");
+    assert!(r1.grounding_delta.evidence_changes > 0);
+}

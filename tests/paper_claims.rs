@@ -1,0 +1,190 @@
+//! Fast sanity checks of the paper's qualitative claims (full-scale versions
+//! live in the `reproduce` binary; see EXPERIMENTS.md).
+
+use deepdive_bench::experiments::chain_graph;
+use deepdive_core::apps::{regex_baseline_extract, SpouseApp, SpouseAppConfig, SupervisionMode};
+use deepdive_core::{Quality, RunConfig};
+use deepdive_corpus::{AdsConfig, SpouseConfig};
+use deepdive_sampler::{
+    parallel_gibbs, GibbsOptions, LearnOptions, NumaStrategy, ParallelGibbsOptions, Topology,
+};
+use std::collections::BTreeSet;
+
+fn fast_run() -> RunConfig {
+    RunConfig {
+        learn: LearnOptions { epochs: 50, ..Default::default() },
+        inference: GibbsOptions {
+            burn_in: 40,
+            samples: 300,
+            clamp_evidence: true,
+            ..Default::default()
+        },
+        compute_calibration: false,
+        ..Default::default()
+    }
+}
+
+/// §4.2 / E4: NUMA-aware execution avoids the remote-access charges the
+/// shared chain pays, and is faster under the simulated topology.
+#[test]
+fn numa_aware_beats_shared_chain() {
+    let g = deepdive_bench::experiments::chain_graph_layout(80, 10, 40, true);
+    let c = g.compile();
+    let weights = g.weights.values();
+    let mk = |strategy| ParallelGibbsOptions {
+        topology: Topology::new(4, 1, 600),
+        strategy,
+        burn_in: 0,
+        samples: 30,
+        seed: 2,
+        clamp_evidence: false,
+    };
+    let aware = parallel_gibbs(&c, &weights, &mk(NumaStrategy::NumaAware));
+    let shared = parallel_gibbs(&c, &weights, &mk(NumaStrategy::SharedChain));
+    assert_eq!(aware.remote_accesses, 0);
+    assert!(shared.remote_accesses > 0);
+    assert!(
+        aware.sweeps_per_sec(c.num_variables) > shared.sweeps_per_sec(c.num_variables),
+        "aware {} vs shared {}",
+        aware.sweeps_per_sec(c.num_variables),
+        shared.sweeps_per_sec(c.num_variables)
+    );
+}
+
+/// §5.3 / E9: stacked deterministic rules show strictly diminishing returns.
+#[test]
+fn regex_rules_have_diminishing_returns() {
+    let corpus = deepdive_corpus::ads::generate(&AdsConfig { num_ads: 300, ..Default::default() });
+    let truth: BTreeSet<String> = corpus
+        .truth
+        .iter()
+        .filter_map(|t| t.price.map(|p| format!("{}|{p}", t.ad_id)))
+        .collect();
+    let f1s: Vec<f64> = (1..=4)
+        .map(|k| Quality::compare(&regex_baseline_extract(&corpus, k), &truth).f1())
+        .collect();
+    let gains: Vec<f64> =
+        (0..4).map(|k| if k == 0 { f1s[0] } else { f1s[k] - f1s[k - 1] }).collect();
+    for w in gains.windows(2) {
+        assert!(w[1] < w[0], "productivity must shrink: {gains:?}");
+    }
+}
+
+/// §5.3 / E7: distant supervision beats a small manual-label budget.
+#[test]
+fn distant_supervision_beats_small_manual_budget() {
+    let corpus_cfg = SpouseConfig { num_docs: 80, ..Default::default() };
+    let corpus = deepdive_corpus::spouse::generate(&corpus_cfg);
+
+    let distant_f1 = {
+        let mut app = SpouseApp::build_with_corpus(
+            SpouseAppConfig { corpus: corpus_cfg.clone(), run: fast_run(), ..Default::default() },
+            corpus.clone(),
+        )
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    let manual_f1 = {
+        let mut app = SpouseApp::build_with_corpus(
+            SpouseAppConfig {
+                corpus: corpus_cfg,
+                run: fast_run(),
+                supervision: SupervisionMode::Manual { num_labels: 15, noise: 0.02 },
+                ..Default::default()
+            },
+            corpus,
+        )
+        .unwrap();
+        let r = app.run().unwrap();
+        app.evaluate(&r, 0.7).f1()
+    };
+    assert!(
+        distant_f1 > manual_f1,
+        "distant {distant_f1:.3} should beat 15 manual labels {manual_f1:.3}"
+    );
+}
+
+/// §5.2 bug class 1: OCR noise breaks candidate generation, and the
+/// candidate-recall diagnostic localizes the failure (no feature or
+/// supervision fix can recover a candidate that was never generated).
+#[test]
+fn ocr_noise_shows_up_as_candidate_recall_loss() {
+    let clean = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 120, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    clean.dd.grounder.state.num_live_variables(); // silence unused path
+    let mut clean_app = clean;
+    clean_app.dd.grounder.initial_load(&clean_app.dd.db).unwrap();
+    let clean_recall = clean_app.candidate_recall();
+
+    let mut noisy_app = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 120, typo_rate: 0.9, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    noisy_app.dd.grounder.initial_load(&noisy_app.dd.db).unwrap();
+    let noisy_recall = noisy_app.candidate_recall();
+    println!("candidate recall: clean {clean_recall:.3}, OCR-noisy {noisy_recall:.3}");
+    assert!(clean_recall > 0.8, "clean candidate recall {clean_recall}");
+    assert!(
+        noisy_recall < clean_recall - 0.05,
+        "OCR noise must cost candidate recall: {noisy_recall} vs {clean_recall}"
+    );
+}
+
+/// §3.4: lowering the threshold trades precision for recall.
+#[test]
+fn threshold_monotonicity() {
+    let mut app = SpouseApp::build(SpouseAppConfig {
+        corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+        run: fast_run(),
+        ..Default::default()
+    })
+    .unwrap();
+    let result = app.run().unwrap();
+    let hi = app.evaluate(&result, 0.9);
+    let lo = app.evaluate(&result, 0.3);
+    assert!(lo.recall() >= hi.recall(), "recall must not drop as threshold falls");
+}
+
+/// §4.2 / E3-adjacent: the lock-free sequential scan outperforms the
+/// GraphLab-style locking engine on the same graph (single worker count).
+#[test]
+fn sequential_scan_beats_locking_sampler() {
+    use deepdive_sampler::{GraphLabOptions, GraphLabStyleSampler};
+    let g = chain_graph(60, 10, 300);
+    let c = g.compile();
+    let weights = g.weights.values();
+    let sweeps = 60;
+
+    let t0 = std::time::Instant::now();
+    let mut s = deepdive_sampler::GibbsSampler::new(&c, 1, false);
+    let mut world = deepdive_factorgraph::initial_world(&c);
+    for _ in 0..sweeps {
+        s.sweep(&weights, &mut world);
+    }
+    let scan = t0.elapsed();
+
+    let gl = GraphLabStyleSampler::new(&c);
+    let t1 = std::time::Instant::now();
+    gl.run(
+        &weights,
+        &GraphLabOptions {
+            workers: 1,
+            burn_in: 0,
+            samples: sweeps,
+            seed: 1,
+            clamp_evidence: false,
+        },
+    );
+    let locked = t1.elapsed();
+    assert!(
+        locked > scan,
+        "locking engine should be slower: scan {scan:?} vs locked {locked:?}"
+    );
+}
