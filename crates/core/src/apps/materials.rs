@@ -48,7 +48,6 @@ const PROGRAM_HEAD: &str = r#"
     PropMention(s id, m id, p text).
     MeasCandidate(m1 id, m2 id).
     Handbook(f text, p text).
-    SeededFormula(f text).
     MeasMentions_Ev(m1 id, m2 id, label bool).
     MeasMentions?(m1 id, m2 id).
 
@@ -62,11 +61,19 @@ const PROGRAM_HEAD: &str = r#"
         FormulaMention(s, m1, f), PropMention(s, m2, p),
         Handbook(f, p).
 
+    # Negative supervision from an explicit textual cue: a negation word
+    # between the mentions ("was not measured", "without characterizing").
+    # Closed-world negatives over the seed handbook mislabel expressed
+    # measurements whose (formula, property) was simply not seeded, which both
+    # clamps true pairs to 0 and teaches negative weights for positive
+    # contexts — the cue-based rule has no such noise.
     @name("s_neg")
     MeasMentions_Ev(m1, m2, false) :-
         MeasCandidate(m1, m2),
         FormulaMention(s, m1, f), PropMention(s, m2, p),
-        SeededFormula(f), !Handbook(f, p).
+        Sentence(s, sent),
+        n = f_neg(sent, f, p),
+        n = "neg=yes".
 
     @name("fe_phrase")
     MeasMentions(m1, m2) :-
@@ -82,6 +89,14 @@ const PROGRAM_HEAD: &str = r#"
         FormulaMention(s, m1, f), PropMention(s, m2, p),
         Sentence(s, sent),
         f2 = f_words_between(sent, f, p)
+        weight = f2.
+
+    @name("fe_neg")
+    MeasMentions(m1, m2) :-
+        MeasCandidate(m1, m2),
+        FormulaMention(s, m1, f), PropMention(s, m2, p),
+        Sentence(s, sent),
+        f2 = f_neg(sent, f, p)
         weight = f2.
 "#;
 
@@ -144,17 +159,12 @@ impl MaterialsApp {
 
         // Seed handbook.
         let mut rng = StdRng::seed_from_u64(app.config.run.seed ^ 0x3A7);
-        let mut seeded = BTreeSet::new();
         for m in &app.corpus.measurements {
             if rng.gen::<f64>() < app.config.seed_fraction {
                 app.dd
                     .db
                     .insert("Handbook", row![m.formula.as_str(), m.property.as_str()])?;
-                seeded.insert(m.formula.clone());
             }
-        }
-        for f in seeded {
-            app.dd.db.insert("SeededFormula", row![f.as_str()])?;
         }
         Ok(app)
     }

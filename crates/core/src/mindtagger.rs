@@ -144,11 +144,57 @@ impl LabelingTask {
 
     /// Serialize the session to JSON (sessions are resumable artifacts).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serializable")
+        let items: Vec<serde_json::Value> = self
+            .items
+            .iter()
+            .map(|i| {
+                serde_json::json!({
+                    "key": i.key,
+                    "probability": i.probability,
+                    "context": i.context,
+                    "mentions": i.mentions,
+                    "judgment": i.judgment,
+                    "bucket": i.bucket,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({ "name": self.name, "items": items });
+        serde_json::to_string_pretty(&doc).expect("serializable")
     }
 
     pub fn from_json(s: &str) -> Result<LabelingTask, serde_json::Error> {
-        serde_json::from_str(s)
+        let doc = serde_json::from_str(s)?;
+        let field_err = |what: &str| -> serde_json::Error {
+            serde_json::Error::data(format!("LabelingTask: missing or invalid `{what}`"))
+        };
+        let name = doc["name"].as_str().ok_or_else(|| field_err("name"))?.to_string();
+        let mut items = Vec::new();
+        for item in doc["items"].as_array().ok_or_else(|| field_err("items"))? {
+            let string_list = |v: &serde_json::Value| -> Option<Vec<String>> {
+                v.as_array()?.iter().map(|m| Some(m.as_str()?.to_string())).collect()
+            };
+            items.push(LabelingItem {
+                key: item["key"].as_str().ok_or_else(|| field_err("key"))?.to_string(),
+                probability: item["probability"]
+                    .as_f64()
+                    .ok_or_else(|| field_err("probability"))?,
+                context: item["context"]
+                    .as_str()
+                    .ok_or_else(|| field_err("context"))?
+                    .to_string(),
+                mentions: string_list(&item["mentions"])
+                    .ok_or_else(|| field_err("mentions"))?,
+                judgment: match &item["judgment"] {
+                    serde_json::Value::Null => None,
+                    v => Some(v.as_bool().ok_or_else(|| field_err("judgment"))?),
+                },
+                bucket: match &item["bucket"] {
+                    serde_json::Value::Null => None,
+                    v => Some(v.as_str().ok_or_else(|| field_err("bucket"))?.to_string()),
+                },
+            });
+        }
+        Ok(LabelingTask { name, items })
     }
 }
 

@@ -57,6 +57,16 @@ const DISTRACTOR_TEMPLATES: &[&str] = &[
     "{F} devices were fabricated with standard lithography.",
 ];
 
+/// Sentences mentioning a formula AND a property with an explicit cue that
+/// no measurement is being reported (negation word between the mentions).
+/// These are the genuine negative examples supervision can latch onto.
+const NEGATIVE_PAIR_TEMPLATES: &[&str] = &[
+    "The {P} was not measured for {F} samples.",
+    "{F} was grown without characterizing the {P}.",
+    "{F} films were deposited but no {P} was reported.",
+    "The {P} could not be determined for {F} in this study.",
+];
+
 /// Generate the corpus.
 pub fn generate(config: &MaterialsConfig) -> MaterialsCorpus {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -92,13 +102,27 @@ pub fn generate(config: &MaterialsConfig) -> MaterialsCorpus {
         let mut sentences = Vec::new();
         for _ in 0..config.sentences_per_doc {
             if rng.gen::<f64>() < 0.35 {
-                let f = FORMULAS.choose(&mut rng).expect("formula");
-                let &(p, _) = PROPERTIES.choose(&mut rng).expect("property");
+                let mut f = (*FORMULAS.choose(&mut rng).expect("formula")).to_string();
+                let mut p = PROPERTIES.choose(&mut rng).expect("property").0;
+                // Half the distractors co-mention a formula and a property in
+                // an explicitly non-measurement context; the other half keep
+                // the single-mention noise sentences. Non-measurement pairs
+                // avoid planted measurements — nobody writes "was not
+                // measured" about a value they report elsewhere.
+                let negative_pair = rng.gen::<bool>();
+                if negative_pair {
+                    while seen.contains(&(f.clone(), p.to_string())) {
+                        f = (*FORMULAS.choose(&mut rng).expect("formula")).to_string();
+                        p = PROPERTIES.choose(&mut rng).expect("property").0;
+                    }
+                }
+                let templates =
+                    if negative_pair { NEGATIVE_PAIR_TEMPLATES } else { DISTRACTOR_TEMPLATES };
                 sentences.push(
-                    DISTRACTOR_TEMPLATES
+                    templates
                         .choose(&mut rng)
                         .expect("template")
-                        .replace("{F}", f)
+                        .replace("{F}", &f)
                         .replace("{P}", p),
                 );
             } else {

@@ -721,6 +721,14 @@ pub fn reorder_body_front(rule: &Rule, front: usize) -> (Rule, Vec<usize>) {
 }
 
 /// Fetch matching `(row, signed count)` pairs for one atom scan.
+///
+/// Database reads are clamped to *membership* (0/1): joined inputs are sets
+/// from the rules' point of view, and head counts are numbers of derivations
+/// over visible tuples. Stored counts above 1 (duplicate base inserts,
+/// derivation counts of lower-stratum heads) must not multiply into the
+/// result — they can change without a visibility transition, and the IVM
+/// delta algebra (`New = Old ⊎ Δ` with membership deltas) would drift.
+/// Delta reads keep their signed counts: those ARE membership transitions.
 fn fetch(
     db: &Database,
     delta: Option<&DeltaRelation>,
@@ -731,7 +739,12 @@ fn fetch(
 ) -> Result<Vec<(Row, i64)>, StorageError> {
     let mut out = Vec::new();
     match source {
-        Source::Old => db.lookup_counted(relation, key_cols, key_vals, &mut out)?,
+        Source::Old => {
+            db.lookup_counted(relation, key_cols, key_vals, &mut out)?;
+            for m in &mut out {
+                m.1 = m.1.clamp(0, 1);
+            }
+        }
         Source::Delta => {
             if let Some(d) = delta {
                 d.lookup(key_cols, key_vals, &mut out);
@@ -739,6 +752,9 @@ fn fetch(
         }
         Source::New => {
             db.lookup_counted(relation, key_cols, key_vals, &mut out)?;
+            for m in &mut out {
+                m.1 = m.1.clamp(0, 1);
+            }
             if let Some(d) = delta {
                 d.lookup(key_cols, key_vals, &mut out);
             }

@@ -1,0 +1,158 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API (closure receives a
+//!   `&Scope`, spawn closures receive the scope again for nested spawns,
+//!   the call returns `Result`) implemented on `std::thread::scope`;
+//! * [`queue::SegQueue`] — a lock-free MPMC queue upstream; here a
+//!   mutex-backed `VecDeque`, which preserves semantics (not lock-freedom).
+
+pub mod thread {
+    use std::any::Any;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scope handle passed to the `scope` closure and to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, a panicking child propagates the panic
+    /// through `std::thread::scope` rather than surfacing as `Err` — callers
+    /// in this workspace treat both as fatal (`.expect(...)`), so the
+    /// difference is unobservable here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// MPMC FIFO queue. Upstream is lock-free segments; this stand-in is a
+    /// mutexed deque with the same interface.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let counter = AtomicU64::new(0);
+        let counter = &counter;
+        let out = super::thread::scope(|s| {
+            let hs: Vec<_> = (0..4)
+                .map(|i| s.spawn(move |_| {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                    i * 2
+                }))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(out, 12);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn nested_scopes_spawn() {
+        let n = super::thread::scope(|outer| {
+            let h = outer.spawn(|_| {
+                super::thread::scope(|inner| {
+                    let h2 = inner.spawn(|_| 21u32);
+                    h2.join().unwrap() * 2
+                })
+                .unwrap()
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn segqueue_fifo_across_threads() {
+        let q = SegQueue::new();
+        super::thread::scope(|s| {
+            for i in 0..100 {
+                q.push(i);
+            }
+            let hs: Vec<_> = (0..4).map(|_| s.spawn(|_| {
+                let mut got = 0;
+                while q.pop().is_some() {
+                    got += 1;
+                }
+                got
+            })).collect();
+            let total: usize = hs.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        })
+        .unwrap();
+        assert!(q.is_empty());
+    }
+}

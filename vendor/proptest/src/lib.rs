@@ -1,0 +1,683 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the subset of the proptest API this workspace uses as a
+//! plain generator-based property tester: strategies produce random values
+//! (no shrinking), `proptest!` runs each test body over `cases` generated
+//! inputs, and `prop_assert*`/`prop_assume!` report failures with the
+//! generated values still in scope for the format message.
+//!
+//! Pattern strategies (`"[a-z]{1,8}"` etc.) support the tiny regex dialect
+//! the tests use: character classes with ranges, literal characters, the
+//! `\PC` printable-char class, and `{m}`/`{m,n}` quantifiers.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Run-time configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` — generate a fresh one.
+        Reject(String),
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-test RNG: the seed is a hash of the test name, so
+    /// failures reproduce across runs without a persistence file.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`. Unlike upstream there is no
+    /// shrinking: `gen_value` draws one sample.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, whence, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.gen_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 10000 consecutive samples", self.whence);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased choice between strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        /// Interpret the string as the tiny regex dialect described in the
+        /// crate docs and sample a matching string.
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::gen_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_prim {
+        ($($t:ty => $e:expr;)*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $e;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+    arb_prim! {
+        bool => |r| r.next_u64() & 1 == 1;
+        u8 => |r| r.next_u64() as u8;
+        u16 => |r| r.next_u64() as u16;
+        u32 => |r| r.next_u64() as u32;
+        u64 => |r| r.next_u64();
+        usize => |r| r.next_u64() as usize;
+        i8 => |r| r.next_u64() as i8;
+        i16 => |r| r.next_u64() as i16;
+        i32 => |r| r.next_u64() as i32;
+        i64 => |r| r.next_u64() as i64;
+        isize => |r| r.next_u64() as isize;
+        f64 => |r| r.gen::<f64>();
+        f32 => |r| r.gen::<f32>();
+        char => |r| {
+            // Mostly ASCII with a sprinkle of multibyte chars.
+            const EXTRA: &[char] = &['é', 'ß', 'λ', '中', '🦀'];
+            if r.gen_bool(0.9) {
+                (0x20u8 + (r.gen_range(0..0x5Fu32) as u8)) as char
+            } else {
+                EXTRA[r.gen_range(0..EXTRA.len())]
+            }
+        };
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn gen_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`: uniform-ish over its value space.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Vector length specification: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_excl: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_excl: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_excl: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_excl);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Printable sample pool for `\PC`: ASCII printables plus a few
+    /// multibyte characters so span arithmetic gets exercised.
+    fn printable(rng: &mut TestRng) -> char {
+        const EXTRA: &[char] = &['é', 'ß', 'λ', '中', '🦀', 'Ω', '—', 'ñ'];
+        if rng.gen_bool(0.85) {
+            (0x20u8 + rng.gen_range(0..0x5Fu32) as u8) as char
+        } else {
+            EXTRA[rng.gen_range(0..EXTRA.len())]
+        }
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        Printable,
+        Literal(char),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut out = Vec::new();
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => return out,
+                c => {
+                    if chars.peek() == Some(&'-') {
+                        // `x-y` range unless `-` is last before `]`.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&']') | None => out.push(c),
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                for v in (c as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        out.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        panic!("unterminated character class in pattern");
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = match body.split_once(',') {
+                    Some((l, h)) => (
+                        l.trim().parse().expect("quantifier lo"),
+                        h.trim().parse().expect("quantifier hi"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier");
+                        (n, n)
+                    }
+                };
+                return (lo, hi);
+            }
+            body.push(c);
+        }
+        panic!("unterminated quantifier in pattern");
+    }
+
+    /// Sample a string matching the pattern subset documented on the crate.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC` — "not in Unicode category C": printable.
+                        let tag = chars.next();
+                        assert_eq!(tag, Some('C'), "only \\PC is supported");
+                        Atom::Printable
+                    }
+                    Some(esc) => Atom::Literal(esc),
+                    None => panic!("dangling backslash in pattern"),
+                },
+                c => Atom::Literal(c),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars);
+            let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..n {
+                match &atom {
+                    Atom::Class(pool) => {
+                        assert!(!pool.is_empty(), "empty character class");
+                        let i = rng.gen_range(0..pool.len());
+                        atoms.push(pool[i]);
+                    }
+                    Atom::Printable => atoms.push(printable(rng)),
+                    Atom::Literal(c) => atoms.push(*c),
+                }
+            }
+        }
+        atoms.into_iter().collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($option)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` vs `{:?}`", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Bind one `name in strategy` pair per statement; tt-munched so `expr`
+/// fragments always precede a comma or end of input.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+    };
+    ($rng:ident, $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                ::std::module_path!(), "::", stringify!($name)
+            ));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $crate::__proptest_bind!(__rng, $($args)*);
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= 4 * __config.cases + 256,
+                            "{}: too many prop_assume! rejections",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed in {}: {}", stringify!($name), msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// The proptest entry macro: an optional `#![proptest_config(...)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"\\PC{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn union_and_filter_behave() {
+        let mut rng = TestRng::from_name("union");
+        let s = prop_oneof![Just(1u32), Just(2u32), (5u32..8).prop_map(|v| v * 10)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            seen.insert(s.gen_value(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        assert!(seen.iter().any(|v| *v >= 50));
+        let evens = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(evens.gen_value(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: binding, assume, assert.
+        #[test]
+        fn macro_roundtrip(
+            v in crate::collection::vec((0usize..10, any::<bool>()), 1..5),
+            x in 3i64..9,
+        ) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(x >= 3 && x < 9, "x out of range: {}", x);
+            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

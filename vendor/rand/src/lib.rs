@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the *subset* of the `rand 0.8` API it actually uses:
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — exactly the
+//! seeding scheme recommended by the xoshiro authors. It is deterministic,
+//! fast, and statistically strong enough for Gibbs-sampling convergence
+//! tests; it is NOT the same stream as upstream `StdRng` (ChaCha12), so
+//! seeded expectations differ from upstream, which this repo never relies on.
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types uniformly sampleable over a `[lo, hi)` / `[lo, hi]` span.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }) as u128;
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of 128-bit truncation is irrelevant at these spans.
+                let bucket = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo as i128 + bucket as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+            ) -> $t {
+                lo + <$t>::sample(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_uniform!(f64, f32);
+
+/// Ranges accepted by [`Rng::gen_range`]. The single generic impl per range
+/// shape (rather than one per element type) is what lets integer-literal
+/// inference flow through `gen_range(0..n)` call sites.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_span(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_span(rng, lo, hi, true)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators. Only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (seeded via SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice sampling helpers (`choose`, `shuffle`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        /// Fisher–Yates.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert!(orig.contains(v.as_slice().choose(&mut r).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! `Serialize` / `Deserialize` are marker traits blanket-implemented for every
+//! type, and the re-exported derives (see the sibling `serde_derive` stub)
+//! expand to nothing. This keeps every `use serde::{Deserialize, Serialize}`
+//! and `#[derive(...)]` in the workspace compiling without a registry; actual
+//! serialization goes through the hand-written `serde_json` stub's `Value`.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: the sibling `serde` stub blanket-implements
+//! its marker traits, so deriving is a no-op that merely keeps
+//! `#[derive(Serialize, Deserialize)]` attributes compiling. JSON output in
+//! this workspace goes through hand-rolled `serde_json::Value` construction,
+//! never through generated impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
