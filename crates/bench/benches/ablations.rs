@@ -37,7 +37,10 @@ fn ablations(c: &mut Criterion) {
                     learn_weights(
                         &compiled,
                         &mut store,
-                        &LearnOptions { epochs: 10, ..Default::default() },
+                        &LearnOptions {
+                            epochs: 10,
+                            ..Default::default()
+                        },
                     )
                 },
                 criterion::BatchSize::SmallInput,
@@ -74,7 +77,10 @@ fn ablations(c: &mut Criterion) {
                         learn_weights_model_averaging(
                             &compiled,
                             &mut store,
-                            &LearnOptions { epochs: 20, ..Default::default() },
+                            &LearnOptions {
+                                epochs: 20,
+                                ..Default::default()
+                            },
                             2,
                             period,
                         )

@@ -29,7 +29,10 @@ fn incremental_grounding(c: &mut Criterion) {
                     (app, changes)
                 },
                 |(mut app, changes)| {
-                    app.dd.grounder.apply_update(&app.dd.db, changes).expect("update")
+                    app.dd
+                        .grounder
+                        .apply_update(&app.dd.db, changes)
+                        .expect("update")
                 },
                 criterion::BatchSize::LargeInput,
             )

@@ -19,7 +19,13 @@ fn incremental_inference(c: &mut Criterion) {
 
         let s_opts = SamplingMatOptions {
             num_worlds: 8,
-            gibbs: GibbsOptions { burn_in: 20, samples: 160, seed: 3, clamp_evidence: true },
+            gibbs: GibbsOptions {
+                burn_in: 20,
+                samples: 160,
+                seed: 3,
+                clamp_evidence: true,
+                deadline: None,
+            },
             radius: 2,
             delta_sweeps: 20,
             seed: 5,
@@ -28,30 +34,22 @@ fn incremental_inference(c: &mut Criterion) {
         let mf_opts = MeanFieldOptions::default();
         let vmat = MeanField::materialize(&compiled, &weights, &mf_opts);
 
-        group.bench_with_input(
-            BenchmarkId::new("sampling_delta", label),
-            &(),
-            |b, _| {
-                let mut m = SamplingMaterialization {
-                    worlds: smat.worlds.clone(),
-                    marginals: smat.marginals.clone(),
-                    last_updates: 0,
-                };
-                b.iter(|| {
-                    m.update(&compiled, &weights, &[100], &s_opts);
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("variational_delta", label),
-            &(),
-            |b, _| {
-                let mut m = vmat.clone();
-                b.iter(|| {
-                    m.relax(&compiled, &weights, &[100], &mf_opts);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sampling_delta", label), &(), |b, _| {
+            let mut m = SamplingMaterialization {
+                worlds: smat.worlds.clone(),
+                marginals: smat.marginals.clone(),
+                last_updates: 0,
+            };
+            b.iter(|| {
+                m.update(&compiled, &weights, &[100], &s_opts);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("variational_delta", label), &(), |b, _| {
+            let mut m = vmat.clone();
+            b.iter(|| {
+                m.relax(&compiled, &weights, &[100], &mf_opts);
+            })
+        });
     }
     group.finish();
 }

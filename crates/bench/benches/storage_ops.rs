@@ -7,20 +7,32 @@ use deepdive_storage::{
 };
 
 fn spouse_like_db(sentences: usize, mentions_per: usize) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(
-        Schema::build("Mention").col("s", ValueType::Id).col("m", ValueType::Id).finish(),
+        Schema::build("Mention")
+            .col("s", ValueType::Id)
+            .col("m", ValueType::Id)
+            .finish(),
     )
     .unwrap();
     db.create_relation(
-        Schema::build("Cand").col("m1", ValueType::Id).col("m2", ValueType::Id).finish(),
+        Schema::build("Cand")
+            .col("m1", ValueType::Id)
+            .col("m2", ValueType::Id)
+            .finish(),
     )
     .unwrap();
     let mut m = 0u64;
     for s in 0..sentences {
         for _ in 0..mentions_per {
-            db.insert("Mention", row![deepdive_storage::Value::Id(s as u64), deepdive_storage::Value::Id(m)])
-                .unwrap();
+            db.insert(
+                "Mention",
+                row![
+                    deepdive_storage::Value::Id(s as u64),
+                    deepdive_storage::Value::Id(m)
+                ],
+            )
+            .unwrap();
             m += 1;
         }
     }
@@ -91,13 +103,19 @@ fn storage_ops(c: &mut Criterion) {
     group.bench_function("dred_delete_tc_chain200", |b| {
         b.iter_batched(
             || {
-                let mut db = Database::new();
+                let db = Database::new();
                 db.create_relation(
-                    Schema::build("edge").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+                    Schema::build("edge")
+                        .col("a", ValueType::Int)
+                        .col("b", ValueType::Int)
+                        .finish(),
                 )
                 .unwrap();
                 db.create_relation(
-                    Schema::build("path").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+                    Schema::build("path")
+                        .col("a", ValueType::Int)
+                        .col("b", ValueType::Int)
+                        .finish(),
                 )
                 .unwrap();
                 for i in 0..200i64 {
@@ -107,7 +125,10 @@ fn storage_ops(c: &mut Criterion) {
                     Rule::new(
                         "base",
                         Atom::new("path", vec![Term::var("a"), Term::var("b")]),
-                        vec![Literal::pos(Atom::new("edge", vec![Term::var("a"), Term::var("b")]))],
+                        vec![Literal::pos(Atom::new(
+                            "edge",
+                            vec![Term::var("a"), Term::var("b")],
+                        ))],
                     ),
                     Rule::new(
                         "step",

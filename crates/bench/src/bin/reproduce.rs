@@ -64,5 +64,9 @@ fn main() {
     let path = dir.join("results.json");
     std::fs::write(&path, serde_json::to_string_pretty(&outputs).expect("json"))
         .expect("write results");
-    println!("archived {} experiment result(s) to {}", outputs.len(), path.display());
+    println!(
+        "archived {} experiment result(s) to {}",
+        outputs.len(),
+        path.display()
+    );
 }

@@ -5,9 +5,7 @@
 use deepdive_core::apps::{
     regex_baseline_extract, FeatureSet, SpouseApp, SpouseAppConfig, SupervisionMode,
 };
-use deepdive_core::{
-    render_calibration, threshold_sweep, u_shape_score, Quality, RunConfig,
-};
+use deepdive_core::{render_calibration, threshold_sweep, u_shape_score, Quality, RunConfig};
 use deepdive_corpus::SpouseConfig;
 use deepdive_factorgraph::{FactorArg, FactorFunction, FactorGraph, Variable};
 use deepdive_inference::{
@@ -25,9 +23,15 @@ use std::time::Instant;
 /// Default spouse workload shared by several experiments.
 pub fn spouse_config(num_docs: usize) -> SpouseAppConfig {
     SpouseAppConfig {
-        corpus: SpouseConfig { num_docs, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 100, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 100,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 80,
                 samples: 1000,
@@ -59,7 +63,9 @@ pub fn chain_graph_layout(
 ) -> FactorGraph {
     let mut g = FactorGraph::new();
     let total = chains * len;
-    let all: Vec<_> = (0..total).map(|_| g.add_variable(Variable::query())).collect();
+    let all: Vec<_> = (0..total)
+        .map(|_| g.add_variable(Variable::query()))
+        .collect();
     let var_at = |c: usize, i: usize| {
         if interleave {
             all[i * chains + c]
@@ -68,13 +74,22 @@ pub fn chain_graph_layout(
         }
     };
     for c in 0..chains {
-        let wp = g.weights.tied(format!("p{}", c % 7), 0.4 + (c % 5) as f64 * 0.1);
+        let wp = g
+            .weights
+            .tied(format!("p{}", c % 7), 0.4 + (c % 5) as f64 * 0.1);
         let ws = g.weights.tied(format!("s{}", c % 11), 0.8);
-        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(var_at(c, 0))], wp);
+        g.add_factor(
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(var_at(c, 0))],
+            wp,
+        );
         for i in 0..len - 1 {
             g.add_factor(
                 FactorFunction::Imply,
-                vec![FactorArg::pos(var_at(c, i)), FactorArg::pos(var_at(c, i + 1))],
+                vec![
+                    FactorArg::pos(var_at(c, i)),
+                    FactorArg::pos(var_at(c, i + 1)),
+                ],
                 ws,
             );
         }
@@ -86,7 +101,11 @@ pub fn chain_graph_layout(
         let a = all[(k * 7919) % all.len()];
         let b = all[(k * 104729 + 13) % all.len()];
         if a != b {
-            g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(a), FactorArg::pos(b)], wl);
+            g.add_factor(
+                FactorFunction::Equal,
+                vec![FactorArg::pos(a), FactorArg::pos(b)],
+                wl,
+            );
         }
     }
     g
@@ -101,7 +120,10 @@ pub fn fig2(num_docs: usize) -> Json {
     let result = app.run().expect("run");
     let t = &result.timings;
     println!("  NLP preprocessing + loading     {:>10.2?}", nlp_load);
-    println!("  candidate gen + feature extract {:>10.2?}", t.candidate_extraction);
+    println!(
+        "  candidate gen + feature extract {:>10.2?}",
+        t.candidate_extraction
+    );
     println!("  supervision                     {:>10.2?}", t.supervision);
     println!(
         "  learning & inference            {:>10.2?}  (ground {:?}, learn {:?}, infer {:?})",
@@ -115,7 +137,12 @@ pub fn fig2(num_docs: usize) -> Json {
         result.num_variables, result.num_factors, result.num_evidence
     );
     let q = app.evaluate(&result, 0.8);
-    println!("  quality: P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    println!(
+        "  quality: P={:.3} R={:.3} F1={:.3}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
     json!({
         "experiment": "fig2",
         "num_docs": num_docs,
@@ -161,7 +188,10 @@ pub fn dimmwitted_vs_graphlab(chains: usize, len: usize) -> Json {
     let g = chain_graph(chains, len, chains * len / 2);
     let c = g.compile();
     let weights = g.weights.values();
-    println!("  graph: {} vars, {} factors", c.num_variables, c.num_factors);
+    println!(
+        "  graph: {} vars, {} factors",
+        c.num_variables, c.num_factors
+    );
     let workers = 8;
     let sweeps = 200;
 
@@ -282,7 +312,11 @@ pub fn incremental_grounding() -> Json {
             changes.extend(app.document_changes(&doc.text));
         }
         let t0 = Instant::now();
-        let delta = app.dd.grounder.apply_update(&app.dd.db, changes).expect("update");
+        let delta = app
+            .dd
+            .grounder
+            .apply_update(&app.dd.db, changes)
+            .expect("update");
         let incr = t0.elapsed();
 
         // Full re-ground baseline: a FRESH grounder over the same final
@@ -295,7 +329,11 @@ pub fn incremental_grounding() -> Json {
             }
         }
         let t1 = Instant::now();
-        full_app.dd.grounder.initial_load(&full_app.dd.db).expect("reload");
+        full_app
+            .dd
+            .grounder
+            .initial_load(&full_app.dd.db)
+            .expect("reload");
         let full = t1.elapsed();
         let speedup = full.as_secs_f64() / incr.as_secs_f64().max(1e-9);
         println!(
@@ -328,9 +366,12 @@ pub fn incremental_inference() -> Json {
         "  {:>6} {:>7} {:>7} | {:>11} {:>11} | {:>6} {:>6} | winner       optimizer",
         "vars", "density", "changes", "samp time", "var time", "s-err", "v-err"
     );
-    for &(chains, len, extra) in
-        &[(40usize, 10usize, 0usize), (40, 10, 1600), (400, 10, 0), (400, 10, 16000)]
-    {
+    for &(chains, len, extra) in &[
+        (40usize, 10usize, 0usize),
+        (40, 10, 1600),
+        (400, 10, 0),
+        (400, 10, 16000),
+    ] {
         for &future_changes in &[1usize, 16] {
             let g = chain_graph(chains, len, extra);
             let c = g.compile();
@@ -345,6 +386,7 @@ pub fn incremental_inference() -> Json {
                     samples: 240,
                     seed: 3,
                     clamp_evidence: true,
+                    deadline: None,
                 },
                 radius: 2,
                 delta_sweeps: 40,
@@ -382,7 +424,13 @@ pub fn incremental_inference() -> Json {
             let reference = gibbs_marginals(
                 &c,
                 &weights,
-                &GibbsOptions { burn_in: 200, samples: 3000, seed: 77, clamp_evidence: true },
+                &GibbsOptions {
+                    burn_in: 200,
+                    samples: 3000,
+                    seed: 77,
+                    clamp_evidence: true,
+                    deadline: None,
+                },
             );
             let mean_err = |est: &[f64]| -> f64 {
                 let mut total = 0.0;
@@ -461,7 +509,10 @@ pub fn incremental_inference() -> Json {
 /// E7: distant supervision vs manual labels (quality vs #labels).
 pub fn distant_supervision() -> Json {
     println!("== E7: distant supervision vs manual labels ==");
-    let corpus_cfg = SpouseConfig { num_docs: 300, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 300,
+        ..Default::default()
+    };
     let corpus = deepdive_corpus::spouse::generate(&corpus_cfg);
 
     // Distant supervision: labels come free from the KB.
@@ -487,7 +538,10 @@ pub fn distant_supervision() -> Json {
     for labels in [25usize, 100, 400] {
         let mut cfg = spouse_config(300);
         cfg.corpus = corpus_cfg.clone();
-        cfg.supervision = SupervisionMode::Manual { num_labels: labels, noise: 0.02 };
+        cfg.supervision = SupervisionMode::Manual {
+            num_labels: labels,
+            noise: 0.02,
+        };
         let mut app = SpouseApp::build_with_corpus(cfg, corpus.clone()).expect("build");
         let result = app.run().expect("run");
         let q = app.evaluate(&result, 0.8);
@@ -510,13 +564,36 @@ pub fn distant_supervision() -> Json {
 /// E8: the improvement iteration loop (Figure 1 / §5.1).
 pub fn iteration_loop() -> Json {
     println!("== E8: improvement iteration loop — quality per developer iteration ==");
-    let corpus_cfg = SpouseConfig { num_docs: 250, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 250,
+        ..Default::default()
+    };
     let corpus = deepdive_corpus::spouse::generate(&corpus_cfg);
     let steps: Vec<(&str, FeatureSet, bool, Option<f64>)> = vec![
-        ("1 phrase feature, pos supervision", FeatureSet::phrase_only(), false, None),
-        ("2 + negative supervision (siblings)", FeatureSet::phrase_only(), true, None),
-        ("3 + negative prior on candidates", FeatureSet::phrase_only(), true, Some(-0.7)),
-        ("4 + full feature library", FeatureSet::all(), true, Some(-0.7)),
+        (
+            "1 phrase feature, pos supervision",
+            FeatureSet::phrase_only(),
+            false,
+            None,
+        ),
+        (
+            "2 + negative supervision (siblings)",
+            FeatureSet::phrase_only(),
+            true,
+            None,
+        ),
+        (
+            "3 + negative prior on candidates",
+            FeatureSet::phrase_only(),
+            true,
+            Some(-0.7),
+        ),
+        (
+            "4 + full feature library",
+            FeatureSet::all(),
+            true,
+            Some(-0.7),
+        ),
     ];
     let mut rows = Vec::new();
     for (desc, features, negatives, prior) in steps {
@@ -537,7 +614,9 @@ pub fn iteration_loop() -> Json {
         let fixed = app.evaluate(&result, 0.5);
         println!(
             "  iter {desc:<40} best F1={:.3} (p>={:.2})   F1@0.5={:.3}",
-            best.f1, best.threshold, fixed.f1()
+            best.f1,
+            best.threshold,
+            fixed.f1()
         );
         rows.push(json!({
             "iteration": desc, "best_f1": best.f1, "best_threshold": best.threshold,
@@ -552,7 +631,10 @@ pub fn regex_plateau() -> Json {
     println!("== E9: stacked deterministic rules vs the probabilistic pipeline ==");
     use deepdive_core::apps::{AdsApp, AdsAppConfig};
     use deepdive_corpus::AdsConfig;
-    let ads_cfg = AdsConfig { num_ads: 400, ..Default::default() };
+    let ads_cfg = AdsConfig {
+        num_ads: 400,
+        ..Default::default()
+    };
     let corpus = deepdive_corpus::ads::generate(&ads_cfg);
     let truth: BTreeSet<String> = corpus
         .truth
@@ -571,8 +653,10 @@ pub fn regex_plateau() -> Json {
             q.f1(),
             q.f1() - prev_f1
         );
-        rows.push(json!({ "rules": k, "precision": q.precision(), "recall": q.recall(),
-                          "f1": q.f1(), "marginal_gain": q.f1() - prev_f1 }));
+        rows.push(
+            json!({ "rules": k, "precision": q.precision(), "recall": q.recall(),
+                          "f1": q.f1(), "marginal_gain": q.f1() - prev_f1 }),
+        );
         prev_f1 = q.f1();
     }
     // DeepDive on the same corpus.
@@ -602,7 +686,10 @@ pub fn regex_plateau() -> Json {
 pub fn supervision_leak() -> Json {
     println!("== E10: distant-supervision rule identical to a feature (§8 failure mode) ==");
     // Clean run: features are independent of the supervision rule.
-    let corpus_cfg = SpouseConfig { num_docs: 250, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 250,
+        ..Default::default()
+    };
     let corpus = deepdive_corpus::spouse::generate(&corpus_cfg);
     let mut cfg = spouse_config(250);
     cfg.corpus = corpus_cfg.clone();
@@ -631,9 +718,7 @@ pub fn supervision_leak() -> Json {
             ) else {
                 return vec![];
             };
-            let (Some(e1), Some(e2)) =
-                (mention_entities.get(t1), mention_entities.get(t2))
-            else {
+            let (Some(e1), Some(e2)) = (mention_entities.get(t1), mention_entities.get(t2)) else {
                 return vec![deepdive_storage::Value::text("inkb=no")];
             };
             let key = if e1 <= e2 {
@@ -668,7 +753,11 @@ pub fn supervision_leak() -> Json {
         .map(|w| w.value.abs())
         .collect();
     ranked.sort_by(|a, b| b.total_cmp(a));
-    let rank = ranked.iter().position(|&w| w <= leak_weight).unwrap_or(ranked.len()) + 1;
+    let rank = ranked
+        .iter()
+        .position(|&w| w <= leak_weight)
+        .unwrap_or(ranked.len())
+        + 1;
 
     println!(
         "  clean run : F1={:.3}   leaked run: F1={:.3}",
@@ -753,7 +842,10 @@ pub fn paleo_scale() -> Json {
     let paper_total = 0.2e9 * 1000.0 / (28.0 * 60.0);
     let paper_per_core = paper_total / 40.0;
     let projected_hours = 0.2e9 * 1000.0 / rate / 3600.0;
-    println!("  sustained single-core throughput: {:.1}M updates/s", rate / 1e6);
+    println!(
+        "  sustained single-core throughput: {:.1}M updates/s",
+        rate / 1e6
+    );
     println!(
         "  paper's implied throughput: {:.0}M updates/s total on 40 cores = {:.1}M/s/core",
         paper_total / 1e6,

@@ -3,18 +3,20 @@
 //! inference) over one DDlog program.
 
 use crate::calibration::{figure5, CalibrationData};
+use crate::checkpoint::{Checkpoint, CheckpointError, Phase};
 use deepdive_ddlog::{compile, DdlogError, DdlogProgram};
 use deepdive_factorgraph::{CompiledGraph, VariableId, WeightStore};
 use deepdive_grounding::{Grounder, GroundingDelta, LoadTimings, VarKey};
 use deepdive_sampler::{
-    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions, Marginals,
+    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions, LearnStats, Marginals,
 };
-use deepdive_storage::{BaseChange, Database, Row, StorageError, Value};
+use deepdive_storage::{BaseChange, Database, FailurePolicy, Row, StorageError, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Errors from the end-to-end pipeline.
@@ -22,6 +24,7 @@ use std::time::{Duration, Instant};
 pub enum DeepDiveError {
     Ddlog(DdlogError),
     Storage(StorageError),
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for DeepDiveError {
@@ -29,6 +32,7 @@ impl fmt::Display for DeepDiveError {
         match self {
             DeepDiveError::Ddlog(e) => write!(f, "ddlog: {e}"),
             DeepDiveError::Storage(e) => write!(f, "storage: {e}"),
+            DeepDiveError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -44,6 +48,12 @@ impl From<DdlogError> for DeepDiveError {
 impl From<StorageError> for DeepDiveError {
     fn from(e: StorageError) -> Self {
         DeepDiveError::Storage(e)
+    }
+}
+
+impl From<CheckpointError> for DeepDiveError {
+    fn from(e: CheckpointError) -> Self {
+        DeepDiveError::Checkpoint(e)
     }
 }
 
@@ -64,6 +74,17 @@ pub struct RunConfig {
     /// developer iterations inflates weights and erodes precision.
     pub warm_start: bool,
     pub seed: u64,
+    /// Run directory for phase checkpoints. When set, each completed phase
+    /// writes its artifact (and manifest entry) there.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from `checkpoint_dir`: phases whose artifacts are present and
+    /// hash-valid are restored instead of re-executed. Requires
+    /// `checkpoint_dir`.
+    pub resume: bool,
+    /// Stop the pipeline after checkpointing this phase (deterministic
+    /// kill-point for crash/resume testing). The returned [`RunResult`] has
+    /// `halted_after` set and no marginals.
+    pub halt_after: Option<Phase>,
 }
 
 impl Default for RunConfig {
@@ -71,11 +92,17 @@ impl Default for RunConfig {
         RunConfig {
             threshold: 0.9,
             learn: LearnOptions::default(),
-            inference: GibbsOptions { clamp_evidence: true, ..GibbsOptions::default() },
+            inference: GibbsOptions {
+                clamp_evidence: true,
+                ..GibbsOptions::default()
+            },
             holdout_fraction: 0.25,
             compute_calibration: true,
             warm_start: false,
             seed: 0xDD,
+            checkpoint_dir: None,
+            resume: false,
+            halt_after: None,
         }
     }
 }
@@ -124,9 +151,48 @@ pub struct RunResult {
     pub num_factors: usize,
     pub num_evidence: usize,
     pub grounding_delta: GroundingDelta,
+    /// Learning stopped at its deadline before all requested epochs.
+    pub learning_degraded: bool,
+    /// Inference (or the calibration pass) stopped at its deadline; the
+    /// marginals come from fewer sweeps than requested.
+    pub inference_degraded: bool,
+    /// SGD epochs actually run.
+    pub learn_epochs_run: usize,
+    /// Inference sweeps actually collected.
+    pub inference_samples: u64,
+    /// Phases restored from a checkpoint instead of executed.
+    pub phases_resumed: Vec<Phase>,
+    /// Set when the run stopped early at [`RunConfig::halt_after`].
+    pub halted_after: Option<Phase>,
 }
 
 impl RunResult {
+    /// True when any stage returned partial (deadline-truncated) results.
+    pub fn degraded(&self) -> bool {
+        self.learning_degraded || self.inference_degraded
+    }
+
+    /// A run stopped at a deterministic kill-point: phase artifacts are on
+    /// disk, nothing was inferred.
+    fn halted(phase: Phase, delta: GroundingDelta, timings: PhaseTimings) -> RunResult {
+        RunResult {
+            marginals: HashMap::new(),
+            holdout: Vec::new(),
+            timings,
+            calibration: None,
+            weights: Vec::new(),
+            num_variables: 0,
+            num_factors: 0,
+            num_evidence: 0,
+            grounding_delta: delta,
+            learning_degraded: false,
+            inference_degraded: false,
+            learn_epochs_run: 0,
+            inference_samples: 0,
+            phases_resumed: Vec::new(),
+            halted_after: Some(phase),
+        }
+    }
     /// The output aspirational table: tuples of `relation` whose probability
     /// clears `threshold`, with their probabilities.
     pub fn output(&self, relation: &str, threshold: f64) -> Vec<(Row, f64)> {
@@ -142,7 +208,9 @@ impl RunResult {
 
     /// Probability of one tuple.
     pub fn probability(&self, relation: &str, row: &Row) -> Option<f64> {
-        self.marginals.get(&(relation.to_string(), row.clone())).copied()
+        self.marginals
+            .get(&(relation.to_string(), row.clone()))
+            .copied()
     }
 
     /// All predictions for a relation as `(row, probability)`.
@@ -198,6 +266,20 @@ impl DeepDiveBuilder {
         self
     }
 
+    /// Set the failure policy of one UDF (panic isolation: `Fail` aborts the
+    /// run, `SkipTuple` drops the input, `Quarantine` routes it to the head
+    /// relation's `__errors` table).
+    pub fn udf_policy(mut self, name: impl Into<String>, policy: FailurePolicy) -> Self {
+        self.db.set_udf_policy(name, policy);
+        self
+    }
+
+    /// Set the failure policy applied to UDFs without an explicit one.
+    pub fn default_udf_policy(mut self, policy: FailurePolicy) -> Self {
+        self.db.set_default_udf_policy(policy);
+        self
+    }
+
     pub fn config(mut self, config: RunConfig) -> Self {
         self.config = config;
         self
@@ -206,7 +288,11 @@ impl DeepDiveBuilder {
     pub fn build(mut self) -> Result<DeepDive, DeepDiveError> {
         let ddlog: DdlogProgram = compile(&self.ddlog_src)?;
         let grounder = Grounder::new(&mut self.db, ddlog)?;
-        Ok(DeepDive { db: self.db, grounder, config: self.config })
+        Ok(DeepDive {
+            db: self.db,
+            grounder,
+            config: self.config,
+        })
     }
 }
 
@@ -223,13 +309,60 @@ impl DeepDive {
 
     /// Run the full pipeline: derivation rules, grounding, holdout split,
     /// weight learning, marginal inference, calibration.
+    ///
+    /// With [`RunConfig::checkpoint_dir`] set, each phase writes its artifact
+    /// as it completes; with [`RunConfig::resume`], phases whose artifacts
+    /// already exist (hash-verified against the manifest) are restored
+    /// instead of re-executed, with near-zero timings.
     pub fn run(&mut self) -> Result<RunResult, DeepDiveError> {
-        let (delta, load) = self.grounder.initial_load_timed(&self.db)?;
-        self.infer_phase(delta, load)
+        let ckpt = match &self.config.checkpoint_dir {
+            Some(dir) => Some(Checkpoint::new(dir.clone())?),
+            None => None,
+        };
+        let mut phases_resumed: Vec<Phase> = Vec::new();
+
+        let can_resume_load = self.config.resume
+            && ckpt
+                .as_ref()
+                .is_some_and(|c| c.phase_done(Phase::Extract) && c.phase_done(Phase::Ground));
+        let (delta, load) = if can_resume_load {
+            let c = ckpt.as_ref().expect("checked above");
+            c.restore_db(&self.db)?;
+            let (state, delta) = c.restore_state()?;
+            self.grounder.state = state;
+            phases_resumed.push(Phase::Extract);
+            phases_resumed.push(Phase::Ground);
+            (delta, LoadTimings::default())
+        } else {
+            let (delta, load) = self.grounder.initial_load_timed(&self.db)?;
+            if let Some(c) = &ckpt {
+                c.save_db(
+                    &self.db,
+                    (load.candidate_extraction + load.supervision).as_secs_f64(),
+                )?;
+                c.save_state(&self.grounder.state, &delta, load.grounding.as_secs_f64())?;
+            }
+            (delta, load)
+        };
+
+        if let Some(halt @ (Phase::Extract | Phase::Ground)) = self.config.halt_after {
+            let timings = PhaseTimings {
+                candidate_extraction: load.candidate_extraction,
+                supervision: load.supervision,
+                grounding: load.grounding,
+                ..Default::default()
+            };
+            let mut result = RunResult::halted(halt, delta, timings);
+            result.phases_resumed = phases_resumed;
+            return Ok(result);
+        }
+
+        self.infer_phase(delta, load, ckpt.as_ref(), phases_resumed)
     }
 
     /// Incremental developer iteration: apply base changes, re-ground
-    /// incrementally, re-learn and re-infer.
+    /// incrementally, re-learn and re-infer. (Checkpoints are not consulted:
+    /// an incremental step invalidates the full-run artifacts.)
     pub fn update(&mut self, changes: Vec<BaseChange>) -> Result<RunResult, DeepDiveError> {
         let start = Instant::now();
         let delta = self.grounder.apply_update(&self.db, changes)?;
@@ -238,13 +371,15 @@ impl DeepDive {
             supervision: Duration::ZERO,
             grounding: Duration::ZERO,
         };
-        self.infer_phase(delta, load)
+        self.infer_phase(delta, load, None, Vec::new())
     }
 
     fn infer_phase(
         &mut self,
         delta: GroundingDelta,
         load: LoadTimings,
+        ckpt: Option<&Checkpoint>,
+        mut phases_resumed: Vec<Phase>,
     ) -> Result<RunResult, DeepDiveError> {
         let mut timings = PhaseTimings {
             candidate_extraction: load.candidate_extraction,
@@ -272,23 +407,56 @@ impl DeepDive {
         }
 
         // Learning (§3.3 "train weights"). Fresh by default; warm_start
-        // reuses the previous iteration's weights.
-        if !self.config.warm_start {
-            weights.reset_learnable(0.0);
-        }
+        // reuses the previous iteration's weights; a checkpointed weight
+        // vector of matching shape short-circuits the phase entirely.
         let learn_start = Instant::now();
-        learn_weights(&graph, &mut weights, &self.config.learn);
+        let resumed_weights = if self.config.resume {
+            ckpt.filter(|c| c.phase_done(Phase::Learn))
+                .map(|c| c.restore_weights())
+                .transpose()?
+                .filter(|values| values.len() == weights.len())
+        } else {
+            None
+        };
+        let learn_stats = match resumed_weights {
+            Some(values) => {
+                weights.load_values(&values);
+                phases_resumed.push(Phase::Learn);
+                LearnStats::default()
+            }
+            None => {
+                if !self.config.warm_start {
+                    weights.reset_learnable(0.0);
+                }
+                let stats = learn_weights(&graph, &mut weights, &self.config.learn);
+                if let Some(c) = ckpt {
+                    c.save_weights(&weights, learn_start.elapsed().as_secs_f64())?;
+                }
+                stats
+            }
+        };
         timings.learning = learn_start.elapsed();
         // Persist learned weights back into the grounding state so
         // incremental reruns warm-start from them.
         self.grounder.state.graph.weights = weights.clone();
+
+        if self.config.halt_after == Some(Phase::Learn) {
+            let mut result = RunResult::halted(Phase::Learn, delta, timings);
+            result.phases_resumed = phases_resumed;
+            result.learning_degraded = learn_stats.degraded;
+            result.learn_epochs_run = learn_stats.epochs_run;
+            result.num_variables = graph.num_variables;
+            result.num_factors = graph.num_factors;
+            result.num_evidence = num_evidence;
+            return Ok(result);
+        }
 
         // Inference: evidence-clamped marginals for query + held-out vars.
         let infer_start = Instant::now();
         let marginals = gibbs_marginals(&graph, &weights.values(), &self.config.inference);
         timings.inference = infer_start.elapsed();
 
-        let result = self.assemble_result(
+        let mut result = self.assemble_result(
             &graph,
             &tuple_to_var,
             &weights,
@@ -298,6 +466,9 @@ impl DeepDive {
             timings,
             delta,
         );
+        result.learning_degraded = learn_stats.degraded;
+        result.learn_epochs_run = learn_stats.epochs_run;
+        result.phases_resumed = phases_resumed;
         Ok(result)
     }
 
@@ -336,15 +507,20 @@ impl DeepDive {
         let holdout: Vec<(VarKey, bool, f64)> = holdout_vars
             .iter()
             .filter_map(|&(v, label)| {
-                var_to_tuple.get(&v).map(|&k| (k.clone(), label, marginals.probability(v)))
+                var_to_tuple
+                    .get(&v)
+                    .map(|&k| (k.clone(), label, marginals.probability(v)))
             })
             .collect();
 
         // Calibration artifacts (Figure 5).
+        let mut inference_degraded = marginals.degraded;
         let calibration = if self.config.compute_calibration {
             let cal_start = Instant::now();
-            let test: Vec<(f64, Option<bool>)> =
-                holdout.iter().map(|(_, label, p)| (*p, Some(*label))).collect();
+            let test: Vec<(f64, Option<bool>)> = holdout
+                .iter()
+                .map(|(_, label, p)| (*p, Some(*label)))
+                .collect();
             // Training histogram: model predictions for training-evidence
             // variables, computed with evidence unclamped.
             let free_opts = GibbsOptions {
@@ -353,6 +529,7 @@ impl DeepDive {
                 ..self.config.inference.clone()
             };
             let free = gibbs_marginals(graph, &weights.values(), &free_opts);
+            inference_degraded |= free.degraded;
             let train: Vec<(f64, Option<bool>)> = (0..graph.num_variables)
                 .filter(|&v| graph.is_evidence[v])
                 .map(|v| (free.probability(v), Some(graph.evidence_value[v])))
@@ -383,6 +560,12 @@ impl DeepDive {
             num_factors: graph.num_factors,
             num_evidence,
             grounding_delta,
+            learning_degraded: false,
+            inference_degraded,
+            learn_epochs_run: 0,
+            inference_samples: marginals.samples,
+            phases_resumed: Vec::new(),
+            halted_after: None,
         }
     }
 }

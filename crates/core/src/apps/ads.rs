@@ -100,10 +100,9 @@ impl AdsApp {
             let a = Value::Id(doc.doc_id);
             app.dd.db.insert("Ad", row![a.clone(), doc.text.as_str()])?;
             for (text, value) in candidate_numbers(&doc.text) {
-                app.dd.db.insert(
-                    "PriceCandidate",
-                    row![a.clone(), value, text.as_str()],
-                )?;
+                app.dd
+                    .db
+                    .insert("PriceCandidate", row![a.clone(), value, text.as_str()])?;
             }
         }
 
@@ -113,7 +112,9 @@ impl AdsApp {
             if rng.gen::<f64>() < app.config.annotated_fraction {
                 app.dd.db.insert("AnnotatedAd", row![Value::Id(t.ad_id)])?;
                 if let Some(p) = t.price {
-                    app.dd.db.insert("AnnotatedPrice", row![Value::Id(t.ad_id), p])?;
+                    app.dd
+                        .db
+                        .insert("AnnotatedPrice", row![Value::Id(t.ad_id), p])?;
                 }
             }
         }
@@ -220,8 +221,7 @@ pub fn regex_price_rules() -> Vec<PriceRule> {
         for marker in ["rates start at", "rates from", "donations"] {
             if let Some(pos) = lower.find(marker) {
                 for tok in tokenize(&text[pos + marker.len()..]).iter().take(3) {
-                    let digits: String =
-                        tok.text.chars().filter(char::is_ascii_digit).collect();
+                    let digits: String = tok.text.chars().filter(char::is_ascii_digit).collect();
                     if let Ok(v) = digits.parse::<i64>() {
                         out.push(v);
                         break;

@@ -132,13 +132,20 @@ impl GeneticsApp {
         // exist in the real world, so using the pool is fair game.
         let phenos = Gazetteer::from_phrases(deepdive_corpus::names::PHENOTYPES.iter().copied());
 
-        let mut app = GeneticsApp { dd, corpus, config, mention_text: HashMap::new() };
+        let mut app = GeneticsApp {
+            dd,
+            corpus,
+            config,
+            mention_text: HashMap::new(),
+        };
         let mut s_id = 0u64;
         let mut m_id = 0u64;
         let docs = app.corpus.documents.clone();
         for doc in &docs {
             for sent in split_sentences(&doc.text) {
-                app.dd.db.insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
+                app.dd
+                    .db
+                    .insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
                 for g in spot_genes_in(&sent.text) {
                     app.mention_text.insert(m_id, g.clone());
                     app.dd.db.insert(
@@ -182,9 +189,10 @@ impl GeneticsApp {
     pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
         let mut best: BTreeMap<String, f64> = BTreeMap::new();
         for (row, p) in result.predictions("AssocMentions") {
-            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
-            let (Some(g), Some(ph)) =
-                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else {
+                continue;
+            };
+            let (Some(g), Some(ph)) = (self.mention_text.get(&m1), self.mention_text.get(&m2))
             else {
                 continue;
             };
@@ -198,7 +206,11 @@ impl GeneticsApp {
     }
 
     pub fn truth_keys(&self) -> BTreeSet<String> {
-        self.corpus.expressed.iter().map(|(g, p)| format!("{g}|{p}")).collect()
+        self.corpus
+            .expressed
+            .iter()
+            .map(|(g, p)| format!("{g}|{p}"))
+            .collect()
     }
 
     pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {

@@ -122,17 +122,26 @@ impl MaterialsApp {
             .build()?;
 
         // Property gazetteer (names are standard physics vocabulary).
-        let props: Vec<&str> =
-            deepdive_corpus::names::PROPERTIES.iter().map(|(p, _)| *p).collect();
+        let props: Vec<&str> = deepdive_corpus::names::PROPERTIES
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
         let _gaz = Gazetteer::from_phrases(props.iter().copied());
 
-        let mut app = MaterialsApp { dd, corpus, config, mention_text: HashMap::new() };
+        let mut app = MaterialsApp {
+            dd,
+            corpus,
+            config,
+            mention_text: HashMap::new(),
+        };
         let mut s_id = 0u64;
         let mut m_id = 0u64;
         let docs = app.corpus.documents.clone();
         for doc in &docs {
             for sent in split_sentences(&doc.text) {
-                app.dd.db.insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
+                app.dd
+                    .db
+                    .insert("Sentence", row![Value::Id(s_id), sent.text.as_str()])?;
                 let tokens = tokenize(&sent.text);
                 for span in spot_formulas(&tokens) {
                     app.mention_text.insert(m_id, span.text.clone());
@@ -146,10 +155,9 @@ impl MaterialsApp {
                 for p in &props {
                     if lower.contains(p) {
                         app.mention_text.insert(m_id, (*p).to_string());
-                        app.dd.db.insert(
-                            "PropMention",
-                            row![Value::Id(s_id), Value::Id(m_id), *p],
-                        )?;
+                        app.dd
+                            .db
+                            .insert("PropMention", row![Value::Id(s_id), Value::Id(m_id), *p])?;
                         m_id += 1;
                     }
                 }
@@ -177,9 +185,10 @@ impl MaterialsApp {
     pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
         let mut best: BTreeMap<String, f64> = BTreeMap::new();
         for (row, p) in result.predictions("MeasMentions") {
-            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
-            let (Some(f), Some(pr)) =
-                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else {
+                continue;
+            };
+            let (Some(f), Some(pr)) = (self.mention_text.get(&m1), self.mention_text.get(&m2))
             else {
                 continue;
             };
@@ -193,7 +202,11 @@ impl MaterialsApp {
     }
 
     pub fn truth_keys(&self) -> BTreeSet<String> {
-        self.corpus.expressed.iter().map(|(f, p)| format!("{f}|{p}")).collect()
+        self.corpus
+            .expressed
+            .iter()
+            .map(|(f, p)| format!("{f}|{p}"))
+            .collect()
     }
 
     pub fn evaluate(&self, result: &RunResult, threshold: f64) -> Quality {

@@ -29,11 +29,21 @@ pub struct FeatureSet {
 
 impl FeatureSet {
     pub fn all() -> Self {
-        FeatureSet { phrase: true, words_between: true, distance: true, windows: true }
+        FeatureSet {
+            phrase: true,
+            words_between: true,
+            distance: true,
+            windows: true,
+        }
     }
 
     pub fn phrase_only() -> Self {
-        FeatureSet { phrase: true, words_between: false, distance: false, windows: false }
+        FeatureSet {
+            phrase: true,
+            words_between: false,
+            distance: false,
+            windows: false,
+        }
     }
 }
 
@@ -277,8 +287,12 @@ impl SpouseApp {
             self.dd.db.insert("Married", row![b.as_str(), a.as_str()])?;
         }
         for (a, b) in &self.corpus.siblings {
-            self.dd.db.insert("Siblings", row![a.as_str(), b.as_str()])?;
-            self.dd.db.insert("Siblings", row![b.as_str(), a.as_str()])?;
+            self.dd
+                .db
+                .insert("Siblings", row![a.as_str(), b.as_str()])?;
+            self.dd
+                .db
+                .insert("Siblings", row![b.as_str(), a.as_str()])?;
         }
         Ok(())
     }
@@ -326,7 +340,9 @@ impl SpouseApp {
     /// Entity-level truth of a candidate mention pair.
     fn candidate_truth(&self, m1: u64, m2: u64) -> bool {
         let link = |m: u64| {
-            self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+            self.mention_text
+                .get(&m)
+                .and_then(|t| self.linker.link_unique(t))
         };
         match (link(m1), link(m2)) {
             (Some(a), Some(b)) => self.corpus.married.contains(&ordered(&a, &b)),
@@ -344,11 +360,17 @@ impl SpouseApp {
     pub fn entity_predictions(&self, result: &RunResult) -> Vec<(String, f64)> {
         let mut best: BTreeMap<String, f64> = BTreeMap::new();
         for (row, p) in result.predictions("MarriedMentions") {
-            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
-            let link = |m: u64| {
-                self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else {
+                continue;
             };
-            let (Some(e1), Some(e2)) = (link(m1), link(m2)) else { continue };
+            let link = |m: u64| {
+                self.mention_text
+                    .get(&m)
+                    .and_then(|t| self.linker.link_unique(t))
+            };
+            let (Some(e1), Some(e2)) = (link(m1), link(m2)) else {
+                continue;
+            };
             if e1 == e2 {
                 continue;
             }
@@ -364,7 +386,11 @@ impl SpouseApp {
 
     /// Ground-truth keys: married pairs actually expressed in the corpus.
     pub fn truth_keys(&self) -> BTreeSet<String> {
-        self.corpus.expressed_married.iter().map(|(a, b)| format!("{a}|{b}")).collect()
+        self.corpus
+            .expressed_married
+            .iter()
+            .map(|(a, b)| format!("{a}|{b}"))
+            .collect()
     }
 
     /// Build a Mindtagger labeling session (§3.4) over sampled extractions:
@@ -378,9 +404,10 @@ impl SpouseApp {
     ) -> crate::mindtagger::LabelingTask {
         let mut items: Vec<(String, f64, String, Vec<String>)> = Vec::new();
         for (row, p) in result.predictions("MarriedMentions") {
-            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
-            let (Some(t1), Some(t2)) =
-                (self.mention_text.get(&m1), self.mention_text.get(&m2))
+            let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else {
+                continue;
+            };
+            let (Some(t1), Some(t2)) = (self.mention_text.get(&m1), self.mention_text.get(&m2))
             else {
                 continue;
             };
@@ -423,9 +450,13 @@ impl SpouseApp {
         let mut covered: BTreeSet<(String, String)> = BTreeSet::new();
         if let Ok(rows) = self.dd.db.rows("MarriedCandidate") {
             for row in rows {
-                let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else { continue };
+                let (Some(m1), Some(m2)) = (row[0].as_id(), row[1].as_id()) else {
+                    continue;
+                };
                 let link = |m: u64| {
-                    self.mention_text.get(&m).and_then(|t| self.linker.link_unique(t))
+                    self.mention_text
+                        .get(&m)
+                        .and_then(|t| self.linker.link_unique(t))
                 };
                 if let (Some(e1), Some(e2)) = (link(m1), link(m2)) {
                     covered.insert(ordered(&e1, &e2));

@@ -7,26 +7,53 @@
 //! deepdive run <program.ddl> --data <dir> [options]
 //!     Load `<Relation>.tsv` files from the data directory for every base
 //!     relation, execute the full pipeline, and write each query relation to
-//!     `<out>/<Relation>.tsv` with a trailing probability column.
+//!     `<out>/<Relation>.tsv` with a trailing probability column, plus a
+//!     machine-readable `report.json`.
 //!
-//!     --out <dir>        output directory (default: ./deepdive-out)
-//!     --threshold <p>    output threshold (default 0.9; 0 = everything)
-//!     --epochs <n>       learning epochs (default 100)
-//!     --samples <n>      inference sweeps (default 1000)
-//!     --seed <n>         run seed (default 221)
-//!     --calibration      print the Figure-5 calibration table
+//!     --out <dir>            output directory (default: ./deepdive-out)
+//!     --threshold <p>        output threshold (default 0.9; 0 = everything)
+//!     --epochs <n>           learning epochs (default 100)
+//!     --samples <n>          inference sweeps (default 1000)
+//!     --seed <n>             run seed (default 221)
+//!     --calibration          print the Figure-5 calibration table
+//!
+//!   fault tolerance:
+//!     --strict               reject the load on the first malformed row
+//!                            (the default ingest policy)
+//!     --max-error-rate <r>   permissive ingest: quarantine malformed rows,
+//!                            fail only if their fraction exceeds r
+//!     --udf-policy <p>       default UDF failure policy: fail | skip |
+//!                            quarantine (default fail)
+//!     --deadline-secs <n>    wall-clock budget for learning and for
+//!                            inference; on expiry partial results are
+//!                            returned and the exit code is 5
+//!     --checkpoint <dir>     write per-phase artifacts to a run directory
+//!     --resume <dir>         resume from a run directory, skipping phases
+//!                            whose artifacts are present (implies
+//!                            --checkpoint <dir>)
 //! ```
+//!
+//! Exit codes: 0 success; 1 runtime error; 2 usage error; 3 program compile
+//! error; 4 ingest failure (malformed data, or over the error budget);
+//! 5 completed with degraded (deadline-truncated) results.
 //!
 //! The standard feature library (`f_phrase`, `f_words_between`, `f_dist`,
 //! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
 //! needing custom UDFs should use the `deepdive-core` library API instead.
 
-use deepdive_core::{render_calibration, DeepDive, RunConfig};
+use deepdive_core::{render_calibration, DeepDive, RunConfig, RunReport};
 use deepdive_ddlog::compile;
 use deepdive_sampler::{GibbsOptions, LearnOptions};
-use deepdive_storage::row_to_tsv;
+use deepdive_storage::{row_to_tsv, FailurePolicy, IngestPolicy, StorageError};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+const EXIT_OTHER: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_COMPILE: u8 = 3;
+const EXIT_INGEST: u8 = 4;
+const EXIT_DEGRADED: u8 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,24 +61,32 @@ fn main() -> ExitCode {
         Some("check") => check(args.get(1)),
         Some("run") => run(&args[1..]),
         _ => {
-            eprintln!("usage: deepdive check <program.ddl>");
-            eprintln!("       deepdive run <program.ddl> --data <dir> [--out <dir>] [--threshold p]");
-            eprintln!("                    [--epochs n] [--samples n] [--seed n] [--calibration]");
-            ExitCode::from(2)
+            usage();
+            ExitCode::from(EXIT_USAGE)
         }
     }
+}
+
+fn usage() {
+    eprintln!("usage: deepdive check <program.ddl>");
+    eprintln!("       deepdive run <program.ddl> --data <dir> [--out <dir>] [--threshold p]");
+    eprintln!("                    [--epochs n] [--samples n] [--seed n] [--calibration]");
+    eprintln!(
+        "                    [--strict | --max-error-rate r] [--udf-policy fail|skip|quarantine]"
+    );
+    eprintln!("                    [--deadline-secs n] [--checkpoint <dir> | --resume <dir>]");
 }
 
 fn check(path: Option<&String>) -> ExitCode {
     let Some(path) = path else {
         eprintln!("deepdive check: missing program path");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("deepdive: cannot read {path}: {e}");
-            return ExitCode::from(1);
+            return ExitCode::from(EXIT_OTHER);
         }
     };
     match compile(&src) {
@@ -73,7 +108,7 @@ fn check(path: Option<&String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{path}: {e}");
-            ExitCode::from(1)
+            ExitCode::from(EXIT_COMPILE)
         }
     }
 }
@@ -87,6 +122,11 @@ struct RunArgs {
     samples: usize,
     seed: u64,
     calibration: bool,
+    ingest: IngestPolicy,
+    udf_policy: FailurePolicy,
+    deadline: Option<Duration>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -98,28 +138,81 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut samples = 1000;
     let mut seed = 221u64;
     let mut calibration = false;
+    let mut ingest = IngestPolicy::Strict;
+    let mut udf_policy = FailurePolicy::Fail;
+    let mut deadline = None;
+    let mut checkpoint = None;
+    let mut resume = false;
 
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         let mut take = |name: &str| -> Result<String, String> {
             i += 1;
-            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--data" => data = Some(PathBuf::from(take("--data")?)),
             "--out" => out = PathBuf::from(take("--out")?),
             "--threshold" => {
-                threshold = take("--threshold")?.parse().map_err(|e| format!("--threshold: {e}"))?
+                threshold = take("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
             }
             "--epochs" => {
-                epochs = take("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+                epochs = take("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
             }
             "--samples" => {
-                samples = take("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+                samples = take("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
             }
-            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--calibration" => calibration = true,
+            "--strict" => ingest = IngestPolicy::Strict,
+            "--max-error-rate" => {
+                let r: f64 = take("--max-error-rate")?
+                    .parse()
+                    .map_err(|e| format!("--max-error-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--max-error-rate: {r} is not in [0, 1]"));
+                }
+                ingest = IngestPolicy::Permissive { max_error_rate: r };
+            }
+            "--udf-policy" => {
+                udf_policy = match take("--udf-policy")?.as_str() {
+                    "fail" => FailurePolicy::Fail,
+                    "skip" => FailurePolicy::SkipTuple,
+                    "quarantine" => FailurePolicy::Quarantine,
+                    other => {
+                        return Err(format!(
+                            "--udf-policy: `{other}` is not fail | skip | quarantine"
+                        ))
+                    }
+                };
+            }
+            "--deadline-secs" => {
+                let secs: f64 = take("--deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-secs: {e}"))?;
+                if secs <= 0.0 {
+                    return Err(format!("--deadline-secs: {secs} must be positive"));
+                }
+                deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
+            "--resume" => {
+                checkpoint = Some(PathBuf::from(take("--resume")?));
+                resume = true;
+            }
             other if !other.starts_with("--") && program.is_none() => {
                 program = Some(PathBuf::from(other))
             }
@@ -136,7 +229,44 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         samples,
         seed,
         calibration,
+        ingest,
+        udf_policy,
+        deadline,
+        checkpoint,
+        resume,
     })
+}
+
+/// Runtime failures, classified for the exit-code taxonomy.
+enum RunFailure {
+    Compile(String),
+    Ingest(String),
+    Other(String),
+}
+
+impl RunFailure {
+    fn code(&self) -> u8 {
+        match self {
+            RunFailure::Compile(_) => EXIT_COMPILE,
+            RunFailure::Ingest(_) => EXIT_INGEST,
+            RunFailure::Other(_) => EXIT_OTHER,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            RunFailure::Compile(m) | RunFailure::Ingest(m) | RunFailure::Other(m) => m,
+        }
+    }
+}
+
+fn classify_storage(e: &StorageError) -> Option<RunFailure> {
+    match e {
+        StorageError::Malformed { .. } | StorageError::IngestBudgetExceeded { .. } => {
+            Some(RunFailure::Ingest(e.to_string()))
+        }
+        _ => None,
+    }
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -144,53 +274,107 @@ fn run(args: &[String]) -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("deepdive run: {e}");
-            return ExitCode::from(2);
+            usage();
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match run_inner(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("deepdive run: {e}");
-            ExitCode::from(1)
+        Ok(degraded) => {
+            if degraded {
+                eprintln!(
+                    "deepdive run: completed with DEGRADED results (deadline hit); exit {EXIT_DEGRADED}"
+                );
+                ExitCode::from(EXIT_DEGRADED)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(f) => {
+            eprintln!("deepdive run: {}", f.message());
+            ExitCode::from(f.code())
         }
     }
 }
 
-fn run_inner(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let src = std::fs::read_to_string(&args.program)?;
+/// Returns whether the run completed degraded.
+fn run_inner(args: &RunArgs) -> Result<bool, RunFailure> {
+    let src = std::fs::read_to_string(&args.program)
+        .map_err(|e| RunFailure::Other(format!("cannot read {}: {e}", args.program.display())))?;
     let config = RunConfig {
         threshold: args.threshold,
-        learn: LearnOptions { epochs: args.epochs, seed: args.seed, ..Default::default() },
+        learn: LearnOptions {
+            epochs: args.epochs,
+            seed: args.seed,
+            deadline: args.deadline,
+            ..Default::default()
+        },
         inference: GibbsOptions {
             burn_in: (args.samples / 10).max(10),
             samples: args.samples,
             seed: args.seed,
             clamp_evidence: true,
+            deadline: args.deadline,
         },
         compute_calibration: args.calibration,
         seed: args.seed,
+        checkpoint_dir: args.checkpoint.clone(),
+        resume: args.resume,
         ..Default::default()
     };
-    let mut dd = DeepDive::builder(&src).standard_features().config(config).build()?;
+    // Compile separately first so program errors exit 3, not 1.
+    let ddlog = compile(&src).map_err(|e| RunFailure::Compile(e.to_string()))?;
+    let mut dd = DeepDive::builder(&src)
+        .standard_features()
+        .default_udf_policy(args.udf_policy)
+        .config(config)
+        .build()
+        .map_err(|e| RunFailure::Other(e.to_string()))?;
 
     // Load <Relation>.tsv for every relation (query relations usually have
     // no file — they are populated by rules).
-    let ddlog = compile(&src)?;
     let mut loaded = 0usize;
+    let mut quarantined_rows = 0usize;
     for (schema, _) in &ddlog.schemas {
         let path: PathBuf = args.data.join(format!("{}.tsv", schema.name));
         if path.exists() {
-            let text = std::fs::read_to_string(&path)?;
-            let n = dd.db.load_tsv(&schema.name, &text)?;
-            println!("loaded {n:>7} rows into {}", schema.name);
-            loaded += n;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| RunFailure::Other(format!("cannot read {}: {e}", path.display())))?;
+            let report = dd
+                .db
+                .load_tsv_with_policy(&schema.name, &text, args.ingest)
+                .map_err(|e| {
+                    classify_storage(&e).unwrap_or_else(|| RunFailure::Other(e.to_string()))
+                })?;
+            if report.rows_failed > 0 {
+                println!(
+                    "loaded {:>7} rows into {} ({} malformed rows quarantined)",
+                    report.rows_loaded, schema.name, report.rows_failed
+                );
+            } else {
+                println!("loaded {:>7} rows into {}", report.rows_loaded, schema.name);
+            }
+            loaded += report.rows_loaded;
+            quarantined_rows += report.rows_failed;
         }
     }
-    if loaded == 0 {
-        return Err(format!("no .tsv files found under {}", args.data.display()).into());
+    if loaded == 0 && !args.resume {
+        return Err(RunFailure::Ingest(format!(
+            "no .tsv files found under {}",
+            args.data.display()
+        )));
     }
 
-    let result = dd.run()?;
+    let result = dd.run().map_err(|e| match &e {
+        deepdive_core::DeepDiveError::Ddlog(d) => RunFailure::Compile(d.to_string()),
+        deepdive_core::DeepDiveError::Storage(s) => {
+            classify_storage(s).unwrap_or_else(|| RunFailure::Other(e.to_string()))
+        }
+        _ => RunFailure::Other(e.to_string()),
+    })?;
+    if !result.phases_resumed.is_empty() {
+        let resumed: Vec<&str> = result.phases_resumed.iter().map(|p| p.as_str()).collect();
+        println!("resumed phases from checkpoint: {}", resumed.join(", "));
+    }
     println!(
         "graph: {} variables / {} factors / {} evidence",
         result.num_variables, result.num_factors, result.num_evidence
@@ -202,7 +386,7 @@ fn run_inner(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
         result.timings.learning_inference()
     );
 
-    std::fs::create_dir_all(&args.out)?;
+    std::fs::create_dir_all(&args.out).map_err(|e| RunFailure::Other(e.to_string()))?;
     for schema in ddlog.query_relations() {
         let rows = result.output(&schema.name, args.threshold);
         let path: PathBuf = args.out.join(format!("{}.tsv", schema.name));
@@ -212,8 +396,13 @@ fn run_inner(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
             text.push('\t');
             text.push_str(&format!("{p:.4}\n"));
         }
-        std::fs::write(&path, text)?;
-        println!("wrote {:>7} rows (p >= {}) to {}", rows.len(), args.threshold, path.display());
+        std::fs::write(&path, text).map_err(|e| RunFailure::Other(e.to_string()))?;
+        println!(
+            "wrote {:>7} rows (p >= {}) to {}",
+            rows.len(),
+            args.threshold,
+            path.display()
+        );
     }
 
     // Weight summary.
@@ -224,12 +413,29 @@ fn run_inner(args: &RunArgs) -> Result<(), Box<dyn std::error::Error>> {
     for w in ws {
         wtext.push_str(&format!("{:+.4}\t{}\t{}\n", w.value, w.references, w.key));
     }
-    std::fs::write(weights_path, wtext)?;
+    std::fs::write(weights_path, wtext).map_err(|e| RunFailure::Other(e.to_string()))?;
     println!("wrote learned weights to {}", weights_path.display());
+
+    // Structured run report.
+    let report = RunReport::new(&dd, &result);
+    let report_path = args.out.join("report.json");
+    std::fs::write(&report_path, report.to_json()).map_err(|e| RunFailure::Other(e.to_string()))?;
+    println!("wrote run report to {}", report_path.display());
+    if report.total_incidents() > 0 {
+        println!(
+            "fault summary: {} tuples lost across {} stages ({} rows quarantined at ingest)",
+            report.total_incidents(),
+            report.incidents.len(),
+            quarantined_rows
+        );
+        for (stage, count) in &report.incidents {
+            println!("  {stage}: {count}");
+        }
+    }
 
     if let Some(cal) = &result.calibration {
         println!("\nFigure-5 calibration (held-out evidence):");
         print!("{}", render_calibration(cal));
     }
-    Ok(())
+    Ok(result.degraded())
 }

@@ -63,7 +63,11 @@ pub fn calibration_plot(
             lo: i as f64 / num_buckets as f64,
             hi: (i + 1) as f64 / num_buckets as f64,
             count,
-            accuracy: if labeled > 0 { Some(correct as f64 / labeled as f64) } else { None },
+            accuracy: if labeled > 0 {
+                Some(correct as f64 / labeled as f64)
+            } else {
+                None
+            },
             mean_prediction: if count > 0 { sum_p / count as f64 } else { 0.0 },
         })
         .collect()
@@ -102,7 +106,10 @@ pub fn figure5(
     };
     CalibrationData {
         buckets,
-        test_histogram: histogram(&test.iter().map(|(p, _)| *p).collect::<Vec<_>>(), num_buckets),
+        test_histogram: histogram(
+            &test.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            num_buckets,
+        ),
         train_histogram: histogram(
             &train.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
             num_buckets,
@@ -140,7 +147,10 @@ pub fn render_calibration(data: &CalibrationData) -> String {
             b.lo, b.hi, b.count, b.mean_prediction, acc
         ));
     }
-    out.push_str(&format!("calibration error: {:.4}\n", data.calibration_error));
+    out.push_str(&format!(
+        "calibration error: {:.4}\n",
+        data.calibration_error
+    ));
     out
 }
 
@@ -163,8 +173,7 @@ mod tests {
     #[test]
     fn miscalibration_is_detected() {
         // Everything predicted 0.9 but only half true.
-        let preds: Vec<(f64, Option<bool>)> =
-            (0..20).map(|i| (0.9, Some(i % 2 == 0))).collect();
+        let preds: Vec<(f64, Option<bool>)> = (0..20).map(|i| (0.9, Some(i % 2 == 0))).collect();
         let data = figure5(&preds, &preds, 10);
         assert!((data.calibration_error - 0.4).abs() < 1e-9);
     }

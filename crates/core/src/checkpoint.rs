@@ -1,0 +1,1011 @@
+//! Phase checkpoint/resume: per-phase artifacts under a run directory.
+//!
+//! A pipeline run writes one artifact per completed phase — the extracted
+//! database (`db.ckpt`), the grounded factor graph (`state.ckpt`), and the
+//! learned weights (`weights.ckpt`) — plus a `MANIFEST.tsv` recording, per
+//! phase, its status, the FNV-1a hash of the artifact, and the wall-clock
+//! spent producing it. `deepdive run --resume <dir>` (or
+//! [`RunConfig::resume`](crate::RunConfig)) restores the artifacts and skips
+//! every completed phase, so a run killed between grounding and inference
+//! repeats none of the expensive extraction work.
+//!
+//! The on-disk format is a line-oriented text format rather than a binary
+//! dump: artifacts are diffable, greppable, and deterministic (rows sorted,
+//! floats rendered with `{:?}` so they round-trip exactly — resuming must
+//! reproduce bit-identical marginals).
+
+use deepdive_factorgraph::{
+    Factor, FactorArg, FactorFunction, FactorId, Variable, VariableId, Weight, WeightId,
+    WeightStore,
+};
+use deepdive_grounding::{GroundingDelta, GroundingState};
+use deepdive_storage::{Column, Database, Row, Schema, StorageError, Value, ValueType};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One restored relation: name, columns, counted rows.
+type RelationData = (String, Vec<Column>, Vec<(Row, i64)>);
+
+/// The checkpointable phases, in pipeline order. (Inference is deliberately
+/// absent: it is the cheap final consumer of the artifacts and always
+/// re-runs, which also keeps `--resume` useful for re-running inference with
+/// different sampling options.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Candidate extraction + supervision: the derived database.
+    Extract,
+    /// Grounding: the factor graph and its maintenance indexes.
+    Ground,
+    /// Weight learning: the learned weight vector.
+    Learn,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 3] = [Phase::Extract, Phase::Ground, Phase::Learn];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Extract => "extract",
+            Phase::Ground => "ground",
+            Phase::Learn => "learn",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Phase> {
+        match s {
+            "extract" => Some(Phase::Extract),
+            "ground" => Some(Phase::Ground),
+            "learn" => Some(Phase::Learn),
+            _ => None,
+        }
+    }
+
+    /// Artifact file name of this phase within the run directory.
+    pub fn artifact(&self) -> &'static str {
+        match self {
+            Phase::Extract => "db.ckpt",
+            Phase::Ground => "state.ckpt",
+            Phase::Learn => "weights.ckpt",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Errors from checkpoint IO or artifact parsing.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    /// An artifact failed to parse, or its content hash disagrees with the
+    /// manifest.
+    Corrupt {
+        file: String,
+        reason: String,
+    },
+    Storage(StorageError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Corrupt { file, reason } => {
+                write!(f, "corrupt checkpoint artifact {file}: {reason}")
+            }
+            CheckpointError::Storage(e) => write!(f, "checkpoint restore: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<StorageError> for CheckpointError {
+    fn from(e: StorageError) -> Self {
+        CheckpointError::Storage(e)
+    }
+}
+
+/// FNV-1a 64-bit content hash (the manifest's integrity check).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One manifest row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    pub phase: Phase,
+    pub hash: u64,
+    pub duration_secs: f64,
+}
+
+/// The run manifest: which phases completed, with artifact hashes.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    pub fn get(&self, phase: Phase) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.phase == phase)
+    }
+
+    fn upsert(&mut self, entry: ManifestEntry) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.phase == entry.phase) {
+            *e = entry;
+        } else {
+            self.entries.push(entry);
+        }
+        self.entries.sort_by_key(|e| e.phase);
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("#deepdive-manifest-v1\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\tdone\t{:016x}\t{:?}\n",
+                e.phase.as_str(),
+                e.hash,
+                e.duration_secs
+            ));
+        }
+        out
+    }
+
+    fn parse(text: &str) -> Result<Manifest, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 4 {
+                return Err(format!(
+                    "line {}: expected 4 fields, got {}",
+                    i + 1,
+                    fields.len()
+                ));
+            }
+            let phase = Phase::parse(fields[0])
+                .ok_or_else(|| format!("line {}: unknown phase `{}`", i + 1, fields[0]))?;
+            if fields[1] != "done" {
+                return Err(format!("line {}: unknown status `{}`", i + 1, fields[1]));
+            }
+            let hash = u64::from_str_radix(fields[2], 16)
+                .map_err(|e| format!("line {}: bad hash: {e}", i + 1))?;
+            let duration_secs = fields[3]
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad duration: {e}", i + 1))?;
+            entries.push(ManifestEntry {
+                phase,
+                hash,
+                duration_secs,
+            });
+        }
+        Ok(Manifest { entries })
+    }
+}
+
+/// Handle to one run directory.
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+const MANIFEST_FILE: &str = "MANIFEST.tsv";
+
+impl Checkpoint {
+    /// Open (creating if needed) a run directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Checkpoint { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read the manifest; a missing manifest is an empty one (fresh run dir).
+    pub fn manifest(&self) -> Result<Manifest, CheckpointError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        if !path.exists() {
+            return Ok(Manifest::default());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        Manifest::parse(&text).map_err(|reason| CheckpointError::Corrupt {
+            file: MANIFEST_FILE.to_string(),
+            reason,
+        })
+    }
+
+    /// True when `phase` completed and its artifact hash still matches.
+    pub fn phase_done(&self, phase: Phase) -> bool {
+        let Ok(manifest) = self.manifest() else {
+            return false;
+        };
+        let Some(entry) = manifest.get(phase) else {
+            return false;
+        };
+        let Ok(bytes) = std::fs::read(self.dir.join(phase.artifact())) else {
+            return false;
+        };
+        fnv1a64(&bytes) == entry.hash
+    }
+
+    fn commit(
+        &self,
+        phase: Phase,
+        content: &str,
+        duration_secs: f64,
+    ) -> Result<(), CheckpointError> {
+        // Artifact first, manifest second: a crash between the writes leaves
+        // the phase unrecorded (re-run), never recorded-but-missing.
+        let path = self.dir.join(phase.artifact());
+        std::fs::write(&path, content)?;
+        let mut manifest = self.manifest()?;
+        manifest.upsert(ManifestEntry {
+            phase,
+            hash: fnv1a64(content.as_bytes()),
+            duration_secs,
+        });
+        std::fs::write(self.dir.join(MANIFEST_FILE), manifest.render())?;
+        Ok(())
+    }
+
+    fn read_verified(&self, phase: Phase) -> Result<String, CheckpointError> {
+        let manifest = self.manifest()?;
+        let entry = manifest
+            .get(phase)
+            .ok_or_else(|| CheckpointError::Corrupt {
+                file: MANIFEST_FILE.to_string(),
+                reason: format!("phase `{phase}` not recorded as done"),
+            })?;
+        let text = std::fs::read_to_string(self.dir.join(phase.artifact()))?;
+        if fnv1a64(text.as_bytes()) != entry.hash {
+            return Err(CheckpointError::Corrupt {
+                file: phase.artifact().to_string(),
+                reason: "content hash disagrees with manifest".to_string(),
+            });
+        }
+        Ok(text)
+    }
+
+    // ---- extract: the database ----
+
+    /// Serialize every relation (schemas + counted rows) to `db.ckpt`.
+    pub fn save_db(&self, db: &Database, duration_secs: f64) -> Result<(), CheckpointError> {
+        self.commit(Phase::Extract, &serialize_db(db)?, duration_secs)
+    }
+
+    /// Restore every checkpointed relation into `db`, replacing existing
+    /// tables of the same name.
+    pub fn restore_db(&self, db: &Database) -> Result<(), CheckpointError> {
+        let text = self.read_verified(Phase::Extract)?;
+        restore_db(&text, db).map_err(|reason| CheckpointError::Corrupt {
+            file: "db.ckpt".to_string(),
+            reason,
+        })
+    }
+
+    // ---- ground: the grounding state ----
+
+    /// Serialize the grounding state (graph + maintenance indexes) and the
+    /// initial-load delta to `state.ckpt`.
+    pub fn save_state(
+        &self,
+        state: &GroundingState,
+        delta: &GroundingDelta,
+        duration_secs: f64,
+    ) -> Result<(), CheckpointError> {
+        self.commit(Phase::Ground, &serialize_state(state, delta), duration_secs)
+    }
+
+    pub fn restore_state(&self) -> Result<(GroundingState, GroundingDelta), CheckpointError> {
+        let text = self.read_verified(Phase::Ground)?;
+        restore_state(&text).map_err(|reason| CheckpointError::Corrupt {
+            file: "state.ckpt".to_string(),
+            reason,
+        })
+    }
+
+    // ---- learn: the weight vector ----
+
+    /// Serialize the dense learned-weight vector to `weights.ckpt`.
+    pub fn save_weights(
+        &self,
+        weights: &WeightStore,
+        duration_secs: f64,
+    ) -> Result<(), CheckpointError> {
+        let mut out = String::from("#deepdive-weights-v1\n");
+        for v in weights.values() {
+            out.push_str(&format!("{v:?}\n"));
+        }
+        self.commit(Phase::Learn, &out, duration_secs)
+    }
+
+    /// The dense weight vector, in `WeightId` order.
+    pub fn restore_weights(&self) -> Result<Vec<f64>, CheckpointError> {
+        let text = self.read_verified(Phase::Learn)?;
+        let mut values = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            values.push(line.parse::<f64>().map_err(|e| CheckpointError::Corrupt {
+                file: "weights.ckpt".to_string(),
+                reason: format!("line {}: {e}", i + 1),
+            })?);
+        }
+        Ok(values)
+    }
+}
+
+// ---- cell-level text encoding ----
+//
+// Checkpoint rows cannot reuse the schema-driven TSV codec: synthetic
+// grounding relations type their columns `Any`, so each cell carries a
+// one-character type tag instead (`n` null, `b0`/`b1` bool, `i<int>`,
+// `f<float {:?}>`, `t<escaped text>`, `d<id>`).
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad escape `\\{other}`")),
+            None => return Err("dangling `\\`".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn cell(v: &Value) -> String {
+    match v {
+        Value::Null => "n".to_string(),
+        Value::Bool(b) => if *b { "b1" } else { "b0" }.to_string(),
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{f:?}"),
+        Value::Text(t) => format!("t{}", esc(t)),
+        Value::Id(i) => format!("d{i}"),
+    }
+}
+
+fn parse_cell(s: &str) -> Result<Value, String> {
+    let rest = &s[1.min(s.len())..];
+    match s.chars().next() {
+        Some('n') => Ok(Value::Null),
+        Some('b') => match rest {
+            "0" => Ok(Value::Bool(false)),
+            "1" => Ok(Value::Bool(true)),
+            other => Err(format!("bad bool cell `b{other}`")),
+        },
+        Some('i') => rest
+            .parse()
+            .map(Value::Int)
+            .map_err(|e| format!("bad int cell: {e}")),
+        Some('f') => rest
+            .parse()
+            .map(Value::Float)
+            .map_err(|e| format!("bad float cell: {e}")),
+        Some('t') => unesc(rest).map(Value::text),
+        Some('d') => rest
+            .parse()
+            .map(Value::Id)
+            .map_err(|e| format!("bad id cell: {e}")),
+        _ => Err(format!("empty or untagged cell `{s}`")),
+    }
+}
+
+fn row_cells(row: &Row) -> String {
+    row.iter().map(cell).collect::<Vec<_>>().join("\t")
+}
+
+fn parse_row(fields: &[&str]) -> Result<Row, String> {
+    fields
+        .iter()
+        .map(|f| parse_cell(f))
+        .collect::<Result<Vec<Value>, String>>()
+        .map(Row::from)
+}
+
+fn type_name(ty: ValueType) -> &'static str {
+    match ty {
+        ValueType::Null => "null",
+        ValueType::Any => "any",
+        ValueType::Bool => "bool",
+        ValueType::Int => "int",
+        ValueType::Float => "float",
+        ValueType::Text => "text",
+        ValueType::Id => "id",
+    }
+}
+
+fn parse_type(s: &str) -> Result<ValueType, String> {
+    match s {
+        "null" => Ok(ValueType::Null),
+        "any" => Ok(ValueType::Any),
+        "bool" => Ok(ValueType::Bool),
+        "int" => Ok(ValueType::Int),
+        "float" => Ok(ValueType::Float),
+        "text" => Ok(ValueType::Text),
+        "id" => Ok(ValueType::Id),
+        other => Err(format!("unknown column type `{other}`")),
+    }
+}
+
+// ---- db.ckpt ----
+
+fn serialize_db(db: &Database) -> Result<String, CheckpointError> {
+    let mut out = String::from("#deepdive-db-v1\n");
+    for name in db.relation_names() {
+        let schema = db.schema(&name)?;
+        out.push_str(&format!("@{}\n", esc(&name)));
+        for col in &schema.columns {
+            out.push_str(&format!("!{}\t{}\n", esc(&col.name), type_name(col.ty)));
+        }
+        let mut rows = db.rows_counted(&name)?;
+        rows.sort();
+        for (row, count) in rows {
+            out.push_str(&format!("{count}\t{}\n", row_cells(&row)));
+        }
+    }
+    Ok(out)
+}
+
+fn restore_db(text: &str, db: &Database) -> Result<(), String> {
+    let mut current: Option<RelationData> = None;
+    let mut finished: Vec<RelationData> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('@') {
+            if let Some(rel) = current.take() {
+                finished.push(rel);
+            }
+            current = Some((unesc(name).map_err(&at)?, Vec::new(), Vec::new()));
+            continue;
+        }
+        let rel = current
+            .as_mut()
+            .ok_or_else(|| at("row before any @relation".to_string()))?;
+        if let Some(col) = line.strip_prefix('!') {
+            let (cname, cty) = col
+                .split_once('\t')
+                .ok_or_else(|| at("column line needs `name\\ttype`".to_string()))?;
+            rel.1.push(Column::new(
+                unesc(cname).map_err(&at)?,
+                parse_type(cty).map_err(&at)?,
+            ));
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let count: i64 = fields[0]
+            .parse()
+            .map_err(|e| at(format!("bad count: {e}")))?;
+        let row = parse_row(&fields[1..]).map_err(&at)?;
+        if row.len() != rel.1.len() {
+            return Err(at(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                rel.1.len()
+            )));
+        }
+        rel.2.push((row, count));
+    }
+    if let Some(rel) = current.take() {
+        finished.push(rel);
+    }
+    for (name, columns, rows) in finished {
+        db.create_or_replace_relation(Schema::new(name.clone(), columns));
+        for (row, count) in rows {
+            db.adjust(&name, row, count)
+                .map_err(|e| format!("restoring `{name}`: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+// ---- state.ckpt ----
+
+fn function_name(f: FactorFunction) -> &'static str {
+    match f {
+        FactorFunction::IsTrue => "IsTrue",
+        FactorFunction::Imply => "Imply",
+        FactorFunction::And => "And",
+        FactorFunction::Or => "Or",
+        FactorFunction::Equal => "Equal",
+        FactorFunction::Linear => "Linear",
+        FactorFunction::Ratio => "Ratio",
+    }
+}
+
+fn parse_function(s: &str) -> Result<FactorFunction, String> {
+    match s {
+        "IsTrue" => Ok(FactorFunction::IsTrue),
+        "Imply" => Ok(FactorFunction::Imply),
+        "And" => Ok(FactorFunction::And),
+        "Or" => Ok(FactorFunction::Or),
+        "Equal" => Ok(FactorFunction::Equal),
+        "Linear" => Ok(FactorFunction::Linear),
+        "Ratio" => Ok(FactorFunction::Ratio),
+        other => Err(format!("unknown factor function `{other}`")),
+    }
+}
+
+fn serialize_state(state: &GroundingState, delta: &GroundingDelta) -> String {
+    let mut out = String::from("#deepdive-state-v1\n");
+
+    out.push_str("@weights\n");
+    for (_, w) in state.graph.weights.iter() {
+        out.push_str(&format!(
+            "{:?}\t{}\t{}\t{}\n",
+            w.value,
+            if w.fixed { 1 } else { 0 },
+            w.references,
+            esc(&w.key)
+        ));
+    }
+
+    out.push_str("@variables\n");
+    for v in &state.graph.variables {
+        let label = match &v.label {
+            Some(l) => format!("t{}", esc(l)),
+            None => "n".to_string(),
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            v.is_evidence as u8, v.evidence_value as u8, v.init_value as u8, label
+        ));
+    }
+
+    out.push_str("@factors\n");
+    for f in &state.graph.factors {
+        let args = f
+            .args
+            .iter()
+            .map(|a| {
+                format!(
+                    "{}{}",
+                    if a.positive { '+' } else { '-' },
+                    a.variable.index()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{}\t{}\t{}\n",
+            function_name(f.function),
+            f.weight.index(),
+            args
+        ));
+    }
+
+    // Index sections are sorted (HashMap iteration order is not stable) so
+    // the artifact — and its manifest hash — is deterministic.
+    out.push_str("@var_index\n");
+    let mut vars: Vec<(usize, &(String, Row))> = state
+        .var_index
+        .iter()
+        .map(|(k, v)| (v.index(), k))
+        .collect();
+    vars.sort_by_key(|(i, _)| *i);
+    for (vid, (rel, row)) in vars {
+        let cells = row_cells(row);
+        if cells.is_empty() {
+            out.push_str(&format!("{vid}\t{}\n", esc(rel)));
+        } else {
+            out.push_str(&format!("{vid}\t{}\t{cells}\n", esc(rel)));
+        }
+    }
+
+    out.push_str("@factor_index\n");
+    let mut factors: Vec<(usize, i64, &(String, Row))> = state
+        .factor_index
+        .iter()
+        .map(|(k, (fid, c))| (fid.index(), *c, k))
+        .collect();
+    factors.sort_by_key(|(i, _, _)| *i);
+    for (fid, count, (rule, row)) in factors {
+        let cells = row_cells(row);
+        if cells.is_empty() {
+            out.push_str(&format!("{fid}\t{count}\t{}\n", esc(rule)));
+        } else {
+            out.push_str(&format!("{fid}\t{count}\t{}\t{cells}\n", esc(rule)));
+        }
+    }
+
+    out.push_str("@var_refs\n");
+    let mut refs: Vec<(usize, i64)> = state
+        .var_refs
+        .iter()
+        .map(|(v, c)| (v.index(), *c))
+        .collect();
+    refs.sort();
+    for (vid, count) in refs {
+        out.push_str(&format!("{vid}\t{count}\n"));
+    }
+
+    out.push_str("@removed_vars\n");
+    let mut removed: Vec<usize> = state.removed_vars.iter().map(|v| v.index()).collect();
+    removed.sort_unstable();
+    for vid in removed {
+        out.push_str(&format!("{vid}\n"));
+    }
+
+    out.push_str("@removed_factors\n");
+    let mut removed: Vec<usize> = state.removed_factors.iter().map(|f| f.index()).collect();
+    removed.sort_unstable();
+    for fid in removed {
+        out.push_str(&format!("{fid}\n"));
+    }
+
+    out.push_str("@delta\n");
+    out.push_str(&format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\n",
+        delta.added_variables,
+        delta.removed_variables,
+        delta.added_factors,
+        delta.removed_factors,
+        delta.rule_evaluations,
+        delta.evidence_changes
+    ));
+    out
+}
+
+fn restore_state(text: &str) -> Result<(GroundingState, GroundingDelta), String> {
+    let mut state = GroundingState::new();
+    let mut delta = GroundingDelta::default();
+    let mut weights: Vec<Weight> = Vec::new();
+    let mut section = "";
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('@') {
+            section = match name {
+                "weights" | "variables" | "factors" | "var_index" | "factor_index" | "var_refs"
+                | "removed_vars" | "removed_factors" | "delta" => name,
+                other => return Err(at(format!("unknown section `@{other}`"))),
+            };
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match section {
+            "weights" => {
+                if fields.len() != 4 {
+                    return Err(at("weight line needs 4 fields".to_string()));
+                }
+                weights.push(Weight {
+                    value: fields[0]
+                        .parse()
+                        .map_err(|e| at(format!("bad value: {e}")))?,
+                    fixed: fields[1] == "1",
+                    references: fields[2]
+                        .parse()
+                        .map_err(|e| at(format!("bad references: {e}")))?,
+                    key: unesc(fields[3]).map_err(&at)?,
+                });
+            }
+            "variables" => {
+                if fields.len() != 4 {
+                    return Err(at("variable line needs 4 fields".to_string()));
+                }
+                let label = match parse_cell(fields[3]).map_err(&at)? {
+                    Value::Null => None,
+                    Value::Text(t) => Some(t.to_string()),
+                    other => return Err(at(format!("bad label cell {other:?}"))),
+                };
+                state.graph.variables.push(Variable {
+                    is_evidence: fields[0] == "1",
+                    evidence_value: fields[1] == "1",
+                    init_value: fields[2] == "1",
+                    label,
+                });
+            }
+            "factors" => {
+                if fields.len() != 3 {
+                    return Err(at("factor line needs 3 fields".to_string()));
+                }
+                let function = parse_function(fields[0]).map_err(&at)?;
+                let weight = WeightId::from(
+                    fields[1]
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad weight id: {e}")))?,
+                );
+                let args = fields[2]
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(|a| {
+                        let positive = match a.chars().next() {
+                            Some('+') => true,
+                            Some('-') => false,
+                            _ => return Err(at(format!("bad factor arg `{a}`"))),
+                        };
+                        let idx: usize =
+                            a[1..].parse().map_err(|e| at(format!("bad arg id: {e}")))?;
+                        Ok(FactorArg {
+                            variable: VariableId::from(idx),
+                            positive,
+                        })
+                    })
+                    .collect::<Result<Vec<FactorArg>, String>>()?;
+                state
+                    .graph
+                    .factors
+                    .push(Factor::new(function, args, weight));
+            }
+            "var_index" => {
+                if fields.len() < 2 {
+                    return Err(at("var_index line needs >= 2 fields".to_string()));
+                }
+                let vid = VariableId::from(
+                    fields[0]
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad var id: {e}")))?,
+                );
+                let rel = unesc(fields[1]).map_err(&at)?;
+                let row = parse_row(&fields[2..]).map_err(&at)?;
+                state.var_index.insert((rel.clone(), row.clone()), vid);
+                state.var_key.insert(vid, (rel, row));
+            }
+            "factor_index" => {
+                if fields.len() < 3 {
+                    return Err(at("factor_index line needs >= 3 fields".to_string()));
+                }
+                let fid = FactorId::from(
+                    fields[0]
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad factor id: {e}")))?,
+                );
+                let count: i64 = fields[1]
+                    .parse()
+                    .map_err(|e| at(format!("bad count: {e}")))?;
+                let rule = unesc(fields[2]).map_err(&at)?;
+                let row = parse_row(&fields[3..]).map_err(&at)?;
+                state.factor_index.insert((rule, row), (fid, count));
+            }
+            "var_refs" => {
+                if fields.len() != 2 {
+                    return Err(at("var_refs line needs 2 fields".to_string()));
+                }
+                let vid = VariableId::from(
+                    fields[0]
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad var id: {e}")))?,
+                );
+                let count: i64 = fields[1]
+                    .parse()
+                    .map_err(|e| at(format!("bad count: {e}")))?;
+                state.var_refs.insert(vid, count);
+            }
+            "removed_vars" => {
+                state.removed_vars.insert(VariableId::from(
+                    line.parse::<usize>()
+                        .map_err(|e| at(format!("bad var id: {e}")))?,
+                ));
+            }
+            "removed_factors" => {
+                state.removed_factors.insert(FactorId::from(
+                    line.parse::<usize>()
+                        .map_err(|e| at(format!("bad factor id: {e}")))?,
+                ));
+            }
+            "delta" => {
+                if fields.len() != 6 {
+                    return Err(at("delta line needs 6 fields".to_string()));
+                }
+                let nums = fields
+                    .iter()
+                    .map(|f| f.parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| at(format!("bad delta: {e}")))?;
+                delta = GroundingDelta {
+                    added_variables: nums[0],
+                    removed_variables: nums[1],
+                    added_factors: nums[2],
+                    removed_factors: nums[3],
+                    rule_evaluations: nums[4],
+                    evidence_changes: nums[5],
+                };
+            }
+            _ => return Err(at("data line before any @section".to_string())),
+        }
+    }
+    state.graph.weights = WeightStore::from_weights(weights);
+    Ok((state, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_storage::row;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dd-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn value_cells_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Float(0.1 + 0.2),
+            Value::Float(f64::INFINITY),
+            Value::text("tab\there\nand\\slash"),
+            Value::Id(7),
+        ];
+        for v in vals {
+            let c = cell(&v);
+            assert!(
+                !c.contains('\t') && !c.contains('\n'),
+                "cell must stay on one field: {c}"
+            );
+            assert_eq!(parse_cell(&c).unwrap(), v, "cell `{c}`");
+        }
+    }
+
+    #[test]
+    fn db_round_trips_with_counts() {
+        let db = Database::new();
+        db.create_relation(
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("t", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        db.adjust("R", row![1, "a\tb"], 3).unwrap();
+        db.adjust("R", row![2, Value::Null], 1).unwrap();
+        let ckpt = Checkpoint::new(tmpdir("db")).unwrap();
+        ckpt.save_db(&db, 0.5).unwrap();
+
+        let db2 = Database::new();
+        ckpt.restore_db(&db2).unwrap();
+        assert_eq!(db2.rows_counted("R").unwrap().len(), 2);
+        assert_eq!(db2.count("R", &row![1, "a\tb"]).unwrap(), 3);
+        assert_eq!(db2.schema("R").unwrap(), db.schema("R").unwrap());
+        // Determinism: serializing the restored db yields identical bytes.
+        assert_eq!(serialize_db(&db).unwrap(), serialize_db(&db2).unwrap());
+    }
+
+    #[test]
+    fn grounding_state_round_trips_exactly() {
+        let mut st = GroundingState::new();
+        let a = st.variable("Q", &row![1, "x"], Some("Q(1, x)".into()));
+        let b = st.variable("Q", &row![2, "y"], None);
+        st.set_evidence("Q", &row![1, "x"], Some(true));
+        let w = st.graph.weights.tied("feat:x", 0.25);
+        let wf = st.graph.weights.fixed("rule:hard", 10.0);
+        st.add_grounding(
+            "r1",
+            row![1, "x"],
+            2,
+            FactorFunction::Imply,
+            vec![FactorArg::pos(a), FactorArg::neg(b)],
+            w,
+        );
+        st.add_grounding(
+            "r2",
+            row![2],
+            1,
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(b)],
+            wf,
+        );
+        st.remove_grounding("r2", &row![2], 1);
+        let delta = GroundingDelta {
+            added_variables: 2,
+            added_factors: 2,
+            removed_factors: 1,
+            rule_evaluations: 5,
+            ..Default::default()
+        };
+
+        let ckpt = Checkpoint::new(tmpdir("state")).unwrap();
+        ckpt.save_state(&st, &delta, 1.25).unwrap();
+        let (st2, delta2) = ckpt.restore_state().unwrap();
+
+        assert_eq!(st2.graph.variables, st.graph.variables);
+        assert_eq!(st2.graph.factors, st.graph.factors);
+        assert_eq!(st2.graph.weights.values(), st.graph.weights.values());
+        assert_eq!(st2.graph.weights.lookup("feat:x"), Some(w));
+        assert_eq!(st2.var_index, st.var_index);
+        assert_eq!(st2.var_key, st.var_key);
+        assert_eq!(st2.factor_index, st.factor_index);
+        assert_eq!(st2.var_refs, st.var_refs);
+        assert_eq!(st2.removed_vars, st.removed_vars);
+        assert_eq!(st2.removed_factors, st.removed_factors);
+        assert_eq!(delta2.total(), delta.total());
+        // The compiled graphs (what the sampler sees) must be bit-identical.
+        let (g1, _) = st.compile();
+        let (g2, _) = st2.compile();
+        assert_eq!(g1.num_variables, g2.num_variables);
+        assert_eq!(g1.is_evidence, g2.is_evidence);
+        // Serialization is deterministic, so hashes match too.
+        assert_eq!(
+            fnv1a64(serialize_state(&st, &delta).as_bytes()),
+            fnv1a64(serialize_state(&st2, &delta2).as_bytes())
+        );
+    }
+
+    #[test]
+    fn weights_round_trip_and_phase_done_tracks_hash() {
+        let mut ws = WeightStore::new();
+        ws.tied("a", 0.1 + 0.2);
+        ws.tied("b", -1.0 / 3.0);
+        let ckpt = Checkpoint::new(tmpdir("w")).unwrap();
+        assert!(!ckpt.phase_done(Phase::Learn));
+        ckpt.save_weights(&ws, 0.01).unwrap();
+        assert!(ckpt.phase_done(Phase::Learn));
+        assert_eq!(ckpt.restore_weights().unwrap(), ws.values());
+        // Corrupting the artifact invalidates the phase.
+        std::fs::write(ckpt.dir().join(Phase::Learn.artifact()), "#tampered\n").unwrap();
+        assert!(!ckpt.phase_done(Phase::Learn));
+        assert!(ckpt.restore_weights().is_err());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = Manifest::default();
+        m.upsert(ManifestEntry {
+            phase: Phase::Ground,
+            hash: 0xDEAD_BEEF,
+            duration_secs: 1.5,
+        });
+        m.upsert(ManifestEntry {
+            phase: Phase::Extract,
+            hash: 1,
+            duration_secs: 0.25,
+        });
+        let m2 = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(m2.entries, m.entries);
+        assert_eq!(
+            m2.entries[0].phase,
+            Phase::Extract,
+            "entries sorted by phase order"
+        );
+    }
+}

@@ -82,10 +82,11 @@ pub fn analyze(
     config: &ErrorAnalysisConfig,
     bucketer: &dyn Fn(&str) -> String,
 ) -> ErrorAnalysis {
-    let extracted: Vec<&(String, f64)> =
-        predictions.iter().filter(|(_, p)| *p >= config.threshold).collect();
-    let extracted_keys: BTreeSet<String> =
-        extracted.iter().map(|(k, _)| k.clone()).collect();
+    let extracted: Vec<&(String, f64)> = predictions
+        .iter()
+        .filter(|(_, p)| *p >= config.threshold)
+        .collect();
+    let extracted_keys: BTreeSet<String> = extracted.iter().map(|(k, _)| k.clone()).collect();
     let quality = Quality::compare(&extracted_keys, truth);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -106,21 +107,28 @@ pub fn analyze(
                 *failure_buckets.entry(b.clone()).or_insert(0) += 1;
                 Some(b)
             };
-            Judgment { key: key.clone(), probability: *p, correct, bucket }
+            Judgment {
+                key: key.clone(),
+                probability: *p,
+                correct,
+                bucket,
+            }
         })
         .collect();
     let sampled_precision = if precision_sample.is_empty() {
         1.0
     } else {
-        precision_sample.iter().filter(|j| j.correct).count() as f64
-            / precision_sample.len() as f64
+        precision_sample.iter().filter(|j| j.correct).count() as f64 / precision_sample.len() as f64
     };
 
     // Recall sample: judge ~N random truth items.
     let mut truth_sample: Vec<&String> = truth.iter().collect();
     truth_sample.shuffle(&mut rng);
     truth_sample.truncate(config.recall_sample);
-    let found = truth_sample.iter().filter(|k| extracted_keys.contains(**k)).count();
+    let found = truth_sample
+        .iter()
+        .filter(|k| extracted_keys.contains(**k))
+        .count();
     let sampled_recall = if truth_sample.is_empty() {
         1.0
     } else {
@@ -159,8 +167,11 @@ impl ErrorAnalysis {
     /// Failure modes ordered by descending count — "She always tries to
     /// address the largest bucket first" (§5.2).
     pub fn ranked_failure_modes(&self) -> Vec<(&str, usize)> {
-        let mut v: Vec<(&str, usize)> =
-            self.failure_buckets.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        let mut v: Vec<(&str, usize)> = self
+            .failure_buckets
+            .iter()
+            .map(|(k, &c)| (k.as_str(), c))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v
     }
@@ -185,7 +196,10 @@ impl ErrorAnalysis {
         }
         out.push_str("top features (|weight|):\n");
         for w in self.feature_summary.iter().filter(|w| !w.fixed).take(10) {
-            out.push_str(&format!("  {:+.3}  n={:<5}  {}\n", w.value, w.references, w.key));
+            out.push_str(&format!(
+                "  {:+.3}  n={:<5}  {}\n",
+                w.value, w.references, w.key
+            ));
         }
         out.push_str(&format!(
             "checksums: predictions={:016x} program={:016x}\n",
@@ -210,7 +224,10 @@ mod tests {
     use super::*;
 
     fn truth() -> BTreeSet<String> {
-        ["a|b", "c|d", "e|f"].iter().map(|s| s.to_string()).collect()
+        ["a|b", "c|d", "e|f"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     fn preds() -> Vec<(String, f64)> {

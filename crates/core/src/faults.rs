@@ -1,0 +1,204 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Robustness claims need adversarial inputs: this module wraps UDFs so a
+//! reproducible fraction of calls panic, and corrupts TSV corpora so a
+//! reproducible fraction of lines are malformed. Both decisions are pure
+//! functions of `(input, seed)` — no RNG state, no call ordering — so a chaos
+//! test can predict *exactly* which tuples fail and assert exact quarantine
+//! counts.
+
+use crate::checkpoint::fnv1a64;
+use deepdive_storage::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault plan: what fraction of inputs fail, under which seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Failure probability in `[0, 1]`, realized per distinct input (not per
+    /// call): the same tuple always fails or always succeeds under one seed.
+    pub rate: f64,
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    pub fn new(rate: f64, seed: u64) -> Self {
+        FaultPlan { rate, seed }
+    }
+
+    /// The deterministic fail/pass decision for one input rendering.
+    pub fn trips(&self, input: &str) -> bool {
+        let mut bytes = Vec::with_capacity(input.len() + 8);
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(input.as_bytes());
+        // FNV alone clusters for short inputs differing only near the tail
+        // (too few multiply rounds to diffuse into the high bits); a
+        // splitmix64-style finalizer restores avalanche. Map onto [0, 1)
+        // with 53-bit precision.
+        let unit = (mix64(fnv1a64(&bytes)) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.rate
+    }
+}
+
+/// Murmur3/splitmix64 finalizer: full avalanche over all 64 bits.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Running totals of one wrapped UDF (shared with the caller, so chaos tests
+/// can compare injected-fault counts against quarantine counts).
+#[derive(Debug, Default)]
+pub struct FaultCounter {
+    pub calls: AtomicU64,
+    pub panics: AtomicU64,
+}
+
+impl FaultCounter {
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+/// Render a UDF argument tuple the way fault decisions key on it.
+pub fn render_args(args: &[Value]) -> String {
+    args.iter()
+        .map(|v| format!("{v:?}"))
+        .collect::<Vec<_>>()
+        .join("\u{1f}")
+}
+
+/// Wrap a UDF so calls whose arguments trip `plan` panic instead of
+/// returning. The returned counter tracks calls and injected panics.
+pub fn flaky_udf<F>(
+    inner: F,
+    plan: FaultPlan,
+) -> (impl Fn(&[Value]) -> Vec<Value>, Arc<FaultCounter>)
+where
+    F: Fn(&[Value]) -> Vec<Value>,
+{
+    let counter = Arc::new(FaultCounter::default());
+    let c = Arc::clone(&counter);
+    let f = move |args: &[Value]| -> Vec<Value> {
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        if plan.trips(&render_args(args)) {
+            c.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault (seed {:#x})", plan.seed);
+        }
+        inner(args)
+    };
+    (f, counter)
+}
+
+/// Corrupt a TSV corpus: lines whose content trips `plan` get a trailing
+/// `\x` appended — an invalid escape in every column type, guaranteed to be
+/// rejected by the ingest parser. Returns the corrupted text and the
+/// 1-based line numbers that were corrupted.
+pub fn corrupt_tsv(tsv: &str, plan: FaultPlan) -> (String, Vec<usize>) {
+    let mut out = String::with_capacity(tsv.len());
+    let mut corrupted = Vec::new();
+    for (i, line) in tsv.lines().enumerate() {
+        let lineno = i + 1;
+        // Skip the lines ingest skips, so every corruption is observable.
+        let is_payload = !line.trim().is_empty() && !line.starts_with('#');
+        if is_payload && plan.trips(line) {
+            out.push_str(line);
+            out.push_str("\\x");
+            corrupted.push(lineno);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    (out, corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_storage::row;
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_input() {
+        let plan = FaultPlan::new(0.5, 42);
+        for input in ["a", "b", "c", "dddd"] {
+            assert_eq!(plan.trips(input), plan.trips(input));
+        }
+        // rate 0 / 1 are absolute.
+        assert!(!FaultPlan::new(0.0, 42).trips("anything"));
+        assert!(FaultPlan::new(1.0, 42).trips("anything"));
+    }
+
+    #[test]
+    fn fault_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(0.1, 7);
+        let hits = (0..10_000)
+            .filter(|i| plan.trips(&format!("input-{i}")))
+            .count();
+        assert!(
+            (700..=1300).contains(&hits),
+            "~10% of 10k inputs should trip, got {hits}"
+        );
+    }
+
+    #[test]
+    fn flaky_udf_panics_exactly_on_planned_inputs() {
+        let (udf, counter) = flaky_udf(|args| args.to_vec(), FaultPlan::new(0.3, 99));
+        let mut expected_panics = 0u64;
+        for i in 0..100i64 {
+            let args = vec![Value::Int(i)];
+            let should_trip = FaultPlan::new(0.3, 99).trips(&render_args(&args));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| udf(&args)));
+            assert_eq!(outcome.is_err(), should_trip, "input {i}");
+            if should_trip {
+                expected_panics += 1;
+            }
+        }
+        assert_eq!(counter.calls(), 100);
+        assert_eq!(counter.panics(), expected_panics);
+        assert!(
+            expected_panics > 0,
+            "rate 0.3 over 100 inputs should trip at least once"
+        );
+    }
+
+    #[test]
+    fn corrupt_tsv_yields_unparseable_lines() {
+        use deepdive_storage::{row_from_tsv, Schema, ValueType};
+        let schema = Schema::build("R")
+            .col("x", ValueType::Int)
+            .col("t", ValueType::Text)
+            .finish();
+        let tsv = "1\thello\n2\tworld\n# comment\n\n3\tagain\n";
+        let (bad, lines) = corrupt_tsv(tsv, FaultPlan::new(1.0, 5));
+        assert_eq!(lines, vec![1, 2, 5], "only payload lines are corrupted");
+        for (i, line) in bad.lines().enumerate() {
+            if lines.contains(&(i + 1)) {
+                assert!(
+                    row_from_tsv(line, &schema).is_err(),
+                    "line {} must be rejected",
+                    i + 1
+                );
+            }
+        }
+        // rate 0 is the identity.
+        let (same, none) = corrupt_tsv(tsv, FaultPlan::new(0.0, 5));
+        assert_eq!(same, tsv);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn row_rendering_distinguishes_tuples() {
+        let a = render_args(&row![1, "x"]);
+        let b = render_args(&row![1, "y"]);
+        assert_ne!(a, b);
+    }
+}

@@ -21,8 +21,11 @@ const MAX_PHRASE_TOKENS: usize = 6;
 fn between<'a>(sentence: &'a str, m1: &str, m2: &str) -> Option<Vec<&'a str>> {
     let p1 = sentence.find(m1)?;
     let p2 = sentence.find(m2)?;
-    let (lo, hi) =
-        if p1 <= p2 { (p1 + m1.len(), p2) } else { (p2 + m2.len(), p1) };
+    let (lo, hi) = if p1 <= p2 {
+        (p1 + m1.len(), p2)
+    } else {
+        (p2 + m2.len(), p1)
+    };
     if lo >= hi {
         return Some(Vec::new());
     }
@@ -30,7 +33,9 @@ fn between<'a>(sentence: &'a str, m1: &str, m2: &str) -> Option<Vec<&'a str>> {
 }
 
 fn norm(tok: &str) -> String {
-    let t = tok.trim_matches(|c: char| !c.is_alphanumeric()).to_ascii_lowercase();
+    let t = tok
+        .trim_matches(|c: char| !c.is_alphanumeric())
+        .to_ascii_lowercase();
     // Currency and unit symbols are meaningful context on their own
     // ("is there a $ to the left of the candidate?").
     if t.is_empty() && matches!(tok, "$" | "€" | "%" | "#") {
@@ -43,8 +48,11 @@ fn norm(tok: &str) -> String {
 pub fn phrase_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
     match between(sentence, m1, m2) {
         Some(toks) if toks.len() <= MAX_PHRASE_TOKENS => {
-            let words: Vec<String> =
-                toks.iter().map(|t| norm(t)).filter(|t| !t.is_empty()).collect();
+            let words: Vec<String> = toks
+                .iter()
+                .map(|t| norm(t))
+                .filter(|t| !t.is_empty())
+                .collect();
             vec![format!("phrase={}", words.join(" "))]
         }
         Some(_) => vec!["phrase=<far>".to_string()],
@@ -55,9 +63,14 @@ pub fn phrase_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
 /// One `wbtw=<word>` feature per distinct word between the mentions
 /// (bag-of-words; flat-mapped by the rule engine).
 pub fn words_between_features(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
-    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
-    let mut words: Vec<String> =
-        toks.iter().map(|t| norm(t)).filter(|t| !t.is_empty()).collect();
+    let Some(toks) = between(sentence, m1, m2) else {
+        return Vec::new();
+    };
+    let mut words: Vec<String> = toks
+        .iter()
+        .map(|t| norm(t))
+        .filter(|t| !t.is_empty())
+        .collect();
     words.sort();
     words.dedup();
     words.into_iter().map(|w| format!("wbtw={w}")).collect()
@@ -65,7 +78,9 @@ pub fn words_between_features(sentence: &str, m1: &str, m2: &str) -> Vec<String>
 
 /// Bucketed token distance between the mentions.
 pub fn distance_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
-    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
+    let Some(toks) = between(sentence, m1, m2) else {
+        return Vec::new();
+    };
     let bucket = match toks.len() {
         0 => "adj",
         1..=3 => "1-3",
@@ -94,7 +109,10 @@ pub fn right_window_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
         return Vec::new();
     };
     let last_end = (p1 + m1.len()).max(p2 + m2.len());
-    let right = sentence[last_end.min(sentence.len())..].split_whitespace().next().map(norm);
+    let right = sentence[last_end.min(sentence.len())..]
+        .split_whitespace()
+        .next()
+        .map(norm);
     match right {
         Some(w) if !w.is_empty() => vec![format!("right={w}")],
         _ => vec!["right=<eos>".to_string()],
@@ -104,7 +122,9 @@ pub fn right_window_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
 /// `neg=yes|no` — negation cue between the mentions ("not", "no", "never",
 /// "without"); the workhorse for the genetics "no evidence linked" noise.
 pub fn negation_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
-    let Some(toks) = between(sentence, m1, m2) else { return Vec::new() };
+    let Some(toks) = between(sentence, m1, m2) else {
+        return Vec::new();
+    };
     let negated = toks
         .iter()
         .map(|t| norm(t))
@@ -115,7 +135,9 @@ pub fn negation_feature(sentence: &str, m1: &str, m2: &str) -> Vec<String> {
 /// `ctx=<word>` for each word in a window around a single mention (used for
 /// per-mention extractions like prices and locations).
 pub fn context_features(sentence: &str, mention: &str) -> Vec<String> {
-    let Some(p) = sentence.find(mention) else { return Vec::new() };
+    let Some(p) = sentence.find(mention) else {
+        return Vec::new();
+    };
     let before: Vec<String> = sentence[..p]
         .split_whitespace()
         .rev()
@@ -176,7 +198,10 @@ pub fn register_standard_features(db: &mut Database) {
         ) else {
             return Vec::new();
         };
-        context_features(s, m).into_iter().map(Value::from).collect()
+        context_features(s, m)
+            .into_iter()
+            .map(Value::from)
+            .collect()
     });
 }
 
@@ -207,21 +232,33 @@ mod tests {
 
     #[test]
     fn distance_buckets() {
-        assert_eq!(distance_feature(S, "Barack Obama", "Michelle Obama"), vec!["dist=1-3"]);
+        assert_eq!(
+            distance_feature(S, "Barack Obama", "Michelle Obama"),
+            vec!["dist=1-3"]
+        );
         let s2 = "Alice Smith saw Bob Jones";
-        assert_eq!(distance_feature(s2, "Alice Smith", "Bob Jones"), vec!["dist=1-3"]);
+        assert_eq!(
+            distance_feature(s2, "Alice Smith", "Bob Jones"),
+            vec!["dist=1-3"]
+        );
     }
 
     #[test]
     fn windows_and_negation() {
-        assert_eq!(left_window_feature(S, "Barack Obama", "Michelle Obama"), vec!["left=<bos>"]);
+        assert_eq!(
+            left_window_feature(S, "Barack Obama", "Michelle Obama"),
+            vec!["left=<bos>"]
+        );
         assert_eq!(
             right_window_feature(S, "Barack Obama", "Michelle Obama"),
             vec!["right=visited"]
         );
         let neg = "GATA1 was not linked to anemia here";
         assert_eq!(negation_feature(neg, "GATA1", "anemia"), vec!["neg=yes"]);
-        assert_eq!(negation_feature(S, "Barack Obama", "Michelle Obama"), vec!["neg=no"]);
+        assert_eq!(
+            negation_feature(S, "Barack Obama", "Michelle Obama"),
+            vec!["neg=no"]
+        );
     }
 
     #[test]
@@ -255,12 +292,19 @@ mod tests {
         let out = db
             .call_udf(
                 "f_phrase",
-                &[Value::text(S), Value::text("Barack Obama"), Value::text("Michelle Obama")],
+                &[
+                    Value::text(S),
+                    Value::text("Barack Obama"),
+                    Value::text("Michelle Obama"),
+                ],
             )
             .unwrap();
         assert_eq!(out, vec![Value::text("phrase=and his wife")]);
         let ctx = db
-            .call_udf("f_context", &[Value::text("price $ 99 only"), Value::text("99")])
+            .call_udf(
+                "f_context",
+                &[Value::text("price $ 99 only"), Value::text("99")],
+            )
             .unwrap();
         assert!(!ctx.is_empty());
     }

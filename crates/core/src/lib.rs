@@ -22,10 +22,13 @@
 pub mod app;
 pub mod apps;
 pub mod calibration;
+pub mod checkpoint;
 pub mod error_analysis;
+pub mod faults;
 pub mod features;
 pub mod metrics;
 pub mod mindtagger;
+pub mod report;
 
 pub use app::{
     DeepDive, DeepDiveBuilder, DeepDiveError, PhaseTimings, RunConfig, RunResult, WeightSummary,
@@ -33,6 +36,9 @@ pub use app::{
 pub use calibration::{
     calibration_plot, figure5, histogram, render_calibration, u_shape_score, CalibrationData,
 };
+pub use checkpoint::{Checkpoint, CheckpointError, Manifest, ManifestEntry, Phase};
 pub use error_analysis::{analyze, ErrorAnalysis, ErrorAnalysisConfig, Judgment};
+pub use faults::{corrupt_tsv, flaky_udf, render_args, FaultCounter, FaultPlan};
 pub use metrics::{best_f1, threshold_sweep, Quality, ThresholdPoint};
 pub use mindtagger::{LabelingItem, LabelingTask};
+pub use report::RunReport;

@@ -149,8 +149,20 @@ mod tests {
     #[test]
     fn best_f1_picks_maximum() {
         let pts = vec![
-            ThresholdPoint { threshold: 0.9, precision: 1.0, recall: 0.2, f1: 0.33, extracted: 1 },
-            ThresholdPoint { threshold: 0.5, precision: 0.9, recall: 0.9, f1: 0.9, extracted: 5 },
+            ThresholdPoint {
+                threshold: 0.9,
+                precision: 1.0,
+                recall: 0.2,
+                f1: 0.33,
+                extracted: 1,
+            },
+            ThresholdPoint {
+                threshold: 0.5,
+                precision: 0.9,
+                recall: 0.9,
+                f1: 0.9,
+                extracted: 5,
+            },
         ];
         assert_eq!(best_f1(&pts).unwrap().threshold, 0.5);
         assert!(best_f1(&[]).is_none());

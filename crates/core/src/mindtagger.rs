@@ -47,8 +47,10 @@ impl LabelingTask {
         n: usize,
         seed: u64,
     ) -> LabelingTask {
-        let mut eligible: Vec<&(String, f64, String, Vec<String>)> =
-            predictions.iter().filter(|(_, p, _, _)| *p >= threshold).collect();
+        let mut eligible: Vec<&(String, f64, String, Vec<String>)> = predictions
+            .iter()
+            .filter(|(_, p, _, _)| *p >= threshold)
+            .collect();
         let mut rng = StdRng::seed_from_u64(seed);
         eligible.shuffle(&mut rng);
         let items = eligible
@@ -63,7 +65,10 @@ impl LabelingTask {
                 bucket: None,
             })
             .collect();
-        LabelingTask { name: name.into(), items }
+        LabelingTask {
+            name: name.into(),
+            items,
+        }
     }
 
     /// Render one item as a text card with `[[...]]` highlights.
@@ -105,7 +110,11 @@ impl LabelingTask {
     ) {
         for idx in 0..self.items.len() {
             let correct = oracle(&self.items[idx].key);
-            let bucket = if correct { None } else { Some(bucketer(&self.items[idx])) };
+            let bucket = if correct {
+                None
+            } else {
+                Some(bucketer(&self.items[idx]))
+            };
             self.judge(idx, correct, bucket);
         }
     }
@@ -115,8 +124,7 @@ impl LabelingTask {
         if self.items.is_empty() {
             return 1.0;
         }
-        self.items.iter().filter(|i| i.judgment.is_some()).count() as f64
-            / self.items.len() as f64
+        self.items.iter().filter(|i| i.judgment.is_some()).count() as f64 / self.items.len() as f64
     }
 
     /// Precision over judged items.
@@ -136,8 +144,10 @@ impl LabelingTask {
                 *counts.entry(b.as_str()).or_insert(0) += 1;
             }
         }
-        let mut v: Vec<(String, usize)> =
-            counts.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+        let mut v: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -167,14 +177,23 @@ impl LabelingTask {
         let field_err = |what: &str| -> serde_json::Error {
             serde_json::Error::data(format!("LabelingTask: missing or invalid `{what}`"))
         };
-        let name = doc["name"].as_str().ok_or_else(|| field_err("name"))?.to_string();
+        let name = doc["name"]
+            .as_str()
+            .ok_or_else(|| field_err("name"))?
+            .to_string();
         let mut items = Vec::new();
         for item in doc["items"].as_array().ok_or_else(|| field_err("items"))? {
             let string_list = |v: &serde_json::Value| -> Option<Vec<String>> {
-                v.as_array()?.iter().map(|m| Some(m.as_str()?.to_string())).collect()
+                v.as_array()?
+                    .iter()
+                    .map(|m| Some(m.as_str()?.to_string()))
+                    .collect()
             };
             items.push(LabelingItem {
-                key: item["key"].as_str().ok_or_else(|| field_err("key"))?.to_string(),
+                key: item["key"]
+                    .as_str()
+                    .ok_or_else(|| field_err("key"))?
+                    .to_string(),
                 probability: item["probability"]
                     .as_f64()
                     .ok_or_else(|| field_err("probability"))?,
@@ -182,8 +201,7 @@ impl LabelingTask {
                     .as_str()
                     .ok_or_else(|| field_err("context"))?
                     .to_string(),
-                mentions: string_list(&item["mentions"])
-                    .ok_or_else(|| field_err("mentions"))?,
+                mentions: string_list(&item["mentions"]).ok_or_else(|| field_err("mentions"))?,
                 judgment: match &item["judgment"] {
                     serde_json::Value::Null => None,
                     v => Some(v.as_bool().ok_or_else(|| field_err("judgment"))?),
@@ -246,7 +264,10 @@ mod tests {
         );
         assert_eq!(t.progress(), 1.0);
         assert_eq!(t.precision_estimate(), Some(0.5));
-        assert_eq!(t.failure_buckets(), vec![("no marriage cue".to_string(), 1)]);
+        assert_eq!(
+            t.failure_buckets(),
+            vec![("no marriage cue".to_string(), 1)]
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Structured run reports: the machine-readable summary of one pipeline run.
+//!
+//! Operators of a fault-tolerant pipeline need one artifact answering "what
+//! happened?": which phases ran (or were resumed from a checkpoint), how long
+//! they took, whether any stage hit its deadline and returned degraded
+//! results, and how many tuples were lost to quarantine. [`RunReport`]
+//! carries those answers and renders as JSON for downstream tooling.
+
+use crate::app::{DeepDive, RunResult};
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+
+/// Machine-readable summary of one [`DeepDive::run`].
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// True when any stage returned partial results (learning or inference
+    /// stopped at a deadline).
+    pub degraded: bool,
+    pub learning_degraded: bool,
+    pub inference_degraded: bool,
+    /// SGD epochs actually run (may be short of the request under a
+    /// deadline).
+    pub learn_epochs_run: usize,
+    /// Inference sweeps actually collected.
+    pub inference_samples: u64,
+    pub num_variables: usize,
+    pub num_factors: usize,
+    pub num_evidence: usize,
+    /// Phases skipped because a checkpoint already held their artifact.
+    pub phases_resumed: Vec<String>,
+    /// Phase wall-clock, in seconds.
+    pub timings_secs: BTreeMap<String, f64>,
+    /// Failure counters per pipeline stage (`udf:f_phrase`,
+    /// `ingest:line:17` → count), from the storage layer.
+    pub incidents: BTreeMap<String, u64>,
+    /// Distinct quarantined rows per quarantine relation.
+    pub quarantine: BTreeMap<String, usize>,
+}
+
+impl RunReport {
+    /// Assemble the report for a finished run.
+    pub fn new(dd: &DeepDive, result: &RunResult) -> Self {
+        let t = &result.timings;
+        let mut timings_secs = BTreeMap::new();
+        timings_secs.insert(
+            "candidate_extraction".into(),
+            t.candidate_extraction.as_secs_f64(),
+        );
+        timings_secs.insert("supervision".into(), t.supervision.as_secs_f64());
+        timings_secs.insert("grounding".into(), t.grounding.as_secs_f64());
+        timings_secs.insert("learning".into(), t.learning.as_secs_f64());
+        timings_secs.insert("inference".into(), t.inference.as_secs_f64());
+        RunReport {
+            degraded: result.degraded(),
+            learning_degraded: result.learning_degraded,
+            inference_degraded: result.inference_degraded,
+            learn_epochs_run: result.learn_epochs_run,
+            inference_samples: result.inference_samples,
+            num_variables: result.num_variables,
+            num_factors: result.num_factors,
+            num_evidence: result.num_evidence,
+            phases_resumed: result
+                .phases_resumed
+                .iter()
+                .map(|p| p.to_string())
+                .collect(),
+            timings_secs,
+            incidents: dd.db.incident_counts(),
+            quarantine: dd.db.quarantine_counts(),
+        }
+    }
+
+    /// Total tuples lost across all stages.
+    pub fn total_incidents(&self) -> u64 {
+        self.incidents.values().sum()
+    }
+
+    pub fn to_json_value(&self) -> Value {
+        let map_of = |entries: &mut dyn Iterator<Item = (String, Value)>| -> Value {
+            Value::Object(entries.collect::<Map>())
+        };
+        let incidents = map_of(&mut self.incidents.iter().map(|(k, v)| (k.clone(), json!(*v))));
+        let quarantine = map_of(&mut self.quarantine.iter().map(|(k, v)| (k.clone(), json!(*v))));
+        let timings = map_of(
+            &mut self
+                .timings_secs
+                .iter()
+                .map(|(k, v)| (k.clone(), json!(*v))),
+        );
+        let learning = json!({
+            "degraded": self.learning_degraded,
+            "epochs_run": self.learn_epochs_run,
+        });
+        let inference = json!({
+            "degraded": self.inference_degraded,
+            "samples": self.inference_samples,
+        });
+        let graph = json!({
+            "variables": self.num_variables,
+            "factors": self.num_factors,
+            "evidence": self.num_evidence,
+        });
+        json!({
+            "degraded": self.degraded,
+            "learning": learning,
+            "inference": inference,
+            "graph": graph,
+            "phases_resumed": self.phases_resumed,
+            "timings_secs": timings,
+            "incidents": incidents,
+            "quarantine": quarantine,
+        })
+    }
+
+    /// Render as pretty-printed JSON (the `report.json` the CLI writes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_value())
+            .expect("a Value renders to JSON infallibly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_parseable_json() {
+        let mut report = RunReport {
+            degraded: true,
+            learning_degraded: true,
+            learn_epochs_run: 7,
+            inference_samples: 123,
+            num_variables: 10,
+            num_factors: 20,
+            num_evidence: 5,
+            phases_resumed: vec!["extract".into(), "ground".into()],
+            ..Default::default()
+        };
+        report.incidents.insert("udf:f_bad".into(), 3);
+        report.quarantine.insert("Spouse__errors".into(), 2);
+        report.timings_secs.insert("learning".into(), 0.5);
+
+        let text = report.to_json();
+        let v = serde_json::from_str(&text).expect("report JSON must parse");
+        assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("learning")
+                .and_then(|l| l.get("epochs_run"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("incidents")
+                .and_then(|i| i.get("udf:f_bad"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("phases_resumed")
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(2)
+        );
+        assert_eq!(report.total_incidents(), 3);
+    }
+}

@@ -7,8 +7,16 @@ use deepdive_sampler::{GibbsOptions, LearnOptions};
 
 fn fast_run() -> RunConfig {
     RunConfig {
-        learn: LearnOptions { epochs: 60, ..Default::default() },
-        inference: GibbsOptions { burn_in: 50, samples: 400, clamp_evidence: true, ..Default::default() },
+        learn: LearnOptions {
+            epochs: 60,
+            ..Default::default()
+        },
+        inference: GibbsOptions {
+            burn_in: 50,
+            samples: 400,
+            clamp_evidence: true,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -16,7 +24,10 @@ fn fast_run() -> RunConfig {
 #[test]
 fn genetics_pipeline_extracts_associations() {
     let mut app = GeneticsApp::build(GeneticsAppConfig {
-        corpus: GeneticsConfig { num_docs: 80, ..Default::default() },
+        corpus: GeneticsConfig {
+            num_docs: 80,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
@@ -24,14 +35,22 @@ fn genetics_pipeline_extracts_associations() {
     let result = app.run().unwrap();
     assert!(result.num_evidence > 0);
     let q = app.evaluate(&result, 0.7);
-    println!("genetics P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    println!(
+        "genetics P={:.3} R={:.3} F1={:.3}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
     assert!(q.f1() > 0.5, "F1 {}", q.f1());
 }
 
 #[test]
 fn ads_pipeline_extracts_prices() {
     let mut app = AdsApp::build(AdsAppConfig {
-        corpus: AdsConfig { num_ads: 150, ..Default::default() },
+        corpus: AdsConfig {
+            num_ads: 150,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
@@ -39,14 +58,22 @@ fn ads_pipeline_extracts_prices() {
     let result = app.run().unwrap();
     assert!(result.num_evidence > 0);
     let q = app.evaluate(&result, 0.7);
-    println!("ads P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    println!(
+        "ads P={:.3} R={:.3} F1={:.3}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
     assert!(q.f1() > 0.5, "F1 {}", q.f1());
 }
 
 #[test]
 fn materials_pipeline_extracts_measurements() {
     let mut app = MaterialsApp::build(MaterialsAppConfig {
-        corpus: MaterialsConfig { num_docs: 80, ..Default::default() },
+        corpus: MaterialsConfig {
+            num_docs: 80,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
@@ -54,13 +81,21 @@ fn materials_pipeline_extracts_measurements() {
     let result = app.run().unwrap();
     assert!(result.num_evidence > 0);
     let q = app.evaluate(&result, 0.7);
-    println!("materials P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+    println!(
+        "materials P={:.3} R={:.3} F1={:.3}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
     assert!(q.f1() > 0.5, "F1 {}", q.f1());
 }
 
 #[test]
 fn regex_baseline_productivity_collapses() {
-    let corpus = deepdive_corpus::ads::generate(&AdsConfig { num_ads: 300, ..Default::default() });
+    let corpus = deepdive_corpus::ads::generate(&AdsConfig {
+        num_ads: 300,
+        ..Default::default()
+    });
     let truth: std::collections::BTreeSet<String> = corpus
         .truth
         .iter()
@@ -70,7 +105,12 @@ fn regex_baseline_productivity_collapses() {
     for k in 1..=4 {
         let extracted = regex_baseline_extract(&corpus, k);
         let q = deepdive_core::Quality::compare(&extracted, &truth);
-        println!("k={k}: P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
+        println!(
+            "k={k}: P={:.3} R={:.3} F1={:.3}",
+            q.precision(),
+            q.recall(),
+            q.f1()
+        );
         f1s.push(q.f1());
     }
     // §5.3's shape: "this second deterministic rule will indeed address

@@ -1,0 +1,436 @@
+//! Chaos and kill-and-resume tests for the fault-tolerant pipeline.
+//!
+//! The chaos test injects deterministic faults — a fraction of UDF calls
+//! panic, a fraction of TSV lines are malformed — and asserts *exact*
+//! quarantine counts, because every fault decision is a pure function of
+//! `(input, seed)`. The resume test halts a checkpointed run after
+//! grounding, resumes it in a fresh process-equivalent, and demands
+//! bit-identical marginals against an uninterrupted control run.
+
+use deepdive_core::{
+    corrupt_tsv, flaky_udf, render_args, Checkpoint, DeepDive, FaultPlan, Phase, RunConfig,
+    RunResult,
+};
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_storage::{FailurePolicy, IngestPolicy, Value};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const PROGRAM: &str = r#"
+Sentence(s id, content text).
+Mention(s id, m id, mtext text).
+MarriedCandidate(m1 id, m2 id).
+EL(m id, e text).
+Married(e1 text, e2 text).
+MarriedMentions_Ev(m1 id, m2 id, label bool).
+MarriedMentions?(m1 id, m2 id).
+
+@name("r1")
+MarriedCandidate(m1, m2) :-
+    Mention(s, m1, t1), Mention(s, m2, t2), m1 < m2.
+
+@name("s1")
+MarriedMentions_Ev(m1, m2, true) :-
+    MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+
+@name("fe1")
+MarriedMentions(m1, m2) :-
+    MarriedCandidate(m1, m2),
+    Mention(s, m1, t1), Mention(s, m2, t2), Sentence(s, sent),
+    f = f_feat(sent, t1, t2)
+    weight = f.
+
+@name("prior")
+MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2) weight = -0.5.
+"#;
+
+/// Synthetic corpus: sentence `i` holds mentions `2i` ("A{i}") and `2i+1`
+/// ("B{i}"); every third pair is in the `Married` knowledge base. Returns
+/// (Sentence.tsv, Mention.tsv, EL.tsv, Married.tsv).
+fn corpus(n: usize) -> (String, String, String, String) {
+    let mut sentences = String::new();
+    let mut mentions = String::new();
+    let mut el = String::new();
+    let mut married = String::new();
+    for i in 0..n {
+        sentences.push_str(&format!("{i}\t{}\n", sentence_text(i)));
+        mentions.push_str(&format!("{i}\t{}\tA{i}\n", 2 * i));
+        mentions.push_str(&format!("{i}\t{}\tB{i}\n", 2 * i + 1));
+        el.push_str(&format!("{}\tA{i}\n", 2 * i));
+        el.push_str(&format!("{}\tB{i}\n", 2 * i + 1));
+        if i.is_multiple_of(3) {
+            married.push_str(&format!("A{i}\tB{i}\n"));
+        }
+    }
+    (sentences, mentions, el, married)
+}
+
+fn sentence_text(i: usize) -> String {
+    if i.is_multiple_of(3) {
+        format!("A{i} and his wife B{i} attended the dinner.")
+    } else {
+        format!("A{i} spoke with B{i} at the conference.")
+    }
+}
+
+/// The feature UDF the chaos test wraps: one feature per candidate pair.
+fn feature(args: &[Value]) -> Vec<Value> {
+    let sent: &str = match &args[0] {
+        Value::Text(s) => s,
+        other => panic!("unexpected arg {other:?}"),
+    };
+    vec![Value::text(if sent.contains("wife") {
+        "phrase=wife"
+    } else {
+        "phrase=other"
+    })]
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dd-ft-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_config(seed: u64) -> RunConfig {
+    RunConfig {
+        learn: LearnOptions {
+            epochs: 40,
+            seed,
+            ..Default::default()
+        },
+        inference: GibbsOptions {
+            burn_in: 30,
+            samples: 300,
+            seed,
+            clamp_evidence: true,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Marginals as a sorted, exactly-comparable list.
+fn marginal_fingerprint(result: &RunResult) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = result
+        .predictions("MarriedMentions")
+        .into_iter()
+        .map(|(row, p)| (format!("{row:?}"), p))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+#[test]
+fn chaos_run_quarantines_exactly_the_injected_faults() {
+    const N: usize = 400;
+    let (sentences, mentions, el, married) = corpus(N);
+
+    // Corrupt ~2% of Sentence lines; ingest permissively with a 5% budget.
+    let ingest_plan = FaultPlan::new(0.02, 0xBAD_DA7A);
+    let (bad_sentences, corrupted_lines) = corrupt_tsv(&sentences, ingest_plan);
+    assert!(
+        !corrupted_lines.is_empty(),
+        "2% of {N} lines should corrupt some"
+    );
+    // 1-based line k is sentence k-1 (no header/comment lines in our corpus).
+    let lost_sentences: Vec<usize> = corrupted_lines.iter().map(|l| l - 1).collect();
+
+    // ~2% of UDF calls panic, quarantined under the head relation.
+    let udf_plan = FaultPlan::new(0.02, 0xFA_u64);
+    let (udf, counter) = flaky_udf(feature, udf_plan);
+
+    // Predict exactly which candidates lose their feature: sentence i's
+    // candidate pair (2i, 2i+1) reaches the UDF only if its Sentence row
+    // survived ingest, and trips iff the rendered args trip the plan.
+    let expected_tripped: Vec<usize> = (0..N)
+        .filter(|i| !lost_sentences.contains(i))
+        .filter(|&i| {
+            let args = [
+                Value::text(sentence_text(i)),
+                Value::text(format!("A{i}")),
+                Value::text(format!("B{i}")),
+            ];
+            udf_plan.trips(&render_args(&args))
+        })
+        .collect();
+    assert!(
+        !expected_tripped.is_empty(),
+        "2% of {N} candidates should trip some"
+    );
+
+    let mut dd = DeepDive::builder(PROGRAM)
+        .udf("f_feat", udf)
+        .udf_policy("f_feat", FailurePolicy::Quarantine)
+        .config(base_config(221))
+        .build()
+        .unwrap();
+
+    let policy = IngestPolicy::Permissive {
+        max_error_rate: 0.05,
+    };
+    let report = dd
+        .db
+        .load_tsv_with_policy("Sentence", &bad_sentences, policy)
+        .unwrap();
+    assert_eq!(report.rows_failed, corrupted_lines.len());
+    assert_eq!(report.rows_loaded, N - corrupted_lines.len());
+    dd.db.load_tsv("Mention", &mentions).unwrap();
+    dd.db.load_tsv("EL", &el).unwrap();
+    dd.db.load_tsv("Married", &married).unwrap();
+
+    let result = dd.run().unwrap();
+
+    // Exact quarantine accounting.
+    let quarantine = dd.db.quarantine_counts();
+    assert_eq!(
+        quarantine.get("Sentence__errors").copied(),
+        Some(corrupted_lines.len()),
+        "every corrupted ingest line lands in Sentence__errors"
+    );
+    assert_eq!(
+        quarantine.get("MarriedMentions__errors").copied(),
+        Some(expected_tripped.len()),
+        "every tripping UDF input lands in MarriedMentions__errors"
+    );
+    assert_eq!(
+        counter.panics(),
+        expected_tripped.len() as u64,
+        "one panic per tripping input"
+    );
+    let incidents = dd.db.incident_counts();
+    assert_eq!(incidents.get("udf:f_feat").copied(), Some(counter.panics()));
+
+    // The run survives the faults and the graph reflects exactly the losses:
+    // every candidate still gets its prior factor, but candidates whose
+    // sentence was quarantined (or whose feature UDF tripped) lose the fe1
+    // feature factor.
+    assert_eq!(result.num_variables, N);
+    assert_eq!(
+        result.num_factors,
+        2 * N - lost_sentences.len() - expected_tripped.len(),
+        "prior + surviving feature factors"
+    );
+    assert_eq!(result.num_evidence, N.div_ceil(3));
+
+    // Faults do not fabricate degradation: no deadline, no degraded flag.
+    assert!(!result.degraded());
+    assert!(!result.learning_degraded);
+    assert!(!result.inference_degraded);
+}
+
+#[test]
+fn strict_ingest_rejects_what_permissive_quarantines() {
+    let (sentences, ..) = corpus(100);
+    let (bad, lines) = corrupt_tsv(&sentences, FaultPlan::new(0.05, 3));
+    assert!(!lines.is_empty());
+    let dd = DeepDive::builder(PROGRAM)
+        .config(base_config(1))
+        .build()
+        .unwrap();
+    let err = dd
+        .db
+        .load_tsv_with_policy("Sentence", &bad, IngestPolicy::Strict);
+    assert!(
+        err.is_err(),
+        "strict mode fails on the first malformed line"
+    );
+
+    // Over-budget permissive ingest fails too.
+    let tight = IngestPolicy::Permissive {
+        max_error_rate: 0.0001,
+    };
+    assert!(dd.db.load_tsv_with_policy("Sentence", &bad, tight).is_err());
+}
+
+#[test]
+fn deadlines_degrade_instead_of_running_forever() {
+    const N: usize = 120;
+    let (sentences, mentions, el, married) = corpus(N);
+    let mut config = base_config(7);
+    config.learn = LearnOptions {
+        epochs: 2_000_000,
+        seed: 7,
+        deadline: Some(Duration::from_micros(500)),
+        ..Default::default()
+    };
+    config.inference = GibbsOptions {
+        burn_in: 10,
+        samples: 5_000_000,
+        seed: 7,
+        clamp_evidence: true,
+        deadline: Some(Duration::from_millis(2)),
+    };
+    let mut dd = DeepDive::builder(PROGRAM)
+        .standard_features()
+        .udf("f_feat", feature)
+        .config(config)
+        .build()
+        .unwrap();
+    dd.db.load_tsv("Sentence", &sentences).unwrap();
+    dd.db.load_tsv("Mention", &mentions).unwrap();
+    dd.db.load_tsv("EL", &el).unwrap();
+    dd.db.load_tsv("Married", &married).unwrap();
+
+    let result = dd.run().unwrap();
+    assert!(
+        result.degraded(),
+        "absurd workloads under tiny deadlines must degrade"
+    );
+    assert!(result.learning_degraded, "learning deadline must trip");
+    assert!(result.learn_epochs_run < 2_000_000);
+    assert!(result.inference_samples < 5_000_000);
+    // Partial results are still results.
+    assert_eq!(result.num_variables, N);
+}
+
+#[test]
+fn killed_run_resumes_to_bit_identical_marginals() {
+    const N: usize = 60;
+    const SEED: u64 = 99;
+    let (sentences, mentions, el, married) = corpus(N);
+    let ckpt_dir = tmpdir("resume");
+
+    let build = |config: RunConfig| {
+        let dd = DeepDive::builder(PROGRAM)
+            .udf("f_feat", feature)
+            .config(config)
+            .build()
+            .unwrap();
+        dd.db.load_tsv("Sentence", &sentences).unwrap();
+        dd.db.load_tsv("Mention", &mentions).unwrap();
+        dd.db.load_tsv("EL", &el).unwrap();
+        dd.db.load_tsv("Married", &married).unwrap();
+        dd
+    };
+
+    // Run A: checkpointing, "killed" right after grounding.
+    let mut config_a = base_config(SEED);
+    config_a.checkpoint_dir = Some(ckpt_dir.clone());
+    config_a.halt_after = Some(Phase::Ground);
+    let mut run_a = build(config_a);
+    let result_a = run_a.run().unwrap();
+    assert_eq!(result_a.halted_after, Some(Phase::Ground));
+    assert!(
+        result_a.marginals.is_empty(),
+        "halted run produced no marginals"
+    );
+    drop(run_a);
+
+    let ckpt = Checkpoint::new(ckpt_dir.clone()).unwrap();
+    assert!(
+        ckpt.phase_done(Phase::Extract),
+        "extract artifact recorded and hash-valid"
+    );
+    assert!(
+        ckpt.phase_done(Phase::Ground),
+        "ground artifact recorded and hash-valid"
+    );
+    assert!(!ckpt.phase_done(Phase::Learn), "killed before learning");
+
+    // Run B: fresh pipeline, same program/data/seed, resumed from A's dir.
+    let mut config_b = base_config(SEED);
+    config_b.checkpoint_dir = Some(ckpt_dir.clone());
+    config_b.resume = true;
+    let mut run_b = build(config_b);
+    let result_b = run_b.run().unwrap();
+    assert_eq!(result_b.phases_resumed, vec![Phase::Extract, Phase::Ground]);
+    assert_eq!(result_b.timings.candidate_extraction, Duration::ZERO);
+    assert_eq!(result_b.timings.supervision, Duration::ZERO);
+    assert_eq!(result_b.timings.grounding, Duration::ZERO);
+    assert!(result_b.halted_after.is_none());
+
+    // B finished learning, so its weights artifact is now recorded and the
+    // manifest hash matches a re-read of the artifact bytes.
+    assert!(ckpt.phase_done(Phase::Learn));
+    let manifest = ckpt.manifest().unwrap();
+    for phase in [Phase::Extract, Phase::Ground, Phase::Learn] {
+        assert!(
+            manifest.get(phase).is_some(),
+            "{phase} recorded in manifest"
+        );
+    }
+
+    // Run C: uninterrupted control with identical configuration.
+    let mut run_c = build(base_config(SEED));
+    let result_c = run_c.run().unwrap();
+
+    assert_eq!(
+        marginal_fingerprint(&result_b),
+        marginal_fingerprint(&result_c),
+        "resumed marginals must match the uninterrupted run exactly"
+    );
+    let weights = |r: &RunResult| -> Vec<(String, f64)> {
+        r.weights.iter().map(|w| (w.key.clone(), w.value)).collect()
+    };
+    assert_eq!(
+        weights(&result_b),
+        weights(&result_c),
+        "learned weights match exactly"
+    );
+
+    // Run D: resume again now that the weights artifact exists — learning is
+    // skipped too, and the marginals still match.
+    let mut config_d = base_config(SEED);
+    config_d.checkpoint_dir = Some(ckpt_dir.clone());
+    config_d.resume = true;
+    let mut run_d = build(config_d);
+    let result_d = run_d.run().unwrap();
+    assert_eq!(
+        result_d.phases_resumed,
+        vec![Phase::Extract, Phase::Ground, Phase::Learn]
+    );
+    assert_eq!(
+        marginal_fingerprint(&result_d),
+        marginal_fingerprint(&result_c)
+    );
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn tampered_checkpoint_is_not_resumed() {
+    const SEED: u64 = 5;
+    let (sentences, mentions, el, married) = corpus(20);
+    let ckpt_dir = tmpdir("tamper");
+
+    let build = |config: RunConfig| {
+        let dd = DeepDive::builder(PROGRAM)
+            .udf("f_feat", feature)
+            .config(config)
+            .build()
+            .unwrap();
+        dd.db.load_tsv("Sentence", &sentences).unwrap();
+        dd.db.load_tsv("Mention", &mentions).unwrap();
+        dd.db.load_tsv("EL", &el).unwrap();
+        dd.db.load_tsv("Married", &married).unwrap();
+        dd
+    };
+
+    let mut config_a = base_config(SEED);
+    config_a.checkpoint_dir = Some(ckpt_dir.clone());
+    // Halt before learning so the only recorded phases are the ones we
+    // tamper with (a valid weights artifact may legitimately still resume).
+    config_a.halt_after = Some(Phase::Ground);
+    build(config_a).run().unwrap();
+
+    // Flip a byte in the grounding artifact: the manifest hash no longer
+    // matches, so resume must fall back to a full re-run.
+    let state_path = ckpt_dir.join(Phase::Ground.artifact());
+    let mut bytes = std::fs::read(&state_path).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    std::fs::write(&state_path, bytes).unwrap();
+
+    let mut config_b = base_config(SEED);
+    config_b.checkpoint_dir = Some(ckpt_dir.clone());
+    config_b.resume = true;
+    let result = build(config_b).run().unwrap();
+    assert!(
+        result.phases_resumed.is_empty(),
+        "corrupt artifact disables resume"
+    );
+    assert!(result.timings.candidate_extraction > Duration::ZERO);
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

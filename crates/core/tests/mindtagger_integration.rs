@@ -9,9 +9,15 @@ use deepdive_sampler::{GibbsOptions, LearnOptions};
 #[test]
 fn labeling_session_estimates_precision_and_buckets_failures() {
     let mut app = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 80,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 60, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 60,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 50,
                 samples: 400,
@@ -47,11 +53,18 @@ fn labeling_session_estimates_precision_and_buckets_failures() {
     // "Judge" against planted truth; the session's precision estimate must
     // agree with the exact precision over the same sample.
     let truth = app.truth_keys();
-    task.judge_all(|key| truth.contains(key), |_| "no marriage cue in context".to_string());
+    task.judge_all(
+        |key| truth.contains(key),
+        |_| "no marriage cue in context".to_string(),
+    );
     let est = task.precision_estimate().unwrap();
     assert!((0.0..=1.0).contains(&est));
     // Failure buckets exist only if there were false positives.
-    let fp = task.items.iter().filter(|i| i.judgment == Some(false)).count();
+    let fp = task
+        .items
+        .iter()
+        .filter(|i| i.judgment == Some(false))
+        .count();
     let bucketed: usize = task.failure_buckets().iter().map(|(_, c)| c).sum();
     assert_eq!(fp, bucketed, "every false positive lands in a bucket");
 

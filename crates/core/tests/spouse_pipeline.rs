@@ -15,8 +15,16 @@ fn small_config() -> SpouseAppConfig {
             ..Default::default()
         },
         run: RunConfig {
-            learn: LearnOptions { epochs: 60, ..Default::default() },
-            inference: GibbsOptions { burn_in: 50, samples: 500, clamp_evidence: true, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 60,
+                ..Default::default()
+            },
+            inference: GibbsOptions {
+                burn_in: 50,
+                samples: 500,
+                clamp_evidence: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -27,12 +35,30 @@ fn small_config() -> SpouseAppConfig {
 fn pipeline_learns_to_extract_married_pairs() {
     let mut app = SpouseApp::build(small_config()).unwrap();
     let result = app.run().unwrap();
-    println!("vars={} factors={} evidence={}", result.num_variables, result.num_factors, result.num_evidence);
+    println!(
+        "vars={} factors={} evidence={}",
+        result.num_variables, result.num_factors, result.num_evidence
+    );
     assert!(result.num_variables > 0);
     assert!(result.num_factors > 0);
-    assert!(result.num_evidence > 0, "distant supervision produced labels");
+    assert!(
+        result.num_evidence > 0,
+        "distant supervision produced labels"
+    );
     let q = app.evaluate(&result, 0.7);
-    println!("P={:.3} R={:.3} F1={:.3}", q.precision(), q.recall(), q.f1());
-    println!("top weights: {:?}", result.top_weights(8).iter().map(|w| (&w.key, w.value)).collect::<Vec<_>>());
+    println!(
+        "P={:.3} R={:.3} F1={:.3}",
+        q.precision(),
+        q.recall(),
+        q.f1()
+    );
+    println!(
+        "top weights: {:?}",
+        result
+            .top_weights(8)
+            .iter()
+            .map(|w| (&w.key, w.value))
+            .collect::<Vec<_>>()
+    );
     assert!(q.f1() > 0.5, "pipeline should beat 0.5 F1, got {}", q.f1());
 }

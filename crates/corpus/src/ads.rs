@@ -169,7 +169,10 @@ pub fn generate(config: &AdsConfig) -> AdsCorpus {
             city,
             age,
         });
-        documents.push(Document { doc_id: ad_id as u64, text });
+        documents.push(Document {
+            doc_id: ad_id as u64,
+            text,
+        });
     }
 
     for cities in worker_cities.values_mut() {
@@ -177,7 +180,12 @@ pub fn generate(config: &AdsConfig) -> AdsCorpus {
         cities.dedup();
     }
 
-    AdsCorpus { documents, truth, worker_cities, moved_workers }
+    AdsCorpus {
+        documents,
+        truth,
+        worker_cities,
+        moved_workers,
+    }
 }
 
 fn format_phone(digits: &str) -> String {
@@ -216,7 +224,10 @@ mod tests {
 
     #[test]
     fn moved_workers_post_from_more_cities() {
-        let c = generate(&AdsConfig { num_ads: 2000, ..Default::default() });
+        let c = generate(&AdsConfig {
+            num_ads: 2000,
+            ..Default::default()
+        });
         let avg_cities = |workers: &[usize]| -> f64 {
             let mut total = 0.0f64;
             let mut n = 0.0f64;
@@ -228,14 +239,16 @@ mod tests {
             }
             total / n.max(1.0)
         };
-        let stationary: Vec<usize> =
-            (0..60).filter(|w| !c.moved_workers.contains(w)).collect();
+        let stationary: Vec<usize> = (0..60).filter(|w| !c.moved_workers.contains(w)).collect();
         assert!(avg_cities(&c.moved_workers) > 2.0 * avg_cities(&stationary));
     }
 
     #[test]
     fn missing_fields_respect_rate() {
-        let c = generate(&AdsConfig { num_ads: 1000, ..Default::default() });
+        let c = generate(&AdsConfig {
+            num_ads: 1000,
+            ..Default::default()
+        });
         let with_price = c.truth.iter().filter(|t| t.price.is_some()).count();
         // ~80% should carry a price (within generous tolerance).
         assert!((600..950).contains(&with_price), "{with_price}");

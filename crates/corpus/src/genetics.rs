@@ -151,7 +151,10 @@ pub fn generate(config: &GeneticsConfig) -> GeneticsCorpus {
                 expressed_drug.insert((g.clone(), d.clone()));
             }
         }
-        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+        documents.push(Document {
+            doc_id: doc_id as u64,
+            text: sentences.join(" "),
+        });
     }
 
     let kb_count = (associations.len() as f64 * config.kb_fraction).round() as usize;
@@ -194,8 +197,12 @@ mod tests {
     fn expressed_pairs_have_gene_and_phenotype_in_text() {
         let c = generate(&GeneticsConfig::default());
         assert!(!c.expressed.is_empty());
-        let all: String =
-            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        let all: String = c
+            .documents
+            .iter()
+            .map(|d| d.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
         for (g, p) in c.expressed.iter().take(5) {
             assert!(all.contains(g));
             assert!(all.contains(p));

@@ -21,7 +21,7 @@ pub mod materials;
 pub mod names;
 pub mod spouse;
 
-pub use ads::{AdsConfig, AdsCorpus, AdTruth};
+pub use ads::{AdTruth, AdsConfig, AdsCorpus};
 pub use genetics::{GeneticsConfig, GeneticsCorpus};
 pub use materials::{MaterialsConfig, MaterialsCorpus, Measurement};
 pub use spouse::{Document, SpouseConfig, SpouseCorpus};

@@ -22,7 +22,12 @@ pub struct MaterialsConfig {
 
 impl Default for MaterialsConfig {
     fn default() -> Self {
-        MaterialsConfig { num_docs: 150, sentences_per_doc: 4, num_measurements: 60, seed: 0x3A7 }
+        MaterialsConfig {
+            num_docs: 150,
+            sentences_per_doc: 4,
+            num_measurements: 60,
+            seed: 0x3A7,
+        }
     }
 }
 
@@ -116,8 +121,11 @@ pub fn generate(config: &MaterialsConfig) -> MaterialsCorpus {
                         p = PROPERTIES.choose(&mut rng).expect("property").0;
                     }
                 }
-                let templates =
-                    if negative_pair { NEGATIVE_PAIR_TEMPLATES } else { DISTRACTOR_TEMPLATES };
+                let templates = if negative_pair {
+                    NEGATIVE_PAIR_TEMPLATES
+                } else {
+                    DISTRACTOR_TEMPLATES
+                };
                 sentences.push(
                     templates
                         .choose(&mut rng)
@@ -140,10 +148,17 @@ pub fn generate(config: &MaterialsConfig) -> MaterialsCorpus {
                 expressed.insert((m.formula.clone(), m.property.clone()));
             }
         }
-        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+        documents.push(Document {
+            doc_id: doc_id as u64,
+            text: sentences.join(" "),
+        });
     }
 
-    MaterialsCorpus { documents, measurements, expressed }
+    MaterialsCorpus {
+        documents,
+        measurements,
+        expressed,
+    }
 }
 
 fn format_value(v: f64) -> String {
@@ -182,8 +197,12 @@ mod tests {
     fn expressed_measurements_appear_in_text() {
         let c = generate(&MaterialsConfig::default());
         assert!(!c.expressed.is_empty());
-        let all: String =
-            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        let all: String = c
+            .documents
+            .iter()
+            .map(|d| d.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
         for (f, p) in c.expressed.iter().take(5) {
             assert!(all.contains(f));
             assert!(all.contains(p));

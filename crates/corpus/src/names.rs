@@ -1,63 +1,291 @@
 //! Shared name/word pools for the synthetic corpora.
 
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
-    "Charles", "Sarah", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Sandra", "Anthony",
-    "Betty", "Mark", "Ashley", "Donald", "Emily", "Steven", "Kimberly", "Andrew", "Margaret",
-    "Paul", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
-    "Melissa", "George", "Deborah", "Timothy", "Stephanie", "Ronald", "Rebecca", "Jason", "Laura",
-    "Edward", "Helen", "Jeffrey", "Sharon", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
-    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen", "Brenda",
-    "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon", "Samantha", "Benjamin",
-    "Katherine", "Samuel", "Christine", "Gregory", "Debra", "Alexander", "Rachel", "Patrick",
-    "Carolyn", "Frank", "Janet", "Raymond", "Catherine", "Jack", "Maria", "Dennis", "Heather",
-    "Jerry", "Diane",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Karen",
+    "Charles",
+    "Sarah",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Sandra",
+    "Anthony",
+    "Betty",
+    "Mark",
+    "Ashley",
+    "Donald",
+    "Emily",
+    "Steven",
+    "Kimberly",
+    "Andrew",
+    "Margaret",
+    "Paul",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Carol",
+    "Kevin",
+    "Amanda",
+    "Brian",
+    "Melissa",
+    "George",
+    "Deborah",
+    "Timothy",
+    "Stephanie",
+    "Ronald",
+    "Rebecca",
+    "Jason",
+    "Laura",
+    "Edward",
+    "Helen",
+    "Jeffrey",
+    "Sharon",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
+    "Nicholas",
+    "Angela",
+    "Eric",
+    "Shirley",
+    "Jonathan",
+    "Anna",
+    "Stephen",
+    "Brenda",
+    "Larry",
+    "Pamela",
+    "Justin",
+    "Emma",
+    "Scott",
+    "Nicole",
+    "Brandon",
+    "Samantha",
+    "Benjamin",
+    "Katherine",
+    "Samuel",
+    "Christine",
+    "Gregory",
+    "Debra",
+    "Alexander",
+    "Rachel",
+    "Patrick",
+    "Carolyn",
+    "Frank",
+    "Janet",
+    "Raymond",
+    "Catherine",
+    "Jack",
+    "Maria",
+    "Dennis",
+    "Heather",
+    "Jerry",
+    "Diane",
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
-    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
-    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
-    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
+    "Stewart",
+    "Morris",
+    "Morales",
+    "Murphy",
+    "Cook",
+    "Rogers",
+    "Gutierrez",
+    "Ortiz",
+    "Morgan",
+    "Cooper",
+    "Peterson",
+    "Bailey",
+    "Reed",
+    "Kelly",
+    "Howard",
+    "Ramos",
+    "Kim",
+    "Cox",
+    "Ward",
+    "Richardson",
+    "Watson",
 ];
 
 pub const CITIES: &[&str] = &[
-    "Chicago", "Houston", "Phoenix", "Philadelphia", "San Antonio", "San Diego", "Dallas",
-    "Austin", "Jacksonville", "Columbus", "Charlotte", "Indianapolis", "Seattle", "Denver",
-    "Boston", "Nashville", "Detroit", "Portland", "Memphis", "Las Vegas", "Louisville",
-    "Baltimore", "Milwaukee", "Albuquerque", "Tucson", "Fresno", "Sacramento", "Atlanta",
-    "Miami", "Oakland", "Minneapolis", "Tulsa", "Cleveland", "Wichita", "Arlington",
+    "Chicago",
+    "Houston",
+    "Phoenix",
+    "Philadelphia",
+    "San Antonio",
+    "San Diego",
+    "Dallas",
+    "Austin",
+    "Jacksonville",
+    "Columbus",
+    "Charlotte",
+    "Indianapolis",
+    "Seattle",
+    "Denver",
+    "Boston",
+    "Nashville",
+    "Detroit",
+    "Portland",
+    "Memphis",
+    "Las Vegas",
+    "Louisville",
+    "Baltimore",
+    "Milwaukee",
+    "Albuquerque",
+    "Tucson",
+    "Fresno",
+    "Sacramento",
+    "Atlanta",
+    "Miami",
+    "Oakland",
+    "Minneapolis",
+    "Tulsa",
+    "Cleveland",
+    "Wichita",
+    "Arlington",
 ];
 
 /// Phenotype phrases for the medical-genetics corpus (OMIM-flavored).
 pub const PHENOTYPES: &[&str] = &[
-    "retinitis pigmentosa", "muscular dystrophy", "cardiac arrhythmia", "hearing loss",
-    "cystic fibrosis", "sickle cell anemia", "macular degeneration", "epileptic encephalopathy",
-    "short stature", "intellectual disability", "polycystic kidney disease", "ataxia",
-    "hypertrophic cardiomyopathy", "congenital cataract", "immune deficiency",
-    "peripheral neuropathy", "skeletal dysplasia", "optic atrophy", "ichthyosis",
-    "hypogonadism", "microcephaly", "anemia", "osteoporosis", "albinism", "deafness",
-    "night blindness", "seizures", "hypotonia", "nephrotic syndrome", "cleft palate",
+    "retinitis pigmentosa",
+    "muscular dystrophy",
+    "cardiac arrhythmia",
+    "hearing loss",
+    "cystic fibrosis",
+    "sickle cell anemia",
+    "macular degeneration",
+    "epileptic encephalopathy",
+    "short stature",
+    "intellectual disability",
+    "polycystic kidney disease",
+    "ataxia",
+    "hypertrophic cardiomyopathy",
+    "congenital cataract",
+    "immune deficiency",
+    "peripheral neuropathy",
+    "skeletal dysplasia",
+    "optic atrophy",
+    "ichthyosis",
+    "hypogonadism",
+    "microcephaly",
+    "anemia",
+    "osteoporosis",
+    "albinism",
+    "deafness",
+    "night blindness",
+    "seizures",
+    "hypotonia",
+    "nephrotic syndrome",
+    "cleft palate",
 ];
 
 /// Drug names for pharmacogenomics.
 pub const DRUGS: &[&str] = &[
-    "warfarin", "clopidogrel", "simvastatin", "metformin", "tamoxifen", "codeine",
-    "azathioprine", "carbamazepine", "abacavir", "irinotecan", "mercaptopurine", "phenytoin",
-    "voriconazole", "allopurinol", "capecitabine", "tacrolimus", "omeprazole", "citalopram",
+    "warfarin",
+    "clopidogrel",
+    "simvastatin",
+    "metformin",
+    "tamoxifen",
+    "codeine",
+    "azathioprine",
+    "carbamazepine",
+    "abacavir",
+    "irinotecan",
+    "mercaptopurine",
+    "phenytoin",
+    "voriconazole",
+    "allopurinol",
+    "capecitabine",
+    "tacrolimus",
+    "omeprazole",
+    "citalopram",
 ];
 
 /// Semiconductor-ish chemical formulas.
 pub const FORMULAS: &[&str] = &[
     "GaAs", "InP", "GaN", "SiC", "ZnO", "CdTe", "InSb", "AlN", "GaSb", "InAs", "ZnS", "CdS",
-    "Al2O3", "TiO2", "MoS2", "WSe2", "HfO2", "Ga2O3", "SnO2", "In2O3", "BN", "GaP", "ZnSe",
-    "PbS", "CuO",
+    "Al2O3", "TiO2", "MoS2", "WSe2", "HfO2", "Ga2O3", "SnO2", "In2O3", "BN", "GaP", "ZnSe", "PbS",
+    "CuO",
 ];
 
 /// Material property names with units (property, unit).
@@ -73,11 +301,13 @@ pub const PROPERTIES: &[(&str, &str)] = &[
 /// Deterministically generate a gene symbol pool (`AAA1`-style).
 pub fn gene_symbols(n: usize) -> Vec<String> {
     const STEMS: &[&str] = &[
-        "BRC", "GAT", "SOX", "PAX", "FOX", "HOX", "MYC", "KRA", "EGF", "TNF", "ABC", "CFT",
-        "DMD", "FBN", "COL", "LMN", "MEC", "NOT", "PTE", "RET", "SHH", "TGF", "VHL", "WNT",
-        "XPA", "ZNF", "CDK", "MAP", "JAK", "STA",
+        "BRC", "GAT", "SOX", "PAX", "FOX", "HOX", "MYC", "KRA", "EGF", "TNF", "ABC", "CFT", "DMD",
+        "FBN", "COL", "LMN", "MEC", "NOT", "PTE", "RET", "SHH", "TGF", "VHL", "WNT", "XPA", "ZNF",
+        "CDK", "MAP", "JAK", "STA",
     ];
-    (0..n).map(|i| format!("{}{}", STEMS[i % STEMS.len()], 1 + i / STEMS.len())).collect()
+    (0..n)
+        .map(|i| format!("{}{}", STEMS[i % STEMS.len()], 1 + i / STEMS.len()))
+        .collect()
 }
 
 /// Deterministically generate `n` distinct person names.

@@ -126,14 +126,20 @@ pub fn generate(config: &SpouseConfig) -> SpouseCorpus {
         if cursor + 1 >= shuffled.len() {
             break;
         }
-        married.insert(ordered(&people[shuffled[cursor]], &people[shuffled[cursor + 1]]));
+        married.insert(ordered(
+            &people[shuffled[cursor]],
+            &people[shuffled[cursor + 1]],
+        ));
         cursor += 2;
     }
     for _ in 0..config.num_sibling_pairs {
         if cursor + 1 >= shuffled.len() {
             break;
         }
-        siblings.insert(ordered(&people[shuffled[cursor]], &people[shuffled[cursor + 1]]));
+        siblings.insert(ordered(
+            &people[shuffled[cursor]],
+            &people[shuffled[cursor + 1]],
+        ));
         cursor += 2;
     }
 
@@ -197,17 +203,26 @@ pub fn generate(config: &SpouseConfig) -> SpouseCorpus {
                 }
             })
             .collect();
-        documents.push(Document { doc_id: doc_id as u64, text: sentences.join(" ") });
+        documents.push(Document {
+            doc_id: doc_id as u64,
+            text: sentences.join(" "),
+        });
     }
 
     // Incomplete KB: deterministic subset of the married pairs.
     let kb_count = (married.len() as f64 * config.kb_fraction).round() as usize;
     let mut married_list: Vec<(String, String)> = married.iter().cloned().collect();
     married_list.shuffle(&mut rng);
-    let kb_married: BTreeSet<(String, String)> =
-        married_list.into_iter().take(kb_count).collect();
+    let kb_married: BTreeSet<(String, String)> = married_list.into_iter().take(kb_count).collect();
 
-    SpouseCorpus { documents, people, expressed_married, married, siblings, kb_married }
+    SpouseCorpus {
+        documents,
+        people,
+        expressed_married,
+        married,
+        siblings,
+        kb_married,
+    }
 }
 
 /// Corrupt one alphabetic character (uppercase-biased, so names are hit) —
@@ -218,9 +233,10 @@ fn inject_ocr_error(text: &str, rng: &mut StdRng) -> String {
         .filter(|(_, c)| c.is_ascii_uppercase())
         .map(|(i, _)| i)
         .collect();
-    let Some(&pos) = uppercase_positions
-        .get(rng.gen_range(0..uppercase_positions.len().max(1)).min(uppercase_positions.len().saturating_sub(1)))
-    else {
+    let Some(&pos) = uppercase_positions.get(
+        rng.gen_range(0..uppercase_positions.len().max(1))
+            .min(uppercase_positions.len().saturating_sub(1)),
+    ) else {
         return text.to_string();
     };
     let mut out = String::with_capacity(text.len());
@@ -276,7 +292,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&SpouseConfig::default());
-        let b = generate(&SpouseConfig { seed: 999, ..Default::default() });
+        let b = generate(&SpouseConfig {
+            seed: 999,
+            ..Default::default()
+        });
         assert_ne!(a.documents[0].text, b.documents[0].text);
     }
 
@@ -300,8 +319,12 @@ mod tests {
     fn expressed_pairs_appear_in_text() {
         let c = generate(&SpouseConfig::default());
         assert!(!c.expressed_married.is_empty());
-        let all_text: String =
-            c.documents.iter().map(|d| d.text.as_str()).collect::<Vec<_>>().join(" ");
+        let all_text: String = c
+            .documents
+            .iter()
+            .map(|d| d.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
         for (a, b) in c.expressed_married.iter().take(5) {
             assert!(all_text.contains(a) && all_text.contains(b));
         }
@@ -310,14 +333,20 @@ mod tests {
     #[test]
     fn typo_rate_corrupts_some_documents() {
         let clean = generate(&SpouseConfig::default());
-        let noisy = generate(&SpouseConfig { typo_rate: 0.8, ..Default::default() });
+        let noisy = generate(&SpouseConfig {
+            typo_rate: 0.8,
+            ..Default::default()
+        });
         let differing = clean
             .documents
             .iter()
             .zip(&noisy.documents)
             .filter(|(a, b)| a.text != b.text)
             .count();
-        assert!(differing > clean.documents.len() / 2, "only {differing} corrupted");
+        assert!(
+            differing > clean.documents.len() / 2,
+            "only {differing} corrupted"
+        );
         // Truth sets are unchanged: the corruption is in the TEXT only.
         assert_eq!(clean.married, noisy.married);
     }

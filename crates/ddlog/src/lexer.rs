@@ -82,7 +82,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -124,74 +128,138 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '?' => {
-                tokens.push(Token { kind: TokenKind::Question, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Question,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '@' => {
-                tokens.push(Token { kind: TokenKind::At, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '^' => {
-                tokens.push(Token { kind: TokenKind::Caret, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             '!' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    tokens.push(Token { kind: TokenKind::Ne, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        line: l,
+                        col: c,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        line: l,
+                        col: c,
+                    });
                 }
             }
             '=' => {
                 bump!();
                 if i < chars.len() && chars[i] == '>' {
                     bump!();
-                    tokens.push(Token { kind: TokenKind::Implies, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        line: l,
+                        col: c,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Eq, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        line: l,
+                        col: c,
+                    });
                 }
             }
             '<' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    tokens.push(Token { kind: TokenKind::Le, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        line: l,
+                        col: c,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        line: l,
+                        col: c,
+                    });
                 }
             }
             '>' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    tokens.push(Token { kind: TokenKind::Ge, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        line: l,
+                        col: c,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        line: l,
+                        col: c,
+                    });
                 }
             }
             ':' => {
                 bump!();
                 if i < chars.len() && chars[i] == '-' {
                     bump!();
-                    tokens.push(Token { kind: TokenKind::Turnstile, line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Turnstile,
+                        line: l,
+                        col: c,
+                    });
                 } else {
                     return Err(LexError {
                         message: "expected `-` after `:`".into(),
@@ -241,7 +309,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: l,
+                    col: c,
+                });
             }
             '-' | '0'..='9' => {
                 let mut s = String::new();
@@ -276,18 +348,30 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         line: l,
                         col: c,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Float(v), line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Float(v),
+                        line: l,
+                        col: c,
+                    });
                 } else {
                     let v = s.parse::<i64>().map_err(|e| LexError {
                         message: format!("bad integer `{s}`: {e}"),
                         line: l,
                         col: c,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(v), line: l, col: c });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        line: l,
+                        col: c,
+                    });
                 }
             }
             '_' if i + 1 >= chars.len() || !is_ident_char(chars[i + 1]) => {
-                tokens.push(Token { kind: TokenKind::Underscore, line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Underscore,
+                    line: l,
+                    col: c,
+                });
                 bump!();
             }
             c0 if c0.is_alphabetic() || c0 == '_' => {
@@ -296,7 +380,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     s.push(chars[i]);
                     bump!();
                 }
-                tokens.push(Token { kind: TokenKind::Ident(s), line: l, col: c });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line: l,
+                    col: c,
+                });
             }
             other => {
                 return Err(LexError {
@@ -307,7 +395,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 
@@ -344,7 +436,9 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let ks = kinds("# full line\nQ(x) // trailing\n:- R(x).");
-        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "Q")));
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "Q")));
         assert!(ks.contains(&TokenKind::Turnstile));
     }
 

@@ -89,7 +89,10 @@ impl DdlogProgram {
     }
 
     pub fn schema(&self, name: &str) -> Option<&Schema> {
-        self.schemas.iter().find(|(s, _)| s.name == name).map(|(s, _)| s)
+        self.schemas
+            .iter()
+            .find(|(s, _)| s.name == name)
+            .map(|(s, _)| s)
     }
 
     pub fn is_query(&self, name: &str) -> bool {

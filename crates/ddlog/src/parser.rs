@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -68,7 +72,11 @@ impl Parser {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let t = self.peek();
-        Err(ParseError { message: message.into(), line: t.line, col: t.col })
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
@@ -157,7 +165,12 @@ impl Parser {
         }
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::Dot)?;
-        Ok(RelationDecl { name, query, columns, line })
+        Ok(RelationDecl {
+            name,
+            query,
+            columns,
+            line,
+        })
     }
 
     fn annotation(&mut self) -> Result<Annotation, ParseError> {
@@ -243,7 +256,16 @@ impl Parser {
             });
         }
         self.expect(TokenKind::Dot)?;
-        Ok(RuleStmt { annotations, heads, implies, body, builtins, udfs, weight, line })
+        Ok(RuleStmt {
+            annotations,
+            heads,
+            implies,
+            body,
+            builtins,
+            udfs,
+            weight,
+            line,
+        })
     }
 
     fn body_item(
@@ -362,19 +384,26 @@ mod tests {
     fn parses_declarations() {
         let p = parse("PersonCandidate(s id, m id).\nMarried?(m1 id, m2 id).").unwrap();
         assert_eq!(p.statements.len(), 2);
-        let Statement::Decl(d) = &p.statements[0] else { panic!("decl") };
+        let Statement::Decl(d) = &p.statements[0] else {
+            panic!("decl")
+        };
         assert_eq!(d.name, "PersonCandidate");
         assert!(!d.query);
-        let Statement::Decl(d) = &p.statements[1] else { panic!("decl") };
+        let Statement::Decl(d) = &p.statements[1] else {
+            panic!("decl")
+        };
         assert!(d.query);
         assert_eq!(d.columns[1], ("m2".into(), ValueType::Id));
     }
 
     #[test]
     fn parses_candidate_mapping_rule() {
-        let src = "MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.";
+        let src =
+            "MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.";
         let p = parse(src).unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!("rule") };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!("rule")
+        };
         assert_eq!(r.heads.len(), 1);
         assert_eq!(r.body.len(), 2);
         assert_eq!(r.builtins.len(), 1);
@@ -385,7 +414,9 @@ mod tests {
     fn parses_feature_rule_with_udf_and_tied_weight() {
         let src = "MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2), Sentence(s, sent), f = phrase(m1, m2, sent) weight = f.";
         let p = parse(src).unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!("rule") };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!("rule")
+        };
         assert_eq!(r.udfs.len(), 1);
         assert_eq!(r.udfs[0].name, "phrase");
         assert_eq!(r.weight, Some(WeightSpec::Tied("f".into())));
@@ -394,9 +425,13 @@ mod tests {
     #[test]
     fn parses_fixed_and_per_rule_weights() {
         let p = parse("A(x) :- B(x) weight = 2.5.\nC(x) :- D(x) weight = ?.").unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!()
+        };
         assert_eq!(r.weight, Some(WeightSpec::Fixed(2.5)));
-        let Statement::Rule(r) = &p.statements[1] else { panic!() };
+        let Statement::Rule(r) = &p.statements[1] else {
+            panic!()
+        };
         assert_eq!(r.weight, Some(WeightSpec::PerRule));
     }
 
@@ -404,7 +439,9 @@ mod tests {
     fn parses_implication_factor_rule() {
         let src = "@name(\"spouse-symmetry\") HasSpouse(a, b) => HasSpouse(b, a) :- PersonPair(a, b) weight = 5.";
         let p = parse(src).unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!()
+        };
         assert!(r.implies);
         assert_eq!(r.heads.len(), 2);
         assert_eq!(r.annotations[0].value, "spouse-symmetry");
@@ -415,7 +452,9 @@ mod tests {
     fn parses_conjunction_heads() {
         let src = "A(x) ^ B(x) => C(x) :- D(x) weight = 1.";
         let p = parse(src).unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!()
+        };
         assert_eq!(r.heads.len(), 3);
         assert!(r.implies);
     }
@@ -424,7 +463,9 @@ mod tests {
     fn parses_negation_and_constants() {
         let src = r#"Ev(m, true) :- Cand(m), !Excl(m), Label(m, "pos")."#;
         let p = parse(src).unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!()
+        };
         assert!(r.body[1].negated);
         assert_eq!(r.heads[0].terms[1], Term::Const(Value::Bool(true)));
     }
@@ -448,7 +489,9 @@ mod tests {
     #[test]
     fn empty_arg_atoms_allowed() {
         let p = parse("Flag() :- Other(x).").unwrap();
-        let Statement::Rule(r) = &p.statements[0] else { panic!() };
+        let Statement::Rule(r) = &p.statements[0] else {
+            panic!()
+        };
         assert!(r.heads[0].terms.is_empty());
     }
 }

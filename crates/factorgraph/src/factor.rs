@@ -21,11 +21,17 @@ pub struct FactorArg {
 
 impl FactorArg {
     pub fn pos(variable: VariableId) -> Self {
-        FactorArg { variable, positive: true }
+        FactorArg {
+            variable,
+            positive: true,
+        }
     }
 
     pub fn neg(variable: VariableId) -> Self {
-        FactorArg { variable, positive: false }
+        FactorArg {
+            variable,
+            positive: false,
+        }
     }
 
     /// The literal's truth value under `value` of the variable.
@@ -125,13 +131,18 @@ pub struct Factor {
 impl Factor {
     pub fn new(function: FactorFunction, args: Vec<FactorArg>, weight: WeightId) -> Self {
         debug_assert!(!args.is_empty(), "factor needs at least one argument");
-        Factor { function, args, weight }
+        Factor {
+            function,
+            args,
+            weight,
+        }
     }
 
     /// Evaluate φ under a world given by `value_of(variable)`.
     pub fn potential(&self, value_of: impl Fn(VariableId) -> bool) -> f64 {
-        self.function
-            .potential(self.args.len(), |i| self.args[i].truth(value_of(self.args[i].variable)))
+        self.function.potential(self.args.len(), |i| {
+            self.args[i].truth(value_of(self.args[i].variable))
+        })
     }
 }
 
@@ -149,14 +160,22 @@ mod tests {
 
     #[test]
     fn istrue_tracks_single_literal() {
-        let f = Factor::new(FactorFunction::IsTrue, vec![FactorArg::pos(v(0))], WeightId(0));
+        let f = Factor::new(
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(v(0))],
+            WeightId(0),
+        );
         assert_eq!(eval(&f, &[true]), 1.0);
         assert_eq!(eval(&f, &[false]), -1.0);
     }
 
     #[test]
     fn negated_literal_flips_istrue() {
-        let f = Factor::new(FactorFunction::IsTrue, vec![FactorArg::neg(v(0))], WeightId(0));
+        let f = Factor::new(
+            FactorFunction::IsTrue,
+            vec![FactorArg::neg(v(0))],
+            WeightId(0),
+        );
         assert_eq!(eval(&f, &[true]), -1.0);
         assert_eq!(eval(&f, &[false]), 1.0);
     }
@@ -178,7 +197,11 @@ mod tests {
     fn imply_with_multi_atom_body() {
         let f = Factor::new(
             FactorFunction::Imply,
-            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            vec![
+                FactorArg::pos(v(0)),
+                FactorArg::pos(v(1)),
+                FactorArg::pos(v(2)),
+            ],
             WeightId(0),
         );
         assert_eq!(eval(&f, &[true, true, false]), -1.0);
@@ -201,7 +224,11 @@ mod tests {
     fn linear_counts_fraction_true() {
         let f = Factor::new(
             FactorFunction::Linear,
-            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            vec![
+                FactorArg::pos(v(0)),
+                FactorArg::pos(v(1)),
+                FactorArg::pos(v(2)),
+            ],
             WeightId(0),
         );
         assert!((eval(&f, &[true, false, true]) - 2.0 / 3.0).abs() < 1e-12);
@@ -212,7 +239,11 @@ mod tests {
     fn ratio_is_sublinear_in_true_count() {
         let f = Factor::new(
             FactorFunction::Ratio,
-            vec![FactorArg::pos(v(0)), FactorArg::pos(v(1)), FactorArg::pos(v(2))],
+            vec![
+                FactorArg::pos(v(0)),
+                FactorArg::pos(v(1)),
+                FactorArg::pos(v(2)),
+            ],
             WeightId(0),
         );
         let p1 = eval(&f, &[true, false, false]);

@@ -31,11 +31,21 @@ pub struct Variable {
 
 impl Variable {
     pub fn query() -> Self {
-        Variable { is_evidence: false, evidence_value: false, init_value: false, label: None }
+        Variable {
+            is_evidence: false,
+            evidence_value: false,
+            init_value: false,
+            label: None,
+        }
     }
 
     pub fn evidence(value: bool) -> Self {
-        Variable { is_evidence: true, evidence_value: value, init_value: value, label: None }
+        Variable {
+            is_evidence: true,
+            evidence_value: value,
+            init_value: value,
+            label: None,
+        }
     }
 
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
@@ -69,7 +79,9 @@ impl FactorGraph {
         args: Vec<FactorArg>,
         weight: WeightId,
     ) -> FactorId {
-        debug_assert!(args.iter().all(|a| a.variable.index() < self.variables.len()));
+        debug_assert!(args
+            .iter()
+            .all(|a| a.variable.index() < self.variables.len()));
         let id = FactorId::from(self.factors.len());
         self.factors.push(Factor::new(function, args, weight));
         id
@@ -333,8 +345,7 @@ mod tests {
             w1[v] = true;
             let mut w0 = world;
             w0[v] = false;
-            let expect =
-                c.log_weight(&weights, |i| w1[i]) - c.log_weight(&weights, |i| w0[i]);
+            let expect = c.log_weight(&weights, |i| w1[i]) - c.log_weight(&weights, |i| w0[i]);
             let got = c.conditional_logit(v, &weights, |i| world[i]);
             assert!((expect - got).abs() < 1e-12, "var {v}: {expect} vs {got}");
         }
@@ -354,6 +365,9 @@ mod tests {
     fn labels_preserved_on_builder() {
         let mut g = FactorGraph::new();
         let v = g.add_variable(Variable::query().with_label("MarriedMentions(#1,#2)"));
-        assert_eq!(g.variables[v.index()].label.as_deref(), Some("MarriedMentions(#1,#2)"));
+        assert_eq!(
+            g.variables[v.index()].label.as_deref(),
+            Some("MarriedMentions(#1,#2)")
+        );
     }
 }

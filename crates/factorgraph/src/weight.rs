@@ -65,7 +65,12 @@ impl WeightStore {
             return id;
         }
         let id = WeightId::from(self.weights.len());
-        self.weights.push(Weight { value, fixed: true, key: key.to_string(), references: 1 });
+        self.weights.push(Weight {
+            value,
+            fixed: true,
+            key: key.to_string(),
+            references: 1,
+        });
         self.by_key.insert(key.to_string(), id);
         id
     }
@@ -127,7 +132,23 @@ impl WeightStore {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (WeightId, &Weight)> {
-        self.weights.iter().enumerate().map(|(i, w)| (WeightId::from(i), w))
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WeightId::from(i), w))
+    }
+
+    /// Rebuild a store from an ordered weight list (checkpoint restore).
+    /// Ids are assigned in list order, so a store round-trips exactly:
+    /// `WeightStore::from_weights(ws.iter().map(|(_, w)| w.clone()).collect())`
+    /// preserves every `WeightId`.
+    pub fn from_weights(weights: Vec<Weight>) -> Self {
+        let by_key = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.key.clone(), WeightId::from(i)))
+            .collect();
+        WeightStore { weights, by_key }
     }
 }
 

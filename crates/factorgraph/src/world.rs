@@ -17,7 +17,13 @@ pub type World = Vec<bool>;
 /// Initial world honoring evidence clamping and init values.
 pub fn initial_world(graph: &CompiledGraph) -> World {
     (0..graph.num_variables)
-        .map(|v| if graph.is_evidence[v] { graph.evidence_value[v] } else { graph.init_value[v] })
+        .map(|v| {
+            if graph.is_evidence[v] {
+                graph.evidence_value[v]
+            } else {
+                graph.init_value[v]
+            }
+        })
         .collect()
 }
 
@@ -28,8 +34,9 @@ pub fn initial_world(graph: &CompiledGraph) -> World {
 /// value as 0.0/1.0. Panics if there are more than [`MAX_EXACT_VARS`] free
 /// variables.
 pub fn exact_marginals(graph: &CompiledGraph, weights: &[f64]) -> Vec<f64> {
-    let free: Vec<usize> =
-        (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+    let free: Vec<usize> = (0..graph.num_variables)
+        .filter(|&v| !graph.is_evidence[v])
+        .collect();
     assert!(
         free.len() <= MAX_EXACT_VARS,
         "exact enumeration over {} variables is intractable",
@@ -82,8 +89,9 @@ pub fn exact_marginals(graph: &CompiledGraph, weights: &[f64]) -> Vec<f64> {
 /// Exact log partition function `log Z` (free variables only; evidence
 /// clamped).
 pub fn exact_log_z(graph: &CompiledGraph, weights: &[f64]) -> f64 {
-    let free: Vec<usize> =
-        (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+    let free: Vec<usize> = (0..graph.num_variables)
+        .filter(|&v| !graph.is_evidence[v])
+        .collect();
     assert!(free.len() <= MAX_EXACT_VARS);
     let mut world = initial_world(graph);
     let mut logs = Vec::with_capacity(1 << free.len());
@@ -130,7 +138,11 @@ mod tests {
         let e = g.add_variable(Variable::evidence(true));
         let q = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 1.0);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(e), FactorArg::pos(q)],
+            w,
+        );
         let c = g.compile();
         let m = exact_marginals(&c, &g.weights.values());
         assert_eq!(m[0], 1.0);
@@ -143,7 +155,11 @@ mod tests {
         let a = g.add_variable(Variable::query());
         let b = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 2.0);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(a), FactorArg::pos(b)],
+            w,
+        );
         let c = g.compile();
         let m = exact_marginals(&c, &g.weights.values());
         // Symmetric: both marginals are exactly 1/2.
@@ -157,7 +173,11 @@ mod tests {
         let a = g.add_variable(Variable::query());
         let b = g.add_variable(Variable::query());
         let w = g.weights.tied("z", 0.0);
-        g.add_factor(FactorFunction::And, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        g.add_factor(
+            FactorFunction::And,
+            vec![FactorArg::pos(a), FactorArg::pos(b)],
+            w,
+        );
         let c = g.compile();
         let m = exact_marginals(&c, &g.weights.values());
         assert!((m[0] - 0.5).abs() < 1e-12);

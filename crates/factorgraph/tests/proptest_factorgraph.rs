@@ -46,7 +46,10 @@ fn graph_strategy() -> impl Strategy<Value = FactorGraph> {
         for (k, (function, args, weight)) in factors.into_iter().enumerate() {
             let args: Vec<FactorArg> = args
                 .into_iter()
-                .map(|(v, pos)| FactorArg { variable: vars[v], positive: pos })
+                .map(|(v, pos)| FactorArg {
+                    variable: vars[v],
+                    positive: pos,
+                })
                 .collect();
             let w = g.weights.tied(format!("w{k}"), weight);
             g.add_factor(function, args, w);

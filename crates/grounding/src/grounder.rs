@@ -115,7 +115,16 @@ impl Grounder {
                 builtins: fr.builtins.clone(),
                 udfs: fr.udfs.clone(),
             };
-            let compiled = CompiledRule::compile(&storage_rule, db)?;
+            // UDF failures under `FailurePolicy::Quarantine` should land in
+            // the quarantine relation of the user-visible head, not of the
+            // synthetic `__ground__*` scratch relation.
+            let quarantine_base = fr
+                .heads
+                .first()
+                .map(|h| h.relation.clone())
+                .unwrap_or_else(|| synth_name.clone());
+            let mut compiled = CompiledRule::compile(&storage_rule, db)?;
+            compiled.set_quarantine_base(&quarantine_base);
             let mut variants = std::collections::HashMap::new();
             for (i, lit) in storage_rule.body.iter().enumerate() {
                 if lit.negated {
@@ -123,7 +132,9 @@ impl Grounder {
                 }
                 let (reordered, order) =
                     deepdive_storage::datalog::reorder_body_front(&storage_rule, i);
-                variants.insert(i, (CompiledRule::compile(&reordered, db)?, order));
+                let mut variant = CompiledRule::compile(&reordered, db)?;
+                variant.set_quarantine_base(&quarantine_base);
+                variants.insert(i, (variant, order));
             }
             factor_rules.push(CompiledFactorRule {
                 rule: fr.clone(),
@@ -159,15 +170,18 @@ impl Grounder {
         db: &Database,
     ) -> Result<(GroundingDelta, LoadTimings), StorageError> {
         let mut timings = LoadTimings::default();
-        self.engine.initial_load_instrumented(db, |stratum, elapsed| {
-            let is_supervision =
-                stratum.relations.iter().all(|r| r.ends_with(EVIDENCE_SUFFIX));
-            if is_supervision {
-                timings.supervision += elapsed;
-            } else {
-                timings.candidate_extraction += elapsed;
-            }
-        })?;
+        self.engine
+            .initial_load_instrumented(db, |stratum, elapsed| {
+                let is_supervision = stratum
+                    .relations
+                    .iter()
+                    .all(|r| r.ends_with(EVIDENCE_SUFFIX));
+                if is_supervision {
+                    timings.supervision += elapsed;
+                } else {
+                    timings.candidate_extraction += elapsed;
+                }
+            })?;
         let ground_start = std::time::Instant::now();
         let mut delta = GroundingDelta::default();
 
@@ -184,8 +198,11 @@ impl Grounder {
         }
 
         // Evidence labels (BTreeMap: deterministic tuple order).
-        let mut sorted_ev: Vec<(String, String)> =
-            self.evidence_of.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        let mut sorted_ev: Vec<(String, String)> = self
+            .evidence_of
+            .iter()
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
         sorted_ev.sort();
         for (ev_rel, q_rel) in sorted_ev {
             let mut by_tuple: std::collections::BTreeMap<Row, (usize, usize)> =
@@ -218,7 +235,9 @@ impl Grounder {
         let no_deltas: AtomDeltas = HashMap::new();
         for i in 0..self.factor_rules.len() {
             delta.rule_evaluations += 1;
-            let results = self.factor_rules[i].compiled.eval(db, &no_deltas, &|_| Source::Old)?;
+            let results = self.factor_rules[i]
+                .compiled
+                .eval(db, &no_deltas, &|_| Source::Old)?;
             let mut rows: Vec<(Row, i64)> = results.into_iter().collect();
             rows.sort();
             for (grounding, count) in rows {
@@ -288,8 +307,11 @@ impl Grounder {
         }
 
         // Evidence recomputation for touched tuples (sorted).
-        let mut sorted_ev: Vec<(String, String)> =
-            self.evidence_of.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        let mut sorted_ev: Vec<(String, String)> = self
+            .evidence_of
+            .iter()
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
         sorted_ev.sort();
         for (ev_rel, q_rel) in sorted_ev {
             let mut touched: std::collections::BTreeSet<Row> = std::collections::BTreeSet::new();
@@ -349,8 +371,7 @@ impl Grounder {
                     self.apply_grounding_delta(db, i, &grounding, count, &mut delta)?;
                 } else if count < 0 {
                     let rule_name = self.factor_rules[i].rule.name.clone();
-                    if let Some(fid) = self.state.remove_grounding(&rule_name, &grounding, -count)
-                    {
+                    if let Some(fid) = self.state.remove_grounding(&rule_name, &grounding, -count) {
                         delta.removed_factors += 1;
                         orphan_candidates.extend(self.state.factor_variables(fid));
                     }
@@ -364,7 +385,9 @@ impl Grounder {
             if self.state.refs(vid) > 0 || self.state.removed_vars.contains(&vid) {
                 continue;
             }
-            let Some((rel, tuple)) = self.state.var_key.get(&vid).cloned() else { continue };
+            let Some((rel, tuple)) = self.state.var_key.get(&vid).cloned() else {
+                continue;
+            };
             if !db.contains(&rel, &tuple)? && self.state.remove_variable(&rel, &tuple) {
                 delta.removed_variables += 1;
             }
@@ -411,8 +434,7 @@ impl Grounder {
                     atom_deltas.insert(new_i, &deltas[pos_rel]);
                     sources[new_i] = Source::Delta;
                 } else if later.contains(&old_i) {
-                    atom_deltas
-                        .insert(new_i, &neg_deltas[&fr.rule.body[old_i].atom.relation]);
+                    atom_deltas.insert(new_i, &neg_deltas[&fr.rule.body[old_i].atom.relation]);
                     sources[new_i] = Source::New; // New ⊎ (−Δ) == Old
                 } // else: db as-is == New
             }
@@ -490,16 +512,28 @@ impl Grounder {
             args.push(FactorArg::pos(vid));
         }
         let weight = match &weight_spec {
-            WeightSpec::Fixed(v) => {
-                self.state.graph.weights.fixed(format!("rule:{rule_name}"), *v)
-            }
-            WeightSpec::PerRule => self.state.graph.weights.tied(format!("rule:{rule_name}"), 0.0),
+            WeightSpec::Fixed(v) => self
+                .state
+                .graph
+                .weights
+                .fixed(format!("rule:{rule_name}"), *v),
+            WeightSpec::PerRule => self
+                .state
+                .graph
+                .weights
+                .tied(format!("rule:{rule_name}"), 0.0),
             WeightSpec::Tied(_) => {
                 let v: &Value = &grounding[weight_col.expect("tied weight column")];
-                self.state.graph.weights.tied(format!("{rule_name}:{v}"), 0.0)
+                self.state
+                    .graph
+                    .weights
+                    .tied(format!("{rule_name}:{v}"), 0.0)
             }
         };
-        if self.state.add_grounding(&rule_name, grounding.clone(), count, function, args, weight) {
+        if self
+            .state
+            .add_grounding(&rule_name, grounding.clone(), count, function, args, weight)
+        {
             delta.added_factors += 1;
         }
         Ok(())

@@ -2,8 +2,7 @@
 //! incremental maintenance (ΔV / ΔF, §4.1) possible.
 
 use deepdive_factorgraph::{
-    CompiledGraph, FactorArg, FactorFunction, FactorGraph, FactorId, Variable, VariableId,
-    WeightId,
+    CompiledGraph, FactorArg, FactorFunction, FactorGraph, FactorId, Variable, VariableId, WeightId,
 };
 use deepdive_storage::Row;
 use std::collections::{HashMap, HashSet};
@@ -83,7 +82,9 @@ impl GroundingState {
     }
 
     pub fn lookup_variable(&self, relation: &str, row: &Row) -> Option<VariableId> {
-        self.var_index.get(&(relation.to_string(), row.clone())).copied()
+        self.var_index
+            .get(&(relation.to_string(), row.clone()))
+            .copied()
     }
 
     /// Tombstone a tuple's variable (and implicitly every factor touching it
@@ -176,8 +177,11 @@ impl GroundingState {
     }
 
     fn bump_refs(&mut self, fid: FactorId, delta: i64) {
-        let args: Vec<VariableId> =
-            self.graph.factors[fid.index()].args.iter().map(|a| a.variable).collect();
+        let args: Vec<VariableId> = self.graph.factors[fid.index()]
+            .args
+            .iter()
+            .map(|a| a.variable)
+            .collect();
         for v in args {
             *self.var_refs.entry(v).or_insert(0) += delta;
         }
@@ -185,7 +189,11 @@ impl GroundingState {
 
     /// Argument variables of a factor.
     pub fn factor_variables(&self, fid: FactorId) -> Vec<VariableId> {
-        self.graph.factors[fid.index()].args.iter().map(|a| a.variable).collect()
+        self.graph.factors[fid.index()]
+            .args
+            .iter()
+            .map(|a| a.variable)
+            .collect()
     }
 
     /// Live-factor reference count of a variable.
@@ -226,9 +234,10 @@ impl GroundingState {
                 .args
                 .iter()
                 .map(|a| {
-                    remap
-                        .get(&a.variable)
-                        .map(|&nv| FactorArg { variable: nv, positive: a.positive })
+                    remap.get(&a.variable).map(|&nv| FactorArg {
+                        variable: nv,
+                        positive: a.positive,
+                    })
                 })
                 .collect();
             if let Some(args) = args {
@@ -284,8 +293,14 @@ mod tests {
         );
         assert!(created);
         // Second derivation of the same grounding: no new factor.
-        let created =
-            st.add_grounding("rule", row![1], 1, FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let created = st.add_grounding(
+            "rule",
+            row![1],
+            1,
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(v)],
+            w,
+        );
         assert!(!created);
         assert_eq!(st.num_live_factors(), 1);
         // Remove one derivation: factor survives; remove the last: it dies.
@@ -310,7 +325,14 @@ mod tests {
         let a = st.variable("R", &row![1], None);
         let b = st.variable("R", &row![2], None);
         let w = st.graph.weights.tied("w", 0.0);
-        st.add_grounding("r1", row![1], 1, FactorFunction::IsTrue, vec![FactorArg::pos(a)], w);
+        st.add_grounding(
+            "r1",
+            row![1],
+            1,
+            FactorFunction::IsTrue,
+            vec![FactorArg::pos(a)],
+            w,
+        );
         st.add_grounding(
             "r2",
             row![1, 2],

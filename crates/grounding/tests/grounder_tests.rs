@@ -43,9 +43,12 @@ fn setup() -> (Database, Grounder) {
 
 fn load_fixture(db: &Database) {
     // Sentence 1: mentions 10, 20 (married pair in the KB).
-    db.insert("Sentence", row![Value::Id(1), "and his wife"]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)]).unwrap();
+    db.insert("Sentence", row![Value::Id(1), "and his wife"])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)])
+        .unwrap();
     db.insert("EL", row![Value::Id(10), "Barack"]).unwrap();
     db.insert("EL", row![Value::Id(20), "Michelle"]).unwrap();
     db.insert("Married", row!["Barack", "Michelle"]).unwrap();
@@ -60,10 +63,16 @@ fn full_grounding_builds_variables_factors_and_evidence() {
     assert_eq!(db.len("MarriedCandidate").unwrap(), 1);
     assert_eq!(g.state.num_live_variables(), 1);
     assert_eq!(g.state.num_live_factors(), 1);
-    assert!(delta.evidence_changes >= 1, "distant supervision labeled the pair");
+    assert!(
+        delta.evidence_changes >= 1,
+        "distant supervision labeled the pair"
+    );
     let (compiled, map) = g.state.compile();
     assert_eq!(compiled.num_variables, 1);
-    let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+    let vid = map[&(
+        "MarriedMentions".to_string(),
+        row![Value::Id(10), Value::Id(20)],
+    )];
     assert!(compiled.is_evidence[vid.index()]);
     assert!(compiled.evidence_value[vid.index()]);
 }
@@ -73,14 +82,22 @@ fn tied_weights_share_across_sentences() {
     let (db, mut g) = setup();
     load_fixture(&db);
     // Second sentence with the same phrase and two new mentions.
-    db.insert("Sentence", row![Value::Id(2), "and his wife"]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(30)]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(40)]).unwrap();
+    db.insert("Sentence", row![Value::Id(2), "and his wife"])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(30)])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(2), Value::Id(40)])
+        .unwrap();
     g.initial_load(&db).unwrap();
     assert_eq!(g.state.num_live_variables(), 2);
     assert_eq!(g.state.num_live_factors(), 2);
     // Both factors share one tied weight (same phrase).
-    let w = g.state.graph.weights.lookup("fe1:phrase=and his wife").unwrap();
+    let w = g
+        .state
+        .graph
+        .weights
+        .lookup("fe1:phrase=and his wife")
+        .unwrap();
     assert_eq!(g.state.graph.weights.get(w).references, 2);
 }
 
@@ -128,7 +145,10 @@ fn incremental_deletion_retracts_variables_and_factors() {
     let delta = g
         .apply_update(
             &db,
-            vec![BaseChange::delete("PersonCandidate", row![Value::Id(1), Value::Id(20)])],
+            vec![BaseChange::delete(
+                "PersonCandidate",
+                row![Value::Id(1), Value::Id(20)],
+            )],
         )
         .unwrap();
     assert_eq!(delta.removed_variables, 1);
@@ -144,35 +164,53 @@ fn incremental_deletion_retracts_variables_and_factors() {
 fn evidence_updates_flow_incrementally() {
     let (db, mut g) = setup();
     // No KB entry yet: pair is unlabeled.
-    db.insert("Sentence", row![Value::Id(1), "and his wife"]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)]).unwrap();
-    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)]).unwrap();
+    db.insert("Sentence", row![Value::Id(1), "and his wife"])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(10)])
+        .unwrap();
+    db.insert("PersonCandidate", row![Value::Id(1), Value::Id(20)])
+        .unwrap();
     db.insert("EL", row![Value::Id(10), "Barack"]).unwrap();
     db.insert("EL", row![Value::Id(20), "Michelle"]).unwrap();
     g.initial_load(&db).unwrap();
     {
         let (compiled, map) = g.state.compile();
-        let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+        let vid = map[&(
+            "MarriedMentions".to_string(),
+            row![Value::Id(10), Value::Id(20)],
+        )];
         assert!(!compiled.is_evidence[vid.index()]);
     }
     // KB fact arrives → distant supervision fires → evidence set.
     let delta = g
-        .apply_update(&db, vec![BaseChange::insert("Married", row!["Barack", "Michelle"])])
+        .apply_update(
+            &db,
+            vec![BaseChange::insert("Married", row!["Barack", "Michelle"])],
+        )
         .unwrap();
     assert_eq!(delta.evidence_changes, 1);
     {
         let (compiled, map) = g.state.compile();
-        let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+        let vid = map[&(
+            "MarriedMentions".to_string(),
+            row![Value::Id(10), Value::Id(20)],
+        )];
         assert!(compiled.is_evidence[vid.index()]);
         assert!(compiled.evidence_value[vid.index()]);
     }
     // KB fact retracted → evidence cleared.
     let delta = g
-        .apply_update(&db, vec![BaseChange::delete("Married", row!["Barack", "Michelle"])])
+        .apply_update(
+            &db,
+            vec![BaseChange::delete("Married", row!["Barack", "Michelle"])],
+        )
         .unwrap();
     assert_eq!(delta.evidence_changes, 1);
     let (compiled, map) = g.state.compile();
-    let vid = map[&("MarriedMentions".to_string(), row![Value::Id(10), Value::Id(20)])];
+    let vid = map[&(
+        "MarriedMentions".to_string(),
+        row![Value::Id(10), Value::Id(20)],
+    )];
     assert!(!compiled.is_evidence[vid.index()]);
 }
 
@@ -188,7 +226,11 @@ fn imply_factor_rules_connect_two_variables() {
     let mut g = Grounder::new(&mut db, compile(src).unwrap()).unwrap();
     db.insert("Pair", row![Value::Id(1), Value::Id(2)]).unwrap();
     g.initial_load(&db).unwrap();
-    assert_eq!(g.state.num_live_variables(), 2, "both direction tuples get variables");
+    assert_eq!(
+        g.state.num_live_variables(),
+        2,
+        "both direction tuples get variables"
+    );
     assert_eq!(g.state.num_live_factors(), 1);
     let (compiled, _) = g.state.compile();
     assert_eq!(compiled.args_of(0).len(), 2);
@@ -210,15 +252,29 @@ fn duplicate_derivations_do_not_duplicate_factors() {
     "#;
     let mut db = Database::new();
     let mut g = Grounder::new(&mut db, compile(src).unwrap()).unwrap();
-    db.insert("Seen", row![Value::Id(1), Value::Id(100)]).unwrap();
-    db.insert("Seen", row![Value::Id(1), Value::Id(200)]).unwrap();
+    db.insert("Seen", row![Value::Id(1), Value::Id(100)])
+        .unwrap();
+    db.insert("Seen", row![Value::Id(1), Value::Id(200)])
+        .unwrap();
     g.initial_load(&db).unwrap();
     // Grounding head row is just (m): both derivations share it.
     assert_eq!(g.state.num_live_factors(), 1);
-    g.apply_update(&db, vec![BaseChange::delete("Seen", row![Value::Id(1), Value::Id(100)])])
-        .unwrap();
+    g.apply_update(
+        &db,
+        vec![BaseChange::delete(
+            "Seen",
+            row![Value::Id(1), Value::Id(100)],
+        )],
+    )
+    .unwrap();
     assert_eq!(g.state.num_live_factors(), 1, "still one derivation left");
-    g.apply_update(&db, vec![BaseChange::delete("Seen", row![Value::Id(1), Value::Id(200)])])
-        .unwrap();
+    g.apply_update(
+        &db,
+        vec![BaseChange::delete(
+            "Seen",
+            row![Value::Id(1), Value::Id(200)],
+        )],
+    )
+    .unwrap();
     assert_eq!(g.state.num_live_factors(), 0);
 }

@@ -27,7 +27,12 @@ pub struct MeanFieldOptions {
 
 impl Default for MeanFieldOptions {
     fn default() -> Self {
-        MeanFieldOptions { tolerance: 1e-4, max_updates: 1_000_000, enumeration_cap: 12, seed: 7 }
+        MeanFieldOptions {
+            tolerance: 1e-4,
+            max_updates: 1_000_000,
+            enumeration_cap: 12,
+            seed: 7,
+        }
     }
 }
 
@@ -65,7 +70,9 @@ impl MeanField {
         opts: &MeanFieldOptions,
     ) -> MeanField {
         let mut mf = MeanField::new(graph);
-        let all: Vec<usize> = (0..graph.num_variables).filter(|&v| !graph.is_evidence[v]).collect();
+        let all: Vec<usize> = (0..graph.num_variables)
+            .filter(|&v| !graph.is_evidence[v])
+            .collect();
         mf.relax(graph, weights, &all, opts);
         mf
     }
@@ -168,8 +175,9 @@ impl MeanField {
         let range = graph.args_of(f);
         let base = range.start;
         let n = range.end - range.start;
-        let others: Vec<usize> =
-            (0..n).filter(|&i| graph.arg_vars[base + i] as usize != v).collect();
+        let others: Vec<usize> = (0..n)
+            .filter(|&i| graph.arg_vars[base + i] as usize != v)
+            .collect();
 
         let eval = |assign: &dyn Fn(usize) -> bool, forced: bool| {
             graph.factor_potential(f, |u| if u == v { forced } else { assign(u) })
@@ -192,9 +200,12 @@ impl MeanField {
                 if prob == 0.0 {
                     continue;
                 }
-                let assign = |u: usize|
-
-                    vals.iter().find(|(w, _)| *w == u).map(|(_, b)| *b).unwrap_or(false);
+                let assign = |u: usize| {
+                    vals.iter()
+                        .find(|(w, _)| *w == u)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(false)
+                };
                 e1 += prob * eval(&assign, true);
                 e0 += prob * eval(&assign, false);
             }
@@ -213,7 +224,10 @@ impl MeanField {
                     })
                     .collect();
                 let assign = |u: usize| {
-                    vals.iter().find(|(w, _)| *w == u).map(|(_, b)| *b).unwrap_or(false)
+                    vals.iter()
+                        .find(|(w, _)| *w == u)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(false)
                 };
                 e1 += eval(&assign, true);
                 e0 += eval(&assign, false);
@@ -231,9 +245,7 @@ impl MeanField {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepdive_factorgraph::{
-        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-    };
+    use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
 
     #[test]
     fn single_prior_is_exact() {
@@ -244,7 +256,12 @@ mod tests {
         let c = g.compile();
         let mf = MeanField::materialize(&c, &g.weights.values(), &MeanFieldOptions::default());
         let exact = exact_marginals(&c, &g.weights.values());
-        assert!((mf.q[0] - exact[0]).abs() < 1e-6, "{} vs {}", mf.q[0], exact[0]);
+        assert!(
+            (mf.q[0] - exact[0]).abs() < 1e-6,
+            "{} vs {}",
+            mf.q[0],
+            exact[0]
+        );
     }
 
     #[test]
@@ -280,7 +297,11 @@ mod tests {
         let e = g.add_variable(Variable::evidence(true));
         let q = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 2.0);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(e), FactorArg::pos(q)],
+            w,
+        );
         let c = g.compile();
         let mf = MeanField::materialize(&c, &g.weights.values(), &MeanFieldOptions::default());
         assert_eq!(mf.q[0], 1.0);
@@ -325,7 +346,11 @@ mod tests {
         let a = g.add_variable(Variable::query());
         let b = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 1.5);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(a), FactorArg::pos(b)],
+            w,
+        );
         let c = g.compile();
         let opts = MeanFieldOptions::default();
         let mut mf = MeanField::materialize(&c, &g.weights.values(), &opts);

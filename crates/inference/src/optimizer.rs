@@ -60,7 +60,11 @@ pub struct OptimizerRules {
 
 impl Default for OptimizerRules {
     fn default() -> Self {
-        OptimizerRules { dense_degree: 6.0, small_graph: 2_000, breakeven_vars_per_change: 40.0 }
+        OptimizerRules {
+            dense_degree: 6.0,
+            small_graph: 2_000,
+            breakeven_vars_per_change: 40.0,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ mod tests {
         let a = g.add_variable(Variable::query());
         let b = g.add_variable(Variable::query());
         let w = g.weights.tied("w", 1.0);
-        g.add_factor(FactorFunction::Imply, vec![FactorArg::pos(a), FactorArg::pos(b)], w);
+        g.add_factor(
+            FactorFunction::Imply,
+            vec![FactorArg::pos(a), FactorArg::pos(b)],
+            w,
+        );
         let c = g.compile();
         let s = WorkloadStats::from_graph(&c, 3);
         assert_eq!(s.num_variables, 2);

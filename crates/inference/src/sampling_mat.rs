@@ -64,6 +64,7 @@ impl SamplingMaterialization {
                 samples: opts.gibbs.samples / opts.num_worlds.max(1).max(1),
                 seed: opts.seed ^ (k as u64) << 8,
                 clamp_evidence: true,
+                deadline: opts.gibbs.deadline,
             };
             let m = sampler.run(weights, &chain_opts);
             updates += (chain_opts.burn_in + chain_opts.samples) * graph.num_variables;
@@ -79,7 +80,11 @@ impl SamplingMaterialization {
             worlds.push(world);
         }
         let marginals = pooled.probabilities();
-        SamplingMaterialization { worlds, marginals, last_updates: updates }
+        SamplingMaterialization {
+            worlds,
+            marginals,
+            last_updates: updates,
+        }
     }
 
     /// The r-hop factor neighborhood of the changed variables.
@@ -174,9 +179,7 @@ impl SamplingMaterialization {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepdive_factorgraph::{
-        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-    };
+    use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
 
     fn chain(n: usize, step_w: f64) -> FactorGraph {
         let mut g = FactorGraph::new();
@@ -200,7 +203,13 @@ mod tests {
         let c = g.compile();
         let opts = SamplingMatOptions {
             num_worlds: 8,
-            gibbs: GibbsOptions { burn_in: 200, samples: 16_000, seed: 1, clamp_evidence: true },
+            gibbs: GibbsOptions {
+                burn_in: 200,
+                samples: 16_000,
+                seed: 1,
+                clamp_evidence: true,
+                deadline: None,
+            },
             ..Default::default()
         };
         let mat = SamplingMaterialization::materialize(&c, &g.weights.values(), &opts);
@@ -233,7 +242,13 @@ mod tests {
         let c = g.compile();
         let opts = SamplingMatOptions {
             num_worlds: 12,
-            gibbs: GibbsOptions { burn_in: 100, samples: 6_000, seed: 3, clamp_evidence: true },
+            gibbs: GibbsOptions {
+                burn_in: 100,
+                samples: 6_000,
+                seed: 3,
+                clamp_evidence: true,
+                deadline: None,
+            },
             radius: 6,
             delta_sweeps: 60,
             ..Default::default()
@@ -261,7 +276,13 @@ mod tests {
         let c = g.compile();
         let opts = SamplingMatOptions {
             num_worlds: 4,
-            gibbs: GibbsOptions { burn_in: 20, samples: 200, seed: 3, clamp_evidence: true },
+            gibbs: GibbsOptions {
+                burn_in: 20,
+                samples: 200,
+                seed: 3,
+                clamp_evidence: true,
+                deadline: None,
+            },
             radius: 2,
             delta_sweeps: 10,
             ..Default::default()

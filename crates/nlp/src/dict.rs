@@ -58,7 +58,8 @@ impl Gazetteer {
     /// `EL` relation).
     pub fn insert_alias(&mut self, alias: &str, canonical: &str) {
         self.insert(alias);
-        self.canonical.insert(normalize(alias), canonical.to_string());
+        self.canonical
+            .insert(normalize(alias), canonical.to_string());
     }
 
     pub fn len(&self) -> usize {
@@ -100,7 +101,10 @@ impl Gazetteer {
 }
 
 fn normalize(s: &str) -> String {
-    s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+    s.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
 }
 
 #[cfg(test)]
@@ -118,8 +122,10 @@ mod tests {
     #[test]
     fn longest_match_prefers_longer_phrases() {
         let g = Gazetteer::from_phrases(["new york", "new york city"]);
-        let toks: Vec<String> =
-            ["new", "york", "city", "hall"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["new", "york", "city", "hall"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(g.longest_match(&toks), Some(3));
         assert_eq!(g.longest_match(&toks[1..]), None);
     }

@@ -31,13 +31,23 @@ pub struct Span {
 
 impl Span {
     fn from_tokens(kind: SpanKind, tokens: &[Token], first: usize, last: usize) -> Self {
-        let text =
-            tokens[first..=last].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
-        Span { kind, first, last, text }
+        let text = tokens[first..=last]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        Span {
+            kind,
+            first,
+            last,
+            text,
+        }
     }
 }
 
-const HONORIFICS: &[&str] = &["dr.", "dr", "mr.", "mr", "mrs.", "mrs", "ms.", "ms", "prof.", "prof"];
+const HONORIFICS: &[&str] = &[
+    "dr.", "dr", "mr.", "mr", "mrs.", "mrs", "ms.", "ms", "prof.", "prof",
+];
 
 /// Spot person-name candidates: runs of proper nouns (NNP), optionally led by
 /// an honorific; single capitalized tokens count too (high recall — the
@@ -88,7 +98,10 @@ pub fn spot_prices(tokens: &[Token], tags: &[PosTag]) -> Vec<Span> {
 /// single 10-digit tokens.
 pub fn spot_phones(tokens: &[Token]) -> Vec<Span> {
     let digits = |s: &str| s.chars().filter(char::is_ascii_digit).count();
-    let digits_only = |s: &str| s.chars().all(|c| c.is_ascii_digit() || c == '-' || c == '.');
+    let digits_only = |s: &str| {
+        s.chars()
+            .all(|c| c.is_ascii_digit() || c == '-' || c == '.')
+    };
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -122,7 +135,8 @@ pub fn spot_genes(tokens: &[Token]) -> Vec<Span> {
         let s = &t.text;
         let ok = s.len() >= 2
             && s.len() <= 8
-            && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+            && s.chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
             && s.chars().any(|c| c.is_ascii_uppercase());
         if ok {
             spans.push(Span::from_tokens(SpanKind::Gene, tokens, i, i));
@@ -199,7 +213,12 @@ pub fn spot_locations(tokens: &[Token], gazetteer: &Gazetteer) -> Vec<Span> {
     let mut i = 0;
     while i < tokens.len() {
         if let Some(len) = gazetteer.longest_match(&texts[i..]) {
-            spans.push(Span::from_tokens(SpanKind::Location, tokens, i, i + len - 1));
+            spans.push(Span::from_tokens(
+                SpanKind::Location,
+                tokens,
+                i,
+                i + len - 1,
+            ));
             i += len;
         } else {
             i += 1;
@@ -225,7 +244,10 @@ mod tests {
         let (t, g) = prep("B. Obama and Michelle were married");
         let ps = spot_persons(&t, &g);
         let texts: Vec<&str> = ps.iter().map(|s| s.text.as_str()).collect();
-        assert!(texts.contains(&"B. Obama") || texts.contains(&"Obama"), "{texts:?}");
+        assert!(
+            texts.contains(&"B. Obama") || texts.contains(&"Obama"),
+            "{texts:?}"
+        );
         assert!(texts.contains(&"Michelle"));
     }
 

@@ -39,7 +39,11 @@ impl ProcessedSentence {
     /// Ex. 3.2 ("the phrase between two mentions may indicate whether two
     /// people are married", e.g. "and his wife").
     pub fn phrase_between(&self, a: &Span, b: &Span) -> String {
-        let (lo, hi) = if a.last < b.first { (a.last, b.first) } else { (b.last, a.first) };
+        let (lo, hi) = if a.last < b.first {
+            (a.last, b.first)
+        } else {
+            (b.last, a.first)
+        };
         if lo + 1 >= hi {
             return String::new();
         }
@@ -98,8 +102,11 @@ impl Pipeline {
 
     /// Process one raw document.
     pub fn process(&self, doc_id: u64, raw: &str) -> ProcessedDocument {
-        let text =
-            if self.options.strip_html { strip_html(raw) } else { raw.to_string() };
+        let text = if self.options.strip_html {
+            strip_html(raw)
+        } else {
+            raw.to_string()
+        };
         let sentences = split_sentences(&text)
             .into_iter()
             .enumerate()
@@ -125,7 +132,13 @@ impl Pipeline {
                 if let Some(gaz) = &self.options.location_gazetteer {
                     spans.extend(spot_locations(&tokens, gaz));
                 }
-                ProcessedSentence { index, text: s.text, tokens, tags, spans }
+                ProcessedSentence {
+                    index,
+                    text: s.text,
+                    tokens,
+                    tags,
+                    spans,
+                }
             })
             .collect();
         ProcessedDocument { doc_id, sentences }
@@ -142,8 +155,10 @@ mod tests {
         let doc = p.process(1, "B. Obama and Michelle were married Oct. 3, 1992.");
         assert_eq!(doc.sentences.len(), 1);
         let s = &doc.sentences[0];
-        let persons: Vec<&str> =
-            s.spans_of(SpanKind::Person).map(|sp| sp.text.as_str()).collect();
+        let persons: Vec<&str> = s
+            .spans_of(SpanKind::Person)
+            .map(|sp| sp.text.as_str())
+            .collect();
         assert!(persons.len() >= 2, "{persons:?}");
     }
 
@@ -168,11 +183,18 @@ mod tests {
 
     #[test]
     fn optional_spotters_are_gated() {
-        let opts = PipelineOptions { prices: true, phones: true, ..Default::default() };
+        let opts = PipelineOptions {
+            prices: true,
+            phones: true,
+            ..Default::default()
+        };
         let p = Pipeline::new(opts);
         let doc = p.process(1, "Rates from $200. Call 555-123-4567 anytime.");
-        let all: Vec<SpanKind> =
-            doc.sentences.iter().flat_map(|s| s.spans.iter().map(|x| x.kind)).collect();
+        let all: Vec<SpanKind> = doc
+            .sentences
+            .iter()
+            .flat_map(|s| s.spans.iter().map(|x| x.kind))
+            .collect();
         assert!(all.contains(&SpanKind::Price));
         assert!(all.contains(&SpanKind::Phone));
     }

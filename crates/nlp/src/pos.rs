@@ -68,7 +68,9 @@ impl PosTag {
     }
 }
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "every", "each"];
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "every", "each",
+];
 const PREPOSITIONS: &[&str] = &[
     "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over", "under", "after",
     "before", "between", "during", "through", "about", "against", "per",
@@ -78,16 +80,60 @@ const PRONOUNS: &[&str] = &[
     "i", "you", "he", "she", "it", "we", "they", "him", "her", "his", "hers", "its", "their",
     "them", "who", "whom", "which", "me", "us", "my", "your", "our",
 ];
-const MODALS: &[&str] = &["can", "could", "may", "might", "must", "shall", "should", "will", "would"];
-const COMMON_VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "do", "does", "did",
-    "married", "divorced", "met", "said", "reported", "found", "shows", "showed", "causes",
-    "caused", "treats", "treated", "regulates", "regulated", "exhibits", "exhibited", "measured",
-    "observed", "filed", "visited", "posted", "works", "worked", "lives", "lived", "offers",
-    "charges", "includes", "interacts", "inhibits", "activates", "binds", "encodes",
+const MODALS: &[&str] = &[
+    "can", "could", "may", "might", "must", "shall", "should", "will", "would",
 ];
-const COMMON_ADVERBS: &[&str] =
-    &["very", "not", "also", "recently", "often", "never", "always", "now", "then", "here"];
+const COMMON_VERBS: &[&str] = &[
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "has",
+    "have",
+    "had",
+    "do",
+    "does",
+    "did",
+    "married",
+    "divorced",
+    "met",
+    "said",
+    "reported",
+    "found",
+    "shows",
+    "showed",
+    "causes",
+    "caused",
+    "treats",
+    "treated",
+    "regulates",
+    "regulated",
+    "exhibits",
+    "exhibited",
+    "measured",
+    "observed",
+    "filed",
+    "visited",
+    "posted",
+    "works",
+    "worked",
+    "lives",
+    "lived",
+    "offers",
+    "charges",
+    "includes",
+    "interacts",
+    "inhibits",
+    "activates",
+    "binds",
+    "encodes",
+];
+const COMMON_ADVERBS: &[&str] = &[
+    "very", "not", "also", "recently", "often", "never", "always", "now", "then", "here",
+];
 
 /// Tag a token sequence.
 pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
@@ -106,7 +152,11 @@ pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
                     PosTag::Punct
                 };
             }
-            if first.is_ascii_digit() || lower.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.') {
+            if first.is_ascii_digit()
+                || lower
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+            {
                 return PosTag::Cd;
             }
             if DETERMINERS.contains(&lower.as_str()) {
@@ -140,14 +190,25 @@ pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
             if lower.ends_with("ed") && i > 0 {
                 return PosTag::Vb;
             }
-            if lower.ends_with("ous") || lower.ends_with("ful") || lower.ends_with("ive")
-                || lower.ends_with("able") || lower.ends_with("ic") || lower.ends_with("al")
+            if lower.ends_with("ous")
+                || lower.ends_with("ful")
+                || lower.ends_with("ive")
+                || lower.ends_with("able")
+                || lower.ends_with("ic")
+                || lower.ends_with("al")
             {
                 return PosTag::Jj;
             }
             // Capitalized mid-sentence (or sentence-initial known-cap) →
             // proper noun; sentence-initial otherwise defaults to noun.
-            if first.is_uppercase() && (i > 0 || text.chars().nth(1).map(char::is_alphabetic).unwrap_or(false)) {
+            if first.is_uppercase()
+                && (i > 0
+                    || text
+                        .chars()
+                        .nth(1)
+                        .map(char::is_alphabetic)
+                        .unwrap_or(false))
+            {
                 return PosTag::Nnp;
             }
             PosTag::Nn

@@ -40,7 +40,8 @@ pub fn split_sentences(text: &str) -> Vec<SentenceSpan> {
     let mut i = 0usize;
     while i < n {
         let c = chars[i].1;
-        let is_term = c == '.' || c == '!' || c == '?' || c == '\n' && i + 1 < n && chars[i + 1].1 == '\n';
+        let is_term =
+            c == '.' || c == '!' || c == '?' || c == '\n' && i + 1 < n && chars[i + 1].1 == '\n';
         if is_term {
             // Word immediately before the terminator.
             let mut k = i;
@@ -56,11 +57,17 @@ pub fn split_sentences(text: &str) -> Vec<SentenceSpan> {
                 j += 1;
             }
             let boundary = !abbrev
-                && (j >= n || chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit()
+                && (j >= n
+                    || chars[j].1.is_uppercase()
+                    || chars[j].1.is_ascii_digit()
                     || chars[j].1 == '"');
             if boundary {
                 let start_b = chars[sent_start].0;
-                let end_b = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+                let end_b = if i + 1 < n {
+                    chars[i + 1].0
+                } else {
+                    text.len()
+                };
                 let s = text[start_b..end_b].trim();
                 if !s.is_empty() {
                     sentences.push(SentenceSpan {
@@ -80,7 +87,11 @@ pub fn split_sentences(text: &str) -> Vec<SentenceSpan> {
         let start_b = chars[sent_start].0;
         let s = text[start_b..].trim();
         if !s.is_empty() {
-            sentences.push(SentenceSpan { text: s.to_string(), start: start_b, end: text.len() });
+            sentences.push(SentenceSpan {
+                text: s.to_string(),
+                start: start_b,
+                end: text.len(),
+            });
         }
     }
     sentences
@@ -123,8 +134,12 @@ pub fn strip_html(html: &str) -> String {
                 }
                 // Block-level tags become sentence-ish breaks.
                 let t = tag.trim_start_matches('/').to_ascii_lowercase();
-                if t.starts_with("p") || t.starts_with("br") || t.starts_with("div")
-                    || t.starts_with("li") || t.starts_with("tr") || t.starts_with("h")
+                if t.starts_with("p")
+                    || t.starts_with("br")
+                    || t.starts_with("div")
+                    || t.starts_with("li")
+                    || t.starts_with("tr")
+                    || t.starts_with("h")
                 {
                     out.push('\n');
                 } else {
@@ -227,7 +242,10 @@ mod tests {
 
     #[test]
     fn entities_decode() {
-        assert_eq!(strip_html("a &lt;b&gt; &quot;c&quot; &#39;d&#39;"), "a <b> \"c\" 'd'");
+        assert_eq!(
+            strip_html("a &lt;b&gt; &quot;c&quot; &#39;d&#39;"),
+            "a <b> \"c\" 'd'"
+        );
     }
 
     #[test]

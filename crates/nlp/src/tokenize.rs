@@ -23,7 +23,11 @@ pub struct Token {
 
 impl Token {
     pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
-        Token { text: text.into(), start, end }
+        Token {
+            text: text.into(),
+            start,
+            end,
+        }
     }
 }
 
@@ -108,9 +112,12 @@ mod tests {
 
     #[test]
     fn splits_words_and_punctuation() {
-        assert_eq!(texts("B. Obama and Michelle were married Oct. 3, 1992."), vec![
-            "B.", "Obama", "and", "Michelle", "were", "married", "Oct.", "3", ",", "1992", "."
-        ]);
+        assert_eq!(
+            texts("B. Obama and Michelle were married Oct. 3, 1992."),
+            vec![
+                "B.", "Obama", "and", "Michelle", "were", "married", "Oct.", "3", ",", "1992", "."
+            ]
+        );
     }
 
     #[test]

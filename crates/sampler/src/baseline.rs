@@ -95,7 +95,11 @@ impl<'g> GraphLabStyleSampler<'g> {
             scopes.push(scope);
         }
         let locks = (0..graph.num_variables).map(|_| Mutex::new(())).collect();
-        GraphLabStyleSampler { graph, locks, scopes }
+        GraphLabStyleSampler {
+            graph,
+            locks,
+            scopes,
+        }
     }
 
     /// Run `burn_in + samples` sweeps under the sweep scheduler.
@@ -136,10 +140,11 @@ impl<'g> GraphLabStyleSampler<'g> {
                                 continue;
                             }
                             // Ascending-order scope acquisition (deadlock-free).
-                            let guards: Vec<_> =
-                                scopes[v].iter().map(|&u| locks[u as usize].lock()).collect();
-                            let logit =
-                                graph.conditional_logit(v, weights, |i| world_ref.get(i));
+                            let guards: Vec<_> = scopes[v]
+                                .iter()
+                                .map(|&u| locks[u as usize].lock())
+                                .collect();
+                            let logit = graph.conditional_logit(v, weights, |i| world_ref.get(i));
                             let new = rng.gen::<f64>() < sigmoid(logit);
                             world_ref.set(v, new);
                             drop(guards);
@@ -173,9 +178,7 @@ impl<'g> GraphLabStyleSampler<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepdive_factorgraph::{
-        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-    };
+    use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
 
     fn chain(n: usize) -> FactorGraph {
         let mut g = FactorGraph::new();
@@ -236,7 +239,11 @@ mod tests {
         let e = g.add_variable(Variable::evidence(true));
         let q = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 1.0);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(e), FactorArg::pos(q)],
+            w,
+        );
         let c = g.compile();
         let sampler = GraphLabStyleSampler::new(&c);
         let opts = GraphLabOptions {

@@ -10,6 +10,7 @@
 use deepdive_factorgraph::{CompiledGraph, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Options for a Gibbs run.
 #[derive(Debug, Clone)]
@@ -24,11 +25,21 @@ pub struct GibbsOptions {
     /// world"); when false, evidence variables are sampled like any other
     /// (learning's "free world", and plain inference over query variables).
     pub clamp_evidence: bool,
+    /// Wall-clock budget for the whole run (burn-in + sampling), checked
+    /// between sweeps. On expiry the run stops early and the returned
+    /// [`Marginals`] are flagged `degraded` — partial results, not an error.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for GibbsOptions {
     fn default() -> Self {
-        GibbsOptions { burn_in: 100, samples: 900, seed: 0xD1_D1, clamp_evidence: false }
+        GibbsOptions {
+            burn_in: 100,
+            samples: 900,
+            seed: 0xD1_D1,
+            clamp_evidence: false,
+            deadline: None,
+        }
     }
 }
 
@@ -37,11 +48,18 @@ impl Default for GibbsOptions {
 pub struct Marginals {
     pub true_counts: Vec<u64>,
     pub samples: u64,
+    /// True when the run hit its deadline and stopped before completing the
+    /// requested sweeps; estimates are from fewer samples than asked for.
+    pub degraded: bool,
 }
 
 impl Marginals {
     pub fn new(num_variables: usize) -> Self {
-        Marginals { true_counts: vec![0; num_variables], samples: 0 }
+        Marginals {
+            true_counts: vec![0; num_variables],
+            samples: 0,
+            degraded: false,
+        }
     }
 
     /// Estimated `P(v = 1)`.
@@ -53,7 +71,9 @@ impl Marginals {
     }
 
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.true_counts.len()).map(|v| self.probability(v)).collect()
+        (0..self.true_counts.len())
+            .map(|v| self.probability(v))
+            .collect()
     }
 
     pub fn record(&mut self, world: &World) {
@@ -71,6 +91,7 @@ impl Marginals {
             *a += b;
         }
         self.samples += other.samples;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -83,7 +104,11 @@ pub struct GibbsSampler<'g> {
 
 impl<'g> GibbsSampler<'g> {
     pub fn new(graph: &'g CompiledGraph, seed: u64, clamp_evidence: bool) -> Self {
-        GibbsSampler { graph, rng: StdRng::seed_from_u64(seed), clamp_evidence }
+        GibbsSampler {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            clamp_evidence,
+        }
     }
 
     /// One sequential sweep: resample every (non-clamped) variable in index
@@ -130,8 +155,12 @@ impl<'g> GibbsSampler<'g> {
         flips
     }
 
-    /// Run burn-in + sampling sweeps, collecting marginals.
+    /// Run burn-in + sampling sweeps, collecting marginals. If
+    /// `opts.deadline` expires mid-run the sampler stops after the current
+    /// sweep and returns whatever it has, flagged `degraded`.
     pub fn run(&mut self, weights: &[f64], opts: &GibbsOptions) -> Marginals {
+        let start = Instant::now();
+        let expired = || opts.deadline.is_some_and(|d| start.elapsed() >= d);
         let mut world = deepdive_factorgraph::initial_world(self.graph);
         // Randomize non-clamped starting values to decorrelate chains.
         for (v, w) in world.iter_mut().enumerate() {
@@ -139,11 +168,19 @@ impl<'g> GibbsSampler<'g> {
                 *w = self.rng.gen();
             }
         }
+        let mut marg = Marginals::new(self.graph.num_variables);
         for _ in 0..opts.burn_in {
+            if expired() {
+                marg.degraded = true;
+                return marg;
+            }
             self.sweep(weights, &mut world);
         }
-        let mut marg = Marginals::new(self.graph.num_variables);
         for _ in 0..opts.samples {
+            if expired() {
+                marg.degraded = true;
+                return marg;
+            }
             self.sweep(weights, &mut world);
             marg.record(&world);
         }
@@ -166,16 +203,18 @@ pub fn sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepdive_factorgraph::{
-        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-    };
+    use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
 
     fn assert_close_to_exact(g: &FactorGraph, tol: f64) {
         let c = g.compile();
         let weights = g.weights.values();
         let exact = exact_marginals(&c, &weights);
-        let opts =
-            GibbsOptions { burn_in: 500, samples: 20_000, seed: 7, clamp_evidence: false };
+        let opts = GibbsOptions {
+            burn_in: 500,
+            samples: 20_000,
+            seed: 7,
+            ..Default::default()
+        };
         let est = gibbs_marginals(&c, &weights, &opts);
         for v in 0..c.num_variables {
             if c.is_evidence[v] {
@@ -223,7 +262,11 @@ mod tests {
         let b = g.add_variable(Variable::query());
         let w1 = g.weights.tied("or", 0.9);
         let w2 = g.weights.tied("na", 0.4);
-        g.add_factor(FactorFunction::Or, vec![FactorArg::pos(a), FactorArg::neg(b)], w1);
+        g.add_factor(
+            FactorFunction::Or,
+            vec![FactorArg::pos(a), FactorArg::neg(b)],
+            w1,
+        );
         g.add_factor(FactorFunction::IsTrue, vec![FactorArg::neg(a)], w2);
         assert_close_to_exact(&g, 0.02);
     }
@@ -234,11 +277,20 @@ mod tests {
         let e = g.add_variable(Variable::evidence(true));
         let q = g.add_variable(Variable::query());
         let w = g.weights.tied("eq", 1.5);
-        g.add_factor(FactorFunction::Equal, vec![FactorArg::pos(e), FactorArg::pos(q)], w);
+        g.add_factor(
+            FactorFunction::Equal,
+            vec![FactorArg::pos(e), FactorArg::pos(q)],
+            w,
+        );
         let c = g.compile();
         let weights = g.weights.values();
-        let opts =
-            GibbsOptions { burn_in: 200, samples: 5_000, seed: 3, clamp_evidence: true };
+        let opts = GibbsOptions {
+            burn_in: 200,
+            samples: 5_000,
+            seed: 3,
+            clamp_evidence: true,
+            ..Default::default()
+        };
         let est = gibbs_marginals(&c, &weights, &opts);
         assert_eq!(est.probability(0), 1.0, "evidence stays clamped");
         assert!(est.probability(1) > 0.8, "query follows evidence");
@@ -252,10 +304,52 @@ mod tests {
         g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
         let c = g.compile();
         let weights = g.weights.values();
-        let opts = GibbsOptions { burn_in: 10, samples: 100, seed: 99, clamp_evidence: false };
+        let opts = GibbsOptions {
+            burn_in: 10,
+            samples: 100,
+            seed: 99,
+            ..Default::default()
+        };
         let a = gibbs_marginals(&c, &weights, &opts);
         let b = gibbs_marginals(&c, &weights, &opts);
         assert_eq!(a.true_counts, b.true_counts);
+    }
+
+    #[test]
+    fn expired_deadline_returns_degraded_partial_marginals() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query());
+        let w = g.weights.tied("p", 0.2);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let c = g.compile();
+        let weights = g.weights.values();
+        let opts = GibbsOptions {
+            burn_in: 10,
+            samples: 100,
+            seed: 1,
+            deadline: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let m = gibbs_marginals(&c, &weights, &opts);
+        assert!(m.degraded);
+        assert_eq!(m.samples, 0);
+        assert_eq!(
+            m.probability(0),
+            0.5,
+            "no samples collected -> uninformative prior"
+        );
+    }
+
+    #[test]
+    fn no_deadline_is_never_degraded() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(Variable::query());
+        let w = g.weights.tied("p", 0.2);
+        g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], w);
+        let c = g.compile();
+        let m = gibbs_marginals(&c, &g.weights.values(), &GibbsOptions::default());
+        assert!(!m.degraded);
+        assert_eq!(m.samples, 900);
     }
 
     #[test]

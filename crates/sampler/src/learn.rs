@@ -23,8 +23,9 @@ use crate::numa::{partition, AtomicWorld};
 use deepdive_factorgraph::{CompiledGraph, WeightStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 /// Options for weight learning.
 #[derive(Debug, Clone)]
@@ -40,6 +41,10 @@ pub struct LearnOptions {
     pub seed: u64,
     /// Gibbs sweeps of each chain between gradient steps.
     pub sweeps_per_epoch: usize,
+    /// Wall-clock budget for the run, checked between epochs. On expiry
+    /// learning stops with the weights it has and flags the returned
+    /// [`LearnStats`] `degraded` — partial results, not an error.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for LearnOptions {
@@ -51,16 +56,19 @@ impl Default for LearnOptions {
             l2: 0.01,
             seed: 0x1EA2,
             sweeps_per_epoch: 1,
+            deadline: None,
         }
     }
 }
 
 /// Diagnostics from a learning run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LearnStats {
     pub epochs_run: usize,
     /// ‖gradient‖₂ per epoch (before regularization).
     pub gradient_norms: Vec<f64>,
+    /// True when the deadline expired before all requested epochs ran.
+    pub degraded: bool,
 }
 
 /// Sweep a world sequentially (optionally clamping evidence).
@@ -110,15 +118,28 @@ pub fn learn_weights(
     let refs = tie_sizes(graph);
 
     let mut clamped: Vec<bool> = (0..graph.num_variables)
-        .map(|v| if graph.is_evidence[v] { graph.evidence_value[v] } else { rng.gen() })
+        .map(|v| {
+            if graph.is_evidence[v] {
+                graph.evidence_value[v]
+            } else {
+                rng.gen()
+            }
+        })
         .collect();
     let mut free: Vec<bool> = (0..graph.num_variables).map(|_| rng.gen()).collect();
 
     let mut step = opts.step_size;
     let mut gradient_norms = Vec::with_capacity(opts.epochs);
     let mut grad = vec![0.0f64; nw];
+    let start = Instant::now();
+    let mut epochs_run = 0;
+    let mut degraded = false;
 
     for _ in 0..opts.epochs {
+        if opts.deadline.is_some_and(|d| start.elapsed() >= d) {
+            degraded = true;
+            break;
+        }
         for _ in 0..opts.sweeps_per_epoch {
             sweep(graph, &weights, &mut clamped, &mut rng, true);
             sweep(graph, &weights, &mut free, &mut rng, false);
@@ -144,10 +165,15 @@ pub fn learn_weights(
             }
         }
         step *= opts.decay;
+        epochs_run += 1;
     }
 
     store.load_values(&weights);
-    LearnStats { epochs_run: opts.epochs, gradient_norms }
+    LearnStats {
+        epochs_run,
+        gradient_norms,
+        degraded,
+    }
 }
 
 /// f64 stored in an `AtomicU64`, with a CAS-free racy add for Hogwild.
@@ -197,13 +223,24 @@ pub fn learn_weights_hogwild(
     let var_slices = partition(graph.num_variables, workers);
     let factor_slices = partition(graph.num_factors, workers);
     let barrier = Barrier::new(workers);
+    // Deadline coordination: worker 0 checks the clock in its serial slot
+    // (between the second and third barriers) and raises `stop`; every
+    // worker reads it after the third barrier, so all workers leave the
+    // epoch loop at the same iteration and barrier counts stay aligned.
+    let stop = AtomicBool::new(false);
+    let epochs_done = AtomicU64::new(0);
+    let start = Instant::now();
 
     let (shared_ref, learnable_ref, refs_ref) = (&shared, &learnable, &refs);
     let (clamped_ref, free_ref, barrier_ref) = (&clamped, &free, &barrier);
+    let (stop_ref, epochs_done_ref) = (&stop, &epochs_done);
 
     crossbeam::thread::scope(|scope| {
-        for (wi, (vslice, fslice)) in
-            var_slices.iter().cloned().zip(factor_slices.iter().cloned()).enumerate()
+        for (wi, (vslice, fslice)) in var_slices
+            .iter()
+            .cloned()
+            .zip(factor_slices.iter().cloned())
+            .enumerate()
         {
             scope.spawn(move |_| {
                 let mut rng =
@@ -245,14 +282,23 @@ pub fn learn_weights_hogwild(
                     }
                     barrier_ref.wait();
                     // Regularization applied once per epoch by worker 0.
-                    if wi == 0 && opts.l2 > 0.0 {
-                        for (w, s) in shared_ref.iter().enumerate() {
-                            if learnable_ref[w] {
-                                s.store(s.load() * (1.0 - step * opts.l2));
+                    if wi == 0 {
+                        if opts.l2 > 0.0 {
+                            for (w, s) in shared_ref.iter().enumerate() {
+                                if learnable_ref[w] {
+                                    s.store(s.load() * (1.0 - step * opts.l2));
+                                }
                             }
+                        }
+                        epochs_done_ref.fetch_add(1, Ordering::Relaxed);
+                        if opts.deadline.is_some_and(|d| start.elapsed() >= d) {
+                            stop_ref.store(true, Ordering::Relaxed);
                         }
                     }
                     barrier_ref.wait();
+                    if stop_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
                     step *= opts.decay;
                 }
             });
@@ -262,7 +308,12 @@ pub fn learn_weights_hogwild(
 
     let final_weights: Vec<f64> = shared.iter().map(AtomicF64::load).collect();
     store.load_values(&final_weights);
-    LearnStats { epochs_run: opts.epochs, gradient_norms: Vec::new() }
+    let epochs_run = epochs_done.load(Ordering::Relaxed) as usize;
+    LearnStats {
+        epochs_run,
+        gradient_norms: Vec::new(),
+        degraded: epochs_run < opts.epochs,
+    }
 }
 
 /// Model-averaging parallel learning \[57\]: `replicas` independent learners
@@ -280,12 +331,22 @@ pub fn learn_weights_model_averaging(
     let mut current = store.values();
     let learnable = store.learnable_mask();
     let mut gradient_norms = Vec::new();
+    let start = Instant::now();
+    let mut epochs_total = 0;
+    let mut degraded = false;
 
     for round in 0..rounds {
+        // Hand each round's replicas whatever wall-clock remains.
+        let remaining = opts.deadline.map(|d| d.saturating_sub(start.elapsed()));
+        if remaining.is_some_and(|r| r.is_zero()) {
+            degraded = true;
+            break;
+        }
         let round_opts = LearnOptions {
             epochs: period,
             step_size: opts.step_size * opts.decay.powi((round * period) as i32),
             seed: opts.seed ^ ((round as u64) << 16),
+            deadline: remaining,
             ..opts.clone()
         };
         let results: Vec<(Vec<f64>, LearnStats)> = crossbeam::thread::scope(|scope| {
@@ -303,24 +364,36 @@ pub fn learn_weights_model_averaging(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("replica")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replica"))
+                .collect()
         })
         .expect("averaging scope");
 
         // Average learnable weights across replicas.
         for w in 0..current.len() {
             if learnable[w] {
-                current[w] =
-                    results.iter().map(|(vals, _)| vals[w]).sum::<f64>() / replicas as f64;
+                current[w] = results.iter().map(|(vals, _)| vals[w]).sum::<f64>() / replicas as f64;
             }
         }
+        let round_degraded = results.iter().any(|(_, s)| s.degraded);
         if let Some((_, stats)) = results.into_iter().next() {
+            epochs_total += stats.epochs_run;
             gradient_norms.extend(stats.gradient_norms);
+        }
+        if round_degraded {
+            degraded = true;
+            break;
         }
     }
 
     store.load_values(&current);
-    LearnStats { epochs_run: rounds * period, gradient_norms }
+    LearnStats {
+        epochs_run: epochs_total,
+        gradient_norms,
+        degraded,
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +423,11 @@ mod tests {
         let g = supervised_graph(30, 30);
         let c = g.compile();
         let mut store = g.weights.clone();
-        let opts = LearnOptions { epochs: 150, seed: 5, ..LearnOptions::default() };
+        let opts = LearnOptions {
+            epochs: 150,
+            seed: 5,
+            ..LearnOptions::default()
+        };
         learn_weights(&c, &mut store, &opts);
         let wa = store.value(store.lookup("feat:A").unwrap());
         let wb = store.value(store.lookup("feat:B").unwrap());
@@ -368,15 +445,28 @@ mod tests {
         g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(q)], wa);
         let c = g.compile();
         let mut store = g.weights.clone();
-        learn_weights(&c, &mut store, &LearnOptions { epochs: 150, seed: 5, ..Default::default() });
+        learn_weights(
+            &c,
+            &mut store,
+            &LearnOptions {
+                epochs: 150,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let opts = crate::gibbs::GibbsOptions {
             burn_in: 100,
             samples: 2000,
             seed: 9,
             clamp_evidence: true,
+            ..Default::default()
         };
         let m = crate::gibbs::gibbs_marginals(&c, &store.values(), &opts);
-        assert!(m.probability(q.index()) > 0.7, "got {}", m.probability(q.index()));
+        assert!(
+            m.probability(q.index()) > 0.7,
+            "got {}",
+            m.probability(q.index())
+        );
     }
 
     #[test]
@@ -387,7 +477,14 @@ mod tests {
         g.add_factor(FactorFunction::IsTrue, vec![FactorArg::pos(v)], wf);
         let c = g.compile();
         let mut store = g.weights.clone();
-        learn_weights(&c, &mut store, &LearnOptions { epochs: 50, ..Default::default() });
+        learn_weights(
+            &c,
+            &mut store,
+            &LearnOptions {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(store.value(wf), 3.0);
     }
 
@@ -400,12 +497,22 @@ mod tests {
         learn_weights(
             &c,
             &mut weak,
-            &LearnOptions { epochs: 120, l2: 0.0, seed: 3, ..Default::default() },
+            &LearnOptions {
+                epochs: 120,
+                l2: 0.0,
+                seed: 3,
+                ..Default::default()
+            },
         );
         learn_weights(
             &c,
             &mut strong,
-            &LearnOptions { epochs: 120, l2: 0.5, seed: 3, ..Default::default() },
+            &LearnOptions {
+                epochs: 120,
+                l2: 0.5,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let wa_weak = weak.value(weak.lookup("feat:A").unwrap());
         let wa_strong = strong.value(strong.lookup("feat:A").unwrap());
@@ -417,7 +524,11 @@ mod tests {
         let g = supervised_graph(30, 30);
         let c = g.compile();
         let mut store = g.weights.clone();
-        let opts = LearnOptions { epochs: 150, seed: 5, ..Default::default() };
+        let opts = LearnOptions {
+            epochs: 150,
+            seed: 5,
+            ..Default::default()
+        };
         learn_weights_hogwild(&c, &mut store, &opts, 4);
         let wa = store.value(store.lookup("feat:A").unwrap());
         let wb = store.value(store.lookup("feat:B").unwrap());
@@ -430,12 +541,61 @@ mod tests {
         let g = supervised_graph(30, 30);
         let c = g.compile();
         let mut store = g.weights.clone();
-        let opts = LearnOptions { epochs: 120, seed: 5, ..Default::default() };
+        let opts = LearnOptions {
+            epochs: 120,
+            seed: 5,
+            ..Default::default()
+        };
         learn_weights_model_averaging(&c, &mut store, &opts, 4, 20);
         let wa = store.value(store.lookup("feat:A").unwrap());
         let wb = store.value(store.lookup("feat:B").unwrap());
         assert!(wa > 0.3, "averaged wa={wa}");
         assert!(wb < -0.3, "averaged wb={wb}");
+    }
+
+    #[test]
+    fn expired_deadline_stops_learning_early() {
+        let g = supervised_graph(10, 10);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions {
+            epochs: 1000,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let stats = learn_weights(&c, &mut store, &opts);
+        assert!(stats.degraded);
+        assert_eq!(stats.epochs_run, 0);
+    }
+
+    #[test]
+    fn hogwild_deadline_stops_all_workers_consistently() {
+        let g = supervised_graph(10, 10);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions {
+            epochs: 100_000,
+            deadline: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let stats = learn_weights_hogwild(&c, &mut store, &opts, 4);
+        assert!(stats.degraded, "a 5ms budget cannot fit 100k epochs");
+        assert!(stats.epochs_run < 100_000);
+    }
+
+    #[test]
+    fn model_averaging_respects_deadline() {
+        let g = supervised_graph(10, 10);
+        let c = g.compile();
+        let mut store = g.weights.clone();
+        let opts = LearnOptions {
+            epochs: 100_000,
+            deadline: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let stats = learn_weights_model_averaging(&c, &mut store, &opts, 2, 1000);
+        assert!(stats.degraded);
+        assert!(stats.epochs_run < 100_000);
     }
 
     #[test]

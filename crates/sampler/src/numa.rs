@@ -37,19 +37,31 @@ pub struct Topology {
 impl Topology {
     /// A single-socket machine: no remote accesses are possible.
     pub fn single_socket(cores: usize) -> Self {
-        Topology { sockets: 1, cores_per_socket: cores, remote_access_penalty_ns: 0 }
+        Topology {
+            sockets: 1,
+            cores_per_socket: cores,
+            remote_access_penalty_ns: 0,
+        }
     }
 
     /// The paper's evaluation machine shape: 4 sockets × 10 cores. The
     /// default penalty (120 ns) approximates one remote DRAM round-trip
     /// minus a local one on 2010s Xeon-EX parts.
     pub fn four_socket() -> Self {
-        Topology { sockets: 4, cores_per_socket: 10, remote_access_penalty_ns: 120 }
+        Topology {
+            sockets: 4,
+            cores_per_socket: 10,
+            remote_access_penalty_ns: 120,
+        }
     }
 
     pub fn new(sockets: usize, cores_per_socket: usize, remote_access_penalty_ns: u64) -> Self {
         assert!(sockets > 0 && cores_per_socket > 0);
-        Topology { sockets, cores_per_socket, remote_access_penalty_ns }
+        Topology {
+            sockets,
+            cores_per_socket,
+            remote_access_penalty_ns,
+        }
     }
 
     pub fn total_cores(&self) -> usize {
@@ -83,7 +95,12 @@ pub struct PenaltyMeter {
 
 impl PenaltyMeter {
     pub fn new() -> Self {
-        PenaltyMeter { owed_ns: 0, batch_ns: 50_000, total_charged_ns: 0, remote_accesses: 0 }
+        PenaltyMeter {
+            owed_ns: 0,
+            batch_ns: 50_000,
+            total_charged_ns: 0,
+            remote_accesses: 0,
+        }
     }
 
     /// Charge one remote access.
@@ -224,7 +241,9 @@ impl AtomicWorld {
 /// Split `0..n` into `k` contiguous slices.
 pub fn partition(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     let per = n.div_ceil(k.max(1));
-    (0..k).map(|i| (i * per).min(n)..((i + 1) * per).min(n)).collect()
+    (0..k)
+        .map(|i| (i * per).min(n)..((i + 1) * per).min(n))
+        .collect()
 }
 
 /// Sample one worker's slice once (one local sweep over the slice).
@@ -386,7 +405,10 @@ fn run_numa_aware(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("socket")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("socket"))
+            .collect()
     })
     .expect("scope");
 
@@ -465,7 +487,10 @@ fn run_shared_chain(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         })
         .expect("scope");
 
@@ -492,9 +517,7 @@ fn run_shared_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepdive_factorgraph::{
-        exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-    };
+    use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
 
     fn small_graph() -> FactorGraph {
         let mut g = FactorGraph::new();
@@ -585,7 +608,10 @@ mod tests {
                 exact[v]
             );
         }
-        assert!(stats.remote_accesses > 0, "cross-socket factor args must be charged");
+        assert!(
+            stats.remote_accesses > 0,
+            "cross-socket factor args must be charged"
+        );
     }
 
     #[test]

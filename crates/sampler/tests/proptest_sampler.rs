@@ -5,12 +5,8 @@
 // Indexing parallel arrays by the same variable id is clearer than zip.
 #![allow(clippy::needless_range_loop)]
 
-use deepdive_factorgraph::{
-    exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable,
-};
-use deepdive_sampler::{
-    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions,
-};
+use deepdive_factorgraph::{exact_marginals, FactorArg, FactorFunction, FactorGraph, Variable};
+use deepdive_sampler::{gibbs_marginals, learn_weights, GibbsOptions, LearnOptions};
 use proptest::prelude::*;
 
 /// Random small graph with bounded weights (mixing stays fast).
@@ -35,7 +31,10 @@ fn graph_strategy() -> impl Strategy<Value = FactorGraph> {
         for (k, (function, args, weight)) in factors.into_iter().enumerate() {
             let args: Vec<FactorArg> = args
                 .into_iter()
-                .map(|(v, pos)| FactorArg { variable: vars[v], positive: pos })
+                .map(|(v, pos)| FactorArg {
+                    variable: vars[v],
+                    positive: pos,
+                })
                 .collect();
             let w = g.weights.tied(format!("w{k}"), weight);
             g.add_factor(function, args, w);
@@ -57,7 +56,7 @@ proptest! {
         let est = gibbs_marginals(
             &c,
             &weights,
-            &GibbsOptions { burn_in: 400, samples: 12_000, seed: 11, clamp_evidence: false },
+            &GibbsOptions { burn_in: 400, samples: 12_000, seed: 11, ..Default::default() },
         );
         for v in 0..c.num_variables {
             prop_assert!(
@@ -73,7 +72,7 @@ proptest! {
     fn sampler_is_deterministic(g in graph_strategy(), seed in any::<u64>()) {
         let c = g.compile();
         let weights = g.weights.values();
-        let opts = GibbsOptions { burn_in: 20, samples: 100, seed, clamp_evidence: false };
+        let opts = GibbsOptions { burn_in: 20, samples: 100, seed, ..Default::default() };
         let a = gibbs_marginals(&c, &weights, &opts);
         let b = gibbs_marginals(&c, &weights, &opts);
         prop_assert_eq!(a.true_counts, b.true_counts);

@@ -1,25 +1,100 @@
 //! The database: a catalog of counted tables plus a UDF registry.
 //!
 //! Tables sit behind mutexes so read paths (rule evaluation) can build lazy
-//! indexes while the catalog itself is shared immutably; evaluation clones
-//! matched rows out of the lock, which keeps guard lifetimes local.
+//! indexes while the catalog itself is shared behind a read/write lock;
+//! evaluation clones matched rows out of the lock, which keeps guard
+//! lifetimes local. The catalog lock (rather than a plain `&mut` catalog)
+//! exists for fault tolerance: quarantine relations are auto-created from
+//! evaluation paths that only hold `&Database`.
+//!
+//! UDFs run panic-isolated: [`Database::call_udf`] converts a panic in user
+//! code into [`StorageError::UdfPanic`], and rule evaluation consults the
+//! per-UDF [`FailurePolicy`] to decide whether to abort, skip the input
+//! tuple, or quarantine it.
 
 use crate::schema::Schema;
 use crate::table::{Membership, Table};
-use crate::value::{Row, Value};
+use crate::value::{Row, Value, ValueType};
 use crate::StorageError;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
 
 /// A user-defined function: maps an argument tuple to zero or more outputs.
 pub type Udf = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
 
+/// How rule evaluation responds to a UDF panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Propagate the failure and abort the evaluation (the default — a
+    /// broken extractor should not silently produce a partial database).
+    #[default]
+    Fail,
+    /// Drop the input tuple and keep evaluating; only an incident counter
+    /// records that something was lost.
+    SkipTuple,
+    /// Drop the input tuple, record `(stage, reason, payload)` in the
+    /// `<Relation>__errors` quarantine relation of the rule's head relation,
+    /// and keep evaluating.
+    Quarantine,
+}
+
+/// Name suffix of auto-created quarantine relations.
+pub const QUARANTINE_SUFFIX: &str = "__errors";
+
+/// Schema shared by every quarantine relation: the pipeline stage that
+/// failed (`udf:f_phrase`, `ingest:line:17`), the failure reason, and a TSV
+/// rendering of the offending tuple.
+pub fn quarantine_schema(base: &str) -> Schema {
+    Schema::build(format!("{base}{QUARANTINE_SUFFIX}"))
+        .col("stage", ValueType::Text)
+        .col("reason", ValueType::Text)
+        .col("payload", ValueType::Text)
+        .finish()
+}
+
 /// An in-memory relational database.
 #[derive(Default)]
 pub struct Database {
-    tables: HashMap<String, Mutex<Table>>,
+    tables: RwLock<HashMap<String, Arc<Mutex<Table>>>>,
     udfs: HashMap<String, Udf>,
+    udf_policies: HashMap<String, FailurePolicy>,
+    default_udf_policy: FailurePolicy,
+    /// Failure counters per stage (UDF or ingest), for the run report.
+    incidents: Mutex<BTreeMap<String, u64>>,
+}
+
+thread_local! {
+    /// Set while a UDF runs under `catch_unwind`, so the global panic hook
+    /// stays quiet for isolated panics (the reason still travels in the
+    /// returned error) but keeps reporting genuine crashes.
+    static UDF_PANIC_GUARD: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !UDF_PANIC_GUARD.with(|g| g.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extract a human-readable reason from a panic payload.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Database {
@@ -28,32 +103,40 @@ impl Database {
     }
 
     /// Register a relation. Errors if the name is taken.
-    pub fn create_relation(&mut self, schema: Schema) -> Result<(), StorageError> {
-        if self.tables.contains_key(&schema.name) {
+    pub fn create_relation(&self, schema: Schema) -> Result<(), StorageError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
             return Err(StorageError::DuplicateRelation(schema.name));
         }
-        self.tables.insert(schema.name.clone(), Mutex::new(Table::new(schema)));
+        tables.insert(
+            schema.name.clone(),
+            Arc::new(Mutex::new(Table::new(schema))),
+        );
         Ok(())
     }
 
     /// Register a relation, replacing any existing one with the same name.
-    pub fn create_or_replace_relation(&mut self, schema: Schema) {
-        self.tables.insert(schema.name.clone(), Mutex::new(Table::new(schema)));
+    pub fn create_or_replace_relation(&self, schema: Schema) {
+        self.tables.write().insert(
+            schema.name.clone(),
+            Arc::new(Mutex::new(Table::new(schema))),
+        );
     }
 
-    pub fn drop_relation(&mut self, name: &str) -> Result<(), StorageError> {
+    pub fn drop_relation(&self, name: &str) -> Result<(), StorageError> {
         self.tables
+            .write()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
     pub fn has_relation(&self, name: &str) -> bool {
-        self.tables.contains_key(name)
+        self.tables.read().contains_key(name)
     }
 
     pub fn relation_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
         v.sort();
         v
     }
@@ -62,17 +145,23 @@ impl Database {
         self.with_table(name, |t| t.schema().clone())
     }
 
-    /// Run `f` with shared access to a table.
+    /// Run `f` with shared access to a table. The catalog read guard is
+    /// dropped before the table lock is taken, so `f` may re-enter the
+    /// catalog (e.g. to create a quarantine relation).
     pub fn with_table<R>(
         &self,
         name: &str,
         f: impl FnOnce(&mut Table) -> R,
     ) -> Result<R, StorageError> {
-        let t = self
-            .tables
-            .get(name)
-            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?;
-        Ok(f(&mut t.lock()))
+        let t = {
+            let tables = self.tables.read();
+            tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?
+        };
+        let mut guard = t.lock();
+        Ok(f(&mut guard))
     }
 
     pub fn insert(&self, name: &str, r: Row) -> Result<Membership, StorageError> {
@@ -129,7 +218,9 @@ impl Database {
 
     /// All `(row, count)` pairs of a relation (cloned snapshot).
     pub fn rows_counted(&self, name: &str) -> Result<Vec<(Row, i64)>, StorageError> {
-        self.with_table(name, |t| t.iter_counted().map(|(r, c)| (r.clone(), c)).collect())
+        self.with_table(name, |t| {
+            t.iter_counted().map(|(r, c)| (r.clone(), c)).collect()
+        })
     }
 
     /// Indexed lookup; appends `(row, count)` matches to `out`.
@@ -176,16 +267,102 @@ impl Database {
         self.udfs.contains_key(name)
     }
 
+    /// Set the failure policy for one UDF (overrides the default).
+    pub fn set_udf_policy(&mut self, name: impl Into<String>, policy: FailurePolicy) {
+        self.udf_policies.insert(name.into(), policy);
+    }
+
+    /// Set the failure policy applied to UDFs without an explicit one.
+    pub fn set_default_udf_policy(&mut self, policy: FailurePolicy) {
+        self.default_udf_policy = policy;
+    }
+
+    /// Effective failure policy of one UDF.
+    pub fn udf_policy(&self, name: &str) -> FailurePolicy {
+        self.udf_policies
+            .get(name)
+            .copied()
+            .unwrap_or(self.default_udf_policy)
+    }
+
+    /// Call a UDF, isolating panics: a panic in user code surfaces as
+    /// [`StorageError::UdfPanic`] instead of unwinding through the caller.
     pub fn call_udf(&self, name: &str, args: &[Value]) -> Result<Vec<Value>, StorageError> {
-        let f = self.udfs.get(name).ok_or_else(|| StorageError::UnknownUdf(name.to_string()))?;
-        Ok(f(args))
+        let f = self
+            .udfs
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownUdf(name.to_string()))?;
+        install_quiet_hook();
+        UDF_PANIC_GUARD.with(|g| g.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| f(args)));
+        UDF_PANIC_GUARD.with(|g| g.set(false));
+        result.map_err(|payload| StorageError::UdfPanic {
+            udf: name.to_string(),
+            reason: panic_reason(payload),
+        })
+    }
+
+    /// Bump the failure counter of one pipeline stage.
+    pub fn record_incident(&self, stage: &str) {
+        *self.incidents.lock().entry(stage.to_string()).or_insert(0) += 1;
+    }
+
+    /// Failure counters per stage, sorted by stage name.
+    pub fn incident_counts(&self) -> BTreeMap<String, u64> {
+        self.incidents.lock().clone()
+    }
+
+    /// Route a failed tuple into the quarantine relation of `base` (created
+    /// on first use) and bump the stage's incident counter.
+    pub fn quarantine(
+        &self,
+        base: &str,
+        stage: &str,
+        reason: &str,
+        payload: &str,
+    ) -> Result<(), StorageError> {
+        let name = format!("{base}{QUARANTINE_SUFFIX}");
+        if !self.has_relation(&name) {
+            // Benign race: another thread may create it between the check
+            // and the write lock; DuplicateRelation is then not an error.
+            match self.create_relation(quarantine_schema(base)) {
+                Ok(()) | Err(StorageError::DuplicateRelation(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.record_incident(stage);
+        self.insert(
+            &name,
+            vec![
+                Value::text(stage),
+                Value::text(reason),
+                Value::text(payload),
+            ]
+            .into_boxed_slice(),
+        )?;
+        Ok(())
+    }
+
+    /// Names of all quarantine relations.
+    pub fn quarantine_relations(&self) -> Vec<String> {
+        self.relation_names()
+            .into_iter()
+            .filter(|n| n.ends_with(QUARANTINE_SUFFIX))
+            .collect()
+    }
+
+    /// Distinct quarantined rows per quarantine relation.
+    pub fn quarantine_counts(&self) -> BTreeMap<String, usize> {
+        self.quarantine_relations()
+            .into_iter()
+            .filter_map(|n| self.len(&n).ok().map(|c| (n, c)))
+            .collect()
     }
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names = self.relation_names();
-        names.sort();
+        let names = self.relation_names();
         let mut s = f.debug_struct("Database");
         for n in names {
             let len = self.len(&n).unwrap_or(0);
@@ -202,9 +379,12 @@ mod tests {
     use crate::value::ValueType;
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Text)
+                .finish(),
         )
         .unwrap();
         db
@@ -222,16 +402,20 @@ mod tests {
 
     #[test]
     fn duplicate_relation_rejected() {
-        let mut d = db();
-        let err =
-            d.create_relation(Schema::build("R").col("z", ValueType::Int).finish()).unwrap_err();
+        let d = db();
+        let err = d
+            .create_relation(Schema::build("R").col("z", ValueType::Int).finish())
+            .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateRelation(_)));
     }
 
     #[test]
     fn unknown_relation_errors() {
         let d = db();
-        assert!(matches!(d.rows("nope"), Err(StorageError::UnknownRelation(_))));
+        assert!(matches!(
+            d.rows("nope"),
+            Err(StorageError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -251,17 +435,65 @@ mod tests {
         d.register_udf("double", |args: &[Value]| {
             vec![Value::Int(args[0].as_int().unwrap_or(0) * 2)]
         });
-        assert_eq!(d.call_udf("double", &[Value::Int(21)]).unwrap(), vec![Value::Int(42)]);
-        assert!(matches!(d.call_udf("nope", &[]), Err(StorageError::UnknownUdf(_))));
+        assert_eq!(
+            d.call_udf("double", &[Value::Int(21)]).unwrap(),
+            vec![Value::Int(42)]
+        );
+        assert!(matches!(
+            d.call_udf("nope", &[]),
+            Err(StorageError::UnknownUdf(_))
+        ));
     }
 
     #[test]
     fn create_or_replace_resets_contents() {
-        let mut d = db();
+        let d = db();
         d.insert("R", row![1, "a"]).unwrap();
         d.create_or_replace_relation(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Text)
+                .finish(),
         );
         assert_eq!(d.len("R").unwrap(), 0);
+    }
+
+    #[test]
+    fn udf_panic_is_isolated() {
+        let mut d = db();
+        d.register_udf("boom", |_args: &[Value]| -> Vec<Value> { panic!("kaboom") });
+        let err = d.call_udf("boom", &[Value::Int(1)]).unwrap_err();
+        match err {
+            StorageError::UdfPanic { udf, reason } => {
+                assert_eq!(udf, "boom");
+                assert_eq!(reason, "kaboom");
+            }
+            other => panic!("expected UdfPanic, got {other:?}"),
+        }
+        // The registry still works after a panic.
+        assert!(d.call_udf("boom", &[]).is_err());
+    }
+
+    #[test]
+    fn udf_policy_defaults_and_overrides() {
+        let mut d = db();
+        assert_eq!(d.udf_policy("anything"), FailurePolicy::Fail);
+        d.set_default_udf_policy(FailurePolicy::SkipTuple);
+        assert_eq!(d.udf_policy("anything"), FailurePolicy::SkipTuple);
+        d.set_udf_policy("special", FailurePolicy::Quarantine);
+        assert_eq!(d.udf_policy("special"), FailurePolicy::Quarantine);
+        assert_eq!(d.udf_policy("anything"), FailurePolicy::SkipTuple);
+    }
+
+    #[test]
+    fn quarantine_creates_relation_and_counts() {
+        let d = db();
+        d.quarantine("R", "udf:f", "it broke", "1\ta").unwrap();
+        d.quarantine("R", "udf:f", "it broke again", "2\tb")
+            .unwrap();
+        assert!(d.has_relation("R__errors"));
+        assert_eq!(d.len("R__errors").unwrap(), 2);
+        assert_eq!(d.quarantine_counts().get("R__errors"), Some(&2));
+        assert_eq!(d.incident_counts().get("udf:f"), Some(&2));
     }
 }

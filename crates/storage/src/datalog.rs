@@ -8,7 +8,7 @@
 //! semi-naive fixpoint evaluation and counting-based incremental view
 //! maintenance need (§4.1).
 
-use crate::database::Database;
+use crate::database::{Database, FailurePolicy};
 use crate::delta::DeltaRelation;
 use crate::value::{Row, Value};
 use crate::StorageError;
@@ -53,7 +53,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 }
 
@@ -79,11 +82,17 @@ pub struct Literal {
 
 impl Literal {
     pub fn pos(atom: Atom) -> Self {
-        Literal { atom, negated: false }
+        Literal {
+            atom,
+            negated: false,
+        }
     }
 
     pub fn neg(atom: Atom) -> Self {
-        Literal { atom, negated: true }
+        Literal {
+            atom,
+            negated: true,
+        }
     }
 }
 
@@ -159,7 +168,13 @@ pub struct Rule {
 
 impl Rule {
     pub fn new(name: impl Into<String>, head: Atom, body: Vec<Literal>) -> Self {
-        Rule { name: name.into(), head, body, builtins: Vec::new(), udfs: Vec::new() }
+        Rule {
+            name: name.into(),
+            head,
+            body,
+            builtins: Vec::new(),
+            udfs: Vec::new(),
+        }
     }
 
     pub fn with_builtin(mut self, left: Term, op: CmpOp, right: Term) -> Self {
@@ -173,18 +188,28 @@ impl Rule {
         args: Vec<Term>,
         out: impl Into<String>,
     ) -> Self {
-        self.udfs.push(UdfCall { name: name.into(), args, out: out.into() });
+        self.udfs.push(UdfCall {
+            name: name.into(),
+            args,
+            out: out.into(),
+        });
         self
     }
 
     /// Relations this rule reads positively.
     pub fn positive_deps(&self) -> impl Iterator<Item = &str> {
-        self.body.iter().filter(|l| !l.negated).map(|l| l.atom.relation.as_str())
+        self.body
+            .iter()
+            .filter(|l| !l.negated)
+            .map(|l| l.atom.relation.as_str())
     }
 
     /// Relations this rule reads under negation.
     pub fn negative_deps(&self) -> impl Iterator<Item = &str> {
-        self.body.iter().filter(|l| l.negated).map(|l| l.atom.relation.as_str())
+        self.body
+            .iter()
+            .filter(|l| l.negated)
+            .map(|l| l.atom.relation.as_str())
     }
 }
 
@@ -260,7 +285,11 @@ enum Step {
     /// Builtin comparison.
     Compare { left: Slot, op: CmpOp, right: Slot },
     /// UDF call flat-mapping over outputs.
-    Udf { name: String, args: Vec<Slot>, out: usize },
+    Udf {
+        name: String,
+        args: Vec<Slot>,
+        out: usize,
+    },
 }
 
 /// A rule compiled against a database catalog: variables are slots, every
@@ -274,6 +303,11 @@ pub struct CompiledRule {
     num_vars: usize,
     /// Positions (in `steps`) of each positive atom, by body-literal index.
     positive_atom_count: usize,
+    /// Relation whose `__errors` quarantine receives tuples dropped by a
+    /// `Quarantine` UDF policy. Defaults to the head relation; callers that
+    /// evaluate through synthetic heads (factor-rule grounding) override it
+    /// with the user-visible relation.
+    quarantine_base: String,
 }
 
 impl CompiledRule {
@@ -328,6 +362,15 @@ impl CompiledRule {
             })
         };
 
+        // A term that `all_bound` just vouched for must resolve to a slot;
+        // failure is an engine bug, surfaced as a typed error rather than a
+        // panic mid-compile.
+        let slot_req = |t: &Term, var_ids: &HashMap<String, usize>| -> Result<Slot, StorageError> {
+            slot_of(t, var_ids).ok_or_else(|| StorageError::Internal {
+                context: format!("rule `{}`: term unbound after bound-check", rule.name),
+            })
+        };
+
         // Helper: drain pending items whose inputs are now bound. Free
         // identifiers in the macro body resolve at the expansion site, so it
         // reads/writes `steps`, `bound`, `var_ids` and the pending queues of
@@ -336,37 +379,42 @@ impl CompiledRule {
             () => {{
                 loop {
                     let mut progressed = false;
-                    pending_builtin.retain(|b| {
+                    let mut i = 0;
+                    while i < pending_builtin.len() {
+                        let b = &pending_builtin[i];
                         let terms = [b.left.clone(), b.right.clone()];
                         if all_bound(&terms, &var_ids, &bound) {
                             steps.push(Step::Compare {
-                                left: slot_of(&b.left, &var_ids).expect("bound"),
+                                left: slot_req(&b.left, &var_ids)?,
                                 op: b.op,
-                                right: slot_of(&b.right, &var_ids).expect("bound"),
+                                right: slot_req(&b.right, &var_ids)?,
                             });
+                            pending_builtin.remove(i);
                             progressed = true;
-                            false
                         } else {
-                            true
+                            i += 1;
                         }
-                    });
-                    pending_neg.retain(|l| {
+                    }
+                    let mut i = 0;
+                    while i < pending_neg.len() {
+                        let l = &pending_neg[i];
                         if all_bound(&l.atom.terms, &var_ids, &bound) {
                             let terms = l
                                 .atom
                                 .terms
                                 .iter()
-                                .map(|t| slot_of(t, &var_ids).expect("bound"));
+                                .map(|t| slot_req(t, &var_ids))
+                                .collect::<Result<Vec<Slot>, StorageError>>()?;
                             steps.push(Step::Negation {
                                 relation: l.atom.relation.clone(),
-                                terms: terms.collect(),
+                                terms,
                             });
+                            pending_neg.remove(i);
                             progressed = true;
-                            false
                         } else {
-                            true
+                            i += 1;
                         }
-                    });
+                    }
                     // UDFs bind their output variable, so draining one may
                     // unblock builtins — handled by the outer loop.
                     let mut fired_udf = None;
@@ -381,14 +429,18 @@ impl CompiledRule {
                         let args: Vec<Slot> = u
                             .args
                             .iter()
-                            .map(|t| slot_of(t, &var_ids).expect("bound"))
-                            .collect();
+                            .map(|t| slot_req(t, &var_ids))
+                            .collect::<Result<Vec<Slot>, StorageError>>()?;
                         let out = id_of(&u.out, &mut var_ids);
                         while bound.len() <= out {
                             bound.push(false);
                         }
                         bound[out] = true;
-                        steps.push(Step::Udf { name: u.name.clone(), args, out });
+                        steps.push(Step::Udf {
+                            name: u.name.clone(),
+                            args,
+                            out,
+                        });
                         progressed = true;
                     }
                     if !progressed {
@@ -456,7 +508,10 @@ impl CompiledRule {
                     _ => None,
                 })
                 .unwrap_or_default();
-            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+            return Err(StorageError::UnsafeVariable {
+                rule: rule.name.clone(),
+                var,
+            });
         }
         if let Some(b) = pending_builtin.first() {
             let var = [&b.left, &b.right]
@@ -468,7 +523,10 @@ impl CompiledRule {
                     _ => None,
                 })
                 .unwrap_or_default();
-            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+            return Err(StorageError::UnsafeVariable {
+                rule: rule.name.clone(),
+                var,
+            });
         }
         if let Some(u) = pending_udf.first() {
             let var = u
@@ -481,7 +539,10 @@ impl CompiledRule {
                     _ => None,
                 })
                 .unwrap_or_default();
-            return Err(StorageError::UnsafeVariable { rule: rule.name.clone(), var });
+            return Err(StorageError::UnsafeVariable {
+                rule: rule.name.clone(),
+                var,
+            });
         }
 
         let mut head_slots = Vec::with_capacity(rule.head.terms.len());
@@ -512,7 +573,13 @@ impl CompiledRule {
             steps,
             num_vars: var_ids.len(),
             positive_atom_count,
+            quarantine_base: rule.head.relation.clone(),
         })
+    }
+
+    /// Override the relation whose quarantine receives UDF failures.
+    pub fn set_quarantine_base(&mut self, base: impl Into<String>) {
+        self.quarantine_base = base.into();
     }
 
     /// Number of positive body atoms.
@@ -562,12 +629,22 @@ impl CompiledRule {
         out: &mut HashMap<Row, i64>,
     ) -> Result<(), StorageError> {
         if step_idx == self.steps.len() {
-            let head: Row = self.head_slots.iter().map(|s| self.resolve(bindings, s)).collect();
+            let head: Row = self
+                .head_slots
+                .iter()
+                .map(|s| self.resolve(bindings, s))
+                .collect();
             *out.entry(head).or_insert(0) += count;
             return Ok(());
         }
         match &self.steps[step_idx] {
-            Step::Scan { atom_index, relation, key, bind, check } => {
+            Step::Scan {
+                atom_index,
+                relation,
+                key,
+                bind,
+                check,
+            } => {
                 let key_cols: Vec<usize> = key.iter().map(|(c, _)| *c).collect();
                 let key_vals: Vec<Value> =
                     key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
@@ -578,8 +655,10 @@ impl CompiledRule {
                     if c == 0 {
                         continue;
                     }
-                    let saved: Vec<(usize, Value)> =
-                        bind.iter().map(|(_, v)| (*v, bindings[*v].clone())).collect();
+                    let saved: Vec<(usize, Value)> = bind
+                        .iter()
+                        .map(|(_, v)| (*v, bindings[*v].clone()))
+                        .collect();
                     for (col, var) in bind {
                         bindings[*var] = row[*col].clone();
                     }
@@ -627,7 +706,15 @@ impl CompiledRule {
                     hits.iter().any(|(_, c)| *c > 0)
                 };
                 if !visible {
-                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                    self.eval_step(
+                        db,
+                        atom_deltas,
+                        source_for,
+                        step_idx + 1,
+                        bindings,
+                        count,
+                        out,
+                    )?;
                 }
                 Ok(())
             }
@@ -635,17 +722,67 @@ impl CompiledRule {
                 let l = self.resolve(bindings, left);
                 let r = self.resolve(bindings, right);
                 if op.eval(&l, &r) {
-                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                    self.eval_step(
+                        db,
+                        atom_deltas,
+                        source_for,
+                        step_idx + 1,
+                        bindings,
+                        count,
+                        out,
+                    )?;
                 }
                 Ok(())
             }
-            Step::Udf { name, args, out: out_var } => {
+            Step::Udf {
+                name,
+                args,
+                out: out_var,
+            } => {
                 let argv: Vec<Value> = args.iter().map(|s| self.resolve(bindings, s)).collect();
-                let results = db.call_udf(name, &argv)?;
+                let results = match db.call_udf(name, &argv) {
+                    Ok(r) => r,
+                    Err(StorageError::UdfPanic { udf, reason }) => {
+                        // Panic-isolated UDF: the failure policy decides
+                        // whether the input tuple aborts the evaluation, is
+                        // dropped, or lands in the head relation's
+                        // quarantine. Skipping means this binding derives
+                        // nothing — sound for candidate/feature extraction,
+                        // where a lost tuple degrades recall, not soundness.
+                        match db.udf_policy(&udf) {
+                            FailurePolicy::Fail => {
+                                return Err(StorageError::UdfPanic { udf, reason })
+                            }
+                            FailurePolicy::SkipTuple => {
+                                db.record_incident(&format!("udf:{udf}"));
+                                return Ok(());
+                            }
+                            FailurePolicy::Quarantine => {
+                                let payload = crate::io::row_to_tsv(&argv.into_boxed_slice());
+                                db.quarantine(
+                                    &self.quarantine_base,
+                                    &format!("udf:{udf}"),
+                                    &reason,
+                                    &payload,
+                                )?;
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
                 for v in results {
                     let saved = bindings[*out_var].clone();
                     bindings[*out_var] = v;
-                    self.eval_step(db, atom_deltas, source_for, step_idx + 1, bindings, count, out)?;
+                    self.eval_step(
+                        db,
+                        atom_deltas,
+                        source_for,
+                        step_idx + 1,
+                        bindings,
+                        count,
+                        out,
+                    )?;
                     bindings[*out_var] = saved;
                 }
                 Ok(())
@@ -717,7 +854,13 @@ pub fn reorder_body_front(rule: &Rule, front: usize) -> (Rule, Vec<usize>) {
         }
     }
     let body: Vec<Literal> = order.iter().map(|&i| rule.body[i].clone()).collect();
-    (Rule { body, ..rule.clone() }, order)
+    (
+        Rule {
+            body,
+            ..rule.clone()
+        },
+        order,
+    )
 }
 
 /// Fetch matching `(row, signed count)` pairs for one atom scan.
@@ -772,14 +915,21 @@ mod tests {
     use crate::value::ValueType;
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Int)
+                .finish(),
         )
         .unwrap();
-        db.create_relation(Schema::build("S").col("y", ValueType::Int).finish()).unwrap();
+        db.create_relation(Schema::build("S").col("y", ValueType::Int).finish())
+            .unwrap();
         db.create_relation(
-            Schema::build("Q").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+            Schema::build("Q")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db
@@ -811,9 +961,10 @@ mod tests {
 
     #[test]
     fn counts_multiply_across_derivations() {
-        let mut d = db();
+        let d = db();
         // Two derivations for Q(1,·): R(1,10) joins S(10) and R(1,11) joins S(11).
-        d.create_relation(Schema::build("P").col("x", ValueType::Int).finish()).unwrap();
+        d.create_relation(Schema::build("P").col("x", ValueType::Int).finish())
+            .unwrap();
         d.insert("R", row![1, 10]).unwrap();
         d.insert("R", row![1, 11]).unwrap();
         d.insert("S", row![10]).unwrap();
@@ -839,7 +990,10 @@ mod tests {
         let rule = Rule::new(
             "q",
             Atom::new("S", vec![Term::var("y")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::constant(2i64), Term::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::constant(2i64), Term::var("y")],
+            ))],
         );
         let c = CompiledRule::compile(&rule, &d).unwrap();
         let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
@@ -855,7 +1009,10 @@ mod tests {
         let rule = Rule::new(
             "q",
             Atom::new("S", vec![Term::var("x")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("x")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::var("x"), Term::var("x")],
+            ))],
         );
         let c = CompiledRule::compile(&rule, &d).unwrap();
         let res = c.eval(&d, &HashMap::new(), &all_old).unwrap();
@@ -891,7 +1048,10 @@ mod tests {
         let rule = Rule::new(
             "q",
             Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::var("x"), Term::var("y")],
+            ))],
         )
         .with_builtin(Term::var("y"), CmpOp::Gt, Term::constant(15i64));
         let c = CompiledRule::compile(&rule, &d).unwrap();
@@ -906,7 +1066,10 @@ mod tests {
         let rule = Rule::new(
             "q",
             Atom::new("Q", vec![Term::var("x"), Term::var("z")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::var("x"), Term::var("y")],
+            ))],
         );
         let err = CompiledRule::compile(&rule, &d).unwrap_err();
         assert!(matches!(err, StorageError::UnboundHeadVariable { .. }));
@@ -943,7 +1106,10 @@ mod tests {
     fn udf_flat_maps_outputs() {
         let mut d = db();
         d.create_relation(
-            Schema::build("W").col("x", ValueType::Int).col("t", ValueType::Text).finish(),
+            Schema::build("W")
+                .col("x", ValueType::Int)
+                .col("t", ValueType::Text)
+                .finish(),
         )
         .unwrap();
         d.register_udf("range3", |args: &[Value]| {
@@ -973,7 +1139,10 @@ mod tests {
         let rule = Rule::new(
             "q",
             Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::var("x"), Term::var("y")],
+            ))],
         );
         let c = CompiledRule::compile(&rule, &d).unwrap();
         let res = c.eval(&d, &deltas, &|_| Source::Delta).unwrap();
@@ -1001,7 +1170,13 @@ mod tests {
         );
         let c = CompiledRule::compile(&rule, &d).unwrap();
         let res = c
-            .eval(&d, &deltas, &|i| if i == 0 { Source::Delta } else { Source::Old })
+            .eval(&d, &deltas, &|i| {
+                if i == 0 {
+                    Source::Delta
+                } else {
+                    Source::Old
+                }
+            })
             .unwrap();
         assert_eq!(res[&row![1, 10]], -1);
     }

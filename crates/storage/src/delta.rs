@@ -37,7 +37,11 @@ impl Clone for DeltaRelation {
 
 impl DeltaRelation {
     pub fn new(schema: Schema) -> Self {
-        DeltaRelation { schema, rows: HashMap::new(), indexes: Mutex::new(HashMap::new()) }
+        DeltaRelation {
+            schema,
+            rows: HashMap::new(),
+            indexes: Mutex::new(HashMap::new()),
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -118,15 +122,32 @@ impl DeltaRelation {
 
     /// Positive part only (insertions), as a new delta.
     pub fn positive_part(&self) -> DeltaRelation {
-        let rows = self.rows.iter().filter(|(_, &c)| c > 0).map(|(r, &c)| (r.clone(), c)).collect();
-        DeltaRelation { schema: self.schema.clone(), rows, indexes: Mutex::new(HashMap::new()) }
+        let rows = self
+            .rows
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, &c)| (r.clone(), c))
+            .collect();
+        DeltaRelation {
+            schema: self.schema.clone(),
+            rows,
+            indexes: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Negative part only (deletions), sign-flipped to positive counts.
     pub fn negative_part(&self) -> DeltaRelation {
-        let rows =
-            self.rows.iter().filter(|(_, &c)| c < 0).map(|(r, &c)| (r.clone(), -c)).collect();
-        DeltaRelation { schema: self.schema.clone(), rows, indexes: Mutex::new(HashMap::new()) }
+        let rows = self
+            .rows
+            .iter()
+            .filter(|(_, &c)| c < 0)
+            .map(|(r, &c)| (r.clone(), -c))
+            .collect();
+        DeltaRelation {
+            schema: self.schema.clone(),
+            rows,
+            indexes: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -163,7 +184,10 @@ mod tests {
     #[test]
     fn lookup_filters_on_key() {
         let mut d = DeltaRelation::new(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Int)
+                .finish(),
         );
         d.add(row![1, 10], 1);
         d.add(row![2, 20], -1);

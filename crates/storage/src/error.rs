@@ -4,28 +4,60 @@ use crate::value::ValueType;
 use std::fmt;
 
 /// Errors raised by the relational engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StorageError {
     /// Relation not found in the database catalog.
     UnknownRelation(String),
     /// A relation with this name already exists.
     DuplicateRelation(String),
     /// Row has the wrong number of columns.
-    ArityMismatch { relation: String, expected: usize, got: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
     /// Value does not conform to the declared column type.
-    TypeMismatch { relation: String, column: String, expected: ValueType, got: ValueType },
+    TypeMismatch {
+        relation: String,
+        column: String,
+        expected: ValueType,
+        got: ValueType,
+    },
     /// A datalog rule referenced a variable in the head that is not bound by
     /// any positive body atom.
     UnboundHeadVariable { rule: String, var: String },
     /// A negated atom or builtin uses a variable not bound by a positive atom.
     UnsafeVariable { rule: String, var: String },
     /// A rule's atom arity does not match the relation schema.
-    RuleArityMismatch { relation: String, expected: usize, got: usize },
+    RuleArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
     /// Referenced UDF is not registered.
     UnknownUdf(String),
     /// The program's dependency graph places a negation inside a recursive
     /// cycle (not stratifiable).
     NotStratifiable { relation: String },
+    /// A UDF panicked; the panic was caught at the call boundary.
+    UdfPanic { udf: String, reason: String },
+    /// A TSV row failed to parse (strict ingest, or the first report line of
+    /// a permissive ingest that went over budget).
+    Malformed {
+        relation: String,
+        line: usize,
+        reason: String,
+    },
+    /// Permissive ingest saw more malformed rows than the policy allows.
+    IngestBudgetExceeded {
+        relation: String,
+        errors: usize,
+        rows: usize,
+        max_error_rate: f64,
+    },
+    /// An internal invariant was violated (a bug in the engine, surfaced as
+    /// an error instead of a panic so pipelines can fail a phase cleanly).
+    Internal { context: String },
 }
 
 impl fmt::Display for StorageError {
@@ -53,6 +85,22 @@ impl fmt::Display for StorageError {
             StorageError::UnknownUdf(u) => write!(f, "unknown UDF `{u}`"),
             StorageError::NotStratifiable { relation } => {
                 write!(f, "program is not stratifiable: `{relation}` depends negatively on itself")
+            }
+            StorageError::UdfPanic { udf, reason } => {
+                write!(f, "UDF `{udf}` panicked: {reason}")
+            }
+            StorageError::Malformed { relation, line, reason } => {
+                write!(f, "relation `{relation}` line {line}: {reason}")
+            }
+            StorageError::IngestBudgetExceeded { relation, errors, rows, max_error_rate } => {
+                write!(
+                    f,
+                    "ingest into `{relation}` exceeded the error budget: \
+                     {errors} of {rows} rows malformed (max error rate {max_error_rate})"
+                )
+            }
+            StorageError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
             }
         }
     }

@@ -11,6 +11,53 @@ use crate::value::{Row, Value, ValueType};
 use crate::StorageError;
 use std::fmt::Write as _;
 
+/// How `Database::load_tsv_with_policy` treats malformed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IngestPolicy {
+    /// The first malformed row aborts the load with [`StorageError::Malformed`].
+    #[default]
+    Strict,
+    /// Malformed rows are routed to the `<Relation>__errors` quarantine and
+    /// the load keeps going; it fails with
+    /// [`StorageError::IngestBudgetExceeded`] only if more than
+    /// `max_error_rate` of the data lines were bad.
+    Permissive { max_error_rate: f64 },
+}
+
+/// One malformed input line recorded during a permissive ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestIssue {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// Column that failed to parse, if the failure was cell-level (arity
+    /// mismatches have no column).
+    pub column: Option<String>,
+    pub reason: String,
+}
+
+/// Outcome of a TSV load.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestReport {
+    pub relation: String,
+    /// Rows parsed and inserted.
+    pub rows_loaded: usize,
+    /// Malformed rows routed to quarantine (always 0 under `Strict`).
+    pub rows_failed: usize,
+    pub issues: Vec<IngestIssue>,
+}
+
+impl IngestReport {
+    /// Fraction of data lines that were malformed.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.rows_loaded + self.rows_failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.rows_failed as f64 / total as f64
+        }
+    }
+}
+
 /// Render one value as a TSV cell.
 pub fn value_to_tsv(v: &Value) -> String {
     match v {
@@ -70,11 +117,8 @@ pub fn value_from_tsv(cell: &str, ty: ValueType) -> Result<Value, String> {
                         Some('n') => out.push('\n'),
                         Some('r') => out.push('\r'),
                         Some('\\') => out.push('\\'),
-                        Some(other) => {
-                            out.push('\\');
-                            out.push(other);
-                        }
-                        None => out.push('\\'),
+                        Some(other) => return Err(format!("bad escape `\\{other}` in text cell")),
+                        None => return Err("dangling `\\` at end of text cell".to_string()),
                     }
                 } else {
                     out.push(c);
@@ -85,22 +129,38 @@ pub fn value_from_tsv(cell: &str, ty: ValueType) -> Result<Value, String> {
     }
 }
 
-/// Parse one TSV line against a schema.
-pub fn row_from_tsv(line: &str, schema: &Schema) -> Result<Row, String> {
+/// Parse one TSV line against a schema, reporting which column failed.
+fn parse_row_detailed(line: &str, schema: &Schema) -> Result<Row, (Option<String>, String)> {
     let cells: Vec<&str> = line.split('\t').collect();
     if cells.len() != schema.arity() {
-        return Err(format!(
-            "expected {} columns for `{}`, got {}",
-            schema.arity(),
-            schema.name,
-            cells.len()
+        return Err((
+            None,
+            format!("expected {} columns, got {}", schema.arity(), cells.len()),
         ));
     }
-    cells
-        .iter()
-        .zip(&schema.columns)
-        .map(|(cell, col)| value_from_tsv(cell, col.ty))
-        .collect()
+    let mut row = Vec::with_capacity(cells.len());
+    for (cell, col) in cells.iter().zip(&schema.columns) {
+        match value_from_tsv(cell, col.ty) {
+            Ok(v) => row.push(v),
+            Err(reason) => return Err((Some(col.name.clone()), reason)),
+        }
+    }
+    Ok(row.into())
+}
+
+fn describe_cell_error(column: &Option<String>, reason: &str) -> String {
+    match column {
+        Some(c) => format!("column `{c}`: {reason}"),
+        None => reason.to_string(),
+    }
+}
+
+/// Parse one TSV line against a schema.
+pub fn row_from_tsv(line: &str, schema: &Schema) -> Result<Row, String> {
+    parse_row_detailed(line, schema).map_err(|(column, reason)| match column {
+        Some(c) => format!("column `{c}` of `{}`: {reason}", schema.name),
+        None => format!("{reason} for `{}`", schema.name),
+    })
 }
 
 /// Render one row as a TSV line.
@@ -117,25 +177,77 @@ pub fn row_to_tsv(row: &Row) -> String {
 
 impl Database {
     /// Bulk-load TSV text into a relation. Empty lines and `#` comments are
-    /// skipped. Returns the number of rows inserted.
+    /// skipped. Strict: the first malformed line aborts the load. Returns the
+    /// number of rows inserted.
     pub fn load_tsv(&self, relation: &str, tsv: &str) -> Result<usize, StorageError> {
+        self.load_tsv_with_policy(relation, tsv, IngestPolicy::Strict)
+            .map(|r| r.rows_loaded)
+    }
+
+    /// Bulk-load TSV text under an explicit [`IngestPolicy`].
+    ///
+    /// Under `Permissive`, malformed lines are inserted into the
+    /// `<Relation>__errors` quarantine as `(stage, reason, payload)` rows —
+    /// stage `ingest:line:<N>`, payload the raw line — and the load only
+    /// fails if the malformed fraction exceeds `max_error_rate`.
+    pub fn load_tsv_with_policy(
+        &self,
+        relation: &str,
+        tsv: &str,
+        policy: IngestPolicy,
+    ) -> Result<IngestReport, StorageError> {
         let schema = self.schema(relation)?;
-        let mut n = 0;
-        for (lineno, line) in tsv.lines().enumerate() {
-            let line = line.trim_end_matches('\r');
+        let mut report = IngestReport {
+            relation: relation.to_string(),
+            ..IngestReport::default()
+        };
+        for (lineno, raw) in tsv.lines().enumerate() {
+            let line = raw.trim_end_matches('\r');
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let row = row_from_tsv(line, &schema).map_err(|e| StorageError::TypeMismatch {
-                relation: relation.to_string(),
-                column: format!("line {}: {e}", lineno + 1),
-                expected: ValueType::Any,
-                got: ValueType::Text,
-            })?;
-            self.insert(relation, row)?;
-            n += 1;
+            let lineno = lineno + 1;
+            match parse_row_detailed(line, &schema) {
+                Ok(row) => {
+                    self.insert(relation, row)?;
+                    report.rows_loaded += 1;
+                }
+                Err((column, reason)) => match policy {
+                    IngestPolicy::Strict => {
+                        return Err(StorageError::Malformed {
+                            relation: relation.to_string(),
+                            line: lineno,
+                            reason: describe_cell_error(&column, &reason),
+                        });
+                    }
+                    IngestPolicy::Permissive { .. } => {
+                        self.quarantine(
+                            relation,
+                            &format!("ingest:line:{lineno}"),
+                            &describe_cell_error(&column, &reason),
+                            line,
+                        )?;
+                        report.rows_failed += 1;
+                        report.issues.push(IngestIssue {
+                            line: lineno,
+                            column,
+                            reason,
+                        });
+                    }
+                },
+            }
         }
-        Ok(n)
+        if let IngestPolicy::Permissive { max_error_rate } = policy {
+            if report.rows_failed > 0 && report.error_rate() > max_error_rate {
+                return Err(StorageError::IngestBudgetExceeded {
+                    relation: relation.to_string(),
+                    errors: report.rows_failed,
+                    rows: report.rows_loaded + report.rows_failed,
+                    max_error_rate,
+                });
+            }
+        }
+        Ok(report)
     }
 
     /// Dump a relation as TSV text (sorted rows — deterministic output).
@@ -175,7 +287,13 @@ mod tests {
 
     #[test]
     fn null_round_trips() {
-        let r: Row = row![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null];
+        let r: Row = row![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null
+        ];
         let back = row_from_tsv(&row_to_tsv(&r), &schema()).unwrap();
         assert_eq!(back, r);
     }
@@ -196,14 +314,15 @@ mod tests {
 
     #[test]
     fn database_load_and_dump() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("P").col("x", ValueType::Int).col("n", ValueType::Text).finish(),
+            Schema::build("P")
+                .col("x", ValueType::Int)
+                .col("n", ValueType::Text)
+                .finish(),
         )
         .unwrap();
-        let n = db
-            .load_tsv("P", "# comment\n1\talice\n\n2\tbob\n")
-            .unwrap();
+        let n = db.load_tsv("P", "# comment\n1\talice\n\n2\tbob\n").unwrap();
         assert_eq!(n, 2);
         let dump = db.dump_tsv("P").unwrap();
         assert_eq!(dump, "1\talice\n2\tbob\n");
@@ -215,5 +334,97 @@ mod tests {
         let r: Row = row![0.1 + 0.2];
         let back = row_from_tsv(&row_to_tsv(&r), &s).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        assert!(value_from_tsv("a\\xb", ValueType::Text).is_err());
+        assert!(value_from_tsv("trailing\\", ValueType::Text).is_err());
+        // The four valid escapes still parse.
+        assert_eq!(
+            value_from_tsv("a\\tb\\nc\\rd\\\\e", ValueType::Text).unwrap(),
+            Value::text("a\tb\nc\rd\\e")
+        );
+    }
+
+    #[test]
+    fn strict_load_reports_line_and_column() {
+        let db = Database::new();
+        db.create_relation(
+            Schema::build("P")
+                .col("x", ValueType::Int)
+                .col("n", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        let err = db.load_tsv("P", "1\talice\noops\tbob\n").unwrap_err();
+        match err {
+            StorageError::Malformed {
+                relation,
+                line,
+                reason,
+            } => {
+                assert_eq!(relation, "P");
+                assert_eq!(line, 2);
+                assert!(reason.contains("column `x`"), "reason was: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permissive_load_quarantines_within_budget() {
+        let db = Database::new();
+        db.create_relation(
+            Schema::build("P")
+                .col("x", ValueType::Int)
+                .col("n", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        let report = db
+            .load_tsv_with_policy(
+                "P",
+                "1\talice\noops\tbob\n2\tcarol\n3\n4\tdan\n",
+                IngestPolicy::Permissive {
+                    max_error_rate: 0.5,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.rows_loaded, 3);
+        assert_eq!(report.rows_failed, 2);
+        assert_eq!(report.issues.len(), 2);
+        assert_eq!(report.issues[0].line, 2);
+        assert_eq!(report.issues[0].column.as_deref(), Some("x"));
+        assert_eq!(report.issues[1].line, 4);
+        assert_eq!(report.issues[1].column, None);
+        // The bad lines landed in the quarantine relation verbatim.
+        let q = db.rows("P__errors").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0][0], Value::text("ingest:line:2"));
+        assert_eq!(q[0][2], Value::text("oops\tbob"));
+    }
+
+    #[test]
+    fn permissive_load_fails_over_budget() {
+        let db = Database::new();
+        db.create_relation(Schema::build("P").col("x", ValueType::Int).finish())
+            .unwrap();
+        let err = db
+            .load_tsv_with_policy(
+                "P",
+                "1\nbad\nworse\n",
+                IngestPolicy::Permissive {
+                    max_error_rate: 0.25,
+                },
+            )
+            .unwrap_err();
+        match err {
+            StorageError::IngestBudgetExceeded { errors, rows, .. } => {
+                assert_eq!(errors, 2);
+                assert_eq!(rows, 3);
+            }
+            other => panic!("expected IngestBudgetExceeded, got {other:?}"),
+        }
     }
 }

@@ -19,7 +19,32 @@ use crate::program::{apply_delta_counted, StratifiedProgram, Stratum};
 use crate::table::Membership;
 use crate::value::Row;
 use crate::StorageError;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Get-or-create the delta accumulator for `rel`, surfacing a missing schema
+/// as a typed error instead of panicking mid-maintenance.
+fn delta_entry<'m>(
+    map: &'m mut HashMap<String, DeltaRelation>,
+    rel: &str,
+    db: &Database,
+) -> Result<&'m mut DeltaRelation, StorageError> {
+    match map.entry(rel.to_string()) {
+        Entry::Occupied(e) => Ok(e.into_mut()),
+        Entry::Vacant(v) => Ok(v.insert(DeltaRelation::new(db.schema(rel)?))),
+    }
+}
+
+/// Look up a stratum-visible accumulator that maintenance pre-populated;
+/// absence is an engine bug, reported as [`StorageError::Internal`].
+fn visible_entry<'m>(
+    map: &'m mut HashMap<String, DeltaRelation>,
+    rel: &str,
+) -> Result<&'m mut DeltaRelation, StorageError> {
+    map.get_mut(rel).ok_or_else(|| StorageError::Internal {
+        context: format!("relation `{rel}` missing from stratum-visible set"),
+    })
+}
 
 /// One base-table change: insert (`+1`) or delete (`-1`) of a row.
 #[derive(Debug, Clone)]
@@ -31,11 +56,19 @@ pub struct BaseChange {
 
 impl BaseChange {
     pub fn insert(relation: impl Into<String>, row: Row) -> Self {
-        BaseChange { relation: relation.into(), row, delta: 1 }
+        BaseChange {
+            relation: relation.into(),
+            row,
+            delta: 1,
+        }
     }
 
     pub fn delete(relation: impl Into<String>, row: Row) -> Self {
-        BaseChange { relation: relation.into(), row, delta: -1 }
+        BaseChange {
+            relation: relation.into(),
+            row,
+            delta: -1,
+        }
     }
 }
 
@@ -58,10 +91,16 @@ impl MaintenanceResult {
 
     fn record(&mut self, relation: &str, appeared: Vec<Row>, disappeared: Vec<Row>) {
         if !appeared.is_empty() {
-            self.appeared.entry(relation.to_string()).or_default().extend(appeared);
+            self.appeared
+                .entry(relation.to_string())
+                .or_default()
+                .extend(appeared);
         }
         if !disappeared.is_empty() {
-            self.disappeared.entry(relation.to_string()).or_default().extend(disappeared);
+            self.disappeared
+                .entry(relation.to_string())
+                .or_default()
+                .extend(disappeared);
         }
     }
 }
@@ -132,8 +171,11 @@ impl IncrementalEngine {
                 .entry(ch.relation.clone())
                 .or_insert_with(|| DeltaRelation::new(schema))
                 .add(ch.row.clone(), signed);
-            let (app, dis) =
-                if signed > 0 { (vec![ch.row], vec![]) } else { (vec![], vec![ch.row]) };
+            let (app, dis) = if signed > 0 {
+                (vec![ch.row], vec![])
+            } else {
+                (vec![], vec![ch.row])
+            };
             result.record(&ch.relation, app, dis);
         }
 
@@ -144,7 +186,9 @@ impl IncrementalEngine {
         for stratum in &self.sp.strata {
             let touches = stratum.rule_indices.iter().any(|&ri| {
                 let rule = &self.sp.program.rules[ri];
-                rule.body.iter().any(|l| deltas.contains_key(&l.atom.relation))
+                rule.body
+                    .iter()
+                    .any(|l| deltas.contains_key(&l.atom.relation))
             });
             if !touches {
                 continue;
@@ -168,9 +212,17 @@ impl IncrementalEngine {
             for (rel, delta) in produced {
                 for (r, c) in delta.iter() {
                     if c > 0 {
-                        result.appeared.entry(rel.clone()).or_default().push(r.clone());
+                        result
+                            .appeared
+                            .entry(rel.clone())
+                            .or_default()
+                            .push(r.clone());
                     } else {
-                        result.disappeared.entry(rel.clone()).or_default().push(r.clone());
+                        result
+                            .disappeared
+                            .entry(rel.clone())
+                            .or_default()
+                            .push(r.clone());
                     }
                 }
                 deltas
@@ -237,9 +289,7 @@ impl IncrementalEngine {
                     }
                 })?;
                 let head = &rule.head.relation;
-                let entry = produced
-                    .entry(head.clone())
-                    .or_insert_with(|| DeltaRelation::new(db.schema(head).expect("head schema")));
+                let entry = delta_entry(&mut produced, head, db)?;
                 for (row, count) in contribution {
                     entry.add(row, count);
                 }
@@ -302,7 +352,9 @@ impl IncrementalEngine {
                     if lit.negated {
                         continue;
                     }
-                    let Some(front) = frontier.get(&lit.atom.relation) else { continue };
+                    let Some(front) = frontier.get(&lit.atom.relation) else {
+                        continue;
+                    };
                     // Delta-first variant; other positions read OLD =
                     // db ⊎ restore.
                     let (variant, order) = self.sp.variant(ri, occ);
@@ -326,16 +378,13 @@ impl IncrementalEngine {
                         if cnt <= 0 {
                             continue;
                         }
-                        let already =
-                            deleted.get(&head).map(|d| d.count(&row) > 0).unwrap_or(false);
+                        let already = deleted
+                            .get(&head)
+                            .map(|d| d.count(&row) > 0)
+                            .unwrap_or(false);
                         if !already && db.contains(&head, &row)? {
-                            deleted
-                                .entry(head.clone())
-                                .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                                .add(row.clone(), 1);
-                            next.entry(head.clone())
-                                .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                                .add(row, 1);
+                            delta_entry(&mut deleted, &head, db)?.add(row.clone(), 1);
+                            delta_entry(&mut next, &head, db)?.add(row, 1);
                         }
                     }
                 }
@@ -346,10 +395,7 @@ impl IncrementalEngine {
                 for (row, _) in wave.iter() {
                     db.with_table(rel, |t| t.purge(row))?;
                 }
-                restore
-                    .entry(rel.clone())
-                    .or_insert_with(|| DeltaRelation::new(db.schema(rel).unwrap()))
-                    .merge(wave);
+                delta_entry(&mut restore, rel, db)?.merge(wave);
             }
             frontier = next;
         }
@@ -364,7 +410,9 @@ impl IncrementalEngine {
                 let c = self.sp.compiled(ri);
                 let rule = &self.sp.program.rules[ri];
                 let head = rule.head.relation.clone();
-                let Some(suspects) = deleted.get(&head) else { continue };
+                let Some(suspects) = deleted.get(&head) else {
+                    continue;
+                };
                 if suspects.is_empty() {
                     continue;
                 }
@@ -373,9 +421,7 @@ impl IncrementalEngine {
                 for (row, cnt) in derived_now {
                     if cnt > 0 && suspects.count(&row) > 0 && !db.contains(&head, &row)? {
                         db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
-                        wave.entry(head.clone())
-                            .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                            .add(row, 1);
+                        delta_entry(&mut wave, &head, db)?.add(row, 1);
                     }
                 }
             }
@@ -383,18 +429,18 @@ impl IncrementalEngine {
                 break;
             }
             for (rel, w) in wave {
-                rederived
-                    .entry(rel.clone())
-                    .or_insert_with(|| DeltaRelation::new(db.schema(&rel).unwrap()))
-                    .merge(&w);
+                delta_entry(&mut rederived, &rel, db)?.merge(&w);
             }
         }
 
         // Net deletions = over-deleted minus re-derived.
         for (rel, del) in &deleted {
-            let vis = visible.get_mut(rel).expect("stratum relation");
+            let vis = visible_entry(&mut visible, rel)?;
             for (row, _) in del.iter() {
-                let back = rederived.get(rel).map(|d| d.count(row) > 0).unwrap_or(false);
+                let back = rederived
+                    .get(rel)
+                    .map(|d| d.count(row) > 0)
+                    .unwrap_or(false);
                 if !back {
                     vis.add(row.clone(), -1);
                 }
@@ -419,7 +465,9 @@ impl IncrementalEngine {
                     if lit.negated {
                         continue;
                     }
-                    let Some(front) = frontier.get(&lit.atom.relation) else { continue };
+                    let Some(front) = frontier.get(&lit.atom.relation) else {
+                        continue;
+                    };
                     let (variant, _) = self.sp.variant(ri, occ);
                     let atom_deltas: AtomDeltas = HashMap::from([(0usize, front)]);
                     result.rule_evaluations += 1;
@@ -434,10 +482,8 @@ impl IncrementalEngine {
                     for (row, cnt) in contribution {
                         if cnt > 0 && !db.contains(&head, &row)? {
                             db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
-                            next.entry(head.clone())
-                                .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                                .add(row.clone(), 1);
-                            visible.get_mut(&head).expect("stratum relation").add(row, 1);
+                            delta_entry(&mut next, &head, db)?.add(row.clone(), 1);
+                            visible_entry(&mut visible, &head)?.add(row, 1);
                         }
                     }
                 }
@@ -460,13 +506,19 @@ mod tests {
     use crate::value::ValueType;
 
     fn edge_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("edge").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+            Schema::build("edge")
+                .col("a", ValueType::Int)
+                .col("b", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db.create_relation(
-            Schema::build("path").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+            Schema::build("path")
+                .col("a", ValueType::Int)
+                .col("b", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db
@@ -477,7 +529,10 @@ mod tests {
             Rule::new(
                 "base",
                 Atom::new("path", vec![Term::var("a"), Term::var("b")]),
-                vec![Literal::pos(Atom::new("edge", vec![Term::var("a"), Term::var("b")]))],
+                vec![Literal::pos(Atom::new(
+                    "edge",
+                    vec![Term::var("a"), Term::var("b")],
+                ))],
             ),
             Rule::new(
                 "step",
@@ -546,7 +601,9 @@ mod tests {
             db.insert("edge", row![a, b]).unwrap();
         }
         engine.initial_load(&db).unwrap();
-        engine.apply_update(&db, vec![BaseChange::delete("edge", row![2, 3])]).unwrap();
+        engine
+            .apply_update(&db, vec![BaseChange::delete("edge", row![2, 3])])
+            .unwrap();
         // path(1,3) survives thanks to the direct edge.
         assert!(db.contains("path", &row![1, 3]).unwrap());
         assert_agrees_with_recompute(&engine, &db, &["path"]);
@@ -555,13 +612,19 @@ mod tests {
     #[test]
     fn counting_handles_self_join_insertion() {
         // MarriedCandidate-style self-join: C(m1,m2) :- P(s,m1), P(s,m2), m1 < m2.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("P").col("s", ValueType::Int).col("m", ValueType::Int).finish(),
+            Schema::build("P")
+                .col("s", ValueType::Int)
+                .col("m", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db.create_relation(
-            Schema::build("C").col("m1", ValueType::Int).col("m2", ValueType::Int).finish(),
+            Schema::build("C")
+                .col("m1", ValueType::Int)
+                .col("m2", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         let prog = Program::new(vec![Rule::new(
@@ -597,13 +660,19 @@ mod tests {
 
     #[test]
     fn counting_handles_self_join_deletion() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("P").col("s", ValueType::Int).col("m", ValueType::Int).finish(),
+            Schema::build("P")
+                .col("s", ValueType::Int)
+                .col("m", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db.create_relation(
-            Schema::build("C").col("m1", ValueType::Int).col("m2", ValueType::Int).finish(),
+            Schema::build("C")
+                .col("m1", ValueType::Int)
+                .col("m2", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         let prog = Program::new(vec![Rule::new(
@@ -621,7 +690,9 @@ mod tests {
         }
         engine.initial_load(&db).unwrap();
         assert_eq!(db.len("C").unwrap(), 3);
-        engine.apply_update(&db, vec![BaseChange::delete("P", row![1, 20])]).unwrap();
+        engine
+            .apply_update(&db, vec![BaseChange::delete("P", row![1, 20])])
+            .unwrap();
         assert_eq!(db.rows("C").unwrap(), vec![row![10, 30]]);
         assert_agrees_with_recompute(&engine, &db, &["C"]);
     }
@@ -650,11 +721,13 @@ mod tests {
 
     #[test]
     fn negation_strata_recomputed_correctly() {
-        let mut db = Database::new();
+        let db = Database::new();
         for n in ["Base", "Excl"] {
-            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish())
+                .unwrap();
         }
-        db.create_relation(Schema::build("Out").col("x", ValueType::Int).finish()).unwrap();
+        db.create_relation(Schema::build("Out").col("x", ValueType::Int).finish())
+            .unwrap();
         let prog = Program::new(vec![Rule::new(
             "out",
             Atom::new("Out", vec![Term::var("x")]),
@@ -675,7 +748,9 @@ mod tests {
         assert_eq!(db.rows("Out").unwrap(), vec![row![1]]);
         assert!(res.disappeared["Out"].contains(&row![2]));
         // Removing it brings Out(2) back.
-        engine.apply_update(&db, vec![BaseChange::delete("Excl", row![2])]).unwrap();
+        engine
+            .apply_update(&db, vec![BaseChange::delete("Excl", row![2])])
+            .unwrap();
         assert_eq!(db.len("Out").unwrap(), 2);
     }
 
@@ -712,18 +787,26 @@ mod tests {
 
     #[test]
     fn multi_stratum_propagation() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Int)
+                .finish(),
         )
         .unwrap();
-        db.create_relation(Schema::build("V1").col("x", ValueType::Int).finish()).unwrap();
-        db.create_relation(Schema::build("V2").col("x", ValueType::Int).finish()).unwrap();
+        db.create_relation(Schema::build("V1").col("x", ValueType::Int).finish())
+            .unwrap();
+        db.create_relation(Schema::build("V2").col("x", ValueType::Int).finish())
+            .unwrap();
         let prog = Program::new(vec![
             Rule::new(
                 "v1",
                 Atom::new("V1", vec![Term::var("x")]),
-                vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+                vec![Literal::pos(Atom::new(
+                    "R",
+                    vec![Term::var("x"), Term::var("y")],
+                ))],
             ),
             Rule::new(
                 "v2",
@@ -741,7 +824,9 @@ mod tests {
         assert!(!res.appeared.contains_key("V2"));
         assert_eq!(db.count("V1", &row![1]).unwrap(), 2);
         // Deleting one derivation keeps V1(1) visible; deleting both drops V2.
-        engine.apply_update(&db, vec![BaseChange::delete("R", row![1, 10])]).unwrap();
+        engine
+            .apply_update(&db, vec![BaseChange::delete("R", row![1, 10])])
+            .unwrap();
         assert!(db.contains("V2", &row![1]).unwrap());
         let res = engine
             .apply_update(&db, vec![BaseChange::delete("R", row![1, 11])])

@@ -56,22 +56,24 @@
 
 pub mod database;
 pub mod datalog;
-pub mod io;
 pub mod delta;
 pub mod error;
+pub mod io;
 pub mod ivm;
 pub mod program;
 pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use database::{Database, Udf};
+pub use database::{quarantine_schema, Database, FailurePolicy, Udf, QUARANTINE_SUFFIX};
 pub use datalog::{
     Atom, AtomDeltas, Builtin, CmpOp, CompiledRule, Literal, Rule, Source, Term, UdfCall,
 };
 pub use delta::DeltaRelation;
 pub use error::StorageError;
-pub use io::{row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv};
+pub use io::{
+    row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv, IngestIssue, IngestPolicy, IngestReport,
+};
 pub use ivm::{BaseChange, IncrementalEngine, MaintenanceResult};
 pub use program::{Program, StratifiedProgram, Stratum};
 pub use schema::{Column, Schema, SchemaBuilder};

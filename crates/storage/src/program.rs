@@ -64,8 +64,11 @@ pub struct StratifiedProgram {
 impl StratifiedProgram {
     /// Stratify and compile `program` against the catalog of `db`.
     pub fn new(program: Program, db: &Database) -> Result<Self, StorageError> {
-        let compiled: Result<Vec<_>, _> =
-            program.rules.iter().map(|r| CompiledRule::compile(r, db)).collect();
+        let compiled: Result<Vec<_>, _> = program
+            .rules
+            .iter()
+            .map(|r| CompiledRule::compile(r, db))
+            .collect();
         let compiled = compiled?;
 
         // Delta-rule variants: one per positive body position.
@@ -119,7 +122,9 @@ impl StratifiedProgram {
             let set: HashSet<&str> = scc.iter().copied().collect();
             for &(from, to) in &neg_edges {
                 if set.contains(from) && set.contains(to) {
-                    return Err(StorageError::NotStratifiable { relation: to.to_string() });
+                    return Err(StorageError::NotStratifiable {
+                        relation: to.to_string(),
+                    });
                 }
             }
         }
@@ -145,10 +150,20 @@ impl StratifiedProgram {
             let has_negation = rule_indices
                 .iter()
                 .any(|&i| program.rules[i].body.iter().any(|l| l.negated));
-            strata.push(Stratum { rule_indices, relations, recursive, has_negation });
+            strata.push(Stratum {
+                rule_indices,
+                relations,
+                recursive,
+                has_negation,
+            });
         }
 
-        Ok(StratifiedProgram { program, strata, compiled, variants })
+        Ok(StratifiedProgram {
+            program,
+            strata,
+            compiled,
+            variants,
+        })
     }
 
     /// The delta-rule variant of rule `rule_index` with body atom `front`
@@ -244,7 +259,9 @@ impl StratifiedProgram {
                     if lit.negated || !stratum.relations.contains(&lit.atom.relation) {
                         continue;
                     }
-                    let Some(delta) = deltas.get(&lit.atom.relation) else { continue };
+                    let Some(delta) = deltas.get(&lit.atom.relation) else {
+                        continue;
+                    };
                     // Delta-first join order (the §4.1 delta-rule shape).
                     let (variant, _) = self.variant(ri, occ);
                     let atom_deltas: AtomDeltas = HashMap::from([(0usize, delta)]);
@@ -414,13 +431,19 @@ mod tests {
     use crate::value::ValueType;
 
     fn edge_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("edge").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+            Schema::build("edge")
+                .col("a", ValueType::Int)
+                .col("b", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db.create_relation(
-            Schema::build("path").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+            Schema::build("path")
+                .col("a", ValueType::Int)
+                .col("b", ValueType::Int)
+                .finish(),
         )
         .unwrap();
         db
@@ -431,7 +454,10 @@ mod tests {
             Rule::new(
                 "base",
                 Atom::new("path", vec![Term::var("a"), Term::var("b")]),
-                vec![Literal::pos(Atom::new("edge", vec![Term::var("a"), Term::var("b")]))],
+                vec![Literal::pos(Atom::new(
+                    "edge",
+                    vec![Term::var("a"), Term::var("b")],
+                ))],
             ),
             Rule::new(
                 "step",
@@ -477,9 +503,10 @@ mod tests {
 
     #[test]
     fn nonrecursive_strata_ordered_topologically() {
-        let mut db = Database::new();
+        let db = Database::new();
         for n in ["A", "B", "C"] {
-            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish())
+                .unwrap();
         }
         // C :- B; B :- A.
         let prog = Program::new(vec![
@@ -505,9 +532,10 @@ mod tests {
 
     #[test]
     fn negation_across_strata_allowed() {
-        let mut db = Database::new();
+        let db = Database::new();
         for n in ["Base", "Excl", "Out"] {
-            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish())
+                .unwrap();
         }
         let prog = Program::new(vec![Rule::new(
             "out",
@@ -527,9 +555,10 @@ mod tests {
 
     #[test]
     fn negative_recursion_rejected() {
-        let mut db = Database::new();
+        let db = Database::new();
         for n in ["P", "Q"] {
-            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish()).unwrap();
+            db.create_relation(Schema::build(n).col("x", ValueType::Int).finish())
+                .unwrap();
         }
         // P :- !Q; Q :- P — negation in a cycle.
         let prog = Program::new(vec![
@@ -553,16 +582,23 @@ mod tests {
 
     #[test]
     fn counting_semantics_in_nonrecursive_stratum() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_relation(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Int).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Int)
+                .finish(),
         )
         .unwrap();
-        db.create_relation(Schema::build("V").col("x", ValueType::Int).finish()).unwrap();
+        db.create_relation(Schema::build("V").col("x", ValueType::Int).finish())
+            .unwrap();
         let prog = Program::new(vec![Rule::new(
             "v",
             Atom::new("V", vec![Term::var("x")]),
-            vec![Literal::pos(Atom::new("R", vec![Term::var("x"), Term::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "R",
+                vec![Term::var("x"), Term::var("y")],
+            ))],
         )]);
         db.insert("R", row![1, 10]).unwrap();
         db.insert("R", row![1, 11]).unwrap();

@@ -20,7 +20,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -33,12 +36,18 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
-        Schema { name: name.into(), columns }
+        Schema {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Builder-style helper: `Schema::build("R").col("x", Int).col("y", Text)`.
     pub fn build(name: impl Into<String>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), columns: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -113,7 +122,10 @@ impl SchemaBuilder {
     }
 
     pub fn finish(self) -> Schema {
-        Schema { name: self.name, columns: self.columns }
+        Schema {
+            name: self.name,
+            columns: self.columns,
+        }
     }
 }
 
@@ -139,7 +151,14 @@ mod tests {
     fn check_row_rejects_wrong_arity() {
         let s = spouse_schema();
         let err = s.check_row(&row![Value::Id(1)]).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -173,6 +192,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(spouse_schema().to_string(), "MarriedCandidate(m1: id, m2: id)");
+        assert_eq!(
+            spouse_schema().to_string(),
+            "MarriedCandidate(m1: id, m2: id)"
+        );
     }
 }

@@ -37,7 +37,12 @@ pub struct Table {
 
 impl Table {
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: HashMap::new(), indexes: HashMap::new(), generation: 0 }
+        Table {
+            schema,
+            rows: HashMap::new(),
+            indexes: HashMap::new(),
+            generation: 0,
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -187,7 +192,9 @@ impl Table {
         out: &mut Vec<(Row, i64)>,
     ) {
         self.ensure_index(key_cols);
-        let Some(idx) = self.indexes.get(key_cols) else { return };
+        let Some(idx) = self.indexes.get(key_cols) else {
+            return;
+        };
         if let Some(rows) = idx.get(key_vals) {
             for r in rows {
                 out.push((r.clone(), self.rows.get(r).copied().unwrap_or(0)));
@@ -221,7 +228,10 @@ mod tests {
 
     fn table() -> Table {
         Table::new(
-            Schema::build("R").col("x", ValueType::Int).col("y", ValueType::Text).finish(),
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Text)
+                .finish(),
         )
     }
 
@@ -263,7 +273,10 @@ mod tests {
     fn negative_adjust_clamps_at_zero() {
         let mut t = table();
         t.insert(row![1, "a"]).unwrap();
-        assert_eq!(t.adjust(row![1, "a"], -100).unwrap(), Membership::Disappeared);
+        assert_eq!(
+            t.adjust(row![1, "a"], -100).unwrap(),
+            Membership::Disappeared
+        );
         assert_eq!(t.count(&row![1, "a"]), 0);
         // Further deletes do not create negative ghosts.
         assert_eq!(t.adjust(row![1, "a"], -1).unwrap(), Membership::Unchanged);
@@ -302,7 +315,10 @@ mod tests {
         t.insert(row![1, "a"]).unwrap();
         t.set_count(row![1, "a"], 5).unwrap();
         assert_eq!(t.count(&row![1, "a"]), 5);
-        assert_eq!(t.set_count(row![1, "a"], 0).unwrap(), Membership::Disappeared);
+        assert_eq!(
+            t.set_count(row![1, "a"], 0).unwrap(),
+            Membership::Disappeared
+        );
     }
 
     #[test]

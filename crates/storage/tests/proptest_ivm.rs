@@ -28,15 +28,23 @@ fn op_strategy(universe: i64) -> impl Strategy<Value = Op> {
 }
 
 fn edge_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_relation(
-        Schema::build("edge").col("a", ValueType::Int).col("b", ValueType::Int).finish(),
+        Schema::build("edge")
+            .col("a", ValueType::Int)
+            .col("b", ValueType::Int)
+            .finish(),
     )
     .unwrap();
-    db.create_relation(Schema::build("node").col("x", ValueType::Int).finish()).unwrap();
-    for (name, arity) in
-        [("join2", 2), ("selfjoin", 2), ("tc", 2), ("orphan", 1), ("chained", 1)]
-    {
+    db.create_relation(Schema::build("node").col("x", ValueType::Int).finish())
+        .unwrap();
+    for (name, arity) in [
+        ("join2", 2),
+        ("selfjoin", 2),
+        ("tc", 2),
+        ("orphan", 1),
+        ("chained", 1),
+    ] {
         let mut b = Schema::build(name);
         for i in 0..arity {
             b = b.col(format!("c{i}"), ValueType::Int);
@@ -74,7 +82,10 @@ fn full_program() -> Program {
         Rule::new(
             "tc_base",
             Atom::new("tc", vec![Term::var("a"), Term::var("b")]),
-            vec![Literal::pos(Atom::new("edge", vec![Term::var("a"), Term::var("b")]))],
+            vec![Literal::pos(Atom::new(
+                "edge",
+                vec![Term::var("a"), Term::var("b")],
+            ))],
         ),
         Rule::new(
             "tc_step",
@@ -97,7 +108,10 @@ fn full_program() -> Program {
         Rule::new(
             "chained",
             Atom::new("chained", vec![Term::var("a")]),
-            vec![Literal::pos(Atom::new("tc", vec![Term::var("a"), Term::var("a")]))],
+            vec![Literal::pos(Atom::new(
+                "tc",
+                vec![Term::var("a"), Term::var("a")],
+            ))],
         ),
     ])
 }

@@ -27,7 +27,10 @@ impl<C> LabelingFunction<C> {
         name: impl Into<String>,
         f: impl Fn(&C) -> Option<bool> + Send + Sync + 'static,
     ) -> Self {
-        LabelingFunction { name: name.into(), f: Arc::new(f) }
+        LabelingFunction {
+            name: name.into(),
+            f: Arc::new(f),
+        }
     }
 
     pub fn apply(&self, candidate: &C) -> Option<bool> {
@@ -100,7 +103,9 @@ impl LabelMatrix {
 
     /// Majority labels for the whole matrix.
     pub fn majority_labels(&self) -> Vec<Option<bool>> {
-        (0..self.num_candidates()).map(|i| self.majority(i)).collect()
+        (0..self.num_candidates())
+            .map(|i| self.majority(i))
+            .collect()
     }
 
     /// Fraction of candidates receiving at least one label.
@@ -108,8 +113,11 @@ impl LabelMatrix {
         if self.labels.is_empty() {
             return 0.0;
         }
-        let covered =
-            self.labels.iter().filter(|row| row.iter().any(Option::is_some)).count();
+        let covered = self
+            .labels
+            .iter()
+            .filter(|row| row.iter().any(Option::is_some))
+            .count();
         covered as f64 / self.labels.len() as f64
     }
 
@@ -194,7 +202,7 @@ mod tests {
 
     fn candidates() -> Vec<Cand> {
         vec![
-            ("and his wife", true, false),   // kb+phrase agree positive
+            ("and his wife", true, false),    // kb+phrase agree positive
             ("and his brother", false, true), // kb+phrase agree negative
             ("met at work", false, false),    // nobody labels
             ("and his wife", false, true),    // CONFLICT: wife phrase vs sibling kb
@@ -257,9 +265,15 @@ mod tests {
     #[test]
     fn duplicate_functions_show_full_overlap_zero_conflict() {
         let mut fns = functions();
-        fns.push(LabelingFunction::new("kb_married_copy", |c: &Cand| c.1.then_some(true)));
+        fns.push(LabelingFunction::new("kb_married_copy", |c: &Cand| {
+            c.1.then_some(true)
+        }));
         let m = LabelMatrix::build(&fns, &candidates());
-        let copy = m.stats().into_iter().find(|s| s.name == "kb_married_copy").unwrap();
+        let copy = m
+            .stats()
+            .into_iter()
+            .find(|s| s.name == "kb_married_copy")
+            .unwrap();
         assert_eq!(copy.overlap, 1.0);
         assert_eq!(copy.conflict, 0.0);
     }

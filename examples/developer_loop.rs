@@ -17,9 +17,15 @@ use deepdive_corpus::SpouseConfig;
 use deepdive_sampler::{GibbsOptions, LearnOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let corpus_cfg = SpouseConfig { num_docs: 250, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 250,
+        ..Default::default()
+    };
     let run = RunConfig {
-        learn: LearnOptions { epochs: 100, ..Default::default() },
+        learn: LearnOptions {
+            epochs: 100,
+            ..Default::default()
+        },
         inference: GibbsOptions {
             burn_in: 80,
             samples: 1000,
@@ -59,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "4: + word/distance/window feature templates",
-            SpouseAppConfig { features: FeatureSet::all(), ..base(&corpus_cfg, &run) },
+            SpouseAppConfig {
+                features: FeatureSet::all(),
+                ..base(&corpus_cfg, &run)
+            },
         ),
     ];
 
@@ -84,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &truth,
                 &result.weights,
                 "spouse-v4",
-                &ErrorAnalysisConfig { threshold: 0.5, ..Default::default() },
+                &ErrorAnalysisConfig {
+                    threshold: 0.5,
+                    ..Default::default()
+                },
                 &|key| {
                     // Failure-mode bucketing: tag each false positive.
                     if key.split('|').count() != 2 {

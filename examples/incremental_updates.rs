@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // load time, the remaining 40 stream in later. Ground truth (the recall
     // denominator) covers ALL 240 documents, so recall GROWS as the stream
     // delivers the sentences that express the missing pairs.
-    let corpus_cfg = SpouseConfig { num_docs: 240, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 240,
+        ..Default::default()
+    };
     let full = deepdive_corpus::spouse::generate(&corpus_cfg);
     let mut initial = full.clone();
     initial.documents.truncate(200);
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SpouseAppConfig {
             corpus: corpus_cfg,
             run: RunConfig {
-                learn: LearnOptions { epochs: 80, ..Default::default() },
+                learn: LearnOptions {
+                    epochs: 80,
+                    ..Default::default()
+                },
                 inference: GibbsOptions {
                     burn_in: 60,
                     samples: 600,
@@ -64,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for doc in &late_docs {
         changes.extend(app.document_changes(&doc.text));
     }
-    println!("\n40 new documents arrive: {} base-tuple changes", changes.len());
+    println!(
+        "\n40 new documents arrive: {} base-tuple changes",
+        changes.len()
+    );
 
     // Incremental developer iteration: delta-maintain relations, grounding,
     // then re-learn (warm-started from the stored weights) and re-infer.

@@ -14,9 +14,15 @@ use std::collections::BTreeSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = MaterialsApp::build(MaterialsAppConfig {
-        corpus: MaterialsConfig { num_docs: 250, ..Default::default() },
+        corpus: MaterialsConfig {
+            num_docs: 250,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 120, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 120,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 100,
                 samples: 1200,

@@ -12,9 +12,15 @@ use deepdive_sampler::{GibbsOptions, LearnOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = GeneticsApp::build(GeneticsAppConfig {
-        corpus: GeneticsConfig { num_docs: 300, ..Default::default() },
+        corpus: GeneticsConfig {
+            num_docs: 300,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 120, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 120,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 100,
                 samples: 1500,

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .config(RunConfig {
             threshold: 0.8,
             holdout_fraction: 0.0,
-            learn: LearnOptions { epochs: 120, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 120,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 100,
                 samples: 2000,

@@ -17,9 +17,15 @@ use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = AdsApp::build(AdsAppConfig {
-        corpus: AdsConfig { num_ads: 600, ..Default::default() },
+        corpus: AdsConfig {
+            num_ads: 600,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 120, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 120,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 100,
                 samples: 1200,
@@ -58,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Movement analysis from extracted (phone, city) co-occurrences:
     // workers posting from 3+ cities are flagged.
     let city_gaz = Gazetteer::from_phrases(deepdive_corpus::names::CITIES.iter().copied());
-    let mut cities_by_phone: BTreeMap<String, std::collections::BTreeSet<String>> =
-        BTreeMap::new();
+    let mut cities_by_phone: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
     for doc in &app.corpus.documents {
         let toks = tokenize(&doc.text);
         let phones = deepdive_nlp::spot_phones(&toks);
@@ -76,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         for phone in &phones {
             for c in &found_cities {
-                cities_by_phone.entry(phone.text.clone()).or_default().insert(c.clone());
+                cities_by_phone
+                    .entry(phone.text.clone())
+                    .or_default()
+                    .insert(c.clone());
             }
         }
     }

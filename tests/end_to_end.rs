@@ -11,7 +11,10 @@ use deepdive_sampler::{GibbsOptions, LearnOptions};
 
 fn fast_run() -> RunConfig {
     RunConfig {
-        learn: LearnOptions { epochs: 60, ..Default::default() },
+        learn: LearnOptions {
+            epochs: 60,
+            ..Default::default()
+        },
         inference: GibbsOptions {
             burn_in: 50,
             samples: 400,
@@ -26,7 +29,10 @@ fn fast_run() -> RunConfig {
 fn all_four_domains_beat_half_f1() {
     let spouse = {
         let mut app = SpouseApp::build(SpouseAppConfig {
-            corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+            corpus: SpouseConfig {
+                num_docs: 80,
+                ..Default::default()
+            },
             run: fast_run(),
             ..Default::default()
         })
@@ -36,7 +42,10 @@ fn all_four_domains_beat_half_f1() {
     };
     let genetics = {
         let mut app = GeneticsApp::build(GeneticsAppConfig {
-            corpus: GeneticsConfig { num_docs: 80, ..Default::default() },
+            corpus: GeneticsConfig {
+                num_docs: 80,
+                ..Default::default()
+            },
             run: fast_run(),
             ..Default::default()
         })
@@ -46,7 +55,10 @@ fn all_four_domains_beat_half_f1() {
     };
     let ads = {
         let mut app = AdsApp::build(AdsAppConfig {
-            corpus: AdsConfig { num_ads: 150, ..Default::default() },
+            corpus: AdsConfig {
+                num_ads: 150,
+                ..Default::default()
+            },
             run: fast_run(),
             ..Default::default()
         })
@@ -56,7 +68,10 @@ fn all_four_domains_beat_half_f1() {
     };
     let materials = {
         let mut app = MaterialsApp::build(MaterialsAppConfig {
-            corpus: MaterialsConfig { num_docs: 80, ..Default::default() },
+            corpus: MaterialsConfig {
+                num_docs: 80,
+                ..Default::default()
+            },
             run: fast_run(),
             ..Default::default()
         })
@@ -64,10 +79,15 @@ fn all_four_domains_beat_half_f1() {
         let r = app.run().unwrap();
         app.evaluate(&r, 0.7).f1()
     };
-    println!("F1 — spouse {spouse:.3}, genetics {genetics:.3}, ads {ads:.3}, materials {materials:.3}");
-    for (name, f1) in
-        [("spouse", spouse), ("genetics", genetics), ("ads", ads), ("materials", materials)]
-    {
+    println!(
+        "F1 — spouse {spouse:.3}, genetics {genetics:.3}, ads {ads:.3}, materials {materials:.3}"
+    );
+    for (name, f1) in [
+        ("spouse", spouse),
+        ("genetics", genetics),
+        ("ads", ads),
+        ("materials", materials),
+    ] {
         assert!(f1 > 0.5, "{name} F1 {f1}");
     }
 }
@@ -76,7 +96,10 @@ fn all_four_domains_beat_half_f1() {
 fn pipeline_is_deterministic_across_runs() {
     let build = || {
         let mut app = SpouseApp::build(SpouseAppConfig {
-            corpus: SpouseConfig { num_docs: 50, ..Default::default() },
+            corpus: SpouseConfig {
+                num_docs: 50,
+                ..Default::default()
+            },
             run: fast_run(),
             ..Default::default()
         })
@@ -98,7 +121,10 @@ fn pipeline_is_deterministic_across_runs() {
 #[test]
 fn run_result_surfaces_all_artifacts() {
     let mut app = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 60, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 60,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
@@ -117,7 +143,10 @@ fn run_result_surfaces_all_artifacts() {
     assert_eq!(cal.test_histogram.len(), 10);
     assert!(u_shape_score(&cal.train_histogram) > 0.4);
     // Weight summaries carry tying keys and observation counts (§5.2).
-    assert!(result.weights.iter().any(|w| w.key.starts_with("fe_") && w.references > 0));
+    assert!(result
+        .weights
+        .iter()
+        .any(|w| w.key.starts_with("fe_") && w.references > 0));
     // Phase timings populated.
     assert!(result.timings.total() > std::time::Duration::ZERO);
 }
@@ -125,7 +154,10 @@ fn run_result_surfaces_all_artifacts() {
 #[test]
 fn output_threshold_controls_table_size() {
     let mut app = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 60, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 60,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })

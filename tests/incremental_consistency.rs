@@ -9,9 +9,15 @@ use deepdive_storage::{row, BaseChange};
 
 fn app_config(num_docs: usize) -> SpouseAppConfig {
     SpouseAppConfig {
-        corpus: SpouseConfig { num_docs, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs,
+            ..Default::default()
+        },
         run: RunConfig {
-            learn: LearnOptions { epochs: 30, ..Default::default() },
+            learn: LearnOptions {
+                epochs: 30,
+                ..Default::default()
+            },
             inference: GibbsOptions {
                 burn_in: 30,
                 samples: 200,
@@ -63,7 +69,11 @@ fn incremental_document_addition_matches_fresh_ground() {
     );
     // Same database contents for every derived relation.
     for rel in ["MarriedCandidate", "MarriedMentions_Ev"] {
-        assert_eq!(incr.dd.db.rows(rel).unwrap(), fresh.dd.db.rows(rel).unwrap(), "{rel}");
+        assert_eq!(
+            incr.dd.db.rows(rel).unwrap(),
+            fresh.dd.db.rows(rel).unwrap(),
+            "{rel}"
+        );
     }
 }
 
@@ -84,7 +94,10 @@ fn document_retraction_roundtrips() {
     for doc in &extra.documents.clone() {
         all_changes.extend(app.document_changes(&doc.text));
     }
-    app.dd.grounder.apply_update(&app.dd.db, all_changes.clone()).unwrap();
+    app.dd
+        .grounder
+        .apply_update(&app.dd.db, all_changes.clone())
+        .unwrap();
     assert!(app.dd.grounder.state.num_live_variables() >= vars0);
 
     // Retract everything we added.
@@ -92,9 +105,20 @@ fn document_retraction_roundtrips() {
         .into_iter()
         .map(|ch| BaseChange::delete(ch.relation, ch.row))
         .collect();
-    app.dd.grounder.apply_update(&app.dd.db, retractions).unwrap();
-    assert_eq!(app.dd.grounder.state.num_live_variables(), vars0, "variables leak");
-    assert_eq!(app.dd.grounder.state.num_live_factors(), factors0, "factors leak");
+    app.dd
+        .grounder
+        .apply_update(&app.dd.db, retractions)
+        .unwrap();
+    assert_eq!(
+        app.dd.grounder.state.num_live_variables(),
+        vars0,
+        "variables leak"
+    );
+    assert_eq!(
+        app.dd.grounder.state.num_live_factors(),
+        factors0,
+        "factors leak"
+    );
 }
 
 /// KB facts arriving incrementally flip evidence labels in place and a

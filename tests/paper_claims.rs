@@ -12,7 +12,10 @@ use std::collections::BTreeSet;
 
 fn fast_run() -> RunConfig {
     RunConfig {
-        learn: LearnOptions { epochs: 50, ..Default::default() },
+        learn: LearnOptions {
+            epochs: 50,
+            ..Default::default()
+        },
         inference: GibbsOptions {
             burn_in: 40,
             samples: 300,
@@ -54,7 +57,10 @@ fn numa_aware_beats_shared_chain() {
 /// §5.3 / E9: stacked deterministic rules show strictly diminishing returns.
 #[test]
 fn regex_rules_have_diminishing_returns() {
-    let corpus = deepdive_corpus::ads::generate(&AdsConfig { num_ads: 300, ..Default::default() });
+    let corpus = deepdive_corpus::ads::generate(&AdsConfig {
+        num_ads: 300,
+        ..Default::default()
+    });
     let truth: BTreeSet<String> = corpus
         .truth
         .iter()
@@ -63,8 +69,9 @@ fn regex_rules_have_diminishing_returns() {
     let f1s: Vec<f64> = (1..=4)
         .map(|k| Quality::compare(&regex_baseline_extract(&corpus, k), &truth).f1())
         .collect();
-    let gains: Vec<f64> =
-        (0..4).map(|k| if k == 0 { f1s[0] } else { f1s[k] - f1s[k - 1] }).collect();
+    let gains: Vec<f64> = (0..4)
+        .map(|k| if k == 0 { f1s[0] } else { f1s[k] - f1s[k - 1] })
+        .collect();
     for w in gains.windows(2) {
         assert!(w[1] < w[0], "productivity must shrink: {gains:?}");
     }
@@ -73,12 +80,19 @@ fn regex_rules_have_diminishing_returns() {
 /// §5.3 / E7: distant supervision beats a small manual-label budget.
 #[test]
 fn distant_supervision_beats_small_manual_budget() {
-    let corpus_cfg = SpouseConfig { num_docs: 80, ..Default::default() };
+    let corpus_cfg = SpouseConfig {
+        num_docs: 80,
+        ..Default::default()
+    };
     let corpus = deepdive_corpus::spouse::generate(&corpus_cfg);
 
     let distant_f1 = {
         let mut app = SpouseApp::build_with_corpus(
-            SpouseAppConfig { corpus: corpus_cfg.clone(), run: fast_run(), ..Default::default() },
+            SpouseAppConfig {
+                corpus: corpus_cfg.clone(),
+                run: fast_run(),
+                ..Default::default()
+            },
             corpus.clone(),
         )
         .unwrap();
@@ -90,7 +104,10 @@ fn distant_supervision_beats_small_manual_budget() {
             SpouseAppConfig {
                 corpus: corpus_cfg,
                 run: fast_run(),
-                supervision: SupervisionMode::Manual { num_labels: 15, noise: 0.02 },
+                supervision: SupervisionMode::Manual {
+                    num_labels: 15,
+                    noise: 0.02,
+                },
                 ..Default::default()
             },
             corpus,
@@ -111,23 +128,38 @@ fn distant_supervision_beats_small_manual_budget() {
 #[test]
 fn ocr_noise_shows_up_as_candidate_recall_loss() {
     let clean = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 120, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 120,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
     .unwrap();
     clean.dd.grounder.state.num_live_variables(); // silence unused path
     let mut clean_app = clean;
-    clean_app.dd.grounder.initial_load(&clean_app.dd.db).unwrap();
+    clean_app
+        .dd
+        .grounder
+        .initial_load(&clean_app.dd.db)
+        .unwrap();
     let clean_recall = clean_app.candidate_recall();
 
     let mut noisy_app = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 120, typo_rate: 0.9, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 120,
+            typo_rate: 0.9,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
     .unwrap();
-    noisy_app.dd.grounder.initial_load(&noisy_app.dd.db).unwrap();
+    noisy_app
+        .dd
+        .grounder
+        .initial_load(&noisy_app.dd.db)
+        .unwrap();
     let noisy_recall = noisy_app.candidate_recall();
     println!("candidate recall: clean {clean_recall:.3}, OCR-noisy {noisy_recall:.3}");
     assert!(clean_recall > 0.8, "clean candidate recall {clean_recall}");
@@ -141,7 +173,10 @@ fn ocr_noise_shows_up_as_candidate_recall_loss() {
 #[test]
 fn threshold_monotonicity() {
     let mut app = SpouseApp::build(SpouseAppConfig {
-        corpus: SpouseConfig { num_docs: 80, ..Default::default() },
+        corpus: SpouseConfig {
+            num_docs: 80,
+            ..Default::default()
+        },
         run: fast_run(),
         ..Default::default()
     })
@@ -149,7 +184,10 @@ fn threshold_monotonicity() {
     let result = app.run().unwrap();
     let hi = app.evaluate(&result, 0.9);
     let lo = app.evaluate(&result, 0.3);
-    assert!(lo.recall() >= hi.recall(), "recall must not drop as threshold falls");
+    assert!(
+        lo.recall() >= hi.recall(),
+        "recall must not drop as threshold falls"
+    );
 }
 
 /// §4.2 / E3-adjacent: the lock-free sequential scan outperforms the

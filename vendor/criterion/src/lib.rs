@@ -33,13 +33,17 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_owned() }
+        BenchmarkId {
+            label: s.to_owned(),
+        }
     }
 }
 
@@ -58,7 +62,11 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: u64) -> Self {
-        Bencher { samples, total: Duration::ZERO, iters: 0 }
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {

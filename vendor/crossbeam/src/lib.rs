@@ -75,15 +75,23 @@ pub mod queue {
 
     impl<T> SegQueue<T> {
         pub fn new() -> Self {
-            SegQueue { inner: Mutex::new(VecDeque::new()) }
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
         }
 
         pub fn push(&self, value: T) {
-            self.inner.lock().unwrap_or_else(|p| p.into_inner()).push_back(value);
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(value);
         }
 
         pub fn pop(&self) -> Option<T> {
-            self.inner.lock().unwrap_or_else(|p| p.into_inner()).pop_front()
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
         }
 
         pub fn len(&self) -> usize {
@@ -107,10 +115,12 @@ mod tests {
         let counter = &counter;
         let out = super::thread::scope(|s| {
             let hs: Vec<_> = (0..4)
-                .map(|i| s.spawn(move |_| {
-                    counter.fetch_add(i, Ordering::Relaxed);
-                    i * 2
-                }))
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
                 .collect();
             hs.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
@@ -142,13 +152,17 @@ mod tests {
             for i in 0..100 {
                 q.push(i);
             }
-            let hs: Vec<_> = (0..4).map(|_| s.spawn(|_| {
-                let mut got = 0;
-                while q.pop().is_some() {
-                    got += 1;
-                }
-                got
-            })).collect();
+            let hs: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut got = 0;
+                        while q.pop().is_some() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
             let total: usize = hs.into_iter().map(|h| h.join().unwrap()).sum();
             assert_eq!(total, 100);
         })

@@ -106,7 +106,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { source: self, whence, f }
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -152,7 +156,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter({}) rejected 10000 consecutive samples", self.whence);
+            panic!(
+                "prop_filter({}) rejected 10000 consecutive samples",
+                self.whence
+            );
         }
     }
 
@@ -187,6 +194,14 @@ pub mod strategy {
         fn gen_value(&self, rng: &mut TestRng) -> V {
             let i = rng.gen_range(0..self.options.len());
             self.options[i].gen_value(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (**self).gen_value(rng)
         }
     }
 
@@ -325,20 +340,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_excl: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi_excl: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi_excl: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_excl: *r.end() + 1,
+            }
         }
     }
 
@@ -358,7 +382,10 @@ pub mod collection {
 
     /// `proptest::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -414,9 +441,7 @@ pub mod string {
         panic!("unterminated character class in pattern");
     }
 
-    fn parse_quantifier(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    ) -> (usize, usize) {
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
         if chars.peek() != Some(&'{') {
             return (1, 1);
         }
@@ -537,9 +562,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: `{:?}` != `{:?}`", l, r),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
         }
     }};
 }
@@ -640,7 +666,9 @@ mod tests {
             let s = Strategy::gen_value(&"[a-z][a-z0-9_]{0,6}", &mut rng);
             assert!(!s.is_empty() && s.len() <= 7);
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
         for _ in 0..200 {
             let s = Strategy::gen_value(&"\\PC{0,20}", &mut rng);
@@ -675,8 +703,8 @@ mod tests {
             x in 3i64..9,
         ) {
             prop_assume!(!v.is_empty());
-            prop_assert!(x >= 3 && x < 9, "x out of range: {}", x);
-            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert!((3..9).contains(&x), "x out of range: {}", x);
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
             prop_assert_ne!(x, 100);
         }
     }

@@ -76,8 +76,7 @@ impl Standard for f32 {
 
 /// Types uniformly sampleable over a `[lo, hi)` / `[lo, hi]` span.
 pub trait SampleUniform: Sized + PartialOrd {
-    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 macro_rules! impl_int_uniform {

@@ -429,7 +429,11 @@ pub struct Error {
 
 impl Error {
     fn new(msg: impl Into<String>, line: usize, column: usize) -> Self {
-        Error { msg: msg.into(), line, column }
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
     }
 
     /// Construct a data-shape error (for hand-rolled deserializers that
@@ -449,7 +453,11 @@ impl Error {
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.msg, self.line, self.column
+        )
     }
 }
 
@@ -578,8 +586,7 @@ impl<'a> Parser<'a> {
                                     let lo = u32::from_str_radix(hex2, 16)
                                         .map_err(|_| self.err("bad surrogate"))?;
                                     self.pos += 6;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                 } else {
                                     None
@@ -686,7 +693,10 @@ impl<'a> Parser<'a> {
 
 /// Parse a JSON document into a [`Value`] tree.
 pub fn from_str(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
