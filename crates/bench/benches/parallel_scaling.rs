@@ -1,0 +1,19 @@
+//! Thread-count sweep (1/2/4/8) over the partitioned execution core:
+//! recursive fixpoint, factor-graph grounding, and Gibbs sampling.
+//!
+//! Not a criterion harness: each phase is timed once per thread count by
+//! `experiments::parallel_scaling`, and the sweep is archived as
+//! `BENCH_parallel.json` at the workspace root.
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let out = deepdive_bench::experiments::parallel_scaling();
+    // Cargo runs benches with the package directory as CWD; anchor the
+    // artifact at the workspace root instead.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_parallel.json");
+    println!("archived thread sweep to {}", path.display());
+}

@@ -5,7 +5,8 @@
 //! full sweep, or name a single experiment (`fig2`, `fig5`,
 //! `dimmwitted-vs-graphlab`, `numa`, `incremental-grounding`,
 //! `incremental-inference`, `distant-supervision`, `iteration-loop`,
-//! `regex-plateau`, `supervision-leak`, `threshold-sweep`).
+//! `regex-plateau`, `supervision-leak`, `threshold-sweep`,
+//! `parallel-scaling`).
 
 pub mod experiments;
 

@@ -8,15 +8,20 @@ use deepdive_ddlog::{compile, DdlogError, DdlogProgram};
 use deepdive_factorgraph::{CompiledGraph, VariableId, WeightStore};
 use deepdive_grounding::{Grounder, GroundingDelta, LoadTimings, VarKey};
 use deepdive_sampler::{
-    gibbs_marginals, learn_weights, GibbsOptions, LearnOptions, LearnStats, Marginals,
+    learn_weights, learn_weights_model_averaging, parallel_marginals, GibbsOptions, LearnOptions,
+    LearnStats, Marginals,
 };
-use deepdive_storage::{BaseChange, Database, FailurePolicy, Row, StorageError, Value};
+use deepdive_storage::{
+    threads_from_env, BaseChange, Database, ExecutionContext, FailurePolicy, Row, StorageError,
+    Value,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from the end-to-end pipeline.
@@ -85,6 +90,12 @@ pub struct RunConfig {
     /// kill-point for crash/resume testing). The returned [`RunResult`] has
     /// `halted_after` set and no marginals.
     pub halt_after: Option<Phase>,
+    /// Worker threads for the partitioned execution core. `1` (the default)
+    /// runs every phase on the caller thread, byte-identical to historical
+    /// sequential output; `N > 1` shards rule evaluation and grounding over
+    /// `N` partitions, averages `N` learning replicas per epoch, and pools
+    /// `N` inference chains. Defaults to `$DEEPDIVE_THREADS` when set.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -103,6 +114,7 @@ impl Default for RunConfig {
             checkpoint_dir: None,
             resume: false,
             halt_after: None,
+            threads: threads_from_env().unwrap_or(1),
         }
     }
 }
@@ -231,6 +243,9 @@ pub struct DeepDive {
     pub db: Database,
     pub grounder: Grounder,
     pub config: RunConfig,
+    /// The shared execution context every phase runs under (fixpoint,
+    /// grounding, learning, inference). Rebuilt by [`DeepDive::set_threads`].
+    ctx: Arc<ExecutionContext>,
 }
 
 /// Builder: register UDFs before the program is compiled against the
@@ -287,11 +302,14 @@ impl DeepDiveBuilder {
 
     pub fn build(mut self) -> Result<DeepDive, DeepDiveError> {
         let ddlog: DdlogProgram = compile(&self.ddlog_src)?;
-        let grounder = Grounder::new(&mut self.db, ddlog)?;
+        let mut grounder = Grounder::new(&mut self.db, ddlog)?;
+        let ctx = Arc::new(ExecutionContext::new(self.config.threads));
+        grounder.set_execution_context(Arc::clone(&ctx));
         Ok(DeepDive {
             db: self.db,
             grounder,
             config: self.config,
+            ctx,
         })
     }
 }
@@ -305,6 +323,19 @@ impl DeepDive {
     pub fn insert(&self, relation: &str, row: Row) -> Result<(), DeepDiveError> {
         self.db.insert(relation, row)?;
         Ok(())
+    }
+
+    /// Retarget the partitioned execution core at `threads` workers
+    /// (clamped to at least 1). Affects every subsequent phase.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+        self.ctx = Arc::new(ExecutionContext::new(self.config.threads));
+        self.grounder.set_execution_context(Arc::clone(&self.ctx));
+    }
+
+    /// The execution context the pipeline currently runs under.
+    pub fn execution_context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 
     /// Run the full pipeline: derivation rules, grounding, holdout split,
@@ -428,7 +459,20 @@ impl DeepDive {
                 if !self.config.warm_start {
                     weights.reset_learnable(0.0);
                 }
-                let stats = learn_weights(&graph, &mut weights, &self.config.learn);
+                // threads == 1: the historical sequential SGD, unchanged.
+                // threads > 1: one replica per worker with epoch-barrier
+                // weight averaging (DimmWitted's model-averaging strategy).
+                let stats = if self.config.threads > 1 {
+                    learn_weights_model_averaging(
+                        &graph,
+                        &mut weights,
+                        &self.config.learn,
+                        self.config.threads,
+                        1,
+                    )
+                } else {
+                    learn_weights(&graph, &mut weights, &self.config.learn)
+                };
                 if let Some(c) = ckpt {
                     c.save_weights(&weights, learn_start.elapsed().as_secs_f64())?;
                 }
@@ -453,7 +497,12 @@ impl DeepDive {
 
         // Inference: evidence-clamped marginals for query + held-out vars.
         let infer_start = Instant::now();
-        let marginals = gibbs_marginals(&graph, &weights.values(), &self.config.inference);
+        let marginals = parallel_marginals(
+            &graph,
+            &weights.values(),
+            &self.config.inference,
+            self.config.threads,
+        );
         timings.inference = infer_start.elapsed();
 
         let mut result = self.assemble_result(
@@ -469,6 +518,20 @@ impl DeepDive {
         result.learning_degraded = learn_stats.degraded;
         result.learn_epochs_run = learn_stats.epochs_run;
         result.phases_resumed = phases_resumed;
+
+        // Feed the shared metrics sink so report.json can show per-phase
+        // wall-clock and throughput under the active thread count.
+        let t = &result.timings;
+        let m = &self.ctx.metrics;
+        m.record("candidate_extraction", t.candidate_extraction, 0);
+        m.record("supervision", t.supervision, 0);
+        m.record(
+            "grounding",
+            t.grounding,
+            (result.grounding_delta.added_variables + result.grounding_delta.added_factors) as u64,
+        );
+        m.record("learning", t.learning, result.learn_epochs_run as u64);
+        m.record("inference", t.inference, result.inference_samples);
         Ok(result)
     }
 
@@ -528,7 +591,8 @@ impl DeepDive {
                 seed: self.config.inference.seed ^ 0xF2EE,
                 ..self.config.inference.clone()
             };
-            let free = gibbs_marginals(graph, &weights.values(), &free_opts);
+            let free =
+                parallel_marginals(graph, &weights.values(), &free_opts, self.config.threads);
             inference_degraded |= free.degraded;
             let train: Vec<(f64, Option<bool>)> = (0..graph.num_variables)
                 .filter(|&v| graph.is_evidence[v])

@@ -15,6 +15,9 @@
 //!     --epochs <n>           learning epochs (default 100)
 //!     --samples <n>          inference sweeps (default 1000)
 //!     --seed <n>             run seed (default 221)
+//!     --threads <n>          worker threads for the partitioned execution
+//!                            core (default: $DEEPDIVE_THREADS, else 1;
+//!                            1 is byte-identical to sequential runs)
 //!     --calibration          print the Figure-5 calibration table
 //!
 //!   fault tolerance:
@@ -31,6 +34,13 @@
 //!     --resume <dir>         resume from a run directory, skipping phases
 //!                            whose artifacts are present (implies
 //!                            --checkpoint <dir>)
+//!
+//! deepdive requeue <program.ddl> --resume <dir> [options]
+//!     Restore the database from a run directory's checkpoint, drain every
+//!     `<Relation>__errors` quarantine table (re-parsing ingest payloads
+//!     against the current schema and releasing UDF-stage rows for the —
+//!     presumably fixed — UDFs to reprocess), then re-run the pipeline and
+//!     write fresh outputs. Accepts the same options as `run`.
 //! ```
 //!
 //! Exit codes: 0 success; 1 runtime error; 2 usage error; 3 program compile
@@ -41,7 +51,7 @@
 //! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
 //! needing custom UDFs should use the `deepdive-core` library API instead.
 
-use deepdive_core::{render_calibration, DeepDive, RunConfig, RunReport};
+use deepdive_core::{render_calibration, Checkpoint, DeepDive, RunConfig, RunReport};
 use deepdive_ddlog::compile;
 use deepdive_sampler::{GibbsOptions, LearnOptions};
 use deepdive_storage::{row_to_tsv, FailurePolicy, IngestPolicy, StorageError};
@@ -59,7 +69,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(args.get(1)),
-        Some("run") => run(&args[1..]),
+        Some("run") => run(&args[1..], Mode::Run),
+        Some("requeue") => run(&args[1..], Mode::Requeue),
         _ => {
             usage();
             ExitCode::from(EXIT_USAGE)
@@ -70,11 +81,13 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: deepdive check <program.ddl>");
     eprintln!("       deepdive run <program.ddl> --data <dir> [--out <dir>] [--threshold p]");
-    eprintln!("                    [--epochs n] [--samples n] [--seed n] [--calibration]");
+    eprintln!("                    [--epochs n] [--samples n] [--seed n] [--threads n]");
+    eprintln!("                    [--calibration]");
     eprintln!(
         "                    [--strict | --max-error-rate r] [--udf-policy fail|skip|quarantine]"
     );
     eprintln!("                    [--deadline-secs n] [--checkpoint <dir> | --resume <dir>]");
+    eprintln!("       deepdive requeue <program.ddl> --resume <dir> [run options]");
 }
 
 fn check(path: Option<&String>) -> ExitCode {
@@ -113,14 +126,24 @@ fn check(path: Option<&String>) -> ExitCode {
     }
 }
 
+/// What the top-level invocation does with the database before the run.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Load `.tsv` files and run the pipeline.
+    Run,
+    /// Restore the checkpointed database, drain quarantine tables, re-run.
+    Requeue,
+}
+
 struct RunArgs {
     program: PathBuf,
-    data: PathBuf,
+    data: Option<PathBuf>,
     out: PathBuf,
     threshold: f64,
     epochs: usize,
     samples: usize,
     seed: u64,
+    threads: usize,
     calibration: bool,
     ingest: IngestPolicy,
     udf_policy: FailurePolicy,
@@ -129,7 +152,7 @@ struct RunArgs {
     resume: bool,
 }
 
-fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut program = None;
     let mut data = None;
     let mut out = PathBuf::from("deepdive-out");
@@ -137,6 +160,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut epochs = 100;
     let mut samples = 1000;
     let mut seed = 221u64;
+    let mut threads = deepdive_storage::threads_from_env().unwrap_or(1);
     let mut calibration = false;
     let mut ingest = IngestPolicy::Strict;
     let mut udf_policy = FailurePolicy::Fail;
@@ -175,6 +199,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 seed = take("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads: must be at least 1".into());
+                }
             }
             "--calibration" => calibration = true,
             "--strict" => ingest = IngestPolicy::Strict,
@@ -220,14 +252,21 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         }
         i += 1;
     }
+    if mode == Mode::Requeue && checkpoint.is_none() {
+        return Err("requeue needs --resume <dir> (or --checkpoint <dir>)".into());
+    }
+    if mode == Mode::Run && data.is_none() {
+        return Err("missing --data <dir>".into());
+    }
     Ok(RunArgs {
         program: program.ok_or("missing program path")?,
-        data: data.ok_or("missing --data <dir>")?,
+        data,
         out,
         threshold,
         epochs,
         samples,
         seed,
+        threads,
         calibration,
         ingest,
         udf_policy,
@@ -269,8 +308,8 @@ fn classify_storage(e: &StorageError) -> Option<RunFailure> {
     }
 }
 
-fn run(args: &[String]) -> ExitCode {
-    let args = match parse_run_args(args) {
+fn run(args: &[String], mode: Mode) -> ExitCode {
+    let args = match parse_run_args(args, mode) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("deepdive run: {e}");
@@ -278,7 +317,7 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    match run_inner(&args) {
+    match run_inner(&args, mode) {
         Ok(degraded) => {
             if degraded {
                 eprintln!(
@@ -297,7 +336,7 @@ fn run(args: &[String]) -> ExitCode {
 }
 
 /// Returns whether the run completed degraded.
-fn run_inner(args: &RunArgs) -> Result<bool, RunFailure> {
+fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
     let src = std::fs::read_to_string(&args.program)
         .map_err(|e| RunFailure::Other(format!("cannot read {}: {e}", args.program.display())))?;
     let config = RunConfig {
@@ -318,7 +357,10 @@ fn run_inner(args: &RunArgs) -> Result<bool, RunFailure> {
         compute_calibration: args.calibration,
         seed: args.seed,
         checkpoint_dir: args.checkpoint.clone(),
-        resume: args.resume,
+        // A requeue invalidates the old artifacts: the restored database is
+        // about to change, so every phase must re-execute (and re-checkpoint).
+        resume: args.resume && mode == Mode::Run,
+        threads: args.threads,
         ..Default::default()
     };
     // Compile separately first so program errors exit 3, not 1.
@@ -330,38 +372,67 @@ fn run_inner(args: &RunArgs) -> Result<bool, RunFailure> {
         .build()
         .map_err(|e| RunFailure::Other(e.to_string()))?;
 
-    // Load <Relation>.tsv for every relation (query relations usually have
-    // no file — they are populated by rules).
-    let mut loaded = 0usize;
     let mut quarantined_rows = 0usize;
-    for (schema, _) in &ddlog.schemas {
-        let path: PathBuf = args.data.join(format!("{}.tsv", schema.name));
-        if path.exists() {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| RunFailure::Other(format!("cannot read {}: {e}", path.display())))?;
-            let report = dd
-                .db
-                .load_tsv_with_policy(&schema.name, &text, args.ingest)
-                .map_err(|e| {
-                    classify_storage(&e).unwrap_or_else(|| RunFailure::Other(e.to_string()))
-                })?;
-            if report.rows_failed > 0 {
-                println!(
-                    "loaded {:>7} rows into {} ({} malformed rows quarantined)",
-                    report.rows_loaded, schema.name, report.rows_failed
-                );
-            } else {
-                println!("loaded {:>7} rows into {}", report.rows_loaded, schema.name);
+    match mode {
+        Mode::Run => {
+            // Load <Relation>.tsv for every relation (query relations usually
+            // have no file — they are populated by rules).
+            let data = args.data.as_ref().expect("run mode requires --data");
+            let mut loaded = 0usize;
+            for (schema, _) in &ddlog.schemas {
+                let path: PathBuf = data.join(format!("{}.tsv", schema.name));
+                if path.exists() {
+                    let text = std::fs::read_to_string(&path).map_err(|e| {
+                        RunFailure::Other(format!("cannot read {}: {e}", path.display()))
+                    })?;
+                    let report = dd
+                        .db
+                        .load_tsv_with_policy(&schema.name, &text, args.ingest)
+                        .map_err(|e| {
+                            classify_storage(&e).unwrap_or_else(|| RunFailure::Other(e.to_string()))
+                        })?;
+                    if report.rows_failed > 0 {
+                        println!(
+                            "loaded {:>7} rows into {} ({} malformed rows quarantined)",
+                            report.rows_loaded, schema.name, report.rows_failed
+                        );
+                    } else {
+                        println!("loaded {:>7} rows into {}", report.rows_loaded, schema.name);
+                    }
+                    loaded += report.rows_loaded;
+                    quarantined_rows += report.rows_failed;
+                }
             }
-            loaded += report.rows_loaded;
-            quarantined_rows += report.rows_failed;
+            if loaded == 0 && !args.resume {
+                return Err(RunFailure::Ingest(format!(
+                    "no .tsv files found under {}",
+                    data.display()
+                )));
+            }
         }
-    }
-    if loaded == 0 && !args.resume {
-        return Err(RunFailure::Ingest(format!(
-            "no .tsv files found under {}",
-            args.data.display()
-        )));
+        Mode::Requeue => {
+            // Restore the last run's database, then drain the quarantine
+            // tables: ingest payloads are re-parsed against the (presumably
+            // fixed) schema, UDF payloads are released so the re-run's
+            // (presumably fixed) extractors reprocess their inputs.
+            let dir = args.checkpoint.clone().expect("requeue requires --resume");
+            let ckpt = Checkpoint::new(dir).map_err(|e| RunFailure::Other(e.to_string()))?;
+            ckpt.restore_db(&dd.db)
+                .map_err(|e| RunFailure::Other(e.to_string()))?;
+            let reports = dd
+                .db
+                .requeue_all_quarantined()
+                .map_err(|e| RunFailure::Other(e.to_string()))?;
+            if reports.is_empty() {
+                println!("requeue: no quarantined rows found; re-running as-is");
+            }
+            for r in &reports {
+                println!(
+                    "requeue {}: {} rows re-ingested, {} UDF payloads released, {} still failing",
+                    r.relation, r.reingested, r.udf_retries, r.still_failing
+                );
+            }
+        }
     }
 
     let result = dd.run().map_err(|e| match &e {
@@ -380,10 +451,12 @@ fn run_inner(args: &RunArgs) -> Result<bool, RunFailure> {
         result.num_variables, result.num_factors, result.num_evidence
     );
     println!(
-        "phases: candidates {:?}, supervision {:?}, learning+inference {:?}",
+        "phases: candidates {:?}, supervision {:?}, learning+inference {:?} [{} thread{}]",
         result.timings.candidate_extraction,
         result.timings.supervision,
-        result.timings.learning_inference()
+        result.timings.learning_inference(),
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
     );
 
     std::fs::create_dir_all(&args.out).map_err(|e| RunFailure::Other(e.to_string()))?;

@@ -35,6 +35,13 @@ pub struct RunReport {
     pub incidents: BTreeMap<String, u64>,
     /// Distinct quarantined rows per quarantine relation.
     pub quarantine: BTreeMap<String, usize>,
+    /// Worker threads the run executed under.
+    pub threads: usize,
+    /// Data partitions rule evaluation sharded over.
+    pub partitions: usize,
+    /// Per-phase `(wall seconds, items, items/sec)` from the execution
+    /// context's metrics sink.
+    pub execution_phases: BTreeMap<String, (f64, u64, f64)>,
 }
 
 impl RunReport {
@@ -67,6 +74,15 @@ impl RunReport {
             timings_secs,
             incidents: dd.db.incident_counts(),
             quarantine: dd.db.quarantine_counts(),
+            threads: dd.execution_context().threads(),
+            partitions: dd.execution_context().partitions(),
+            execution_phases: dd
+                .execution_context()
+                .metrics
+                .snapshot()
+                .into_iter()
+                .map(|(phase, s)| (phase, (s.wall.as_secs_f64(), s.items, s.throughput())))
+                .collect(),
         }
     }
 
@@ -100,11 +116,25 @@ impl RunReport {
             "factors": self.num_factors,
             "evidence": self.num_evidence,
         });
+        let exec_phases = map_of(&mut self.execution_phases.iter().map(
+            |(k, (wall, items, tp))| {
+                (
+                    k.clone(),
+                    json!({"wall_secs": wall, "items": items, "items_per_sec": tp}),
+                )
+            },
+        ));
+        let execution = json!({
+            "threads": self.threads,
+            "partitions": self.partitions,
+            "phases": exec_phases,
+        });
         json!({
             "degraded": self.degraded,
             "learning": learning,
             "inference": inference,
             "graph": graph,
+            "execution": execution,
             "phases_resumed": self.phases_resumed,
             "timings_secs": timings,
             "incidents": incidents,

@@ -21,6 +21,7 @@ pub mod baseline;
 pub mod gibbs;
 pub mod learn;
 pub mod numa;
+pub mod parallel;
 
 pub use baseline::{GraphLabOptions, GraphLabRunStats, GraphLabStyleSampler};
 pub use gibbs::{gibbs_marginals, sigmoid, GibbsOptions, GibbsSampler, Marginals};
@@ -32,3 +33,4 @@ pub use numa::{
     parallel_gibbs, AtomicWorld, NumaStrategy, ParallelGibbsOptions, ParallelRunStats,
     PenaltyMeter, Topology,
 };
+pub use parallel::{chain_samples, chain_seed, parallel_marginals};

@@ -10,6 +10,7 @@
 
 use crate::database::{Database, FailurePolicy};
 use crate::delta::DeltaRelation;
+use crate::exec::ExecutionContext;
 use crate::value::{Row, Value};
 use crate::StorageError;
 use serde::{Deserialize, Serialize};
@@ -601,11 +602,63 @@ impl CompiledRule {
         &self,
         db: &Database,
         atom_deltas: &AtomDeltas<'_>,
-        source_for: &dyn Fn(usize) -> Source,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+    ) -> Result<HashMap<Row, i64>, StorageError> {
+        self.eval_shard(db, atom_deltas, source_for, None)
+    }
+
+    /// Evaluate one hash-shard of the rule: when `shard` is
+    /// `Some((index, of))`, the outermost scan keeps only rows whose stable
+    /// shard hash equals `index`, so the `of` shards partition the driving
+    /// relation disjointly. Summing the per-shard result maps reproduces
+    /// [`eval`](Self::eval) exactly — every derivation is driven by exactly
+    /// one outer-scan row.
+    pub fn eval_shard(
+        &self,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+        shard: Option<(usize, usize)>,
     ) -> Result<HashMap<Row, i64>, StorageError> {
         let mut out: HashMap<Row, i64> = HashMap::new();
         let mut bindings: Vec<Value> = vec![Value::Null; self.num_vars];
-        self.eval_step(db, atom_deltas, source_for, 0, &mut bindings, 1, &mut out)?;
+        self.eval_step(
+            db,
+            atom_deltas,
+            source_for,
+            shard,
+            0,
+            &mut bindings,
+            1,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// Evaluate the rule under an [`ExecutionContext`]: sequential contexts
+    /// take the plain [`eval`](Self::eval) path unchanged; parallel contexts
+    /// fan the outer scan out over hash-shards on the worker pool and merge
+    /// the per-shard maps by summing counts — an order-independent merge, so
+    /// the result is identical to sequential evaluation.
+    pub fn eval_ctx(
+        &self,
+        ctx: &ExecutionContext,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+    ) -> Result<HashMap<Row, i64>, StorageError> {
+        if !ctx.is_parallel() {
+            return self.eval(db, atom_deltas, source_for);
+        }
+        let shards = ctx.partitions();
+        let results =
+            ctx.map_partitions(|p| self.eval_shard(db, atom_deltas, source_for, Some((p, shards))));
+        let mut out: HashMap<Row, i64> = HashMap::new();
+        for shard_result in results {
+            for (row, c) in shard_result? {
+                *out.entry(row).or_insert(0) += c;
+            }
+        }
         Ok(out)
     }
 
@@ -622,7 +675,8 @@ impl CompiledRule {
         &self,
         db: &Database,
         atom_deltas: &AtomDeltas<'_>,
-        source_for: &dyn Fn(usize) -> Source,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+        shard: Option<(usize, usize)>,
         step_idx: usize,
         bindings: &mut Vec<Value>,
         count: i64,
@@ -650,7 +704,12 @@ impl CompiledRule {
                     key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
                 let source = source_for(*atom_index);
                 let delta = atom_deltas.get(atom_index).copied();
-                let matches = fetch(db, delta, relation, source, &key_cols, &key_vals)?;
+                let mut matches = fetch(db, delta, relation, source, &key_cols, &key_vals)?;
+                // The first scan is the shard boundary: keep only rows hashed
+                // to this shard, then evaluate the residual join in full.
+                if let Some((index, of)) = shard {
+                    matches.retain(|(row, _)| crate::exec::shard_of(row, of) == index);
+                }
                 for (row, c) in matches {
                     if c == 0 {
                         continue;
@@ -671,6 +730,7 @@ impl CompiledRule {
                             db,
                             atom_deltas,
                             source_for,
+                            None,
                             step_idx + 1,
                             bindings,
                             count * c,
@@ -710,6 +770,7 @@ impl CompiledRule {
                         db,
                         atom_deltas,
                         source_for,
+                        shard,
                         step_idx + 1,
                         bindings,
                         count,
@@ -726,6 +787,7 @@ impl CompiledRule {
                         db,
                         atom_deltas,
                         source_for,
+                        shard,
                         step_idx + 1,
                         bindings,
                         count,
@@ -778,6 +840,7 @@ impl CompiledRule {
                         db,
                         atom_deltas,
                         source_for,
+                        shard,
                         step_idx + 1,
                         bindings,
                         count,

@@ -46,6 +46,29 @@ pub struct IngestReport {
     pub issues: Vec<IngestIssue>,
 }
 
+/// Outcome of draining one relation's `__errors` quarantine
+/// ([`Database::requeue_quarantined`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequeueReport {
+    /// The base relation whose quarantine was drained.
+    pub relation: String,
+    /// `ingest:` payloads that now parse: re-inserted into the base relation.
+    pub reingested: usize,
+    /// `udf:` payloads cleared for re-derivation — their source tuples are
+    /// still in the base relations, so re-running the pipeline re-executes
+    /// the (presumably fixed) UDF over them.
+    pub udf_retries: usize,
+    /// Payloads that still fail to parse; left in the quarantine.
+    pub still_failing: usize,
+}
+
+impl RequeueReport {
+    /// Quarantined payloads removed from the quarantine by this pass.
+    pub fn drained(&self) -> usize {
+        self.reingested + self.udf_retries
+    }
+}
+
 impl IngestReport {
     /// Fraction of data lines that were malformed.
     pub fn error_rate(&self) -> f64 {
@@ -250,6 +273,75 @@ impl Database {
         Ok(report)
     }
 
+    /// Drain the `<base>__errors` quarantine after a fix: `ingest:` payloads
+    /// are re-parsed against the current schema and inserted into `base` on
+    /// success; `udf:` payloads are cleared so a pipeline re-run re-executes
+    /// the repaired UDF over their (still-present) source tuples. Payloads
+    /// that still fail to parse stay quarantined. A missing quarantine
+    /// relation yields an empty report.
+    pub fn requeue_quarantined(&self, base: &str) -> Result<RequeueReport, StorageError> {
+        let mut report = RequeueReport {
+            relation: base.to_string(),
+            ..RequeueReport::default()
+        };
+        let qname = format!("{base}{}", crate::database::QUARANTINE_SUFFIX);
+        if !self.has_relation(&qname) {
+            return Ok(report);
+        }
+        let schema = self.schema(base)?;
+        let mut quarantined = self.rows_counted(&qname)?;
+        quarantined.sort();
+        for (qrow, count) in quarantined {
+            let (Value::Text(stage), Value::Text(payload)) = (&qrow[0], &qrow[2]) else {
+                report.still_failing += count.max(1) as usize;
+                continue;
+            };
+            let times = count.max(1) as usize;
+            if stage.starts_with("ingest:") {
+                match row_from_tsv(payload, &schema) {
+                    Ok(row) => {
+                        for _ in 0..times {
+                            self.insert(base, row.clone())?;
+                        }
+                        self.with_table(&qname, |t| t.purge(&qrow))?;
+                        report.reingested += times;
+                    }
+                    Err(_) => report.still_failing += times,
+                }
+            } else if stage.starts_with("udf:") {
+                self.with_table(&qname, |t| t.purge(&qrow))?;
+                report.udf_retries += times;
+            } else {
+                report.still_failing += times;
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`Database::requeue_quarantined`] over every quarantine relation,
+    /// sorted by base relation name. Relations with nothing to drain are
+    /// omitted.
+    pub fn requeue_all_quarantined(&self) -> Result<Vec<RequeueReport>, StorageError> {
+        let mut bases: Vec<String> = self
+            .quarantine_relations()
+            .into_iter()
+            .filter_map(|q| {
+                q.strip_suffix(crate::database::QUARANTINE_SUFFIX)
+                    .map(str::to_string)
+            })
+            .filter(|base| self.has_relation(base))
+            .collect();
+        bases.sort();
+        let mut reports = Vec::new();
+        for base in bases {
+            let report = self.requeue_quarantined(&base)?;
+            if report.drained() + report.still_failing > 0 {
+                reports.push(report);
+            }
+        }
+        Ok(reports)
+    }
+
     /// Dump a relation as TSV text (sorted rows — deterministic output).
     pub fn dump_tsv(&self, relation: &str) -> Result<String, StorageError> {
         let mut out = String::new();
@@ -403,6 +495,62 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q[0][0], Value::text("ingest:line:2"));
         assert_eq!(q[0][2], Value::text("oops\tbob"));
+    }
+
+    #[test]
+    fn requeue_reingests_fixed_payloads_and_clears_udf_rows() {
+        let db = Database::new();
+        db.create_relation(
+            Schema::build("P")
+                .col("x", ValueType::Int)
+                .col("n", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        // A payload that parses (operator fixed the schema mismatch by
+        // reloading good data), one that still doesn't, and a UDF failure.
+        db.quarantine("P", "ingest:line:3", "bad int", "7\tcarol")
+            .unwrap();
+        db.quarantine("P", "ingest:line:9", "bad int", "oops\tdan")
+            .unwrap();
+        db.quarantine("P", "udf:f_extract", "panicked", "1\talice")
+            .unwrap();
+
+        let report = db.requeue_quarantined("P").unwrap();
+        assert_eq!(report.reingested, 1);
+        assert_eq!(report.udf_retries, 1);
+        assert_eq!(report.still_failing, 1);
+        assert_eq!(report.drained(), 2);
+        assert!(db.contains("P", &row![7, "carol"]).unwrap());
+        // Only the still-broken payload remains quarantined.
+        let left = db.rows("P__errors").unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0][0], Value::text("ingest:line:9"));
+        // A second pass drains nothing new.
+        let again = db.requeue_quarantined("P").unwrap();
+        assert_eq!(again.drained(), 0);
+        assert_eq!(again.still_failing, 1);
+    }
+
+    #[test]
+    fn requeue_all_covers_every_base_relation() {
+        let db = Database::new();
+        for name in ["A", "B"] {
+            db.create_relation(Schema::build(name).col("x", ValueType::Int).finish())
+                .unwrap();
+        }
+        db.quarantine("A", "ingest:line:1", "bad", "5").unwrap();
+        db.quarantine("B", "udf:g", "panicked", "6").unwrap();
+        let reports = db.requeue_all_quarantined().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].relation, "A");
+        assert_eq!(reports[0].reingested, 1);
+        assert_eq!(reports[1].relation, "B");
+        assert_eq!(reports[1].udf_retries, 1);
+        assert!(db.contains("A", &row![5]).unwrap());
+        // Missing quarantine: empty report, no error.
+        let none = db.requeue_quarantined("C").unwrap();
+        assert_eq!(none.drained() + none.still_failing, 0);
     }
 
     #[test]

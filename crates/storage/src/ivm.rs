@@ -15,12 +15,14 @@
 use crate::database::Database;
 use crate::datalog::{AtomDeltas, Source};
 use crate::delta::DeltaRelation;
+use crate::exec::ExecutionContext;
 use crate::program::{apply_delta_counted, StratifiedProgram, Stratum};
 use crate::table::Membership;
 use crate::value::Row;
 use crate::StorageError;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Get-or-create the delta accumulator for `rel`, surfacing a missing schema
 /// as a typed error instead of panicking mid-maintenance.
@@ -108,11 +110,33 @@ impl MaintenanceResult {
 /// Incremental maintenance engine over a stratified program.
 pub struct IncrementalEngine {
     sp: StratifiedProgram,
+    /// Shared execution spine: every rule application (initial load,
+    /// counting maintenance, DRed waves) fans out over its partitions.
+    /// Defaults to sequential.
+    ctx: Arc<ExecutionContext>,
 }
 
 impl IncrementalEngine {
     pub fn new(sp: StratifiedProgram) -> Self {
-        IncrementalEngine { sp }
+        IncrementalEngine {
+            sp,
+            ctx: Arc::new(ExecutionContext::sequential()),
+        }
+    }
+
+    /// An engine whose rule applications run under `ctx`.
+    pub fn with_context(sp: StratifiedProgram, ctx: Arc<ExecutionContext>) -> Self {
+        IncrementalEngine { sp, ctx }
+    }
+
+    /// Swap in a shared execution context (e.g. when the app layer builds
+    /// one context for the whole pipeline after engines exist).
+    pub fn set_execution_context(&mut self, ctx: Arc<ExecutionContext>) {
+        self.ctx = ctx;
+    }
+
+    pub fn execution_context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 
     pub fn program(&self) -> &StratifiedProgram {
@@ -122,7 +146,7 @@ impl IncrementalEngine {
     /// Evaluate the program from scratch (initial load; §4.1: DRed always
     /// runs "except on initial load").
     pub fn initial_load(&self, db: &Database) -> Result<(), StorageError> {
-        self.sp.evaluate(db)?;
+        self.sp.evaluate_ctx(db, &self.ctx)?;
         Ok(())
     }
 
@@ -132,7 +156,8 @@ impl IncrementalEngine {
         db: &Database,
         on_stratum: impl FnMut(&crate::program::Stratum, std::time::Duration),
     ) -> Result<(), StorageError> {
-        self.sp.evaluate_instrumented(db, on_stratum)?;
+        self.sp
+            .evaluate_instrumented_ctx(db, &self.ctx, on_stratum)?;
         Ok(())
     }
 
@@ -203,7 +228,7 @@ impl IncrementalEngine {
                 // Exact delta propagation through negation is unsupported;
                 // recompute the stratum and diff (correct, costlier).
                 result.rule_evaluations += stratum.rule_indices.len();
-                self.sp.recompute_stratum_diff(db, stratum)?
+                self.sp.recompute_stratum_diff(db, &self.ctx, stratum)?
             } else if stratum.recursive {
                 self.maintain_recursive_dred(db, stratum, &deltas, &mut result)?
             } else {
@@ -279,7 +304,7 @@ impl IncrementalEngine {
                 }
                 let later: Vec<usize> = positions[k + 1..].to_vec();
                 result.rule_evaluations += 1;
-                let contribution = c.eval(db, &atom_deltas, &|i| {
+                let contribution = c.eval_ctx(&self.ctx, db, &atom_deltas, &|i| {
                     if i == pos {
                         Source::Delta
                     } else if later.contains(&i) {
@@ -372,7 +397,8 @@ impl IncrementalEngine {
                         }
                     }
                     result.rule_evaluations += 1;
-                    let contribution = variant.eval(db, &atom_deltas, &|i| sources[i])?;
+                    let contribution =
+                        variant.eval_ctx(&self.ctx, db, &atom_deltas, &|i| sources[i])?;
                     let head = rule.head.relation.clone();
                     for (row, cnt) in contribution {
                         if cnt <= 0 {
@@ -417,7 +443,7 @@ impl IncrementalEngine {
                     continue;
                 }
                 result.rule_evaluations += 1;
-                let derived_now = c.eval(db, &HashMap::new(), &|_| Source::Old)?;
+                let derived_now = c.eval_ctx(&self.ctx, db, &HashMap::new(), &|_| Source::Old)?;
                 for (row, cnt) in derived_now {
                     if cnt > 0 && suspects.count(&row) > 0 && !db.contains(&head, &row)? {
                         db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
@@ -471,7 +497,7 @@ impl IncrementalEngine {
                     let (variant, _) = self.sp.variant(ri, occ);
                     let atom_deltas: AtomDeltas = HashMap::from([(0usize, front)]);
                     result.rule_evaluations += 1;
-                    let contribution = variant.eval(db, &atom_deltas, &|i| {
+                    let contribution = variant.eval_ctx(&self.ctx, db, &atom_deltas, &|i| {
                         if i == 0 {
                             Source::Delta
                         } else {
@@ -752,6 +778,43 @@ mod tests {
             .apply_update(&db, vec![BaseChange::delete("Excl", row![2])])
             .unwrap();
         assert_eq!(db.len("Out").unwrap(), 2);
+    }
+
+    #[test]
+    fn parallel_dred_matches_sequential_maintenance() {
+        // Same recursive program, same update batch, 1 vs 4 threads: the
+        // maintained closure and the reported membership changes must agree.
+        let run = |threads: usize| {
+            let db = edge_db();
+            let mut engine = tc_engine(&db);
+            engine.set_execution_context(Arc::new(ExecutionContext::new(threads)));
+            for a in 0..10 {
+                db.insert("edge", row![a, (a + 1) % 10]).unwrap();
+                db.insert("edge", row![a, (a + 3) % 10]).unwrap();
+            }
+            engine.initial_load(&db).unwrap();
+            let res = engine
+                .apply_update(
+                    &db,
+                    vec![
+                        BaseChange::delete("edge", row![2, 3]),
+                        BaseChange::delete("edge", row![5, 8]),
+                        BaseChange::insert("edge", row![2, 7]),
+                    ],
+                )
+                .unwrap();
+            let mut appeared: Vec<_> = res.appeared.get("path").cloned().unwrap_or_default();
+            let mut disappeared: Vec<_> = res.disappeared.get("path").cloned().unwrap_or_default();
+            appeared.sort();
+            disappeared.sort();
+            let mut rows = db.rows_counted("path").unwrap();
+            rows.sort();
+            (rows, appeared, disappeared)
+        };
+        let sequential = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod database;
 pub mod datalog;
 pub mod delta;
 pub mod error;
+pub mod exec;
 pub mod io;
 pub mod ivm;
 pub mod program;
@@ -71,8 +72,12 @@ pub use datalog::{
 };
 pub use delta::DeltaRelation;
 pub use error::StorageError;
+pub use exec::{
+    shard_of, threads_from_env, ExecMetrics, ExecutionContext, PhaseStats, THREADS_ENV,
+};
 pub use io::{
-    row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv, IngestIssue, IngestPolicy, IngestReport,
+    row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv, IngestIssue, IngestPolicy,
+    IngestReport, RequeueReport,
 };
 pub use ivm::{BaseChange, IncrementalEngine, MaintenanceResult};
 pub use program::{Program, StratifiedProgram, Stratum};
