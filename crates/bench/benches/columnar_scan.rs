@@ -1,0 +1,19 @@
+//! Storage-engine scan + join throughput, archived as `BENCH_columnar.json`
+//! at the workspace root.
+//!
+//! Not a criterion harness: `experiments::columnar_scan` times full-row
+//! materializing scans and the spouse-shaped candidate self-join against
+//! whatever engine `deepdive-storage` compiles in, and the result is merged
+//! with the frozen row-store baseline (recorded on the pre-columnar tree)
+//! so the artifact always shows columnar vs. row side by side.
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let out = deepdive_bench::experiments::columnar_scan();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_columnar.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_columnar.json");
+    println!("archived storage-engine throughput to {}", path.display());
+}

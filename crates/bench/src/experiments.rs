@@ -999,3 +999,145 @@ pub fn parallel_scaling() -> Json {
         .unwrap_or(1);
     json!({ "experiment": "parallel-scaling", "host_cpus": host_cpus, "points": points })
 }
+
+/// Storage-engine scan + join throughput: full-row materializing scans over
+/// a wide mixed-type relation and the spouse-shaped self-join, measured
+/// against whatever engine the storage crate currently compiles in. Run
+/// once before the columnar refactor the output is the row-store baseline;
+/// run after, it is the columnar engine. `BENCH_columnar.json` archives
+/// both (the baseline numbers are frozen in `ROW_BASELINE`).
+pub fn columnar_scan() -> Json {
+    use deepdive_storage::{
+        row, Atom, CmpOp, Database, ExecutionContext, Literal, Program, Rule, Schema,
+        StratifiedProgram, Term, Value, ValueType,
+    };
+    println!("== storage engine scan + join throughput ==");
+
+    // Scan workload: 200k rows × (id, int, float, dict-friendly text).
+    let scan_rows: usize = 200_000;
+    let db = Database::new();
+    db.create_relation(
+        Schema::build("Feature")
+            .col("id", ValueType::Id)
+            .col("n", ValueType::Int)
+            .col("score", ValueType::Float)
+            .col("tag", ValueType::Text)
+            .finish(),
+    )
+    .expect("Feature");
+    let tags: Vec<String> = (0..512)
+        .map(|i| format!("phrase_and_his_wife_{i}"))
+        .collect();
+    for i in 0..scan_rows {
+        db.insert(
+            "Feature",
+            row![
+                Value::Id(i as u64),
+                Value::Int((i % 1024) as i64),
+                Value::Float(i as f64 * 0.5),
+                tags[i % tags.len()].as_str()
+            ],
+        )
+        .expect("insert");
+    }
+    // Warm once, then take the best of three timed scans.
+    let mut scan_secs = f64::INFINITY;
+    let mut touched = 0usize;
+    for _ in 0..4 {
+        let t0 = Instant::now();
+        let rows = db.rows_counted("Feature").expect("scan");
+        let secs = t0.elapsed().as_secs_f64();
+        touched = rows.len();
+        if secs < scan_secs {
+            scan_secs = secs;
+        }
+    }
+    let scan_rps = touched as f64 / scan_secs.max(1e-9);
+    println!(
+        "  scan: {touched} rows in {:.1}ms  ({scan_rps:.0} rows/s)",
+        scan_secs * 1e3
+    );
+
+    // Join workload: the spouse candidate self-join (Mention ⋈ Mention on
+    // sentence id, m1 < m2) over 6k sentences × 4 mentions.
+    let jdb = Database::new();
+    jdb.create_relation(
+        Schema::build("Mention")
+            .col("s", ValueType::Id)
+            .col("m", ValueType::Id)
+            .finish(),
+    )
+    .expect("Mention");
+    jdb.create_relation(
+        Schema::build("Cand")
+            .col("m1", ValueType::Id)
+            .col("m2", ValueType::Id)
+            .finish(),
+    )
+    .expect("Cand");
+    let mut m = 0u64;
+    for s in 0..6000u64 {
+        for _ in 0..4 {
+            jdb.insert("Mention", row![Value::Id(s), Value::Id(m)])
+                .expect("insert");
+            m += 1;
+        }
+    }
+    let program = Program::new(vec![Rule::new(
+        "cand",
+        Atom::new("Cand", vec![Term::var("m1"), Term::var("m2")]),
+        vec![
+            Literal::pos(Atom::new("Mention", vec![Term::var("s"), Term::var("m1")])),
+            Literal::pos(Atom::new("Mention", vec![Term::var("s"), Term::var("m2")])),
+        ],
+    )
+    .with_builtin(Term::var("m1"), CmpOp::Lt, Term::var("m2"))]);
+    let ctx = ExecutionContext::from_env();
+    let mut join_secs = f64::INFINITY;
+    let mut derived = 0usize;
+    for _ in 0..4 {
+        let sp = StratifiedProgram::new(program.clone(), &jdb).expect("stratify");
+        let t0 = Instant::now();
+        sp.evaluate_ctx(&jdb, &ctx).expect("join");
+        let secs = t0.elapsed().as_secs_f64();
+        derived = jdb.len("Cand").expect("len");
+        jdb.clear("Cand").expect("clear");
+        if secs < join_secs {
+            join_secs = secs;
+        }
+    }
+    let join_input = m as usize;
+    let join_rps = (join_input + derived) as f64 / join_secs.max(1e-9);
+    println!(
+        "  join: {join_input} mentions -> {derived} candidates in {:.1}ms  ({join_rps:.0} rows/s)",
+        join_secs * 1e3
+    );
+
+    let engine = json!({
+        "scan_rows": touched,
+        "scan_secs": scan_secs,
+        "scan_rows_per_sec": scan_rps,
+        "join_input_rows": join_input,
+        "join_derived_rows": derived,
+        "join_secs": join_secs,
+        "join_rows_per_sec": join_rps,
+    });
+    // Frozen throughput of the row-oriented engine (HashMap<Row, i64>
+    // tables), measured with this exact harness on the pre-columnar tree —
+    // the "before" side of the refactor's before/after artifact.
+    let row_baseline = json!({
+        "scan_rows": 200_000,
+        "scan_secs": 0.04626662,
+        "scan_rows_per_sec": 4322770.9,
+        "join_input_rows": 24_000,
+        "join_derived_rows": 36_000,
+        "join_secs": 0.06367392,
+        "join_rows_per_sec": 942301.0,
+    });
+    json!({
+        "experiment": "columnar-scan",
+        "engine": "columnar",
+        "columnar": engine,
+        "row_baseline": row_baseline,
+    })
+}

@@ -12,8 +12,8 @@ use deepdive_sampler::{
     LearnStats, Marginals,
 };
 use deepdive_storage::{
-    threads_from_env, BaseChange, Database, ExecutionContext, FailurePolicy, Row, StorageError,
-    Value,
+    default_threads, threads_from_env, BaseChange, Database, ExecutionContext, FailurePolicy,
+    RequeueReport, Row, StorageConfig, StorageError, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,8 +94,19 @@ pub struct RunConfig {
     /// runs every phase on the caller thread, byte-identical to historical
     /// sequential output; `N > 1` shards rule evaluation and grounding over
     /// `N` partitions, averages `N` learning replicas per epoch, and pools
-    /// `N` inference chains. Defaults to `$DEEPDIVE_THREADS` when set.
+    /// `N` inference chains. Defaults to `$DEEPDIVE_THREADS` when set, else
+    /// to the machine's available parallelism.
     pub threads: usize,
+    /// Resident-bytes budget for relation storage, in MiB. When set, every
+    /// relation is backed by a [`deepdive_storage::SpillStore`]: sealed
+    /// row-group segments are written to disk and their decoded copies are
+    /// evicted oldest-first whenever the process-wide resident total exceeds
+    /// the budget.
+    pub memory_budget_mb: Option<u64>,
+    /// Directory for spilled row-group segments. Defaults to
+    /// `<tmp>/deepdive-spill` when a budget is set; setting it alone (without
+    /// a budget) spills segments eagerly but keeps everything resident.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -114,7 +125,9 @@ impl Default for RunConfig {
             checkpoint_dir: None,
             resume: false,
             halt_after: None,
-            threads: threads_from_env().unwrap_or(1),
+            threads: threads_from_env().unwrap_or_else(default_threads),
+            memory_budget_mb: None,
+            spill_dir: None,
         }
     }
 }
@@ -301,6 +314,15 @@ impl DeepDiveBuilder {
     }
 
     pub fn build(mut self) -> Result<DeepDive, DeepDiveError> {
+        // Apply the storage configuration before the program is compiled:
+        // no relations exist yet, so every table the grounder creates picks
+        // up the spill settings.
+        if self.config.memory_budget_mb.is_some() || self.config.spill_dir.is_some() {
+            self.db.set_storage(StorageConfig {
+                memory_budget: self.config.memory_budget_mb.map(|mb| mb * 1024 * 1024),
+                spill_dir: self.config.spill_dir.clone(),
+            });
+        }
         let ddlog: DdlogProgram = compile(&self.ddlog_src)?;
         let mut grounder = Grounder::new(&mut self.db, ddlog)?;
         let ctx = Arc::new(ExecutionContext::new(self.config.threads));
@@ -375,6 +397,9 @@ impl DeepDive {
             }
             (delta, load)
         };
+        // Phase boundary: seal open row groups so cold relations spill (and
+        // the storage stats reflect the loaded state) before inference.
+        self.db.flush_storage();
 
         if let Some(halt @ (Phase::Extract | Phase::Ground)) = self.config.halt_after {
             let timings = PhaseTimings {
@@ -397,12 +422,59 @@ impl DeepDive {
     pub fn update(&mut self, changes: Vec<BaseChange>) -> Result<RunResult, DeepDiveError> {
         let start = Instant::now();
         let delta = self.grounder.apply_update(&self.db, changes)?;
+        self.db.flush_storage();
         let load = LoadTimings {
             candidate_extraction: start.elapsed(),
             supervision: Duration::ZERO,
             grounding: Duration::ZERO,
         };
         self.infer_phase(delta, load, None, Vec::new())
+    }
+
+    /// Drain every `__errors` quarantine and route the repaired rows through
+    /// the *incremental maintenance path*: base counts are adjusted via
+    /// [`Grounder::apply_update`], so relations derived from the requeued
+    /// base relations refresh immediately (direct re-inserts would leave
+    /// them stale until the next full fixpoint), then learning and inference
+    /// re-run over the incrementally re-grounded graph. With
+    /// [`RunConfig::checkpoint_dir`] set, the post-requeue database and
+    /// grounding state replace the checkpoint's artifacts.
+    ///
+    /// The grounding state must be live (a prior [`DeepDive::run`], or a
+    /// state restored from a checkpoint) — on a fresh build the incremental
+    /// path has no graph to maintain.
+    pub fn requeue(&mut self) -> Result<(Vec<RequeueReport>, RunResult), DeepDiveError> {
+        let start = Instant::now();
+        let (reports, changes) = self.db.requeue_all_quarantined_changes()?;
+        // Quarantines attached to derived relations cannot take base changes
+        // (maintenance would clobber them); adjust their counts directly,
+        // matching the historical behaviour for that corner.
+        let derived = self.grounder.engine().program().derived_relations();
+        let mut base_changes = Vec::with_capacity(changes.len());
+        for ch in changes {
+            if derived.contains(&ch.relation) {
+                self.db.adjust(&ch.relation, ch.row, ch.delta)?;
+            } else {
+                base_changes.push(ch);
+            }
+        }
+        let delta = self.grounder.apply_update(&self.db, base_changes)?;
+        self.db.flush_storage();
+        let load = LoadTimings {
+            candidate_extraction: start.elapsed(),
+            supervision: Duration::ZERO,
+            grounding: Duration::ZERO,
+        };
+        let ckpt = match &self.config.checkpoint_dir {
+            Some(dir) => Some(Checkpoint::new(dir.clone())?),
+            None => None,
+        };
+        if let Some(c) = &ckpt {
+            c.save_db(&self.db, load.candidate_extraction.as_secs_f64())?;
+            c.save_state(&self.grounder.state, &delta, 0.0)?;
+        }
+        let result = self.infer_phase(delta, load, ckpt.as_ref(), Vec::new())?;
+        Ok((reports, result))
     }
 
     fn infer_phase(

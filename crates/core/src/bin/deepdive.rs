@@ -16,9 +16,19 @@
 //!     --samples <n>          inference sweeps (default 1000)
 //!     --seed <n>             run seed (default 221)
 //!     --threads <n>          worker threads for the partitioned execution
-//!                            core (default: $DEEPDIVE_THREADS, else 1;
-//!                            1 is byte-identical to sequential runs)
+//!                            core (default: $DEEPDIVE_THREADS, else the
+//!                            machine's available parallelism; any thread
+//!                            count is byte-identical to --threads 1)
 //!     --calibration          print the Figure-5 calibration table
+//!
+//!   storage engine:
+//!     --memory-budget-mb <n> resident-bytes budget for relation storage;
+//!                            sealed row groups spill to disk as segments
+//!                            and decoded copies are evicted oldest-first
+//!                            over the budget (default: unbounded, fully
+//!                            in-memory)
+//!     --spill-dir <dir>      where spilled segments go (default:
+//!                            <tmp>/deepdive-spill/run-<pid>)
 //!
 //!   fault tolerance:
 //!     --strict               reject the load on the first malformed row
@@ -36,10 +46,12 @@
 //!                            --checkpoint <dir>)
 //!
 //! deepdive requeue <program.ddl> --resume <dir> [options]
-//!     Restore the database from a run directory's checkpoint, drain every
-//!     `<Relation>__errors` quarantine table (re-parsing ingest payloads
-//!     against the current schema and releasing UDF-stage rows for the —
-//!     presumably fixed — UDFs to reprocess), then re-run the pipeline and
+//!     Restore the database and grounding state from a run directory's
+//!     checkpoint, drain every `<Relation>__errors` quarantine table
+//!     (re-parsing ingest payloads against the current schema and releasing
+//!     UDF-stage rows for the — presumably fixed — UDFs to reprocess), route
+//!     the repaired rows through incremental view maintenance so relations
+//!     derived from them refresh too, then re-run learning and inference and
 //!     write fresh outputs. Accepts the same options as `run`.
 //! ```
 //!
@@ -87,6 +99,7 @@ fn usage() {
         "                    [--strict | --max-error-rate r] [--udf-policy fail|skip|quarantine]"
     );
     eprintln!("                    [--deadline-secs n] [--checkpoint <dir> | --resume <dir>]");
+    eprintln!("                    [--memory-budget-mb n] [--spill-dir <dir>]");
     eprintln!("       deepdive requeue <program.ddl> --resume <dir> [run options]");
 }
 
@@ -150,6 +163,8 @@ struct RunArgs {
     deadline: Option<Duration>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    memory_budget_mb: Option<u64>,
+    spill_dir: Option<PathBuf>,
 }
 
 fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
@@ -160,13 +175,16 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut epochs = 100;
     let mut samples = 1000;
     let mut seed = 221u64;
-    let mut threads = deepdive_storage::threads_from_env().unwrap_or(1);
+    let mut threads =
+        deepdive_storage::threads_from_env().unwrap_or_else(deepdive_storage::default_threads);
     let mut calibration = false;
     let mut ingest = IngestPolicy::Strict;
     let mut udf_policy = FailurePolicy::Fail;
     let mut deadline = None;
     let mut checkpoint = None;
     let mut resume = false;
+    let mut memory_budget_mb = None;
+    let mut spill_dir = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -240,6 +258,16 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                 }
                 deadline = Some(Duration::from_secs_f64(secs));
             }
+            "--memory-budget-mb" => {
+                let mb: u64 = take("--memory-budget-mb")?
+                    .parse()
+                    .map_err(|e| format!("--memory-budget-mb: {e}"))?;
+                if mb == 0 {
+                    return Err("--memory-budget-mb: must be at least 1".into());
+                }
+                memory_budget_mb = Some(mb);
+            }
+            "--spill-dir" => spill_dir = Some(PathBuf::from(take("--spill-dir")?)),
             "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
             "--resume" => {
                 checkpoint = Some(PathBuf::from(take("--resume")?));
@@ -273,6 +301,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         deadline,
         checkpoint,
         resume,
+        memory_budget_mb,
+        spill_dir,
     })
 }
 
@@ -361,6 +391,8 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
         // about to change, so every phase must re-execute (and re-checkpoint).
         resume: args.resume && mode == Mode::Run,
         threads: args.threads,
+        memory_budget_mb: args.memory_budget_mb,
+        spill_dir: args.spill_dir.clone(),
         ..Default::default()
     };
     // Compile separately first so program errors exit 3, not 1.
@@ -372,8 +404,16 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
         .build()
         .map_err(|e| RunFailure::Other(e.to_string()))?;
 
+    let map_run_err = |e: deepdive_core::DeepDiveError| match &e {
+        deepdive_core::DeepDiveError::Ddlog(d) => RunFailure::Compile(d.to_string()),
+        deepdive_core::DeepDiveError::Storage(s) => {
+            classify_storage(s).unwrap_or_else(|| RunFailure::Other(e.to_string()))
+        }
+        _ => RunFailure::Other(e.to_string()),
+    };
+
     let mut quarantined_rows = 0usize;
-    match mode {
+    let result = match mode {
         Mode::Run => {
             // Load <Relation>.tsv for every relation (query relations usually
             // have no file — they are populated by rules).
@@ -409,22 +449,26 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
                     data.display()
                 )));
             }
+            dd.run().map_err(map_run_err)?
         }
         Mode::Requeue => {
-            // Restore the last run's database, then drain the quarantine
-            // tables: ingest payloads are re-parsed against the (presumably
-            // fixed) schema, UDF payloads are released so the re-run's
-            // (presumably fixed) extractors reprocess their inputs.
+            // Restore the last run's database *and* grounding state, then
+            // drain the quarantine tables: ingest payloads are re-parsed
+            // against the (presumably fixed) schema and routed through
+            // incremental view maintenance — so relations derived from the
+            // requeued bases refresh too — while UDF payloads are released
+            // for the re-run's (presumably fixed) extractors to reprocess.
             let dir = args.checkpoint.clone().expect("requeue requires --resume");
             let ckpt = Checkpoint::new(dir).map_err(|e| RunFailure::Other(e.to_string()))?;
             ckpt.restore_db(&dd.db)
                 .map_err(|e| RunFailure::Other(e.to_string()))?;
-            let reports = dd
-                .db
-                .requeue_all_quarantined()
+            let (state, _) = ckpt
+                .restore_state()
                 .map_err(|e| RunFailure::Other(e.to_string()))?;
+            dd.grounder.state = state;
+            let (reports, result) = dd.requeue().map_err(map_run_err)?;
             if reports.is_empty() {
-                println!("requeue: no quarantined rows found; re-running as-is");
+                println!("requeue: no quarantined rows found; re-running inference as-is");
             }
             for r in &reports {
                 println!(
@@ -432,16 +476,9 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
                     r.relation, r.reingested, r.udf_retries, r.still_failing
                 );
             }
+            result
         }
-    }
-
-    let result = dd.run().map_err(|e| match &e {
-        deepdive_core::DeepDiveError::Ddlog(d) => RunFailure::Compile(d.to_string()),
-        deepdive_core::DeepDiveError::Storage(s) => {
-            classify_storage(s).unwrap_or_else(|| RunFailure::Other(e.to_string()))
-        }
-        _ => RunFailure::Other(e.to_string()),
-    })?;
+    };
     if !result.phases_resumed.is_empty() {
         let resumed: Vec<&str> = result.phases_resumed.iter().map(|p| p.as_str()).collect();
         println!("resumed phases from checkpoint: {}", resumed.join(", "));

@@ -7,6 +7,7 @@
 //! carries those answers and renders as JSON for downstream tooling.
 
 use crate::app::{DeepDive, RunResult};
+use deepdive_storage::RelationStorageStats;
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
 
@@ -42,6 +43,15 @@ pub struct RunReport {
     /// Per-phase `(wall seconds, items, items/sec)` from the execution
     /// context's metrics sink.
     pub execution_phases: BTreeMap<String, (f64, u64, f64)>,
+    /// Per-relation storage footprint (visible rows, bytes resident on the
+    /// memory budget, bytes spilled to segments, segment count).
+    pub storage: BTreeMap<String, RelationStorageStats>,
+    /// Resident-bytes budget the run executed under (absent = unbounded).
+    pub memory_budget_bytes: Option<u64>,
+    /// Distinct strings in the global dictionary (text columns intern into
+    /// it) and their total heap bytes.
+    pub dictionary_symbols: usize,
+    pub dictionary_bytes: usize,
 }
 
 impl RunReport {
@@ -83,6 +93,10 @@ impl RunReport {
                 .into_iter()
                 .map(|(phase, s)| (phase, (s.wall.as_secs_f64(), s.items, s.throughput())))
                 .collect(),
+            storage: dd.db.storage_stats(),
+            memory_budget_bytes: dd.db.memory_budget().limit(),
+            dictionary_symbols: deepdive_storage::dictionary_len(),
+            dictionary_bytes: deepdive_storage::dictionary_bytes() as usize,
         }
     }
 
@@ -129,12 +143,40 @@ impl RunReport {
             "partitions": self.partitions,
             "phases": exec_phases,
         });
+        let relations = map_of(&mut self.storage.iter().map(|(name, s)| {
+            (
+                name.clone(),
+                json!({
+                    "rows": s.rows,
+                    "bytes_resident": s.bytes_resident,
+                    "bytes_spilled": s.bytes_spilled,
+                    "segments": s.segments,
+                }),
+            )
+        }));
+        let mut totals = RelationStorageStats::default();
+        for s in self.storage.values() {
+            totals.accumulate(s);
+        }
+        let dictionary = json!({
+            "symbols": self.dictionary_symbols,
+            "bytes": self.dictionary_bytes,
+        });
+        let storage = json!({
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "bytes_resident": totals.bytes_resident,
+            "bytes_spilled": totals.bytes_spilled,
+            "segments": totals.segments,
+            "dictionary": dictionary,
+            "relations": relations,
+        });
         json!({
             "degraded": self.degraded,
             "learning": learning,
             "inference": inference,
             "graph": graph,
             "execution": execution,
+            "storage": storage,
             "phases_resumed": self.phases_resumed,
             "timings_secs": timings,
             "incidents": incidents,

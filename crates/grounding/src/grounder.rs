@@ -210,11 +210,16 @@ impl Grounder {
         let mut sorted_qrels: Vec<String> = self.query_relations.iter().cloned().collect();
         sorted_qrels.sort();
         for rel in sorted_qrels {
-            for row in db.rows(&rel)? {
-                let label = self.render_label(db, &rel, &row);
-                self.state.variable(&rel, &row, label);
+            // Stream the relation in sorted order, one row group at a time —
+            // variable ids are assigned in exactly the order the old
+            // materialize-then-sort path produced.
+            let schema = db.schema(&rel).ok();
+            let state = &mut self.state;
+            db.for_each_row_sorted(&rel, &mut |row, _| {
+                let label = schema.as_ref().map(|s| s.render(row));
+                state.variable(&rel, row, label);
                 delta.added_variables += 1;
-            }
+            })?;
         }
 
         // Evidence labels (BTreeMap: deterministic tuple order).
@@ -227,15 +232,15 @@ impl Grounder {
         for (ev_rel, q_rel) in sorted_ev {
             let mut by_tuple: std::collections::BTreeMap<Row, (usize, usize)> =
                 std::collections::BTreeMap::new();
-            for row in db.rows(&ev_rel)? {
-                let (args, label) = split_evidence_row(&row);
+            db.for_each_row_sorted(&ev_rel, &mut |row, _| {
+                let (args, label) = split_evidence_row(row);
                 let e = by_tuple.entry(args).or_insert((0, 0));
                 if label {
                     e.0 += 1;
                 } else {
                     e.1 += 1;
                 }
-            }
+            })?;
             for (args, (pos, neg)) in by_tuple {
                 if let Some(label) = majority(pos, neg) {
                     // Evidence may reference tuples the candidate mappings

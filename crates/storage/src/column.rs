@@ -1,0 +1,513 @@
+//! Typed per-column buffers — the physical layer of the columnar engine.
+//!
+//! A [`ColumnBuf`] holds one column of one row group: a dense typed vector
+//! (`i64`, `f64` bit patterns, bools, dictionary symbol ids, `u64` ids)
+//! plus a validity bitmap for NULLs. Columns of type `Any` (synthetic
+//! grounding relations) fall back to a vector of tagged [`Value`]s whose
+//! text payloads are still dictionary-encoded.
+//!
+//! Floats are stored as raw `to_bits()` words, so every payload — NaN bit
+//! patterns, negative zero — round-trips bit-exactly; equality and hashing
+//! semantics live in [`Value`], not here.
+//!
+//! Each buffer (de)serializes to a self-describing byte run (tag, length,
+//! payload) used by spilled segments; see `store` for the segment framing.
+
+use crate::interner::{self, SymbolId};
+use crate::value::{Value, ValueType};
+
+/// Validity bitmap: bit set = value present, clear = NULL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn push(&mut self, set: bool) {
+        let bit = self.len;
+        if bit.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if set {
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.len += 1;
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        (self.words.capacity() * 8) as u64
+    }
+}
+
+/// One column of one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnBuf {
+    /// `Int` columns: values dense, NULL slots hold 0.
+    Int64(Vec<i64>, Bitmap),
+    /// `Float` columns as raw bit patterns (bit-exact round trip).
+    Float64(Vec<u64>, Bitmap),
+    Bool(Vec<bool>, Bitmap),
+    /// Dictionary-encoded `Text`: one [`SymbolId`] per cell.
+    Text(Vec<SymbolId>, Bitmap),
+    /// Opaque `Id` columns.
+    Id64(Vec<u64>, Bitmap),
+    /// `Any`/`Null` columns: tagged values (text payloads interned too).
+    Mixed(Vec<Value>),
+}
+
+impl ColumnBuf {
+    /// An empty buffer appropriate for a column of type `ty`.
+    pub fn for_type(ty: ValueType) -> ColumnBuf {
+        match ty {
+            ValueType::Int => ColumnBuf::Int64(Vec::new(), Bitmap::default()),
+            ValueType::Float => ColumnBuf::Float64(Vec::new(), Bitmap::default()),
+            ValueType::Bool => ColumnBuf::Bool(Vec::new(), Bitmap::default()),
+            ValueType::Text => ColumnBuf::Text(Vec::new(), Bitmap::default()),
+            ValueType::Id => ColumnBuf::Id64(Vec::new(), Bitmap::default()),
+            ValueType::Any | ValueType::Null => ColumnBuf::Mixed(Vec::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuf::Int64(v, _) => v.len(),
+            ColumnBuf::Float64(v, _) => v.len(),
+            ColumnBuf::Bool(v, _) => v.len(),
+            ColumnBuf::Text(v, _) => v.len(),
+            ColumnBuf::Id64(v, _) => v.len(),
+            ColumnBuf::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one cell. The caller (the table) has already schema-checked
+    /// the row, so a type mismatch here is a logic error, not bad input.
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnBuf::Int64(vals, nulls), Value::Int(i)) => {
+                vals.push(*i);
+                nulls.push(true);
+            }
+            (ColumnBuf::Int64(vals, nulls), Value::Null) => {
+                vals.push(0);
+                nulls.push(false);
+            }
+            (ColumnBuf::Float64(vals, nulls), Value::Float(f)) => {
+                vals.push(f.to_bits());
+                nulls.push(true);
+            }
+            (ColumnBuf::Float64(vals, nulls), Value::Null) => {
+                vals.push(0);
+                nulls.push(false);
+            }
+            (ColumnBuf::Bool(vals, nulls), Value::Bool(b)) => {
+                vals.push(*b);
+                nulls.push(true);
+            }
+            (ColumnBuf::Bool(vals, nulls), Value::Null) => {
+                vals.push(false);
+                nulls.push(false);
+            }
+            (ColumnBuf::Text(vals, nulls), Value::Text(t)) => {
+                vals.push(interner::intern_arc(t));
+                nulls.push(true);
+            }
+            (ColumnBuf::Text(vals, nulls), Value::Null) => {
+                vals.push(SymbolId(0));
+                nulls.push(false);
+            }
+            (ColumnBuf::Id64(vals, nulls), Value::Id(i)) => {
+                vals.push(*i);
+                nulls.push(true);
+            }
+            (ColumnBuf::Id64(vals, nulls), Value::Null) => {
+                vals.push(0);
+                nulls.push(false);
+            }
+            (ColumnBuf::Mixed(vals), v) => vals.push(v.clone()),
+            (col, v) => panic!("value {v:?} does not fit column {:?}", col.tag()),
+        }
+    }
+
+    /// Materialize one cell back into a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnBuf::Int64(vals, nulls) => {
+                if nulls.get(i) {
+                    Value::Int(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnBuf::Float64(vals, nulls) => {
+                if nulls.get(i) {
+                    Value::Float(f64::from_bits(vals[i]))
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnBuf::Bool(vals, nulls) => {
+                if nulls.get(i) {
+                    Value::Bool(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnBuf::Text(vals, nulls) => {
+                if nulls.get(i) {
+                    Value::Text(interner::resolve(vals[i]))
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnBuf::Id64(vals, nulls) => {
+                if nulls.get(i) {
+                    Value::Id(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnBuf::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Approximate heap bytes held by this buffer (budget accounting).
+    /// Dictionary-encoded text counts its 4-byte ids only — the dictionary
+    /// itself is global, shared, and never evicted.
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            ColumnBuf::Int64(v, n) => (v.capacity() * 8) as u64 + n.heap_bytes(),
+            ColumnBuf::Float64(v, n) => (v.capacity() * 8) as u64 + n.heap_bytes(),
+            ColumnBuf::Bool(v, n) => v.capacity() as u64 + n.heap_bytes(),
+            ColumnBuf::Text(v, n) => (v.capacity() * 4) as u64 + n.heap_bytes(),
+            ColumnBuf::Id64(v, n) => (v.capacity() * 8) as u64 + n.heap_bytes(),
+            ColumnBuf::Mixed(v) => (v.capacity() * std::mem::size_of::<Value>()) as u64,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ColumnBuf::Int64(..) => 0,
+            ColumnBuf::Float64(..) => 1,
+            ColumnBuf::Bool(..) => 2,
+            ColumnBuf::Text(..) => 3,
+            ColumnBuf::Id64(..) => 4,
+            ColumnBuf::Mixed(..) => 5,
+        }
+    }
+
+    // ---- segment (de)serialization ----
+    //
+    // Layout: tag u8 | len u32 | [validity words u64 × ceil(len/64)] |
+    // payload. Mixed columns encode each value as tag u8 + payload, with
+    // text cells as interned symbol ids (spilled segments are per-process
+    // scratch, so ids are safe to persist; see `interner`).
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        let len = self.len() as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        match self {
+            ColumnBuf::Int64(vals, nulls) => {
+                encode_bitmap(nulls, out);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnBuf::Float64(vals, nulls) | ColumnBuf::Id64(vals, nulls) => {
+                encode_bitmap(nulls, out);
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnBuf::Bool(vals, nulls) => {
+                encode_bitmap(nulls, out);
+                for v in vals {
+                    out.push(*v as u8);
+                }
+            }
+            ColumnBuf::Text(vals, nulls) => {
+                encode_bitmap(nulls, out);
+                for v in vals {
+                    out.extend_from_slice(&v.0.to_le_bytes());
+                }
+            }
+            ColumnBuf::Mixed(vals) => {
+                for v in vals {
+                    encode_value(v, out);
+                }
+            }
+        }
+    }
+
+    /// Decode one column buffer; advances `pos`. Returns `None` on any
+    /// structural problem (truncation, bad tag) — the segment reader treats
+    /// that as a corrupt segment.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<ColumnBuf> {
+        let tag = *bytes.get(*pos)?;
+        *pos += 1;
+        let len = read_u32(bytes, pos)? as usize;
+        let col = match tag {
+            0 => {
+                let nulls = decode_bitmap(bytes, pos, len)?;
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vals.push(read_u64(bytes, pos)? as i64);
+                }
+                ColumnBuf::Int64(vals, nulls)
+            }
+            1 | 4 => {
+                let nulls = decode_bitmap(bytes, pos, len)?;
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vals.push(read_u64(bytes, pos)?);
+                }
+                if tag == 1 {
+                    ColumnBuf::Float64(vals, nulls)
+                } else {
+                    ColumnBuf::Id64(vals, nulls)
+                }
+            }
+            2 => {
+                let nulls = decode_bitmap(bytes, pos, len)?;
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let b = *bytes.get(*pos)?;
+                    *pos += 1;
+                    vals.push(b != 0);
+                }
+                ColumnBuf::Bool(vals, nulls)
+            }
+            3 => {
+                let nulls = decode_bitmap(bytes, pos, len)?;
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vals.push(SymbolId(read_u32(bytes, pos)?));
+                }
+                ColumnBuf::Text(vals, nulls)
+            }
+            5 => {
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vals.push(decode_value(bytes, pos)?);
+                }
+                ColumnBuf::Mixed(vals)
+            }
+            _ => return None,
+        };
+        Some(col)
+    }
+}
+
+fn encode_bitmap(b: &Bitmap, out: &mut Vec<u8>) {
+    for w in &b.words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn decode_bitmap(bytes: &[u8], pos: &mut usize, len: usize) -> Option<Bitmap> {
+    let words = len.div_ceil(64);
+    let mut b = Bitmap {
+        words: Vec::with_capacity(words),
+        len,
+    };
+    for _ in 0..words {
+        b.words.push(read_u64(bytes, pos)?);
+    }
+    Some(b)
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(t) => {
+            out.push(4);
+            out.extend_from_slice(&interner::intern_arc(t).0.to_le_bytes());
+        }
+        Value::Id(i) => {
+            out.push(5);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let tag = *bytes.get(*pos)?;
+    *pos += 1;
+    Some(match tag {
+        0 => Value::Null,
+        1 => {
+            let b = *bytes.get(*pos)?;
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        2 => Value::Int(read_u64(bytes, pos)? as i64),
+        3 => Value::Float(f64::from_bits(read_u64(bytes, pos)?)),
+        4 => Value::Text(interner::resolve(SymbolId(read_u32(bytes, pos)?))),
+        5 => Value::Id(read_u64(bytes, pos)?),
+        _ => return None,
+    })
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let slice = bytes.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(slice.try_into().ok()?))
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let slice = bytes.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(slice.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ty: ValueType, vals: &[Value]) {
+        let mut col = ColumnBuf::for_type(ty);
+        for v in vals {
+            col.push(v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&col.get(i), v, "in-memory cell {i}");
+        }
+        let mut bytes = Vec::new();
+        col.encode(&mut bytes);
+        let mut pos = 0;
+        let back = ColumnBuf::decode(&bytes, &mut pos).expect("decode");
+        assert_eq!(pos, bytes.len(), "decoder consumed everything");
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&back.get(i), v, "decoded cell {i}");
+        }
+    }
+
+    #[test]
+    fn typed_columns_round_trip_with_nulls() {
+        roundtrip(
+            ValueType::Int,
+            &[Value::Int(-5), Value::Null, Value::Int(i64::MAX)],
+        );
+        roundtrip(
+            ValueType::Id,
+            &[Value::Id(0), Value::Id(u64::MAX), Value::Null],
+        );
+        roundtrip(
+            ValueType::Bool,
+            &[Value::Bool(true), Value::Null, Value::Bool(false)],
+        );
+    }
+
+    #[test]
+    fn float_bit_patterns_survive_exactly() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_1234); // NaN payload
+        roundtrip(
+            ValueType::Float,
+            &[
+                Value::Float(-0.0),
+                Value::Float(weird),
+                Value::Null,
+                Value::Float(f64::MIN_POSITIVE / 2.0), // subnormal
+            ],
+        );
+        // The NaN payload specifically: compare bits, not Value equality
+        // (all NaNs compare equal by design).
+        let mut col = ColumnBuf::for_type(ValueType::Float);
+        col.push(&Value::Float(weird));
+        match col.get(0) {
+            Value::Float(f) => assert_eq!(f.to_bits(), weird.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_is_dictionary_encoded_and_non_ascii_safe() {
+        roundtrip(
+            ValueType::Text,
+            &[
+                Value::text("féature=naïve"),
+                Value::Null,
+                Value::text("日本語"),
+                Value::text("féature=naïve"),
+            ],
+        );
+        let mut col = ColumnBuf::for_type(ValueType::Text);
+        col.push(&Value::text("dup"));
+        col.push(&Value::text("dup"));
+        match &col {
+            ColumnBuf::Text(ids, _) => assert_eq!(ids[0], ids[1], "same symbol id"),
+            other => panic!("expected text column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_columns_hold_anything() {
+        roundtrip(
+            ValueType::Any,
+            &[
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-1),
+                Value::Float(2.5),
+                Value::text("mixed→cell"),
+                Value::Id(9),
+            ],
+        );
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected_not_misread() {
+        let mut col = ColumnBuf::for_type(ValueType::Int);
+        col.push(&Value::Int(42));
+        let mut bytes = Vec::new();
+        col.encode(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(
+                ColumnBuf::decode(&bytes[..cut], &mut pos).is_none(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_tracks_bits_across_word_boundaries() {
+        let mut b = Bitmap::default();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+}

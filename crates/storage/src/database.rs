@@ -13,6 +13,7 @@
 //! tuple, or quarantine it.
 
 use crate::schema::Schema;
+use crate::store::{MemoryBudget, RelationStorageStats, SpillStore, StorageConfig};
 use crate::table::{Membership, Table};
 use crate::value::{Row, Value, ValueType};
 use crate::StorageError;
@@ -20,7 +21,14 @@ use parking_lot::{Mutex, RwLock};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Once};
+
+/// Process-wide uniquifier for spill-store file prefixes, so two databases
+/// (or a replaced relation) sharing one per-run spill directory can never
+/// collide on segment file names.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A user-defined function: maps an argument tuple to zero or more outputs.
 pub type Udf = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
@@ -55,8 +63,8 @@ pub fn quarantine_schema(base: &str) -> Schema {
         .finish()
 }
 
-/// An in-memory relational database.
-#[derive(Default)]
+/// A relational database: in-memory columnar tables, optionally spilled to
+/// disk under a memory budget (see [`StorageConfig`]).
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<Mutex<Table>>>>,
     udfs: HashMap<String, Udf>,
@@ -64,6 +72,17 @@ pub struct Database {
     default_udf_policy: FailurePolicy,
     /// Failure counters per stage (UDF or ingest), for the run report.
     incidents: Mutex<BTreeMap<String, u64>>,
+    storage: StorageConfig,
+    budget: Arc<MemoryBudget>,
+    /// Per-run spill directory (`<spill root>/run-<pid>`); `None` when the
+    /// database is fully in-memory.
+    spill_dir: Option<PathBuf>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_storage(StorageConfig::in_memory())
+    }
 }
 
 thread_local! {
@@ -102,25 +121,93 @@ impl Database {
         Database::default()
     }
 
+    /// A database whose relations are stored per `storage`: fully in-memory
+    /// columnar (the default), or spilling row-group segments to disk when a
+    /// memory budget and/or spill directory is configured. If the spill
+    /// directory cannot be created the database degrades to in-memory.
+    pub fn with_storage(storage: StorageConfig) -> Self {
+        let budget = MemoryBudget::new(storage.memory_budget);
+        let spill_dir = storage.spill_root().and_then(|root| {
+            let dir = root.join(format!("run-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).ok().map(|_| dir)
+        });
+        Database {
+            tables: RwLock::default(),
+            udfs: HashMap::new(),
+            udf_policies: HashMap::new(),
+            default_udf_policy: FailurePolicy::default(),
+            incidents: Mutex::default(),
+            storage,
+            budget,
+            spill_dir,
+        }
+    }
+
+    /// The storage configuration this database was built with.
+    pub fn storage_config(&self) -> &StorageConfig {
+        &self.storage
+    }
+
+    /// Reconfigure the storage engine. Only tables created *after* this call
+    /// use the new configuration — existing tables keep their stores — so
+    /// call it before any relations exist (e.g. from a builder, between UDF
+    /// registration and program compilation).
+    pub fn set_storage(&mut self, storage: StorageConfig) {
+        self.budget = MemoryBudget::new(storage.memory_budget);
+        self.spill_dir = storage.spill_root().and_then(|root| {
+            let dir = root.join(format!("run-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).ok().map(|_| dir)
+        });
+        self.storage = storage;
+    }
+
+    /// The shared resident-bytes budget (always present; unlimited unless a
+    /// budget was configured).
+    pub fn memory_budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
+    }
+
+    /// Build a table backed by this database's storage engine.
+    fn new_table(&self, schema: Schema) -> Table {
+        match &self.spill_dir {
+            Some(dir) => {
+                let types = schema.columns.iter().map(|c| c.ty).collect();
+                let safe: String = schema
+                    .name
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
+                    .collect();
+                let name = format!("{}-{}", safe, STORE_SEQ.fetch_add(1, Ordering::Relaxed));
+                let store = SpillStore::new(types, name, dir.clone(), Arc::clone(&self.budget));
+                Table::with_store(schema, Box::new(store))
+            }
+            None => Table::new(schema),
+        }
+    }
+
     /// Register a relation. Errors if the name is taken.
     pub fn create_relation(&self, schema: Schema) -> Result<(), StorageError> {
+        let table = self.new_table(schema);
         let mut tables = self.tables.write();
-        if tables.contains_key(&schema.name) {
-            return Err(StorageError::DuplicateRelation(schema.name));
+        if tables.contains_key(table.name()) {
+            return Err(StorageError::DuplicateRelation(table.name().to_string()));
         }
-        tables.insert(
-            schema.name.clone(),
-            Arc::new(Mutex::new(Table::new(schema))),
-        );
+        tables.insert(table.name().to_string(), Arc::new(Mutex::new(table)));
         Ok(())
     }
 
     /// Register a relation, replacing any existing one with the same name.
     pub fn create_or_replace_relation(&self, schema: Schema) {
-        self.tables.write().insert(
-            schema.name.clone(),
-            Arc::new(Mutex::new(Table::new(schema))),
-        );
+        let table = self.new_table(schema);
+        self.tables
+            .write()
+            .insert(table.name().to_string(), Arc::new(Mutex::new(table)));
     }
 
     pub fn drop_relation(&self, name: &str) -> Result<(), StorageError> {
@@ -216,11 +303,20 @@ impl Database {
         self.with_table(name, |t| t.rows_sorted())
     }
 
-    /// All `(row, count)` pairs of a relation (cloned snapshot).
+    /// All `(row, count)` pairs of a relation (materialized snapshot).
     pub fn rows_counted(&self, name: &str) -> Result<Vec<(Row, i64)>, StorageError> {
-        self.with_table(name, |t| {
-            t.iter_counted().map(|(r, c)| (r.clone(), c)).collect()
-        })
+        self.with_table(name, |t| t.iter_counted().collect())
+    }
+
+    /// Visit each visible `(row, count)` of a relation in ascending row
+    /// order, streaming one row at a time (a k-way merge over the store's
+    /// sorted row groups — no full-relation materialization).
+    pub fn for_each_row_sorted(
+        &self,
+        name: &str,
+        f: &mut dyn FnMut(&Row, i64),
+    ) -> Result<(), StorageError> {
+        self.with_table(name, |t| t.for_each_sorted(f))
     }
 
     /// Indexed lookup; appends `(row, count)` matches to `out`.
@@ -233,7 +329,7 @@ impl Database {
     ) -> Result<(), StorageError> {
         self.with_table(name, |t| {
             if key_cols.is_empty() {
-                out.extend(t.iter_counted().map(|(r, c)| (r.clone(), c)));
+                out.extend(t.iter_counted());
             } else {
                 t.lookup_counted(key_cols, key_vals, out);
             }
@@ -248,10 +344,30 @@ impl Database {
         pred: impl Fn(&Row) -> bool,
     ) -> Result<Vec<Row>, StorageError> {
         self.with_table(name, |t| {
-            let mut v: Vec<Row> = t.iter().filter(|r| pred(r)).cloned().collect();
+            let mut v: Vec<Row> = t.iter().filter(|r| pred(r)).collect();
             v.sort();
             v
         })
+    }
+
+    /// Seal every relation's open row group (and, under a spilling
+    /// configuration, write the segments to disk). Called at phase
+    /// boundaries; logically a no-op.
+    pub fn flush_storage(&self) {
+        for name in self.relation_names() {
+            let _ = self.with_table(&name, |t| t.flush_storage());
+        }
+    }
+
+    /// Per-relation storage footprint, sorted by relation name.
+    pub fn storage_stats(&self) -> BTreeMap<String, RelationStorageStats> {
+        self.relation_names()
+            .into_iter()
+            .filter_map(|n| {
+                let s = self.with_table(&n, |t| t.storage_stats()).ok()?;
+                Some((n, s))
+            })
+            .collect()
     }
 
     /// Register a UDF callable from rules.
@@ -483,6 +599,41 @@ mod tests {
         d.set_udf_policy("special", FailurePolicy::Quarantine);
         assert_eq!(d.udf_policy("special"), FailurePolicy::Quarantine);
         assert_eq!(d.udf_policy("anything"), FailurePolicy::SkipTuple);
+    }
+
+    #[test]
+    fn spilling_database_keeps_data_and_reports_storage() {
+        let dir = std::env::temp_dir().join(format!("deepdive-dbspill-{}", std::process::id()));
+        let d = Database::with_storage(StorageConfig {
+            // A 1-byte budget evicts every sealed group immediately.
+            memory_budget: Some(1),
+            spill_dir: Some(dir.clone()),
+        });
+        d.create_relation(
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("y", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        for i in 0..100 {
+            d.insert("R", row![i, "p"]).unwrap();
+        }
+        d.flush_storage();
+        let stats = d.storage_stats();
+        let r = &stats["R"];
+        assert_eq!(r.rows, 100);
+        assert!(r.bytes_spilled > 0, "write-behind spilled the sealed group");
+        assert!(r.segments >= 1);
+        // Reads go back through the spilled segments.
+        assert_eq!(d.rows("R").unwrap().len(), 100);
+        assert_eq!(d.count("R", &row![7, "p"]).unwrap(), 1);
+        let mut streamed = 0;
+        d.for_each_row_sorted("R", &mut |_, c| streamed += c)
+            .unwrap();
+        assert_eq!(streamed, 100);
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

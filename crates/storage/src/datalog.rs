@@ -708,7 +708,7 @@ impl CompiledRule {
                 // The first scan is the shard boundary: keep only rows hashed
                 // to this shard, then evaluate the residual join in full.
                 if let Some((index, of)) = shard {
-                    matches.retain(|(row, _)| crate::exec::shard_of(row, of) == index);
+                    matches.retain(|(row, _)| crate::exec::shard_of_values(row, of) == index);
                 }
                 for (row, c) in matches {
                     if c == 0 {

@@ -49,6 +49,23 @@ pub fn shard_of<T: Hash + ?Sized>(item: &T, shards: usize) -> usize {
     (h.finish() % shards as u64) as usize
 }
 
+/// Shard assignment for a sequence of values, computed from the shared row
+/// hash ([`crate::value::hash_values`]). Byte-identical to `shard_of(&row)`
+/// for a whole [`crate::value::Row`], but usable on borrowed slices without
+/// boxing — and guaranteed to agree with the columnar table's slot hashing.
+pub fn shard_of_values(vals: &[crate::value::Value], shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (crate::value::hash_values(vals) % shards as u64) as usize
+}
+
+/// The thread count used when neither `--threads` nor [`THREADS_ENV`] is
+/// given: the host's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Wall-clock and item-throughput counters for one named phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseStats {
@@ -138,9 +155,10 @@ impl ExecutionContext {
         ExecutionContext::new(1)
     }
 
-    /// A context sized from [`THREADS_ENV`], sequential when unset.
+    /// A context sized from [`THREADS_ENV`]; falls back to the host's
+    /// available parallelism ([`default_threads`]) when unset.
     pub fn from_env() -> Self {
-        ExecutionContext::new(threads_from_env().unwrap_or(1))
+        ExecutionContext::new(threads_from_env().unwrap_or_else(default_threads))
     }
 
     pub fn threads(&self) -> usize {
@@ -273,6 +291,26 @@ mod tests {
             .map(|shard| (0..500).filter(|i| shard_of(i, 3) == shard).count())
             .sum();
         assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn shard_of_values_matches_whole_row_sharding() {
+        use crate::row;
+        for shards in 1..6 {
+            for i in 0..50i64 {
+                let r: crate::Row = row![i, format!("s{i}"), i as f64 / 3.0];
+                assert_eq!(
+                    shard_of_values(&r, shards),
+                    shard_of(&r, shards),
+                    "slice and boxed-row sharding agree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Global string interner backing dictionary-encoded text columns.
+//!
+//! Columnar text storage keeps one `u32` [`SymbolId`] per cell instead of a
+//! reference-counted string, so a column of a million repeated feature keys
+//! costs 4 MB of ids plus one dictionary entry — not a million `Arc<str>`
+//! clones. The dictionary is process-global: every table, delta relation and
+//! spilled segment shares one id space, which makes symbol ids stable for
+//! the lifetime of the process (a requirement for reading spilled segments
+//! back without rewriting them).
+//!
+//! Interned strings are never freed; the dictionary only grows. That is the
+//! usual trade of dictionary encoding — the distinct-string universe of a
+//! KBC run (feature keys, entity names, phrases) is far smaller than the
+//! tuple universe that references it. Spilled segments store raw symbol ids
+//! and are therefore scratch *for this process only*: a restarted run
+//! re-ingests and re-interns, and stale segment files from dead runs are
+//! never read (see `store::SpillStore`).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Identifier of an interned string; stable for the process lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    by_text: HashMap<Arc<str>, u32>,
+    by_id: Vec<Arc<str>>,
+}
+
+fn global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Intern a string, returning its stable symbol id.
+pub fn intern(s: &str) -> SymbolId {
+    {
+        let g = global().read();
+        if let Some(&id) = g.by_text.get(s) {
+            return SymbolId(id);
+        }
+    }
+    let mut g = global().write();
+    if let Some(&id) = g.by_text.get(s) {
+        return SymbolId(id);
+    }
+    let arc: Arc<str> = Arc::from(s);
+    let id = u32::try_from(g.by_id.len()).expect("interner overflow: > 4B distinct strings");
+    g.by_id.push(Arc::clone(&arc));
+    g.by_text.insert(arc, id);
+    SymbolId(id)
+}
+
+/// Intern an already reference-counted string without copying its bytes
+/// when it is new to the dictionary.
+pub fn intern_arc(s: &Arc<str>) -> SymbolId {
+    {
+        let g = global().read();
+        if let Some(&id) = g.by_text.get(s.as_ref()) {
+            return SymbolId(id);
+        }
+    }
+    let mut g = global().write();
+    if let Some(&id) = g.by_text.get(s.as_ref()) {
+        return SymbolId(id);
+    }
+    let id = u32::try_from(g.by_id.len()).expect("interner overflow: > 4B distinct strings");
+    g.by_id.push(Arc::clone(s));
+    g.by_text.insert(Arc::clone(s), id);
+    SymbolId(id)
+}
+
+/// Resolve a symbol id back to its string (cheap `Arc` clone).
+///
+/// Panics on an id that was never issued by this process — symbol ids do
+/// not survive restarts, and nothing should fabricate them.
+pub fn resolve(id: SymbolId) -> Arc<str> {
+    let g = global().read();
+    Arc::clone(
+        g.by_id
+            .get(id.index())
+            .unwrap_or_else(|| panic!("unknown symbol id {}", id.0)),
+    )
+}
+
+/// Number of distinct interned strings (diagnostics / storage stats).
+pub fn dictionary_len() -> usize {
+    global().read().by_id.len()
+}
+
+/// Approximate heap bytes held by the dictionary (diagnostics).
+pub fn dictionary_bytes() -> u64 {
+    let g = global().read();
+    g.by_id
+        .iter()
+        .map(|s| s.len() as u64 + std::mem::size_of::<Arc<str>>() as u64 * 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let a = intern("hello");
+        let b = intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a).as_ref(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let a = intern("alpha-x");
+        let b = intern("beta-x");
+        assert_ne!(a, b);
+        assert_eq!(resolve(a).as_ref(), "alpha-x");
+        assert_eq!(resolve(b).as_ref(), "beta-x");
+    }
+
+    #[test]
+    fn non_ascii_round_trips() {
+        for s in ["héllo wörld", "日本語テキスト", "🦀 emoji", "\u{1f}ctrl"] {
+            assert_eq!(resolve(intern(s)).as_ref(), s);
+        }
+    }
+
+    #[test]
+    fn intern_arc_shares_the_allocation() {
+        let s: Arc<str> = Arc::from("shared-alloc-test");
+        let id = intern_arc(&s);
+        let back = resolve(id);
+        assert!(Arc::ptr_eq(&s, &back) || back.as_ref() == s.as_ref());
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<SymbolId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| intern("concurrent-symbol")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

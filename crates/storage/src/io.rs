@@ -6,6 +6,7 @@
 //! escape tab/newline/backslash.
 
 use crate::database::Database;
+use crate::ivm::BaseChange;
 use crate::schema::Schema;
 use crate::value::{Row, Value, ValueType};
 use crate::StorageError;
@@ -280,6 +281,45 @@ impl Database {
     /// that still fail to parse stay quarantined. A missing quarantine
     /// relation yields an empty report.
     pub fn requeue_quarantined(&self, base: &str) -> Result<RequeueReport, StorageError> {
+        self.drain_quarantined(base, &mut |row, times| {
+            for _ in 0..times {
+                self.insert(base, row.clone())?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Like [`Database::requeue_quarantined`], but instead of inserting the
+    /// repaired rows directly it returns them as [`BaseChange`]s so the
+    /// caller can route them through incremental view maintenance
+    /// ([`crate::IncrementalEngine::apply_update`]). Direct inserts bypass
+    /// the maintenance engine, leaving every relation derived from the
+    /// requeued base stale until the next full fixpoint.
+    pub fn requeue_quarantined_changes(
+        &self,
+        base: &str,
+    ) -> Result<(RequeueReport, Vec<BaseChange>), StorageError> {
+        let mut changes = Vec::new();
+        let report = self.drain_quarantined(base, &mut |row, times| {
+            changes.push(BaseChange {
+                relation: base.to_string(),
+                row,
+                delta: times as i64,
+            });
+            Ok(())
+        })?;
+        Ok((report, changes))
+    }
+
+    /// Drain `base`'s quarantine, handing each repaired `ingest:` row (and
+    /// its multiplicity) to `sink` instead of deciding how it re-enters the
+    /// database. Rows reach the sink only after their quarantine entry is
+    /// purged; rows that still fail to parse stay quarantined.
+    fn drain_quarantined(
+        &self,
+        base: &str,
+        sink: &mut dyn FnMut(Row, usize) -> Result<(), StorageError>,
+    ) -> Result<RequeueReport, StorageError> {
         let mut report = RequeueReport {
             relation: base.to_string(),
             ..RequeueReport::default()
@@ -300,10 +340,8 @@ impl Database {
             if stage.starts_with("ingest:") {
                 match row_from_tsv(payload, &schema) {
                     Ok(row) => {
-                        for _ in 0..times {
-                            self.insert(base, row.clone())?;
-                        }
                         self.with_table(&qname, |t| t.purge(&qrow))?;
+                        sink(row, times)?;
                         report.reingested += times;
                     }
                     Err(_) => report.still_failing += times,
@@ -340,6 +378,35 @@ impl Database {
             }
         }
         Ok(reports)
+    }
+
+    /// [`Database::requeue_quarantined_changes`] over every quarantine
+    /// relation, sorted by base relation name. The returned changes have not
+    /// been applied; feed them to the incremental maintenance engine so
+    /// derived relations refresh along with the base tables.
+    pub fn requeue_all_quarantined_changes(
+        &self,
+    ) -> Result<(Vec<RequeueReport>, Vec<BaseChange>), StorageError> {
+        let mut bases: Vec<String> = self
+            .quarantine_relations()
+            .into_iter()
+            .filter_map(|q| {
+                q.strip_suffix(crate::database::QUARANTINE_SUFFIX)
+                    .map(str::to_string)
+            })
+            .filter(|base| self.has_relation(base))
+            .collect();
+        bases.sort();
+        let mut reports = Vec::new();
+        let mut changes = Vec::new();
+        for base in bases {
+            let (report, ch) = self.requeue_quarantined_changes(&base)?;
+            changes.extend(ch);
+            if report.drained() + report.still_failing > 0 {
+                reports.push(report);
+            }
+        }
+        Ok((reports, changes))
     }
 
     /// Dump a relation as TSV text (sorted rows — deterministic output).

@@ -54,18 +54,22 @@
 //! assert!(db.contains("path", &row![1, 3]).unwrap());
 //! ```
 
+pub mod column;
 pub mod database;
 pub mod datalog;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod interner;
 pub mod io;
 pub mod ivm;
 pub mod program;
 pub mod schema;
+pub mod store;
 pub mod table;
 pub mod value;
 
+pub use column::{Bitmap, ColumnBuf};
 pub use database::{quarantine_schema, Database, FailurePolicy, Udf, QUARANTINE_SUFFIX};
 pub use datalog::{
     Atom, AtomDeltas, Builtin, CmpOp, CompiledRule, Literal, Rule, Source, Term, UdfCall,
@@ -73,8 +77,10 @@ pub use datalog::{
 pub use delta::DeltaRelation;
 pub use error::StorageError;
 pub use exec::{
-    shard_of, threads_from_env, ExecMetrics, ExecutionContext, PhaseStats, THREADS_ENV,
+    default_threads, shard_of, shard_of_values, threads_from_env, ExecMetrics, ExecutionContext,
+    PhaseStats, THREADS_ENV,
 };
+pub use interner::{dictionary_bytes, dictionary_len, intern, resolve, SymbolId};
 pub use io::{
     row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv, IngestIssue, IngestPolicy,
     IngestReport, RequeueReport,
@@ -82,5 +88,9 @@ pub use io::{
 pub use ivm::{BaseChange, IncrementalEngine, MaintenanceResult};
 pub use program::{Program, StratifiedProgram, Stratum};
 pub use schema::{Column, Schema, SchemaBuilder};
+pub use store::{
+    read_segment, write_segment, ColumnarStore, MemoryBudget, RelationStorageStats, SpillStore,
+    StorageConfig, TableStore,
+};
 pub use table::{Membership, Table};
-pub use value::{Row, Value, ValueType};
+pub use value::{hash_values, Row, Value, ValueType};

@@ -1,0 +1,841 @@
+//! Storage engines behind [`crate::Table`]: in-memory columnar row groups,
+//! optionally spilled to disk under a memory budget.
+//!
+//! A [`TableStore`] is an append-only log of rows, organized into *row
+//! groups* of typed column buffers ([`crate::column::ColumnBuf`]). Tuple
+//! visibility and derivation counts stay in [`crate::Table`] (8 bytes per
+//! row, always resident); the store only materializes row payloads. Two
+//! engines implement the trait:
+//!
+//! * [`ColumnarStore`] — everything resident, groups sealed at a fixed row
+//!   count so sorted scans can reuse per-group permutations. The default.
+//! * [`SpillStore`] — *write-behind*: every sealed group is immediately
+//!   written to a segment file (so `bytes_spilled` accounts real disk
+//!   traffic), and the [`MemoryBudget`] governs which decoded copies remain
+//!   resident. Under pressure a store evicts its own oldest decoded groups;
+//!   evicted groups are read back through a small LRU cache of decoded
+//!   segments that is deliberately *not* counted against the budget.
+//!
+//! Segment files are scratch for the owning process only (text cells store
+//! raw interner symbol ids — see [`crate::interner`]): each run writes under
+//! its own pid-named directory, a restarted run re-ingests from sources and
+//! never reads a dead run's segments. Files are written to a temp name and
+//! renamed into place, framed with a magic header and an FNV-1a checksum
+//! footer, so a segment truncated by a crash is detected and ignored rather
+//! than misread.
+
+use crate::column::ColumnBuf;
+use crate::value::{Row, Value, ValueType};
+use parking_lot::Mutex;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Rows per sealed row group.
+pub const GROUP_ROWS: usize = 16 * 1024;
+
+/// Decoded spilled segments kept in the read cache (not budget-counted).
+const READ_CACHE_GROUPS: usize = 8;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"DDSEG01\n";
+
+/// How a [`crate::Database`] should store relation payloads.
+#[derive(Debug, Clone, Default)]
+pub struct StorageConfig {
+    /// Resident-bytes budget shared by all relations. `Some` selects the
+    /// spilling engine; decoded row groups are evicted once the total
+    /// crosses this line.
+    pub memory_budget: Option<u64>,
+    /// Where segment files go. `Some` selects the spilling engine even
+    /// without a budget (write-behind only). Defaults to
+    /// `<system temp>/deepdive-spill` when only a budget is given.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl StorageConfig {
+    /// Fully in-memory storage (the default).
+    pub fn in_memory() -> Self {
+        StorageConfig::default()
+    }
+
+    /// True when relations should be backed by [`SpillStore`].
+    pub fn spills(&self) -> bool {
+        self.memory_budget.is_some() || self.spill_dir.is_some()
+    }
+
+    /// The spill root (before per-run namespacing), if spilling.
+    pub fn spill_root(&self) -> Option<PathBuf> {
+        if !self.spills() {
+            return None;
+        }
+        Some(
+            self.spill_dir
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join("deepdive-spill")),
+        )
+    }
+}
+
+/// Shared resident-bytes accounting across every relation of one database.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: Option<u64>,
+    resident: AtomicU64,
+}
+
+impl MemoryBudget {
+    pub fn new(limit: Option<u64>) -> Arc<Self> {
+        Arc::new(MemoryBudget {
+            limit,
+            resident: AtomicU64::new(0),
+        })
+    }
+
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Total decoded bytes currently charged by all stores.
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    pub fn over_budget(&self) -> bool {
+        match self.limit {
+            Some(limit) => self.resident() > limit,
+            None => false,
+        }
+    }
+
+    fn publish(&self, old: u64, new: u64) {
+        if new >= old {
+            self.resident.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.resident.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Storage footprint of one relation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelationStorageStats {
+    /// Visible tuples (filled in by the owning table).
+    pub rows: u64,
+    /// Decoded bytes held in memory (open group + resident sealed groups).
+    pub bytes_resident: u64,
+    /// Cumulative bytes written to segment files over the store's lifetime.
+    pub bytes_spilled: u64,
+    /// Segment files written and still readable.
+    pub segments: u64,
+}
+
+impl RelationStorageStats {
+    pub fn accumulate(&mut self, other: &RelationStorageStats) {
+        self.rows += other.rows;
+        self.bytes_resident += other.bytes_resident;
+        self.bytes_spilled += other.bytes_spilled;
+        self.segments += other.segments;
+    }
+}
+
+/// Append-only columnar row log backing one relation.
+///
+/// Row indices are dense (`0..appended()`) and never reused; deletions are
+/// a concern of the counted table above, not of the store.
+pub trait TableStore: Send + fmt::Debug {
+    /// Append one row, returning its index.
+    fn push(&mut self, row: &[Value]) -> u32;
+
+    /// Materialize the row at `idx` (may read a spilled segment back).
+    fn get(&self, idx: u32) -> Row;
+
+    /// Total rows ever appended.
+    fn appended(&self) -> u32;
+
+    /// Visit every appended row in index order, streaming one decoded row
+    /// group at a time.
+    fn for_each(&self, f: &mut dyn FnMut(u32, Row));
+
+    /// Sorted runs covering all appended rows: each run lists row indices
+    /// in ascending [`Row`] order (the k-way merge input for sorted scans).
+    fn sorted_runs(&self) -> Vec<Vec<u32>>;
+
+    /// Seal the open row group (and, for spilling stores, write its
+    /// segment). Called at phase boundaries.
+    fn flush(&mut self);
+
+    /// Drop all rows (and any segment files).
+    fn clear(&mut self);
+
+    fn stats(&self) -> RelationStorageStats;
+}
+
+fn new_bufs(types: &[ValueType]) -> Vec<ColumnBuf> {
+    types.iter().map(|&t| ColumnBuf::for_type(t)).collect()
+}
+
+fn bufs_rows(cols: &[ColumnBuf]) -> usize {
+    cols.first().map_or(0, ColumnBuf::len)
+}
+
+fn bufs_bytes(cols: &[ColumnBuf]) -> u64 {
+    cols.iter().map(ColumnBuf::heap_bytes).sum()
+}
+
+fn materialize(cols: &[ColumnBuf], off: usize) -> Row {
+    cols.iter().map(|c| c.get(off)).collect()
+}
+
+fn push_row(cols: &mut [ColumnBuf], row: &[Value]) {
+    debug_assert_eq!(cols.len(), row.len());
+    for (c, v) in cols.iter_mut().zip(row) {
+        c.push(v);
+    }
+}
+
+/// Local offsets of a group sorted by row value. Appended rows of one table
+/// are pairwise distinct (the table dedups by count), so there are no ties
+/// and the unstable sort is deterministic.
+fn sorted_perm(cols: &[ColumnBuf]) -> Vec<u32> {
+    let n = bufs_rows(cols);
+    let rows: Vec<Row> = (0..n).map(|i| materialize(cols, i)).collect();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_unstable_by(|&a, &b| rows[a as usize].cmp(&rows[b as usize]));
+    perm
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarStore
+// ---------------------------------------------------------------------------
+
+/// Fully resident columnar engine (the default).
+#[derive(Debug)]
+pub struct ColumnarStore {
+    types: Vec<ValueType>,
+    /// Sealed groups: (first row index, columns, sorted permutation).
+    sealed: Vec<(u32, Vec<ColumnBuf>, Vec<u32>)>,
+    open: Vec<ColumnBuf>,
+    open_start: u32,
+    appended: u32,
+}
+
+impl ColumnarStore {
+    pub fn new(types: Vec<ValueType>) -> Self {
+        let open = new_bufs(&types);
+        ColumnarStore {
+            types,
+            sealed: Vec::new(),
+            open,
+            open_start: 0,
+            appended: 0,
+        }
+    }
+
+    fn seal_open(&mut self) {
+        if bufs_rows(&self.open) == 0 {
+            return;
+        }
+        let cols = std::mem::replace(&mut self.open, new_bufs(&self.types));
+        let perm = sorted_perm(&cols);
+        self.sealed.push((self.open_start, cols, perm));
+        self.open_start = self.appended;
+    }
+
+    fn locate(&self, idx: u32) -> (&[ColumnBuf], usize) {
+        if idx >= self.open_start {
+            return (&self.open, (idx - self.open_start) as usize);
+        }
+        let g = match self.sealed.binary_search_by(|(s, _, _)| s.cmp(&idx)) {
+            Ok(g) => g,
+            Err(g) => g - 1,
+        };
+        let (start, cols, _) = &self.sealed[g];
+        (cols, (idx - start) as usize)
+    }
+}
+
+impl TableStore for ColumnarStore {
+    fn push(&mut self, row: &[Value]) -> u32 {
+        if bufs_rows(&self.open) >= GROUP_ROWS {
+            self.seal_open();
+        }
+        push_row(&mut self.open, row);
+        let idx = self.appended;
+        self.appended += 1;
+        idx
+    }
+
+    fn get(&self, idx: u32) -> Row {
+        debug_assert!(idx < self.appended);
+        let (cols, off) = self.locate(idx);
+        materialize(cols, off)
+    }
+
+    fn appended(&self) -> u32 {
+        self.appended
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u32, Row)) {
+        for (start, cols, _) in &self.sealed {
+            for off in 0..bufs_rows(cols) {
+                f(start + off as u32, materialize(cols, off));
+            }
+        }
+        for off in 0..bufs_rows(&self.open) {
+            f(self.open_start + off as u32, materialize(&self.open, off));
+        }
+    }
+
+    fn sorted_runs(&self) -> Vec<Vec<u32>> {
+        let mut runs: Vec<Vec<u32>> = self
+            .sealed
+            .iter()
+            .map(|(start, _, perm)| perm.iter().map(|&o| start + o).collect())
+            .collect();
+        if bufs_rows(&self.open) > 0 {
+            runs.push(
+                sorted_perm(&self.open)
+                    .into_iter()
+                    .map(|o| self.open_start + o)
+                    .collect(),
+            );
+        }
+        runs
+    }
+
+    fn flush(&mut self) {
+        self.seal_open();
+    }
+
+    fn clear(&mut self) {
+        self.sealed.clear();
+        self.open = new_bufs(&self.types);
+        self.open_start = 0;
+        self.appended = 0;
+    }
+
+    fn stats(&self) -> RelationStorageStats {
+        RelationStorageStats {
+            rows: 0,
+            bytes_resident: bufs_bytes(&self.open)
+                + self
+                    .sealed
+                    .iter()
+                    .map(|(_, cols, perm)| bufs_bytes(cols) + perm.len() as u64 * 4)
+                    .sum::<u64>(),
+            bytes_spilled: 0,
+            segments: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment files
+// ---------------------------------------------------------------------------
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize a row group to `path` atomically (temp file + rename).
+/// Returns the file size in bytes.
+pub fn write_segment(path: &Path, cols: &[ColumnBuf]) -> std::io::Result<u64> {
+    let rows = bufs_rows(cols) as u32;
+    let mut bytes = Vec::with_capacity(256);
+    bytes.extend_from_slice(SEGMENT_MAGIC);
+    bytes.extend_from_slice(&rows.to_le_bytes());
+    bytes.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    for c in cols {
+        c.encode(&mut bytes);
+    }
+    let sum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    let tmp = path.with_extension("seg.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read a segment written by [`write_segment`]. Returns `None` — never a
+/// misread — on any structural problem: missing file, bad magic, checksum
+/// mismatch (e.g. truncation by a crash mid-write), or malformed columns.
+pub fn read_segment(path: &Path) -> Option<Vec<ColumnBuf>> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < SEGMENT_MAGIC.len() + 8 + 8 || !bytes.starts_with(SEGMENT_MAGIC) {
+        return None;
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 8);
+    let sum = u64::from_le_bytes(footer.try_into().ok()?);
+    if fnv1a64(body) != sum {
+        return None;
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+    let rows = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    pos += 4;
+    let ncols = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    pos += 4;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let c = ColumnBuf::decode(body, &mut pos)?;
+        if c.len() != rows {
+            return None;
+        }
+        cols.push(c);
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some(cols)
+}
+
+// ---------------------------------------------------------------------------
+// SpillStore
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SpillGroup {
+    start: u32,
+    rows: u32,
+    perm: Vec<u32>,
+    /// Decoded copy; `None` once evicted (then `file` must be `Some`).
+    cols: Option<Vec<ColumnBuf>>,
+    /// Decoded heap bytes (for budget accounting while resident).
+    bytes: u64,
+    /// Segment file and its size; `None` if the write failed, in which case
+    /// the group degrades to permanently resident.
+    file: Option<(PathBuf, u64)>,
+}
+
+/// Write-behind spilling engine: sealed groups always hit disk, the memory
+/// budget decides which decoded copies stay resident.
+pub struct SpillStore {
+    types: Vec<ValueType>,
+    name: String,
+    dir: PathBuf,
+    budget: Arc<MemoryBudget>,
+    groups: Vec<SpillGroup>,
+    open: Vec<ColumnBuf>,
+    open_start: u32,
+    appended: u32,
+    /// Bytes currently charged to the shared budget by this store.
+    published: u64,
+    /// Cumulative segment bytes written (never reset by `clear`).
+    spilled_total: u64,
+    /// Segment files written in the store's lifetime (file-name uniquifier).
+    segments_written: u64,
+    /// LRU of decoded spilled groups: front = most recent. Small and not
+    /// budget-counted; sized so a sorted merge over many runs does not
+    /// thrash on every pop.
+    cache: Mutex<Vec<(usize, Arc<Vec<ColumnBuf>>)>>,
+}
+
+impl fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpillStore")
+            .field("name", &self.name)
+            .field("dir", &self.dir)
+            .field("groups", &self.groups.len())
+            .field("appended", &self.appended)
+            .finish()
+    }
+}
+
+impl SpillStore {
+    /// `dir` is the per-run spill directory (see
+    /// [`crate::Database::with_storage`]); `name` must be unique within it.
+    pub fn new(
+        types: Vec<ValueType>,
+        name: String,
+        dir: PathBuf,
+        budget: Arc<MemoryBudget>,
+    ) -> Self {
+        let open = new_bufs(&types);
+        SpillStore {
+            types,
+            name,
+            dir,
+            budget,
+            groups: Vec::new(),
+            open,
+            open_start: 0,
+            appended: 0,
+            published: 0,
+            spilled_total: 0,
+            segments_written: 0,
+            cache: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        bufs_bytes(&self.open)
+            + self
+                .groups
+                .iter()
+                .filter(|g| g.cols.is_some())
+                .map(|g| g.bytes)
+                .sum::<u64>()
+    }
+
+    fn sync_budget(&mut self) {
+        let now = self.resident_bytes();
+        self.budget.publish(self.published, now);
+        self.published = now;
+    }
+
+    /// Shed this store's oldest decoded sealed groups while the *global*
+    /// budget is exceeded. Groups whose segment write failed are pinned.
+    fn evict_over_budget(&mut self) {
+        if !self.budget.over_budget() {
+            return;
+        }
+        for gi in 0..self.groups.len() {
+            let g = &mut self.groups[gi];
+            if g.cols.is_some() && g.file.is_some() {
+                g.cols = None;
+                self.sync_budget();
+                if !self.budget.over_budget() {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn seal_open(&mut self) {
+        let rows = bufs_rows(&self.open);
+        if rows == 0 {
+            return;
+        }
+        let cols = std::mem::replace(&mut self.open, new_bufs(&self.types));
+        let perm = sorted_perm(&cols);
+        let bytes = bufs_bytes(&cols);
+        let path = self
+            .dir
+            .join(format!("{}-{:06}.seg", self.name, self.segments_written));
+        let file = match write_segment(&path, &cols) {
+            Ok(size) => {
+                self.spilled_total += size;
+                self.segments_written += 1;
+                Some((path, size))
+            }
+            // Disk trouble: degrade to resident rather than lose data.
+            Err(_) => None,
+        };
+        self.groups.push(SpillGroup {
+            start: self.open_start,
+            rows: rows as u32,
+            perm,
+            cols: Some(cols),
+            bytes,
+            file,
+        });
+        self.open_start = self.appended;
+        self.sync_budget();
+        self.evict_over_budget();
+    }
+
+    /// Decode an evicted group through the read cache.
+    fn cached_cols(&self, gi: usize) -> Arc<Vec<ColumnBuf>> {
+        let mut cache = self.cache.lock();
+        if let Some(pos) = cache.iter().position(|(g, _)| *g == gi) {
+            let hit = cache.remove(pos);
+            let arc = Arc::clone(&hit.1);
+            cache.insert(0, hit);
+            return arc;
+        }
+        let group = &self.groups[gi];
+        let (path, _) = group
+            .file
+            .as_ref()
+            .expect("evicted row group must have a segment file");
+        let cols = read_segment(path).unwrap_or_else(|| {
+            panic!(
+                "spill segment for {} missing or corrupt: {}",
+                self.name,
+                path.display()
+            )
+        });
+        debug_assert_eq!(bufs_rows(&cols), group.rows as usize);
+        let arc = Arc::new(cols);
+        cache.insert(0, (gi, Arc::clone(&arc)));
+        cache.truncate(READ_CACHE_GROUPS);
+        arc
+    }
+
+    /// Run `f` against the decoded columns of group `gi`.
+    fn with_group<R>(&self, gi: usize, f: impl FnOnce(&[ColumnBuf]) -> R) -> R {
+        if let Some(cols) = &self.groups[gi].cols {
+            f(cols)
+        } else {
+            f(&self.cached_cols(gi))
+        }
+    }
+
+    fn group_of(&self, idx: u32) -> usize {
+        match self.groups.binary_search_by(|g| g.start.cmp(&idx)) {
+            Ok(g) => g,
+            Err(g) => g - 1,
+        }
+    }
+
+    fn remove_files(&mut self) {
+        for g in &mut self.groups {
+            if let Some((path, _)) = g.file.take() {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        self.remove_files();
+        self.budget.publish(self.published, 0);
+        // Best effort: the per-run directory disappears with its last store.
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+impl TableStore for SpillStore {
+    fn push(&mut self, row: &[Value]) -> u32 {
+        if bufs_rows(&self.open) >= GROUP_ROWS {
+            self.seal_open();
+        }
+        push_row(&mut self.open, row);
+        let idx = self.appended;
+        self.appended += 1;
+        self.sync_budget();
+        self.evict_over_budget();
+        idx
+    }
+
+    fn get(&self, idx: u32) -> Row {
+        debug_assert!(idx < self.appended);
+        if idx >= self.open_start {
+            return materialize(&self.open, (idx - self.open_start) as usize);
+        }
+        let gi = self.group_of(idx);
+        let off = (idx - self.groups[gi].start) as usize;
+        self.with_group(gi, |cols| materialize(cols, off))
+    }
+
+    fn appended(&self) -> u32 {
+        self.appended
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u32, Row)) {
+        for gi in 0..self.groups.len() {
+            let start = self.groups[gi].start;
+            self.with_group(gi, |cols| {
+                for off in 0..bufs_rows(cols) {
+                    f(start + off as u32, materialize(cols, off));
+                }
+            });
+        }
+        for off in 0..bufs_rows(&self.open) {
+            f(self.open_start + off as u32, materialize(&self.open, off));
+        }
+    }
+
+    fn sorted_runs(&self) -> Vec<Vec<u32>> {
+        let mut runs: Vec<Vec<u32>> = self
+            .groups
+            .iter()
+            .map(|g| g.perm.iter().map(|&o| g.start + o).collect())
+            .collect();
+        if bufs_rows(&self.open) > 0 {
+            runs.push(
+                sorted_perm(&self.open)
+                    .into_iter()
+                    .map(|o| self.open_start + o)
+                    .collect(),
+            );
+        }
+        runs
+    }
+
+    fn flush(&mut self) {
+        self.seal_open();
+    }
+
+    fn clear(&mut self) {
+        self.remove_files();
+        self.groups.clear();
+        self.cache.lock().clear();
+        self.open = new_bufs(&self.types);
+        self.open_start = 0;
+        self.appended = 0;
+        self.sync_budget();
+    }
+
+    fn stats(&self) -> RelationStorageStats {
+        RelationStorageStats {
+            rows: 0,
+            bytes_resident: self.resident_bytes(),
+            bytes_spilled: self.spilled_total,
+            segments: self.groups.iter().filter(|g| g.file.is_some()).count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn types() -> Vec<ValueType> {
+        vec![ValueType::Int, ValueType::Text]
+    }
+
+    fn rows_of(store: &dyn TableStore) -> Vec<(u32, Row)> {
+        let mut out = Vec::new();
+        store.for_each(&mut |i, r| out.push((i, r)));
+        out
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "deepdive-store-test-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn columnar_push_get_roundtrip_across_groups() {
+        let mut s = ColumnarStore::new(types());
+        let n = GROUP_ROWS + 10;
+        for i in 0..n {
+            let idx = s.push(&row![i as i64, format!("r{i}")]);
+            assert_eq!(idx as usize, i);
+        }
+        assert_eq!(s.appended() as usize, n);
+        assert_eq!(s.get(0), row![0, "r0"]);
+        assert_eq!(
+            s.get(GROUP_ROWS as u32),
+            row![GROUP_ROWS, format!("r{GROUP_ROWS}")]
+        );
+        assert_eq!(rows_of(&s).len(), n);
+    }
+
+    #[test]
+    fn columnar_sorted_runs_are_each_sorted_and_cover_all() {
+        let mut s = ColumnarStore::new(types());
+        for i in (0..100i64).rev() {
+            s.push(&row![i, "x"]);
+        }
+        s.flush();
+        for i in (100..150i64).rev() {
+            s.push(&row![i, "x"]);
+        }
+        let runs = s.sorted_runs();
+        assert_eq!(runs.iter().map(Vec::len).sum::<usize>(), 150);
+        for run in &runs {
+            let vals: Vec<Row> = run.iter().map(|&i| s.get(i)).collect();
+            assert!(vals.windows(2).all(|w| w[0] < w[1]), "run is sorted");
+        }
+    }
+
+    #[test]
+    fn segment_files_round_trip_and_reject_corruption() {
+        let dir = tmpdir("segrt");
+        let mut cols = new_bufs(&types());
+        push_row(&mut cols, &row![7, "héllo"]);
+        push_row(&mut cols, &row![-1, "日本語"]);
+        let path = dir.join("t.seg");
+        let size = write_segment(&path, &cols).unwrap();
+        assert_eq!(size, std::fs::metadata(&path).unwrap().len());
+        let back = read_segment(&path).unwrap();
+        assert_eq!(materialize(&back, 0), row![7, "héllo"]);
+        assert_eq!(materialize(&back, 1), row![-1, "日本語"]);
+
+        // Any truncation (crash mid-write) must be detected, not misread.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(read_segment(&path).is_none(), "truncated at {cut}");
+        }
+        // A flipped payload byte fails the checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read_segment(&path).is_none(), "bit flip detected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_store_writes_behind_and_reads_evicted_groups() {
+        let dir = tmpdir("spill");
+        // A budget of 1 byte forces eviction of every sealed group.
+        let budget = MemoryBudget::new(Some(1));
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), Arc::clone(&budget));
+        for i in 0..50i64 {
+            s.push(&row![i, format!("v{i}")]);
+        }
+        s.flush();
+        let stats = s.stats();
+        assert_eq!(stats.segments, 1);
+        assert!(stats.bytes_spilled > 0);
+        // The sealed group was evicted; reads go through the segment file.
+        assert!(s.groups[0].cols.is_none(), "group evicted under budget");
+        assert_eq!(s.get(7), row![7, "v7"]);
+        assert_eq!(rows_of(&s).len(), 50);
+        // More pushes + flush produce a second, independently evicted group.
+        for i in 50..80i64 {
+            s.push(&row![i, format!("v{i}")]);
+        }
+        s.flush();
+        assert_eq!(s.stats().segments, 2);
+        assert_eq!(s.get(75), row![75, "v75"]);
+        let runs = s.sorted_runs();
+        assert_eq!(runs.iter().map(Vec::len).sum::<usize>(), 80);
+        drop(s);
+        assert_eq!(budget.resident(), 0, "drop releases the budget");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_store_without_pressure_stays_resident_but_still_writes() {
+        let dir = tmpdir("nopress");
+        let budget = MemoryBudget::new(Some(64 * 1024 * 1024));
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), Arc::clone(&budget));
+        for i in 0..10i64 {
+            s.push(&row![i, "x"]);
+        }
+        s.flush();
+        let stats = s.stats();
+        assert!(stats.bytes_spilled > 0, "write-behind always writes");
+        assert!(s.groups[0].cols.is_some(), "no eviction under budget");
+        assert!(budget.resident() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_store_clear_removes_files_but_keeps_cumulative_spilled() {
+        let dir = tmpdir("clear");
+        let budget = MemoryBudget::new(Some(1));
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), budget);
+        for i in 0..5i64 {
+            s.push(&row![i, "x"]);
+        }
+        s.flush();
+        let spilled = s.stats().bytes_spilled;
+        assert!(spilled > 0);
+        let seg: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(seg.len(), 1);
+        s.clear();
+        assert_eq!(s.appended(), 0);
+        assert_eq!(s.stats().segments, 0);
+        assert_eq!(s.stats().bytes_spilled, spilled, "cumulative counter");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

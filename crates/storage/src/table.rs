@@ -1,14 +1,24 @@
-//! Counted tables with lazy hash indexes.
+//! Counted tables with lazy hash indexes, backed by a columnar store.
 //!
 //! Tables keep a *derivation count* per tuple — the `count` column of §4.1 of
 //! the paper ("for each tuple t, t.count represents the number of derivations
 //! of t in Ri"). A tuple is visible iff its count is positive; counting
 //! maintenance and DRed manipulate counts directly.
+//!
+//! Since PR 3 the row payloads live in a [`TableStore`] (columnar row
+//! groups, optionally spilled to disk — see [`crate::store`]): the table
+//! itself holds only the per-row counts, a row-hash → slot map for count
+//! adjustment, and the lazily-built key indexes. Rows are appended to the
+//! store once and never moved; a count dropping to zero makes the slot
+//! invisible (≡ absent), and re-deriving the same tuple revives the slot
+//! rather than appending a duplicate payload.
 
 use crate::schema::Schema;
-use crate::value::{Row, Value};
+use crate::store::{ColumnarStore, RelationStorageStats, TableStore};
+use crate::value::{hash_values, Row, Value, ValueType};
 use crate::StorageError;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// How a mutation changed tuple visibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,19 +37,34 @@ pub enum Membership {
 #[derive(Debug)]
 pub struct Table {
     schema: Schema,
-    rows: HashMap<Row, i64>,
-    /// Lazily materialized hash indexes: key columns → (key values → rows).
+    store: Box<dyn TableStore>,
+    /// Derivation count per appended row; 0 = invisible (≡ absent).
+    counts: Vec<i64>,
+    /// Row hash ([`hash_values`]) → slots, for count adjustment and dedup.
+    slots: HashMap<u64, Vec<u32>>,
+    visible: usize,
+    /// Lazily materialized hash indexes: key columns → (key values → slots).
     /// Invalidated wholesale on mutation; grounding and IVM workloads are
     /// read-heavy bursts between batched mutations, so this is cheap.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Row>>>,
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<u32>>>,
     generation: u64,
 }
 
 impl Table {
+    /// A table over the default in-memory columnar engine.
     pub fn new(schema: Schema) -> Self {
+        let types: Vec<ValueType> = schema.columns.iter().map(|c| c.ty).collect();
+        Table::with_store(schema, Box::new(ColumnarStore::new(types)))
+    }
+
+    /// A table over an explicit storage engine (e.g. a spilling store).
+    pub fn with_store(schema: Schema, store: Box<dyn TableStore>) -> Self {
         Table {
             schema,
-            rows: HashMap::new(),
+            store,
+            counts: Vec::new(),
+            slots: HashMap::new(),
+            visible: 0,
             indexes: HashMap::new(),
             generation: 0,
         }
@@ -55,11 +80,11 @@ impl Table {
 
     /// Number of visible tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.visible
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.visible == 0
     }
 
     /// Monotonically increasing mutation counter; used by readers to detect
@@ -68,45 +93,92 @@ impl Table {
         self.generation
     }
 
+    /// Find the slot holding a row equal to `r`, visible or not.
+    fn find_slot(&self, r: &[Value]) -> Option<u32> {
+        let h = hash_values(r);
+        self.slots
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&i| *self.store.get(i) == *r)
+    }
+
     pub fn contains(&self, r: &Row) -> bool {
-        self.rows.contains_key(r)
+        matches!(self.find_slot(r), Some(i) if self.counts[i as usize] > 0)
     }
 
     pub fn count(&self, r: &Row) -> i64 {
-        self.rows.get(r).copied().unwrap_or(0)
+        self.find_slot(r)
+            .map(|i| self.counts[i as usize])
+            .unwrap_or(0)
     }
 
-    /// Iterate visible rows.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
-        self.rows.keys()
+    /// Iterate visible rows (materialized from the store).
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.iter_counted().map(|(r, _)| r)
     }
 
     /// Iterate `(row, count)` pairs.
-    pub fn iter_counted(&self) -> impl Iterator<Item = (&Row, i64)> + '_ {
-        self.rows.iter().map(|(r, c)| (r, *c))
+    pub fn iter_counted(&self) -> impl Iterator<Item = (Row, i64)> + '_ {
+        (0..self.store.appended()).filter_map(move |i| {
+            let c = self.counts[i as usize];
+            (c > 0).then(|| (self.store.get(i), c))
+        })
+    }
+
+    /// Visit visible rows in ascending [`Row`] order without materializing
+    /// the whole relation: a k-way merge over the store's sorted runs,
+    /// holding one row per run. Appended rows are pairwise distinct, so the
+    /// merge has no ties and the order equals sorting a full snapshot.
+    pub fn for_each_sorted(&self, f: &mut dyn FnMut(&Row, i64)) {
+        let runs = self.store.sorted_runs();
+        let mut heap: BinaryHeap<Reverse<(Row, usize, usize)>> = BinaryHeap::new();
+        for (ri, run) in runs.iter().enumerate() {
+            if let Some((pos, row)) = self.next_visible(run, 0) {
+                heap.push(Reverse((row, ri, pos)));
+            }
+        }
+        while let Some(Reverse((row, ri, pos))) = heap.pop() {
+            f(&row, self.counts[runs[ri][pos] as usize]);
+            if let Some((next, row)) = self.next_visible(&runs[ri], pos + 1) {
+                heap.push(Reverse((row, ri, next)));
+            }
+        }
+    }
+
+    /// First visible slot in `run` at or after `pos`, with its row.
+    fn next_visible(&self, run: &[u32], mut pos: usize) -> Option<(usize, Row)> {
+        while pos < run.len() {
+            if self.counts[run[pos] as usize] > 0 {
+                return Some((pos, self.store.get(run[pos])));
+            }
+            pos += 1;
+        }
+        None
     }
 
     /// Snapshot of all visible rows (sorted for deterministic output).
     pub fn rows_sorted(&self) -> Vec<Row> {
-        let mut v: Vec<Row> = self.rows.keys().cloned().collect();
-        v.sort();
+        let mut v = Vec::with_capacity(self.visible);
+        self.for_each_sorted(&mut |r, _| v.push(r.clone()));
         v
     }
 
     /// Hash-partition the counted rows into `shards` buckets — by the value
     /// in `key_col`, or by the whole row when `None`. Partitioning uses the
-    /// stable shard hash ([`crate::exec::shard_of`]), so the same row lands
-    /// in the same bucket on every run, and keying by a join column
-    /// co-locates matching tuples across relations. Buckets within each
-    /// shard are sorted, so the partitioning is fully deterministic.
+    /// stable shard hash ([`crate::exec::shard_of`] /
+    /// [`crate::exec::shard_of_values`]), so the same row lands in the same
+    /// bucket on every run, and keying by a join column co-locates matching
+    /// tuples across relations. Buckets within each shard are sorted, so the
+    /// partitioning is fully deterministic.
     pub fn shard_counted(&self, key_col: Option<usize>, shards: usize) -> Vec<Vec<(Row, i64)>> {
         let mut buckets: Vec<Vec<(Row, i64)>> = (0..shards.max(1)).map(|_| Vec::new()).collect();
-        for (r, c) in &self.rows {
+        for (r, c) in self.iter_counted() {
             let s = match key_col {
                 Some(k) => crate::exec::shard_of(&r[k], shards),
-                None => crate::exec::shard_of(r, shards),
+                None => crate::exec::shard_of_values(&r, shards),
             };
-            buckets[s].push((r.clone(), *c));
+            buckets[s].push((r, c));
         }
         for b in &mut buckets {
             b.sort();
@@ -130,11 +202,23 @@ impl Table {
     /// Remove a tuple entirely, regardless of count.
     pub fn purge(&mut self, r: &Row) -> Membership {
         self.touch();
-        if self.rows.remove(r).is_some() {
-            Membership::Disappeared
-        } else {
-            Membership::Unchanged
+        match self.find_slot(r) {
+            Some(i) if self.counts[i as usize] > 0 => {
+                self.counts[i as usize] = 0;
+                self.visible -= 1;
+                Membership::Disappeared
+            }
+            _ => Membership::Unchanged,
         }
+    }
+
+    /// Append a brand-new row to the store and register its slot.
+    fn append(&mut self, r: &Row, count: i64) {
+        let idx = self.store.push(r);
+        debug_assert_eq!(idx as usize, self.counts.len());
+        self.counts.push(count);
+        self.slots.entry(hash_values(r)).or_default().push(idx);
+        self.visible += 1;
     }
 
     /// Adjust the derivation count of `r` by `delta` (may be negative).
@@ -147,21 +231,34 @@ impl Table {
         }
         self.schema.check_row(&r)?;
         self.touch();
-        use std::collections::hash_map::Entry;
-        match self.rows.entry(r) {
-            Entry::Occupied(mut e) => {
-                let c = *e.get() + delta;
-                if c <= 0 {
-                    e.remove();
-                    Ok(Membership::Disappeared)
+        match self.find_slot(&r) {
+            Some(i) => {
+                let i = i as usize;
+                let old = self.counts[i];
+                if old <= 0 {
+                    // Invisible slot ≡ absent tuple.
+                    if delta > 0 {
+                        self.counts[i] = delta;
+                        self.visible += 1;
+                        Ok(Membership::Appeared)
+                    } else {
+                        Ok(Membership::Unchanged)
+                    }
                 } else {
-                    *e.get_mut() = c;
-                    Ok(Membership::CountChanged)
+                    let c = old + delta;
+                    if c <= 0 {
+                        self.counts[i] = 0;
+                        self.visible -= 1;
+                        Ok(Membership::Disappeared)
+                    } else {
+                        self.counts[i] = c;
+                        Ok(Membership::CountChanged)
+                    }
                 }
             }
-            Entry::Vacant(e) => {
+            None => {
                 if delta > 0 {
-                    e.insert(delta);
+                    self.append(&r, delta);
                     Ok(Membership::Appeared)
                 } else {
                     Ok(Membership::Unchanged)
@@ -174,35 +271,54 @@ impl Table {
     pub fn set_count(&mut self, r: Row, count: i64) -> Result<Membership, StorageError> {
         self.schema.check_row(&r)?;
         self.touch();
+        let slot = self.find_slot(&r);
         if count <= 0 {
-            return Ok(if self.rows.remove(&r).is_some() {
-                Membership::Disappeared
-            } else {
-                Membership::Unchanged
+            return Ok(match slot {
+                Some(i) if self.counts[i as usize] > 0 => {
+                    self.counts[i as usize] = 0;
+                    self.visible -= 1;
+                    Membership::Disappeared
+                }
+                _ => Membership::Unchanged,
             });
         }
-        Ok(match self.rows.insert(r, count) {
-            None => Membership::Appeared,
-            Some(_) => Membership::CountChanged,
+        Ok(match slot {
+            Some(i) => {
+                let was_visible = self.counts[i as usize] > 0;
+                self.counts[i as usize] = count;
+                if was_visible {
+                    Membership::CountChanged
+                } else {
+                    self.visible += 1;
+                    Membership::Appeared
+                }
+            }
+            None => {
+                self.append(&r, count);
+                Membership::Appeared
+            }
         })
     }
 
     /// Remove all tuples.
     pub fn clear(&mut self) {
         self.touch();
-        self.rows.clear();
+        self.store.clear();
+        self.counts.clear();
+        self.slots.clear();
+        self.visible = 0;
     }
 
     /// Look up rows whose values at `key_cols` equal `key_vals`, using (and
     /// building if needed) a hash index.
-    pub fn lookup(&mut self, key_cols: &[usize], key_vals: &[Value]) -> &[Row] {
+    pub fn lookup(&mut self, key_cols: &[usize], key_vals: &[Value]) -> Vec<Row> {
         debug_assert_eq!(key_cols.len(), key_vals.len());
         self.ensure_index(key_cols);
         self.indexes
             .get(key_cols)
             .and_then(|idx| idx.get(key_vals))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map(|hits| hits.iter().map(|&i| self.store.get(i)).collect())
+            .unwrap_or_default()
     }
 
     /// Like [`Table::lookup`], but appends `(row, count)` pairs to `out`.
@@ -216,20 +332,39 @@ impl Table {
         let Some(idx) = self.indexes.get(key_cols) else {
             return;
         };
-        if let Some(rows) = idx.get(key_vals) {
-            for r in rows {
-                out.push((r.clone(), self.rows.get(r).copied().unwrap_or(0)));
+        if let Some(hits) = idx.get(key_vals) {
+            for &i in hits {
+                out.push((self.store.get(i), self.counts[i as usize]));
             }
         }
     }
 
+    /// Seal the open row group (and write its segment, for spilling
+    /// engines). A phase-boundary hook: no logical mutation, so indexes and
+    /// the generation counter are untouched.
+    pub fn flush_storage(&mut self) {
+        self.store.flush();
+    }
+
+    /// Storage footprint of this relation's payload store. `rows` reports
+    /// visible tuples; the per-row count/slot bookkeeping kept by the table
+    /// itself (~16 bytes/row) is not included.
+    pub fn storage_stats(&self) -> RelationStorageStats {
+        let mut s = self.store.stats();
+        s.rows = self.visible as u64;
+        s
+    }
+
     fn ensure_index(&mut self, key_cols: &[usize]) {
         if !self.indexes.contains_key(key_cols) {
-            let mut idx: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-            for r in self.rows.keys() {
-                let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
-                idx.entry(key).or_default().push(r.clone());
-            }
+            let mut idx: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            let counts = &self.counts;
+            self.store.for_each(&mut |i, r| {
+                if counts[i as usize] > 0 {
+                    let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
+                    idx.entry(key).or_default().push(i);
+                }
+            });
             self.indexes.insert(key_cols.to_vec(), idx);
         }
     }
@@ -378,5 +513,46 @@ mod tests {
         let rows = t.rows_sorted();
         assert_eq!(rows[0], row![1, "a"]);
         assert_eq!(rows[1], row![2, "b"]);
+    }
+
+    #[test]
+    fn disappeared_tuple_can_reappear() {
+        let mut t = table();
+        t.insert(row![1, "a"]).unwrap();
+        assert_eq!(t.delete(&row![1, "a"]), Membership::Disappeared);
+        assert_eq!(t.len(), 0);
+        assert!(t.rows_sorted().is_empty(), "invisible rows stay hidden");
+        assert_eq!(t.insert(row![1, "a"]).unwrap(), Membership::Appeared);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(&row![1, "a"]), 1);
+    }
+
+    #[test]
+    fn sorted_scan_merges_across_sealed_groups() {
+        let mut t = table();
+        for i in (0..20).rev() {
+            t.insert(row![i, "x"]).unwrap();
+        }
+        t.flush_storage();
+        for i in (20..40).rev() {
+            t.insert(row![i, "y"]).unwrap();
+        }
+        let rows = t.rows_sorted();
+        assert_eq!(rows.len(), 40);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "globally sorted");
+        let stats = t.storage_stats();
+        assert_eq!(stats.rows, 40);
+        assert!(stats.bytes_resident > 0);
+    }
+
+    #[test]
+    fn numeric_equality_dedups_across_int_and_float() {
+        // Int(3) == Float(3.0) by Value semantics; an Any-typed column must
+        // treat them as the same tuple (one slot, count 2).
+        let mut t = Table::new(Schema::build("A").col("x", ValueType::Any).finish());
+        t.insert(row![3i64]).unwrap();
+        assert_eq!(t.insert(row![3.0f64]).unwrap(), Membership::CountChanged);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(&row![3i64]), 2);
     }
 }

@@ -271,6 +271,19 @@ impl From<Arc<str>> for Value {
 /// A row: fixed-width sequence of values matching some [`crate::Schema`].
 pub type Row = Box<[Value]>;
 
+/// The one row-hash used everywhere: hash a sequence of values exactly as a
+/// [`Row`] hashes (slice semantics — length prefix, then each element).
+///
+/// Shard assignment, table slot maps and anything else keyed on row content
+/// must call this helper so partitioning can never diverge between phases.
+/// Uses `DefaultHasher::new()` (fixed-key SipHash), so the hash is stable
+/// across runs and processes.
+pub fn hash_values(vals: &[Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    vals.hash(&mut h);
+    h.finish()
+}
+
 /// Build a row from an iterator of values.
 pub fn row<I, V>(values: I) -> Row
 where
