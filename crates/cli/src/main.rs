@@ -45,6 +45,21 @@
 //!                            whose artifacts are present (implies
 //!                            --checkpoint <dir>)
 //!
+//! deepdive serve <program.ddl> --resume <dir> [options]
+//!     Load a completed run's checkpoint into resident storage and serve it
+//!     as a long-lived HTTP daemon. Queries (`GET /relations/{name}`,
+//!     `GET /marginals/{relation}`, `GET /healthz`, `GET /metrics`) are
+//!     answered from an immutable snapshot; `POST /documents` ingests new
+//!     rows through the incremental (DRed) grounding path, refreshes
+//!     marginals with a bounded Gibbs pass, and atomically publishes the
+//!     next snapshot epoch. Readers never see a half-applied update.
+//!
+//!     --addr <host:port>     bind address (default 127.0.0.1:8090)
+//!     --workers <n>          request worker threads (default 4)
+//!     --page-limit <n>       max rows per response page (default 100)
+//!     plus `run`'s inference options (`--samples`, `--seed`, `--threads`,
+//!     ...), which size the marginal refresh after each ingest.
+//!
 //! deepdive requeue <program.ddl> --resume <dir> [options]
 //!     Restore the database and grounding state from a run directory's
 //!     checkpoint, drain every `<Relation>__errors` quarantine table
@@ -57,15 +72,21 @@
 //!
 //! Exit codes: 0 success; 1 runtime error; 2 usage error; 3 program compile
 //! error; 4 ingest failure (malformed data, or over the error budget);
-//! 5 completed with degraded (deadline-truncated) results.
+//! 5 completed with degraded (deadline-truncated) results; 6 checkpoint
+//! corrupt (an artifact is missing or its content hash disagrees with the
+//! manifest — `requeue` and `serve` refuse rather than restore bad state).
 //!
 //! The standard feature library (`f_phrase`, `f_words_between`, `f_dist`,
 //! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
 //! needing custom UDFs should use the `deepdive-core` library API instead.
 
-use deepdive_core::{render_calibration, Checkpoint, DeepDive, RunConfig, RunReport};
+use deepdive_core::{
+    render_calibration, Checkpoint, CheckpointError, DeepDive, DeepDiveError, RunConfig, RunReport,
+};
 use deepdive_ddlog::compile;
+use deepdive_inference::RefreshBudget;
 use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_serve::{ServeConfig, Server};
 use deepdive_storage::{row_to_tsv, FailurePolicy, IngestPolicy, StorageError};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -76,6 +97,7 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_COMPILE: u8 = 3;
 const EXIT_INGEST: u8 = 4;
 const EXIT_DEGRADED: u8 = 5;
+const EXIT_CHECKPOINT: u8 = 6;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +105,7 @@ fn main() -> ExitCode {
         Some("check") => check(args.get(1)),
         Some("run") => run(&args[1..], Mode::Run),
         Some("requeue") => run(&args[1..], Mode::Requeue),
+        Some("serve") => serve(&args[1..]),
         _ => {
             usage();
             ExitCode::from(EXIT_USAGE)
@@ -101,6 +124,8 @@ fn usage() {
     eprintln!("                    [--deadline-secs n] [--checkpoint <dir> | --resume <dir>]");
     eprintln!("                    [--memory-budget-mb n] [--spill-dir <dir>]");
     eprintln!("       deepdive requeue <program.ddl> --resume <dir> [run options]");
+    eprintln!("       deepdive serve <program.ddl> --resume <dir> [--addr host:port]");
+    eprintln!("                    [--workers n] [--page-limit n] [run options]");
 }
 
 fn check(path: Option<&String>) -> ExitCode {
@@ -146,6 +171,8 @@ enum Mode {
     Run,
     /// Restore the checkpointed database, drain quarantine tables, re-run.
     Requeue,
+    /// Restore the checkpointed state and serve it as a long-lived daemon.
+    Serve,
 }
 
 struct RunArgs {
@@ -165,6 +192,9 @@ struct RunArgs {
     resume: bool,
     memory_budget_mb: Option<u64>,
     spill_dir: Option<PathBuf>,
+    addr: String,
+    workers: usize,
+    page_limit: usize,
 }
 
 fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
@@ -185,6 +215,9 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut resume = false;
     let mut memory_budget_mb = None;
     let mut spill_dir = None;
+    let mut addr = String::from("127.0.0.1:8090");
+    let mut workers = 4usize;
+    let mut page_limit = 100usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -268,6 +301,23 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                 memory_budget_mb = Some(mb);
             }
             "--spill-dir" => spill_dir = Some(PathBuf::from(take("--spill-dir")?)),
+            "--addr" => addr = take("--addr")?,
+            "--workers" => {
+                workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers: must be at least 1".into());
+                }
+            }
+            "--page-limit" => {
+                page_limit = take("--page-limit")?
+                    .parse()
+                    .map_err(|e| format!("--page-limit: {e}"))?;
+                if page_limit == 0 {
+                    return Err("--page-limit: must be at least 1".into());
+                }
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
             "--resume" => {
                 checkpoint = Some(PathBuf::from(take("--resume")?));
@@ -280,8 +330,15 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         }
         i += 1;
     }
-    if mode == Mode::Requeue && checkpoint.is_none() {
-        return Err("requeue needs --resume <dir> (or --checkpoint <dir>)".into());
+    if matches!(mode, Mode::Requeue | Mode::Serve) && checkpoint.is_none() {
+        return Err(format!(
+            "{} needs --resume <dir> (or --checkpoint <dir>)",
+            if mode == Mode::Requeue {
+                "requeue"
+            } else {
+                "serve"
+            }
+        ));
     }
     if mode == Mode::Run && data.is_none() {
         return Err("missing --data <dir>".into());
@@ -303,6 +360,9 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         resume,
         memory_budget_mb,
         spill_dir,
+        addr,
+        workers,
+        page_limit,
     })
 }
 
@@ -310,6 +370,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
 enum RunFailure {
     Compile(String),
     Ingest(String),
+    /// A checkpoint artifact is missing or fails its manifest hash.
+    Checkpoint(String),
     Other(String),
 }
 
@@ -318,14 +380,29 @@ impl RunFailure {
         match self {
             RunFailure::Compile(_) => EXIT_COMPILE,
             RunFailure::Ingest(_) => EXIT_INGEST,
+            RunFailure::Checkpoint(_) => EXIT_CHECKPOINT,
             RunFailure::Other(_) => EXIT_OTHER,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            RunFailure::Compile(m) | RunFailure::Ingest(m) | RunFailure::Other(m) => m,
+            RunFailure::Compile(m)
+            | RunFailure::Ingest(m)
+            | RunFailure::Checkpoint(m)
+            | RunFailure::Other(m) => m,
         }
+    }
+}
+
+/// Checkpoint corruption gets its own exit code: restoring from a tampered
+/// or half-written run directory is refused, not papered over.
+fn classify_checkpoint(e: &DeepDiveError) -> Option<RunFailure> {
+    match e {
+        DeepDiveError::Checkpoint(c @ CheckpointError::Corrupt { .. }) => {
+            Some(RunFailure::Checkpoint(c.to_string()))
+        }
+        _ => None,
     }
 }
 
@@ -339,10 +416,15 @@ fn classify_storage(e: &StorageError) -> Option<RunFailure> {
 }
 
 fn run(args: &[String], mode: Mode) -> ExitCode {
+    let name = if mode == Mode::Requeue {
+        "requeue"
+    } else {
+        "run"
+    };
     let args = match parse_run_args(args, mode) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("deepdive run: {e}");
+            eprintln!("deepdive {name}: {e}");
             usage();
             return ExitCode::from(EXIT_USAGE);
         }
@@ -351,7 +433,7 @@ fn run(args: &[String], mode: Mode) -> ExitCode {
         Ok(degraded) => {
             if degraded {
                 eprintln!(
-                    "deepdive run: completed with DEGRADED results (deadline hit); exit {EXIT_DEGRADED}"
+                    "deepdive {name}: completed with DEGRADED results (deadline hit); exit {EXIT_DEGRADED}"
                 );
                 ExitCode::from(EXIT_DEGRADED)
             } else {
@@ -359,10 +441,88 @@ fn run(args: &[String], mode: Mode) -> ExitCode {
             }
         }
         Err(f) => {
-            eprintln!("deepdive run: {}", f.message());
+            eprintln!("deepdive {name}: {}", f.message());
             ExitCode::from(f.code())
         }
     }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let args = match parse_run_args(args, Mode::Serve) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("deepdive serve: {e}");
+            usage();
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    match serve_inner(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("deepdive serve: {}", f.message());
+            ExitCode::from(f.code())
+        }
+    }
+}
+
+/// Build the program, restore (and verify) the checkpoint, serve forever.
+fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
+    let src = std::fs::read_to_string(&args.program)
+        .map_err(|e| RunFailure::Other(format!("cannot read {}: {e}", args.program.display())))?;
+    compile(&src).map_err(|e| RunFailure::Compile(e.to_string()))?;
+    let config = RunConfig {
+        threshold: args.threshold,
+        inference: GibbsOptions {
+            burn_in: (args.samples / 10).max(10),
+            samples: args.samples,
+            seed: args.seed,
+            clamp_evidence: true,
+            deadline: args.deadline,
+        },
+        seed: args.seed,
+        threads: args.threads,
+        memory_budget_mb: args.memory_budget_mb,
+        spill_dir: args.spill_dir.clone(),
+        ..Default::default()
+    };
+    let mut dd = DeepDive::builder(&src)
+        .standard_features()
+        .default_udf_policy(args.udf_policy)
+        .config(config)
+        .build()
+        .map_err(|e| RunFailure::Other(e.to_string()))?;
+
+    let dir = args.checkpoint.clone().expect("serve requires --resume");
+    let ckpt = Checkpoint::new(dir).map_err(|e| RunFailure::Other(e.to_string()))?;
+    let phases = dd
+        .load_checkpoint(&ckpt)
+        .map_err(|e| classify_checkpoint(&e).unwrap_or_else(|| RunFailure::Other(e.to_string())))?;
+    let restored: Vec<&str> = phases.iter().map(|p| p.as_str()).collect();
+    println!("restored checkpoint phases: {}", restored.join(", "));
+
+    let serve_config = ServeConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        page_limit: args.page_limit,
+        refresh: RefreshBudget::default(),
+    };
+    let server = Server::new(dd, &serve_config).map_err(|e| RunFailure::Other(e.to_string()))?;
+    let addr = server
+        .addr()
+        .map_err(|e| RunFailure::Other(e.to_string()))?;
+    let snapshot = server.state().current();
+    println!(
+        "deepdive serve: http://{addr} (epoch {}, {} relations / {} rows, {} marginal rows)",
+        snapshot.epoch,
+        snapshot.db.len(),
+        snapshot.db.total_rows(),
+        snapshot.total_marginals()
+    );
+    let handle = server
+        .start()
+        .map_err(|e| RunFailure::Other(e.to_string()))?;
+    handle.join();
+    Ok(())
 }
 
 /// Returns whether the run completed degraded.
@@ -414,6 +574,7 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
 
     let mut quarantined_rows = 0usize;
     let result = match mode {
+        Mode::Serve => unreachable!("serve has its own entry point"),
         Mode::Run => {
             // Load <Relation>.tsv for every relation (query relations usually
             // have no file — they are populated by rules).
@@ -460,12 +621,12 @@ fn run_inner(args: &RunArgs, mode: Mode) -> Result<bool, RunFailure> {
             // for the re-run's (presumably fixed) extractors to reprocess.
             let dir = args.checkpoint.clone().expect("requeue requires --resume");
             let ckpt = Checkpoint::new(dir).map_err(|e| RunFailure::Other(e.to_string()))?;
-            ckpt.restore_db(&dd.db)
-                .map_err(|e| RunFailure::Other(e.to_string()))?;
-            let (state, _) = ckpt
-                .restore_state()
-                .map_err(|e| RunFailure::Other(e.to_string()))?;
-            dd.grounder.state = state;
+            // Every artifact is re-hashed against the manifest before any
+            // state is restored; a mismatch refuses the requeue (exit 6)
+            // instead of silently re-running over corrupt state.
+            dd.load_checkpoint(&ckpt).map_err(|e| {
+                classify_checkpoint(&e).unwrap_or_else(|| RunFailure::Other(e.to_string()))
+            })?;
             let (reports, result) = dd.requeue().map_err(map_run_err)?;
             if reports.is_empty() {
                 println!("requeue: no quarantined rows found; re-running inference as-is");

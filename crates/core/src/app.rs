@@ -477,6 +477,67 @@ impl DeepDive {
         Ok((reports, result))
     }
 
+    /// Restore a completed run from `ckpt` into this (freshly built) app:
+    /// verify every manifest entry against its artifact, then restore the
+    /// database, grounding state, and — when present and shape-compatible —
+    /// the learned weights. Returns the verified phases.
+    ///
+    /// This is the load path of `deepdive serve`: a daemon must refuse to
+    /// build long-lived state on a tampered or torn checkpoint, so
+    /// verification is not optional here.
+    pub fn load_checkpoint(&mut self, ckpt: &Checkpoint) -> Result<Vec<Phase>, DeepDiveError> {
+        let verified = ckpt.verify()?;
+        ckpt.restore_db(&self.db)?;
+        let (state, _delta) = ckpt.restore_state()?;
+        self.grounder.state = state;
+        if verified.contains(&Phase::Learn) {
+            let values = ckpt.restore_weights()?;
+            if values.len() == self.grounder.state.graph.weights.len() {
+                self.grounder.state.graph.weights.load_values(&values);
+            }
+        }
+        self.db.flush_storage();
+        Ok(verified)
+    }
+
+    /// Apply base-tuple changes through the incremental DRed/IVM path
+    /// (§4.1) and flush storage. Grounding only — no learning or inference;
+    /// the serving daemon refreshes marginals separately with a bounded
+    /// Gibbs pass over the re-grounded graph.
+    pub fn apply_base_changes(
+        &mut self,
+        changes: Vec<BaseChange>,
+    ) -> Result<GroundingDelta, DeepDiveError> {
+        let delta = self.grounder.apply_update(&self.db, changes)?;
+        self.db.flush_storage();
+        Ok(delta)
+    }
+
+    /// Marginals for the current grounding state under the current weights:
+    /// no learning, no holdout split. Evidence variables report their
+    /// clamped labels (1.0 / 0.0), query variables their inferred
+    /// probabilities — the map a serving snapshot exposes.
+    pub fn snapshot_marginals(&self, opts: &GibbsOptions) -> HashMap<VarKey, f64> {
+        let (graph, tuple_to_var) = self.grounder.state.compile();
+        let weights = self.grounder.state.graph.weights.values();
+        let marginals = parallel_marginals(&graph, &weights, opts, self.config.threads);
+        let mut out = HashMap::with_capacity(tuple_to_var.len());
+        for (key, vid) in &tuple_to_var {
+            let v = vid.index();
+            let p = if graph.is_evidence[v] {
+                if graph.evidence_value[v] {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                marginals.probability(v)
+            };
+            out.insert(key.clone(), p);
+        }
+        out
+    }
+
     fn infer_phase(
         &mut self,
         delta: GroundingDelta,

@@ -246,6 +246,32 @@ impl Checkpoint {
         fnv1a64(&bytes) == entry.hash
     }
 
+    /// Verify every phase the manifest records as done against its on-disk
+    /// artifact. Returns the verified phases, or `Corrupt` naming the first
+    /// artifact that is missing or whose bytes no longer hash to the
+    /// manifest's value — the refusal gate for `deepdive requeue` and
+    /// `deepdive serve`, which must not build on tampered or torn state.
+    pub fn verify(&self) -> Result<Vec<Phase>, CheckpointError> {
+        let manifest = self.manifest()?;
+        let mut verified = Vec::with_capacity(manifest.entries.len());
+        for entry in &manifest.entries {
+            let artifact = entry.phase.artifact();
+            let bytes =
+                std::fs::read(self.dir.join(artifact)).map_err(|e| CheckpointError::Corrupt {
+                    file: artifact.to_string(),
+                    reason: format!("recorded in manifest but unreadable: {e}"),
+                })?;
+            if fnv1a64(&bytes) != entry.hash {
+                return Err(CheckpointError::Corrupt {
+                    file: artifact.to_string(),
+                    reason: "content hash disagrees with manifest".to_string(),
+                });
+            }
+            verified.push(entry.phase);
+        }
+        Ok(verified)
+    }
+
     fn commit(
         &self,
         phase: Phase,

@@ -40,6 +40,9 @@ pub struct RunReport {
     pub threads: usize,
     /// Data partitions rule evaluation sharded over.
     pub partitions: usize,
+    /// Raw `DEEPDIVE_THREADS` value that failed to parse, when the run fell
+    /// back to available parallelism because of it.
+    pub threads_env_fallback: Option<String>,
     /// Per-phase `(wall seconds, items, items/sec)` from the execution
     /// context's metrics sink.
     pub execution_phases: BTreeMap<String, (f64, u64, f64)>,
@@ -48,6 +51,9 @@ pub struct RunReport {
     pub storage: BTreeMap<String, RelationStorageStats>,
     /// Resident-bytes budget the run executed under (absent = unbounded).
     pub memory_budget_bytes: Option<u64>,
+    /// High-water mark of budget-charged resident bytes (sealed groups,
+    /// open buffers, and the spilled-group read cache) over the run.
+    pub peak_resident_bytes: u64,
     /// Distinct strings in the global dictionary (text columns intern into
     /// it) and their total heap bytes.
     pub dictionary_symbols: usize,
@@ -86,6 +92,9 @@ impl RunReport {
             quarantine: dd.db.quarantine_counts(),
             threads: dd.execution_context().threads(),
             partitions: dd.execution_context().partitions(),
+            threads_env_fallback: deepdive_storage::env_threads()
+                .invalid_value()
+                .map(str::to_string),
             execution_phases: dd
                 .execution_context()
                 .metrics
@@ -95,6 +104,7 @@ impl RunReport {
                 .collect(),
             storage: dd.db.storage_stats(),
             memory_budget_bytes: dd.db.memory_budget().limit(),
+            peak_resident_bytes: dd.db.memory_budget().peak_resident(),
             dictionary_symbols: deepdive_storage::dictionary_len(),
             dictionary_bytes: deepdive_storage::dictionary_bytes() as usize,
         }
@@ -141,6 +151,13 @@ impl RunReport {
         let execution = json!({
             "threads": self.threads,
             "partitions": self.partitions,
+            "threads_env_fallback": match &self.threads_env_fallback {
+                Some(raw) => json!({
+                    "value": raw,
+                    "fell_back_to": self.threads,
+                }),
+                None => Value::Null,
+            },
             "phases": exec_phases,
         });
         let relations = map_of(&mut self.storage.iter().map(|(name, s)| {
@@ -151,6 +168,7 @@ impl RunReport {
                     "bytes_resident": s.bytes_resident,
                     "bytes_spilled": s.bytes_spilled,
                     "segments": s.segments,
+                    "read_cache_bytes": s.read_cache_bytes,
                 }),
             )
         }));
@@ -167,6 +185,8 @@ impl RunReport {
             "bytes_resident": totals.bytes_resident,
             "bytes_spilled": totals.bytes_spilled,
             "segments": totals.segments,
+            "read_cache_bytes": totals.read_cache_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
             "dictionary": dictionary,
             "relations": relations,
         });

@@ -507,6 +507,69 @@ fn requeue_routes_repaired_rows_through_incremental_maintenance() {
 }
 
 #[test]
+fn requeue_refuses_checkpoint_with_mismatched_manifest() {
+    use deepdive_core::{CheckpointError, DeepDiveError};
+    const SEED: u64 = 11;
+    let (sentences, mentions, el, married) = corpus(20);
+    let ckpt_dir = tmpdir("requeue-tamper");
+
+    let build = |config: RunConfig| {
+        let dd = DeepDive::builder(PROGRAM)
+            .udf("f_feat", feature)
+            .config(config)
+            .build()
+            .unwrap();
+        dd.db.load_tsv("Sentence", &sentences).unwrap();
+        dd.db.load_tsv("Mention", &mentions).unwrap();
+        dd.db.load_tsv("EL", &el).unwrap();
+        dd.db.load_tsv("Married", &married).unwrap();
+        dd
+    };
+
+    let mut config = base_config(SEED);
+    config.checkpoint_dir = Some(ckpt_dir.clone());
+    build(config).run().unwrap();
+
+    // An untouched run directory verifies all three phases.
+    let ckpt = Checkpoint::new(ckpt_dir.clone()).unwrap();
+    assert_eq!(
+        ckpt.verify().unwrap(),
+        vec![Phase::Extract, Phase::Ground, Phase::Learn]
+    );
+
+    // Flip a byte in the database artifact: its manifest hash no longer
+    // matches, so anything that would rebuild state on top of it (requeue,
+    // serve) must refuse with a typed error — the CLI maps this to its
+    // dedicated exit code instead of panicking.
+    let db_path = ckpt_dir.join(Phase::Extract.artifact());
+    let mut bytes = std::fs::read(&db_path).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    std::fs::write(&db_path, bytes).unwrap();
+
+    match ckpt.verify() {
+        Err(CheckpointError::Corrupt { file, .. }) => assert_eq!(file, "db.ckpt"),
+        other => panic!("expected Corrupt(db.ckpt), got {other:?}"),
+    }
+    let err = build(base_config(SEED)).load_checkpoint(&ckpt).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DeepDiveError::Checkpoint(CheckpointError::Corrupt { .. })
+        ),
+        "load refuses rather than building on tampered state: {err}"
+    );
+
+    // A recorded-but-missing artifact is refused the same way.
+    std::fs::remove_file(&db_path).unwrap();
+    match ckpt.verify() {
+        Err(CheckpointError::Corrupt { file, .. }) => assert_eq!(file, "db.ckpt"),
+        other => panic!("expected Corrupt(db.ckpt) for missing file, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
 fn killed_mid_spill_segments_are_complete_or_ignored_on_restart() {
     const N: usize = 60;
     const SEED: u64 = 33;

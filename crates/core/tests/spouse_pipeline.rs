@@ -62,3 +62,68 @@ fn pipeline_learns_to_extract_married_pairs() {
     );
     assert!(q.f1() > 0.5, "pipeline should beat 0.5 F1, got {}", q.f1());
 }
+
+/// ISSUE 4 acceptance: with `--memory-budget-mb 8`, resident bytes —
+/// *including* the decoded read cache — stay at or below the budget for a
+/// full spouse run. `MemoryBudget::peak_resident` is the high-water mark of
+/// every charge (sealed groups, open buffers, cache entries), so one
+/// assertion covers the whole run.
+#[test]
+fn spouse_run_respects_memory_budget_including_read_cache() {
+    const BUDGET_MB: u64 = 8;
+    let spill_dir = std::env::temp_dir().join(format!("dd-spouse-budget-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    let mut config = small_config();
+    config.run.memory_budget_mb = Some(BUDGET_MB);
+    config.run.spill_dir = Some(spill_dir.clone());
+    // Budget accounting is asserted exactly; one worker keeps publishes
+    // from racing across concurrently mutated stores.
+    config.run.threads = 1;
+    let mut app = SpouseApp::build(config).unwrap();
+    let result = app.run().unwrap();
+    assert!(result.num_variables > 0);
+
+    // Scan every relation sorted (the k-way merge decodes spilled groups
+    // through the read cache) so cached bytes are part of what we measure.
+    for name in app.dd.db.relation_names() {
+        let mut n = 0usize;
+        app.dd
+            .db
+            .for_each_row_sorted(&name, &mut |_, _| n += 1)
+            .unwrap();
+    }
+
+    let budget = app.dd.db.memory_budget();
+    let limit = BUDGET_MB * 1024 * 1024;
+    assert_eq!(budget.limit(), Some(limit));
+    assert!(
+        budget.peak_resident() <= limit,
+        "peak resident {} exceeded the {}-byte budget (read cache included)",
+        budget.peak_resident(),
+        limit
+    );
+    assert!(budget.peak_resident() > 0, "the run charged the budget");
+
+    // The storage section of report.json surfaces the cache and the peak.
+    let report = deepdive_core::RunReport::new(&app.dd, &result);
+    let v = report.to_json_value();
+    let storage = v.get("storage").expect("storage section");
+    assert!(storage.get("read_cache_bytes").is_some());
+    assert_eq!(
+        storage.get("peak_resident_bytes").and_then(|p| p.as_u64()),
+        Some(budget.peak_resident())
+    );
+    let relations = storage
+        .get("relations")
+        .and_then(|r| r.as_object())
+        .unwrap();
+    assert!(
+        relations
+            .values()
+            .all(|r| r.get("read_cache_bytes").is_some()),
+        "every relation reports its read-cache footprint"
+    );
+
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}

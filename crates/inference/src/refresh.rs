@@ -1,0 +1,112 @@
+//! Bounded marginal refresh for the serving path.
+//!
+//! After `POST /documents`, the daemon has re-grounded only the touched
+//! factor-graph region through DRed (§4.1) and needs fresh marginals *now* —
+//! a full-length Gibbs run per ingested document would make write latency
+//! proportional to model quality settings rather than to the change. The
+//! serving compromise, following §4.2's "frame incremental maintenance as
+//! approximate inference": scale the sweep count with the size of the
+//! grounding delta, clamped to a floor (small changes still mix) and a
+//! ceiling (large changes never exceed one bounded pass).
+
+use deepdive_factorgraph::CompiledGraph;
+use deepdive_sampler::{parallel_marginals, GibbsOptions, Marginals};
+
+/// How many Gibbs sweeps an incremental refresh may spend.
+#[derive(Debug, Clone)]
+pub struct RefreshBudget {
+    /// Sweeps collected even for an empty delta.
+    pub min_samples: usize,
+    /// Hard ceiling regardless of delta size.
+    pub max_samples: usize,
+    /// Extra sweeps granted per changed variable or factor.
+    pub samples_per_change: usize,
+}
+
+impl Default for RefreshBudget {
+    fn default() -> Self {
+        RefreshBudget {
+            min_samples: 200,
+            max_samples: 1000,
+            samples_per_change: 20,
+        }
+    }
+}
+
+impl RefreshBudget {
+    /// Sweep count for a delta touching `changed` variables + factors.
+    pub fn samples_for(&self, changed: usize) -> usize {
+        self.min_samples
+            .saturating_add(changed.saturating_mul(self.samples_per_change))
+            .min(self.max_samples)
+            .max(1)
+    }
+}
+
+/// Derive bounded sampling options from the configured inference options:
+/// same seed and evidence clamping, but sweeps scaled to the delta.
+pub fn bounded_options(
+    base: &GibbsOptions,
+    budget: &RefreshBudget,
+    changed: usize,
+) -> GibbsOptions {
+    let samples = budget.samples_for(changed);
+    GibbsOptions {
+        samples,
+        burn_in: (samples / 10).max(10),
+        ..base.clone()
+    }
+}
+
+/// Re-estimate marginals after an incremental grounding delta with a
+/// bounded Gibbs pass (see [`bounded_options`]).
+pub fn refresh_marginals(
+    graph: &CompiledGraph,
+    weights: &[f64],
+    base: &GibbsOptions,
+    budget: &RefreshBudget,
+    changed: usize,
+    threads: usize,
+) -> Marginals {
+    parallel_marginals(
+        graph,
+        weights,
+        &bounded_options(base, budget, changed),
+        threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_scale_with_delta_between_floor_and_ceiling() {
+        let b = RefreshBudget::default();
+        assert_eq!(b.samples_for(0), b.min_samples);
+        assert_eq!(b.samples_for(1), b.min_samples + b.samples_per_change);
+        assert_eq!(b.samples_for(1_000_000), b.max_samples);
+        let tiny = RefreshBudget {
+            min_samples: 0,
+            max_samples: 10,
+            samples_per_change: 0,
+        };
+        assert_eq!(tiny.samples_for(0), 1, "never zero sweeps");
+    }
+
+    #[test]
+    fn bounded_options_preserve_seed_and_clamping() {
+        let base = GibbsOptions {
+            seed: 42,
+            clamp_evidence: true,
+            burn_in: 500,
+            samples: 5000,
+            ..GibbsOptions::default()
+        };
+        let opts = bounded_options(&base, &RefreshBudget::default(), 3);
+        assert_eq!(opts.seed, 42);
+        assert!(opts.clamp_evidence);
+        assert_eq!(opts.samples, 260);
+        assert_eq!(opts.burn_in, 26);
+    }
+}

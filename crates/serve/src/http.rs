@@ -1,0 +1,273 @@
+//! A deliberately small HTTP/1.1 codec over [`std::net::TcpStream`].
+//!
+//! The daemon serves structured JSON to trusted operators on a loopback or
+//! LAN address; it does not need (and the offline build cannot take) a web
+//! framework. This module covers exactly what the endpoints use: one request
+//! per connection (`Connection: close`), `Content-Length` bodies with a hard
+//! cap, query-string parsing with percent-decoding, and JSON responses.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request body the daemon accepts (ingest batches are documents,
+/// not datasets — bulk loads belong to `deepdive run`).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Request line + each header line are capped to keep a hostile peer from
+/// growing an unbounded buffer.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, decoded path, decoded query pairs, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped onto a status code.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Network-level failure; no response possible.
+    Io(io::Error),
+    /// Malformed request; respond with this status and message.
+    Bad { status: u16, message: String },
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ParseError {
+    ParseError::Bad {
+        status,
+        message: message.into(),
+    }
+}
+
+/// Read one `\r\n`-terminated line, enforcing the line cap.
+fn read_line(r: &mut impl BufRead) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && !line.is_empty() => break,
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        if byte[0] != b'\r' {
+            line.push(byte[0]);
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Err(bad(431, "header line too long"));
+        }
+    }
+    String::from_utf8(line).map_err(|_| bad(400, "header line is not UTF-8"))
+}
+
+/// Decode `%XX` escapes and `+`-for-space in a query component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+impl Request {
+    /// Parse one request from the stream. Headers other than
+    /// `Content-Length` are ignored — every response closes the connection.
+    pub fn parse(r: &mut impl BufRead) -> Result<Request, ParseError> {
+        let request_line = read_line(r)?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| bad(400, "empty request line"))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or_else(|| bad(400, "request line has no target"))?;
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+
+        let mut content_length = 0usize;
+        loop {
+            let line = read_line(r)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(400, "bad Content-Length"))?;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(bad(413, "request body over the 8 MiB cap"));
+        }
+        let mut body = vec![0u8; content_length];
+        r.read_exact(&mut body)?;
+
+        Ok(Request {
+            method,
+            path: percent_decode(raw_path),
+            query: parse_query(raw_query),
+            body,
+        })
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize; always `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    content_type: &'static str,
+}
+
+impl Response {
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        Response {
+            status,
+            body: serde_json::to_string_pretty(value).expect("a Value renders infallibly"),
+            content_type: "application/json",
+        }
+    }
+
+    /// Standard error envelope: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &serde_json::json!({ "error": message }))
+    }
+
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            self.body
+        )?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_str(raw: &str) -> Result<Request, ParseError> {
+        Request::parse(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let req = parse_str(
+            "POST /documents?min_p=0.9&name=Barack%20Obama HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/documents");
+        assert_eq!(req.query_param("min_p"), Some("0.9"));
+        assert_eq!(req.query_param("name"), Some("Barack Obama"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /documents HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse_str(&raw) {
+            Err(ParseError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percent_decoding_handles_plus_and_escapes() {
+        assert_eq!(percent_decode("a+b%2Fc%zz"), "a b/c%zz");
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, &serde_json::json!({"ok": true}))
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: close"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}", body.len())));
+    }
+}

@@ -1,0 +1,32 @@
+//! `deepdive-serve`: a long-lived HTTP daemon over materialized pipeline
+//! state (§4.2 of the DeepDive paper, applied to serving).
+//!
+//! A completed run's checkpoint is loaded into resident storage once; the
+//! daemon then answers relation and marginal queries from an immutable
+//! [`ServeSnapshot`] and accepts new documents through the same DRed/IVM
+//! path the batch pipeline uses, re-grounding only the touched region and
+//! refreshing marginals with a bounded Gibbs pass before atomically
+//! publishing the next epoch.
+//!
+//! Endpoints:
+//!
+//! * `GET /relations/{name}?offset=&limit=&<column>=<value>` — paged tuples
+//!   with per-column equality filters;
+//! * `GET /marginals/{relation}?min_p=&max_p=` — query-relation marginals
+//!   with probability thresholds;
+//! * `POST /documents` with `{"rows": {relation: [[cell, ...], ...]}}` —
+//!   incremental ingest;
+//! * `GET /healthz`, `GET /metrics` — liveness, per-endpoint latency
+//!   histograms, and storage/execution gauges.
+//!
+//! Everything is hand-rolled over `std::net` — the offline build takes no
+//! HTTP or runtime dependencies.
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use metrics::ServeMetrics;
+pub use server::{ServeConfig, ServeState, Server, ServerHandle};
+pub use snapshot::{ServeSnapshot, SnapshotCell};

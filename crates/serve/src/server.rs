@@ -1,0 +1,597 @@
+//! The daemon: a thread-pooled TCP accept loop routing requests against the
+//! current [`ServeSnapshot`], plus the single-writer ingest path.
+//!
+//! Ownership layout:
+//!
+//! * Readers (`GET /relations`, `/marginals`, `/healthz`, `/metrics`) touch
+//!   only the snapshot cell and atomics — they never take the writer lock,
+//!   so queries stay fast while an ingest is re-grounding.
+//! * `POST /documents` serializes through `Mutex<DeepDive>`: route the new
+//!   rows through incremental view maintenance and DRed (§4.1) so only the
+//!   touched region re-grounds, run a bounded Gibbs refresh sized to the
+//!   grounding delta (§4.2), then publish the next epoch with one pointer
+//!   swap. A concurrent reader sees epoch N or N+1, never a mixture.
+
+use crate::http::{ParseError, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::snapshot::{ServeSnapshot, SnapshotCell};
+use deepdive_core::DeepDive;
+use deepdive_inference::{bounded_options, RefreshBudget};
+use deepdive_sampler::GibbsOptions;
+use deepdive_storage::{
+    value_from_tsv, value_to_tsv, BaseChange, ExecutionContext, MemoryBudget, Row, Schema,
+    Value as DbValue, ValueType,
+};
+use parking_lot::Mutex;
+use serde_json::{json, Map, Value as Json};
+use std::collections::HashSet;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads answering requests (the accept loop is separate).
+    pub workers: usize,
+    /// Default (and maximum) rows per page on list endpoints.
+    pub page_limit: usize,
+    /// Gibbs budget for post-ingest refreshes.
+    pub refresh: RefreshBudget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            page_limit: 100,
+            refresh: RefreshBudget::default(),
+        }
+    }
+}
+
+/// Everything a request handler can reach, shared across workers.
+pub struct ServeState {
+    snapshot: SnapshotCell,
+    /// The single writer. Only `POST /documents` (and shutdown) lock it.
+    writer: Mutex<DeepDive>,
+    pub metrics: ServeMetrics,
+    budget: Arc<MemoryBudget>,
+    ctx: Arc<ExecutionContext>,
+    /// Relations derived by rules — not ingestible.
+    derived: HashSet<String>,
+    /// Full-quality inference options the run was configured with (the
+    /// refresh derives bounded options from these).
+    inference: GibbsOptions,
+    refresh: RefreshBudget,
+    page_limit: usize,
+    started: Instant,
+}
+
+impl ServeState {
+    /// The currently served snapshot (for tests and the CLI banner).
+    pub fn current(&self) -> Arc<ServeSnapshot> {
+        self.snapshot.load()
+    }
+}
+
+/// A bound, not-yet-started server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Materialize the initial snapshot from `dd`'s current state (normally
+    /// restored from a checkpoint) and bind the listener. Marginals are
+    /// computed once, up front, with the run's full inference options —
+    /// serving never pays that cost again until an ingest.
+    pub fn new(dd: DeepDive, config: &ServeConfig) -> io::Result<Server> {
+        let inference = dd.config.inference.clone();
+        let snapshot = ServeSnapshot::capture(&dd, 0, &inference);
+        let derived = dd.grounder.engine().program().derived_relations();
+        let budget = dd.db.memory_budget().clone();
+        let ctx = dd.execution_context().clone();
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                snapshot: SnapshotCell::new(snapshot),
+                writer: Mutex::new(dd),
+                metrics: ServeMetrics::default(),
+                budget,
+                ctx,
+                derived,
+                inference,
+                refresh: config.refresh.clone(),
+                page_limit: config.page_limit.max(1),
+                started: Instant::now(),
+            }),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Spawn the accept loop and worker pool; returns the handle used to
+    /// reach and stop them.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(self.workers + 1);
+        for _ in 0..self.workers {
+            let rx = rx.clone();
+            let state = self.state.clone();
+            threads.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only for the dequeue.
+                let stream = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
+                match stream {
+                    Ok(stream) => handle_connection(stream, &state),
+                    Err(_) => break, // accept loop dropped the sender
+                }
+            }));
+        }
+
+        let accept_shutdown = shutdown.clone();
+        let listener = self.listener;
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping `tx` drains the workers.
+        }));
+
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+/// Handle to a running server: address, shared state, clean shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until every serving thread exits (a daemon that runs forever).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    // A silent peer must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    match Request::parse(&mut reader) {
+        Ok(req) => {
+            let start = Instant::now();
+            let (endpoint, response) = route(&req, state);
+            state
+                .metrics
+                .record(endpoint, start.elapsed(), response.status < 400);
+            let _ = response.write_to(&mut write_half);
+        }
+        Err(ParseError::Bad { status, message }) => {
+            let _ = Response::error(status, &message).write_to(&mut write_half);
+        }
+        Err(ParseError::Io(_)) => {}
+    }
+}
+
+fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/metrics") => ("metrics", metrics(state)),
+        ("POST", "/documents") => ("documents", post_documents(req, state)),
+        (_, "/healthz" | "/metrics") => ("other", Response::error(405, "use GET")),
+        (_, "/documents") => ("other", Response::error(405, "use POST")),
+        ("GET", path) => {
+            if let Some(name) = path.strip_prefix("/relations/") {
+                ("relations", get_relation(req, name, state))
+            } else if let Some(name) = path.strip_prefix("/marginals/") {
+                ("marginals", get_marginals(req, name, state))
+            } else {
+                ("other", Response::error(404, "no such route"))
+            }
+        }
+        (_, path) if path.starts_with("/relations/") || path.starts_with("/marginals/") => {
+            ("other", Response::error(405, "use GET"))
+        }
+        _ => ("other", Response::error(404, "no such route")),
+    }
+}
+
+fn healthz(state: &ServeState) -> Response {
+    let snap = state.snapshot.load();
+    Response::json(
+        200,
+        &json!({
+            "status": "ok",
+            "epoch": snap.epoch,
+            "fingerprint": format!("{:016x}", snap.fingerprint),
+            "uptime_secs": state.started.elapsed().as_secs_f64(),
+            "relations": snap.db.len(),
+            "total_rows": snap.db.total_rows(),
+            "marginal_rows": snap.total_marginals(),
+        }),
+    )
+}
+
+fn metrics(state: &ServeState) -> Response {
+    let snap = state.snapshot.load();
+    let mut phases = Map::new();
+    for (phase, s) in state.ctx.metrics.snapshot() {
+        phases.insert(
+            phase,
+            json!({
+                "wall_secs": s.wall.as_secs_f64(),
+                "items": s.items,
+                "items_per_sec": s.throughput(),
+            }),
+        );
+    }
+    Response::json(
+        200,
+        &json!({
+            "epoch": snap.epoch,
+            "requests": state.metrics.to_json(),
+            "storage": json!({
+                "resident_bytes": state.budget.resident(),
+                "peak_resident_bytes": state.budget.peak_resident(),
+                "memory_budget_bytes": state.budget.limit(),
+            }),
+            "execution": json!({
+                "threads": state.ctx.threads(),
+                "partitions": state.ctx.partitions(),
+                "phases": Json::Object(phases),
+            }),
+        }),
+    )
+}
+
+fn value_to_json(v: &DbValue) -> Json {
+    match v {
+        DbValue::Null => Json::Null,
+        DbValue::Bool(b) => json!(*b),
+        DbValue::Int(i) => json!(*i),
+        DbValue::Float(f) => json!(*f),
+        DbValue::Text(t) => json!(t.as_ref()),
+        DbValue::Id(id) => json!(*id),
+    }
+}
+
+fn row_to_json(schema: Option<&Schema>, row: &Row) -> Json {
+    let mut obj = Map::new();
+    for (i, v) in row.iter().enumerate() {
+        let name = schema
+            .and_then(|s| s.columns.get(i))
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| format!("c{i}"));
+        obj.insert(name, value_to_json(v));
+    }
+    Json::Object(obj)
+}
+
+/// Parse `offset`/`limit` query params, clamping `limit` to the configured
+/// page cap.
+fn paging(req: &Request, page_limit: usize) -> Result<(usize, usize), Response> {
+    let parse = |key: &str, default: usize| -> Result<usize, Response> {
+        match req.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, &format!("{key}: `{raw}` is not an integer"))),
+        }
+    };
+    let offset = parse("offset", 0)?;
+    let limit = parse("limit", page_limit)?.min(page_limit);
+    Ok((offset, limit))
+}
+
+fn get_relation(req: &Request, name: &str, state: &ServeState) -> Response {
+    let snap = state.snapshot.load();
+    let Some(rel) = snap.db.relation(name) else {
+        return Response::error(404, &format!("no relation `{name}`"));
+    };
+    let (offset, limit) = match paging(req, state.page_limit) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+
+    // Any query key naming a column filters on that column's TSV rendering
+    // (`?mtext=Barack+Obama`, `?m1=7`).
+    let mut filters: Vec<(usize, &str)> = Vec::new();
+    for (key, value) in &req.query {
+        if key == "offset" || key == "limit" {
+            continue;
+        }
+        match rel.schema().columns.iter().position(|c| &c.name == key) {
+            Some(idx) => filters.push((idx, value)),
+            None => {
+                return Response::error(400, &format!("`{key}` is not a column of `{name}`"));
+            }
+        }
+    }
+    let keep = |row: &Row| -> bool { filters.iter().all(|(i, v)| value_to_tsv(&row[*i]) == **v) };
+
+    let mut total = 0usize;
+    let mut rows = Vec::new();
+    for (row, count) in rel.rows().iter().filter(|(row, _)| keep(row)) {
+        if total >= offset && rows.len() < limit {
+            let mut obj = match row_to_json(Some(rel.schema()), row) {
+                Json::Object(o) => o,
+                _ => unreachable!("row_to_json returns an object"),
+            };
+            obj.insert("count".into(), json!(*count));
+            rows.push(Json::Object(obj));
+        }
+        total += 1;
+    }
+
+    Response::json(
+        200,
+        &json!({
+            "relation": name,
+            "epoch": snap.epoch,
+            "fingerprint": format!("{:016x}", snap.fingerprint),
+            "offset": offset,
+            "limit": limit,
+            "total": total,
+            "rows": rows,
+        }),
+    )
+}
+
+fn get_marginals(req: &Request, name: &str, state: &ServeState) -> Response {
+    let snap = state.snapshot.load();
+    if !snap.marginals.contains_key(name) {
+        return Response::error(
+            404,
+            &format!("no marginals for `{name}` (not a query relation)"),
+        );
+    }
+    let (offset, limit) = match paging(req, state.page_limit) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let parse_p = |key: &str, default: f64| -> Result<f64, Response> {
+        match req.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| Response::error(400, &format!("{key}: `{raw}` is not a number"))),
+        }
+    };
+    let min_p = match parse_p("min_p", 0.0) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let max_p = match parse_p("max_p", 1.0) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+
+    let schema = snap.db.relation(name).map(|r| r.schema());
+    let mut total = 0usize;
+    let mut rows = Vec::new();
+    for (row, p) in snap
+        .marginal_rows(name)
+        .iter()
+        .filter(|(_, p)| *p >= min_p && *p <= max_p)
+    {
+        if total >= offset && rows.len() < limit {
+            let mut obj = match row_to_json(schema, row) {
+                Json::Object(o) => o,
+                _ => unreachable!("row_to_json returns an object"),
+            };
+            obj.insert("probability".into(), json!(*p));
+            rows.push(Json::Object(obj));
+        }
+        total += 1;
+    }
+
+    Response::json(
+        200,
+        &json!({
+            "relation": name,
+            "epoch": snap.epoch,
+            "fingerprint": format!("{:016x}", snap.fingerprint),
+            "min_p": min_p,
+            "max_p": max_p,
+            "offset": offset,
+            "limit": limit,
+            "total": total,
+            "rows": rows,
+        }),
+    )
+}
+
+/// Convert one JSON cell to a typed storage value.
+fn json_to_value(cell: &Json, ty: ValueType) -> Result<DbValue, String> {
+    match cell {
+        Json::Null => Ok(DbValue::Null),
+        Json::Bool(b) => match ty {
+            ValueType::Bool | ValueType::Any => Ok(DbValue::Bool(*b)),
+            other => Err(format!("boolean cell for {other} column")),
+        },
+        Json::Number(n) => match ty {
+            ValueType::Int => n
+                .as_i64()
+                .map(DbValue::Int)
+                .ok_or_else(|| "not an i64".into()),
+            ValueType::Id => n
+                .as_u64()
+                .map(DbValue::Id)
+                .ok_or_else(|| "not a u64 id".into()),
+            ValueType::Float => n
+                .as_f64()
+                .map(DbValue::Float)
+                .ok_or_else(|| "not a float".into()),
+            ValueType::Any => Ok(n
+                .as_i64()
+                .map(DbValue::Int)
+                .or_else(|| n.as_f64().map(DbValue::Float))
+                .unwrap_or(DbValue::Null)),
+            other => Err(format!("numeric cell for {other} column")),
+        },
+        // Strings parse through the TSV cell grammar, so `"7"` works for an
+        // id column and `"\\N"` for NULL — same rules as `deepdive run`.
+        Json::String(s) => value_from_tsv(s, ty),
+        Json::Array(_) | Json::Object(_) => Err("cell must be a scalar".into()),
+    }
+}
+
+/// `POST /documents` body: `{"rows": {"Relation": [[cell, ...], ...]}}`.
+fn post_documents(req: &Request, state: &ServeState) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body: Json = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let Some(rows) = body.get("rows").and_then(Json::as_object) else {
+        return Response::error(
+            400,
+            "body must be {\"rows\": {relation: [[cell, ...], ...]}}",
+        );
+    };
+
+    // Single writer: everything from validation to the snapshot swap happens
+    // under this lock, so concurrent POSTs serialize and readers keep the
+    // previous epoch until `store`.
+    let mut dd = state.writer.lock();
+
+    let mut changes: Vec<BaseChange> = Vec::new();
+    for (relation, rel_rows) in rows.iter() {
+        if state.derived.contains(relation) {
+            return Response::error(
+                400,
+                &format!("`{relation}` is derived by rules; ingest base relations only"),
+            );
+        }
+        let schema = match dd.db.schema(relation) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, &format!("unknown relation `{relation}`")),
+        };
+        let Some(rel_rows) = rel_rows.as_array() else {
+            return Response::error(400, &format!("`{relation}` must map to an array of rows"));
+        };
+        for (i, row_json) in rel_rows.iter().enumerate() {
+            let Some(cells) = row_json.as_array() else {
+                return Response::error(400, &format!("{relation}[{i}]: row must be an array"));
+            };
+            if cells.len() != schema.columns.len() {
+                return Response::error(
+                    400,
+                    &format!(
+                        "{relation}[{i}]: {} cells for {} columns",
+                        cells.len(),
+                        schema.columns.len()
+                    ),
+                );
+            }
+            let mut row = Vec::with_capacity(cells.len());
+            for (cell, col) in cells.iter().zip(&schema.columns) {
+                match json_to_value(cell, col.ty) {
+                    Ok(v) => row.push(v),
+                    Err(e) => {
+                        return Response::error(400, &format!("{relation}[{i}].{}: {e}", col.name))
+                    }
+                }
+            }
+            changes.push(BaseChange::insert(relation.clone(), row.into_boxed_slice()));
+        }
+    }
+    if changes.is_empty() {
+        return Response::error(400, "no rows to ingest");
+    }
+    let inserted = changes.len();
+
+    // DRed/IVM: derive exactly what the new rows imply, nothing else.
+    let delta = match dd.apply_base_changes(changes) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &format!("ingest failed: {e}")),
+    };
+
+    // Bounded refresh sized to the touched region, then one atomic swap.
+    let opts = bounded_options(&state.inference, &state.refresh, delta.total());
+    let epoch = state.snapshot.load().epoch + 1;
+    let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
+    let fingerprint = snapshot.fingerprint;
+    state.snapshot.store(snapshot);
+
+    Response::json(
+        200,
+        &json!({
+            "epoch": epoch,
+            "fingerprint": format!("{:016x}", fingerprint),
+            "inserted": inserted,
+            "delta": json!({
+                "added_variables": delta.added_variables,
+                "removed_variables": delta.removed_variables,
+                "added_factors": delta.added_factors,
+                "removed_factors": delta.removed_factors,
+                "evidence_changes": delta.evidence_changes,
+                "total": delta.total(),
+            }),
+            "refresh_samples": opts.samples,
+        }),
+    )
+}

@@ -1,0 +1,279 @@
+//! End-to-end daemon tests over a real spouse pipeline: snapshot
+//! consistency under concurrent reads and writes, and batch/incremental
+//! parity for derived relations.
+
+use deepdive_core::apps::{SpouseApp, SpouseAppConfig};
+use deepdive_core::RunConfig;
+use deepdive_corpus::SpouseConfig;
+use deepdive_sampler::{GibbsOptions, LearnOptions};
+use deepdive_serve::{ServeConfig, Server};
+use deepdive_storage::{BaseChange, Value};
+use serde_json::{json, Value as Json};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn app_config() -> SpouseAppConfig {
+    SpouseAppConfig {
+        corpus: SpouseConfig {
+            num_docs: 16,
+            num_people: 12,
+            num_married_pairs: 4,
+            num_sibling_pairs: 4,
+            ..Default::default()
+        },
+        run: RunConfig {
+            learn: LearnOptions {
+                epochs: 30,
+                ..Default::default()
+            },
+            inference: GibbsOptions {
+                burn_in: 20,
+                samples: 200,
+                clamp_evidence: true,
+                ..Default::default()
+            },
+            threads: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Minimal HTTP/1.1 client: one request, `Connection: close`, JSON out.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    let body_text = body
+        .map(|b| serde_json::to_string(b).expect("serializable body"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{}",
+        body_text.len(),
+        body_text
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let value = serde_json::from_str(payload).unwrap_or(Json::Null);
+    (status, value)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    http(addr, "GET", path, None)
+}
+
+/// Render one storage value as the JSON cell the POST body format takes.
+fn value_to_cell(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => json!(*b),
+        Value::Int(i) => json!(*i),
+        Value::Float(f) => json!(*f),
+        Value::Text(t) => json!(t.as_ref()),
+        Value::Id(id) => json!(*id),
+    }
+}
+
+/// Group base changes into the `{"rows": {relation: [[cell, ...], ...]}}`
+/// ingest body.
+fn ingest_body(changes: &[BaseChange]) -> Json {
+    let mut by_relation: BTreeMap<String, Vec<Json>> = BTreeMap::new();
+    for ch in changes {
+        let cells: Vec<Json> = ch.row.iter().map(value_to_cell).collect();
+        by_relation
+            .entry(ch.relation.clone())
+            .or_default()
+            .push(Json::Array(cells));
+    }
+    let mut rows = serde_json::Map::new();
+    for (relation, rel_rows) in by_relation {
+        rows.insert(relation, Json::Array(rel_rows));
+    }
+    json!({ "rows": Json::Object(rows) })
+}
+
+/// Canonical form of a relation as served: sorted `row -> count` pairs
+/// rendered from the endpoint's JSON rows.
+fn served_relation(addr: SocketAddr, name: &str) -> BTreeSet<String> {
+    let (status, v) = get(addr, &format!("/relations/{name}?limit=100000"));
+    assert_eq!(status, 200, "GET /relations/{name}: {v}");
+    v.get("rows")
+        .and_then(Json::as_array)
+        .expect("rows array")
+        .iter()
+        .map(|row| serde_json::to_string(row).unwrap())
+        .collect()
+}
+
+/// Readers hammering `/marginals` during concurrent `/documents` posts must
+/// only ever observe complete epochs: a given epoch always serves the same
+/// fingerprint (and the same totals), never a mixture of pre- and
+/// post-update state.
+#[test]
+fn concurrent_readers_never_see_torn_snapshots() {
+    let mut app = SpouseApp::build(app_config()).expect("build spouse app");
+    app.run().expect("batch run");
+
+    // Three extra documents to ingest while readers are active.
+    let extra_docs = [
+        "Alice Young and her husband Bob Young toured the museum.",
+        "Carol King and her husband David King hosted a dinner.",
+        "Erin Stone and her husband Frank Stone sailed north.",
+    ];
+    let batches: Vec<Vec<BaseChange>> = extra_docs
+        .iter()
+        .map(|text| app.document_changes(text))
+        .collect();
+    assert!(batches.iter().all(|b| !b.is_empty()));
+
+    let serve_config = ServeConfig {
+        page_limit: 100_000,
+        ..Default::default()
+    };
+    let server = Server::new(app.dd, &serve_config).expect("bind server");
+    let handle = server.start().expect("start server");
+    let addr = handle.addr();
+
+    let (status, before) = get(addr, "/marginals/MarriedMentions");
+    assert_eq!(status, 200, "{before}");
+    let initial_total = before.get("total").and_then(Json::as_u64).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                // epoch -> set of (fingerprint, total) observed under it.
+                let mut seen: HashMap<u64, BTreeSet<(String, u64)>> = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, v) = get(addr, "/marginals/MarriedMentions?limit=100000");
+                    assert_eq!(status, 200, "{v}");
+                    let epoch = v.get("epoch").and_then(Json::as_u64).unwrap();
+                    let fp = v
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string();
+                    let total = v.get("total").and_then(Json::as_u64).unwrap();
+                    seen.entry(epoch).or_default().insert((fp, total));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let num_batches = batches.len() as u64;
+    for batch in &batches {
+        let (status, v) = http(addr, "POST", "/documents", Some(&ingest_body(batch)));
+        assert_eq!(status, 200, "POST /documents: {v}");
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut observed: HashMap<u64, BTreeSet<(String, u64)>> = HashMap::new();
+    for r in readers {
+        for (epoch, states) in r.join().expect("reader thread") {
+            observed.entry(epoch).or_default().extend(states);
+        }
+    }
+    for (epoch, states) in &observed {
+        assert_eq!(
+            states.len(),
+            1,
+            "epoch {epoch} served {} distinct states — torn snapshot: {states:?}",
+            states.len()
+        );
+    }
+    assert!(
+        observed.keys().all(|&e| e <= num_batches),
+        "epochs beyond the posted batches: {:?}",
+        observed.keys().collect::<Vec<_>>()
+    );
+
+    let (status, after) = get(addr, "/marginals/MarriedMentions");
+    assert_eq!(status, 200);
+    assert_eq!(
+        after.get("epoch").and_then(Json::as_u64),
+        Some(num_batches),
+        "every ingest bumped the epoch"
+    );
+    let final_total = after.get("total").and_then(Json::as_u64).unwrap();
+    assert!(
+        final_total > initial_total,
+        "ingested documents grew the marginal count ({initial_total} -> {final_total})"
+    );
+
+    handle.shutdown();
+}
+
+/// Incrementally ingesting a held-out document through `POST /documents`
+/// must leave the derived relations exactly where a full batch run over the
+/// complete corpus puts them (§4.1: DRed delta rules compute the same
+/// fixpoint as re-running from scratch).
+#[test]
+fn incremental_ingest_matches_full_batch_derived_relations() {
+    let config = app_config();
+    let full_corpus = deepdive_corpus::spouse::generate(&config.corpus);
+
+    // Full batch: every document, one run.
+    let mut batch_app =
+        SpouseApp::build_with_corpus(config.clone(), full_corpus.clone()).expect("batch app");
+    batch_app.run().expect("batch run");
+
+    // Incremental: hold out the last document, run, then ingest it live.
+    let mut partial_corpus = full_corpus.clone();
+    let held_out = partial_corpus.documents.pop().expect("at least one doc");
+    let mut inc_app =
+        SpouseApp::build_with_corpus(config, partial_corpus).expect("incremental app");
+    inc_app.run().expect("incremental base run");
+    let changes = inc_app.document_changes(&held_out.text);
+    assert!(!changes.is_empty(), "held-out document produced no rows");
+
+    let serve_config = ServeConfig {
+        page_limit: 100_000,
+        ..Default::default()
+    };
+    let server = Server::new(inc_app.dd, &serve_config).expect("bind server");
+    let handle = server.start().expect("start server");
+    let addr = handle.addr();
+
+    let (status, v) = http(addr, "POST", "/documents", Some(&ingest_body(&changes)));
+    assert_eq!(status, 200, "POST /documents: {v}");
+    assert!(v.get("delta").and_then(|d| d.get("total")).is_some());
+
+    // Derived relations reached through DRed/IVM must match the batch run's.
+    for relation in ["MarriedCandidate", "MarriedMentions_Ev"] {
+        let served = served_relation(addr, relation);
+        let batch: BTreeSet<String> = batch_app
+            .dd
+            .db
+            .rows_counted(relation)
+            .expect("batch relation")
+            .iter()
+            .map(|(row, count)| {
+                let mut obj = serde_json::Map::new();
+                let schema = batch_app.dd.db.schema(relation).unwrap();
+                for (i, v) in row.iter().enumerate() {
+                    obj.insert(schema.columns[i].name.clone(), value_to_cell(v));
+                }
+                obj.insert("count".into(), json!(*count));
+                serde_json::to_string(&Json::Object(obj)).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            served, batch,
+            "derived relation {relation} diverged between incremental and batch"
+        );
+    }
+
+    handle.shutdown();
+}

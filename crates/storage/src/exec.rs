@@ -24,14 +24,74 @@ use std::time::{Duration, Instant};
 /// `--threads` flag overrides it).
 pub const THREADS_ENV: &str = "DEEPDIVE_THREADS";
 
-/// Thread count requested via [`THREADS_ENV`], if set and valid.
+/// How [`THREADS_ENV`] parsed, kept around so callers can report the
+/// fallback (e.g. `report.json`'s execution section) instead of silently
+/// absorbing a typo'd `DEEPDIVE_THREADS=O4`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvThreads {
+    /// Variable not set.
+    Unset,
+    /// A positive integer thread count.
+    Valid(usize),
+    /// Set but not a positive integer (zero, garbage, empty); the raw value
+    /// is preserved for diagnostics. Callers fall back to available
+    /// parallelism.
+    Invalid(String),
+}
+
+impl EnvThreads {
+    /// Classify a raw environment value (separated from the env read so it
+    /// is testable without mutating process state).
+    pub fn classify(raw: Option<&str>) -> EnvThreads {
+        match raw {
+            None => EnvThreads::Unset,
+            Some(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => EnvThreads::Valid(n),
+                _ => EnvThreads::Invalid(s.to_string()),
+            },
+        }
+    }
+
+    /// The parsed thread count, if valid.
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            EnvThreads::Valid(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The rejected raw value, if invalid.
+    pub fn invalid_value(&self) -> Option<&str> {
+        match self {
+            EnvThreads::Invalid(raw) => Some(raw),
+            _ => None,
+        }
+    }
+}
+
+/// Read and classify [`THREADS_ENV`] without logging.
+pub fn env_threads() -> EnvThreads {
+    EnvThreads::classify(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Thread count requested via [`THREADS_ENV`], if set and valid. An invalid
+/// or zero value warns once per process on stderr (and is reported via
+/// [`env_threads`]) instead of being silently ignored.
 pub fn threads_from_env() -> Option<usize> {
-    std::env::var(THREADS_ENV)
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n >= 1)
+    match env_threads() {
+        EnvThreads::Valid(n) => Some(n),
+        EnvThreads::Invalid(raw) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {THREADS_ENV}={raw:?} is not a positive integer; \
+                     falling back to available parallelism"
+                );
+            });
+            None
+        }
+        EnvThreads::Unset => None,
+    }
 }
 
 /// Stable shard assignment: hash-partition an item into `0..shards`.
@@ -311,6 +371,21 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_threads_classification() {
+        assert_eq!(EnvThreads::classify(None), EnvThreads::Unset);
+        assert_eq!(EnvThreads::classify(Some("4")), EnvThreads::Valid(4));
+        assert_eq!(EnvThreads::classify(Some(" 2 ")), EnvThreads::Valid(2));
+        for bad in ["0", "", "  ", "-1", "4x", "O4", "1.5"] {
+            let c = EnvThreads::classify(Some(bad));
+            assert_eq!(c, EnvThreads::Invalid(bad.to_string()), "{bad:?}");
+            assert_eq!(c.threads(), None);
+            assert_eq!(c.invalid_value(), Some(bad));
+        }
+        assert_eq!(EnvThreads::Valid(3).threads(), Some(3));
+        assert_eq!(EnvThreads::Unset.invalid_value(), None);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod io;
 pub mod ivm;
 pub mod program;
 pub mod schema;
+pub mod snapshot;
 pub mod store;
 pub mod table;
 pub mod value;
@@ -77,8 +78,8 @@ pub use datalog::{
 pub use delta::DeltaRelation;
 pub use error::StorageError;
 pub use exec::{
-    default_threads, shard_of, shard_of_values, threads_from_env, ExecMetrics, ExecutionContext,
-    PhaseStats, THREADS_ENV,
+    default_threads, env_threads, shard_of, shard_of_values, threads_from_env, EnvThreads,
+    ExecMetrics, ExecutionContext, PhaseStats, THREADS_ENV,
 };
 pub use interner::{dictionary_bytes, dictionary_len, intern, resolve, SymbolId};
 pub use io::{
@@ -88,6 +89,7 @@ pub use io::{
 pub use ivm::{BaseChange, IncrementalEngine, MaintenanceResult};
 pub use program::{Program, StratifiedProgram, Stratum};
 pub use schema::{Column, Schema, SchemaBuilder};
+pub use snapshot::{DatabaseSnapshot, RelationSnapshot};
 pub use store::{
     read_segment, write_segment, ColumnarStore, MemoryBudget, RelationStorageStats, SpillStore,
     StorageConfig, TableStore,

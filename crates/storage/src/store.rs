@@ -14,7 +14,8 @@
 //!   traffic), and the [`MemoryBudget`] governs which decoded copies remain
 //!   resident. Under pressure a store evicts its own oldest decoded groups;
 //!   evicted groups are read back through a small LRU cache of decoded
-//!   segments that is deliberately *not* counted against the budget.
+//!   segments whose bytes are charged against the same budget (the cache
+//!   sheds least-recently-used entries first when room is needed).
 //!
 //! Segment files are scratch for the owning process only (text cells store
 //! raw interner symbol ids — see [`crate::interner`]): each run writes under
@@ -35,7 +36,9 @@ use std::sync::Arc;
 /// Rows per sealed row group.
 pub const GROUP_ROWS: usize = 16 * 1024;
 
-/// Decoded spilled segments kept in the read cache (not budget-counted).
+/// Maximum decoded spilled segments kept in the read cache. The cache's
+/// decoded bytes are charged against the [`MemoryBudget`] and shed LRU-first
+/// under pressure, so the effective cache size can be smaller.
 const READ_CACHE_GROUPS: usize = 8;
 
 const SEGMENT_MAGIC: &[u8; 8] = b"DDSEG01\n";
@@ -82,6 +85,8 @@ impl StorageConfig {
 pub struct MemoryBudget {
     limit: Option<u64>,
     resident: AtomicU64,
+    /// High-water mark of `resident` over the budget's lifetime.
+    peak: AtomicU64,
 }
 
 impl MemoryBudget {
@@ -89,6 +94,7 @@ impl MemoryBudget {
         Arc::new(MemoryBudget {
             limit,
             resident: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
         })
     }
 
@@ -96,9 +102,15 @@ impl MemoryBudget {
         self.limit
     }
 
-    /// Total decoded bytes currently charged by all stores.
+    /// Total decoded bytes currently charged by all stores (sealed groups,
+    /// open buffers, and read-cache entries).
     pub fn resident(&self) -> u64 {
         self.resident.load(Ordering::Relaxed)
+    }
+
+    /// The highest value [`Self::resident`] has ever reached.
+    pub fn peak_resident(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
     }
 
     pub fn over_budget(&self) -> bool {
@@ -108,12 +120,21 @@ impl MemoryBudget {
         }
     }
 
-    fn publish(&self, old: u64, new: u64) {
-        if new >= old {
-            self.resident.fetch_add(new - old, Ordering::Relaxed);
-        } else {
-            self.resident.fetch_sub(old - new, Ordering::Relaxed);
+    /// True when charging `incoming` more bytes would stay within the limit.
+    fn fits(&self, incoming: u64) -> bool {
+        match self.limit {
+            Some(limit) => self.resident().saturating_add(incoming) <= limit,
+            None => true,
         }
+    }
+
+    fn publish(&self, old: u64, new: u64) {
+        let total = if new >= old {
+            self.resident.fetch_add(new - old, Ordering::Relaxed) + (new - old)
+        } else {
+            self.resident.fetch_sub(old - new, Ordering::Relaxed) - (old - new)
+        };
+        self.peak.fetch_max(total, Ordering::Relaxed);
     }
 }
 
@@ -128,6 +149,9 @@ pub struct RelationStorageStats {
     pub bytes_spilled: u64,
     /// Segment files written and still readable.
     pub segments: u64,
+    /// Decoded bytes held by the spilled-group read cache (budget-charged,
+    /// and *not* included in `bytes_resident`).
+    pub read_cache_bytes: u64,
 }
 
 impl RelationStorageStats {
@@ -136,6 +160,7 @@ impl RelationStorageStats {
         self.bytes_resident += other.bytes_resident;
         self.bytes_spilled += other.bytes_spilled;
         self.segments += other.segments;
+        self.read_cache_bytes += other.read_cache_bytes;
     }
 }
 
@@ -326,6 +351,7 @@ impl TableStore for ColumnarStore {
                     .sum::<u64>(),
             bytes_spilled: 0,
             segments: 0,
+            read_cache_bytes: 0,
         }
     }
 }
@@ -398,6 +424,36 @@ pub fn read_segment(path: &Path) -> Option<Vec<ColumnBuf>> {
 // SpillStore
 // ---------------------------------------------------------------------------
 
+/// LRU cache of decoded spilled row groups (front = most recent). Every
+/// entry's decoded bytes are charged to the shared [`MemoryBudget`] for as
+/// long as the entry lives, so scan-heavy workloads cannot blow past the
+/// budget through the cache.
+#[derive(Debug, Default)]
+struct ReadCache {
+    /// `(group index, decoded columns, decoded heap bytes)`.
+    entries: Vec<(usize, Arc<Vec<ColumnBuf>>, u64)>,
+    /// Total decoded bytes currently held (and charged to the budget).
+    bytes: u64,
+}
+
+impl ReadCache {
+    /// Drop the least-recently-used entry and uncharge its bytes.
+    fn pop_lru(&mut self, budget: &MemoryBudget) -> bool {
+        match self.entries.pop() {
+            Some((_, _, b)) => {
+                self.bytes -= b;
+                budget.publish(b, 0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&mut self, budget: &MemoryBudget) {
+        while self.pop_lru(budget) {}
+    }
+}
+
 #[derive(Debug)]
 struct SpillGroup {
     start: u32,
@@ -429,10 +485,9 @@ pub struct SpillStore {
     spilled_total: u64,
     /// Segment files written in the store's lifetime (file-name uniquifier).
     segments_written: u64,
-    /// LRU of decoded spilled groups: front = most recent. Small and not
-    /// budget-counted; sized so a sorted merge over many runs does not
-    /// thrash on every pop.
-    cache: Mutex<Vec<(usize, Arc<Vec<ColumnBuf>>)>>,
+    /// LRU of decoded spilled groups, budget-charged; sized so a sorted
+    /// merge over many runs does not thrash on every pop.
+    cache: Mutex<ReadCache>,
 }
 
 impl fmt::Debug for SpillStore {
@@ -468,7 +523,7 @@ impl SpillStore {
             published: 0,
             spilled_total: 0,
             segments_written: 0,
-            cache: Mutex::new(Vec::new()),
+            cache: Mutex::new(ReadCache::default()),
         }
     }
 
@@ -488,9 +543,18 @@ impl SpillStore {
         self.published = now;
     }
 
-    /// Shed this store's oldest decoded sealed groups while the *global*
-    /// budget is exceeded. Groups whose segment write failed are pinned.
+    /// Shed decoded copies while the *global* budget is exceeded: read-cache
+    /// entries first (they duplicate groups already on disk), then this
+    /// store's oldest decoded sealed groups. Groups whose segment write
+    /// failed are pinned.
     fn evict_over_budget(&mut self) {
+        if !self.budget.over_budget() {
+            return;
+        }
+        {
+            let mut cache = self.cache.lock();
+            while self.budget.over_budget() && cache.pop_lru(&self.budget) {}
+        }
         if !self.budget.over_budget() {
             return;
         }
@@ -504,6 +568,33 @@ impl SpillStore {
                 }
             }
         }
+    }
+
+    /// Make room for `incoming` not-yet-charged bytes *before* they are
+    /// published, shedding read-cache entries then older decoded sealed
+    /// groups. Returns whether the bytes fit within the budget afterwards —
+    /// callers holding a decoded copy that is already backed by a segment
+    /// file drop it when they do not, so the budget line is never crossed
+    /// by evictable state.
+    fn make_room(&mut self, incoming: u64) -> bool {
+        if self.budget.fits(incoming) {
+            return true;
+        }
+        {
+            let mut cache = self.cache.lock();
+            while !self.budget.fits(incoming) && cache.pop_lru(&self.budget) {}
+        }
+        for gi in 0..self.groups.len() {
+            if self.budget.fits(incoming) {
+                break;
+            }
+            let g = &mut self.groups[gi];
+            if g.cols.is_some() && g.file.is_some() {
+                g.cols = None;
+                self.sync_budget();
+            }
+        }
+        self.budget.fits(incoming)
     }
 
     fn seal_open(&mut self) {
@@ -526,26 +617,35 @@ impl SpillStore {
             // Disk trouble: degrade to resident rather than lose data.
             Err(_) => None,
         };
+        // The open buffer's charge is released first, then room is made for
+        // the sealed copy before it is published — if it cannot fit (and the
+        // segment write succeeded) the decoded copy is dropped immediately,
+        // so sealing never pushes the budget over the line.
+        self.sync_budget();
+        let resident = file.is_none() || self.make_room(bytes);
         self.groups.push(SpillGroup {
             start: self.open_start,
             rows: rows as u32,
             perm,
-            cols: Some(cols),
+            cols: if resident { Some(cols) } else { None },
             bytes,
             file,
         });
         self.open_start = self.appended;
         self.sync_budget();
-        self.evict_over_budget();
     }
 
-    /// Decode an evicted group through the read cache.
+    /// Decode an evicted group through the read cache. The decoded bytes are
+    /// charged to the shared budget while cached; under pressure the cache
+    /// sheds LRU entries, and a group that cannot fit at all is served
+    /// uncached (the transient decode is the caller's working memory, not
+    /// retained state).
     fn cached_cols(&self, gi: usize) -> Arc<Vec<ColumnBuf>> {
         let mut cache = self.cache.lock();
-        if let Some(pos) = cache.iter().position(|(g, _)| *g == gi) {
-            let hit = cache.remove(pos);
+        if let Some(pos) = cache.entries.iter().position(|(g, _, _)| *g == gi) {
+            let hit = cache.entries.remove(pos);
             let arc = Arc::clone(&hit.1);
-            cache.insert(0, hit);
+            cache.entries.insert(0, hit);
             return arc;
         }
         let group = &self.groups[gi];
@@ -561,9 +661,18 @@ impl SpillStore {
             )
         });
         debug_assert_eq!(bufs_rows(&cols), group.rows as usize);
+        let bytes = bufs_bytes(&cols);
         let arc = Arc::new(cols);
-        cache.insert(0, (gi, Arc::clone(&arc)));
-        cache.truncate(READ_CACHE_GROUPS);
+        while cache.entries.len() >= READ_CACHE_GROUPS
+            || (!cache.entries.is_empty() && !self.budget.fits(bytes))
+        {
+            cache.pop_lru(&self.budget);
+        }
+        if self.budget.fits(bytes) {
+            cache.entries.insert(0, (gi, Arc::clone(&arc), bytes));
+            cache.bytes += bytes;
+            self.budget.publish(0, bytes);
+        }
         arc
     }
 
@@ -595,6 +704,7 @@ impl SpillStore {
 impl Drop for SpillStore {
     fn drop(&mut self) {
         self.remove_files();
+        self.cache.lock().clear(&self.budget);
         self.budget.publish(self.published, 0);
         // Best effort: the per-run directory disappears with its last store.
         let _ = std::fs::remove_dir(&self.dir);
@@ -609,6 +719,12 @@ impl TableStore for SpillStore {
         push_row(&mut self.open, row);
         let idx = self.appended;
         self.appended += 1;
+        // Make room for the open buffer's growth *before* publishing it, so
+        // resident never crosses the budget while evictable copies remain.
+        let now = self.resident_bytes();
+        if now > self.published {
+            self.make_room(now - self.published);
+        }
         self.sync_budget();
         self.evict_over_budget();
         idx
@@ -666,7 +782,7 @@ impl TableStore for SpillStore {
     fn clear(&mut self) {
         self.remove_files();
         self.groups.clear();
-        self.cache.lock().clear();
+        self.cache.lock().clear(&self.budget);
         self.open = new_bufs(&self.types);
         self.open_start = 0;
         self.appended = 0;
@@ -679,6 +795,7 @@ impl TableStore for SpillStore {
             bytes_resident: self.resident_bytes(),
             bytes_spilled: self.spilled_total,
             segments: self.groups.iter().filter(|g| g.file.is_some()).count() as u64,
+            read_cache_bytes: self.cache.lock().bytes,
         }
     }
 }
@@ -797,8 +914,116 @@ mod tests {
         assert_eq!(s.get(75), row![75, "v75"]);
         let runs = s.sorted_runs();
         assert_eq!(runs.iter().map(Vec::len).sum::<usize>(), 80);
+        // Nothing fits a 1-byte budget, so reads are served uncached rather
+        // than letting the cache blow past the limit.
+        assert_eq!(s.stats().read_cache_bytes, 0);
         drop(s);
         assert_eq!(budget.resident(), 0, "drop releases the budget");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Fill a store with `groups` sealed groups of 50 rows each and return
+    /// the decoded byte size of one group (all groups size identically:
+    /// fixed-width int and interner-symbol columns).
+    fn fill_groups(s: &mut SpillStore, groups: usize) -> u64 {
+        for g in 0..groups {
+            for i in 0..50i64 {
+                s.push(&row![g as i64 * 50 + i, format!("v{i}")]);
+            }
+            s.flush();
+        }
+        s.groups[0].bytes
+    }
+
+    #[test]
+    fn read_cache_is_budget_charged_and_shed_lru_under_pressure() {
+        let dir = tmpdir("cachebudget");
+        // Probe the decoded (cached) byte size of one 50-row group — decode
+        // allocates exact capacities, so this can be smaller than the pushed
+        // group's doubling-grown buffers.
+        let cached_bytes = {
+            // Own directory: a store's Drop removes its dir once empty.
+            let mut probe = SpillStore::new(
+                types(),
+                "probe".into(),
+                tmpdir("cachebudget-probe"),
+                MemoryBudget::new(None),
+            );
+            fill_groups(&mut probe, 1);
+            probe.groups[0].cols = None;
+            probe.sync_budget();
+            probe.get(0);
+            probe.stats().read_cache_bytes
+        };
+        assert!(cached_bytes > 0);
+        // Two cached groups fit exactly; a third does not.
+        let limit = 2 * cached_bytes;
+        let budget = MemoryBudget::new(Some(limit));
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), Arc::clone(&budget));
+        fill_groups(&mut s, 3);
+        assert!(
+            budget.peak_resident() <= limit,
+            "loading stayed within budget: peak {} <= {}",
+            budget.peak_resident(),
+            limit
+        );
+        // Evict everything so the cache has the whole budget to work with.
+        for g in &mut s.groups {
+            assert!(g.file.is_some());
+            g.cols = None;
+        }
+        s.sync_budget();
+        assert_eq!(budget.resident(), 0);
+
+        // First two reads cache their groups and charge the budget.
+        assert_eq!(s.get(7), row![7, "v7"]);
+        assert_eq!(s.stats().read_cache_bytes, cached_bytes);
+        assert_eq!(budget.resident(), cached_bytes, "cache bytes are charged");
+        assert_eq!(s.get(57), row![57, "v7"]);
+        assert_eq!(s.stats().read_cache_bytes, 2 * cached_bytes);
+        // A third cached group would exceed the limit: the LRU entry
+        // (group 0) is shed to make room.
+        assert_eq!(s.get(107), row![107, "v7"]);
+        assert_eq!(s.stats().read_cache_bytes, 2 * cached_bytes);
+        let cached: Vec<usize> = s.cache.lock().entries.iter().map(|e| e.0).collect();
+        assert_eq!(cached, vec![2, 1], "group 0 was LRU-evicted");
+        assert!(budget.resident() <= limit);
+        assert!(
+            budget.peak_resident() <= limit,
+            "cache never crossed the budget"
+        );
+
+        // clear() releases the cached bytes along with everything else.
+        s.clear();
+        assert_eq!(s.stats().read_cache_bytes, 0);
+        assert_eq!(budget.resident(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_cache_capacity_cap_still_applies_without_a_budget() {
+        let dir = tmpdir("cachecap");
+        let budget = MemoryBudget::new(None);
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), Arc::clone(&budget));
+        fill_groups(&mut s, READ_CACHE_GROUPS + 2);
+        for g in &mut s.groups {
+            g.cols = None;
+        }
+        s.sync_budget();
+        for g in 0..READ_CACHE_GROUPS + 2 {
+            s.get(g as u32 * 50);
+        }
+        let cache = s.cache.lock();
+        assert_eq!(cache.entries.len(), READ_CACHE_GROUPS);
+        assert!(cache.bytes > 0);
+        assert_eq!(
+            budget.resident(),
+            cache.bytes,
+            "exactly the cache is charged"
+        );
+        drop(cache);
+        drop(s);
+        assert_eq!(budget.resident(), 0, "drop releases cached bytes too");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
