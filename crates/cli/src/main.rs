@@ -48,15 +48,30 @@
 //! deepdive serve <program.ddl> --resume <dir> [options]
 //!     Load a completed run's checkpoint into resident storage and serve it
 //!     as a long-lived HTTP daemon. Queries (`GET /relations/{name}`,
-//!     `GET /marginals/{relation}`, `GET /healthz`, `GET /metrics`) are
-//!     answered from an immutable snapshot; `POST /documents` ingests new
-//!     rows through the incremental (DRed) grounding path, refreshes
-//!     marginals with a bounded Gibbs pass, and atomically publishes the
-//!     next snapshot epoch. Readers never see a half-applied update.
+//!     `GET /marginals/{relation}`, `GET /healthz`, `GET /readyz`,
+//!     `GET /metrics`) are answered from an immutable snapshot;
+//!     `POST /documents` is fsync'd to a write-ahead log, then ingested
+//!     through the incremental (DRed) grounding path, refreshed with a
+//!     bounded Gibbs pass, and atomically published as the next snapshot
+//!     epoch. Readers never see a half-applied update. On restart the WAL
+//!     is replayed (`/readyz` answers 503 until the replayed epoch is
+//!     live); SIGTERM/SIGINT drains in-flight requests, flushes a final
+//!     checkpoint, truncates the WAL, and exits 0.
 //!
 //!     --addr <host:port>     bind address (default 127.0.0.1:8090)
 //!     --workers <n>          request worker threads (default 4)
 //!     --page-limit <n>       max rows per response page (default 100)
+//!     --wal-dir <dir>        where the ingest write-ahead log lives
+//!                            (default: <resume dir>/wal)
+//!     --no-wal               disable the WAL: acknowledge ingests from
+//!                            memory only (exploratory serving)
+//!     --max-inflight <n>     admission bound; connections beyond this are
+//!                            shed with 503 + Retry-After (default 64)
+//!     --ingest-rate <r>      token-bucket limit on POST /documents in
+//!                            requests/second, answered 429 over the limit
+//!                            (default: unlimited)
+//!     --drain-secs <n>       graceful-shutdown budget for in-flight
+//!                            requests (default 5)
 //!     plus `run`'s inference options (`--samples`, `--seed`, `--threads`,
 //!     ...), which size the marginal refresh after each ingest.
 //!
@@ -125,7 +140,9 @@ fn usage() {
     eprintln!("                    [--memory-budget-mb n] [--spill-dir <dir>]");
     eprintln!("       deepdive requeue <program.ddl> --resume <dir> [run options]");
     eprintln!("       deepdive serve <program.ddl> --resume <dir> [--addr host:port]");
-    eprintln!("                    [--workers n] [--page-limit n] [run options]");
+    eprintln!("                    [--workers n] [--page-limit n] [--wal-dir <dir> | --no-wal]");
+    eprintln!("                    [--max-inflight n] [--ingest-rate r] [--drain-secs n]");
+    eprintln!("                    [run options]");
 }
 
 fn check(path: Option<&String>) -> ExitCode {
@@ -195,6 +212,11 @@ struct RunArgs {
     addr: String,
     workers: usize,
     page_limit: usize,
+    wal_dir: Option<PathBuf>,
+    no_wal: bool,
+    max_inflight: usize,
+    ingest_rate: Option<f64>,
+    drain_secs: f64,
 }
 
 fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
@@ -218,6 +240,11 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut addr = String::from("127.0.0.1:8090");
     let mut workers = 4usize;
     let mut page_limit = 100usize;
+    let mut wal_dir = None;
+    let mut no_wal = false;
+    let mut max_inflight = 64usize;
+    let mut ingest_rate = None;
+    let mut drain_secs = 5.0f64;
 
     let mut i = 0;
     while i < args.len() {
@@ -318,6 +345,33 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                     return Err("--page-limit: must be at least 1".into());
                 }
             }
+            "--wal-dir" => wal_dir = Some(PathBuf::from(take("--wal-dir")?)),
+            "--no-wal" => no_wal = true,
+            "--max-inflight" => {
+                max_inflight = take("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+                if max_inflight == 0 {
+                    return Err("--max-inflight: must be at least 1".into());
+                }
+            }
+            "--ingest-rate" => {
+                let r: f64 = take("--ingest-rate")?
+                    .parse()
+                    .map_err(|e| format!("--ingest-rate: {e}"))?;
+                if r <= 0.0 {
+                    return Err(format!("--ingest-rate: {r} must be positive"));
+                }
+                ingest_rate = Some(r);
+            }
+            "--drain-secs" => {
+                drain_secs = take("--drain-secs")?
+                    .parse()
+                    .map_err(|e| format!("--drain-secs: {e}"))?;
+                if drain_secs < 0.0 {
+                    return Err(format!("--drain-secs: {drain_secs} must be non-negative"));
+                }
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
             "--resume" => {
                 checkpoint = Some(PathBuf::from(take("--resume")?));
@@ -363,6 +417,11 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         addr,
         workers,
         page_limit,
+        wal_dir,
+        no_wal,
+        max_inflight,
+        ingest_rate,
+        drain_secs,
     })
 }
 
@@ -493,18 +552,33 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         .map_err(|e| RunFailure::Other(e.to_string()))?;
 
     let dir = args.checkpoint.clone().expect("serve requires --resume");
-    let ckpt = Checkpoint::new(dir).map_err(|e| RunFailure::Other(e.to_string()))?;
+    let ckpt = Checkpoint::new(dir.clone()).map_err(|e| RunFailure::Other(e.to_string()))?;
     let phases = dd
         .load_checkpoint(&ckpt)
         .map_err(|e| classify_checkpoint(&e).unwrap_or_else(|| RunFailure::Other(e.to_string())))?;
     let restored: Vec<&str> = phases.iter().map(|p| p.as_str()).collect();
     println!("restored checkpoint phases: {}", restored.join(", "));
 
+    // Durability defaults: the WAL lives next to the checkpoint it extends,
+    // and the graceful-shutdown checkpoint overwrites the resume directory's
+    // artifacts (the WAL is only truncated once that flush succeeds).
+    let wal_dir = if args.no_wal {
+        None
+    } else {
+        Some(args.wal_dir.clone().unwrap_or_else(|| dir.join("wal")))
+    };
     let serve_config = ServeConfig {
         addr: args.addr.clone(),
         workers: args.workers,
         page_limit: args.page_limit,
         refresh: RefreshBudget::default(),
+        wal_dir,
+        checkpoint_dir: Some(dir),
+        max_inflight: args.max_inflight,
+        ingest_rate: args.ingest_rate,
+        drain: Duration::from_secs_f64(args.drain_secs),
+        faults: std::sync::Arc::new(deepdive_core::FaultInjector::from_env()),
+        ..Default::default()
     };
     let server = Server::new(dd, &serve_config).map_err(|e| RunFailure::Other(e.to_string()))?;
     let addr = server
@@ -518,10 +592,33 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         snapshot.db.total_rows(),
         snapshot.total_marginals()
     );
+    if server.pending_replay() > 0 {
+        println!(
+            "deepdive serve: replaying {} WAL record(s); /readyz answers 503 until done",
+            server.pending_replay()
+        );
+    }
+    deepdive_serve::signals::install();
     let handle = server
         .start()
         .map_err(|e| RunFailure::Other(e.to_string()))?;
-    handle.join();
+    let summary = handle
+        .run_until(deepdive_serve::signals::shutdown_flag())
+        .map_err(|e| RunFailure::Other(e.to_string()))?;
+    if summary.stragglers > 0 {
+        eprintln!(
+            "deepdive serve: exited with {} request(s) undrained",
+            summary.stragglers
+        );
+    }
+    println!(
+        "deepdive serve: shut down cleanly (final checkpoint {})",
+        if summary.checkpoint_flushed {
+            "flushed"
+        } else {
+            "NOT flushed; WAL kept"
+        }
+    );
     Ok(())
 }
 

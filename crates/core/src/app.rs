@@ -500,6 +500,18 @@ impl DeepDive {
         Ok(verified)
     }
 
+    /// Persist the current database, grounding state, and weights as a full
+    /// checkpoint — the durability flush of `deepdive serve`: after the
+    /// artifacts commit (each hashed into the manifest), the daemon's
+    /// write-ahead log can be truncated because every acknowledged ingest is
+    /// now captured by the checkpoint itself.
+    pub fn save_checkpoint(&self, ckpt: &Checkpoint) -> Result<(), DeepDiveError> {
+        ckpt.save_db(&self.db, 0.0)?;
+        ckpt.save_state(&self.grounder.state, &GroundingDelta::default(), 0.0)?;
+        ckpt.save_weights(&self.grounder.state.graph.weights, 0.0)?;
+        Ok(())
+    }
+
     /// Apply base-tuple changes through the incremental DRed/IVM path
     /// (§4.1) and flush storage. Grounding only — no learning or inference;
     /// the serving daemon refreshes marginals separately with a bounded

@@ -9,8 +9,9 @@
 
 use crate::checkpoint::fnv1a64;
 use deepdive_storage::Value;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A fault plan: what fraction of inputs fail, under which seed.
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +97,146 @@ where
         inner(args)
     };
     (f, counter)
+}
+
+/// Serve-side fault points the daemon consults (see `crates/serve`):
+/// the WAL's fsync path, a torn (partially written) WAL record simulating a
+/// crash mid-append, and a per-record stall during WAL replay that widens
+/// the not-ready window for readiness tests.
+pub mod points {
+    /// `Wal::append`'s `sync_data` fails after the bytes are written; the
+    /// append rolls back and the ingest is not acknowledged.
+    pub const WAL_FSYNC: &str = "wal_fsync";
+    /// `Wal::append` writes only a prefix of the record and reports failure,
+    /// leaving the torn tail on disk exactly as `kill -9` mid-write would.
+    pub const WAL_TORN_WRITE: &str = "wal_torn_write";
+    /// WAL replay sleeps 50 ms per record so tests can observe the
+    /// `/readyz` not-ready window deterministically.
+    pub const WAL_REPLAY_STALL: &str = "wal_replay_stall";
+}
+
+/// One armed fault point: skip the first `skip` hits, then trip the next
+/// `remaining`.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    skip: u64,
+    remaining: u64,
+}
+
+/// A registry of named, countdown-armed fault points.
+///
+/// Unlike [`FaultPlan`] (probabilistic per-input), an injector trips on the
+/// *N-th call* to a named point — the right shape for crash-consistency
+/// tests ("fail the third fsync", "tear the next WAL write"). Points are
+/// plain strings so subsystems can add their own without coordinating an
+/// enum; unarmed points never trip and cost one mutex lock to check.
+///
+/// `DEEPDIVE_FAULTS="wal_fsync=1,wal_torn_write=2:1"` arms points from the
+/// environment (`point=count` or `point=skip:count`), which is how the CLI
+/// chaos legs inject faults into a release binary.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    arms: Mutex<HashMap<String, Arm>>,
+    tripped: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Arm `point` to trip on its next `count` hits.
+    pub fn arm(&self, point: &str, count: u64) {
+        self.arm_after(point, 0, count);
+    }
+
+    /// Arm `point` to skip its next `skip` hits, then trip `count` times.
+    pub fn arm_after(&self, point: &str, skip: u64, count: u64) {
+        let mut arms = self.arms.lock().unwrap_or_else(|p| p.into_inner());
+        arms.insert(
+            point.to_string(),
+            Arm {
+                skip,
+                remaining: count,
+            },
+        );
+    }
+
+    /// Disarm every point.
+    pub fn reset(&self) {
+        self.arms.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+
+    /// One hit of `point`: true when the armed countdown says this call
+    /// fails. Unarmed points always pass.
+    pub fn trips(&self, point: &str) -> bool {
+        let mut arms = self.arms.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(arm) = arms.get_mut(point) else {
+            return false;
+        };
+        if arm.skip > 0 {
+            arm.skip -= 1;
+            return false;
+        }
+        if arm.remaining == 0 {
+            return false;
+        }
+        arm.remaining -= 1;
+        if arm.remaining == 0 && arm.skip == 0 {
+            arms.remove(point);
+        }
+        self.tripped.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Total trips across all points (for chaos-test accounting).
+    pub fn tripped(&self) -> u64 {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Parse a `point=count` / `point=skip:count` comma list (the
+    /// `DEEPDIVE_FAULTS` grammar). Malformed entries are ignored — fault
+    /// injection must never take a production process down on its own.
+    pub fn parse(spec: &str) -> FaultInjector {
+        let injector = FaultInjector::new();
+        for entry in spec.split(',') {
+            let Some((point, arm)) = entry.trim().split_once('=') else {
+                continue;
+            };
+            let (skip, count) = match arm.split_once(':') {
+                Some((s, c)) => (s.parse().ok(), c.parse().ok()),
+                None => (Some(0), arm.parse().ok()),
+            };
+            if let (Some(skip), Some(count)) = (skip, count) {
+                injector.arm_after(point.trim(), skip, count);
+            }
+        }
+        injector
+    }
+
+    /// The injector armed from `DEEPDIVE_FAULTS`, or an empty (never
+    /// tripping) one.
+    pub fn from_env() -> FaultInjector {
+        match std::env::var("DEEPDIVE_FAULTS") {
+            Ok(spec) => FaultInjector::parse(&spec),
+            Err(_) => FaultInjector::new(),
+        }
+    }
+}
+
+/// Chaos-client helper: open a TCP connection to `addr`, send `prefix`, and
+/// return the still-open stream without ever completing the request — a
+/// deterministic slowloris/stalled-mid-body peer for daemon deadline tests.
+/// Dropping the returned stream closes the connection.
+pub fn stalled_client(
+    addr: std::net::SocketAddr,
+    prefix: &[u8],
+) -> std::io::Result<std::net::TcpStream> {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(prefix)?;
+    stream.flush()?;
+    Ok(stream)
 }
 
 /// Corrupt a TSV corpus: lines whose content trips `plan` get a trailing
@@ -193,6 +334,45 @@ mod tests {
         let (same, none) = corrupt_tsv(tsv, FaultPlan::new(0.0, 5));
         assert_eq!(same, tsv);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn injector_trips_exactly_the_armed_window() {
+        let inj = FaultInjector::new();
+        assert!(!inj.trips(points::WAL_FSYNC), "unarmed points never trip");
+
+        inj.arm(points::WAL_FSYNC, 2);
+        assert!(inj.trips(points::WAL_FSYNC));
+        assert!(inj.trips(points::WAL_FSYNC));
+        assert!(!inj.trips(points::WAL_FSYNC), "countdown exhausted");
+        assert_eq!(inj.tripped(), 2);
+
+        // skip-then-trip: hits 1-2 pass, 3 fails, 4 passes.
+        inj.arm_after(points::WAL_TORN_WRITE, 2, 1);
+        assert!(!inj.trips(points::WAL_TORN_WRITE));
+        assert!(!inj.trips(points::WAL_TORN_WRITE));
+        assert!(inj.trips(points::WAL_TORN_WRITE));
+        assert!(!inj.trips(points::WAL_TORN_WRITE));
+    }
+
+    #[test]
+    fn injector_parses_env_grammar() {
+        let inj = FaultInjector::parse("wal_fsync=1, wal_torn_write=1:2,junk,bad=x:y");
+        assert!(inj.trips("wal_fsync"));
+        assert!(!inj.trips("wal_fsync"));
+        assert!(!inj.trips("wal_torn_write"), "first hit skipped");
+        assert!(inj.trips("wal_torn_write"));
+        assert!(inj.trips("wal_torn_write"));
+        assert!(!inj.trips("wal_torn_write"));
+        assert!(!inj.trips("bad"), "malformed entries are ignored");
+    }
+
+    #[test]
+    fn injector_reset_disarms() {
+        let inj = FaultInjector::new();
+        inj.arm("p", 5);
+        inj.reset();
+        assert!(!inj.trips("p"));
     }
 
     #[test]

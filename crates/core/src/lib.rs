@@ -38,7 +38,9 @@ pub use calibration::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError, Manifest, ManifestEntry, Phase};
 pub use error_analysis::{analyze, ErrorAnalysis, ErrorAnalysisConfig, Judgment};
-pub use faults::{corrupt_tsv, flaky_udf, render_args, FaultCounter, FaultPlan};
+pub use faults::{
+    corrupt_tsv, flaky_udf, render_args, stalled_client, FaultCounter, FaultInjector, FaultPlan,
+};
 pub use metrics::{best_f1, threshold_sweep, Quality, ThresholdPoint};
 pub use mindtagger::{LabelingItem, LabelingTask};
 pub use report::RunReport;

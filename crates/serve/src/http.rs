@@ -7,6 +7,7 @@
 //! cap, query-string parsing with percent-decoding, and JSON responses.
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Largest request body the daemon accepts (ingest batches are documents,
 /// not datasets — bulk loads belong to `deepdive run`).
@@ -14,6 +15,43 @@ pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Request line + each header line are capped to keep a hostile peer from
 /// growing an unbounded buffer.
 const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Header count cap: a peer streaming headers forever is shed with 431
+/// rather than pinning a worker.
+const MAX_HEADERS: usize = 64;
+/// Body bytes read per deadline check, so a dribbling sender cannot dodge
+/// the request deadline by keeping each individual read alive.
+const BODY_CHUNK_BYTES: usize = 8 * 1024;
+
+/// Read-side limits for one request: how large the body may be and how long
+/// the whole parse (request line + headers + body) may take. The deadline is
+/// the slowloris defense — the socket's `read_timeout` bounds each syscall,
+/// this bounds their sum.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    pub max_body: usize,
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_body: MAX_BODY_BYTES,
+            deadline: None,
+        }
+    }
+}
+
+/// True for the error kinds a timed-out blocking socket read produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
 
 /// A parsed request: method, decoded path, decoded query pairs, raw body.
 #[derive(Debug, Clone)]
@@ -46,14 +84,23 @@ fn bad(status: u16, message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Read one `\r\n`-terminated line, enforcing the line cap.
-fn read_line(r: &mut impl BufRead) -> Result<String, ParseError> {
+/// Read one `\r\n`-terminated line, enforcing the line cap and the overall
+/// request deadline. A socket-level read timeout or an expired deadline
+/// becomes 408 — the peer stalled, answer and hang up instead of pinning
+/// the worker silently.
+fn read_line(r: &mut impl BufRead, deadline: Option<Instant>) -> Result<String, ParseError> {
     let mut line = Vec::new();
     loop {
+        if past(deadline) {
+            return Err(bad(408, "request header read timed out"));
+        }
         let mut byte = [0u8; 1];
         match r.read_exact(&mut byte) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && !line.is_empty() => break,
+            Err(e) if is_timeout(&e) => {
+                return Err(bad(408, "request header read timed out"));
+            }
             Err(e) => return Err(ParseError::Io(e)),
         }
         if byte[0] == b'\n' {
@@ -113,10 +160,23 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
 }
 
 impl Request {
+    /// Parse one request from the stream under default limits (tests and
+    /// simple embedding; the daemon passes explicit [`ParseLimits`]).
+    pub fn parse(r: &mut impl BufRead) -> Result<Request, ParseError> {
+        Request::parse_with(r, &ParseLimits::default())
+    }
+
     /// Parse one request from the stream. Headers other than
     /// `Content-Length` are ignored — every response closes the connection.
-    pub fn parse(r: &mut impl BufRead) -> Result<Request, ParseError> {
-        let request_line = read_line(r)?;
+    ///
+    /// Failure taxonomy: 400 malformed syntax (including duplicate
+    /// `Content-Length`), 408 the peer stalled past the deadline (headers
+    /// or mid-body), 413 declared body over the cap — checked from the
+    /// header alone, *before* any body byte is read, so an oversized upload
+    /// is refused without the daemon paying to receive it — and 431
+    /// oversized or too many header lines.
+    pub fn parse_with(r: &mut impl BufRead, limits: &ParseLimits) -> Result<Request, ParseError> {
+        let request_line = read_line(r, limits.deadline)?;
         let mut parts = request_line.split_whitespace();
         let method = parts
             .next()
@@ -130,26 +190,59 @@ impl Request {
             None => (target, ""),
         };
 
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
+        let mut headers = 0usize;
         loop {
-            let line = read_line(r)?;
+            let line = read_line(r, limits.deadline)?;
             if line.is_empty() {
                 break;
             }
+            headers += 1;
+            if headers > MAX_HEADERS {
+                return Err(bad(431, "too many header lines"));
+            }
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value
+                    let parsed = value
                         .trim()
                         .parse()
                         .map_err(|_| bad(400, "bad Content-Length"))?;
+                    // Two Content-Length headers are a smuggling smell;
+                    // reject even when they agree.
+                    if content_length.replace(parsed).is_some() {
+                        return Err(bad(400, "duplicate Content-Length"));
+                    }
                 }
             }
         }
-        if content_length > MAX_BODY_BYTES {
-            return Err(bad(413, "request body over the 8 MiB cap"));
+        let content_length = content_length.unwrap_or(0);
+        if content_length > limits.max_body {
+            // Reject from the declared length alone — the body is never read.
+            return Err(bad(
+                413,
+                format!("request body over the {} byte cap", limits.max_body),
+            ));
         }
         let mut body = vec![0u8; content_length];
-        r.read_exact(&mut body)?;
+        let mut filled = 0usize;
+        while filled < body.len() {
+            if past(limits.deadline) {
+                return Err(bad(408, "client stalled mid-body"));
+            }
+            let chunk = (body.len() - filled).min(BODY_CHUNK_BYTES);
+            match r.read(&mut body[filled..filled + chunk]) {
+                Ok(0) => {
+                    return Err(ParseError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "body shorter than Content-Length",
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Err(bad(408, "client stalled mid-body")),
+                Err(e) => return Err(ParseError::Io(e)),
+            }
+        }
 
         Ok(Request {
             method,
@@ -174,10 +267,13 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -187,6 +283,9 @@ fn reason(status: u16) -> &'static str {
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// Emitted as a `Retry-After: <secs>` header — load-shed (503) and
+    /// rate-limited (429) responses tell the client when to come back.
+    pub retry_after: Option<u64>,
     content_type: &'static str,
 }
 
@@ -195,6 +294,7 @@ impl Response {
         Response {
             status,
             body: serde_json::to_string_pretty(value).expect("a Value renders infallibly"),
+            retry_after: None,
             content_type: "application/json",
         }
     }
@@ -204,16 +304,25 @@ impl Response {
         Response::json(status, &serde_json::json!({ "error": message }))
     }
 
+    /// Attach a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
+    }
+
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
-            self.body
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        write!(w, "\r\n{}", self.body)?;
         w.flush()
     }
 }
@@ -254,8 +363,85 @@ mod tests {
     }
 
     #[test]
+    fn oversized_body_is_rejected_before_any_body_byte_is_read() {
+        // The reader holds headers declaring a huge body but zero body
+        // bytes; the 413 must come from the header alone. (Were the body
+        // read first, this would error UnexpectedEof instead.)
+        let raw = format!(
+            "POST /documents HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut reader = BufReader::new(raw.as_bytes());
+        match Request::parse(&mut reader) {
+            Err(ParseError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413 before body read, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = "POST /documents HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        match parse_str(raw) {
+            Err(ParseError::Bad {
+                status: 400,
+                message,
+            }) => {
+                assert!(message.contains("duplicate"), "{message}");
+            }
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        raw.push_str("\r\n");
+        match parse_str(&raw) {
+            Err(ParseError::Bad { status: 431, .. }) => {}
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_408() {
+        let limits = ParseLimits {
+            max_body: MAX_BODY_BYTES,
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+        };
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        match Request::parse_with(&mut BufReader::new(raw.as_bytes()), &limits) {
+            Err(ParseError::Bad { status: 408, .. }) => {}
+            other => panic!("expected 408, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_body_is_an_io_error_not_a_panic() {
+        let raw = "POST /documents HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi";
+        match parse_str(raw) {
+            Err(ParseError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn percent_decoding_handles_plus_and_escapes() {
         assert_eq!(percent_decode("a+b%2Fc%zz"), "a b/c%zz");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        Response::error(503, "shed")
+            .with_retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
     }
 
     #[test]

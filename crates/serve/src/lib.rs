@@ -8,6 +8,18 @@
 //! refreshing marginals with a bounded Gibbs pass before atomically
 //! publishing the next epoch.
 //!
+//! Crash + overload posture:
+//!
+//! * every acknowledged `POST /documents` is fsync'd to a write-ahead log
+//!   ([`wal`]) before it is applied — on restart the daemon restores the
+//!   checkpoint and replays the WAL through the same ingest path;
+//! * admission is bounded (`503 + Retry-After` beyond `max_inflight`),
+//!   ingest is rate-limited (429), and slow or stalled peers are cut by
+//!   socket timeouts plus a per-request deadline (408);
+//! * SIGTERM/SIGINT ([`signals`]) drains in-flight requests, flushes a
+//!   final checkpoint, truncates the WAL, and exits 0. `/readyz` (distinct
+//!   from `/healthz`) answers 503 during WAL replay and drain.
+//!
 //! Endpoints:
 //!
 //! * `GET /relations/{name}?offset=&limit=&<column>=<value>` — paged tuples
@@ -15,9 +27,10 @@
 //! * `GET /marginals/{relation}?min_p=&max_p=` — query-relation marginals
 //!   with probability thresholds;
 //! * `POST /documents` with `{"rows": {relation: [[cell, ...], ...]}}` —
-//!   incremental ingest;
-//! * `GET /healthz`, `GET /metrics` — liveness, per-endpoint latency
-//!   histograms, and storage/execution gauges.
+//!   durable incremental ingest;
+//! * `GET /healthz`, `GET /readyz`, `GET /metrics` — liveness, readiness,
+//!   per-endpoint latency histograms, admission/WAL gauges, and
+//!   storage/execution gauges.
 //!
 //! Everything is hand-rolled over `std::net` — the offline build takes no
 //! HTTP or runtime dependencies.
@@ -25,8 +38,11 @@
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod signals;
 pub mod snapshot;
+pub mod wal;
 
 pub use metrics::ServeMetrics;
-pub use server::{ServeConfig, ServeState, Server, ServerHandle};
+pub use server::{DrainSummary, Lifecycle, ServeConfig, ServeState, Server, ServerHandle};
 pub use snapshot::{ServeSnapshot, SnapshotCell};
+pub use wal::{Wal, WalRecovery};

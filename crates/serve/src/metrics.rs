@@ -13,8 +13,9 @@ const BUCKET_BOUNDS_MICROS: [u64; 6] = [1_000, 5_000, 25_000, 100_000, 500_000, 
 const NUM_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
 
 /// The endpoints we keep separate books for.
-pub const ENDPOINTS: [&str; 6] = [
+pub const ENDPOINTS: [&str; 7] = [
     "healthz",
+    "readyz",
     "metrics",
     "relations",
     "marginals",
@@ -67,9 +68,19 @@ impl EndpointMetrics {
 }
 
 /// All endpoint books; one instance per server, shared by every worker.
+/// The admission counters sit beside them: connections shed at the
+/// admission queue (503), ingests refused by the rate limiter (429), and
+/// requests cut by a read deadline (408) never reach an endpoint handler,
+/// so they are counted here rather than in a latency book.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     endpoints: [EndpointMetrics; ENDPOINTS.len()],
+    /// Connections refused with 503 because the admission queue was full.
+    pub shed_total: AtomicU64,
+    /// Ingests refused with 429 by the token-bucket rate limiter.
+    pub rate_limited_total: AtomicU64,
+    /// Requests answered 408 after a header/body read stalled.
+    pub timeout_total: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -89,6 +100,30 @@ impl ServeMetrics {
             .iter()
             .map(|e| e.requests.load(Ordering::Relaxed))
             .sum()
+    }
+
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rate_limited(&self) {
+        self.rate_limited_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_timeout(&self) {
+        self.timeout_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    pub fn rate_limited_total(&self) -> u64 {
+        self.rate_limited_total.load(Ordering::Relaxed)
+    }
+
+    pub fn timeout_total(&self) -> u64 {
+        self.timeout_total.load(Ordering::Relaxed)
     }
 
     pub fn to_json(&self) -> Value {

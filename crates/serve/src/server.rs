@@ -3,19 +3,40 @@
 //!
 //! Ownership layout:
 //!
-//! * Readers (`GET /relations`, `/marginals`, `/healthz`, `/metrics`) touch
-//!   only the snapshot cell and atomics — they never take the writer lock,
-//!   so queries stay fast while an ingest is re-grounding.
-//! * `POST /documents` serializes through `Mutex<DeepDive>`: route the new
-//!   rows through incremental view maintenance and DRed (§4.1) so only the
-//!   touched region re-grounds, run a bounded Gibbs refresh sized to the
-//!   grounding delta (§4.2), then publish the next epoch with one pointer
-//!   swap. A concurrent reader sees epoch N or N+1, never a mixture.
+//! * Readers (`GET /relations`, `/marginals`, `/healthz`, `/readyz`,
+//!   `/metrics`) touch only the snapshot cell and atomics — they never take
+//!   the writer lock, so queries stay fast while an ingest is re-grounding.
+//! * `POST /documents` serializes through `Mutex<DeepDive>`: append the
+//!   validated body to the write-ahead log (fsync'd — the ack promises
+//!   durability), route the new rows through incremental view maintenance
+//!   and DRed (§4.1) so only the touched region re-grounds, run a bounded
+//!   Gibbs refresh sized to the grounding delta (§4.2), then publish the
+//!   next epoch with one pointer swap. A concurrent reader sees epoch N or
+//!   N+1, never a mixture.
+//!
+//! Robustness posture (crash + overload):
+//!
+//! * **Durability.** Startup restores the checkpoint, then replays the WAL
+//!   through the same ingest path; `/readyz` reports 503 until the replayed
+//!   epoch swaps in. A successful checkpoint flush (startup replay or
+//!   graceful drain) truncates the WAL.
+//! * **Admission control.** At most `max_inflight` connections are queued
+//!   or being served; beyond that the accept loop sheds with
+//!   `503 + Retry-After` instead of queuing unboundedly. `POST /documents`
+//!   additionally passes a token-bucket rate limit (429). Per-connection
+//!   read/write timeouts plus an overall request deadline cut slowloris and
+//!   stalled-mid-body peers with 408.
+//! * **Lifecycle.** `graceful_shutdown` stops accepting, drains in-flight
+//!   requests up to the drain budget, flushes a final checkpoint, and
+//!   truncates the WAL; `abort` drops everything on the floor (the chaos
+//!   tests' in-process `kill -9`).
 
-use crate::http::{ParseError, Request, Response};
+use crate::http::{ParseError, ParseLimits, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::snapshot::{ServeSnapshot, SnapshotCell};
-use deepdive_core::DeepDive;
+use crate::wal::{Wal, WalRecovery};
+use deepdive_core::faults::{points, FaultInjector};
+use deepdive_core::{Checkpoint, DeepDive};
 use deepdive_inference::{bounded_options, RefreshBudget};
 use deepdive_sampler::GibbsOptions;
 use deepdive_storage::{
@@ -27,7 +48,8 @@ use serde_json::{json, Map, Value as Json};
 use std::collections::HashSet;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,6 +66,31 @@ pub struct ServeConfig {
     pub page_limit: usize,
     /// Gibbs budget for post-ingest refreshes.
     pub refresh: RefreshBudget,
+    /// Where the ingest write-ahead log lives. `None` disables durability:
+    /// ingests are acknowledged from memory only (the pre-WAL behavior,
+    /// still right for exploratory serving over a scratch checkpoint).
+    pub wal_dir: Option<PathBuf>,
+    /// Where the final checkpoint is flushed on graceful shutdown (and
+    /// after startup replay). Normally the `--resume` run directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Admission bound: connections queued or in-flight beyond this are
+    /// shed with `503 + Retry-After`.
+    pub max_inflight: usize,
+    /// Token-bucket rate limit on `POST /documents`, in requests/second
+    /// (burst = one second's worth). `None` = unlimited.
+    pub ingest_rate: Option<f64>,
+    /// How long a graceful shutdown waits for in-flight requests.
+    pub drain: Duration,
+    /// Per-syscall socket read timeout (each blocking read).
+    pub read_timeout: Duration,
+    /// Per-syscall socket write timeout (a peer not reading its response).
+    pub write_timeout: Duration,
+    /// Overall budget for reading one request (header + body); a peer
+    /// dribbling bytes slower than this is cut with 408.
+    pub request_deadline: Duration,
+    /// Fault injection for chaos tests (fsync failures, torn WAL writes,
+    /// replay stalls); defaults to a never-tripping injector.
+    pub faults: Arc<FaultInjector>,
 }
 
 impl Default for ServeConfig {
@@ -53,14 +100,104 @@ impl Default for ServeConfig {
             workers: 4,
             page_limit: 100,
             refresh: RefreshBudget::default(),
+            wal_dir: None,
+            checkpoint_dir: None,
+            max_inflight: 64,
+            ingest_rate: None,
+            drain: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(15),
+            faults: Arc::new(FaultInjector::new()),
         }
     }
+}
+
+/// Where the daemon is in its life: replaying the WAL (serving the
+/// pre-replay epoch, not ready), ready, or draining for shutdown.
+/// `/healthz` stays 200 throughout — liveness and readiness are distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    Replaying,
+    Ready,
+    Draining,
+}
+
+impl Lifecycle {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Lifecycle::Replaying => "replaying",
+            Lifecycle::Ready => "ready",
+            Lifecycle::Draining => "draining",
+        }
+    }
+
+    fn from_u8(v: u8) -> Lifecycle {
+        match v {
+            0 => Lifecycle::Replaying,
+            2 => Lifecycle::Draining,
+            _ => Lifecycle::Ready,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Lifecycle::Replaying => 0,
+            Lifecycle::Ready => 1,
+            Lifecycle::Draining => 2,
+        }
+    }
+}
+
+/// Classic token bucket: `rate` tokens/second refill, burst of one
+/// second's worth (at least 1). `try_take` either spends a token or says
+/// how long until one is available.
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64) -> TokenBucket {
+        let burst = rate.max(1.0);
+        TokenBucket {
+            rate: rate.max(f64::MIN_POSITIVE),
+            burst,
+            tokens: burst,
+            last: Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> Result<(), u64> {
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(((1.0 - self.tokens) / self.rate).ceil().max(1.0) as u64)
+        }
+    }
+}
+
+/// WAL bookkeeping surfaced in `/metrics` and the replay report.
+#[derive(Debug, Default, Clone)]
+struct WalStats {
+    torn_tail_recovered: bool,
+    torn_bytes: u64,
+    replayed_records: u64,
+    replay_skipped: u64,
 }
 
 /// Everything a request handler can reach, shared across workers.
 pub struct ServeState {
     snapshot: SnapshotCell,
-    /// The single writer. Only `POST /documents` (and shutdown) lock it.
+    /// The single writer. Only `POST /documents`, WAL replay, and the final
+    /// checkpoint flush lock it.
     writer: Mutex<DeepDive>,
     pub metrics: ServeMetrics,
     budget: Arc<MemoryBudget>,
@@ -73,12 +210,89 @@ pub struct ServeState {
     refresh: RefreshBudget,
     page_limit: usize,
     started: Instant,
+    lifecycle: AtomicU8,
+    /// Connections admitted (queued or being served) right now.
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    ingest_bucket: Option<Mutex<TokenBucket>>,
+    wal: Option<Mutex<Wal>>,
+    wal_stats: Mutex<WalStats>,
+    wal_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    faults: Arc<FaultInjector>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    request_deadline: Duration,
 }
 
 impl ServeState {
     /// The currently served snapshot (for tests and the CLI banner).
     pub fn current(&self) -> Arc<ServeSnapshot> {
         self.snapshot.load()
+    }
+
+    pub fn lifecycle(&self) -> Lifecycle {
+        Lifecycle::from_u8(self.lifecycle.load(Ordering::SeqCst))
+    }
+
+    fn set_lifecycle(&self, l: Lifecycle) {
+        self.lifecycle.store(l.as_u8(), Ordering::SeqCst);
+    }
+
+    /// Current admission queue depth (queued + in-flight connections).
+    pub fn queue_depth(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// `(records, bytes)` currently in the WAL; zeros when disabled.
+    pub fn wal_gauges(&self) -> (u64, u64) {
+        match &self.wal {
+            Some(wal) => {
+                let wal = wal.lock();
+                (wal.records(), wal.bytes())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Flush a checkpoint capturing every applied ingest, then truncate the
+    /// WAL — its records are now owned by the checkpoint. Requires the
+    /// writer lock to be free (callers must not hold it).
+    fn flush_checkpoint(&self) -> io::Result<()> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(());
+        };
+        let dd = self.writer.lock();
+        let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
+        dd.save_checkpoint(&ckpt).map_err(io::Error::other)?;
+        drop(dd);
+        if let Some(wal) = &self.wal {
+            wal.lock().truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Write the replay report (`report.json` in the WAL dir): what the
+    /// recovery scan found and what replay did — including `wal_torn_tail`,
+    /// the flag operators alert on.
+    fn write_wal_report(&self) {
+        let Some(dir) = &self.wal_dir else { return };
+        let stats = self.wal_stats.lock().clone();
+        let (records, bytes) = self.wal_gauges();
+        let report = json!({
+            "wal": json!({
+                "wal_torn_tail": stats.torn_tail_recovered,
+                "torn_bytes_dropped": stats.torn_bytes,
+                "records_replayed": stats.replayed_records,
+                "records_skipped": stats.replay_skipped,
+                "records_pending": records,
+                "bytes": bytes,
+            })
+        });
+        let text = serde_json::to_string_pretty(&report).expect("report renders");
+        if let Err(e) = std::fs::write(dir.join("report.json"), text) {
+            eprintln!("deepdive serve: cannot write WAL replay report: {e}");
+        }
     }
 }
 
@@ -87,13 +301,22 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
     workers: usize,
+    drain: Duration,
+    /// Intact WAL records recovered at open, pending replay on `start`.
+    pending_replay: Vec<Vec<u8>>,
 }
 
 impl Server {
     /// Materialize the initial snapshot from `dd`'s current state (normally
-    /// restored from a checkpoint) and bind the listener. Marginals are
-    /// computed once, up front, with the run's full inference options —
+    /// restored from a checkpoint), open the write-ahead log (recovering
+    /// any records a crash left behind), and bind the listener. Marginals
+    /// are computed once, up front, with the run's full inference options —
     /// serving never pays that cost again until an ingest.
+    ///
+    /// If the WAL holds records, the daemon starts in `Replaying` state:
+    /// it serves the pre-replay epoch, answers `/readyz` with 503, and
+    /// refuses ingests until [`Server::start`]'s replay thread swaps the
+    /// replayed epoch in.
     pub fn new(dd: DeepDive, config: &ServeConfig) -> io::Result<Server> {
         let inference = dd.config.inference.clone();
         let snapshot = ServeSnapshot::capture(&dd, 0, &inference);
@@ -101,6 +324,34 @@ impl Server {
         let budget = dd.db.memory_budget().clone();
         let ctx = dd.execution_context().clone();
         let listener = TcpListener::bind(&config.addr)?;
+
+        let mut pending_replay = Vec::new();
+        let mut wal_stats = WalStats::default();
+        let wal = match &config.wal_dir {
+            Some(dir) => {
+                let (wal, recovery): (Wal, WalRecovery) = Wal::open(dir, config.faults.clone())?;
+                if recovery.torn_tail {
+                    eprintln!(
+                        "deepdive serve: WARNING: dropped a torn WAL tail ({} bytes after {} \
+                         intact records) — a crash interrupted an unacknowledged append",
+                        recovery.torn_bytes,
+                        recovery.records.len()
+                    );
+                }
+                wal_stats.torn_tail_recovered = recovery.torn_tail;
+                wal_stats.torn_bytes = recovery.torn_bytes;
+                pending_replay = recovery.records;
+                Some(Mutex::new(wal))
+            }
+            None => None,
+        };
+
+        let lifecycle = if pending_replay.is_empty() {
+            Lifecycle::Ready
+        } else {
+            Lifecycle::Replaying
+        };
+
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
@@ -114,8 +365,25 @@ impl Server {
                 refresh: config.refresh.clone(),
                 page_limit: config.page_limit.max(1),
                 started: Instant::now(),
+                lifecycle: AtomicU8::new(lifecycle.as_u8()),
+                inflight: AtomicUsize::new(0),
+                max_inflight: config.max_inflight.max(1),
+                ingest_bucket: config
+                    .ingest_rate
+                    .filter(|r| *r > 0.0)
+                    .map(|r| Mutex::new(TokenBucket::new(r))),
+                wal,
+                wal_stats: Mutex::new(wal_stats),
+                wal_dir: config.wal_dir.clone(),
+                checkpoint_dir: config.checkpoint_dir.clone(),
+                faults: config.faults.clone(),
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+                request_deadline: config.request_deadline,
             }),
             workers: config.workers.max(1),
+            drain: config.drain,
+            pending_replay,
         })
     }
 
@@ -128,51 +396,189 @@ impl Server {
         self.state.clone()
     }
 
-    /// Spawn the accept loop and worker pool; returns the handle used to
-    /// reach and stop them.
+    /// WAL records recovered at open and pending replay (for the banner).
+    pub fn pending_replay(&self) -> usize {
+        self.pending_replay.len()
+    }
+
+    /// Spawn the accept loop, worker pool, and (when the WAL recovered
+    /// records) the replay thread; returns the handle used to reach and
+    /// stop them. Readers are served immediately — from the pre-replay
+    /// epoch until replay publishes its single swap.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(std::sync::Mutex::new(rx));
 
-        let mut threads = Vec::with_capacity(self.workers + 1);
+        let mut workers = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
             let rx = rx.clone();
             let state = self.state.clone();
-            threads.push(std::thread::spawn(move || loop {
+            workers.push(std::thread::spawn(move || loop {
                 // Hold the receiver lock only for the dequeue.
                 let stream = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
                 match stream {
-                    Ok(stream) => handle_connection(stream, &state),
+                    Ok(stream) => {
+                        handle_connection(stream, &state);
+                        state.inflight.fetch_sub(1, Ordering::SeqCst);
+                    }
                     Err(_) => break, // accept loop dropped the sender
                 }
             }));
         }
 
         let accept_shutdown = shutdown.clone();
+        let accept_state = self.state.clone();
         let listener = self.listener;
-        threads.push(std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-            }
-            // Dropping `tx` drains the workers.
-        }));
+        listener.set_nonblocking(true)?;
+        let accept = std::thread::spawn(move || {
+            accept_loop(&listener, &tx, &accept_state, &accept_shutdown);
+            // Dropping `tx` (with `listener`) drains the workers.
+        });
+
+        let replay = if self.pending_replay.is_empty() {
+            self.state.write_wal_report();
+            None
+        } else {
+            let state = self.state.clone();
+            let records = self.pending_replay;
+            Some(std::thread::spawn(move || replay_wal(&state, records)))
+        };
 
         Ok(ServerHandle {
             addr,
             state: self.state,
             shutdown,
-            threads,
+            workers,
+            accept: Some(accept),
+            replay,
+            drain: self.drain,
         })
     }
+}
+
+/// Nonblocking accept + admission control: beyond `max_inflight` admitted
+/// connections (or during drain) the connection is answered `503` with
+/// `Retry-After` and closed — bounded queueing with explicit load-shedding
+/// instead of an unbounded backlog that falls over.
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &mpsc::Sender<TcpStream>,
+    state: &ServeState,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.lifecycle() == Lifecycle::Draining {
+                    shed(stream, state, "draining for shutdown");
+                    continue;
+                }
+                // Admit up front so the gauge covers queued + in-flight.
+                let admitted = state.inflight.fetch_add(1, Ordering::SeqCst);
+                if admitted >= state.max_inflight {
+                    state.inflight.fetch_sub(1, Ordering::SeqCst);
+                    shed(stream, state, "admission queue full");
+                    continue;
+                }
+                if tx.send(stream).is_err() {
+                    state.inflight.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Answer a shed connection `503 + Retry-After` without parsing anything;
+/// the write is bounded by a short timeout so a dead peer cannot stall the
+/// accept loop.
+fn shed(mut stream: TcpStream, state: &ServeState, why: &str) {
+    state.metrics.record_shed();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = Response::error(503, why)
+        .with_retry_after(1)
+        .write_to(&mut stream);
+}
+
+/// Replay recovered WAL records through the same validate → DRed/IVM path a
+/// live `POST /documents` takes, then publish one snapshot swap sized by
+/// the shared [`RefreshBudget`]. Readers keep the pre-replay epoch until
+/// that swap; `/readyz` flips to 200 after it. A successful checkpoint
+/// flush then truncates the WAL.
+fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
+    let stall = state.faults.trips(points::WAL_REPLAY_STALL);
+    let total_records = records.len() as u64;
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    let mut changed_total = 0usize;
+    {
+        let mut dd = state.writer.lock();
+        for (i, record) in records.iter().enumerate() {
+            if stall {
+                // Deterministically widen the not-ready window so tests can
+                // observe readers during replay.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let changes = match parse_ingest_body(&dd, &state.derived, record) {
+                Ok(changes) => changes,
+                Err(resp) => {
+                    eprintln!(
+                        "deepdive serve: WARNING: WAL record {} failed validation and was \
+                         skipped: {}",
+                        i + 1,
+                        resp.body
+                    );
+                    skipped += 1;
+                    continue;
+                }
+            };
+            match dd.apply_base_changes(changes) {
+                Ok(delta) => {
+                    changed_total += delta.total();
+                    replayed += 1;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "deepdive serve: WARNING: WAL record {} failed to apply and was \
+                         skipped: {e}",
+                        i + 1
+                    );
+                    skipped += 1;
+                }
+            }
+        }
+        // One bounded refresh over everything the replay re-grounded, one
+        // swap: concurrent readers see the pre-replay epoch, then this one.
+        let opts = bounded_options(&state.inference, &state.refresh, changed_total);
+        let epoch = state.snapshot.load().epoch + total_records;
+        let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
+        state.snapshot.store(snapshot);
+    }
+    {
+        let mut stats = state.wal_stats.lock();
+        stats.replayed_records = replayed;
+        stats.replay_skipped = skipped;
+    }
+    // The replayed state is as durable as the checkpoint we can flush; only
+    // a successful flush may truncate the log.
+    if let Err(e) = state.flush_checkpoint() {
+        eprintln!(
+            "deepdive serve: WARNING: post-replay checkpoint flush failed ({e}); \
+             keeping the WAL for the next restart"
+        );
+    }
+    state.set_lifecycle(Lifecycle::Ready);
+    state.write_wal_report();
+    eprintln!("deepdive serve: WAL replay complete: {replayed} records applied, {skipped} skipped");
 }
 
 /// Handle to a running server: address, shared state, clean shutdown.
@@ -180,7 +586,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    replay: Option<JoinHandle<()>>,
+    drain: Duration,
+}
+
+/// What a graceful shutdown accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainSummary {
+    /// In-flight requests left when the drain budget expired (0 = clean).
+    pub stragglers: usize,
+    /// Whether the final checkpoint (and WAL truncation) succeeded.
+    pub checkpoint_flushed: bool,
 }
 
 impl ServerHandle {
@@ -192,33 +610,123 @@ impl ServerHandle {
         self.state.clone()
     }
 
-    /// Stop accepting, drain in-flight requests, join every thread.
-    pub fn shutdown(mut self) {
+    /// Graceful shutdown: stop accepting (new connections are shed with
+    /// 503 while the listener lives, refused once it closes), drain
+    /// in-flight requests up to the drain budget, flush a final checkpoint,
+    /// truncate the WAL, and join every thread that finished in time.
+    pub fn graceful_shutdown(mut self) -> io::Result<DrainSummary> {
+        self.state.set_lifecycle(Lifecycle::Draining);
+        // Let the replay finish first — it holds the writer lock and is
+        // finite; the final checkpoint needs its result anyway.
+        if let Some(replay) = self.replay.take() {
+            let _ = replay.join();
+        }
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        for t in self.threads.drain(..) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+
+        // Drain: wait for admitted connections to finish, bounded by the
+        // drain budget (socket deadlines bound each one individually).
+        let deadline = Instant::now() + self.drain;
+        while self.state.queue_depth() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stragglers = self.state.queue_depth();
+        if stragglers == 0 {
+            // The accept loop dropped the sender; workers drain the queue
+            // and exit.
+            for t in self.workers.drain(..) {
+                let _ = t.join();
+            }
+        } else {
+            eprintln!(
+                "deepdive serve: drain budget expired with {stragglers} request(s) still \
+                 in flight; detaching workers"
+            );
+            self.workers.clear();
+        }
+
+        let checkpoint_flushed = match self.state.flush_checkpoint() {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!(
+                    "deepdive serve: WARNING: final checkpoint flush failed ({e}); \
+                     keeping the WAL"
+                );
+                false
+            }
+        };
+        self.state.write_wal_report();
+        Ok(DrainSummary {
+            stragglers,
+            checkpoint_flushed,
+        })
+    }
+
+    /// Stop accepting, drain in-flight requests, flush the final
+    /// checkpoint, join every thread. (The graceful path; chaos tests use
+    /// [`ServerHandle::abort`] for the crash path.)
+    pub fn shutdown(self) {
+        let _ = self.graceful_shutdown();
+    }
+
+    /// Simulated `kill -9`: tear the server down with *no* drain, *no*
+    /// final checkpoint, and *no* WAL truncation — exactly the state a
+    /// crash leaves on disk. Chaos tests restart from the checkpoint + WAL
+    /// this leaves behind and assert replay recovers every acknowledged
+    /// ingest.
+    pub fn abort(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(replay) = self.replay.take() {
+            let _ = replay.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 
+    /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT),
+    /// then drain gracefully.
+    pub fn run_until(self, stop: &AtomicBool) -> io::Result<DrainSummary> {
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.graceful_shutdown()
+    }
+
     /// Block until every serving thread exits (a daemon that runs forever).
     pub fn join(mut self) {
-        for t in self.threads.drain(..) {
+        if let Some(replay) = self.replay.take() {
+            let _ = replay.join();
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 }
 
 fn handle_connection(stream: TcpStream, state: &ServeState) {
-    // A silent peer must not pin a worker forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // A silent peer must not pin a worker: every read and write syscall is
+    // bounded, and the whole request must arrive within the deadline.
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut write_half = stream;
-    match Request::parse(&mut reader) {
+    let limits = ParseLimits {
+        max_body: crate::http::MAX_BODY_BYTES,
+        deadline: Some(Instant::now() + state.request_deadline),
+    };
+    match Request::parse_with(&mut reader, &limits) {
         Ok(req) => {
             let start = Instant::now();
             let (endpoint, response) = route(&req, state);
@@ -228,6 +736,9 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
             let _ = response.write_to(&mut write_half);
         }
         Err(ParseError::Bad { status, message }) => {
+            if status == 408 {
+                state.metrics.record_timeout();
+            }
             let _ = Response::error(status, &message).write_to(&mut write_half);
         }
         Err(ParseError::Io(_)) => {}
@@ -237,9 +748,10 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
 fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/readyz") => ("readyz", readyz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state)),
         ("POST", "/documents") => ("documents", post_documents(req, state)),
-        (_, "/healthz" | "/metrics") => ("other", Response::error(405, "use GET")),
+        (_, "/healthz" | "/readyz" | "/metrics") => ("other", Response::error(405, "use GET")),
         (_, "/documents") => ("other", Response::error(405, "use POST")),
         ("GET", path) => {
             if let Some(name) = path.strip_prefix("/relations/") {
@@ -263,6 +775,7 @@ fn healthz(state: &ServeState) -> Response {
         200,
         &json!({
             "status": "ok",
+            "lifecycle": state.lifecycle().as_str(),
             "epoch": snap.epoch,
             "fingerprint": format!("{:016x}", snap.fingerprint),
             "uptime_secs": state.started.elapsed().as_secs_f64(),
@@ -271,6 +784,25 @@ fn healthz(state: &ServeState) -> Response {
             "marginal_rows": snap.total_marginals(),
         }),
     )
+}
+
+/// Readiness, distinct from liveness: 503 while the WAL is replaying
+/// (readers would see the pre-replay epoch) and while draining (new work
+/// belongs elsewhere). Load balancers route on this; `/healthz` answers
+/// "is the process alive" and stays 200 throughout.
+fn readyz(state: &ServeState) -> Response {
+    let lifecycle = state.lifecycle();
+    let snap = state.snapshot.load();
+    let body = json!({
+        "status": lifecycle.as_str(),
+        "epoch": snap.epoch,
+    });
+    match lifecycle {
+        Lifecycle::Ready => Response::json(200, &body),
+        Lifecycle::Replaying | Lifecycle::Draining => {
+            Response::json(503, &body).with_retry_after(1)
+        }
+    }
 }
 
 fn metrics(state: &ServeState) -> Response {
@@ -286,11 +818,29 @@ fn metrics(state: &ServeState) -> Response {
             }),
         );
     }
+    let (wal_records, wal_bytes) = state.wal_gauges();
+    let wal_stats = state.wal_stats.lock().clone();
     Response::json(
         200,
         &json!({
             "epoch": snap.epoch,
+            "lifecycle": state.lifecycle().as_str(),
             "requests": state.metrics.to_json(),
+            "admission": json!({
+                "queue_depth": state.queue_depth(),
+                "max_inflight": state.max_inflight,
+                "shed_total": state.metrics.shed_total(),
+                "rate_limited_total": state.metrics.rate_limited_total(),
+                "timeout_total": state.metrics.timeout_total(),
+            }),
+            "wal": json!({
+                "enabled": state.wal.is_some(),
+                "records": wal_records,
+                "bytes": wal_bytes,
+                "torn_tail_recovered": wal_stats.torn_tail_recovered,
+                "replayed_records": wal_stats.replayed_records,
+                "replay_skipped": wal_stats.replay_skipped,
+            }),
             "storage": json!({
                 "resident_bytes": state.budget.resident(),
                 "peak_resident_bytes": state.budget.peak_resident(),
@@ -497,62 +1047,78 @@ fn json_to_value(cell: &Json, ty: ValueType) -> Result<DbValue, String> {
     }
 }
 
-/// `POST /documents` body: `{"rows": {"Relation": [[cell, ...], ...]}}`.
-fn post_documents(req: &Request, state: &ServeState) -> Response {
-    let Ok(text) = std::str::from_utf8(&req.body) else {
-        return Response::error(400, "body is not UTF-8");
+/// Validate one ingest body (`{"rows": {"Relation": [[cell, ...], ...]}}`)
+/// against the live schemas and convert it to base changes. Shared by the
+/// live `POST /documents` path and WAL replay — by construction, replay
+/// revalidates exactly what an ack validated.
+fn parse_ingest_body(
+    dd: &DeepDive,
+    derived: &HashSet<String>,
+    body: &[u8],
+) -> Result<Vec<BaseChange>, Response> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Err(Response::error(400, "body is not UTF-8"));
     };
     let body: Json = match serde_json::from_str(text) {
         Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        Err(e) => return Err(Response::error(400, &format!("bad JSON: {e}"))),
     };
     let Some(rows) = body.get("rows").and_then(Json::as_object) else {
-        return Response::error(
+        return Err(Response::error(
             400,
             "body must be {\"rows\": {relation: [[cell, ...], ...]}}",
-        );
+        ));
     };
-
-    // Single writer: everything from validation to the snapshot swap happens
-    // under this lock, so concurrent POSTs serialize and readers keep the
-    // previous epoch until `store`.
-    let mut dd = state.writer.lock();
 
     let mut changes: Vec<BaseChange> = Vec::new();
     for (relation, rel_rows) in rows.iter() {
-        if state.derived.contains(relation) {
-            return Response::error(
+        if derived.contains(relation) {
+            return Err(Response::error(
                 400,
                 &format!("`{relation}` is derived by rules; ingest base relations only"),
-            );
+            ));
         }
         let schema = match dd.db.schema(relation) {
             Ok(s) => s,
-            Err(_) => return Response::error(400, &format!("unknown relation `{relation}`")),
+            Err(_) => {
+                return Err(Response::error(
+                    400,
+                    &format!("unknown relation `{relation}`"),
+                ))
+            }
         };
         let Some(rel_rows) = rel_rows.as_array() else {
-            return Response::error(400, &format!("`{relation}` must map to an array of rows"));
+            return Err(Response::error(
+                400,
+                &format!("`{relation}` must map to an array of rows"),
+            ));
         };
         for (i, row_json) in rel_rows.iter().enumerate() {
             let Some(cells) = row_json.as_array() else {
-                return Response::error(400, &format!("{relation}[{i}]: row must be an array"));
+                return Err(Response::error(
+                    400,
+                    &format!("{relation}[{i}]: row must be an array"),
+                ));
             };
             if cells.len() != schema.columns.len() {
-                return Response::error(
+                return Err(Response::error(
                     400,
                     &format!(
                         "{relation}[{i}]: {} cells for {} columns",
                         cells.len(),
                         schema.columns.len()
                     ),
-                );
+                ));
             }
             let mut row = Vec::with_capacity(cells.len());
             for (cell, col) in cells.iter().zip(&schema.columns) {
                 match json_to_value(cell, col.ty) {
                     Ok(v) => row.push(v),
                     Err(e) => {
-                        return Response::error(400, &format!("{relation}[{i}].{}: {e}", col.name))
+                        return Err(Response::error(
+                            400,
+                            &format!("{relation}[{i}].{}: {e}", col.name),
+                        ))
                     }
                 }
             }
@@ -560,14 +1126,57 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
         }
     }
     if changes.is_empty() {
-        return Response::error(400, "no rows to ingest");
+        return Err(Response::error(400, "no rows to ingest"));
     }
+    Ok(changes)
+}
+
+/// `POST /documents` body: `{"rows": {"Relation": [[cell, ...], ...]}}`.
+///
+/// Ack semantics: a 200 means the body is fsync'd in the WAL *and* applied
+/// to the served state — it survives `kill -9` from that point on. Any
+/// non-200 means the ingest left no durable trace.
+fn post_documents(req: &Request, state: &ServeState) -> Response {
+    match state.lifecycle() {
+        Lifecycle::Ready => {}
+        Lifecycle::Replaying => {
+            return Response::error(503, "not ready: WAL replay in progress").with_retry_after(1);
+        }
+        Lifecycle::Draining => {
+            return Response::error(503, "draining for shutdown").with_retry_after(1);
+        }
+    }
+    if let Some(bucket) = &state.ingest_bucket {
+        if let Err(retry_secs) = bucket.lock().try_take() {
+            state.metrics.record_rate_limited();
+            return Response::error(429, "ingest rate limit exceeded").with_retry_after(retry_secs);
+        }
+    }
+
+    // Single writer: everything from validation through the WAL append to
+    // the snapshot swap happens under this lock, so concurrent POSTs
+    // serialize (and the WAL orders records exactly as they were applied)
+    // and readers keep the previous epoch until `store`.
+    let mut dd = state.writer.lock();
+
+    let changes = match parse_ingest_body(&dd, &state.derived, &req.body) {
+        Ok(changes) => changes,
+        Err(resp) => return resp,
+    };
     let inserted = changes.len();
+
+    // Durability first: the record must be fsync'd before anything is
+    // applied or acknowledged. A failed append acknowledges nothing.
+    if let Some(wal) = &state.wal {
+        if let Err(e) = wal.lock().append(&req.body) {
+            return Response::error(500, &format!("ingest not applied: WAL append failed: {e}"));
+        }
+    }
 
     // DRed/IVM: derive exactly what the new rows imply, nothing else.
     let delta = match dd.apply_base_changes(changes) {
         Ok(d) => d,
-        Err(e) => return Response::error(400, &format!("ingest failed: {e}")),
+        Err(e) => return Response::error(500, &format!("ingest failed after WAL append: {e}")),
     };
 
     // Bounded refresh sized to the touched region, then one atomic swap.
@@ -576,6 +1185,7 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
     let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
     let fingerprint = snapshot.fingerprint;
     state.snapshot.store(snapshot);
+    let (wal_records, wal_bytes) = state.wal_gauges();
 
     Response::json(
         200,
@@ -583,6 +1193,9 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
             "epoch": epoch,
             "fingerprint": format!("{:016x}", fingerprint),
             "inserted": inserted,
+            "durable": state.wal.is_some(),
+            "wal_records": wal_records,
+            "wal_bytes": wal_bytes,
             "delta": json!({
                 "added_variables": delta.added_variables,
                 "removed_variables": delta.removed_variables,

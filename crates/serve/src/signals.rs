@@ -1,0 +1,83 @@
+//! Minimal SIGTERM/SIGINT trapping without a signal-handling dependency.
+//!
+//! The offline build cannot take `signal-hook` or `libc` as a crate, but on
+//! the platforms we run on `std` already links the C library, so declaring
+//! `signal(2)` ourselves is enough. The handler does the only thing that is
+//! async-signal-safe here: it stores into a static atomic the serve loop
+//! polls ([`ServerHandle::run_until`](crate::ServerHandle::run_until)).
+//!
+//! On non-Unix targets this module compiles to a no-op installer — the flag
+//! exists but nothing sets it, and the daemon runs until killed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a termination signal arrives; never cleared.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM or SIGINT has been received.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// The flag itself, for loops that want to poll it directly.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN_REQUESTED
+}
+
+/// Request shutdown programmatically (tests, or an admin endpoint).
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from the C library std already links. The return
+        // value is the previous handler; we never restore it.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the one async-signal-safe thing we need.
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install handlers for SIGTERM and SIGINT that set the shutdown flag.
+/// Idempotent; call once before entering the serve loop.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_sets_the_flag() {
+        install();
+        // Another test (or a stray signal) may already have set it; we only
+        // assert the programmatic path works and the flag is sticky.
+        request_shutdown();
+        assert!(shutdown_requested());
+        assert!(shutdown_flag().load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,465 @@
+//! The ingest write-ahead log: crash durability for `POST /documents`.
+//!
+//! The daemon's checkpoint only captures state as of the last flush; every
+//! ingest acknowledged since would be lost to a crash. So each accepted
+//! ingest body is appended here — and fsync'd — *before* the 200 goes out.
+//! On startup the daemon restores the checkpoint, then replays the log
+//! through the same DRed/IVM path a live `POST` takes; on a successful
+//! checkpoint flush the log is truncated, because the checkpoint now owns
+//! those writes.
+//!
+//! On-disk format (`ingest.wal`): an 8-byte magic header (`DDWAL1\n\0`)
+//! followed by length-prefixed, checksummed records:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a64(payload)][payload bytes]
+//! ```
+//!
+//! FNV-1a64 is the same content hash the checkpoint manifest uses
+//! (`deepdive_core::checkpoint::fnv1a64`). A crash mid-append leaves a torn
+//! tail — a record whose length prefix, checksum, or payload is incomplete
+//! or whose checksum disagrees. [`Wal::open`] detects the tear, reports it
+//! (the caller logs a warning and surfaces `wal_torn_tail` in its replay
+//! report), drops the tail, and truncates the file back to the last intact
+//! record so subsequent appends start from a clean offset. A torn record
+//! was by construction never acknowledged — the ack happens strictly after
+//! `sync_data` returns — so dropping it loses nothing a client was promised.
+
+use deepdive_core::checkpoint::fnv1a64;
+use deepdive_core::faults::{points, FaultInjector};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: identifies the format and its version.
+const MAGIC: &[u8; 8] = b"DDWAL1\n\0";
+/// Per-record framing overhead: u32 length + u64 checksum.
+const HEADER_BYTES: u64 = 12;
+/// Sanity cap on a single record's payload; anything larger means the
+/// length prefix itself is corrupt (ingest bodies are capped well below
+/// this by the HTTP layer).
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Intact record payloads, in append order, pending replay.
+    pub records: Vec<Vec<u8>>,
+    /// True when a torn/corrupt tail was detected and dropped.
+    pub torn_tail: bool,
+    /// Bytes of intact log retained (the offset the tail was cut at).
+    pub good_bytes: u64,
+    /// Bytes of torn tail discarded.
+    pub torn_bytes: u64,
+}
+
+/// An open, appendable write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Records currently in the log (recovered + appended since).
+    records: u64,
+    /// Bytes of intact log on disk (header + records).
+    bytes: u64,
+    /// Set when an append failed in a way that leaves the on-disk state
+    /// unknown (torn write, failed rollback): further appends are refused
+    /// until the log is truncated by a successful checkpoint.
+    poisoned: bool,
+    faults: Arc<FaultInjector>,
+}
+
+impl Wal {
+    /// Open (creating if needed) `dir/ingest.wal`, scan it for intact
+    /// records, drop any torn tail, and position the write cursor after the
+    /// last intact record. Returns the log and what was recovered.
+    pub fn open(dir: &Path, faults: Arc<FaultInjector>) -> io::Result<(Wal, WalRecovery)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("ingest.wal");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let total = file.metadata()?.len();
+        let mut recovery = WalRecovery {
+            records: Vec::new(),
+            torn_tail: false,
+            good_bytes: 0,
+            torn_bytes: 0,
+        };
+
+        if total == 0 {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            recovery.good_bytes = MAGIC.len() as u64;
+        } else {
+            let mut magic = [0u8; 8];
+            let got = read_fully(&mut file, &mut magic)?;
+            if got < magic.len() || &magic != MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a deepdive WAL (bad magic)", path.display()),
+                ));
+            }
+            let mut offset = MAGIC.len() as u64;
+            loop {
+                match read_record(&mut file) {
+                    Ok(Some(payload)) => {
+                        offset += HEADER_BYTES + payload.len() as u64;
+                        recovery.records.push(payload);
+                    }
+                    Ok(None) => break, // clean EOF
+                    Err(_) => {
+                        // Torn or corrupt tail: everything from `offset` on
+                        // is untrusted (and was never acknowledged).
+                        recovery.torn_tail = true;
+                        break;
+                    }
+                }
+            }
+            recovery.good_bytes = offset;
+            recovery.torn_bytes = total.saturating_sub(offset);
+            if recovery.torn_tail {
+                file.set_len(offset)?;
+                file.sync_data()?;
+            }
+        }
+
+        file.seek(SeekFrom::Start(recovery.good_bytes))?;
+        let wal = Wal {
+            path,
+            file,
+            records: recovery.records.len() as u64,
+            bytes: recovery.good_bytes,
+            poisoned: false,
+            faults,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// Append one record and fsync it. Returns only after the bytes are
+    /// durable — the caller may acknowledge the ingest iff this returns
+    /// `Ok`. On failure the append is rolled back (the file is truncated to
+    /// its pre-append length) so the log stays parseable; if even the
+    /// rollback fails the log is poisoned and refuses further appends.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL is poisoned by an earlier failed append; \
+                 a checkpoint flush is required to truncate it",
+            ));
+        }
+        if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "WAL record over the 64 MiB cap",
+            ));
+        }
+        let before = self.bytes;
+        let mut buf = Vec::with_capacity(HEADER_BYTES as usize + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+
+        // Fault point: a crash mid-write leaves a torn prefix on disk and
+        // the client never hears an ack.
+        if self.faults.trips(points::WAL_TORN_WRITE) {
+            let half = buf.len() / 2;
+            let _ = self.file.write_all(&buf[..half]);
+            let _ = self.file.flush();
+            self.poisoned = true;
+            return Err(io::Error::other("injected torn WAL write"));
+        }
+
+        let result = self
+            .file
+            .write_all(&buf)
+            .and_then(|()| {
+                if self.faults.trips(points::WAL_FSYNC) {
+                    Err(io::Error::other("injected fsync failure"))
+                } else {
+                    Ok(())
+                }
+            })
+            .and_then(|()| self.file.sync_data());
+        match result {
+            Ok(()) => {
+                self.bytes += buf.len() as u64;
+                self.records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // Cut the partial record back off so the log stays intact.
+                let rolled_back = self
+                    .file
+                    .set_len(before)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(before)).map(|_| ()))
+                    .and_then(|()| self.file.sync_data());
+                if rolled_back.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop every record: the state they carried is now owned by a
+    /// successfully committed checkpoint. Clears poisoning — the unknown
+    /// tail is discarded along with everything else.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::Start(MAGIC.len() as u64))?;
+        self.file.sync_data()?;
+        self.bytes = MAGIC.len() as u64;
+        self.records = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Intact bytes on disk (including the magic header).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True when a failed append left the on-disk state unknown.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read as many bytes as available into `buf`; returns how many were read
+/// (short only at EOF).
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read one record. `Ok(None)` at clean EOF; `Err` on a torn or corrupt
+/// record (short header, short payload, oversized length, checksum
+/// mismatch).
+fn read_record(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    let got = read_fully(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < header.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "torn record header",
+        ));
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    if len > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt record length",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_fully(r, &mut payload)?;
+    if got < payload.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "torn record payload",
+        ));
+    }
+    if fnv1a64(&payload) != checksum {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "record checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dd-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn injector() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::new())
+    }
+
+    #[test]
+    fn append_and_recover_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"{\"rows\":{}}", &[0xFF, 0x00, 0x7F]];
+        {
+            let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
+            assert!(rec.records.is_empty());
+            assert!(!rec.torn_tail);
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            assert_eq!(wal.records(), payloads.len() as u64);
+        }
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.records, payloads);
+        assert_eq!(wal.records(), payloads.len() as u64);
+        assert_eq!(wal.bytes(), rec.good_bytes);
+    }
+
+    #[test]
+    fn truncated_final_record_is_dropped_not_fatal() {
+        let dir = tmpdir("torn");
+        let good_bytes;
+        {
+            let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+            wal.append(b"first record").unwrap();
+            wal.append(b"second record").unwrap();
+            good_bytes = wal.bytes();
+            wal.append(b"third record, about to be torn").unwrap();
+        }
+        // Simulate a crash mid-append: cut the file inside the third
+        // record's payload.
+        let path = dir.join("ingest.wal");
+        let full = std::fs::metadata(&path).unwrap().len();
+        let cut = good_bytes + HEADER_BYTES + 4; // header + 4 payload bytes
+        assert!(cut < full);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.torn_tail, "tear must be detected");
+        assert_eq!(rec.records.len(), 2, "intact records survive");
+        assert_eq!(rec.records[0], b"first record");
+        assert_eq!(rec.records[1], b"second record");
+        assert_eq!(rec.good_bytes, good_bytes);
+        assert_eq!(rec.torn_bytes, cut - good_bytes);
+
+        // The file was truncated back to the last intact record, so new
+        // appends land cleanly after it.
+        wal.append(b"post-recovery record").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[2], b"post-recovery record");
+    }
+
+    #[test]
+    fn corrupted_checksum_drops_the_tail() {
+        let dir = tmpdir("cksum");
+        {
+            let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+            wal.append(b"keep me").unwrap();
+            wal.append(b"flip a bit in me").unwrap();
+        }
+        let path = dir.join("ingest.wal");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.records, vec![b"keep me".to_vec()]);
+    }
+
+    #[test]
+    fn fsync_fault_rolls_back_and_log_stays_intact() {
+        let dir = tmpdir("fsync");
+        let faults = injector();
+        let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
+        wal.append(b"durable").unwrap();
+
+        faults.arm(points::WAL_FSYNC, 1);
+        let err = wal.append(b"never acked").unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"));
+        assert_eq!(wal.records(), 1, "failed append not counted");
+        assert!(!wal.poisoned(), "rollback succeeded");
+
+        // The log is still appendable and the failed record left no trace.
+        wal.append(b"after the failure").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(
+            rec.records,
+            vec![b"durable".to_vec(), b"after the failure".to_vec()]
+        );
+    }
+
+    #[test]
+    fn torn_write_fault_poisons_until_truncate() {
+        let dir = tmpdir("tornwrite");
+        let faults = injector();
+        let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
+        wal.append(b"acked").unwrap();
+
+        faults.arm(points::WAL_TORN_WRITE, 1);
+        assert!(wal.append(b"torn mid-write").is_err());
+        assert!(wal.poisoned());
+        assert!(
+            wal.append(b"refused").is_err(),
+            "poisoned log refuses appends"
+        );
+
+        // Reopening (a restart) recovers the intact prefix and drops the tear.
+        drop(wal);
+        let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.records, vec![b"acked".to_vec()]);
+
+        // A checkpoint-driven truncate clears everything.
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let dir = tmpdir("trunc");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.bytes(), MAGIC.len() as u64);
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(rec.records, vec![b"three".to_vec()]);
+    }
+
+    #[test]
+    fn non_wal_file_is_refused() {
+        let dir = tmpdir("magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ingest.wal"), b"definitely not a WAL file").unwrap();
+        assert!(Wal::open(&dir, injector()).is_err());
+    }
+}

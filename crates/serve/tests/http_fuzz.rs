@@ -1,0 +1,146 @@
+//! Fuzz and malformation tests for the hand-rolled HTTP codec: arbitrary
+//! bytes must never panic the parser, and specific malformations must map
+//! to their specific status codes (400 syntax, 413 oversized body, 431
+//! oversized headers) rather than a hang or a crash.
+
+use deepdive_serve::http::{ParseError, ParseLimits, Request};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+    let mut r: &[u8] = bytes;
+    Request::parse(&mut r)
+}
+
+/// Every parse failure must be a mapped status the daemon can answer, or a
+/// network-level error it hangs up on — never anything else.
+fn assert_well_classified(result: &Result<Request, ParseError>) {
+    if let Err(ParseError::Bad { status, .. }) = result {
+        assert!(
+            matches!(status, 400 | 408 | 413 | 431),
+            "unmapped parse status {status}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total on arbitrary bytes.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        assert_well_classified(&parse(&bytes));
+    }
+
+    /// Garbage request lines (any printable junk) never panic, and always
+    /// classify to a mapped status.
+    #[test]
+    fn garbage_request_lines_are_classified(line in "\\PC{0,128}") {
+        let raw = format!("{line}\r\n\r\n");
+        assert_well_classified(&parse(raw.as_bytes()));
+    }
+
+    /// Pipelined junk after a complete request is ignored: the daemon is
+    /// one-request-per-connection, so trailing bytes (a smuggled second
+    /// request, random noise) must not corrupt the first parse.
+    #[test]
+    fn pipelined_junk_after_a_request_is_ignored(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut raw = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n".to_vec();
+        raw.extend_from_slice(&junk);
+        let req = parse(&raw).expect("valid prefix parses");
+        prop_assert_eq!(req.method.as_str(), "GET");
+        prop_assert_eq!(req.path.as_str(), "/healthz");
+        prop_assert!(req.body.is_empty());
+    }
+
+    /// Declared bodies round-trip whatever bytes they carry.
+    #[test]
+    fn declared_bodies_roundtrip(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut raw = format!(
+            "POST /documents HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let req = parse(&raw).expect("well-formed request parses");
+        prop_assert_eq!(req.body, body);
+    }
+}
+
+#[test]
+fn missing_content_length_means_empty_body() {
+    let req = parse(b"POST /documents HTTP/1.1\r\nHost: t\r\n\r\nleftover").expect("parses");
+    assert!(req.body.is_empty(), "no Content-Length, no body read");
+}
+
+#[test]
+fn duplicate_content_length_is_400() {
+    let raw = b"POST /d HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+    match parse(raw) {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 400),
+        other => panic!("duplicate Content-Length must be 400, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_numeric_content_length_is_400() {
+    match parse(b"POST /d HTTP/1.1\r\nContent-Length: banana\r\n\r\n") {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 400),
+        other => panic!("bad Content-Length must be 400, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_declared_body_is_413() {
+    let raw = format!(
+        "POST /d HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        8 * 1024 * 1024 + 1
+    );
+    match parse(raw.as_bytes()) {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 413),
+        other => panic!("oversized body must be 413, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_header_line_is_431() {
+    let raw = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(20_000));
+    match parse(raw.as_bytes()) {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 431),
+        other => panic!("oversized header line must be 431, got {other:?}"),
+    }
+}
+
+#[test]
+fn too_many_header_lines_is_431() {
+    let mut raw = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..100 {
+        raw.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    raw.push_str("\r\n");
+    match parse(raw.as_bytes()) {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 431),
+        other => panic!("header flood must be 431, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_request_line_is_400() {
+    match parse(b"\r\n\r\n") {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 400),
+        other => panic!("empty request line must be 400, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_is_408_not_a_hang() {
+    let limits = ParseLimits {
+        max_body: 1024,
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+    };
+    let mut r: &[u8] = b"GET / HTTP/1.1\r\n\r\n";
+    match Request::parse_with(&mut r, &limits) {
+        Err(ParseError::Bad { status, .. }) => assert_eq!(status, 408),
+        other => panic!("expired deadline must be 408, got {other:?}"),
+    }
+}
