@@ -21,6 +21,7 @@ use deepdive_factorgraph::{
 use deepdive_grounding::{GroundingDelta, GroundingState};
 use deepdive_storage::{Column, Database, Row, Schema, StorageError, Value, ValueType};
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One restored relation: name, columns, counted rows.
@@ -113,6 +114,31 @@ impl From<StorageError> for CheckpointError {
     fn from(e: StorageError) -> Self {
         CheckpointError::Storage(e)
     }
+}
+
+/// Durably replace `path` with `bytes`: write a temp file in the same
+/// directory, fsync it, rename it over `path`, then fsync the directory so
+/// the rename itself survives power loss. A crash at any point leaves
+/// either the complete old content or the complete new content — never a
+/// truncated or torn file. This matters most for `deepdive serve`, whose
+/// WAL is truncated only after a flush: if the flush could tear the sole
+/// existing checkpoint, acknowledged ingests would be owned by neither the
+/// log nor the checkpoint.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        std::fs::File::open(dir)?.sync_data()?;
+    }
+    Ok(())
 }
 
 /// FNV-1a 64-bit content hash (the manifest's integrity check).
@@ -279,16 +305,18 @@ impl Checkpoint {
         duration_secs: f64,
     ) -> Result<(), CheckpointError> {
         // Artifact first, manifest second: a crash between the writes leaves
-        // the phase unrecorded (re-run), never recorded-but-missing.
+        // the phase unrecorded (re-run), never recorded-but-missing. Each
+        // write is atomic + fsync'd, so a crash mid-commit can also never
+        // corrupt a previously committed artifact in place.
         let path = self.dir.join(phase.artifact());
-        std::fs::write(&path, content)?;
+        write_atomic(&path, content.as_bytes())?;
         let mut manifest = self.manifest()?;
         manifest.upsert(ManifestEntry {
             phase,
             hash: fnv1a64(content.as_bytes()),
             duration_secs,
         });
-        std::fs::write(self.dir.join(MANIFEST_FILE), manifest.render())?;
+        write_atomic(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
         Ok(())
     }
 
@@ -1011,6 +1039,27 @@ mod tests {
         std::fs::write(ckpt.dir().join(Phase::Learn.artifact()), "#tampered\n").unwrap();
         assert!(!ckpt.phase_done(Phase::Learn));
         assert!(ckpt.restore_weights().is_err());
+    }
+
+    #[test]
+    fn commit_replaces_artifacts_atomically() {
+        let ckpt = Checkpoint::new(tmpdir("atomic")).unwrap();
+        let mut ws = WeightStore::new();
+        ws.tied("a", 1.0);
+        ckpt.save_weights(&ws, 0.0).unwrap();
+        // Re-commit over the existing artifact (the serve flush path does
+        // this on every checkpoint): the new content must land whole, the
+        // manifest must agree, and no temp files may linger.
+        let mut ws2 = WeightStore::new();
+        ws2.tied("a", 2.0);
+        ws2.tied("b", 3.0);
+        ckpt.save_weights(&ws2, 0.0).unwrap();
+        assert_eq!(ckpt.restore_weights().unwrap(), ws2.values());
+        ckpt.verify().unwrap();
+        for entry in std::fs::read_dir(ckpt.dir()).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(!name.ends_with(".tmp"), "stale temp file `{name}`");
+        }
     }
 
     #[test]

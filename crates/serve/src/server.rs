@@ -239,6 +239,16 @@ impl ServeState {
         self.lifecycle.store(l.as_u8(), Ordering::SeqCst);
     }
 
+    /// Atomically transition `from` → `to`; false when the state had
+    /// already moved on. Replay uses this for Replaying → Ready so it can
+    /// never clobber a `Draining` set by a concurrent graceful shutdown
+    /// (which would reopen `/readyz` and the ingest gate mid-drain).
+    fn lifecycle_cas(&self, from: Lifecycle, to: Lifecycle) -> bool {
+        self.lifecycle
+            .compare_exchange(from.as_u8(), to.as_u8(), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
     /// Current admission queue depth (queued + in-flight connections).
     pub fn queue_depth(&self) -> usize {
         self.inflight.load(Ordering::SeqCst)
@@ -257,7 +267,11 @@ impl ServeState {
 
     /// Flush a checkpoint capturing every applied ingest, then truncate the
     /// WAL — its records are now owned by the checkpoint. Requires the
-    /// writer lock to be free (callers must not hold it).
+    /// writer lock to be free (callers must not hold it). The writer lock is
+    /// held across both the save and the truncation (writer → wal, the same
+    /// order `post_documents` takes) so no ingest can append between them —
+    /// an interleaved append would be applied and acked, then silently
+    /// dropped by the truncate without being in the checkpoint.
     fn flush_checkpoint(&self) -> io::Result<()> {
         let Some(dir) = &self.checkpoint_dir else {
             return Ok(());
@@ -265,7 +279,6 @@ impl ServeState {
         let dd = self.writer.lock();
         let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
         dd.save_checkpoint(&ckpt).map_err(io::Error::other)?;
-        drop(dd);
         if let Some(wal) = &self.wal {
             wal.lock().truncate()?;
         }
@@ -516,7 +529,6 @@ fn shed(mut stream: TcpStream, state: &ServeState, why: &str) {
 /// flush then truncates the WAL.
 fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
     let stall = state.faults.trips(points::WAL_REPLAY_STALL);
-    let total_records = records.len() as u64;
     let mut replayed = 0u64;
     let mut skipped = 0u64;
     let mut changed_total = 0usize;
@@ -558,8 +570,10 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
         }
         // One bounded refresh over everything the replay re-grounded, one
         // swap: concurrent readers see the pre-replay epoch, then this one.
+        // The epoch advances by the *applied* records only, matching the
+        // live path's one-epoch-per-successful-POST.
         let opts = bounded_options(&state.inference, &state.refresh, changed_total);
-        let epoch = state.snapshot.load().epoch + total_records;
+        let epoch = state.snapshot.load().epoch + replayed;
         let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
         state.snapshot.store(snapshot);
     }
@@ -576,7 +590,9 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
              keeping the WAL for the next restart"
         );
     }
-    state.set_lifecycle(Lifecycle::Ready);
+    if !state.lifecycle_cas(Lifecycle::Replaying, Lifecycle::Ready) {
+        eprintln!("deepdive serve: WAL replay finished during shutdown; staying not-ready");
+    }
     state.write_wal_report();
     eprintln!("deepdive serve: WAL replay complete: {replayed} records applied, {skipped} skipped");
 }
@@ -1167,6 +1183,10 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
 
     // Durability first: the record must be fsync'd before anything is
     // applied or acknowledged. A failed append acknowledges nothing.
+    let wal_before = state.wal.as_ref().map(|wal| {
+        let wal = wal.lock();
+        (wal.bytes(), wal.records())
+    });
     if let Some(wal) = &state.wal {
         if let Err(e) = wal.lock().append(&req.body) {
             return Response::error(500, &format!("ingest not applied: WAL append failed: {e}"));
@@ -1176,7 +1196,23 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
     // DRed/IVM: derive exactly what the new rows imply, nothing else.
     let delta = match dd.apply_base_changes(changes) {
         Ok(d) => d,
-        Err(e) => return Response::error(500, &format!("ingest failed after WAL append: {e}")),
+        Err(e) => {
+            // The 500 promises "no durable trace", so the just-appended
+            // record must come back off the log — otherwise a restart would
+            // replay (and possibly apply) an ingest the client was told
+            // failed. The writer lock is still held, so nothing appended
+            // after our record. A failed cut poisons the log, refusing
+            // appends until a checkpoint flush truncates it.
+            if let (Some(wal), Some((bytes, records))) = (&state.wal, wal_before) {
+                if let Err(re) = wal.lock().rollback_to(bytes, records) {
+                    eprintln!(
+                        "deepdive serve: WARNING: could not roll failed ingest off the WAL \
+                         ({re}); log poisoned until the next checkpoint flush"
+                    );
+                }
+            }
+            return Response::error(500, &format!("ingest not applied: {e}"));
+        }
     };
 
     // Bounded refresh sized to the touched region, then one atomic swap.

@@ -206,6 +206,32 @@ impl Wal {
         }
     }
 
+    /// Cut the log back to a previously observed `(bytes, records)` point
+    /// (as returned by [`Wal::bytes`]/[`Wal::records`]), discarding
+    /// everything appended since — the negative-ack path: a record whose
+    /// apply failed is answered 5xx, so it must not linger in the log and
+    /// materialize on replay. If the cut itself fails the on-disk state is
+    /// unknown and the log is poisoned.
+    pub fn rollback_to(&mut self, bytes: u64, records: u64) -> io::Result<()> {
+        debug_assert!(bytes <= self.bytes && records <= self.records);
+        let result = self
+            .file
+            .set_len(bytes)
+            .and_then(|()| self.file.seek(SeekFrom::Start(bytes)).map(|_| ()))
+            .and_then(|()| self.file.sync_data());
+        match result {
+            Ok(()) => {
+                self.bytes = bytes;
+                self.records = records;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
     /// Drop every record: the state they carried is now owned by a
     /// successfully committed checkpoint. Clears poisoning — the unknown
     /// tail is discarded along with everything else.
@@ -438,6 +464,30 @@ mod tests {
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(rec.records.is_empty());
         assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn rollback_to_discards_records_appended_since() {
+        let dir = tmpdir("rollback");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        wal.append(b"keep me").unwrap();
+        let (bytes, records) = (wal.bytes(), wal.records());
+        wal.append(b"negatively acked").unwrap();
+        wal.rollback_to(bytes, records).unwrap();
+        assert_eq!(wal.records(), 1);
+        assert_eq!(wal.bytes(), bytes);
+        assert!(!wal.poisoned());
+
+        // The log stays appendable and replay never sees the rolled-back
+        // record.
+        wal.append(b"after the rollback").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(
+            rec.records,
+            vec![b"keep me".to_vec(), b"after the rollback".to_vec()]
+        );
     }
 
     #[test]

@@ -650,6 +650,58 @@ fn readers_see_only_whole_epochs_during_replay_and_readyz_gates() {
     handle.shutdown();
 }
 
+/// A graceful shutdown issued while the WAL is still replaying must leave
+/// the daemon Draining: replay's final Replaying → Ready transition is a
+/// compare-and-swap, so it cannot reopen `/readyz` (and the ingest gate)
+/// after shutdown already closed them.
+#[test]
+fn shutdown_during_replay_never_reopens_readiness() {
+    let config = tiny_config();
+    let corpus = deepdive_corpus::spouse::generate(&config.corpus);
+    let mut app = SpouseApp::build_with_corpus(config.clone(), corpus.clone()).expect("app");
+    app.run().expect("base run");
+
+    let ckpt_dir = tmpdir("drainrace-ckpt");
+    let wal_dir = tmpdir("drainrace-wal");
+    let ckpt = Checkpoint::new(ckpt_dir.clone()).expect("checkpoint");
+    app.dd.save_checkpoint(&ckpt).expect("save checkpoint");
+    let changes = app.document_changes("Iris Lake and her husband Jack Lake planted a garden.");
+    {
+        let (mut wal, _) = Wal::open(&wal_dir, Arc::new(FaultInjector::new())).expect("open wal");
+        wal.append(serde_json::to_string(&ingest_body(&changes)).unwrap().as_bytes())
+            .expect("append");
+    }
+
+    // Stall the replay so the shutdown reliably lands while it is running.
+    let faults = Arc::new(FaultInjector::new());
+    faults.arm(points::WAL_REPLAY_STALL, 1);
+    let mut app2 = SpouseApp::build_with_corpus(config, corpus).expect("restart app");
+    app2.dd
+        .load_checkpoint(&Checkpoint::new(ckpt_dir.clone()).expect("checkpoint"))
+        .expect("restore checkpoint");
+    let serve_config = ServeConfig {
+        wal_dir: Some(wal_dir),
+        checkpoint_dir: Some(ckpt_dir),
+        faults,
+        ..Default::default()
+    };
+    let server = Server::new(app2.dd, &serve_config).expect("bind server");
+    assert_eq!(server.pending_replay(), 1);
+    let state = server.state();
+    let handle = server.start().expect("start server");
+    assert_eq!(state.lifecycle(), deepdive_serve::Lifecycle::Replaying);
+
+    // Shutdown races the replay thread; it sets Draining, then joins replay.
+    let summary = handle.graceful_shutdown().expect("graceful shutdown");
+    assert!(summary.checkpoint_flushed, "final flush covers the replay");
+    assert_eq!(
+        state.lifecycle(),
+        deepdive_serve::Lifecycle::Draining,
+        "replay's Ready transition must not clobber Draining"
+    );
+    assert_eq!(state.wal_gauges().0, 0, "flush still truncated the WAL");
+}
+
 /// Graceful shutdown drains, flushes a checkpoint covering every acked
 /// ingest, and truncates the WAL — so the next start has nothing to
 /// replay but serves the ingested state.
