@@ -75,6 +75,19 @@
 //!     plus `run`'s inference options (`--samples`, `--seed`, `--threads`,
 //!     ...), which size the marginal refresh after each ingest.
 //!
+//!   replication:
+//!     --follow <url>         run as a read-only replica of the primary at
+//!                            `http://host:port`: tail its WAL stream,
+//!                            apply each record through DRed/IVM, serve
+//!                            reads at bounded epoch lag, answer
+//!                            `POST /documents` with 405. Requires the WAL
+//!                            (incompatible with --no-wal); seed the
+//!                            replica from a copy of the primary's run
+//!                            directory. Exits 7 if histories diverge.
+//!     --max-lag-epochs <n>   follower readiness gate: `/readyz` answers
+//!                            503 while the replica trails the primary by
+//!                            more than n epochs (default 16)
+//!
 //! deepdive requeue <program.ddl> --resume <dir> [options]
 //!     Restore the database and grounding state from a run directory's
 //!     checkpoint, drain every `<Relation>__errors` quarantine table
@@ -89,7 +102,9 @@
 //! error; 4 ingest failure (malformed data, or over the error budget);
 //! 5 completed with degraded (deadline-truncated) results; 6 checkpoint
 //! corrupt (an artifact is missing or its content hash disagrees with the
-//! manifest — `requeue` and `serve` refuse rather than restore bad state).
+//! manifest — `requeue` and `serve` refuse rather than restore bad state);
+//! 7 replication diverged (a follower's history forked from its primary's —
+//! the replica drains, keeps its state for inspection, and must be re-seeded).
 //!
 //! The standard feature library (`f_phrase`, `f_words_between`, `f_dist`,
 //! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
@@ -113,6 +128,7 @@ const EXIT_COMPILE: u8 = 3;
 const EXIT_INGEST: u8 = 4;
 const EXIT_DEGRADED: u8 = 5;
 const EXIT_CHECKPOINT: u8 = 6;
+const EXIT_DIVERGED: u8 = 7;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -142,6 +158,7 @@ fn usage() {
     eprintln!("       deepdive serve <program.ddl> --resume <dir> [--addr host:port]");
     eprintln!("                    [--workers n] [--page-limit n] [--wal-dir <dir> | --no-wal]");
     eprintln!("                    [--max-inflight n] [--ingest-rate r] [--drain-secs n]");
+    eprintln!("                    [--follow <primary-url>] [--max-lag-epochs n]");
     eprintln!("                    [run options]");
 }
 
@@ -217,6 +234,8 @@ struct RunArgs {
     max_inflight: usize,
     ingest_rate: Option<f64>,
     drain_secs: f64,
+    follow: Option<String>,
+    max_lag_epochs: u64,
 }
 
 fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
@@ -245,6 +264,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut max_inflight = 64usize;
     let mut ingest_rate = None;
     let mut drain_secs = 5.0f64;
+    let mut follow = None;
+    let mut max_lag_epochs = 16u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -372,6 +393,12 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                     return Err(format!("--drain-secs: {drain_secs} must be non-negative"));
                 }
             }
+            "--follow" => follow = Some(take("--follow")?),
+            "--max-lag-epochs" => {
+                max_lag_epochs = take("--max-lag-epochs")?
+                    .parse()
+                    .map_err(|e| format!("--max-lag-epochs: {e}"))?;
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
             "--resume" => {
                 checkpoint = Some(PathBuf::from(take("--resume")?));
@@ -396,6 +423,13 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     }
     if mode == Mode::Run && data.is_none() {
         return Err("missing --data <dir>".into());
+    }
+    if follow.is_some() && no_wal {
+        return Err(
+            "--follow needs the WAL (it is the follower's durable resume point); \
+             drop --no-wal"
+                .into(),
+        );
     }
     Ok(RunArgs {
         program: program.ok_or("missing program path")?,
@@ -422,6 +456,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         max_inflight,
         ingest_rate,
         drain_secs,
+        follow,
+        max_lag_epochs,
     })
 }
 
@@ -431,6 +467,9 @@ enum RunFailure {
     Ingest(String),
     /// A checkpoint artifact is missing or fails its manifest hash.
     Checkpoint(String),
+    /// A follower's history forked from its primary's (or the primary
+    /// compacted past its resume point): the replica must be re-seeded.
+    Diverged(String),
     Other(String),
 }
 
@@ -440,6 +479,7 @@ impl RunFailure {
             RunFailure::Compile(_) => EXIT_COMPILE,
             RunFailure::Ingest(_) => EXIT_INGEST,
             RunFailure::Checkpoint(_) => EXIT_CHECKPOINT,
+            RunFailure::Diverged(_) => EXIT_DIVERGED,
             RunFailure::Other(_) => EXIT_OTHER,
         }
     }
@@ -449,6 +489,7 @@ impl RunFailure {
             RunFailure::Compile(m)
             | RunFailure::Ingest(m)
             | RunFailure::Checkpoint(m)
+            | RunFailure::Diverged(m)
             | RunFailure::Other(m) => m,
         }
     }
@@ -578,6 +619,8 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         ingest_rate: args.ingest_rate,
         drain: Duration::from_secs_f64(args.drain_secs),
         faults: std::sync::Arc::new(deepdive_core::FaultInjector::from_env()),
+        follow: args.follow.clone(),
+        max_lag_epochs: args.max_lag_epochs,
         ..Default::default()
     };
     let server = Server::new(dd, &serve_config).map_err(|e| RunFailure::Other(e.to_string()))?;
@@ -598,13 +641,30 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
             server.pending_replay()
         );
     }
+    if let Some(primary) = &args.follow {
+        println!(
+            "deepdive serve: read-only replica following {primary} \
+             (max lag {} epochs)",
+            args.max_lag_epochs
+        );
+    }
     deepdive_serve::signals::install();
+    let state = server.state();
     let handle = server
         .start()
         .map_err(|e| RunFailure::Other(e.to_string()))?;
+    // `run_until` also returns when replication fails permanently; the
+    // drain below still flushes a checkpoint so the diverged state can be
+    // inspected, then the dedicated exit code tells the supervisor not to
+    // blindly restart (a restart would just diverge again).
     let summary = handle
         .run_until(deepdive_serve::signals::shutdown_flag())
         .map_err(|e| RunFailure::Other(e.to_string()))?;
+    if let Some(msg) = state.replication().fatal_error() {
+        return Err(RunFailure::Diverged(format!(
+            "replication stopped permanently: {msg}"
+        )));
+    }
     if summary.stragglers > 0 {
         eprintln!(
             "deepdive serve: exited with {} request(s) undrained",

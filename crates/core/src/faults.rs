@@ -113,6 +113,13 @@ pub mod points {
     /// WAL replay sleeps 50 ms per record so tests can observe the
     /// `/readyz` not-ready window deterministically.
     pub const WAL_REPLAY_STALL: &str = "wal_replay_stall";
+    /// The primary's `GET /wal` streamer ships half of the next batch and
+    /// drops the connection — a mid-record stream cut the follower must
+    /// survive by resuming from its last durable offset.
+    pub const REPL_STREAM_CUT: &str = "repl_stream_cut";
+    /// The follower sleeps 50 ms before applying each replicated record,
+    /// widening the window chaos tests kill it in.
+    pub const REPL_APPLY_STALL: &str = "repl_apply_stall";
 }
 
 /// One armed fault point: skip the first `skip` hits, then trip the next

@@ -17,8 +17,12 @@
 //!   ingest is rate-limited (429), and slow or stalled peers are cut by
 //!   socket timeouts plus a per-request deadline (408);
 //! * SIGTERM/SIGINT ([`signals`]) drains in-flight requests, flushes a
-//!   final checkpoint, truncates the WAL, and exits 0. `/readyz` (distinct
-//!   from `/healthz`) answers 503 during WAL replay and drain.
+//!   final checkpoint, marks the WAL checkpointed, and exits 0. `/readyz`
+//!   (distinct from `/healthz`) answers 503 during WAL replay and drain;
+//! * a node started with `--follow <primary-url>` ([`replication`]) tails
+//!   the primary's WAL over `GET /wal`, persists its own copy, applies
+//!   each record through DRed/IVM, and serves reads at bounded epoch lag
+//!   while rejecting writes (405).
 //!
 //! Endpoints:
 //!
@@ -29,20 +33,24 @@
 //! * `POST /documents` with `{"rows": {relation: [[cell, ...], ...]}}` —
 //!   durable incremental ingest;
 //! * `GET /healthz`, `GET /readyz`, `GET /metrics` — liveness, readiness,
-//!   per-endpoint latency histograms, admission/WAL gauges, and
-//!   storage/execution gauges.
+//!   per-endpoint latency histograms, admission/WAL/replication gauges,
+//!   and storage/execution gauges;
+//! * `GET /wal?from=<seq>&stream=<id>` — the chunked WAL frame stream a
+//!   follower tails (not for interactive use).
 //!
 //! Everything is hand-rolled over `std::net` — the offline build takes no
 //! HTTP or runtime dependencies.
 
 pub mod http;
 pub mod metrics;
+pub mod replication;
 pub mod server;
 pub mod signals;
 pub mod snapshot;
 pub mod wal;
 
 pub use metrics::ServeMetrics;
+pub use replication::ReplicationStats;
 pub use server::{DrainSummary, Lifecycle, ServeConfig, ServeState, Server, ServerHandle};
 pub use snapshot::{ServeSnapshot, SnapshotCell};
 pub use wal::{Wal, WalRecovery};

@@ -13,13 +13,14 @@ const BUCKET_BOUNDS_MICROS: [u64; 6] = [1_000, 5_000, 25_000, 100_000, 500_000, 
 const NUM_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
 
 /// The endpoints we keep separate books for.
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 8] = [
     "healthz",
     "readyz",
     "metrics",
     "relations",
     "marginals",
     "documents",
+    "wal",
     "other",
 ];
 

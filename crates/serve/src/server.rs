@@ -28,13 +28,19 @@
 //!   stalled-mid-body peers with 408.
 //! * **Lifecycle.** `graceful_shutdown` stops accepting, drains in-flight
 //!   requests up to the drain budget, flushes a final checkpoint, and
-//!   truncates the WAL; `abort` drops everything on the floor (the chaos
-//!   tests' in-process `kill -9`).
+//!   marks the WAL checkpointed; `abort` drops everything on the floor
+//!   (the chaos tests' in-process `kill -9`).
+//! * **Replication.** A primary streams its WAL over `GET /wal`; a node
+//!   started with [`ServeConfig::follow`] tails that stream, persists each
+//!   record to its own WAL, applies it through the same DRed/IVM path, and
+//!   serves reads at observable epoch lag while answering `POST /documents`
+//!   with 405. See [`crate::replication`] for the protocol.
 
 use crate::http::{ParseError, ParseLimits, Request, Response};
 use crate::metrics::ServeMetrics;
+use crate::replication::{self, jittered_retry_secs, ReplicationStats};
 use crate::snapshot::{ServeSnapshot, SnapshotCell};
-use crate::wal::{Wal, WalRecovery};
+use crate::wal::{Wal, WalOptions, WalRecovery, DEFAULT_RETAIN_RECORDS};
 use deepdive_core::faults::{points, FaultInjector};
 use deepdive_core::{Checkpoint, DeepDive};
 use deepdive_inference::{bounded_options, RefreshBudget};
@@ -91,6 +97,20 @@ pub struct ServeConfig {
     /// Fault injection for chaos tests (fsync failures, torn WAL writes,
     /// replay stalls); defaults to a never-tripping injector.
     pub faults: Arc<FaultInjector>,
+    /// Follow this primary (`http://host:port`) as a read-only replica:
+    /// tail its WAL stream, apply every record locally, answer
+    /// `POST /documents` with 405. Requires [`ServeConfig::wal_dir`] — the
+    /// follower persists its own WAL copy so a crash resumes from the last
+    /// durable offset without re-fetching history.
+    pub follow: Option<String>,
+    /// A follower whose epoch lag exceeds this fails `/readyz` (503) until
+    /// it catches back up; load balancers route around stale replicas.
+    pub max_lag_epochs: u64,
+    /// Largest batch of WAL frame bytes shipped per chunk on `GET /wal`.
+    pub stream_window: usize,
+    /// Checkpointed records kept in the WAL for followers to fetch before
+    /// compaction trims them (compacted-away offsets answer 410).
+    pub wal_retain: u64,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +129,10 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(15),
             faults: Arc::new(FaultInjector::new()),
+            follow: None,
+            max_lag_epochs: 16,
+            stream_window: 1 << 20,
+            wal_retain: DEFAULT_RETAIN_RECORDS,
         }
     }
 }
@@ -223,6 +247,14 @@ pub struct ServeState {
     read_timeout: Duration,
     write_timeout: Duration,
     request_deadline: Duration,
+    /// The primary this node follows (`None` = it *is* a primary).
+    follow: Option<String>,
+    max_lag_epochs: u64,
+    stream_window: usize,
+    /// Set by shutdown/abort; unblocks `GET /wal` streamers and the
+    /// follower's tailer, which otherwise run forever.
+    stopping: AtomicBool,
+    replication: ReplicationStats,
 }
 
 impl ServeState {
@@ -255,6 +287,9 @@ impl ServeState {
     }
 
     /// `(records, bytes)` currently in the WAL; zeros when disabled.
+    /// `records` counts *pending* records (appended since the last
+    /// checkpoint mark) — checkpointed records retained for replication
+    /// show up in `physical_records` under `/metrics` instead.
     pub fn wal_gauges(&self) -> (u64, u64) {
         match &self.wal {
             Some(wal) => {
@@ -265,13 +300,96 @@ impl ServeState {
         }
     }
 
-    /// Flush a checkpoint capturing every applied ingest, then truncate the
-    /// WAL — its records are now owned by the checkpoint. Requires the
-    /// writer lock to be free (callers must not hold it). The writer lock is
-    /// held across both the save and the truncation (writer → wal, the same
-    /// order `post_documents` takes) so no ingest can append between them —
-    /// an interleaved append would be applied and acked, then silently
-    /// dropped by the truncate without being in the checkpoint.
+    /// True when this node tails a primary instead of taking writes.
+    pub fn is_follower(&self) -> bool {
+        self.follow.is_some()
+    }
+
+    /// Replication books (`/metrics`, `/readyz`, the CLI's divergence exit).
+    pub fn replication(&self) -> &ReplicationStats {
+        &self.replication
+    }
+
+    pub(crate) fn wal_handle(&self) -> Option<&Mutex<Wal>> {
+        self.wal.as_ref()
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn faults_ref(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    pub(crate) fn stream_window(&self) -> usize {
+        self.stream_window
+    }
+
+    pub(crate) fn max_lag_epochs(&self) -> u64 {
+        self.max_lag_epochs
+    }
+
+    /// Apply one record shipped from the primary: durably append it to the
+    /// local WAL (the resume offset moves only over fsync'd records), then
+    /// run it through the same validate → DRed/IVM → bounded-refresh →
+    /// snapshot-swap path a live `POST /documents` takes — which is what
+    /// makes a caught-up follower's marginals bit-identical to the
+    /// primary's. `InvalidData` means the record can never apply here
+    /// (divergence); other errors are local-disk transients.
+    ///
+    /// Lock order: wal (append, released), then writer — the same order as
+    /// `post_documents` and `flush_checkpoint`, so the three can interleave
+    /// but never deadlock.
+    pub(crate) fn ingest_replicated(&self, payload: &[u8]) -> io::Result<()> {
+        let wal = self.wal.as_ref().expect("follower mode requires a WAL");
+        let seq = wal.lock().append(payload)?;
+        let mut dd = self.writer.lock();
+        let changes = parse_ingest_body(&dd, &self.derived, payload).map_err(|resp| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("replicated record failed validation: {}", resp.body),
+            )
+        })?;
+        let delta = dd.apply_base_changes(changes).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("DRed/IVM refused: {e}"))
+        })?;
+        let opts = bounded_options(&self.inference, &self.refresh, delta.total());
+        let epoch = self.snapshot.load().epoch + 1;
+        let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
+        self.snapshot.store(snapshot);
+        // Advance the applied offset while still holding the writer lock so
+        // a concurrent checkpoint flush can never mark past what the
+        // checkpoint it just saved actually contains.
+        self.replication
+            .applied_seq
+            .store(seq + 1, Ordering::SeqCst);
+        self.replication.observe_watermark(seq + 1);
+        self.replication
+            .records_applied
+            .fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Flush a checkpoint capturing every applied ingest, then mark the WAL
+    /// checkpointed through what the checkpoint holds — those records are
+    /// now owned by the checkpoint (and retained only for followers still
+    /// fetching them). Requires the writer lock to be free (callers must
+    /// not hold it). The writer lock is held across both the save and the
+    /// mark (writer → wal, the same order `post_documents` takes) so no
+    /// ingest can append between them — an interleaved append would be
+    /// applied and acked, then silently skipped by the mark without being
+    /// in the checkpoint.
+    ///
+    /// On a primary every appended record is applied under the writer lock,
+    /// so the mark covers the whole log (`next_seq`). On a follower the
+    /// tailer may have fsync'd records it has not applied yet; those stay
+    /// pending — marking them would lose them if the follower crashed
+    /// before applying.
+    ///
+    /// The checkpoint directory also gets `wal_position.json` (stream id +
+    /// seq), so copying the directory to seed a new follower carries the
+    /// exact offset it should resume the stream from.
     fn flush_checkpoint(&self) -> io::Result<()> {
         let Some(dir) = &self.checkpoint_dir else {
             return Ok(());
@@ -280,7 +398,21 @@ impl ServeState {
         let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
         dd.save_checkpoint(&ckpt).map_err(io::Error::other)?;
         if let Some(wal) = &self.wal {
-            wal.lock().truncate()?;
+            let mut wal = wal.lock();
+            let through = if self.is_follower() {
+                self.replication.applied_seq.load(Ordering::SeqCst)
+            } else {
+                wal.next_seq()
+            };
+            wal.mark_checkpointed(through)?;
+            let position = json!({
+                "stream_id": format!("{:016x}", wal.stream_id()),
+                "seq": through,
+            });
+            std::fs::write(
+                dir.join("wal_position.json"),
+                serde_json::to_string_pretty(&position).expect("a Value renders"),
+            )?;
         }
         Ok(())
     }
@@ -300,7 +432,8 @@ impl ServeState {
                 "records_skipped": stats.replay_skipped,
                 "records_pending": records,
                 "bytes": bytes,
-            })
+            }),
+            "replication": self.replication.to_json(self.is_follower()),
         });
         let text = serde_json::to_string_pretty(&report).expect("report renders");
         if let Err(e) = std::fs::write(dir.join("report.json"), text) {
@@ -331,6 +464,13 @@ impl Server {
     /// refuses ingests until [`Server::start`]'s replay thread swaps the
     /// replayed epoch in.
     pub fn new(dd: DeepDive, config: &ServeConfig) -> io::Result<Server> {
+        if config.follow.is_some() && config.wal_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "follower mode requires a WAL (--wal-dir): the local copy is \
+                 what lets a crashed follower resume without re-fetching history",
+            ));
+        }
         let inference = dd.config.inference.clone();
         let snapshot = ServeSnapshot::capture(&dd, 0, &inference);
         let derived = dd.grounder.engine().program().derived_relations();
@@ -340,9 +480,17 @@ impl Server {
 
         let mut pending_replay = Vec::new();
         let mut wal_stats = WalStats::default();
+        let replication = ReplicationStats::default();
         let wal = match &config.wal_dir {
             Some(dir) => {
-                let (wal, recovery): (Wal, WalRecovery) = Wal::open(dir, config.faults.clone())?;
+                let options = WalOptions {
+                    retain_records: config.wal_retain,
+                    // A follower's log carries the *primary's* stream id; a
+                    // fresh one stays unadopted (0) until the handshake.
+                    fresh_stream: config.follow.is_none(),
+                };
+                let (mut wal, recovery): (Wal, WalRecovery) =
+                    Wal::open_with(dir, config.faults.clone(), options)?;
                 if recovery.torn_tail {
                     eprintln!(
                         "deepdive serve: WARNING: dropped a torn WAL tail ({} bytes after {} \
@@ -351,9 +499,29 @@ impl Server {
                         recovery.records.len()
                     );
                 }
+                if config.follow.is_some() && wal.stream_id() == 0 {
+                    // A checkpoint copied from the primary carries the
+                    // stream position it was cut at; adopt it so the tail
+                    // starts exactly where the seed state ends.
+                    if let Some((stream_id, seq)) =
+                        read_wal_position(config.checkpoint_dir.as_deref())
+                    {
+                        wal.adopt_stream(stream_id, seq)?;
+                        eprintln!(
+                            "deepdive serve: follower adopted stream {stream_id:016x} at seq \
+                             {seq} from the seed checkpoint"
+                        );
+                    }
+                }
                 wal_stats.torn_tail_recovered = recovery.torn_tail;
                 wal_stats.torn_bytes = recovery.torn_bytes;
                 pending_replay = recovery.records;
+                // Until replay finishes, the served state holds exactly the
+                // checkpoint: applied = first pending seq.
+                replication
+                    .applied_seq
+                    .store(recovery.first_pending_seq, Ordering::SeqCst);
+                replication.observe_watermark(wal.next_seq());
                 Some(Mutex::new(wal))
             }
             None => None,
@@ -393,6 +561,11 @@ impl Server {
                 read_timeout: config.read_timeout,
                 write_timeout: config.write_timeout,
                 request_deadline: config.request_deadline,
+                follow: config.follow.clone(),
+                max_lag_epochs: config.max_lag_epochs,
+                stream_window: config.stream_window.max(1),
+                stopping: AtomicBool::new(false),
+                replication,
             }),
             workers: config.workers.max(1),
             drain: config.drain,
@@ -459,6 +632,13 @@ impl Server {
             Some(std::thread::spawn(move || replay_wal(&state, records)))
         };
 
+        // The follower's tailer: waits out local replay itself, then tails
+        // the primary until shutdown or a fatal replication error.
+        let tailer = self.state.follow.clone().map(|primary| {
+            let state = self.state.clone();
+            std::thread::spawn(move || replication::run_follower(state, primary))
+        });
+
         Ok(ServerHandle {
             addr,
             state: self.state,
@@ -466,9 +646,21 @@ impl Server {
             workers,
             accept: Some(accept),
             replay,
+            tailer,
             drain: self.drain,
         })
     }
+}
+
+/// Read the `wal_position.json` a checkpoint flush leaves beside the
+/// checkpoint: `(stream_id, seq)`. Absent or unreadable simply means "no
+/// recorded position" (e.g. a pre-replication checkpoint).
+fn read_wal_position(dir: Option<&std::path::Path>) -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(dir?.join("wal_position.json")).ok()?;
+    let v: Json = serde_json::from_str(&text).ok()?;
+    let stream_id = u64::from_str_radix(v.get("stream_id")?.as_str()?, 16).ok()?;
+    let seq = v.get("seq")?.as_u64()?;
+    (stream_id != 0).then_some((stream_id, seq))
 }
 
 /// Nonblocking accept + admission control: beyond `max_inflight` admitted
@@ -518,7 +710,7 @@ fn shed(mut stream: TcpStream, state: &ServeState, why: &str) {
     state.metrics.record_shed();
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = Response::error(503, why)
-        .with_retry_after(1)
+        .with_retry_after(jittered_retry_secs(1))
         .write_to(&mut stream);
 }
 
@@ -576,11 +768,27 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
         let epoch = state.snapshot.load().epoch + replayed;
         let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
         state.snapshot.store(snapshot);
+        // Every pending record is now consumed (applied or skipped): the
+        // served state covers the whole local log.
+        if let Some(wal) = &state.wal {
+            let next = wal.lock().next_seq();
+            state.replication.applied_seq.store(next, Ordering::SeqCst);
+            state.replication.observe_watermark(next);
+        }
     }
     {
         let mut stats = state.wal_stats.lock();
         stats.replayed_records = replayed;
         stats.replay_skipped = skipped;
+    }
+    if skipped > 0 && state.is_follower() {
+        // A primary may carry operator-injected bad records; a follower's
+        // log holds only records the primary applied, so one that cannot
+        // apply here is a fork, not noise.
+        state.replication.set_fatal(
+            true,
+            format!("{skipped} locally-durable replicated record(s) failed to re-apply"),
+        );
     }
     // The replayed state is as durable as the checkpoint we can flush; only
     // a successful flush may truncate the log.
@@ -605,6 +813,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
     replay: Option<JoinHandle<()>>,
+    tailer: Option<JoinHandle<()>>,
     drain: Duration,
 }
 
@@ -632,6 +841,13 @@ impl ServerHandle {
     /// truncate the WAL, and join every thread that finished in time.
     pub fn graceful_shutdown(mut self) -> io::Result<DrainSummary> {
         self.state.set_lifecycle(Lifecycle::Draining);
+        // Stop replication first: `GET /wal` streamers end their chunked
+        // bodies cleanly, and the follower's tailer (which would otherwise
+        // reconnect forever) winds down.
+        self.state.stopping.store(true, Ordering::SeqCst);
+        if let Some(tailer) = self.tailer.take() {
+            let _ = tailer.join();
+        }
         // Let the replay finish first — it holds the writer lock and is
         // finite; the final checkpoint needs its result anyway.
         if let Some(replay) = self.replay.take() {
@@ -694,6 +910,10 @@ impl ServerHandle {
     /// ingest.
     pub fn abort(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.state.stopping.store(true, Ordering::SeqCst);
+        if let Some(tailer) = self.tailer.take() {
+            let _ = tailer.join();
+        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -705,10 +925,15 @@ impl ServerHandle {
         }
     }
 
-    /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT),
+    /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT)
+    /// or replication fails permanently (the CLI inspects
+    /// [`ReplicationStats::fatal_error`] afterwards and exits nonzero),
     /// then drain gracefully.
     pub fn run_until(self, stop: &AtomicBool) -> io::Result<DrainSummary> {
         while !stop.load(Ordering::SeqCst) {
+            if self.state.replication.fatal_error().is_some() {
+                break;
+            }
             std::thread::sleep(Duration::from_millis(50));
         }
         self.graceful_shutdown()
@@ -718,6 +943,9 @@ impl ServerHandle {
     pub fn join(mut self) {
         if let Some(replay) = self.replay.take() {
             let _ = replay.join();
+        }
+        if let Some(tailer) = self.tailer.take() {
+            let _ = tailer.join();
         }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -745,6 +973,14 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
     match Request::parse_with(&mut reader, &limits) {
         Ok(req) => {
             let start = Instant::now();
+            // `GET /wal` owns the socket: it long-polls the WAL and writes
+            // an unbounded chunked stream, which the Response type (one
+            // buffered body) cannot express.
+            if req.method == "GET" && req.path == "/wal" {
+                let ok = replication::serve_wal_stream(&req, &mut write_half, state);
+                state.metrics.record("wal", start.elapsed(), ok);
+                return;
+            }
             let (endpoint, response) = route(&req, state);
             state
                 .metrics
@@ -766,9 +1002,19 @@ fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
         ("GET", "/readyz") => ("readyz", readyz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state)),
+        ("POST", "/documents") if state.is_follower() => (
+            "documents",
+            Response::error(
+                405,
+                "this node is a read-only replica; POST /documents to the primary",
+            ),
+        ),
         ("POST", "/documents") => ("documents", post_documents(req, state)),
         (_, "/healthz" | "/readyz" | "/metrics") => ("other", Response::error(405, "use GET")),
         (_, "/documents") => ("other", Response::error(405, "use POST")),
+        // `GET /wal` is intercepted in `handle_connection` (it streams);
+        // any other method on it lands here.
+        (_, "/wal") => ("other", Response::error(405, "use GET")),
         ("GET", path) => {
             if let Some(name) = path.strip_prefix("/relations/") {
                 ("relations", get_relation(req, name, state))
@@ -806,18 +1052,49 @@ fn healthz(state: &ServeState) -> Response {
 /// (readers would see the pre-replay epoch) and while draining (new work
 /// belongs elsewhere). Load balancers route on this; `/healthz` answers
 /// "is the process alive" and stays 200 throughout.
+///
+/// A follower additionally gates on replication: 503 while it has never
+/// completed a handshake ("syncing"), when its history diverged from the
+/// primary ("diverged" — permanent until re-seeded), or while its epoch
+/// lag exceeds `--max-lag-epochs` ("lagging" — clears when it catches up).
 fn readyz(state: &ServeState) -> Response {
     let lifecycle = state.lifecycle();
     let snap = state.snapshot.load();
-    let body = json!({
-        "status": lifecycle.as_str(),
-        "epoch": snap.epoch,
+    let mut not_ready: Option<&str> = match lifecycle {
+        Lifecycle::Ready => None,
+        Lifecycle::Replaying | Lifecycle::Draining => Some(lifecycle.as_str()),
+    };
+    let repl = state.replication();
+    let replication = state.is_follower().then(|| {
+        json!({
+            "lag_epochs": repl.lag_epochs(),
+            "max_lag_epochs": state.max_lag_epochs(),
+            "connected": repl.connected.load(Ordering::SeqCst),
+            "handshook": repl.handshook.load(Ordering::SeqCst),
+            "diverged": repl.diverged.load(Ordering::SeqCst),
+        })
     });
-    match lifecycle {
-        Lifecycle::Ready => Response::json(200, &body),
-        Lifecycle::Replaying | Lifecycle::Draining => {
-            Response::json(503, &body).with_retry_after(1)
-        }
+    if not_ready.is_none() && state.is_follower() {
+        not_ready = if repl.fatal_error().is_some() {
+            Some("diverged")
+        } else if !repl.handshook.load(Ordering::SeqCst) {
+            Some("syncing")
+        } else if repl.lag_epochs() > state.max_lag_epochs() {
+            Some("lagging")
+        } else {
+            None
+        };
+    }
+    let mut body = Map::new();
+    body.insert("status".into(), json!(not_ready.unwrap_or("ready")));
+    body.insert("epoch".into(), json!(snap.epoch));
+    if let Some(replication) = replication {
+        body.insert("replication".into(), replication);
+    }
+    let body = Json::Object(body);
+    match not_ready {
+        None => Response::json(200, &body),
+        Some(_) => Response::json(503, &body).with_retry_after(jittered_retry_secs(1)),
     }
 }
 
@@ -836,6 +1113,18 @@ fn metrics(state: &ServeState) -> Response {
     }
     let (wal_records, wal_bytes) = state.wal_gauges();
     let wal_stats = state.wal_stats.lock().clone();
+    // Stream geometry for operators watching replication: where the log
+    // starts (compaction floor), ends, and is checkpointed through.
+    let wal_stream = state.wal.as_ref().map(|wal| {
+        let wal = wal.lock();
+        json!({
+            "stream_id": format!("{:016x}", wal.stream_id()),
+            "base_seq": wal.base_seq(),
+            "next_seq": wal.next_seq(),
+            "checkpoint_seq": wal.checkpoint_seq(),
+            "physical_records": wal.physical_records(),
+        })
+    });
     Response::json(
         200,
         &json!({
@@ -856,7 +1145,9 @@ fn metrics(state: &ServeState) -> Response {
                 "torn_tail_recovered": wal_stats.torn_tail_recovered,
                 "replayed_records": wal_stats.replayed_records,
                 "replay_skipped": wal_stats.replay_skipped,
+                "stream": wal_stream,
             }),
+            "replication": state.replication().to_json(state.is_follower()),
             "storage": json!({
                 "resident_bytes": state.budget.resident(),
                 "peak_resident_bytes": state.budget.peak_resident(),
@@ -1156,16 +1447,19 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
     match state.lifecycle() {
         Lifecycle::Ready => {}
         Lifecycle::Replaying => {
-            return Response::error(503, "not ready: WAL replay in progress").with_retry_after(1);
+            return Response::error(503, "not ready: WAL replay in progress")
+                .with_retry_after(jittered_retry_secs(1));
         }
         Lifecycle::Draining => {
-            return Response::error(503, "draining for shutdown").with_retry_after(1);
+            return Response::error(503, "draining for shutdown")
+                .with_retry_after(jittered_retry_secs(1));
         }
     }
     if let Some(bucket) = &state.ingest_bucket {
         if let Err(retry_secs) = bucket.lock().try_take() {
             state.metrics.record_rate_limited();
-            return Response::error(429, "ingest rate limit exceeded").with_retry_after(retry_secs);
+            return Response::error(429, "ingest rate limit exceeded")
+                .with_retry_after(jittered_retry_secs(retry_secs));
         }
     }
 
@@ -1183,13 +1477,14 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
 
     // Durability first: the record must be fsync'd before anything is
     // applied or acknowledged. A failed append acknowledges nothing.
-    let wal_before = state.wal.as_ref().map(|wal| {
-        let wal = wal.lock();
-        (wal.bytes(), wal.records())
-    });
+    let wal_before = state.wal.as_ref().map(|wal| wal.lock().mark());
+    let mut appended_seq = None;
     if let Some(wal) = &state.wal {
-        if let Err(e) = wal.lock().append(&req.body) {
-            return Response::error(500, &format!("ingest not applied: WAL append failed: {e}"));
+        match wal.lock().append(&req.body) {
+            Ok(seq) => appended_seq = Some(seq),
+            Err(e) => {
+                return Response::error(500, &format!("ingest not applied: WAL append failed: {e}"))
+            }
         }
     }
 
@@ -1203,8 +1498,8 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
             // failed. The writer lock is still held, so nothing appended
             // after our record. A failed cut poisons the log, refusing
             // appends until a checkpoint flush truncates it.
-            if let (Some(wal), Some((bytes, records))) = (&state.wal, wal_before) {
-                if let Err(re) = wal.lock().rollback_to(bytes, records) {
+            if let (Some(wal), Some(mark)) = (&state.wal, wal_before) {
+                if let Err(re) = wal.lock().rollback_to(&mark) {
                     eprintln!(
                         "deepdive serve: WARNING: could not roll failed ingest off the WAL \
                          ({re}); log poisoned until the next checkpoint flush"
@@ -1221,6 +1516,15 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
     let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
     let fingerprint = snapshot.fingerprint;
     state.snapshot.store(snapshot);
+    if let Some(seq) = appended_seq {
+        // Keep the primary's replication books current so `/metrics`
+        // reports the same offsets followers resume from.
+        state
+            .replication
+            .applied_seq
+            .store(seq + 1, Ordering::SeqCst);
+        state.replication.observe_watermark(seq + 1);
+    }
     let (wal_records, wal_bytes) = state.wal_gauges();
 
     Response::json(

@@ -1,29 +1,51 @@
-//! The ingest write-ahead log: crash durability for `POST /documents`.
+//! The ingest write-ahead log: crash durability for `POST /documents` and
+//! the shipping unit for primary → follower replication.
 //!
 //! The daemon's checkpoint only captures state as of the last flush; every
 //! ingest acknowledged since would be lost to a crash. So each accepted
 //! ingest body is appended here — and fsync'd — *before* the 200 goes out.
-//! On startup the daemon restores the checkpoint, then replays the log
-//! through the same DRed/IVM path a live `POST` takes; on a successful
-//! checkpoint flush the log is truncated, because the checkpoint now owns
-//! those writes.
+//! On startup the daemon restores the checkpoint, then replays the pending
+//! suffix of the log through the same DRed/IVM path a live `POST` takes.
 //!
-//! On-disk format (`ingest.wal`): an 8-byte magic header (`DDWAL1\n\0`)
-//! followed by length-prefixed, checksummed records:
+//! ## On-disk format v2 (`ingest.wal`)
+//!
+//! A 36-byte file header:
 //!
 //! ```text
-//! [u32 LE payload length][u64 LE FNV-1a64(payload)][payload bytes]
+//! [8B magic "DDWAL2\n\0"][u32 LE format version = 2]
+//! [u64 LE stream id][u64 LE base seq][u64 LE checkpoint seq]
 //! ```
 //!
-//! FNV-1a64 is the same content hash the checkpoint manifest uses
-//! (`deepdive_core::checkpoint::fnv1a64`). A crash mid-append leaves a torn
-//! tail — a record whose length prefix, checksum, or payload is incomplete
-//! or whose checksum disagrees. [`Wal::open`] detects the tear, reports it
-//! (the caller logs a warning and surfaces `wal_torn_tail` in its replay
-//! report), drops the tail, and truncates the file back to the last intact
-//! record so subsequent appends start from a clean offset. A torn record
-//! was by construction never acknowledged — the ack happens strictly after
-//! `sync_data` returns — so dropping it loses nothing a client was promised.
+//! followed by versioned, length-prefixed, checksummed frames:
+//!
+//! ```text
+//! [u8 record version = 1][u32 LE payload length][u64 LE FNV-1a64(payload)][payload]
+//! ```
+//!
+//! * **stream id** names the WAL's history. A primary mints a random
+//!   nonzero id when it creates a fresh log; a follower's log starts at the
+//!   `0` sentinel ("unadopted") and adopts the primary's id on first
+//!   contact. Replication refuses to mix records across stream ids.
+//! * **seqs are logical and monotonic.** The first frame in the file is
+//!   `base seq`; a checkpoint flush no longer truncates the file — it
+//!   advances `checkpoint seq` (records at lower seqs are owned by the
+//!   checkpoint) and compaction trims the *retained* prefix down to a
+//!   bounded window so followers can still fetch recent history after the
+//!   primary checkpointed it. `records()` reports the *pending* count
+//!   (`next seq − checkpoint seq`), which is what replay and drain care
+//!   about.
+//! * **version bytes fail loud.** Opening a future *format* version, or
+//!   meeting a checksum-valid frame with an unknown *record* version,
+//!   produces a clear "newer than supported" error instead of a
+//!   checksum/torn-tail misdiagnosis. A v1 log (`DDWAL1\n\0`, unversioned
+//!   12-byte frame headers) is upgraded in place on open.
+//!
+//! A crash mid-append leaves a torn tail. [`Wal::open`] detects it, and —
+//! only when the tear sits in the *pending* region, whose records were by
+//! construction never acknowledged — drops it and truncates back to the
+//! last intact frame. Corruption inside the checkpointed (retained) region
+//! is a hard error: those records were acked and shipped, so silently
+//! dropping them would fork history under a follower.
 
 use deepdive_core::checkpoint::fnv1a64;
 use deepdive_core::faults::{points, FaultInjector};
@@ -32,124 +54,420 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File magic: identifies the format and its version.
-const MAGIC: &[u8; 8] = b"DDWAL1\n\0";
-/// Per-record framing overhead: u32 length + u64 checksum.
-const HEADER_BYTES: u64 = 12;
+/// File magic for format v2.
+const MAGIC_V2: &[u8; 8] = b"DDWAL2\n\0";
+/// File magic of the legacy v1 format (auto-upgraded on open).
+const MAGIC_V1: &[u8; 8] = b"DDWAL1\n\0";
+/// The file format version this build writes and reads.
+const FORMAT_VERSION: u32 = 2;
+/// The frame (record) version this build writes and reads.
+pub const RECORD_VERSION: u8 = 1;
+/// File header: magic + format version + stream id + base seq + checkpoint
+/// seq.
+const HEADER_LEN: u64 = 36;
+/// Byte offsets of the mutable header fields.
+const OFF_STREAM_ID: u64 = 12;
+const OFF_BASE_SEQ: u64 = 20;
+const OFF_CHECKPOINT_SEQ: u64 = 28;
+/// Per-frame framing overhead: version byte + u32 length + u64 checksum.
+const FRAME_HEADER_BYTES: u64 = 13;
+/// v1 framing overhead: u32 length + u64 checksum (no version byte).
+const V1_HEADER_BYTES: u64 = 12;
 /// Sanity cap on a single record's payload; anything larger means the
 /// length prefix itself is corrupt (ingest bodies are capped well below
 /// this by the HTTP layer).
 const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+/// Default number of checkpointed records retained for followers before
+/// compaction trims the prefix.
+pub const DEFAULT_RETAIN_RECORDS: u64 = 1024;
+
+/// Wire/disk framing shared by the WAL file and the replication stream.
+///
+/// The streaming endpoint ships frames byte-for-byte as they sit in the
+/// file; the follower runs them through [`frame::FrameDecoder`], which
+/// re-verifies every checksum on arrival, tolerates arbitrary chunk
+/// boundaries, and skips the single-byte heartbeats the primary interleaves
+/// to keep an idle connection alive.
+pub mod frame {
+    use super::{fnv1a64, FRAME_HEADER_BYTES, MAX_RECORD_BYTES, RECORD_VERSION};
+
+    /// A single heartbeat byte, interleaved between frames on the wire
+    /// (never written to disk). `0` is not a valid record version, so a
+    /// decoder positioned at a frame boundary can always tell the two
+    /// apart.
+    pub const HEARTBEAT: u8 = 0;
+
+    /// Encode one payload as a wire/disk frame.
+    pub fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
+        buf.push(RECORD_VERSION);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Why a decoder refused the stream.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum FrameError {
+        /// Checksum mismatch, impossible length — the bytes are not a
+        /// well-formed frame. The follower drops the connection and
+        /// resumes from its last durable seq.
+        Corrupt(&'static str),
+        /// A checksum-*valid* frame carrying an unknown record version:
+        /// written by a newer deepdive. Refused loudly rather than
+        /// misapplied or misreported as corruption.
+        FutureVersion(u8),
+    }
+
+    impl std::fmt::Display for FrameError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                FrameError::Corrupt(why) => write!(f, "corrupt WAL frame: {why}"),
+                FrameError::FutureVersion(v) => write!(
+                    f,
+                    "WAL record version {v} is newer than supported ({RECORD_VERSION})"
+                ),
+            }
+        }
+    }
+
+    /// Incremental frame decoder: feed arbitrary byte slices (chunk
+    /// boundaries land anywhere), pull complete verified payloads.
+    #[derive(Debug, Default)]
+    pub struct FrameDecoder {
+        buf: Vec<u8>,
+        pos: usize,
+    }
+
+    impl FrameDecoder {
+        pub fn new() -> Self {
+            FrameDecoder::default()
+        }
+
+        pub fn feed(&mut self, bytes: &[u8]) {
+            self.buf.extend_from_slice(bytes);
+        }
+
+        /// Bytes buffered but not yet consumed by a decoded frame.
+        pub fn buffered(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Next complete payload: `Ok(None)` when more bytes are needed,
+        /// `Err` when the stream is not trustworthy from here on (the
+        /// caller must discard the connection — a partial prefix of a
+        /// corrupt frame is never applied).
+        #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+        pub fn next(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+            // Heartbeats are single bytes between frames.
+            while self.pos < self.buf.len() && self.buf[self.pos] == HEARTBEAT {
+                self.pos += 1;
+            }
+            let avail = &self.buf[self.pos..];
+            if (avail.len() as u64) < FRAME_HEADER_BYTES {
+                self.compact();
+                return Ok(None);
+            }
+            let version = avail[0];
+            let len = u32::from_le_bytes(avail[1..5].try_into().expect("4 bytes"));
+            let checksum = u64::from_le_bytes(avail[5..13].try_into().expect("8 bytes"));
+            if len > MAX_RECORD_BYTES {
+                return Err(FrameError::Corrupt("frame length over the 64 MiB cap"));
+            }
+            let total = FRAME_HEADER_BYTES as usize + len as usize;
+            if avail.len() < total {
+                self.compact();
+                return Ok(None);
+            }
+            let payload = &avail[FRAME_HEADER_BYTES as usize..total];
+            let checksum_ok = fnv1a64(payload) == checksum;
+            if version != RECORD_VERSION {
+                // A valid checksum under an unknown version byte means
+                // a newer writer, not line noise.
+                return Err(if checksum_ok {
+                    FrameError::FutureVersion(version)
+                } else {
+                    FrameError::Corrupt("bad record version byte")
+                });
+            }
+            if !checksum_ok {
+                return Err(FrameError::Corrupt("frame checksum mismatch"));
+            }
+            let out = payload.to_vec();
+            self.pos += total;
+            self.compact();
+            Ok(Some(out))
+        }
+
+        fn compact(&mut self) {
+            if self.pos > 4096 {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+        }
+    }
+}
+
+/// Tunables for [`Wal::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Checkpointed records kept for followers before compaction trims the
+    /// retained prefix.
+    pub retain_records: u64,
+    /// When creating a brand-new log: mint a random nonzero stream id
+    /// (primary) vs. the `0` "unadopted" sentinel (follower, which adopts
+    /// the primary's id on first contact).
+    pub fresh_stream: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            retain_records: DEFAULT_RETAIN_RECORDS,
+            fresh_stream: true,
+        }
+    }
+}
 
 /// What [`Wal::open`] found on disk.
 #[derive(Debug)]
 pub struct WalRecovery {
-    /// Intact record payloads, in append order, pending replay.
+    /// Intact *pending* record payloads (seq ≥ checkpoint seq), in append
+    /// order, awaiting replay.
     pub records: Vec<Vec<u8>>,
+    /// Seq of the first pending record (== the recovered checkpoint seq).
+    pub first_pending_seq: u64,
     /// True when a torn/corrupt tail was detected and dropped.
     pub torn_tail: bool,
     /// Bytes of intact log retained (the offset the tail was cut at).
     pub good_bytes: u64,
     /// Bytes of torn tail discarded.
     pub torn_bytes: u64,
+    /// True when a legacy v1 log was upgraded to v2 in place.
+    pub upgraded_v1: bool,
+    /// Checkpoint-owned records still retained for followers.
+    pub retained: u64,
+}
+
+/// A rollback point captured before a speculative append (see
+/// [`Wal::rollback_to`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WalMark {
+    bytes: u64,
+    next_seq: u64,
 }
 
 /// An open, appendable write-ahead log.
+#[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
+    /// Append handle, cursor parked at the end of the intact log.
     file: File,
-    /// Records currently in the log (recovered + appended since).
-    records: u64,
-    /// Bytes of intact log on disk (header + records).
+    /// Read handle for [`Wal::read_frames`]; seeks freely without
+    /// disturbing the append cursor.
+    reader: File,
+    stream_id: u64,
+    base_seq: u64,
+    next_seq: u64,
+    checkpoint_seq: u64,
+    /// Byte offset of each frame currently in the file, seq-ordered
+    /// (`index[i]` is the frame for seq `base_seq + i`).
+    index: Vec<u64>,
+    /// Bytes of intact log on disk (header + frames).
     bytes: u64,
-    /// Set when an append failed in a way that leaves the on-disk state
+    retain: u64,
+    /// Set when an append failed in a way that leaves the on-disk tail
     /// unknown (torn write, failed rollback): further appends are refused
-    /// until the log is truncated by a successful checkpoint.
+    /// until a checkpoint flush repairs the tail.
     poisoned: bool,
     faults: Arc<FaultInjector>,
 }
 
 impl Wal {
-    /// Open (creating if needed) `dir/ingest.wal`, scan it for intact
-    /// records, drop any torn tail, and position the write cursor after the
-    /// last intact record. Returns the log and what was recovered.
+    /// Open (creating if needed) `dir/ingest.wal` with default options.
     pub fn open(dir: &Path, faults: Arc<FaultInjector>) -> io::Result<(Wal, WalRecovery)> {
+        Wal::open_with(dir, faults, WalOptions::default())
+    }
+
+    /// Open (creating if needed) `dir/ingest.wal`, scan it for intact
+    /// frames, drop a torn *pending* tail, refuse corruption in the
+    /// checkpointed region, upgrade a v1 log, and position the write
+    /// cursor after the last intact frame.
+    pub fn open_with(
+        dir: &Path,
+        faults: Arc<FaultInjector>,
+        options: WalOptions,
+    ) -> io::Result<(Wal, WalRecovery)> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("ingest.wal");
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        let mut upgraded_v1 = false;
+        let mut v1_torn = (false, 0u64); // (torn, torn_bytes)
 
-        let total = file.metadata()?.len();
-        let mut recovery = WalRecovery {
-            records: Vec::new(),
-            torn_tail: false,
-            good_bytes: 0,
-            torn_bytes: 0,
-        };
-
-        if total == 0 {
-            file.write_all(MAGIC)?;
-            file.sync_data()?;
-            recovery.good_bytes = MAGIC.len() as u64;
+        // Peek at the magic to decide: fresh file, v1 upgrade, v2, or junk.
+        let existing_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if existing_len == 0 {
+            let stream_id = if options.fresh_stream {
+                random_stream_id()
+            } else {
+                0
+            };
+            write_fresh(&path, stream_id, 0, 0, &[])?;
         } else {
             let mut magic = [0u8; 8];
-            let got = read_fully(&mut file, &mut magic)?;
-            if got < magic.len() || &magic != MAGIC {
+            let mut f = File::open(&path)?;
+            let got = read_fully(&mut f, &mut magic)?;
+            drop(f);
+            if got == magic.len() && &magic == MAGIC_V1 {
+                let (records, torn, torn_bytes) = read_v1(&path)?;
+                let stream_id = if options.fresh_stream {
+                    random_stream_id()
+                } else {
+                    0
+                };
+                write_fresh(&path, stream_id, 0, 0, &records)?;
+                upgraded_v1 = true;
+                v1_torn = (torn, torn_bytes);
+            } else if got < magic.len() || &magic != MAGIC_V2 {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("{} is not a deepdive WAL (bad magic)", path.display()),
                 ));
             }
-            let mut offset = MAGIC.len() as u64;
-            loop {
-                match read_record(&mut file) {
-                    Ok(Some(payload)) => {
-                        offset += HEADER_BYTES + payload.len() as u64;
-                        recovery.records.push(payload);
-                    }
-                    Ok(None) => break, // clean EOF
-                    Err(_) => {
-                        // Torn or corrupt tail: everything from `offset` on
-                        // is untrusted (and was never acknowledged).
-                        recovery.torn_tail = true;
-                        break;
-                    }
-                }
-            }
-            recovery.good_bytes = offset;
-            recovery.torn_bytes = total.saturating_sub(offset);
-            if recovery.torn_tail {
-                file.set_len(offset)?;
-                file.sync_data()?;
-            }
         }
 
-        file.seek(SeekFrom::Start(recovery.good_bytes))?;
-        let wal = Wal {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        let total = file.metadata()?.len();
+
+        // Parse and validate the header.
+        let mut header = [0u8; HEADER_LEN as usize];
+        let got = read_fully(&mut file, &mut header)?;
+        if got < header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: truncated WAL header", path.display()),
+            ));
+        }
+        let format = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if format != FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: WAL format version {format} is newer than supported \
+                     ({FORMAT_VERSION}); refusing to guess at its layout",
+                    path.display()
+                ),
+            ));
+        }
+        let stream_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let base_seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+        let checkpoint_seq = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
+        if checkpoint_seq < base_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: checkpoint seq below base seq", path.display()),
+            ));
+        }
+
+        // Scan frames. A tear in the pending region is survivable (those
+        // records were never acked); anything wrong in the checkpointed
+        // region is fatal — acked history must not silently shrink.
+        let mut recovery = WalRecovery {
+            records: Vec::new(),
+            first_pending_seq: checkpoint_seq,
+            torn_tail: v1_torn.0,
+            good_bytes: 0,
+            torn_bytes: v1_torn.1,
+            upgraded_v1,
+            retained: 0,
+        };
+        let mut index = Vec::new();
+        let mut offset = HEADER_LEN;
+        let mut seq = base_seq;
+        loop {
+            match read_disk_frame(&mut file) {
+                Ok(Some(payload)) => {
+                    index.push(offset);
+                    offset += FRAME_HEADER_BYTES + payload.len() as u64;
+                    if seq >= checkpoint_seq {
+                        recovery.records.push(payload);
+                    }
+                    seq += 1;
+                }
+                Ok(None) => break, // clean EOF
+                Err(e) => {
+                    let future_version = e.kind() == io::ErrorKind::InvalidData
+                        && e.to_string().contains("newer than supported");
+                    if seq < checkpoint_seq || future_version {
+                        // Checkpointed history is damaged, or a newer
+                        // writer's record sits in the log: both are
+                        // refuse-loudly, not truncate-silently.
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: {e} at seq {seq}", path.display()),
+                        ));
+                    }
+                    recovery.torn_tail = true;
+                    break;
+                }
+            }
+        }
+        if seq < checkpoint_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: log ends at seq {seq} but the header claims seqs \
+                     through {checkpoint_seq} were checkpointed",
+                    path.display()
+                ),
+            ));
+        }
+        recovery.good_bytes = offset;
+        recovery.torn_bytes += total.saturating_sub(offset);
+        recovery.retained = checkpoint_seq - base_seq;
+        if total > offset {
+            file.set_len(offset)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(offset))?;
+
+        let reader = File::open(&path)?;
+        let mut wal = Wal {
             path,
             file,
-            records: recovery.records.len() as u64,
-            bytes: recovery.good_bytes,
+            reader,
+            stream_id,
+            base_seq,
+            next_seq: seq,
+            checkpoint_seq,
+            index,
+            bytes: offset,
+            retain: options.retain_records,
             poisoned: false,
             faults,
         };
+        // An oversized retained prefix (e.g. the retention knob shrank
+        // between runs) compacts on open.
+        wal.maybe_compact()?;
+        recovery.retained = wal.checkpoint_seq - wal.base_seq;
         Ok((wal, recovery))
     }
 
-    /// Append one record and fsync it. Returns only after the bytes are
-    /// durable — the caller may acknowledge the ingest iff this returns
-    /// `Ok`. On failure the append is rolled back (the file is truncated to
-    /// its pre-append length) so the log stays parseable; if even the
-    /// rollback fails the log is poisoned and refuses further appends.
-    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+    /// Append one record, fsync it, and return its seq. Returns only after
+    /// the bytes are durable — the caller may acknowledge the ingest iff
+    /// this returns `Ok`. On failure the append is rolled back (the file
+    /// is truncated to its pre-append length) so the log stays parseable;
+    /// if even the rollback fails the log is poisoned and refuses further
+    /// appends.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
         if self.poisoned {
             return Err(io::Error::other(
                 "WAL is poisoned by an earlier failed append; \
-                 a checkpoint flush is required to truncate it",
+                 a checkpoint flush is required to repair it",
             ));
         }
         if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
@@ -159,10 +477,7 @@ impl Wal {
             ));
         }
         let before = self.bytes;
-        let mut buf = Vec::with_capacity(HEADER_BYTES as usize + payload.len());
-        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
-        buf.extend_from_slice(payload);
+        let buf = frame::encode(payload);
 
         // Fault point: a crash mid-write leaves a torn prefix on disk and
         // the client never hears an ack.
@@ -187,9 +502,11 @@ impl Wal {
             .and_then(|()| self.file.sync_data());
         match result {
             Ok(()) => {
+                let seq = self.next_seq;
+                self.index.push(before);
                 self.bytes += buf.len() as u64;
-                self.records += 1;
-                Ok(())
+                self.next_seq += 1;
+                Ok(seq)
             }
             Err(e) => {
                 // Cut the partial record back off so the log stays intact.
@@ -206,23 +523,37 @@ impl Wal {
         }
     }
 
-    /// Cut the log back to a previously observed `(bytes, records)` point
-    /// (as returned by [`Wal::bytes`]/[`Wal::records`]), discarding
-    /// everything appended since — the negative-ack path: a record whose
-    /// apply failed is answered 5xx, so it must not linger in the log and
-    /// materialize on replay. If the cut itself fails the on-disk state is
-    /// unknown and the log is poisoned.
-    pub fn rollback_to(&mut self, bytes: u64, records: u64) -> io::Result<()> {
-        debug_assert!(bytes <= self.bytes && records <= self.records);
+    /// Capture the current append position for a later [`Wal::rollback_to`].
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            bytes: self.bytes,
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// Cut the log back to a previously captured mark, discarding every
+    /// record appended since — the negative-ack path: a record whose apply
+    /// failed is answered 5xx, so it must not linger in the log and
+    /// materialize on replay. Never cuts below the checkpoint seq. If the
+    /// cut itself fails the on-disk state is unknown and the log is
+    /// poisoned.
+    pub fn rollback_to(&mut self, mark: &WalMark) -> io::Result<()> {
+        debug_assert!(mark.bytes <= self.bytes && mark.next_seq <= self.next_seq);
+        debug_assert!(
+            mark.next_seq >= self.checkpoint_seq,
+            "cannot roll back checkpointed records"
+        );
         let result = self
             .file
-            .set_len(bytes)
-            .and_then(|()| self.file.seek(SeekFrom::Start(bytes)).map(|_| ()))
+            .set_len(mark.bytes)
+            .and_then(|()| self.file.seek(SeekFrom::Start(mark.bytes)).map(|_| ()))
             .and_then(|()| self.file.sync_data());
         match result {
             Ok(()) => {
-                self.bytes = bytes;
-                self.records = records;
+                self.bytes = mark.bytes;
+                self.next_seq = mark.next_seq;
+                self.index
+                    .truncate((mark.next_seq - self.base_seq) as usize);
                 Ok(())
             }
             Err(e) => {
@@ -232,36 +563,241 @@ impl Wal {
         }
     }
 
-    /// Drop every record: the state they carried is now owned by a
-    /// successfully committed checkpoint. Clears poisoning — the unknown
-    /// tail is discarded along with everything else.
-    pub fn truncate(&mut self) -> io::Result<()> {
-        self.file.set_len(MAGIC.len() as u64)?;
-        self.file.seek(SeekFrom::Start(MAGIC.len() as u64))?;
-        self.file.sync_data()?;
-        self.bytes = MAGIC.len() as u64;
-        self.records = 0;
-        self.poisoned = false;
+    /// A checkpoint now owns every record below `through_seq`: advance the
+    /// durable checkpoint seq, repair a poisoned tail (the unknown bytes
+    /// were never acked and the checkpoint supersedes the log anyway), and
+    /// compact the retained prefix down to the retention window. The
+    /// records themselves stay fetchable by followers until compaction
+    /// trims them.
+    pub fn mark_checkpointed(&mut self, through_seq: u64) -> io::Result<()> {
+        let through = through_seq.clamp(self.checkpoint_seq, self.next_seq);
+        if self.poisoned {
+            // Everything acked sits at or below `self.bytes`; the tail
+            // beyond it is an unacknowledged unknown — cut it.
+            self.file.set_len(self.bytes)?;
+            self.file.seek(SeekFrom::Start(self.bytes))?;
+            self.file.sync_data()?;
+            self.poisoned = false;
+        }
+        if through != self.checkpoint_seq {
+            self.write_header_u64(OFF_CHECKPOINT_SEQ, through)?;
+            self.checkpoint_seq = through;
+        }
+        self.maybe_compact()
+    }
+
+    /// Adopt a replication stream: legal only while the log holds no
+    /// frames (a fresh follower, or one re-seeded from a copied
+    /// checkpoint). Sets the stream id and positions the log at
+    /// `start_seq`.
+    pub fn adopt_stream(&mut self, stream_id: u64, start_seq: u64) -> io::Result<()> {
+        if self.next_seq != self.base_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot adopt a stream over a WAL that already holds records",
+            ));
+        }
+        self.write_header_u64(OFF_STREAM_ID, stream_id)?;
+        self.stream_id = stream_id;
+        self.write_header_u64(OFF_BASE_SEQ, start_seq)?;
+        self.write_header_u64(OFF_CHECKPOINT_SEQ, start_seq)?;
+        self.base_seq = start_seq;
+        self.next_seq = start_seq;
+        self.checkpoint_seq = start_seq;
         Ok(())
     }
 
-    /// Records currently in the log.
-    pub fn records(&self) -> u64 {
-        self.records
+    /// Read frames `[from_seq, …)` as raw wire bytes, stopping at
+    /// `max_bytes` (always includes at least one frame when any exists so
+    /// a single large record cannot stall the stream). Returns the bytes
+    /// and the seq one past the last frame included. `from_seq` must lie
+    /// in `[base_seq, next_seq]`.
+    pub fn read_frames(&mut self, from_seq: u64, max_bytes: usize) -> io::Result<(Vec<u8>, u64)> {
+        if from_seq < self.base_seq || from_seq > self.next_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "seq {from_seq} outside the log's [{}, {}] window",
+                    self.base_seq, self.next_seq
+                ),
+            ));
+        }
+        if from_seq == self.next_seq {
+            return Ok((Vec::new(), from_seq));
+        }
+        let start_idx = (from_seq - self.base_seq) as usize;
+        let start_off = self.index[start_idx];
+        let mut end_seq = from_seq;
+        let mut end_off = start_off;
+        while end_seq < self.next_seq {
+            let idx = (end_seq - self.base_seq) as usize + 1;
+            let next_off = self.index.get(idx).copied().unwrap_or(self.bytes);
+            if end_seq > from_seq && (next_off - start_off) as usize > max_bytes {
+                break;
+            }
+            end_off = next_off;
+            end_seq += 1;
+            if (end_off - start_off) as usize >= max_bytes {
+                break;
+            }
+        }
+        let mut buf = vec![0u8; (end_off - start_off) as usize];
+        self.reader.seek(SeekFrom::Start(start_off))?;
+        self.reader.read_exact(&mut buf)?;
+        Ok((buf, end_seq))
     }
 
-    /// Intact bytes on disk (including the magic header).
+    /// *Pending* records: appended (or recovered) but not yet owned by a
+    /// checkpoint. This is what replay processes and drain flushes.
+    pub fn records(&self) -> u64 {
+        self.next_seq - self.checkpoint_seq
+    }
+
+    /// All frames physically in the file, retained + pending.
+    pub fn physical_records(&self) -> u64 {
+        self.next_seq - self.base_seq
+    }
+
+    /// Intact bytes on disk (including the file header).
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
 
-    /// True when a failed append left the on-disk state unknown.
+    /// The replication stream this log belongs to (`0` = not yet adopted).
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// Seq of the oldest frame still in the file.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Seq the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Seqs below this are owned by a checkpoint.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// True when a failed append left the on-disk tail unknown.
     pub fn poisoned(&self) -> bool {
         self.poisoned
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn write_header_u64(&mut self, offset: u64, value: u64) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&value.to_le_bytes())?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(self.bytes))?;
+        Ok(())
+    }
+
+    /// Trim the retained (checkpoint-owned) prefix down to the retention
+    /// window by rewriting the file via temp + rename. Pending frames are
+    /// always kept.
+    fn maybe_compact(&mut self) -> io::Result<()> {
+        if self.checkpoint_seq - self.base_seq <= self.retain {
+            return Ok(());
+        }
+        let new_base = self.checkpoint_seq - self.retain;
+        let start_idx = (new_base - self.base_seq) as usize;
+        let start_off = self.index[start_idx];
+
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&header_bytes(self.stream_id, new_base, self.checkpoint_seq))?;
+            self.reader.seek(SeekFrom::Start(start_off))?;
+            let mut remaining = self.bytes - start_off;
+            let mut chunk = vec![0u8; 64 * 1024];
+            while remaining > 0 {
+                let want = chunk.len().min(remaining as usize);
+                self.reader.read_exact(&mut chunk[..want])?;
+                out.write_all(&chunk[..want])?;
+                remaining -= want as u64;
+            }
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+
+        // The rename replaced the inode both handles point at: reopen.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let shifted = start_off - HEADER_LEN;
+        self.index.drain(..start_idx);
+        for off in &mut self.index {
+            *off -= shifted;
+        }
+        self.bytes -= shifted;
+        self.base_seq = new_base;
+        file.seek(SeekFrom::Start(self.bytes))?;
+        self.file = file;
+        self.reader = File::open(&self.path)?;
+        Ok(())
+    }
+}
+
+fn header_bytes(stream_id: u64, base_seq: u64, checkpoint_seq: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..8].copy_from_slice(MAGIC_V2);
+    h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&stream_id.to_le_bytes());
+    h[20..28].copy_from_slice(&base_seq.to_le_bytes());
+    h[28..36].copy_from_slice(&checkpoint_seq.to_le_bytes());
+    h
+}
+
+/// Write a fresh v2 log (atomically, via temp + rename when replacing an
+/// upgraded v1 file) holding `records` as pending frames.
+fn write_fresh(
+    path: &Path,
+    stream_id: u64,
+    base_seq: u64,
+    checkpoint_seq: u64,
+    records: &[Vec<u8>],
+) -> io::Result<()> {
+    let tmp = path.with_extension("wal.tmp");
+    {
+        let mut out = File::create(&tmp)?;
+        out.write_all(&header_bytes(stream_id, base_seq, checkpoint_seq))?;
+        for r in records {
+            out.write_all(&frame::encode(r))?;
+        }
+        out.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A random nonzero stream id, seeded from the OS (`RandomState` is
+/// randomly keyed per process) — no RNG dependency needed.
+fn random_stream_id() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    loop {
+        let mut h = RandomState::new().build_hasher();
+        h.write_u64(std::process::id() as u64);
+        let v = h.finish();
+        if v != 0 {
+            return v;
+        }
     }
 }
 
@@ -280,11 +816,12 @@ fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
     Ok(filled)
 }
 
-/// Read one record. `Ok(None)` at clean EOF; `Err` on a torn or corrupt
-/// record (short header, short payload, oversized length, checksum
-/// mismatch).
-fn read_record(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut header = [0u8; HEADER_BYTES as usize];
+/// Read one v2 frame from disk. `Ok(None)` at clean EOF; `Err` on a torn
+/// or corrupt frame (`UnexpectedEof` for a short read, `InvalidData` for
+/// checksum/length/version trouble — a checksum-valid unknown version says
+/// "newer than supported" so callers can fail loud instead of truncating).
+fn read_disk_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
     let got = read_fully(r, &mut header)?;
     if got == 0 {
         return Ok(None);
@@ -292,15 +829,16 @@ fn read_record(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     if got < header.len() {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            "torn record header",
+            "torn frame header",
         ));
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let version = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
     if len > MAX_RECORD_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "corrupt record length",
+            "corrupt frame length",
         ));
     }
     let mut payload = vec![0u8; len as usize];
@@ -308,16 +846,65 @@ fn read_record(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     if got < payload.len() {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            "torn record payload",
+            "torn frame payload",
         ));
     }
-    if fnv1a64(&payload) != checksum {
+    let checksum_ok = fnv1a64(&payload) == checksum;
+    if version != RECORD_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "record checksum mismatch",
+            if checksum_ok {
+                format!("WAL record version {version} is newer than supported ({RECORD_VERSION})")
+            } else {
+                "corrupt record version byte".to_string()
+            },
+        ));
+    }
+    if !checksum_ok {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
         ));
     }
     Ok(Some(payload))
+}
+
+/// Read a legacy v1 log: magic `DDWAL1\n\0`, then unversioned
+/// `[u32 len][u64 cksum][payload]` records. Returns the intact records and
+/// whether (and how much) torn tail was dropped.
+fn read_v1(path: &Path) -> io::Result<(Vec<Vec<u8>>, bool, u64)> {
+    let mut f = File::open(path)?;
+    let total = f.metadata()?.len();
+    f.seek(SeekFrom::Start(8))?;
+    let mut records = Vec::new();
+    let mut offset = 8u64;
+    let mut torn = false;
+    loop {
+        let mut header = [0u8; V1_HEADER_BYTES as usize];
+        let got = read_fully(&mut f, &mut header)?;
+        if got == 0 {
+            break;
+        }
+        if got < header.len() {
+            torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        if len > MAX_RECORD_BYTES {
+            torn = true;
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_fully(&mut f, &mut payload)?;
+        if got < payload.len() || fnv1a64(&payload) != checksum {
+            torn = true;
+            break;
+        }
+        offset += V1_HEADER_BYTES + payload.len() as u64;
+        records.push(payload);
+    }
+    Ok((records, torn, total.saturating_sub(offset)))
 }
 
 #[cfg(test)]
@@ -338,20 +925,30 @@ mod tests {
     fn append_and_recover_round_trips() {
         let dir = tmpdir("roundtrip");
         let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"{\"rows\":{}}", &[0xFF, 0x00, 0x7F]];
+        let stream;
         {
             let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
             assert!(rec.records.is_empty());
             assert!(!rec.torn_tail);
-            for p in &payloads {
-                wal.append(p).unwrap();
+            stream = wal.stream_id();
+            assert_ne!(stream, 0, "primary WAL mints a nonzero stream id");
+            for (i, p) in payloads.iter().enumerate() {
+                assert_eq!(
+                    wal.append(p).unwrap(),
+                    i as u64,
+                    "seqs are assigned in order"
+                );
             }
             assert_eq!(wal.records(), payloads.len() as u64);
         }
         let (wal, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(!rec.torn_tail);
+        assert!(!rec.upgraded_v1);
         assert_eq!(rec.records, payloads);
+        assert_eq!(rec.first_pending_seq, 0);
         assert_eq!(wal.records(), payloads.len() as u64);
         assert_eq!(wal.bytes(), rec.good_bytes);
+        assert_eq!(wal.stream_id(), stream, "stream id survives reopen");
     }
 
     #[test]
@@ -369,7 +966,7 @@ mod tests {
         // record's payload.
         let path = dir.join("ingest.wal");
         let full = std::fs::metadata(&path).unwrap().len();
-        let cut = good_bytes + HEADER_BYTES + 4; // header + 4 payload bytes
+        let cut = good_bytes + FRAME_HEADER_BYTES + 4;
         assert!(cut < full);
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(cut).unwrap();
@@ -384,8 +981,8 @@ mod tests {
         assert_eq!(rec.torn_bytes, cut - good_bytes);
 
         // The file was truncated back to the last intact record, so new
-        // appends land cleanly after it.
-        wal.append(b"post-recovery record").unwrap();
+        // appends land cleanly after it — and reuse the torn record's seq.
+        assert_eq!(wal.append(b"post-recovery record").unwrap(), 2);
         drop(wal);
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(!rec.torn_tail);
@@ -394,7 +991,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_checksum_drops_the_tail() {
+    fn corrupted_checksum_drops_the_pending_tail() {
         let dir = tmpdir("cksum");
         {
             let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
@@ -410,6 +1007,185 @@ mod tests {
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.records, vec![b"keep me".to_vec()]);
+    }
+
+    #[test]
+    fn corruption_in_checkpointed_region_is_fatal() {
+        let dir = tmpdir("ckpt-corrupt");
+        {
+            let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+            wal.append(b"checkpointed and shipped").unwrap();
+            wal.append(b"pending").unwrap();
+            wal.mark_checkpointed(1).unwrap();
+        }
+        let path = dir.join("ingest.wal");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the first (checkpoint-owned) record.
+        let idx = HEADER_LEN as usize + FRAME_HEADER_BYTES as usize;
+        bytes[idx] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = Wal::open(&dir, injector()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("seq 0"),
+            "the error names the damaged seq: {err}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_keeps_records_fetchable_and_zeroes_pending() {
+        let dir = tmpdir("ckpt");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.mark_checkpointed(2).unwrap();
+        assert_eq!(wal.records(), 0, "nothing pending after the flush");
+        assert_eq!(wal.physical_records(), 2, "frames stay for followers");
+
+        let (frames, next) = wal.read_frames(0, usize::MAX).unwrap();
+        assert_eq!(next, 2);
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&frames);
+        assert_eq!(dec.next().unwrap().unwrap(), b"one");
+        assert_eq!(dec.next().unwrap().unwrap(), b"two");
+        assert_eq!(dec.next().unwrap(), None);
+
+        drop(wal);
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.records.is_empty(), "checkpointed records do not replay");
+        assert_eq!(rec.first_pending_seq, 2);
+        assert_eq!(rec.retained, 2);
+        assert_eq!(wal.next_seq(), 2, "seqs keep counting after a flush");
+    }
+
+    #[test]
+    fn retention_compacts_the_checkpointed_prefix() {
+        let dir = tmpdir("retain");
+        let opts = WalOptions {
+            retain_records: 2,
+            fresh_stream: true,
+        };
+        let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+        for i in 0..5u32 {
+            wal.append(format!("record {i}").as_bytes()).unwrap();
+        }
+        wal.mark_checkpointed(5).unwrap();
+        assert_eq!(wal.base_seq(), 3, "only the last 2 checkpointed remain");
+        assert_eq!(wal.next_seq(), 5);
+
+        let (frames, next) = wal.read_frames(3, usize::MAX).unwrap();
+        assert_eq!(next, 5);
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&frames);
+        assert_eq!(dec.next().unwrap().unwrap(), b"record 3");
+        assert_eq!(dec.next().unwrap().unwrap(), b"record 4");
+
+        assert!(
+            wal.read_frames(2, usize::MAX).is_err(),
+            "seqs below base are gone"
+        );
+
+        // Appends continue after compaction, and reopening agrees.
+        assert_eq!(wal.append(b"record 5").unwrap(), 5);
+        drop(wal);
+        let (wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert_eq!(rec.records, vec![b"record 5".to_vec()]);
+        assert_eq!(wal.base_seq(), 3);
+        assert_eq!(wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn read_frames_honors_max_bytes_but_returns_at_least_one() {
+        let dir = tmpdir("window");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        let big = vec![0xABu8; 4096];
+        for _ in 0..4 {
+            wal.append(&big).unwrap();
+        }
+        // A window smaller than one frame still ships one frame.
+        let (frames, next) = wal.read_frames(0, 16).unwrap();
+        assert_eq!(next, 1);
+        assert_eq!(frames.len(), FRAME_HEADER_BYTES as usize + big.len());
+        // A window of ~2.5 frames ships 2.
+        let (_, next) = wal.read_frames(0, 2 * 4200).unwrap();
+        assert_eq!(next, 2);
+        // From the end: empty.
+        let (frames, next) = wal.read_frames(4, 1024).unwrap();
+        assert!(frames.is_empty());
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    fn v1_log_upgrades_in_place() {
+        let dir = tmpdir("v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        for payload in [b"legacy one".as_slice(), b"legacy two".as_slice()] {
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        }
+        // Torn v1 tail: half a header.
+        bytes.extend_from_slice(&[0x05, 0x00]);
+        std::fs::write(dir.join("ingest.wal"), &bytes).unwrap();
+
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.upgraded_v1);
+        assert!(rec.torn_tail, "the v1 tear is reported");
+        assert_eq!(
+            rec.records,
+            vec![b"legacy one".to_vec(), b"legacy two".to_vec()],
+            "v1 records come back pending"
+        );
+        assert_eq!(rec.first_pending_seq, 0);
+        assert_ne!(wal.stream_id(), 0);
+        drop(wal);
+
+        // The file on disk is now v2.
+        let on_disk = std::fs::read(dir.join("ingest.wal")).unwrap();
+        assert_eq!(&on_disk[0..8], MAGIC_V2);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.upgraded_v1);
+        assert_eq!(rec.records.len(), 2);
+    }
+
+    #[test]
+    fn future_format_version_fails_with_a_clear_error() {
+        let dir = tmpdir("future-format");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut header = header_bytes(42, 0, 0);
+        header[8..12].copy_from_slice(&3u32.to_le_bytes());
+        std::fs::write(dir.join("ingest.wal"), header).unwrap();
+
+        let err = Wal::open(&dir, injector()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("format version 3"),
+            "names the version: {err}"
+        );
+        assert!(err.to_string().contains("newer than supported"));
+    }
+
+    #[test]
+    fn future_record_version_fails_loud_not_torn() {
+        let dir = tmpdir("future-record");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = header_bytes(42, 0, 0).to_vec();
+        let payload = b"from the future";
+        bytes.push(2); // unknown record version
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        std::fs::write(dir.join("ingest.wal"), &bytes).unwrap();
+
+        let err = Wal::open(&dir, injector()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("record version 2"),
+            "names the record version: {err}"
+        );
     }
 
     #[test]
@@ -437,7 +1213,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_write_fault_poisons_until_truncate() {
+    fn torn_write_fault_poisons_until_checkpoint_repair() {
         let dir = tmpdir("tornwrite");
         let faults = injector();
         let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
@@ -451,19 +1227,32 @@ mod tests {
             "poisoned log refuses appends"
         );
 
-        // Reopening (a restart) recovers the intact prefix and drops the tear.
-        drop(wal);
-        let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
-        assert!(rec.torn_tail);
-        assert_eq!(rec.records, vec![b"acked".to_vec()]);
-
-        // A checkpoint-driven truncate clears everything.
-        wal.truncate().unwrap();
+        // A checkpoint flush repairs the unknown tail and resumes service.
+        wal.mark_checkpointed(wal.next_seq()).unwrap();
+        assert!(!wal.poisoned());
         assert_eq!(wal.records(), 0);
+        wal.append(b"after repair").unwrap();
         drop(wal);
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
-        assert!(rec.records.is_empty());
         assert!(!rec.torn_tail);
+        assert_eq!(rec.records, vec![b"after repair".to_vec()]);
+    }
+
+    #[test]
+    fn torn_write_poison_recovers_across_restart() {
+        let dir = tmpdir("tornwrite-restart");
+        let faults = injector();
+        {
+            let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
+            wal.append(b"acked").unwrap();
+            faults.arm(points::WAL_TORN_WRITE, 1);
+            assert!(wal.append(b"torn mid-write").is_err());
+        }
+        // Reopening (a restart) recovers the intact prefix and drops the
+        // tear.
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.records, vec![b"acked".to_vec()]);
     }
 
     #[test]
@@ -471,16 +1260,14 @@ mod tests {
         let dir = tmpdir("rollback");
         let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
         wal.append(b"keep me").unwrap();
-        let (bytes, records) = (wal.bytes(), wal.records());
+        let mark = wal.mark();
         wal.append(b"negatively acked").unwrap();
-        wal.rollback_to(bytes, records).unwrap();
+        wal.rollback_to(&mark).unwrap();
         assert_eq!(wal.records(), 1);
-        assert_eq!(wal.bytes(), bytes);
         assert!(!wal.poisoned());
 
-        // The log stays appendable and replay never sees the rolled-back
-        // record.
-        wal.append(b"after the rollback").unwrap();
+        // The seq is reused and replay never sees the rolled-back record.
+        assert_eq!(wal.append(b"after the rollback").unwrap(), 1);
         drop(wal);
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(!rec.torn_tail);
@@ -491,18 +1278,64 @@ mod tests {
     }
 
     #[test]
-    fn truncate_empties_the_log() {
-        let dir = tmpdir("trunc");
-        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
-        wal.append(b"one").unwrap();
-        wal.append(b"two").unwrap();
-        wal.truncate().unwrap();
-        assert_eq!(wal.records(), 0);
-        assert_eq!(wal.bytes(), MAGIC.len() as u64);
-        wal.append(b"three").unwrap();
+    fn adopt_stream_only_on_an_empty_log() {
+        let dir = tmpdir("adopt");
+        let opts = WalOptions {
+            retain_records: DEFAULT_RETAIN_RECORDS,
+            fresh_stream: false,
+        };
+        let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert_eq!(wal.stream_id(), 0, "follower WAL starts unadopted");
+        wal.adopt_stream(0xDEADBEEF, 7).unwrap();
+        assert_eq!(wal.stream_id(), 0xDEADBEEF);
+        assert_eq!(wal.next_seq(), 7);
+        assert_eq!(wal.append(b"first replicated").unwrap(), 7);
+        assert!(
+            wal.adopt_stream(0xBEEF, 0).is_err(),
+            "cannot re-adopt over records"
+        );
         drop(wal);
-        let (_, rec) = Wal::open(&dir, injector()).unwrap();
-        assert_eq!(rec.records, vec![b"three".to_vec()]);
+        let (wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert_eq!(wal.stream_id(), 0xDEADBEEF, "adoption is durable");
+        assert_eq!(rec.first_pending_seq, 7);
+        assert_eq!(rec.records, vec![b"first replicated".to_vec()]);
+    }
+
+    #[test]
+    fn decoder_handles_splits_heartbeats_and_corruption() {
+        let mut wire = Vec::new();
+        wire.push(frame::HEARTBEAT);
+        wire.extend_from_slice(&frame::encode(b"hello"));
+        wire.push(frame::HEARTBEAT);
+        wire.push(frame::HEARTBEAT);
+        wire.extend_from_slice(&frame::encode(b""));
+        wire.extend_from_slice(&frame::encode(&[0u8, 1, 2, 3]));
+
+        // Feed one byte at a time: every frame still decodes exactly once.
+        let mut dec = frame::FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.feed(&[*b]);
+            while let Some(p) = dec.next().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, vec![b"hello".to_vec(), Vec::new(), vec![0u8, 1, 2, 3]]);
+
+        // A flipped payload bit is Corrupt, not a wrong record.
+        let mut bad = frame::encode(b"payload");
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&bad);
+        assert!(matches!(dec.next(), Err(frame::FrameError::Corrupt(_))));
+
+        // A checksum-valid frame under an unknown version is FutureVersion.
+        let mut future = frame::encode(b"payload");
+        future[0] = 9;
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&future);
+        assert_eq!(dec.next(), Err(frame::FrameError::FutureVersion(9)));
     }
 
     #[test]

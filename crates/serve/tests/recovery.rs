@@ -668,8 +668,12 @@ fn shutdown_during_replay_never_reopens_readiness() {
     let changes = app.document_changes("Iris Lake and her husband Jack Lake planted a garden.");
     {
         let (mut wal, _) = Wal::open(&wal_dir, Arc::new(FaultInjector::new())).expect("open wal");
-        wal.append(serde_json::to_string(&ingest_body(&changes)).unwrap().as_bytes())
-            .expect("append");
+        wal.append(
+            serde_json::to_string(&ingest_body(&changes))
+                .unwrap()
+                .as_bytes(),
+        )
+        .expect("append");
     }
 
     // Stall the replay so the shutdown reliably lands while it is running.

@@ -1,0 +1,130 @@
+//! Property tests for the WAL stream framing: the frame decoder must
+//! reassemble identical records from *any* chunking of the wire bytes
+//! (chunk boundaries carry no meaning), tolerate interleaved heartbeats,
+//! and — when a byte anywhere in the stream is corrupted — yield at most
+//! a verified prefix of the original records, never a wrong one.
+
+use deepdive_serve::wal::frame::{self, FrameDecoder};
+use proptest::prelude::*;
+
+/// Build the wire image: optional heartbeat runs between frames, exactly
+/// as an idle primary interleaves them.
+fn wire_image(records: &[Vec<u8>], heartbeats: &[usize]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (i, payload) in records.iter().enumerate() {
+        let beats = heartbeats.get(i).copied().unwrap_or(0);
+        wire.extend(vec![frame::HEARTBEAT; beats]);
+        wire.extend_from_slice(&frame::encode(payload));
+    }
+    wire.extend(vec![
+        frame::HEARTBEAT;
+        heartbeats.get(records.len()).copied().unwrap_or(0)
+    ]);
+    wire
+}
+
+/// Feed `wire` to a decoder in chunks cut at `cuts` (arbitrary positions,
+/// duplicates and out-of-range allowed), returning every decoded record
+/// and the terminal error, if any.
+fn decode_chunked(wire: &[u8], cuts: &[usize]) -> (Vec<Vec<u8>>, Option<frame::FrameError>) {
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(wire.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::new();
+    for window in bounds.windows(2) {
+        decoder.feed(&wire[window[0]..window[1]]);
+        loop {
+            match decoder.next() {
+                Ok(Some(payload)) => out.push(payload),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+    (out, None)
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..10)
+}
+
+fn heartbeats_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..4, 0..11)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Splitting the stream at arbitrary byte positions — mid-header,
+    /// mid-payload, mid-heartbeat-run — decodes to exactly the records
+    /// that were encoded, in order, with nothing left over.
+    #[test]
+    fn arbitrary_chunking_decodes_identically(
+        records in records_strategy(),
+        heartbeats in heartbeats_strategy(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let wire = wire_image(&records, &heartbeats);
+        let (decoded, err) = decode_chunked(&wire, &cuts);
+        prop_assert!(err.is_none(), "clean stream errored: {err:?}");
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Flip one byte anywhere in the stream: the decoder may stop short
+    /// (error, or wait forever for bytes that will never come), but every
+    /// record it does yield is a verbatim prefix of the originals — a
+    /// corrupted frame is never applied, and never mutates a neighbor.
+    #[test]
+    fn corrupt_byte_yields_at_most_a_verified_prefix(
+        records in records_strategy(),
+        heartbeats in heartbeats_strategy(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+        flip_at in any::<usize>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let mut wire = wire_image(&records, &heartbeats);
+        let at = flip_at % wire.len();
+        wire[at] ^= flip_mask;
+        let (decoded, _err) = decode_chunked(&wire, &cuts);
+        prop_assert!(
+            decoded.len() <= records.len(),
+            "decoded more records than were sent"
+        );
+        prop_assert_eq!(
+            &decoded[..],
+            &records[..decoded.len()],
+            "a decoded record differs from what was encoded"
+        );
+    }
+
+    /// A mid-record stream cut (truncation at any point) decodes the
+    /// complete frames before the cut and then just waits for more bytes —
+    /// it neither errors nor invents a record from the partial tail.
+    #[test]
+    fn truncated_stream_never_yields_a_partial_record(
+        records in records_strategy(),
+        cut_at in any::<usize>(),
+    ) {
+        let wire = wire_image(&records, &[]);
+        let at = cut_at % (wire.len() + 1);
+        let (decoded, err) = decode_chunked(&wire[..at], &[]);
+        prop_assert!(err.is_none(), "truncation is not corruption: {err:?}");
+        prop_assert_eq!(
+            &decoded[..],
+            &records[..decoded.len()],
+            "a decoded record differs from what was encoded"
+        );
+        // Feeding the rest of the bytes completes the stream exactly.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        let mut full = Vec::new();
+        while let Ok(Some(p)) = decoder.next() {
+            full.push(p);
+        }
+        prop_assert_eq!(full, records);
+    }
+}
