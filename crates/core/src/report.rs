@@ -7,9 +7,40 @@
 //! carries those answers and renders as JSON for downstream tooling.
 
 use crate::app::{DeepDive, RunResult};
-use deepdive_storage::RelationStorageStats;
+use deepdive_storage::{RelationStorageStats, RulePlan};
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
+
+/// Render the planner's per-rule choices as the report's `plan` section:
+/// one entry per derivation rule with the chosen atom order, and per step
+/// the relation, join strategy, and cardinality estimate.
+fn plans_to_json(plans: &[RulePlan]) -> Value {
+    Value::Array(
+        plans
+            .iter()
+            .map(|p| {
+                let steps: Vec<Value> = p
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        json!({
+                            "relation": s.relation,
+                            "strategy": s.strategy.name(),
+                            "estimated_rows": s.estimated_rows,
+                        })
+                    })
+                    .collect();
+                json!({
+                    "rule": p.rule,
+                    "display": p.display,
+                    "order": p.order,
+                    "cost_based": p.cost_based,
+                    "steps": Value::Array(steps),
+                })
+            })
+            .collect(),
+    )
+}
 
 /// Machine-readable summary of one [`DeepDive::run`].
 #[derive(Debug, Clone, Default)]
@@ -58,6 +89,9 @@ pub struct RunReport {
     /// it) and their total heap bytes.
     pub dictionary_symbols: usize,
     pub dictionary_bytes: usize,
+    /// Per-rule join plans chosen by the cost-based planner (atom order,
+    /// join strategy, and cardinality estimate per step).
+    pub plan: Value,
 }
 
 impl RunReport {
@@ -107,6 +141,7 @@ impl RunReport {
             peak_resident_bytes: dd.db.memory_budget().peak_resident(),
             dictionary_symbols: deepdive_storage::dictionary_len(),
             dictionary_bytes: deepdive_storage::dictionary_bytes() as usize,
+            plan: plans_to_json(dd.grounder.engine().program().plans()),
         }
     }
 
@@ -196,6 +231,7 @@ impl RunReport {
             "inference": inference,
             "graph": graph,
             "execution": execution,
+            "plan": self.plan.clone(),
             "storage": storage,
             "phases_resumed": self.phases_resumed,
             "timings_secs": timings,

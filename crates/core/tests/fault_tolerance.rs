@@ -677,3 +677,140 @@ fn killed_mid_spill_segments_are_complete_or_ignored_on_restart() {
     let _ = std::fs::remove_dir_all(&spill_root);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 }
+
+/// Secondary indexes survive a killed epoch. A UDF armed through
+/// [`flaky_udf`] dies on its first call of an incremental epoch under
+/// `FailurePolicy::Fail` — an in-process kill partway through the
+/// DRed/IVM + grounding maintenance path — and every hash index built
+/// before the kill must still agree with a brute-force scan of its
+/// table, both immediately after the abort and after a subsequent clean
+/// epoch over the same engine.
+#[test]
+fn kill_mid_epoch_keeps_indexes_scan_consistent() {
+    use deepdive_storage::{BaseChange, Database};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const N: usize = 24;
+    let (sentences, mentions, el, married) = corpus(N);
+
+    // Normal during the base run; once armed, every call routes through a
+    // FaultPlan that always trips, so the epoch's first feature extraction
+    // panics.
+    let armed = Arc::new(AtomicBool::new(false));
+    let (chaos, counter) = flaky_udf(feature, FaultPlan::new(1.0, 0x1C11));
+    let switch = Arc::clone(&armed);
+    let udf = move |args: &[Value]| -> Vec<Value> {
+        if switch.load(Ordering::Relaxed) {
+            chaos(args)
+        } else {
+            feature(args)
+        }
+    };
+
+    let mut config = base_config(77);
+    config.learn.epochs = 10;
+    config.inference.samples = 60;
+    config.inference.burn_in = 10;
+    let mut dd = DeepDive::builder(PROGRAM)
+        .udf("f_feat", udf)
+        .udf_policy("f_feat", FailurePolicy::Fail)
+        .config(config)
+        .build()
+        .unwrap();
+    dd.db.load_tsv("Sentence", &sentences).unwrap();
+    dd.db.load_tsv("Mention", &mentions).unwrap();
+    dd.db.load_tsv("EL", &el).unwrap();
+    dd.db.load_tsv("Married", &married).unwrap();
+    dd.run().unwrap();
+
+    // Force hash indexes into existence on base and derived relations, so
+    // every epoch mutation from here on must maintain them incrementally.
+    let probed = ["Mention", "MarriedCandidate", "MarriedMentions_Ev"];
+    for rel in probed {
+        let mut sink = Vec::new();
+        dd.db
+            .lookup_counted(rel, &[0], &[Value::Id(0)], &mut sink)
+            .unwrap();
+    }
+
+    // Index-vs-scan oracle: every distinct leading-column key (plus one
+    // absent key) answers identically through the index and a full scan.
+    let check = |db: &Database, label: &str| {
+        for rel in probed {
+            let all = db.rows_counted(rel).unwrap();
+            let mut keys: Vec<Value> = all.iter().map(|(r, _)| r[0].clone()).collect();
+            keys.sort();
+            keys.dedup();
+            keys.push(Value::Id(u64::MAX));
+            for key in keys {
+                let mut got = Vec::new();
+                db.lookup_counted(rel, &[0], std::slice::from_ref(&key), &mut got)
+                    .unwrap();
+                got.sort();
+                let mut want: Vec<_> = all.iter().filter(|(r, _)| r[0] == key).cloned().collect();
+                want.sort();
+                assert_eq!(got, want, "index drift on `{rel}` key {key:?} {label}");
+            }
+        }
+    };
+    check(&dd.db, "before the doomed epoch");
+
+    let doc_changes = |i: usize| -> Vec<BaseChange> {
+        let (m1, m2) = (2 * i as u64, 2 * i as u64 + 1);
+        vec![
+            BaseChange::insert(
+                "Sentence",
+                vec![Value::Id(i as u64), Value::text(sentence_text(i))].into(),
+            ),
+            BaseChange::insert(
+                "Mention",
+                vec![
+                    Value::Id(i as u64),
+                    Value::Id(m1),
+                    Value::text(format!("A{i}")),
+                ]
+                .into(),
+            ),
+            BaseChange::insert(
+                "Mention",
+                vec![
+                    Value::Id(i as u64),
+                    Value::Id(m2),
+                    Value::text(format!("B{i}")),
+                ]
+                .into(),
+            ),
+            BaseChange::insert(
+                "EL",
+                vec![Value::Id(m1), Value::text(format!("A{i}"))].into(),
+            ),
+            BaseChange::insert(
+                "EL",
+                vec![Value::Id(m2), Value::text(format!("B{i}"))].into(),
+            ),
+        ]
+    };
+
+    // The doomed epoch: new document N derives a new candidate, whose
+    // feature extraction panics under the armed plan.
+    armed.store(true, Ordering::Relaxed);
+    let err = dd.apply_base_changes(doc_changes(N));
+    assert!(err.is_err(), "armed epoch must abort");
+    assert!(counter.panics() >= 1, "the kill actually fired mid-epoch");
+    check(&dd.db, "after the killed epoch");
+
+    // A clean epoch over a *different* document on the same engine: the
+    // engine still functions and the indexes still track every mutation.
+    armed.store(false, Ordering::Relaxed);
+    dd.apply_base_changes(doc_changes(N + 1))
+        .expect("clean epoch after the kill");
+    let i = N + 1;
+    let cand = dd.db.rows_counted("MarriedCandidate").unwrap();
+    assert!(
+        cand.iter()
+            .any(|(r, _)| r[0] == Value::Id(2 * i as u64) && r[1] == Value::Id(2 * i as u64 + 1)),
+        "post-kill epoch derived the new candidate"
+    );
+    check(&dd.db, "after the recovery epoch");
+}

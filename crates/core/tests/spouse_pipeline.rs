@@ -125,5 +125,28 @@ fn spouse_run_respects_memory_budget_including_read_cache() {
         "every relation reports its read-cache footprint"
     );
 
+    // The planner's chosen join orders are surfaced in the same report.
+    let plans = v
+        .get("plan")
+        .and_then(|p| p.as_array())
+        .expect("plan section");
+    assert!(!plans.is_empty(), "derivation rules produce rule plans");
+    for p in plans {
+        assert!(p.get("rule").and_then(|r| r.as_str()).is_some());
+        assert!(p.get("order").and_then(|o| o.as_array()).is_some());
+        let steps = p.get("steps").and_then(|s| s.as_array()).expect("steps");
+        assert!(
+            steps.iter().all(|s| s.get("strategy").is_some()),
+            "every step names its join strategy"
+        );
+    }
+    assert!(
+        plans.iter().any(|p| p
+            .get("cost_based")
+            .and_then(|c| c.as_bool())
+            .unwrap_or(false)),
+        "a loaded spouse run cost-plans at least one rule"
+    );
+
     let _ = std::fs::remove_dir_all(&spill_dir);
 }

@@ -20,8 +20,12 @@ pub enum Statement {
 
 /// `Name(col type, ...)` or `Name?(col type, ...)` — the `?` marks a *query*
 /// relation whose tuples become Boolean random variables (§3.3).
+///
+/// Declarations accept annotations; `@cardinality(N)` hints the expected row
+/// count so the join planner can order atoms before the relation is loaded.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RelationDecl {
+    pub annotations: Vec<Annotation>,
     pub name: String,
     pub query: bool,
     pub columns: Vec<(String, ValueType)>,

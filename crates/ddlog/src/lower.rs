@@ -81,6 +81,9 @@ pub struct DdlogProgram {
     pub derivation_rules: Vec<Rule>,
     /// Rules grounded into factors.
     pub factor_rules: Vec<FactorRule>,
+    /// `@cardinality(N)` declaration hints: relation name → expected row
+    /// count, seeding the join planner's statistics before data arrives.
+    pub cardinality_hints: HashMap<String, u64>,
 }
 
 impl DdlogProgram {
@@ -146,6 +149,16 @@ fn lower_decl(
             });
         }
         b = b.col(col, *ty);
+    }
+    if let Some(a) = d.annotations.iter().find(|a| a.key == "cardinality") {
+        let n: u64 = a.value.parse().map_err(|_| LowerError {
+            message: format!(
+                "@cardinality on `{}` needs a non-negative integer, got `{}`",
+                d.name, a.value
+            ),
+            line: d.line,
+        })?;
+        prog.cardinality_hints.insert(d.name.clone(), n);
     }
     declared.insert(d.name.clone(), (d.columns.len(), d.query));
     prog.schemas.push((b.finish(), d.query));
@@ -371,6 +384,21 @@ mod tests {
     fn duplicate_column_rejected() {
         let err = compile("A(x int, x text).").unwrap_err();
         assert!(matches!(err, DdlogError::Lower(_)));
+    }
+
+    #[test]
+    fn cardinality_hints_are_collected() {
+        let src = "@cardinality(24000) B(x int).\nA(x int).\nA(x) :- B(x).";
+        let p = compile(src).unwrap();
+        assert_eq!(p.cardinality_hints.get("B"), Some(&24000));
+        assert!(!p.cardinality_hints.contains_key("A"));
+    }
+
+    #[test]
+    fn bad_cardinality_hint_rejected() {
+        let err = compile("@cardinality(lots) B(x int).").unwrap_err();
+        let DdlogError::Lower(e) = err else { panic!() };
+        assert!(e.message.contains("cardinality"));
     }
 
     #[test]

@@ -115,6 +115,12 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
+        // Annotations may precede either a decl (`@cardinality(N)`) or a rule
+        // (`@name(...)`, `@function(...)`), so parse them first.
+        let mut annotations = Vec::new();
+        while self.peek().kind == TokenKind::At {
+            annotations.push(self.annotation()?);
+        }
         // Decl lookahead: IDENT ('?')? '(' IDENT IDENT — two consecutive
         // identifiers inside the parens means `name type` column defs.
         if matches!(self.peek().kind, TokenKind::Ident(_)) {
@@ -126,13 +132,13 @@ impl Parser {
                 && matches!(self.peek_at(off + 1), TokenKind::Ident(_))
                 && matches!(self.peek_at(off + 2), TokenKind::Ident(_))
             {
-                return Ok(Statement::Decl(self.decl()?));
+                return Ok(Statement::Decl(self.decl(annotations)?));
             }
         }
-        Ok(Statement::Rule(self.rule()?))
+        Ok(Statement::Rule(self.rule(annotations)?))
     }
 
-    fn decl(&mut self) -> Result<RelationDecl, ParseError> {
+    fn decl(&mut self, annotations: Vec<Annotation>) -> Result<RelationDecl, ParseError> {
         let line = self.peek().line;
         let name = self.ident()?;
         let query = self.eat(TokenKind::Question);
@@ -166,6 +172,7 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::Dot)?;
         Ok(RelationDecl {
+            annotations,
             name,
             query,
             columns,
@@ -186,18 +193,24 @@ impl Parser {
                 self.bump();
                 s
             }
-            other => return self.err(format!("expected string or identifier, found {other}")),
+            // `@cardinality(50000)` — numeric annotation values are kept as
+            // their decimal rendering; lowering parses them back.
+            TokenKind::Int(i) => {
+                self.bump();
+                i.to_string()
+            }
+            other => {
+                return self.err(format!(
+                    "expected string, identifier, or integer, found {other}"
+                ))
+            }
         };
         self.expect(TokenKind::RParen)?;
         Ok(Annotation { key, value })
     }
 
-    fn rule(&mut self) -> Result<RuleStmt, ParseError> {
+    fn rule(&mut self, annotations: Vec<Annotation>) -> Result<RuleStmt, ParseError> {
         let line = self.peek().line;
-        let mut annotations = Vec::new();
-        while self.peek().kind == TokenKind::At {
-            annotations.push(self.annotation()?);
-        }
         let mut heads = vec![self.atom()?];
         while self.eat(TokenKind::Caret) {
             heads.push(self.atom()?);
@@ -468,6 +481,17 @@ mod tests {
         };
         assert!(r.body[1].negated);
         assert_eq!(r.heads[0].terms[1], Term::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_cardinality_annotation_on_decl() {
+        let p = parse("@cardinality(50000) Mention(s id, m id).").unwrap();
+        let Statement::Decl(d) = &p.statements[0] else {
+            panic!("decl")
+        };
+        assert_eq!(d.annotations.len(), 1);
+        assert_eq!(d.annotations[0].key, "cardinality");
+        assert_eq!(d.annotations[0].value, "50000");
     }
 
     #[test]

@@ -153,7 +153,13 @@ impl Grounder {
         }
 
         let program = Program::new(ddlog.derivation_rules.clone());
-        let engine = IncrementalEngine::new(StratifiedProgram::new(program, db)?);
+        // `@cardinality(N)` declaration hints seed the planner's statistics
+        // so join orders are sensible even before any data is loaded.
+        let engine = IncrementalEngine::new(StratifiedProgram::with_hints(
+            program,
+            db,
+            ddlog.cardinality_hints.clone(),
+        )?);
 
         Ok(Grounder {
             ddlog,
@@ -190,6 +196,10 @@ impl Grounder {
         db: &Database,
     ) -> Result<(GroundingDelta, LoadTimings), StorageError> {
         let mut timings = LoadTimings::default();
+        // Base relations are loaded before initial evaluation, so live row
+        // counts and distinct estimates are available now — replace the
+        // construction-time plans (hint-only) with measured ones.
+        self.engine.replan(db)?;
         self.engine
             .initial_load_instrumented(db, |stratum, elapsed| {
                 let is_supervision = stratum

@@ -1211,25 +1211,66 @@ fn get_relation(req: &Request, name: &str, state: &ServeState) -> Response {
         Err(resp) => return resp,
     };
 
-    // Any query key naming a column filters on that column's TSV rendering
-    // (`?mtext=Barack+Obama`, `?m1=7`).
-    let mut filters: Vec<(usize, &str)> = Vec::new();
+    // Any query key naming a column filters on that column (`?m1=7`,
+    // `?mtext=Barack+Obama`). Each raw value is parsed ONCE against the
+    // column's declared type into a typed predicate, so matching compares
+    // `Value`s directly instead of re-rendering every cell to TSV.
+    // `Any`-typed columns (grounding scratch relations) keep the rendering
+    // comparison — they have no declared type to parse against.
+    enum Pred {
+        Typed(usize, DbValue),
+        Rendered(usize, String),
+    }
+    let mut filters: Vec<Pred> = Vec::new();
+    let mut unsatisfiable = false;
     for (key, value) in &req.query {
         if key == "offset" || key == "limit" {
             continue;
         }
-        match rel.schema().columns.iter().position(|c| &c.name == key) {
-            Some(idx) => filters.push((idx, value)),
-            None => {
-                return Response::error(400, &format!("`{key}` is not a column of `{name}`"));
+        let Some(idx) = rel.schema().columns.iter().position(|c| &c.name == key) else {
+            return Response::error(400, &format!("`{key}` is not a column of `{name}`"));
+        };
+        let ty = rel.schema().columns[idx].ty;
+        if matches!(ty, ValueType::Any | ValueType::Null) {
+            filters.push(Pred::Rendered(idx, value.clone()));
+            continue;
+        }
+        match value_from_tsv(value, ty) {
+            // Stored cells render canonically, so a non-canonical input
+            // (`?x=07`) can never equal any rendered cell. Match nothing,
+            // exactly as the rendering comparison did.
+            Ok(v) if value_to_tsv(&v) == *value => filters.push(Pred::Typed(idx, v)),
+            _ => {
+                unsatisfiable = true;
+                break;
             }
         }
     }
-    let keep = |row: &Row| -> bool { filters.iter().all(|(i, v)| value_to_tsv(&row[*i]) == **v) };
+    let keep = |row: &Row| -> bool {
+        filters.iter().all(|p| match p {
+            Pred::Typed(i, v) => row[*i] == *v,
+            Pred::Rendered(i, s) => value_to_tsv(&row[*i]) == *s,
+        })
+    };
+
+    // Snapshot rows are sorted ascending by full row, so an equality filter
+    // on the leading column selects one contiguous range — binary-search it
+    // instead of scanning the whole relation.
+    let all = rel.rows();
+    let scan: &[(Row, i64)] = if unsatisfiable {
+        &[]
+    } else if let Some(Pred::Typed(0, v)) = filters.iter().find(|p| matches!(p, Pred::Typed(0, _)))
+    {
+        let lo = all.partition_point(|(r, _)| r[0] < *v);
+        let hi = all[lo..].partition_point(|(r, _)| r[0] == *v) + lo;
+        &all[lo..hi]
+    } else {
+        all
+    };
 
     let mut total = 0usize;
     let mut rows = Vec::new();
-    for (row, count) in rel.rows().iter().filter(|(row, _)| keep(row)) {
+    for (row, count) in scan.iter().filter(|(row, _)| keep(row)) {
         if total >= offset && rows.len() < limit {
             let mut obj = match row_to_json(Some(rel.schema()), row) {
                 Json::Object(o) => o,

@@ -277,3 +277,89 @@ fn incremental_ingest_matches_full_batch_derived_relations() {
 
     handle.shutdown();
 }
+
+/// `/relations/{name}?col=value` filters parse the value once into a typed
+/// predicate; results must be exactly what the old per-row TSV-rendering
+/// comparison produced, including the match-nothing cases.
+#[test]
+fn typed_relation_filters_match_rendered_scan() {
+    let mut app = SpouseApp::build(app_config()).expect("build spouse app");
+    app.run().expect("batch run");
+
+    let serve_config = ServeConfig {
+        page_limit: 100_000,
+        ..Default::default()
+    };
+    let server = Server::new(app.dd, &serve_config).expect("bind server");
+    let handle = server.start().expect("start server");
+    let addr = handle.addr();
+
+    // Full Mention relation as the oracle.
+    let (status, all) = get(addr, "/relations/Mention?limit=100000");
+    assert_eq!(status, 200, "{all}");
+    let rows = all.get("rows").and_then(Json::as_array).expect("rows");
+    assert!(!rows.is_empty(), "spouse corpus always yields mentions");
+
+    // Pick a sentence id that appears in the data and filter on it — the
+    // leading column, so this also exercises the binary-search range path.
+    let probe_s = rows[0].get("s").and_then(Json::as_u64).expect("s cell");
+    let expect: BTreeSet<String> = rows
+        .iter()
+        .filter(|r| r.get("s").and_then(Json::as_u64) == Some(probe_s))
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    let (status, filtered) = get(
+        addr,
+        &format!("/relations/Mention?s={probe_s}&limit=100000"),
+    );
+    assert_eq!(status, 200, "{filtered}");
+    let got: BTreeSet<String> = filtered
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("rows")
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    assert_eq!(got, expect, "leading-column id filter diverged from scan");
+    assert_eq!(
+        filtered.get("total").and_then(Json::as_u64),
+        Some(expect.len() as u64)
+    );
+
+    // Non-leading column, and a text column combined with it.
+    let probe_m = rows[0].get("m").and_then(Json::as_u64).expect("m cell");
+    let probe_t = rows[0].get("mtext").and_then(Json::as_str).expect("mtext");
+    let encoded_t = probe_t.replace(' ', "+");
+    let (status, one) = get(
+        addr,
+        &format!("/relations/Mention?m={probe_m}&mtext={encoded_t}&limit=100000"),
+    );
+    assert_eq!(status, 200, "{one}");
+    let got = one.get("rows").and_then(Json::as_array).expect("rows");
+    let expect_both: Vec<&Json> = rows
+        .iter()
+        .filter(|r| {
+            r.get("m").and_then(Json::as_u64) == Some(probe_m)
+                && r.get("mtext").and_then(Json::as_str) == Some(probe_t)
+        })
+        .collect();
+    assert_eq!(got.len(), expect_both.len(), "combined filter diverged");
+
+    // Non-canonical renderings and unparseable input match nothing (the old
+    // string comparison never matched them either) — 200 with zero rows.
+    for bad in [format!("0{probe_s}"), "abc".into(), format!("+{probe_s}")] {
+        let (status, v) = get(addr, &format!("/relations/Mention?s={bad}"));
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(
+            v.get("total").and_then(Json::as_u64),
+            Some(0),
+            "`?s={bad}` must match nothing"
+        );
+    }
+
+    // Unknown columns are still a 400.
+    let (status, _) = get(addr, "/relations/Mention?nope=1");
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+}

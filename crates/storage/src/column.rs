@@ -14,7 +14,7 @@
 //! payload) used by spilled segments; see `store` for the segment framing.
 
 use crate::interner::{self, SymbolId};
-use crate::value::{Value, ValueType};
+use crate::value::{CmpOp, Value, ValueType};
 
 /// Validity bitmap: bit set = value present, clear = NULL.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -185,6 +185,95 @@ impl ColumnBuf {
                 }
             }
             ColumnBuf::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Vectorized filter: append `base + i` to `out` for every cell `i`
+    /// where `cell op probe` holds under [`Value`]'s total order.
+    ///
+    /// Typed buffers compared against a probe of their own type run a tight
+    /// branch-free-per-row loop over the dense vector — no per-row [`Value`]
+    /// materialization. Everything else (mixed columns, cross-type probes)
+    /// falls back to materializing each cell, so the kernel agrees with
+    /// [`CmpOp::eval`] by construction. NULL cells rank below every non-NULL
+    /// value, so against a non-NULL probe they match exactly `<`, `<=`, `!=`.
+    pub fn filter_matches(&self, op: CmpOp, probe: &Value, base: u32, out: &mut Vec<u32>) {
+        let null_hit = matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Ne);
+        match (self, probe) {
+            (ColumnBuf::Int64(vals, nulls), Value::Int(p)) => {
+                for (i, v) in vals.iter().enumerate() {
+                    let hit = if nulls.get(i) {
+                        op.matches(v.cmp(p))
+                    } else {
+                        null_hit
+                    };
+                    if hit {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
+            (ColumnBuf::Id64(vals, nulls), Value::Id(p)) => {
+                for (i, v) in vals.iter().enumerate() {
+                    let hit = if nulls.get(i) {
+                        op.matches(v.cmp(p))
+                    } else {
+                        null_hit
+                    };
+                    if hit {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
+            (ColumnBuf::Float64(vals, nulls), Value::Float(p)) => {
+                for (i, v) in vals.iter().enumerate() {
+                    let hit = if nulls.get(i) {
+                        op.matches(crate::value::total_f64_cmp(f64::from_bits(*v), *p))
+                    } else {
+                        null_hit
+                    };
+                    if hit {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
+            (ColumnBuf::Bool(vals, nulls), Value::Bool(p)) => {
+                for (i, v) in vals.iter().enumerate() {
+                    let hit = if nulls.get(i) {
+                        op.matches(v.cmp(p))
+                    } else {
+                        null_hit
+                    };
+                    if hit {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
+            // Dictionary equality: two interned strings are equal iff their
+            // symbol ids are. Ordering ops need the actual strings — fall
+            // through to the generic path for those.
+            (ColumnBuf::Text(vals, nulls), Value::Text(p))
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) =>
+            {
+                let pid = interner::intern_arc(p);
+                let want_eq = op == CmpOp::Eq;
+                for (i, v) in vals.iter().enumerate() {
+                    let hit = if nulls.get(i) {
+                        (*v == pid) == want_eq
+                    } else {
+                        null_hit
+                    };
+                    if hit {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
+            _ => {
+                for i in 0..self.len() {
+                    if op.eval(&self.get(i), probe) {
+                        out.push(base + i as u32);
+                    }
+                }
+            }
         }
     }
 
@@ -497,6 +586,74 @@ mod tests {
                 ColumnBuf::decode(&bytes[..cut], &mut pos).is_none(),
                 "prefix of {cut} bytes must not decode"
             );
+        }
+    }
+
+    #[test]
+    fn filter_kernel_agrees_with_per_row_eval() {
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        let cases: Vec<(ValueType, Vec<Value>, Vec<Value>)> = vec![
+            (
+                ValueType::Int,
+                vec![Value::Int(-3), Value::Null, Value::Int(7), Value::Int(0)],
+                vec![Value::Int(0), Value::Float(0.5), Value::Null],
+            ),
+            (
+                ValueType::Float,
+                vec![
+                    Value::Float(-0.0),
+                    Value::Float(f64::NAN),
+                    Value::Null,
+                    Value::Float(1.5),
+                ],
+                vec![Value::Float(0.0), Value::Int(1)],
+            ),
+            (
+                ValueType::Text,
+                vec![Value::text("a"), Value::Null, Value::text("b")],
+                vec![Value::text("a"), Value::text("zz")],
+            ),
+            (
+                ValueType::Id,
+                vec![Value::Id(1), Value::Id(9), Value::Null],
+                vec![Value::Id(9)],
+            ),
+            (
+                ValueType::Bool,
+                vec![Value::Bool(true), Value::Bool(false), Value::Null],
+                vec![Value::Bool(true)],
+            ),
+            (
+                ValueType::Any,
+                vec![Value::Int(1), Value::text("x"), Value::Null],
+                vec![Value::Int(1), Value::text("x")],
+            ),
+        ];
+        for (ty, cells, probes) in cases {
+            let mut col = ColumnBuf::for_type(ty);
+            for c in &cells {
+                col.push(c);
+            }
+            for probe in &probes {
+                for op in ops {
+                    let mut got = Vec::new();
+                    col.filter_matches(op, probe, 100, &mut got);
+                    let want: Vec<u32> = cells
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| op.eval(c, probe))
+                        .map(|(i, _)| 100 + i as u32)
+                        .collect();
+                    assert_eq!(got, want, "{ty:?} {op} {probe:?}");
+                }
+            }
         }
     }
 

@@ -278,6 +278,21 @@ impl Database {
         self.with_table(name, |t| t.adjust(r, delta))?
     }
 
+    /// Batched [`Self::adjust`]: one catalog lookup and one table lock for
+    /// the whole batch. The hot apply loops (derived-rule output) go through
+    /// here — paying the lock per row dominates small-tuple workloads.
+    pub fn adjust_many<I>(&self, name: &str, rows: I) -> Result<(), StorageError>
+    where
+        I: IntoIterator<Item = (Row, i64)>,
+    {
+        self.with_table(name, |t| {
+            for (r, delta) in rows {
+                t.adjust(r, delta)?;
+            }
+            Ok(())
+        })?
+    }
+
     pub fn clear(&self, name: &str) -> Result<(), StorageError> {
         self.with_table(name, |t| t.clear())
     }
@@ -334,6 +349,54 @@ impl Database {
                 t.lookup_counted(key_cols, key_vals, out);
             }
         })
+    }
+
+    /// Index-nested-loop probe, cells-only: see [`Table::probe_cells`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_cells(
+        &self,
+        name: &str,
+        key_cols: &[usize],
+        key_vals: &[Value],
+        preds: &[(usize, crate::value::CmpOp, Value)],
+        needed: &[usize],
+        cells: &mut Vec<Value>,
+        counts_out: &mut Vec<i64>,
+    ) -> Result<(), StorageError> {
+        self.with_table(name, |t| {
+            t.probe_cells(key_cols, key_vals, preds, needed, cells, counts_out)
+        })
+    }
+
+    /// Vectorized filtered scan, cells-only: see [`Table::scan_filtered`].
+    pub fn scan_filtered(
+        &self,
+        name: &str,
+        preds: &[(usize, crate::value::CmpOp, Value)],
+        needed: &[usize],
+        cells: &mut Vec<Value>,
+        counts_out: &mut Vec<i64>,
+    ) -> Result<(), StorageError> {
+        self.with_table(name, |t| t.scan_filtered(preds, needed, cells, counts_out))
+    }
+
+    /// Build a hash-join map over a relation's visible rows (see
+    /// [`Table::join_map`]). The map is built under the table lock in one
+    /// pass and returned owned, so callers probe it lock-free.
+    pub fn join_map(
+        &self,
+        name: &str,
+        key_cols: &[usize],
+        needed: &[usize],
+        preds: &[(usize, crate::value::CmpOp, Value)],
+    ) -> Result<crate::datalog::JoinMap, StorageError> {
+        self.with_table(name, |t| t.join_map(key_cols, needed, preds))
+    }
+
+    /// Number of distinct values in one column of a relation (planner NDV
+    /// statistic; see [`Table::distinct_estimate`]).
+    pub fn distinct_estimate(&self, name: &str, col: usize) -> Result<usize, StorageError> {
+        self.with_table(name, |t| t.distinct_estimate(col))
     }
 
     /// Select rows satisfying a predicate (a "SQL query" for error analysis,

@@ -11,6 +11,7 @@
 use crate::database::{Database, FailurePolicy};
 use crate::delta::DeltaRelation;
 use crate::exec::ExecutionContext;
+use crate::plan::JoinStrategy;
 use crate::value::{Row, Value};
 use crate::StorageError;
 use serde::{Deserialize, Serialize};
@@ -97,45 +98,7 @@ impl Literal {
     }
 }
 
-/// Comparison operators usable in rule bodies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum CmpOp {
-    Eq,
-    Ne,
-    Lt,
-    Le,
-    Gt,
-    Ge,
-}
-
-impl CmpOp {
-    pub fn eval(self, a: &Value, b: &Value) -> bool {
-        use std::cmp::Ordering::*;
-        let ord = a.cmp(b);
-        match self {
-            CmpOp::Eq => ord == Equal,
-            CmpOp::Ne => ord != Equal,
-            CmpOp::Lt => ord == Less,
-            CmpOp::Le => ord != Greater,
-            CmpOp::Gt => ord == Greater,
-            CmpOp::Ge => ord != Less,
-        }
-    }
-}
-
-impl fmt::Display for CmpOp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CmpOp::Eq => "=",
-            CmpOp::Ne => "!=",
-            CmpOp::Lt => "<",
-            CmpOp::Le => "<=",
-            CmpOp::Gt => ">",
-            CmpOp::Ge => ">=",
-        };
-        f.write_str(s)
-    }
-}
+pub use crate::value::CmpOp;
 
 /// A builtin comparison between two terms.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -280,6 +243,18 @@ enum Step {
         key: Vec<(usize, Slot)>,
         bind: Vec<(usize, usize)>,
         check: Vec<(usize, usize)>,
+        /// `key`'s columns, precomputed for the probe paths.
+        key_cols: Vec<usize>,
+        /// `bind`'s columns followed by `check`'s columns — the cells the
+        /// cells-only fast paths fetch per matching row.
+        needed: Vec<usize>,
+        /// Builtin comparisons hoisted into this scan: `(column, op, const)`
+        /// predicates evaluated inside the storage layer (vectorized filter
+        /// kernels / index probes) instead of as per-row [`Step::Compare`]s.
+        pushdown: Vec<(usize, CmpOp, Value)>,
+        /// Physical strategy chosen by the planner. `IndexProbe` reproduces
+        /// the pre-planner behavior; strategy choice never changes results.
+        strategy: JoinStrategy,
     },
     /// Negated atom: succeeds when no visible tuple matches.
     Negation { relation: String, terms: Vec<Slot> },
@@ -304,6 +279,11 @@ pub struct CompiledRule {
     num_vars: usize,
     /// Positions (in `steps`) of each positive atom, by body-literal index.
     positive_atom_count: usize,
+    /// Smallest step index such that every step from it onward is a pure
+    /// `Compare` filter. Once a scan match reaches this point the fast paths
+    /// run the remaining comparisons inline and emit the head directly,
+    /// skipping per-match recursion through `eval_step`.
+    compare_tail_start: usize,
     /// Relation whose `__errors` quarantine receives tuples dropped by a
     /// `Quarantine` UDF policy. Defaults to the head relation; callers that
     /// evaluate through synthetic heads (factor-rule grounding) override it
@@ -485,12 +465,22 @@ impl CompiledRule {
             for id in newly_bound_here {
                 bound[id] = true;
             }
+            let key_cols = key.iter().map(|(c, _)| *c).collect();
+            let needed = bind
+                .iter()
+                .map(|(c, _)| *c)
+                .chain(check.iter().map(|(c, _)| *c))
+                .collect();
             steps.push(Step::Scan {
                 atom_index,
                 relation: lit.atom.relation.clone(),
                 key,
                 bind,
                 check,
+                key_cols,
+                needed,
+                pushdown: Vec::new(),
+                strategy: JoinStrategy::IndexProbe,
             });
             drain_pending!();
         }
@@ -546,6 +536,8 @@ impl CompiledRule {
             });
         }
 
+        hoist_pushdowns(&mut steps);
+
         let mut head_slots = Vec::with_capacity(rule.head.terms.len());
         for t in &rule.head.terms {
             match t {
@@ -568,12 +560,20 @@ impl CompiledRule {
             }
         }
 
+        let mut compare_tail_start = steps.len();
+        while compare_tail_start > 0
+            && matches!(steps[compare_tail_start - 1], Step::Compare { .. })
+        {
+            compare_tail_start -= 1;
+        }
+
         Ok(CompiledRule {
             rule: rule.clone(),
             head_slots,
             steps,
             num_vars: var_ids.len(),
             positive_atom_count,
+            compare_tail_start,
             quarantine_base: rule.head.relation.clone(),
         })
     }
@@ -581,6 +581,21 @@ impl CompiledRule {
     /// Override the relation whose quarantine receives UDF failures.
     pub fn set_quarantine_base(&mut self, base: impl Into<String>) {
         self.quarantine_base = base.into();
+    }
+
+    /// Apply planner-chosen join strategies to this rule's scan steps, in
+    /// step order (the planner's step order matches because the rule body was
+    /// planned before compilation). Missing entries keep `IndexProbe`.
+    pub(crate) fn set_strategies(&mut self, strategies: &[JoinStrategy]) {
+        let mut n = 0;
+        for s in &mut self.steps {
+            if let Step::Scan { strategy, .. } = s {
+                if let Some(&st) = strategies.get(n) {
+                    *strategy = st;
+                }
+                n += 1;
+            }
+        }
     }
 
     /// Number of positive body atoms.
@@ -603,7 +618,7 @@ impl CompiledRule {
         db: &Database,
         atom_deltas: &AtomDeltas<'_>,
         source_for: &(dyn Fn(usize) -> Source + Sync),
-    ) -> Result<HashMap<Row, i64>, StorageError> {
+    ) -> Result<RowCounts, StorageError> {
         self.eval_shard(db, atom_deltas, source_for, None)
     }
 
@@ -619,9 +634,32 @@ impl CompiledRule {
         atom_deltas: &AtomDeltas<'_>,
         source_for: &(dyn Fn(usize) -> Source + Sync),
         shard: Option<(usize, usize)>,
-    ) -> Result<HashMap<Row, i64>, StorageError> {
-        let mut out: HashMap<Row, i64> = HashMap::new();
+    ) -> Result<RowCounts, StorageError> {
+        let mut out = RowCounts::default();
+        self.eval_sink(db, atom_deltas, source_for, shard, &mut |row, c| {
+            *out.entry(row).or_insert(0) += c;
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Evaluate the rule, streaming each derived `(row, count)` into `sink`
+    /// instead of materializing a dedup map. The same row may be emitted
+    /// multiple times (once per derivation); counted consumers must treat
+    /// emissions as additive — which is exactly how counting semantics
+    /// composes, so `Σ sink(r, cᵢ)` ≡ `sink(r, Σ cᵢ)` for table adjustment.
+    pub fn eval_sink(
+        &self,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+        shard: Option<(usize, usize)>,
+        sink: &mut dyn FnMut(Row, i64) -> Result<(), StorageError>,
+    ) -> Result<(), StorageError> {
         let mut bindings: Vec<Value> = vec![Value::Null; self.num_vars];
+        // Per-step hash-join build tables, reused across outer bindings of
+        // one evaluation (the build side is `Old`, immutable for the pass).
+        let mut scratch: Vec<Option<JoinMap>> = (0..self.steps.len()).map(|_| None).collect();
         self.eval_step(
             db,
             atom_deltas,
@@ -630,9 +668,9 @@ impl CompiledRule {
             0,
             &mut bindings,
             1,
-            &mut out,
-        )?;
-        Ok(out)
+            sink,
+            &mut scratch,
+        )
     }
 
     /// Evaluate the rule under an [`ExecutionContext`]: sequential contexts
@@ -646,14 +684,14 @@ impl CompiledRule {
         db: &Database,
         atom_deltas: &AtomDeltas<'_>,
         source_for: &(dyn Fn(usize) -> Source + Sync),
-    ) -> Result<HashMap<Row, i64>, StorageError> {
+    ) -> Result<RowCounts, StorageError> {
         if !ctx.is_parallel() {
             return self.eval(db, atom_deltas, source_for);
         }
         let shards = ctx.partitions();
         let results =
             ctx.map_partitions(|p| self.eval_shard(db, atom_deltas, source_for, Some((p, shards))));
-        let mut out: HashMap<Row, i64> = HashMap::new();
+        let mut out = RowCounts::default();
         for shard_result in results {
             for (row, c) in shard_result? {
                 *out.entry(row).or_insert(0) += c;
@@ -670,6 +708,81 @@ impl CompiledRule {
         }
     }
 
+    /// Snapshot the current values of a scan's bind variables so the caller
+    /// can restore them after an emit loop.
+    fn save_bind(bindings: &[Value], bind: &[(usize, usize)]) -> Vec<(usize, Value)> {
+        bind.iter()
+            .map(|(_, v)| (*v, bindings[*v].clone()))
+            .collect()
+    }
+
+    /// Emit one scan match from its `needed` cells: bind the first
+    /// `bind.len()` cells, verify the trailing repeated-variable checks, and
+    /// recurse into the next step. Shared by the cells-only fast paths.
+    ///
+    /// Does NOT save/restore the bind variables — callers loop over many
+    /// matches and each iteration overwrites the same first-occurrence
+    /// variables, so they snapshot once before the loop (`save_bind`) and
+    /// restore once after, instead of allocating per match.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_cells(
+        &self,
+        db: &Database,
+        atom_deltas: &AtomDeltas<'_>,
+        source_for: &(dyn Fn(usize) -> Source + Sync),
+        step_idx: usize,
+        bindings: &mut Vec<Value>,
+        count: i64,
+        out: &mut dyn FnMut(Row, i64) -> Result<(), StorageError>,
+        scratch: &mut Vec<Option<JoinMap>>,
+        bind: &[(usize, usize)],
+        check: &[(usize, usize)],
+        cells: &[Value],
+    ) -> Result<(), StorageError> {
+        let nbind = bind.len();
+        for (k, (_, var)) in bind.iter().enumerate() {
+            bindings[*var] = cells[k].clone();
+        }
+        let ok = check
+            .iter()
+            .enumerate()
+            .all(|(k, (_, var))| cells[nbind + k] == bindings[*var]);
+        if ok {
+            if step_idx + 1 >= self.compare_tail_start {
+                // Fused filter tail: every remaining step is a pure
+                // comparison, so evaluate them inline over the bindings and
+                // emit the head without recursing per match.
+                let pass = self.steps[step_idx + 1..].iter().all(|s| match s {
+                    Step::Compare { left, op, right } => {
+                        op.eval(resolve_ref(bindings, left), resolve_ref(bindings, right))
+                    }
+                    _ => unreachable!("steps past compare_tail_start are Compare"),
+                });
+                if pass {
+                    let head: Row = self
+                        .head_slots
+                        .iter()
+                        .map(|s| self.resolve(bindings, s))
+                        .collect();
+                    out(head, count)?;
+                }
+            } else {
+                self.eval_step(
+                    db,
+                    atom_deltas,
+                    source_for,
+                    None,
+                    step_idx + 1,
+                    bindings,
+                    count,
+                    out,
+                    scratch,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn eval_step(
         &self,
@@ -680,7 +793,8 @@ impl CompiledRule {
         step_idx: usize,
         bindings: &mut Vec<Value>,
         count: i64,
-        out: &mut HashMap<Row, i64>,
+        out: &mut dyn FnMut(Row, i64) -> Result<(), StorageError>,
+        scratch: &mut Vec<Option<JoinMap>>,
     ) -> Result<(), StorageError> {
         if step_idx == self.steps.len() {
             let head: Row = self
@@ -688,7 +802,7 @@ impl CompiledRule {
                 .iter()
                 .map(|s| self.resolve(bindings, s))
                 .collect();
-            *out.entry(head).or_insert(0) += count;
+            out(head, count)?;
             return Ok(());
         }
         match &self.steps[step_idx] {
@@ -698,17 +812,106 @@ impl CompiledRule {
                 key,
                 bind,
                 check,
+                key_cols,
+                needed,
+                pushdown,
+                strategy,
             } => {
-                let key_cols: Vec<usize> = key.iter().map(|(c, _)| *c).collect();
+                let source = source_for(*atom_index);
+                // Vectorized fast paths: membership (`Old`) reads of the
+                // stored table skip full-row materialization and fetch only
+                // the `needed` cells through columnar filter kernels and
+                // secondary indexes. Visible rows contribute membership 1, so
+                // the recursion count is unchanged. The sharded outer scan
+                // keeps the general path — shard hashes cover the full row.
+                if source == Source::Old && shard.is_none() {
+                    if *strategy == JoinStrategy::HashJoin && !key.is_empty() {
+                        // Build once per evaluation pass (the build side is
+                        // immutable `Old` state), probe without touching the
+                        // catalog or table locks again.
+                        let map = match scratch[step_idx].take() {
+                            Some(m) => m,
+                            None => db.join_map(relation, key_cols, needed, pushdown)?,
+                        };
+                        let key_vals: Vec<Value> =
+                            key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
+                        if let Some(hits) = map.get(&key_vals) {
+                            let saved = Self::save_bind(bindings, bind);
+                            for (cells, c) in hits {
+                                self.emit_cells(
+                                    db,
+                                    atom_deltas,
+                                    source_for,
+                                    step_idx,
+                                    bindings,
+                                    count * *c,
+                                    out,
+                                    scratch,
+                                    bind,
+                                    check,
+                                    cells,
+                                )?;
+                            }
+                            for (v, old) in saved {
+                                bindings[v] = old;
+                            }
+                        }
+                        scratch[step_idx] = Some(map);
+                        return Ok(());
+                    }
+                    let mut cells: Vec<Value> = Vec::new();
+                    let mut counts: Vec<i64> = Vec::new();
+                    if key.is_empty() {
+                        db.scan_filtered(relation, pushdown, needed, &mut cells, &mut counts)?;
+                    } else {
+                        let key_vals: Vec<Value> =
+                            key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
+                        db.probe_cells(
+                            relation,
+                            key_cols,
+                            &key_vals,
+                            pushdown,
+                            needed,
+                            &mut cells,
+                            &mut counts,
+                        )?;
+                    }
+                    let width = needed.len();
+                    let saved = Self::save_bind(bindings, bind);
+                    for ri in 0..counts.len() {
+                        self.emit_cells(
+                            db,
+                            atom_deltas,
+                            source_for,
+                            step_idx,
+                            bindings,
+                            count,
+                            out,
+                            scratch,
+                            bind,
+                            check,
+                            &cells[ri * width..(ri + 1) * width],
+                        )?;
+                    }
+                    for (v, old) in saved {
+                        bindings[v] = old;
+                    }
+                    return Ok(());
+                }
                 let key_vals: Vec<Value> =
                     key.iter().map(|(_, s)| self.resolve(bindings, s)).collect();
-                let source = source_for(*atom_index);
                 let delta = atom_deltas.get(atom_index).copied();
-                let mut matches = fetch(db, delta, relation, source, &key_cols, &key_vals)?;
+                let mut matches = fetch(db, delta, relation, source, key_cols, &key_vals)?;
                 // The first scan is the shard boundary: keep only rows hashed
                 // to this shard, then evaluate the residual join in full.
                 if let Some((index, of)) = shard {
                     matches.retain(|(row, _)| crate::exec::shard_of_values(row, of) == index);
+                }
+                // Hoisted comparisons still apply on the general path.
+                if !pushdown.is_empty() {
+                    matches.retain(|(row, _)| {
+                        pushdown.iter().all(|(col, op, v)| op.eval(&row[*col], v))
+                    });
                 }
                 for (row, c) in matches {
                     if c == 0 {
@@ -735,6 +938,7 @@ impl CompiledRule {
                             bindings,
                             count * c,
                             out,
+                            scratch,
                         )?;
                     }
                     for (v, old) in saved {
@@ -775,14 +979,15 @@ impl CompiledRule {
                         bindings,
                         count,
                         out,
+                        scratch,
                     )?;
                 }
                 Ok(())
             }
             Step::Compare { left, op, right } => {
-                let l = self.resolve(bindings, left);
-                let r = self.resolve(bindings, right);
-                if op.eval(&l, &r) {
+                let l = resolve_ref(bindings, left);
+                let r = resolve_ref(bindings, right);
+                if op.eval(l, r) {
                     self.eval_step(
                         db,
                         atom_deltas,
@@ -792,6 +997,7 @@ impl CompiledRule {
                         bindings,
                         count,
                         out,
+                        scratch,
                     )?;
                 }
                 Ok(())
@@ -845,6 +1051,7 @@ impl CompiledRule {
                         bindings,
                         count,
                         out,
+                        scratch,
                     )?;
                     bindings[*out_var] = saved;
                 }
@@ -854,9 +1061,83 @@ impl CompiledRule {
     }
 }
 
+/// Resolve a slot to a value reference without cloning — the borrow-only
+/// twin of `CompiledRule::resolve`, for pure filters (builtin compares).
+fn resolve_ref<'a>(bindings: &'a [Value], s: &'a Slot) -> &'a Value {
+    static NULL: Value = Value::Null;
+    match s {
+        Slot::Var(i) => &bindings[*i],
+        Slot::Const(c) => c,
+        Slot::Wildcard => &NULL,
+    }
+}
+
 /// Per-atom delta assignment for one evaluation pass: atom index → delta
 /// relation read by `Source::Delta`/`Source::New` at that position.
 pub type AtomDeltas<'a> = HashMap<usize, &'a DeltaRelation>;
+
+/// Hash-join build side: join key → (needed cells, membership count).
+pub type JoinMap = crate::fxhash::FxHashMap<Vec<Value>, Vec<(Box<[Value]>, i64)>>;
+
+/// One evaluation pass's result: derived row → derivation count. Uses the
+/// fast fixed-seed hasher — this map takes one probe per emitted tuple.
+pub type RowCounts = crate::fxhash::FxHashMap<Row, i64>;
+
+/// Hoist `var op const` (and mirrored `const op var`) comparisons into the
+/// scan step that binds the variable, as `(column, op, const)` pushdown
+/// predicates evaluated by the storage layer's vectorized kernels.
+///
+/// Compare steps are pure filters, so absorbing one (or skipping over a
+/// non-eligible sibling Compare) never changes results or counts. Hoisting
+/// stops at any non-Compare step: moving a filter across a UDF call would
+/// change the UDF's invocation multiplicity, which is observable through
+/// incident counters and quarantines.
+fn hoist_pushdowns(steps: &mut Vec<Step>) {
+    let mut i = 0;
+    while i < steps.len() {
+        // var → column bound by the scan at `i`.
+        let binds: Vec<(usize, usize)> = match &steps[i] {
+            Step::Scan { bind, .. } => bind.iter().map(|(c, v)| (*v, *c)).collect(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut j = i + 1;
+        while j < steps.len() {
+            let hoisted = match &steps[j] {
+                Step::Compare {
+                    left: Slot::Var(v),
+                    op,
+                    right: Slot::Const(c),
+                } => binds
+                    .iter()
+                    .find(|&&(bv, _)| bv == *v)
+                    .map(|&(_, col)| (col, *op, c.clone())),
+                Step::Compare {
+                    left: Slot::Const(c),
+                    op,
+                    right: Slot::Var(v),
+                } => binds
+                    .iter()
+                    .find(|&&(bv, _)| bv == *v)
+                    .map(|&(_, col)| (col, op.flipped(), c.clone())),
+                Step::Compare { .. } => None,
+                _ => break,
+            };
+            match hoisted {
+                Some(p) => {
+                    steps.remove(j);
+                    if let Step::Scan { pushdown, .. } = &mut steps[i] {
+                        pushdown.push(p);
+                    }
+                }
+                None => j += 1,
+            }
+        }
+        i += 1;
+    }
+}
 
 /// Rotate body literal `front` to the head of the body, preserving the
 /// relative order of everything else. Returns the reordered rule and the

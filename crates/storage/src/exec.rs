@@ -96,15 +96,16 @@ pub fn threads_from_env() -> Option<usize> {
 
 /// Stable shard assignment: hash-partition an item into `0..shards`.
 ///
-/// Uses `DefaultHasher::new()` (SipHash with fixed keys), so the assignment
-/// is deterministic across runs and processes — a requirement for
+/// Uses the crate's fixed-seed hasher ([`crate::fxhash::FxHasher`]), so the
+/// assignment is deterministic across runs and processes — a requirement for
 /// reproducible parallel evaluation, and why `RandomState` is not usable
-/// here.
+/// here. Sharding sits on the row-mutation hot path (every table slot lookup
+/// shares this hash), hence the cheap hasher over SipHash.
 pub fn shard_of<T: Hash + ?Sized>(item: &T, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = crate::fxhash::FxHasher::default();
     item.hash(&mut h);
     (h.finish() % shards as u64) as usize
 }

@@ -1,0 +1,284 @@
+//! Secondary indexes over table rows.
+//!
+//! Two index shapes back the query engine:
+//!
+//! * [`HashIndex`] — equality lookups on a fixed column set. This is the
+//!   structure behind index-nested-loop joins and serve-side point filters.
+//! * [`SortedIndex`] — a single-column ordered index (BTree over [`Value`]'s
+//!   total order) answering range predicates (`<`, `<=`, `>`, `>=`) as well
+//!   as equality.
+//!
+//! Both are maintained *incrementally*: the owning [`crate::table::Table`]
+//! calls [`insert`](HashIndex::insert) when a row becomes visible (fresh
+//! append or a DRed/IVM revival) and [`remove`](HashIndex::remove) when a row
+//! disappears (retraction, purge). Count-only changes never touch an index —
+//! indexes track *membership*, the `counts` vector tracks multiplicity.
+//!
+//! Slot lists are kept in ascending slot order so scans driven by an index
+//! visit rows in the same order as a full scan, which keeps results
+//! bit-identical regardless of access path.
+
+use crate::fxhash::FxHashMap;
+use crate::value::{CmpOp, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Insert `slot` into an ascending slot list, ignoring duplicates.
+fn insert_sorted(slots: &mut Vec<u32>, slot: u32) {
+    match slots.last() {
+        // Fast path: appends arrive in increasing slot order.
+        Some(&last) if last < slot => slots.push(slot),
+        None => slots.push(slot),
+        _ => {
+            if let Err(pos) = slots.binary_search(&slot) {
+                slots.insert(pos, slot);
+            }
+        }
+    }
+}
+
+fn remove_slot(slots: &mut Vec<u32>, slot: u32) -> bool {
+    if let Ok(pos) = slots.binary_search(&slot) {
+        slots.remove(pos);
+    }
+    slots.is_empty()
+}
+
+/// Equality index over one or more columns.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    cols: Vec<usize>,
+    map: FxHashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl HashIndex {
+    pub fn new(cols: Vec<usize>) -> Self {
+        HashIndex {
+            cols,
+            map: FxHashMap::default(),
+        }
+    }
+
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.cols.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Record that `row` (stored at `slot`) became visible.
+    pub fn insert(&mut self, row: &[Value], slot: u32) {
+        let key = self.key_of(row);
+        self.insert_key(key, slot);
+    }
+
+    /// Like [`insert`](Self::insert) with the key already extracted (bulk
+    /// builds from column buffers).
+    pub fn insert_key(&mut self, key: Vec<Value>, slot: u32) {
+        insert_sorted(self.map.entry(key).or_default(), slot);
+    }
+
+    /// Record that `row` (stored at `slot`) is no longer visible. Empty
+    /// buckets are dropped so [`distinct`](Self::distinct) counts only live
+    /// keys.
+    pub fn remove(&mut self, row: &[Value], slot: u32) {
+        let key = self.key_of(row);
+        if let Some(slots) = self.map.get_mut(&key) {
+            if remove_slot(slots, slot) {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Slots whose key columns equal `key`, ascending.
+    pub fn get(&self, key: &[Value]) -> Option<&[u32]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct live keys — the planner's NDV estimate.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Ordered single-column index answering range predicates.
+#[derive(Debug, Default)]
+pub struct SortedIndex {
+    col: usize,
+    map: BTreeMap<Value, Vec<u32>>,
+}
+
+impl SortedIndex {
+    pub fn new(col: usize) -> Self {
+        SortedIndex {
+            col,
+            map: BTreeMap::new(),
+        }
+    }
+
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    pub fn insert(&mut self, row: &[Value], slot: u32) {
+        self.insert_cell(row[self.col].clone(), slot);
+    }
+
+    /// Like [`insert`](Self::insert) with the cell already extracted.
+    pub fn insert_cell(&mut self, value: Value, slot: u32) {
+        insert_sorted(self.map.entry(value).or_default(), slot);
+    }
+
+    pub fn remove(&mut self, row: &[Value], slot: u32) {
+        if let Some(slots) = self.map.get_mut(&row[self.col]) {
+            if remove_slot(slots, slot) {
+                self.map.remove(&row[self.col]);
+            }
+        }
+    }
+
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether `op` can be answered by a range walk (everything but `!=`).
+    pub fn supports(op: CmpOp) -> bool {
+        !matches!(op, CmpOp::Ne)
+    }
+
+    /// Collect slots whose column value satisfies `value(col) op probe` into
+    /// `out`, then sort ascending so downstream iteration matches scan order.
+    pub fn lookup_range(&self, op: CmpOp, probe: &Value, out: &mut Vec<u32>) {
+        let start = out.len();
+        match op {
+            CmpOp::Eq => {
+                if let Some(slots) = self.map.get(probe) {
+                    out.extend_from_slice(slots);
+                }
+            }
+            CmpOp::Lt => {
+                for slots in self
+                    .map
+                    .range::<Value, _>((Bound::Unbounded, Bound::Excluded(probe)))
+                    .map(|(_, s)| s)
+                {
+                    out.extend_from_slice(slots);
+                }
+            }
+            CmpOp::Le => {
+                for slots in self
+                    .map
+                    .range::<Value, _>((Bound::Unbounded, Bound::Included(probe)))
+                    .map(|(_, s)| s)
+                {
+                    out.extend_from_slice(slots);
+                }
+            }
+            CmpOp::Gt => {
+                for slots in self
+                    .map
+                    .range::<Value, _>((Bound::Excluded(probe), Bound::Unbounded))
+                    .map(|(_, s)| s)
+                {
+                    out.extend_from_slice(slots);
+                }
+            }
+            CmpOp::Ge => {
+                for slots in self
+                    .map
+                    .range::<Value, _>((Bound::Included(probe), Bound::Unbounded))
+                    .map(|(_, s)| s)
+                {
+                    out.extend_from_slice(slots);
+                }
+            }
+            CmpOp::Ne => {
+                for (k, slots) in self.map.iter() {
+                    if k != probe {
+                        out.extend_from_slice(slots);
+                    }
+                }
+            }
+        }
+        out[start..].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn hash_index_tracks_membership() {
+        let mut ix = HashIndex::new(vec![0]);
+        let a = row!["k", 1i64];
+        let b = row!["k", 2i64];
+        ix.insert(&a, 0);
+        ix.insert(&b, 1);
+        assert_eq!(ix.get(&[Value::from("k")]), Some(&[0u32, 1][..]));
+        assert_eq!(ix.distinct(), 1);
+
+        ix.remove(&a, 0);
+        assert_eq!(ix.get(&[Value::from("k")]), Some(&[1u32][..]));
+        ix.remove(&b, 1);
+        assert!(ix.get(&[Value::from("k")]).is_none());
+        assert_eq!(ix.distinct(), 0);
+    }
+
+    #[test]
+    fn hash_index_revival_keeps_slots_sorted() {
+        let mut ix = HashIndex::new(vec![0]);
+        for (i, v) in ["a", "a", "a"].iter().enumerate() {
+            ix.insert(&row![*v], i as u32);
+        }
+        ix.remove(&row!["a"], 1);
+        ix.insert(&row!["a"], 1); // revive a middle slot
+        assert_eq!(ix.get(&[Value::from("a")]), Some(&[0u32, 1, 2][..]));
+    }
+
+    #[test]
+    fn sorted_index_range_ops_match_scan() {
+        let mut ix = SortedIndex::new(0);
+        let rows: Vec<_> = [5i64, 1, 3, 9, 3].iter().map(|&v| row![v]).collect();
+        for (i, r) in rows.iter().enumerate() {
+            ix.insert(r, i as u32);
+        }
+        let probe = Value::from(3i64);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let mut got = Vec::new();
+            ix.lookup_range(op, &probe, &mut got);
+            let want: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| op.eval(&r[0], &probe))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "op {op}");
+        }
+    }
+
+    #[test]
+    fn sorted_index_removal_shrinks_ranges() {
+        let mut ix = SortedIndex::new(0);
+        ix.insert(&row![1i64], 0);
+        ix.insert(&row![2i64], 1);
+        ix.remove(&row![1i64], 0);
+        let mut got = Vec::new();
+        ix.lookup_range(CmpOp::Le, &Value::from(2i64), &mut got);
+        assert_eq!(got, vec![1]);
+        assert_eq!(ix.distinct(), 1);
+    }
+}

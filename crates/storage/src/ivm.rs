@@ -143,6 +143,13 @@ impl IncrementalEngine {
         &self.sp
     }
 
+    /// Re-plan rule execution against current table statistics (see
+    /// [`StratifiedProgram::replan`]). The grounder calls this once data is
+    /// loaded; plans never change results, only access paths.
+    pub fn replan(&mut self, db: &Database) -> Result<(), StorageError> {
+        self.sp.replan(db)
+    }
+
     /// Evaluate the program from scratch (initial load; §4.1: DRed always
     /// runs "except on initial load").
     pub fn initial_load(&self, db: &Database) -> Result<(), StorageError> {
@@ -285,7 +292,6 @@ impl IncrementalEngine {
 
         let mut produced: HashMap<String, DeltaRelation> = HashMap::new();
         for &ri in &stratum.rule_indices {
-            let c = self.sp.compiled(ri);
             let rule = &self.sp.program.rules[ri];
             let positions: Vec<usize> = rule
                 .body
@@ -296,23 +302,49 @@ impl IncrementalEngine {
                 .collect();
             for (k, &pos) in positions.iter().enumerate() {
                 let pos_rel = &rule.body[pos].atom.relation;
-                let mut atom_deltas: AtomDeltas = HashMap::new();
-                atom_deltas.insert(pos, &deltas[pos_rel]);
-                for &l in &positions[k + 1..] {
-                    let rel = &rule.body[l].atom.relation;
-                    atom_deltas.insert(l, &neg_deltas[rel]);
-                }
                 let later: Vec<usize> = positions[k + 1..].to_vec();
                 result.rule_evaluations += 1;
-                let contribution = c.eval_ctx(&self.ctx, db, &atom_deltas, &|i| {
-                    if i == pos {
-                        Source::Delta
-                    } else if later.contains(&i) {
-                        Source::New // db (New) ⊎ (−Δ) == Old
-                    } else {
-                        Source::Old // db as-is == New
+                let contribution = if rule.udfs.is_empty() {
+                    // Delta-first, cost-planned variant: the (small) delta
+                    // drives the join instead of sitting mid-pipeline behind
+                    // full scans. Sources/deltas are remapped through the
+                    // variant's order map so the per-position counting
+                    // formula is untouched.
+                    let (variant, order) = self.sp.variant(ri, pos);
+                    let mut atom_deltas: AtomDeltas = HashMap::new();
+                    let mut sources = vec![Source::Old; order.len()];
+                    for (new_i, &old_i) in order.iter().enumerate() {
+                        if old_i == pos {
+                            atom_deltas.insert(new_i, &deltas[pos_rel]);
+                            sources[new_i] = Source::Delta;
+                        } else if later.contains(&old_i) {
+                            let rel = &rule.body[old_i].atom.relation;
+                            atom_deltas.insert(new_i, &neg_deltas[rel]);
+                            sources[new_i] = Source::New; // db (New) ⊎ (−Δ) == Old
+                        }
                     }
-                })?;
+                    variant.eval_ctx(&self.ctx, db, &atom_deltas, &|i| sources[i])?
+                } else {
+                    // UDF rules keep the authored order: reordering could
+                    // change UDF invocation multiplicity, which is observable
+                    // through incident counters and quarantines.
+                    let c = self.sp.compiled(ri);
+                    let mut atom_deltas: AtomDeltas = HashMap::new();
+                    atom_deltas.insert(pos, &deltas[pos_rel]);
+                    for &l in &later {
+                        let rel = &rule.body[l].atom.relation;
+                        atom_deltas.insert(l, &neg_deltas[rel]);
+                    }
+                    c.eval_ctx(&self.ctx, db, &atom_deltas, &|i| {
+                        if i == pos {
+                            Source::Delta
+                        } else if later.contains(&i) {
+                            Source::New // db (New) ⊎ (−Δ) == Old
+                        } else {
+                            Source::Old // db as-is == New
+                        }
+                    })?
+                };
                 let head = &rule.head.relation;
                 let entry = delta_entry(&mut produced, head, db)?;
                 for (row, count) in contribution {

@@ -8,8 +8,10 @@
 //! pieces DeepDive actually relies on, from scratch:
 //!
 //! * typed [`Value`]s, [`Row`]s and [`Schema`]s;
-//! * counted [`Table`]s with lazy hash indexes — the per-tuple `count`
-//!   column of §4.1;
+//! * counted [`Table`]s with incrementally-maintained secondary indexes
+//!   ([`index`]) — the per-tuple `count` column of §4.1;
+//! * a cost-based join planner ([`plan`]) choosing atom order and
+//!   index-nested-loop vs hash-join strategies from table statistics;
 //! * a [`Database`] catalog with registered user-defined functions;
 //! * a datalog IR and evaluator ([`datalog`]) with stratification and
 //!   semi-naive fixpoints ([`program`]);
@@ -60,9 +62,12 @@ pub mod datalog;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod fxhash;
+pub mod index;
 pub mod interner;
 pub mod io;
 pub mod ivm;
+pub mod plan;
 pub mod program;
 pub mod schema;
 pub mod snapshot;
@@ -81,12 +86,14 @@ pub use exec::{
     default_threads, env_threads, shard_of, shard_of_values, threads_from_env, EnvThreads,
     ExecMetrics, ExecutionContext, PhaseStats, THREADS_ENV,
 };
+pub use index::{HashIndex, SortedIndex};
 pub use interner::{dictionary_bytes, dictionary_len, intern, resolve, SymbolId};
 pub use io::{
     row_from_tsv, row_to_tsv, value_from_tsv, value_to_tsv, IngestIssue, IngestPolicy,
     IngestReport, RequeueReport,
 };
 pub use ivm::{BaseChange, IncrementalEngine, MaintenanceResult};
+pub use plan::{JoinStrategy, PlannedRule, RulePlan, StatsCatalog, StepPlan, TableStats};
 pub use program::{Program, StratifiedProgram, Stratum};
 pub use schema::{Column, Schema, SchemaBuilder};
 pub use snapshot::{DatabaseSnapshot, RelationSnapshot};

@@ -1,0 +1,466 @@
+//! Cost-based join planning.
+//!
+//! The planner reorders the positive body atoms of a rule by estimated
+//! cardinality and picks a physical access strategy per step:
+//!
+//! * [`JoinStrategy::FullScan`] — no usable key; drive the step off a
+//!   vectorized column scan (with pushed-down predicates).
+//! * [`JoinStrategy::IndexProbe`] — index-nested-loop: probe a hash index on
+//!   the bound columns once per outer binding.
+//! * [`JoinStrategy::HashJoin`] — build a hash map over the inner relation
+//!   once, then probe it lock-free per outer binding. Chosen when the
+//!   estimated number of probes is large relative to the inner relation.
+//!
+//! Estimates come from a [`StatsCatalog`] (row counts + per-column distinct
+//! estimates) gathered from live tables, with `@cardinality` hints from the
+//! DDlog layer standing in for relations that are empty at plan time.
+//!
+//! **Invariant:** plan choice never changes results. Derivation counts are
+//! sums of products of per-atom membership counts, which are commutative in
+//! join order, and every access strategy enumerates the same matching tuple
+//! set. Rules with UDFs are never reordered — reordering could change UDF
+//! invocation multiplicity, which is observable through incident and
+//! quarantine counters.
+
+use crate::database::Database;
+use crate::datalog::{reorder_body_front, Rule, Term};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// Default per-column distinct estimate when no stat was gathered.
+pub const DEFAULT_NDV: f64 = 16.0;
+/// Assumed cardinality of a delta-bound front atom (deltas are small).
+const DELTA_CARD_GUESS: f64 = 64.0;
+/// Minimum estimated probe count before a hash build pays for itself.
+const HASH_JOIN_MIN_OUTER: f64 = 256.0;
+
+/// Physical access strategy for one join step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JoinStrategy {
+    FullScan,
+    IndexProbe,
+    HashJoin,
+}
+
+impl JoinStrategy {
+    /// Stable snake_case name (the report's `plan` section uses it).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinStrategy::FullScan => "full_scan",
+            JoinStrategy::IndexProbe => "index_probe",
+            JoinStrategy::HashJoin => "hash_join",
+        }
+    }
+}
+
+/// Row count and per-column distinct estimates for one relation.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub rows: u64,
+    pub distinct: HashMap<usize, u64>,
+    /// Row count came from a `@cardinality` hint, not a live table.
+    pub hinted: bool,
+}
+
+/// Statistics for every relation a program reads.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    tables: HashMap<String, TableStats>,
+}
+
+impl StatsCatalog {
+    pub fn empty() -> Self {
+        StatsCatalog::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Gather stats for the relations `rules` read. Distinct estimates are
+    /// computed only for columns that can actually key a scan — constant
+    /// positions and join variables (variables shared between positive
+    /// literals) — so stat gathering costs one column scan per join column,
+    /// not per column. Relations that are empty at gather time fall back to
+    /// their `@cardinality` hint when one exists.
+    pub fn gather(db: &Database, rules: &[Rule], hints: &HashMap<String, u64>) -> Self {
+        // (relation, col) pairs worth a distinct estimate.
+        let mut ndv_cols: HashSet<(String, usize)> = HashSet::new();
+        let mut relations: HashSet<&str> = HashSet::new();
+        for rule in rules {
+            let mut var_lits: HashMap<&str, usize> = HashMap::new();
+            for lit in rule.body.iter().filter(|l| !l.negated) {
+                relations.insert(lit.atom.relation.as_str());
+                let mut seen_here: HashSet<&str> = HashSet::new();
+                for t in &lit.atom.terms {
+                    if let Term::Var(v) = t {
+                        if seen_here.insert(v) {
+                            *var_lits.entry(v).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            for lit in rule.body.iter().filter(|l| !l.negated) {
+                for (col, t) in lit.atom.terms.iter().enumerate() {
+                    let keyable = match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => var_lits.get(v.as_str()).copied().unwrap_or(0) >= 2,
+                        Term::Wildcard => false,
+                    };
+                    if keyable {
+                        ndv_cols.insert((lit.atom.relation.clone(), col));
+                    }
+                }
+            }
+        }
+        let mut tables = HashMap::new();
+        for rel in relations {
+            let Ok(rows) = db.len(rel) else { continue };
+            let mut stats = TableStats {
+                rows: rows as u64,
+                distinct: HashMap::new(),
+                hinted: false,
+            };
+            if rows == 0 {
+                // An empty relation carries no signal: use the `@cardinality`
+                // hint when one exists, otherwise leave it unknown so a fully
+                // unloaded database falls back to the authored plan.
+                if let Some(&hint) = hints.get(rel) {
+                    stats.rows = hint;
+                    stats.hinted = true;
+                } else {
+                    continue;
+                }
+            } else {
+                for (r, col) in &ndv_cols {
+                    if r == rel {
+                        if let Ok(d) = db.distinct_estimate(rel, *col) {
+                            stats.distinct.insert(*col, d as u64);
+                        }
+                    }
+                }
+            }
+            tables.insert(rel.to_string(), stats);
+        }
+        StatsCatalog { tables }
+    }
+
+    fn rows(&self, relation: &str) -> f64 {
+        self.tables
+            .get(relation)
+            .map(|t| t.rows as f64)
+            .unwrap_or(0.0)
+    }
+
+    fn distinct(&self, relation: &str, col: usize) -> f64 {
+        self.tables
+            .get(relation)
+            .and_then(|t| t.distinct.get(&col))
+            .map(|&d| d as f64)
+            .unwrap_or(DEFAULT_NDV)
+    }
+}
+
+/// Explain output for one scan step, in execution order.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepPlan {
+    pub relation: String,
+    pub strategy: JoinStrategy,
+    /// Estimated cumulative output rows after this step (absent when the
+    /// plan was not cost-based).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub estimated_rows: Option<f64>,
+}
+
+/// Explain output for one planned rule.
+#[derive(Debug, Clone, Serialize)]
+pub struct RulePlan {
+    pub rule: String,
+    pub display: String,
+    /// Body execution order: `order[i]` is the original body-literal index
+    /// evaluated at position `i`.
+    pub order: Vec<usize>,
+    pub cost_based: bool,
+    pub steps: Vec<StepPlan>,
+}
+
+impl RulePlan {
+    /// Strategies for the positive scan steps, in execution order.
+    pub fn strategies(&self) -> Vec<JoinStrategy> {
+        self.steps.iter().map(|s| s.strategy).collect()
+    }
+}
+
+/// A cost-ordered rule plus its order map and explain record.
+#[derive(Debug)]
+pub struct PlannedRule {
+    pub rule: Rule,
+    /// `order[new_index] == original_index`, covering all body literals.
+    pub order: Vec<usize>,
+    pub plan: RulePlan,
+}
+
+/// Plan `rule` against `stats`.
+///
+/// When `pinned_front` is set, that body literal is forced to the outermost
+/// position (the delta-rule shape: the atom bound to a small delta must
+/// drive the join); `front_is_delta` then makes the cost model treat its
+/// cardinality as a small delta rather than the full relation.
+///
+/// Without usable stats — or when the rule calls UDFs — the planner falls
+/// back to the authored order (or the greedy bound-variable rotation for a
+/// pinned front) with nested-loop strategies, which reproduces the
+/// pre-planner behavior exactly.
+pub fn plan_order(
+    rule: &Rule,
+    stats: &StatsCatalog,
+    pinned_front: Option<usize>,
+    front_is_delta: bool,
+) -> PlannedRule {
+    if stats.is_empty() || !rule.udfs.is_empty() {
+        return fallback_plan(rule, pinned_front);
+    }
+
+    let positives: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| !rule.body[i].negated)
+        .collect();
+    if positives.len() <= 1 && pinned_front.is_none() {
+        return fallback_plan(rule, None);
+    }
+
+    let vars_of = |i: usize| -> Vec<&str> {
+        rule.body[i]
+            .atom
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect()
+    };
+    // Estimated rows matching one concrete key over the columns keyed by
+    // `bound`: rows / Π distinct(keyed col), floored at 1.
+    let est = |i: usize, bound: &HashSet<&str>| -> (f64, bool) {
+        let lit = &rule.body[i];
+        let mut sel = 1.0;
+        let mut keyed = false;
+        for (col, t) in lit.atom.terms.iter().enumerate() {
+            let is_key = match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v.as_str()),
+                Term::Wildcard => false,
+            };
+            if is_key {
+                keyed = true;
+                sel *= stats.distinct(&lit.atom.relation, col).max(1.0);
+            }
+        }
+        ((stats.rows(&lit.atom.relation) / sel).max(1.0), keyed)
+    };
+
+    let mut order: Vec<usize> = Vec::with_capacity(rule.body.len());
+    let mut bound: HashSet<&str> = HashSet::new();
+    let mut remaining: Vec<usize> = positives.clone();
+    let mut steps: Vec<StepPlan> = Vec::new();
+    let mut outer_card = 1.0f64;
+
+    let front = match pinned_front {
+        Some(f) => f,
+        None => {
+            // Cheapest unbound start (constants count as keys).
+            let mut best = remaining[0];
+            let mut best_est = f64::INFINITY;
+            for &i in &remaining {
+                let (e, _) = est(i, &bound);
+                if e < best_est {
+                    best_est = e;
+                    best = i;
+                }
+            }
+            best
+        }
+    };
+
+    while !remaining.is_empty() {
+        let pick = if order.is_empty() {
+            front
+        } else {
+            let mut best = remaining[0];
+            let mut best_est = f64::INFINITY;
+            let mut best_keyed = false;
+            for &i in &remaining {
+                let (e, keyed) = est(i, &bound);
+                // Prefer keyed atoms on ties: an unkeyed pick is a cross
+                // product even when the estimates agree.
+                if e < best_est || (e == best_est && keyed && !best_keyed) {
+                    best_est = e;
+                    best_keyed = keyed;
+                    best = i;
+                }
+            }
+            best
+        };
+        let (mut e, keyed) = est(pick, &bound);
+        if order.is_empty() && front_is_delta {
+            e = e.min(DELTA_CARD_GUESS);
+        }
+        let inner_rows = stats.rows(&rule.body[pick].atom.relation).max(1.0);
+        let strategy = if order.is_empty() || !keyed {
+            JoinStrategy::FullScan
+        } else if outer_card >= HASH_JOIN_MIN_OUTER && outer_card * 2.0 >= inner_rows {
+            JoinStrategy::HashJoin
+        } else {
+            JoinStrategy::IndexProbe
+        };
+        outer_card = (outer_card * e).max(1.0);
+        steps.push(StepPlan {
+            relation: rule.body[pick].atom.relation.clone(),
+            strategy,
+            estimated_rows: Some(outer_card),
+        });
+        remaining.retain(|&i| i != pick);
+        bound.extend(vars_of(pick));
+        order.push(pick);
+    }
+    // Negated literals keep their authored relative order at the end; the
+    // compiler schedules them as soon as their variables bind.
+    order.extend((0..rule.body.len()).filter(|&i| rule.body[i].negated));
+
+    let body = order.iter().map(|&i| rule.body[i].clone()).collect();
+    let planned = Rule {
+        body,
+        ..rule.clone()
+    };
+    let plan = RulePlan {
+        rule: rule.name.clone(),
+        display: planned.to_string(),
+        order: order.clone(),
+        cost_based: true,
+        steps,
+    };
+    PlannedRule {
+        rule: planned,
+        order,
+        plan,
+    }
+}
+
+/// The no-stats / UDF-rule plan: authored order (or greedy rotation for a
+/// pinned front) with nested-loop strategies.
+fn fallback_plan(rule: &Rule, pinned_front: Option<usize>) -> PlannedRule {
+    let (planned, order) = match pinned_front {
+        Some(f) => reorder_body_front(rule, f),
+        None => (rule.clone(), (0..rule.body.len()).collect()),
+    };
+    let steps = planned
+        .body
+        .iter()
+        .filter(|l| !l.negated)
+        .enumerate()
+        .map(|(i, l)| StepPlan {
+            relation: l.atom.relation.clone(),
+            strategy: if i == 0 {
+                JoinStrategy::FullScan
+            } else {
+                JoinStrategy::IndexProbe
+            },
+            estimated_rows: None,
+        })
+        .collect();
+    let plan = RulePlan {
+        rule: rule.name.clone(),
+        display: planned.to_string(),
+        order: order.clone(),
+        cost_based: false,
+        steps,
+    };
+    PlannedRule {
+        rule: planned,
+        order,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::{Atom, Literal, Term};
+
+    type NdvSpec<'a> = &'a [(usize, u64)];
+
+    fn stats(entries: &[(&str, u64, NdvSpec)]) -> StatsCatalog {
+        let mut tables = HashMap::new();
+        for (name, rows, ndv) in entries {
+            tables.insert(
+                name.to_string(),
+                TableStats {
+                    rows: *rows,
+                    distinct: ndv.iter().copied().collect(),
+                    hinted: false,
+                },
+            );
+        }
+        StatsCatalog { tables }
+    }
+
+    fn lit(rel: &str, vars: &[&str]) -> Literal {
+        Literal::pos(Atom::new(rel, vars.iter().map(|v| Term::var(*v)).collect()))
+    }
+
+    #[test]
+    fn smaller_relation_drives_the_join() {
+        let rule = Rule::new(
+            "q",
+            Atom::new("H", vec![Term::var("x")]),
+            vec![lit("Big", &["x", "y"]), lit("Small", &["y"])],
+        );
+        let s = stats(&[("Big", 1_000_000, &[(1, 1000)]), ("Small", 10, &[(0, 10)])]);
+        let planned = plan_order(&rule, &s, None, false);
+        assert_eq!(planned.order[0], 1, "Small should drive");
+        assert!(planned.plan.cost_based);
+    }
+
+    #[test]
+    fn large_probe_count_picks_hash_join() {
+        let rule = Rule::new(
+            "q",
+            Atom::new("H", vec![Term::var("a")]),
+            vec![lit("M", &["s", "a"]), lit("M", &["s", "b"])],
+        );
+        let s = stats(&[("M", 24_000, &[(0, 6_000)])]);
+        let planned = plan_order(&rule, &s, None, false);
+        assert_eq!(planned.plan.steps[1].strategy, JoinStrategy::HashJoin);
+    }
+
+    #[test]
+    fn small_delta_front_probes_index() {
+        let rule = Rule::new(
+            "q",
+            Atom::new("H", vec![Term::var("a"), Term::var("c")]),
+            vec![lit("Path", &["a", "b"]), lit("Edge", &["b", "c"])],
+        );
+        let s = stats(&[
+            ("Path", 100_000, &[(0, 300), (1, 300)]),
+            ("Edge", 100_000, &[(0, 300), (1, 300)]),
+        ]);
+        let planned = plan_order(&rule, &s, Some(0), true);
+        assert_eq!(planned.order[0], 0);
+        assert_eq!(planned.plan.steps[1].strategy, JoinStrategy::IndexProbe);
+    }
+
+    #[test]
+    fn udf_rules_keep_authored_order() {
+        let rule = Rule::new(
+            "q",
+            Atom::new("H", vec![Term::var("x"), Term::var("t")]),
+            vec![lit("Big", &["x", "y"]), lit("Small", &["y"])],
+        )
+        .with_udf("f", vec![Term::var("x")], "t");
+        let s = stats(&[("Big", 1_000_000, &[]), ("Small", 10, &[])]);
+        let planned = plan_order(&rule, &s, None, false);
+        assert_eq!(planned.order, vec![0, 1]);
+        assert!(!planned.plan.cost_based);
+    }
+}

@@ -12,6 +12,7 @@ use crate::database::Database;
 use crate::datalog::{AtomDeltas, CompiledRule, Rule, Source};
 use crate::delta::DeltaRelation;
 use crate::exec::ExecutionContext;
+use crate::plan::{plan_order, RulePlan, StatsCatalog};
 use crate::table::Membership;
 use crate::StorageError;
 use std::collections::{HashMap, HashSet};
@@ -55,16 +56,37 @@ pub struct Stratum {
 pub struct StratifiedProgram {
     pub program: Program,
     pub strata: Vec<Stratum>,
+    /// Rules compiled in *authored* body order — the positional reference
+    /// frame the IVM layer keys its per-atom deltas to.
     compiled: Vec<CompiledRule>,
+    /// Rules compiled in cost-based order with planner-chosen strategies;
+    /// used by the all-`Old` evaluation paths (initial load, stratum
+    /// recompute), where any join order produces identical results.
+    planned: Vec<CompiledRule>,
+    /// Explain records, one per rule, for the report's `plan` section.
+    plans: Vec<RulePlan>,
     /// Per rule, per positive body position: the rule recompiled with that
     /// atom rotated to the front (the §4.1 "delta rule" shape) plus the
-    /// `new index → original index` order map.
+    /// `new index → original index` order map. Built by the planner, so
+    /// delta joins pick cost-based residual orders and strategies too.
     variants: Vec<HashMap<usize, (CompiledRule, Vec<usize>)>>,
+    /// `@cardinality` hints by relation, for planning before data exists.
+    hints: HashMap<String, u64>,
 }
 
 impl StratifiedProgram {
     /// Stratify and compile `program` against the catalog of `db`.
     pub fn new(program: Program, db: &Database) -> Result<Self, StorageError> {
+        StratifiedProgram::with_hints(program, db, HashMap::new())
+    }
+
+    /// Like [`StratifiedProgram::new`] with `@cardinality` hints standing in
+    /// for relations that are empty at plan time.
+    pub fn with_hints(
+        program: Program,
+        db: &Database,
+        hints: HashMap<String, u64>,
+    ) -> Result<Self, StorageError> {
         let compiled: Result<Vec<_>, _> = program
             .rules
             .iter()
@@ -72,19 +94,7 @@ impl StratifiedProgram {
             .collect();
         let compiled = compiled?;
 
-        // Delta-rule variants: one per positive body position.
-        let mut variants = Vec::with_capacity(program.rules.len());
-        for rule in &program.rules {
-            let mut per_rule = HashMap::new();
-            for (i, lit) in rule.body.iter().enumerate() {
-                if lit.negated {
-                    continue;
-                }
-                let (reordered, order) = crate::datalog::reorder_body_front(rule, i);
-                per_rule.insert(i, (CompiledRule::compile(&reordered, db)?, order));
-            }
-            variants.push(per_rule);
-        }
+        let (planned, plans, variants) = build_plans(&program, db, &hints)?;
 
         let derived = program.derived_relations();
 
@@ -163,8 +173,30 @@ impl StratifiedProgram {
             program,
             strata,
             compiled,
+            planned,
+            plans,
             variants,
+            hints,
         })
+    }
+
+    /// Re-plan every rule against current table statistics. Call after bulk
+    /// loads (the grounder invokes this at initial-load time), so join orders
+    /// and strategies reflect live cardinalities instead of empty tables.
+    /// Plans never change results, only access paths, so replanning at any
+    /// point is safe.
+    pub fn replan(&mut self, db: &Database) -> Result<(), StorageError> {
+        let (planned, plans, variants) = build_plans(&self.program, db, &self.hints)?;
+        self.planned = planned;
+        self.plans = plans;
+        self.variants = variants;
+        Ok(())
+    }
+
+    /// Explain records (join order, per-step strategy, cardinality
+    /// estimates), one per rule in program order.
+    pub fn plans(&self) -> &[RulePlan] {
+        &self.plans
     }
 
     /// The delta-rule variant of rule `rule_index` with body atom `front`
@@ -248,16 +280,38 @@ impl StratifiedProgram {
         let no_deltas: AtomDeltas = HashMap::new();
 
         if !stratum.recursive {
-            // Single counted pass.
+            // Single counted pass, through the cost-ordered compilation
+            // (all-`Old` joins are order-insensitive: counts multiply
+            // commutatively across scans).
             for &ri in &stratum.rule_indices {
-                let c = &self.compiled[ri];
-                let results = c.eval_ctx(ctx, db, &no_deltas, &|_| Source::Old)?;
+                let c = &self.planned[ri];
                 let head = &c.rule.head.relation;
-                for (row, count) in results {
-                    if count > 0 {
-                        db.adjust(head, row, count)?;
-                    }
+                // Sequential fast path: stream derived rows straight into
+                // the head table under one lock, skipping the intermediate
+                // dedup map — count adjustments are additive, so per-emit
+                // adjustment equals map-then-apply. Holding the head lock
+                // while body scans take other table locks is safe exactly
+                // when the rule never reads its own head (guaranteed here
+                // by the check below) and never re-enters the database
+                // through UDF failure handling (no UDFs).
+                let reads_own_head = c.rule.body.iter().any(|l| l.atom.relation == *head);
+                if !ctx.is_parallel() && !reads_own_head && c.rule.udfs.is_empty() {
+                    db.with_table(head, |t| -> Result<(), StorageError> {
+                        let mut apply = |row, count| {
+                            if count > 0 {
+                                t.adjust(row, count)?;
+                            }
+                            Ok(())
+                        };
+                        c.eval_sink(db, &no_deltas, &|_| Source::Old, None, &mut apply)
+                    })??;
+                    continue;
                 }
+                let results = c.eval_ctx(ctx, db, &no_deltas, &|_| Source::Old)?;
+                // One lock for the whole batch: per-row `db.adjust` pays a
+                // catalog lookup + table lock per tuple, which dominates the
+                // apply phase on small-tuple workloads.
+                db.adjust_many(head, results.into_iter().filter(|&(_, c)| c > 0))?;
             }
             return Ok(());
         }
@@ -266,16 +320,26 @@ impl StratifiedProgram {
         // Iteration 0: all atoms read the (currently empty-for-unit) tables.
         let mut deltas: HashMap<String, DeltaRelation> = HashMap::new();
         for &ri in &stratum.rule_indices {
-            let c = &self.compiled[ri];
+            let c = &self.planned[ri];
             let results = c.eval_ctx(ctx, db, &no_deltas, &|_| Source::Old)?;
             let head = c.rule.head.relation.clone();
-            for (row, count) in results {
-                if count > 0 && !db.contains(&head, &row)? {
-                    db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
-                    deltas
-                        .entry(head.clone())
-                        .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                        .add(row, 1);
+            // Check membership and mark the new tuples under one table lock.
+            let fresh = db.with_table(&head, |t| -> Result<Vec<_>, StorageError> {
+                let mut fresh = Vec::new();
+                for (row, count) in results {
+                    if count > 0 && !t.contains(&row) {
+                        t.set_count(row.clone(), 1)?;
+                        fresh.push(row);
+                    }
+                }
+                Ok(fresh)
+            })??;
+            if !fresh.is_empty() {
+                let d = deltas
+                    .entry(head.clone())
+                    .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()));
+                for row in fresh {
+                    d.add(row, 1);
                 }
             }
         }
@@ -303,12 +367,22 @@ impl StratifiedProgram {
                         }
                     })?;
                     let head = c.rule.head.relation.clone();
-                    for (row, count) in results {
-                        if count > 0 && !db.contains(&head, &row)? {
-                            db.with_table(&head, |t| t.set_count(row.clone(), 1))??;
-                            next.entry(head.clone())
-                                .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()))
-                                .add(row, 1);
+                    let fresh = db.with_table(&head, |t| -> Result<Vec<_>, StorageError> {
+                        let mut fresh = Vec::new();
+                        for (row, count) in results {
+                            if count > 0 && !t.contains(&row) {
+                                t.set_count(row.clone(), 1)?;
+                                fresh.push(row);
+                            }
+                        }
+                        Ok(fresh)
+                    })??;
+                    if !fresh.is_empty() {
+                        let d = next
+                            .entry(head.clone())
+                            .or_insert_with(|| DeltaRelation::new(db.schema(&head).unwrap()));
+                        for row in fresh {
+                            d.add(row, 1);
                         }
                     }
                 }
@@ -355,6 +429,47 @@ impl StratifiedProgram {
         }
         Ok(diffs)
     }
+}
+
+/// Plan and compile every rule (plus its per-position delta variants)
+/// against current table statistics.
+#[allow(clippy::type_complexity)]
+fn build_plans(
+    program: &Program,
+    db: &Database,
+    hints: &HashMap<String, u64>,
+) -> Result<
+    (
+        Vec<CompiledRule>,
+        Vec<RulePlan>,
+        Vec<HashMap<usize, (CompiledRule, Vec<usize>)>>,
+    ),
+    StorageError,
+> {
+    let stats = StatsCatalog::gather(db, &program.rules, hints);
+    let mut planned = Vec::with_capacity(program.rules.len());
+    let mut plans = Vec::with_capacity(program.rules.len());
+    let mut variants = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        let pr = plan_order(rule, &stats, None, false);
+        let mut c = CompiledRule::compile(&pr.rule, db)?;
+        c.set_strategies(&pr.plan.strategies());
+        planned.push(c);
+        plans.push(pr.plan);
+
+        let mut per_rule = HashMap::new();
+        for (i, lit) in rule.body.iter().enumerate() {
+            if lit.negated {
+                continue;
+            }
+            let v = plan_order(rule, &stats, Some(i), true);
+            let mut cv = CompiledRule::compile(&v.rule, db)?;
+            cv.set_strategies(&v.plan.strategies());
+            per_rule.insert(i, (cv, v.order));
+        }
+        variants.push(per_rule);
+    }
+    Ok((planned, plans, variants))
 }
 
 /// Iterative Tarjan strongly-connected components; returns SCCs in reverse
@@ -442,15 +557,17 @@ pub(crate) fn apply_delta_counted(
     relation: &str,
     delta: &DeltaRelation,
 ) -> Result<AppliedChanges, StorageError> {
-    let mut changes = AppliedChanges::default();
-    for (row, count) in delta.iter() {
-        match db.adjust(relation, row.clone(), count)? {
-            Membership::Appeared => changes.appeared.push(row.clone()),
-            Membership::Disappeared => changes.disappeared.push(row.clone()),
-            _ => {}
+    db.with_table(relation, |t| -> Result<AppliedChanges, StorageError> {
+        let mut changes = AppliedChanges::default();
+        for (row, count) in delta.iter() {
+            match t.adjust(row.clone(), count)? {
+                Membership::Appeared => changes.appeared.push(row.clone()),
+                Membership::Disappeared => changes.disappeared.push(row.clone()),
+                _ => {}
+            }
         }
-    }
-    Ok(changes)
+        Ok(changes)
+    })?
 }
 
 #[cfg(test)]

@@ -182,6 +182,18 @@ pub trait TableStore: Send + fmt::Debug {
     /// group at a time.
     fn for_each(&self, f: &mut dyn FnMut(u32, Row));
 
+    /// Visit every row group in index order as decoded column buffers:
+    /// `f(first_row_index, columns)`. This is the vectorized scan entry
+    /// point — filter kernels run directly over the typed buffers without
+    /// materializing per-row [`Row`]s. The open group is visited last.
+    fn for_each_group(&self, f: &mut dyn FnMut(u32, &[ColumnBuf]));
+
+    /// Materialize a single cell of row `idx` (cheaper than [`Self::get`]
+    /// when only one column is needed).
+    fn get_cell(&self, idx: u32, col: usize) -> Value {
+        self.get(idx)[col].clone()
+    }
+
     /// Sorted runs covering all appended rows: each run lists row indices
     /// in ascending [`Row`] order (the k-way merge input for sorted scans).
     fn sorted_runs(&self) -> Vec<Vec<u32>>;
@@ -238,8 +250,11 @@ fn sorted_perm(cols: &[ColumnBuf]) -> Vec<u32> {
 #[derive(Debug)]
 pub struct ColumnarStore {
     types: Vec<ValueType>,
-    /// Sealed groups: (first row index, columns, sorted permutation).
-    sealed: Vec<(u32, Vec<ColumnBuf>, Vec<u32>)>,
+    /// Sealed groups: (first row index, columns, sorted permutation). The
+    /// permutation is computed lazily on the first sorted scan — sealing
+    /// happens inside the append hot path (derived-rule apply loops), and
+    /// sorting a full group there costs more than the rest of the append.
+    sealed: Vec<(u32, Vec<ColumnBuf>, std::sync::OnceLock<Vec<u32>>)>,
     open: Vec<ColumnBuf>,
     open_start: u32,
     appended: u32,
@@ -262,8 +277,8 @@ impl ColumnarStore {
             return;
         }
         let cols = std::mem::replace(&mut self.open, new_bufs(&self.types));
-        let perm = sorted_perm(&cols);
-        self.sealed.push((self.open_start, cols, perm));
+        self.sealed
+            .push((self.open_start, cols, std::sync::OnceLock::new()));
         self.open_start = self.appended;
     }
 
@@ -312,11 +327,31 @@ impl TableStore for ColumnarStore {
         }
     }
 
+    fn for_each_group(&self, f: &mut dyn FnMut(u32, &[ColumnBuf])) {
+        for (start, cols, _) in &self.sealed {
+            f(*start, cols);
+        }
+        if bufs_rows(&self.open) > 0 {
+            f(self.open_start, &self.open);
+        }
+    }
+
+    fn get_cell(&self, idx: u32, col: usize) -> Value {
+        debug_assert!(idx < self.appended);
+        let (cols, off) = self.locate(idx);
+        cols[col].get(off)
+    }
+
     fn sorted_runs(&self) -> Vec<Vec<u32>> {
         let mut runs: Vec<Vec<u32>> = self
             .sealed
             .iter()
-            .map(|(start, _, perm)| perm.iter().map(|&o| start + o).collect())
+            .map(|(start, cols, perm)| {
+                perm.get_or_init(|| sorted_perm(cols))
+                    .iter()
+                    .map(|&o| start + o)
+                    .collect()
+            })
             .collect();
         if bufs_rows(&self.open) > 0 {
             runs.push(
@@ -347,7 +382,9 @@ impl TableStore for ColumnarStore {
                 + self
                     .sealed
                     .iter()
-                    .map(|(_, cols, perm)| bufs_bytes(cols) + perm.len() as u64 * 4)
+                    .map(|(_, cols, perm)| {
+                        bufs_bytes(cols) + perm.get().map_or(0, |p| p.len() as u64 * 4)
+                    })
                     .sum::<u64>(),
             bytes_spilled: 0,
             segments: 0,
@@ -756,6 +793,26 @@ impl TableStore for SpillStore {
         for off in 0..bufs_rows(&self.open) {
             f(self.open_start + off as u32, materialize(&self.open, off));
         }
+    }
+
+    fn for_each_group(&self, f: &mut dyn FnMut(u32, &[ColumnBuf])) {
+        for gi in 0..self.groups.len() {
+            let start = self.groups[gi].start;
+            self.with_group(gi, |cols| f(start, cols));
+        }
+        if bufs_rows(&self.open) > 0 {
+            f(self.open_start, &self.open);
+        }
+    }
+
+    fn get_cell(&self, idx: u32, col: usize) -> Value {
+        debug_assert!(idx < self.appended);
+        if idx >= self.open_start {
+            return self.open[col].get((idx - self.open_start) as usize);
+        }
+        let gi = self.group_of(idx);
+        let off = (idx - self.groups[gi].start) as usize;
+        self.with_group(gi, |cols| cols[col].get(off))
     }
 
     fn sorted_runs(&self) -> Vec<Vec<u32>> {

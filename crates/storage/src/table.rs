@@ -13,12 +13,18 @@
 //! invisible (≡ absent), and re-deriving the same tuple revives the slot
 //! rather than appending a duplicate payload.
 
+use crate::index::{HashIndex, SortedIndex};
 use crate::schema::Schema;
 use crate::store::{ColumnarStore, RelationStorageStats, TableStore};
-use crate::value::{hash_values, Row, Value, ValueType};
+use crate::value::{hash_values, CmpOp, Row, Value, ValueType};
 use crate::StorageError;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Below this many appended rows a range predicate is answered by the
+/// vectorized kernel directly; above it, `scan_filtered` builds (and then
+/// incrementally maintains) a sorted index for the predicate column.
+const SORTED_INDEX_MIN_ROWS: u32 = 4096;
 
 /// How a mutation changed tuple visibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +47,17 @@ pub struct Table {
     /// Derivation count per appended row; 0 = invisible (≡ absent).
     counts: Vec<i64>,
     /// Row hash ([`hash_values`]) → slots, for count adjustment and dedup.
-    slots: HashMap<u64, Vec<u32>>,
+    /// Keys are already well-mixed SipHash outputs, so the cheap fixed-seed
+    /// map hasher is safe here and saves a SipHash round per mutation.
+    slots: crate::fxhash::FxHashMap<u64, Vec<u32>>,
     visible: usize,
-    /// Lazily materialized hash indexes: key columns → (key values → slots).
-    /// Invalidated wholesale on mutation; grounding and IVM workloads are
-    /// read-heavy bursts between batched mutations, so this is cheap.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<u32>>>,
+    /// Lazily built hash indexes: key columns → slot lists. Once built, an
+    /// index is maintained *incrementally* at every visibility transition
+    /// (append, revival, retraction) — including DRed over-deletion and
+    /// counting-IVM retractions — instead of being invalidated wholesale.
+    indexes: HashMap<Vec<usize>, HashIndex>,
+    /// Sorted (range) indexes by column, maintained the same way.
+    sorted: HashMap<usize, SortedIndex>,
     generation: u64,
 }
 
@@ -63,9 +74,10 @@ impl Table {
             schema,
             store,
             counts: Vec::new(),
-            slots: HashMap::new(),
+            slots: crate::fxhash::FxHashMap::default(),
             visible: 0,
             indexes: HashMap::new(),
+            sorted: HashMap::new(),
             generation: 0,
         }
     }
@@ -95,7 +107,12 @@ impl Table {
 
     /// Find the slot holding a row equal to `r`, visible or not.
     fn find_slot(&self, r: &[Value]) -> Option<u32> {
-        let h = hash_values(r);
+        self.find_slot_hashed(hash_values(r), r)
+    }
+
+    /// [`Self::find_slot`] with the row hash precomputed, so mutation paths
+    /// hash each row exactly once even when they fall through to `append`.
+    fn find_slot_hashed(&self, h: u64, r: &[Value]) -> Option<u32> {
         self.slots
             .get(&h)?
             .iter()
@@ -206,19 +223,45 @@ impl Table {
             Some(i) if self.counts[i as usize] > 0 => {
                 self.counts[i as usize] = 0;
                 self.visible -= 1;
+                self.index_remove(r, i);
                 Membership::Disappeared
             }
             _ => Membership::Unchanged,
         }
     }
 
-    /// Append a brand-new row to the store and register its slot.
-    fn append(&mut self, r: &Row, count: i64) {
+    /// Append a brand-new row to the store and register its slot under its
+    /// precomputed hash `h`.
+    fn append(&mut self, h: u64, r: &Row, count: i64) {
         let idx = self.store.push(r);
         debug_assert_eq!(idx as usize, self.counts.len());
         self.counts.push(count);
-        self.slots.entry(hash_values(r)).or_default().push(idx);
+        self.slots.entry(h).or_default().push(idx);
         self.visible += 1;
+        self.index_insert(r, idx);
+    }
+
+    /// Register a visibility transition (tuple became visible at `slot`)
+    /// with every live index.
+    fn index_insert(&mut self, r: &[Value], slot: u32) {
+        for ix in self.indexes.values_mut() {
+            ix.insert(r, slot);
+        }
+        for sx in self.sorted.values_mut() {
+            sx.insert(r, slot);
+        }
+    }
+
+    /// Register a retraction (tuple at `slot` became invisible) with every
+    /// live index. `r` need only be *equal* to the stored row — equal keys
+    /// hash and order identically even across `Int`/`Float` representations.
+    fn index_remove(&mut self, r: &[Value], slot: u32) {
+        for ix in self.indexes.values_mut() {
+            ix.remove(r, slot);
+        }
+        for sx in self.sorted.values_mut() {
+            sx.remove(r, slot);
+        }
     }
 
     /// Adjust the derivation count of `r` by `delta` (may be negative).
@@ -231,15 +274,16 @@ impl Table {
         }
         self.schema.check_row(&r)?;
         self.touch();
-        match self.find_slot(&r) {
+        let h = hash_values(&r);
+        match self.find_slot_hashed(h, &r) {
             Some(i) => {
-                let i = i as usize;
-                let old = self.counts[i];
+                let old = self.counts[i as usize];
                 if old <= 0 {
                     // Invisible slot ≡ absent tuple.
                     if delta > 0 {
-                        self.counts[i] = delta;
+                        self.counts[i as usize] = delta;
                         self.visible += 1;
+                        self.index_insert(&r, i);
                         Ok(Membership::Appeared)
                     } else {
                         Ok(Membership::Unchanged)
@@ -247,18 +291,19 @@ impl Table {
                 } else {
                     let c = old + delta;
                     if c <= 0 {
-                        self.counts[i] = 0;
+                        self.counts[i as usize] = 0;
                         self.visible -= 1;
+                        self.index_remove(&r, i);
                         Ok(Membership::Disappeared)
                     } else {
-                        self.counts[i] = c;
+                        self.counts[i as usize] = c;
                         Ok(Membership::CountChanged)
                     }
                 }
             }
             None => {
                 if delta > 0 {
-                    self.append(&r, delta);
+                    self.append(h, &r, delta);
                     Ok(Membership::Appeared)
                 } else {
                     Ok(Membership::Unchanged)
@@ -271,12 +316,14 @@ impl Table {
     pub fn set_count(&mut self, r: Row, count: i64) -> Result<Membership, StorageError> {
         self.schema.check_row(&r)?;
         self.touch();
-        let slot = self.find_slot(&r);
+        let h = hash_values(&r);
+        let slot = self.find_slot_hashed(h, &r);
         if count <= 0 {
             return Ok(match slot {
                 Some(i) if self.counts[i as usize] > 0 => {
                     self.counts[i as usize] = 0;
                     self.visible -= 1;
+                    self.index_remove(&r, i);
                     Membership::Disappeared
                 }
                 _ => Membership::Unchanged,
@@ -290,11 +337,12 @@ impl Table {
                     Membership::CountChanged
                 } else {
                     self.visible += 1;
+                    self.index_insert(&r, i);
                     Membership::Appeared
                 }
             }
             None => {
-                self.append(&r, count);
+                self.append(h, &r, count);
                 Membership::Appeared
             }
         })
@@ -307,6 +355,10 @@ impl Table {
         self.counts.clear();
         self.slots.clear();
         self.visible = 0;
+        // Slot numbering restarts at 0: drop the indexes rather than pay
+        // per-row removals; they rebuild lazily on the next lookup.
+        self.indexes.clear();
+        self.sorted.clear();
     }
 
     /// Look up rows whose values at `key_cols` equal `key_vals`, using (and
@@ -339,6 +391,217 @@ impl Table {
         }
     }
 
+    /// Index-nested-loop probe, cells-only: for every visible row matching
+    /// `key_vals` on `key_cols` that passes every `(col, op, value)`
+    /// predicate, append the cells at `needed` to `cells` and the row's
+    /// count to `counts_out`. Avoids materializing full [`Row`]s per hit.
+    pub fn probe_cells(
+        &mut self,
+        key_cols: &[usize],
+        key_vals: &[Value],
+        preds: &[(usize, CmpOp, Value)],
+        needed: &[usize],
+        cells: &mut Vec<Value>,
+        counts_out: &mut Vec<i64>,
+    ) {
+        self.ensure_index(key_cols);
+        let Some(idx) = self.indexes.get(key_cols) else {
+            return;
+        };
+        let Some(hits) = idx.get(key_vals) else {
+            return;
+        };
+        for &i in hits {
+            let c = self.counts[i as usize];
+            if c <= 0 {
+                continue;
+            }
+            if !preds
+                .iter()
+                .all(|(pc, op, v)| op.eval(&self.store.get_cell(i, *pc), v))
+            {
+                continue;
+            }
+            for &nc in needed {
+                cells.push(self.store.get_cell(i, nc));
+            }
+            counts_out.push(c);
+        }
+    }
+
+    /// Vectorized filtered scan, cells-only: visit every visible row passing
+    /// all `(col, op, value)` predicates, in slot order, appending `needed`
+    /// cells and counts.
+    ///
+    /// The first predicate runs as a branch-free filter kernel over the
+    /// typed column buffers ([`crate::column::ColumnBuf::filter_matches`]);
+    /// remaining predicates verify per hit. On large tables a range
+    /// predicate instead walks a sorted index (built on first use, then
+    /// incrementally maintained).
+    pub fn scan_filtered(
+        &mut self,
+        preds: &[(usize, CmpOp, Value)],
+        needed: &[usize],
+        cells: &mut Vec<Value>,
+        counts_out: &mut Vec<i64>,
+    ) {
+        // Sorted-index path: a range predicate on a big table.
+        if self.store.appended() >= SORTED_INDEX_MIN_ROWS {
+            let range = preds
+                .iter()
+                .enumerate()
+                .find(|(_, (_, op, _))| SortedIndex::supports(*op) && *op != CmpOp::Eq);
+            if let Some((pi, &(col, op, ref probe))) = range {
+                self.ensure_sorted_index(col);
+                let mut slots: Vec<u32> = Vec::new();
+                self.sorted[&col].lookup_range(op, probe, &mut slots);
+                for i in slots {
+                    let c = self.counts[i as usize];
+                    if c <= 0 {
+                        continue;
+                    }
+                    let ok = preds.iter().enumerate().all(|(pj, (pc, pop, pv))| {
+                        pj == pi || pop.eval(&self.store.get_cell(i, *pc), pv)
+                    });
+                    if !ok {
+                        continue;
+                    }
+                    for &nc in needed {
+                        cells.push(self.store.get_cell(i, nc));
+                    }
+                    counts_out.push(c);
+                }
+                return;
+            }
+        }
+        let counts = &self.counts;
+        let mut hits: Vec<u32> = Vec::new();
+        self.store.for_each_group(&mut |start, cols| {
+            let rows = cols.first().map_or(0, |c| c.len());
+            match preds.first() {
+                Some((pc, op, v)) => {
+                    hits.clear();
+                    cols[*pc].filter_matches(*op, v, start, &mut hits);
+                    for &i in &hits {
+                        let c = counts[i as usize];
+                        if c <= 0 {
+                            continue;
+                        }
+                        let off = (i - start) as usize;
+                        if !preds[1..]
+                            .iter()
+                            .all(|(qc, qop, qv)| qop.eval(&cols[*qc].get(off), qv))
+                        {
+                            continue;
+                        }
+                        for &nc in needed {
+                            cells.push(cols[nc].get(off));
+                        }
+                        counts_out.push(c);
+                    }
+                }
+                None => {
+                    for off in 0..rows {
+                        let i = start as usize + off;
+                        let c = counts[i];
+                        if c <= 0 {
+                            continue;
+                        }
+                        for &nc in needed {
+                            cells.push(cols[nc].get(off));
+                        }
+                        counts_out.push(c);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Build a hash-join map over the visible rows passing `preds`: join key
+    /// cells → `(needed cells, 1)` per matching row, in slot order. Counts
+    /// are clamped to membership (1) — this is the `Old`-source build used by
+    /// the evaluator's hash-join strategy, probed lock-free by the caller.
+    pub fn join_map(
+        &self,
+        key_cols: &[usize],
+        needed: &[usize],
+        preds: &[(usize, CmpOp, Value)],
+    ) -> crate::datalog::JoinMap {
+        let mut map = crate::datalog::JoinMap::default();
+        let mut keybuf: Vec<Value> = Vec::with_capacity(key_cols.len());
+        let counts = &self.counts;
+        self.store.for_each_group(&mut |start, cols| {
+            let rows = cols.first().map_or(0, |c| c.len());
+            for off in 0..rows {
+                let i = start as usize + off;
+                if counts[i] <= 0 {
+                    continue;
+                }
+                if !preds
+                    .iter()
+                    .all(|(pc, op, v)| op.eval(&cols[*pc].get(off), v))
+                {
+                    continue;
+                }
+                keybuf.clear();
+                keybuf.extend(key_cols.iter().map(|&k| cols[k].get(off)));
+                let payload: Box<[Value]> = needed.iter().map(|&nc| cols[nc].get(off)).collect();
+                // Probe by slice first: only unseen keys pay the owned-key
+                // allocation (typically far fewer keys than rows).
+                match map.get_mut(keybuf.as_slice()) {
+                    Some(bucket) => bucket.push((payload, 1)),
+                    None => {
+                        map.insert(keybuf.clone(), vec![(payload, 1)]);
+                    }
+                }
+            }
+        });
+        map
+    }
+
+    /// Number of distinct values in `col` among visible rows — the planner's
+    /// NDV statistic. Served from a live index when one exists; otherwise a
+    /// transient scan (no index is built or retained).
+    pub fn distinct_estimate(&self, col: usize) -> usize {
+        if let Some(sx) = self.sorted.get(&col) {
+            return sx.distinct();
+        }
+        if let Some(ix) = self.indexes.get([col].as_slice()) {
+            return ix.distinct();
+        }
+        let mut seen: HashSet<Value> = HashSet::new();
+        let counts = &self.counts;
+        self.store.for_each_group(&mut |start, cols| {
+            let rows = cols.first().map_or(0, |c| c.len());
+            for off in 0..rows {
+                if counts[start as usize + off] > 0 {
+                    seen.insert(cols[col].get(off));
+                }
+            }
+        });
+        seen.len()
+    }
+
+    /// Build (if needed) the sorted index for `col`; it is incrementally
+    /// maintained from then on.
+    pub fn ensure_sorted_index(&mut self, col: usize) {
+        if self.sorted.contains_key(&col) {
+            return;
+        }
+        let mut sx = SortedIndex::new(col);
+        let counts = &self.counts;
+        self.store.for_each_group(&mut |start, cols| {
+            let rows = cols.first().map_or(0, |c| c.len());
+            for off in 0..rows {
+                let i = start + off as u32;
+                if counts[i as usize] > 0 {
+                    sx.insert_cell(cols[col].get(off), i);
+                }
+            }
+        });
+        self.sorted.insert(col, sx);
+    }
+
     /// Seal the open row group (and write its segment, for spilling
     /// engines). A phase-boundary hook: no logical mutation, so indexes and
     /// the generation counter are untouched.
@@ -357,12 +620,16 @@ impl Table {
 
     fn ensure_index(&mut self, key_cols: &[usize]) {
         if !self.indexes.contains_key(key_cols) {
-            let mut idx: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            let mut idx = HashIndex::new(key_cols.to_vec());
             let counts = &self.counts;
-            self.store.for_each(&mut |i, r| {
-                if counts[i as usize] > 0 {
-                    let key: Vec<Value> = key_cols.iter().map(|&c| r[c].clone()).collect();
-                    idx.entry(key).or_default().push(i);
+            self.store.for_each_group(&mut |start, cols| {
+                let rows = cols.first().map_or(0, |c| c.len());
+                for off in 0..rows {
+                    let i = start + off as u32;
+                    if counts[i as usize] > 0 {
+                        let key: Vec<Value> = key_cols.iter().map(|&c| cols[c].get(off)).collect();
+                        idx.insert_key(key, i);
+                    }
                 }
             });
             self.indexes.insert(key_cols.to_vec(), idx);
@@ -371,7 +638,6 @@ impl Table {
 
     fn touch(&mut self) {
         self.generation += 1;
-        self.indexes.clear();
     }
 }
 

@@ -163,7 +163,7 @@ impl Ord for Value {
     }
 }
 
-fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+pub(crate) fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     // Normalize so -0.0 == 0.0 and all NaNs compare equal (and last),
     // matching the Hash implementation.
     let norm = |x: f64| {
@@ -176,6 +176,65 @@ fn total_f64_cmp(a: f64, b: f64) -> Ordering {
         }
     };
     norm(a).total_cmp(&norm(b))
+}
+
+/// Comparison operators over [`Value`]s — usable in rule bodies and as
+/// typed scan predicates (filter pushdown, serve-side relation filters).
+///
+/// Semantics are exactly [`Value`]'s total order, so a vectorized kernel,
+/// an index probe and a per-row `eval` can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        self.matches(a.cmp(b))
+    }
+
+    /// The operator with its operands swapped: `a op b ⇔ b op.flipped() a`.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq | CmpOp::Ne => self,
+        }
+    }
+
+    /// Whether an [`Ordering`] (of `left.cmp(right)`) satisfies the operator.
+    pub fn matches(self, ord: Ordering) -> bool {
+        use Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
 }
 
 impl Hash for Value {
@@ -276,10 +335,12 @@ pub type Row = Box<[Value]>;
 ///
 /// Shard assignment, table slot maps and anything else keyed on row content
 /// must call this helper so partitioning can never diverge between phases.
-/// Uses `DefaultHasher::new()` (fixed-key SipHash), so the hash is stable
-/// across runs and processes.
+/// Uses the crate's fixed-seed hasher ([`crate::fxhash::FxHasher`]) — no
+/// random state, so the hash is stable across runs and processes, and cheap
+/// enough for the per-mutation slot lookups that dominate derived-tuple
+/// apply loops.
 pub fn hash_values(vals: &[Value]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = crate::fxhash::FxHasher::default();
     vals.hash(&mut h);
     h.finish()
 }

@@ -68,8 +68,9 @@ impl fmt::Display for Number {
 
 pub type Map = BTreeMap<String, Value>;
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
+    #[default]
     Null,
     Bool(bool),
     Number(Number),
