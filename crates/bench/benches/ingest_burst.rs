@@ -1,0 +1,17 @@
+//! Serve-ingest burst throughput — group commit vs per-request fsync —
+//! archived as `BENCH_ingest.json` at the workspace root.
+//!
+//! Not a criterion harness: `experiments::ingest_burst` drives a live
+//! daemon over a WAL on real disk with 64 concurrent HTTP clients and
+//! records docs/sec plus ack-latency percentiles for both fsync policies.
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let out = deepdive_bench::experiments::ingest_burst();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_ingest.json");
+    println!("archived ingest burst throughput to {}", path.display());
+}

@@ -1170,3 +1170,177 @@ pub fn columnar_scan() -> Json {
         "row_baseline": row_baseline,
     })
 }
+
+/// Ingest fast path: a 64-client `POST /documents` burst against the serve
+/// daemon, group commit (2ms linger, one fsync per batch) vs. the
+/// per-request-fsync baseline (zero linger). Reports docs/sec and ack
+/// latency percentiles for both, plus the committer's batching gauges.
+pub fn ingest_burst() -> Json {
+    use deepdive_serve::{ServeConfig, Server};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    println!("== ingest fast path: group commit vs per-request fsync ==");
+    const CLIENTS: usize = 64;
+    const DOCS_PER_CLIENT: usize = 3;
+    const DOCS: usize = CLIENTS * DOCS_PER_CLIENT;
+
+    let config = spouse_config(6);
+    let corpus = deepdive_corpus::spouse::generate(&config.corpus);
+    let mut proto = SpouseApp::build_with_corpus(config.clone(), corpus.clone()).expect("app");
+    proto.run().expect("base run");
+
+    // One small spouse sentence per request; every body is pre-serialized
+    // so client threads do no JSON work inside the timed window.
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..DOCS)
+            .map(|i| {
+                let text = format!("Ava{i} Stone and her husband Ben{i} Stone toured the coast.");
+                let changes = proto.document_changes(&text);
+                assert!(!changes.is_empty(), "burst doc {i} produced no rows");
+                let mut by_relation: std::collections::BTreeMap<String, Vec<Json>> =
+                    std::collections::BTreeMap::new();
+                for ch in &changes {
+                    let cells: Vec<Json> = ch
+                        .row
+                        .iter()
+                        .map(|v| match v {
+                            deepdive_storage::Value::Null => Json::Null,
+                            deepdive_storage::Value::Bool(b) => json!(*b),
+                            deepdive_storage::Value::Int(n) => json!(*n),
+                            deepdive_storage::Value::Float(f) => json!(*f),
+                            deepdive_storage::Value::Text(t) => json!(t.as_ref()),
+                            deepdive_storage::Value::Id(id) => json!(*id),
+                        })
+                        .collect();
+                    by_relation
+                        .entry(ch.relation.clone())
+                        .or_default()
+                        .push(Json::Array(cells));
+                }
+                let mut rows = serde_json::Map::new();
+                for (relation, rel_rows) in by_relation {
+                    rows.insert(relation, Json::Array(rel_rows));
+                }
+                serde_json::to_string(&json!({ "rows": Json::Object(rows) })).unwrap()
+            })
+            .collect(),
+    );
+
+    fn post(addr: std::net::SocketAddr, body: &str) -> u16 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /documents HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        raw.split_whitespace()
+            .nth(1)
+            .unwrap_or("0")
+            .parse()
+            .unwrap_or(0)
+    }
+
+    fn get_json(addr: std::net::SocketAddr, path: &str) -> Json {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        serde_json::from_str(raw.split("\r\n\r\n").nth(1).unwrap_or("")).unwrap_or(Json::Null)
+    }
+
+    let pass = |label: &str, linger: Duration| -> Json {
+        let mut app =
+            SpouseApp::build_with_corpus(config.clone(), corpus.clone()).expect("pass app");
+        app.run().expect("pass base run");
+        // The WAL goes under target/ (real disk), not tmpfs, so the fsync
+        // cost the fast path amortizes is the cost real deployments pay.
+        let wal_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("bench-ingest-{label}"));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let serve_config = ServeConfig {
+            workers: CLIENTS,
+            max_inflight: 2 * CLIENTS,
+            wal_dir: Some(wal_dir.clone()),
+            linger,
+            ..Default::default()
+        };
+        let server = Server::new(app.dd, &serve_config).expect("bind server");
+        let handle = server.start().expect("start server");
+        let addr = handle.addr();
+
+        let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = barrier.clone();
+                let bodies = bodies.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(DOCS_PER_CLIENT);
+                    for i in 0..DOCS_PER_CLIENT {
+                        let body = &bodies[c * DOCS_PER_CLIENT + i];
+                        let t0 = Instant::now();
+                        let status = post(addr, body);
+                        assert_eq!(status, 200, "burst ingest must ack");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut latencies: Vec<f64> = Vec::with_capacity(DOCS);
+        for c in clients {
+            latencies.extend(c.join().expect("client thread"));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+
+        let metrics = get_json(addr, "/metrics");
+        let gc = metrics["wal"]["group_commit"].clone();
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let batches = gc["batches"].as_u64().unwrap_or(0);
+        let fsyncs = if batches > 0 { batches } else { DOCS as u64 };
+        let out = json!({
+            "linger_ms": linger.as_secs_f64() * 1e3,
+            "docs": DOCS,
+            "clients": CLIENTS,
+            "wall_secs": wall,
+            "docs_per_sec": DOCS as f64 / wall,
+            "ack_p50_ms": pct(0.50),
+            "ack_p99_ms": pct(0.99),
+            "fsyncs": fsyncs,
+            "group_commit": gc,
+        });
+        println!(
+            "  {label:>12}: {:8.1} docs/s  p50 {:6.2}ms  p99 {:6.2}ms  {fsyncs} fsyncs",
+            out["docs_per_sec"].as_f64().unwrap(),
+            out["ack_p50_ms"].as_f64().unwrap(),
+            out["ack_p99_ms"].as_f64().unwrap(),
+        );
+        out
+    };
+
+    let baseline = pass("baseline", Duration::ZERO);
+    let group = pass("group-commit", Duration::from_millis(2));
+    let speedup =
+        group["docs_per_sec"].as_f64().unwrap() / baseline["docs_per_sec"].as_f64().unwrap();
+    println!("  group-commit speedup: {speedup:.2}x (target ≥3x)");
+    json!({
+        "experiment": "ingest-burst",
+        "baseline_per_request_fsync": baseline,
+        "group_commit": group,
+        "speedup": speedup,
+        "target_speedup": 3.0,
+    })
+}

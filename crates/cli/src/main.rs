@@ -65,6 +65,15 @@
 //!                            (default: <resume dir>/wal)
 //!     --no-wal               disable the WAL: acknowledge ingests from
 //!                            memory only (exploratory serving)
+//!     --linger-ms <n>        group-commit window: concurrent ingests that
+//!                            arrive within n ms share one WAL fsync
+//!                            (default 2; 0 fsyncs per request)
+//!     --wal-segment-bytes <n> rotate the WAL into a new segment once the
+//!                            active one reaches n bytes (default 4 MiB);
+//!                            checkpointed segments are deleted whole
+//!     --checkpoint-full-every <n> rewrite the full database checkpoint
+//!                            after n incremental deltas (default 16;
+//!                            0 keeps chaining deltas forever)
 //!     --max-inflight <n>     admission bound; connections beyond this are
 //!                            shed with 503 + Retry-After (default 64)
 //!     --ingest-rate <r>      token-bucket limit on POST /documents in
@@ -157,6 +166,8 @@ fn usage() {
     eprintln!("       deepdive requeue <program.ddl> --resume <dir> [run options]");
     eprintln!("       deepdive serve <program.ddl> --resume <dir> [--addr host:port]");
     eprintln!("                    [--workers n] [--page-limit n] [--wal-dir <dir> | --no-wal]");
+    eprintln!("                    [--linger-ms n] [--wal-segment-bytes n]");
+    eprintln!("                    [--checkpoint-full-every n]");
     eprintln!("                    [--max-inflight n] [--ingest-rate r] [--drain-secs n]");
     eprintln!("                    [--follow <primary-url>] [--max-lag-epochs n]");
     eprintln!("                    [run options]");
@@ -231,6 +242,9 @@ struct RunArgs {
     page_limit: usize,
     wal_dir: Option<PathBuf>,
     no_wal: bool,
+    linger_ms: u64,
+    wal_segment_bytes: u64,
+    checkpoint_full_every: u64,
     max_inflight: usize,
     ingest_rate: Option<f64>,
     drain_secs: f64,
@@ -261,6 +275,9 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut page_limit = 100usize;
     let mut wal_dir = None;
     let mut no_wal = false;
+    let mut linger_ms = 2u64;
+    let mut wal_segment_bytes = deepdive_serve::DEFAULT_SEGMENT_BYTES;
+    let mut checkpoint_full_every = 16u64;
     let mut max_inflight = 64usize;
     let mut ingest_rate = None;
     let mut drain_secs = 5.0f64;
@@ -368,6 +385,24 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
             }
             "--wal-dir" => wal_dir = Some(PathBuf::from(take("--wal-dir")?)),
             "--no-wal" => no_wal = true,
+            "--linger-ms" => {
+                linger_ms = take("--linger-ms")?
+                    .parse()
+                    .map_err(|e| format!("--linger-ms: {e}"))?;
+            }
+            "--wal-segment-bytes" => {
+                wal_segment_bytes = take("--wal-segment-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--wal-segment-bytes: {e}"))?;
+                if wal_segment_bytes == 0 {
+                    return Err("--wal-segment-bytes: must be at least 1".into());
+                }
+            }
+            "--checkpoint-full-every" => {
+                checkpoint_full_every = take("--checkpoint-full-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-full-every: {e}"))?;
+            }
             "--max-inflight" => {
                 max_inflight = take("--max-inflight")?
                     .parse()
@@ -453,6 +488,9 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         page_limit,
         wal_dir,
         no_wal,
+        linger_ms,
+        wal_segment_bytes,
+        checkpoint_full_every,
         max_inflight,
         ingest_rate,
         drain_secs,
@@ -615,6 +653,9 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         refresh: RefreshBudget::default(),
         wal_dir,
         checkpoint_dir: Some(dir),
+        linger: Duration::from_millis(args.linger_ms),
+        wal_segment_bytes: args.wal_segment_bytes,
+        checkpoint_full_every: args.checkpoint_full_every,
         max_inflight: args.max_inflight,
         ingest_rate: args.ingest_rate,
         drain: Duration::from_secs_f64(args.drain_secs),

@@ -44,6 +44,33 @@ impl fmt::Display for DeepDiveError {
 
 impl std::error::Error for DeepDiveError {}
 
+/// Dirty-tracking state threaded between incremental checkpoint flushes
+/// ([`DeepDive::save_checkpoint_incremental`]): what the previous flush saw,
+/// so the next one can skip clean artifacts. A fresh tracker forces a full
+/// rewrite first — deltas only ever chain onto a base this process wrote.
+#[derive(Debug, Default)]
+pub struct CheckpointTracker {
+    /// Relation name → generation counter at the last flush.
+    relation_gens: HashMap<String, u64>,
+    /// `state.ckpt` content hash at the last flush.
+    state_hash: Option<u64>,
+    /// `weights.ckpt` content hash at the last flush.
+    weights_hash: Option<u64>,
+    /// Whether a full save has gone through this tracker yet.
+    has_base: bool,
+}
+
+/// What one incremental checkpoint flush actually wrote.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalSaveReport {
+    pub artifacts_written: u64,
+    pub artifacts_skipped: u64,
+    /// Deltas chained onto the current base after this flush.
+    pub chain_len: u64,
+    /// True when this flush was a chain-resetting full rewrite.
+    pub full: bool,
+}
+
 impl From<DdlogError> for DeepDiveError {
     fn from(e: DdlogError) -> Self {
         DeepDiveError::Ddlog(e)
@@ -510,6 +537,80 @@ impl DeepDive {
         ckpt.save_state(&self.grounder.state, &GroundingDelta::default(), 0.0)?;
         ckpt.save_weights(&self.grounder.state.graph.weights, 0.0)?;
         Ok(())
+    }
+
+    /// Incremental flavor of [`Self::save_checkpoint`]: persist only what
+    /// changed since the last flush through `tracker`. The database goes out
+    /// as a chained delta covering just the relations whose generation
+    /// counter moved (plus tombstones for dropped ones); `state.ckpt` and
+    /// `weights.ckpt` are skipped outright when their serialized content
+    /// hashes are unchanged. The first flush through a fresh tracker, and
+    /// every flush once the chain reaches `full_every` deltas, is a full
+    /// rewrite that resets the chain — bounding both restore time and the
+    /// blast radius of a lost artifact.
+    pub fn save_checkpoint_incremental(
+        &self,
+        ckpt: &Checkpoint,
+        tracker: &mut CheckpointTracker,
+        full_every: u64,
+    ) -> Result<IncrementalSaveReport, DeepDiveError> {
+        let gens = self.db.relation_generations();
+        let mut report = IncrementalSaveReport::default();
+        let chain_len = ckpt.db_chain_len();
+        let full = !tracker.has_base || (full_every > 0 && chain_len >= full_every);
+        if full {
+            ckpt.save_db(&self.db, 0.0)?;
+            report.artifacts_written += 1;
+            report.full = true;
+            report.chain_len = 0;
+        } else {
+            let mut dirty: Vec<String> = gens
+                .iter()
+                .filter(|(name, gen)| tracker.relation_gens.get(name) != Some(gen))
+                .map(|(name, _)| name.clone())
+                .collect();
+            dirty.sort();
+            let mut dropped: Vec<String> = tracker
+                .relation_gens
+                .keys()
+                .filter(|name| !gens.iter().any(|(n, _)| n == *name))
+                .cloned()
+                .collect();
+            dropped.sort();
+            if dirty.is_empty() && dropped.is_empty() {
+                report.artifacts_skipped += 1;
+                report.chain_len = chain_len;
+            } else {
+                report.chain_len = ckpt.save_db_delta(&self.db, &dirty, &dropped)?;
+                report.artifacts_written += 1;
+            }
+        }
+        let (state_hash, wrote) = ckpt.save_state_hashed(
+            &self.grounder.state,
+            &GroundingDelta::default(),
+            tracker.state_hash,
+            0.0,
+        )?;
+        if wrote {
+            report.artifacts_written += 1;
+        } else {
+            report.artifacts_skipped += 1;
+        }
+        tracker.state_hash = Some(state_hash);
+        let (weights_hash, wrote) = ckpt.save_weights_hashed(
+            &self.grounder.state.graph.weights,
+            tracker.weights_hash,
+            0.0,
+        )?;
+        if wrote {
+            report.artifacts_written += 1;
+        } else {
+            report.artifacts_skipped += 1;
+        }
+        tracker.weights_hash = Some(weights_hash);
+        tracker.relation_gens = gens.into_iter().collect();
+        tracker.has_base = true;
+        Ok(report)
     }
 
     /// Apply base-tuple changes through the incremental DRed/IVM path

@@ -226,12 +226,90 @@ impl Manifest {
     }
 }
 
+/// The delta-checkpoint chain for the database artifact: the hash of the
+/// base `db.ckpt` plus the hash of each `db.delta-<k>.ckpt`, in order. Kept
+/// in a separate `CHAIN.tsv` (not `MANIFEST.tsv`, whose strict four-field
+/// grammar older readers enforce) so a checkpoint with deltas still opens —
+/// and fails hash verification loudly — under code that predates chaining.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbChain {
+    pub base_hash: u64,
+    pub deltas: Vec<u64>,
+}
+
+impl DbChain {
+    fn render(&self) -> String {
+        let mut out = format!("{CHAIN_HEADER}\nbase\t{:016x}\n", self.base_hash);
+        for (i, h) in self.deltas.iter().enumerate() {
+            out.push_str(&format!("delta\t{}\t{h:016x}\n", i as u64 + 1));
+        }
+        out
+    }
+
+    fn parse(text: &str) -> Result<DbChain, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(CHAIN_HEADER) => {}
+            Some(h) if h.starts_with("#deepdive-db-chain-v") => {
+                return Err(format!("chain format `{h}` is newer than supported"));
+            }
+            _ => return Err(format!("missing `{CHAIN_HEADER}` header")),
+        }
+        let mut base: Option<u64> = None;
+        let mut deltas: Vec<u64> = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let at = |msg: String| format!("line {}: {msg}", i + 2);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "base" if fields.len() == 2 => {
+                    if base.is_some() {
+                        return Err(at("duplicate base line".to_string()));
+                    }
+                    base = Some(
+                        u64::from_str_radix(fields[1], 16)
+                            .map_err(|e| at(format!("bad hash: {e}")))?,
+                    );
+                }
+                "delta" if fields.len() == 3 => {
+                    let k: u64 = fields[1]
+                        .parse()
+                        .map_err(|e| at(format!("bad delta seq: {e}")))?;
+                    if k != deltas.len() as u64 + 1 {
+                        return Err(at(format!(
+                            "delta seq {k} out of order (expected {})",
+                            deltas.len() + 1
+                        )));
+                    }
+                    deltas.push(
+                        u64::from_str_radix(fields[2], 16)
+                            .map_err(|e| at(format!("bad hash: {e}")))?,
+                    );
+                }
+                _ => return Err(at(format!("unrecognized chain line `{line}`"))),
+            }
+        }
+        let base_hash = base.ok_or("missing base line")?;
+        Ok(DbChain { base_hash, deltas })
+    }
+}
+
 /// Handle to one run directory.
 pub struct Checkpoint {
     dir: PathBuf,
 }
 
 const MANIFEST_FILE: &str = "MANIFEST.tsv";
+const CHAIN_FILE: &str = "CHAIN.tsv";
+const CHAIN_HEADER: &str = "#deepdive-db-chain-v1";
+const DELTA_HEADER: &str = "#deepdive-db-delta-v1";
+
+/// Artifact file name of the k-th database delta (1-based).
+fn delta_file(k: u64) -> String {
+    format!("db.delta-{k:04}.ckpt")
+}
 
 impl Checkpoint {
     /// Open (creating if needed) a run directory.
@@ -295,6 +373,22 @@ impl Checkpoint {
             }
             verified.push(entry.phase);
         }
+        if let Some(chain) = self.db_chain()? {
+            for (i, &hash) in chain.deltas.iter().enumerate() {
+                let file = delta_file(i as u64 + 1);
+                let bytes =
+                    std::fs::read(self.dir.join(&file)).map_err(|e| CheckpointError::Corrupt {
+                        file: file.clone(),
+                        reason: format!("recorded in chain but unreadable: {e}"),
+                    })?;
+                if fnv1a64(&bytes) != hash {
+                    return Err(CheckpointError::Corrupt {
+                        file,
+                        reason: "content hash disagrees with chain".to_string(),
+                    });
+                }
+            }
+        }
         Ok(verified)
     }
 
@@ -340,19 +434,134 @@ impl Checkpoint {
 
     // ---- extract: the database ----
 
-    /// Serialize every relation (schemas + counted rows) to `db.ckpt`.
+    /// Serialize every relation (schemas + counted rows) to `db.ckpt`. A
+    /// full rewrite: any existing delta chain is now redundant and is
+    /// dropped.
     pub fn save_db(&self, db: &Database, duration_secs: f64) -> Result<(), CheckpointError> {
-        self.commit(Phase::Extract, &serialize_db(db)?, duration_secs)
+        self.commit(Phase::Extract, &serialize_db(db)?, duration_secs)?;
+        self.clear_db_chain();
+        Ok(())
+    }
+
+    /// Drop the delta chain after a full rewrite made it redundant.
+    /// Best-effort: files left behind by a crash are harmless, because the
+    /// chain's recorded base hash no longer matches the new base, so
+    /// [`Self::db_chain`] ignores it and the next delta flush overwrites it.
+    fn clear_db_chain(&self) {
+        let _ = std::fs::remove_file(self.dir.join(CHAIN_FILE));
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("db.delta-") && name.ends_with(".ckpt") {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
+    }
+
+    /// The on-disk delta chain, when one exists *and* it chains to the
+    /// current base artifact. A chain whose recorded base hash disagrees
+    /// with the manifest's `extract` entry is stale residue of an
+    /// interrupted full rewrite; it is ignored, never an error — the base
+    /// alone is authoritative.
+    pub fn db_chain(&self) -> Result<Option<DbChain>, CheckpointError> {
+        let path = self.dir.join(CHAIN_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let chain = DbChain::parse(&text).map_err(|reason| CheckpointError::Corrupt {
+            file: CHAIN_FILE.to_string(),
+            reason,
+        })?;
+        let manifest = self.manifest()?;
+        match manifest.get(Phase::Extract) {
+            Some(e) if e.hash == chain.base_hash => Ok(Some(chain)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Number of deltas chained onto the current base (0 = base only).
+    pub fn db_chain_len(&self) -> u64 {
+        self.db_chain()
+            .ok()
+            .flatten()
+            .map_or(0, |c| c.deltas.len() as u64)
+    }
+
+    /// Chain one incremental database delta onto the committed base:
+    /// `dirty` relations are serialized whole (per-relation full-replacement
+    /// semantics), `dropped` relations become tombstones. Returns the new
+    /// chain length.
+    ///
+    /// Write order is delta artifact first, `CHAIN.tsv` second — a crash
+    /// between the two leaves an unlisted delta file that restore ignores
+    /// and the next flush atomically overwrites.
+    pub fn save_db_delta(
+        &self,
+        db: &Database,
+        dirty: &[String],
+        dropped: &[String],
+    ) -> Result<u64, CheckpointError> {
+        let manifest = self.manifest()?;
+        let base = manifest
+            .get(Phase::Extract)
+            .ok_or_else(|| CheckpointError::Corrupt {
+                file: CHAIN_FILE.to_string(),
+                reason: "no committed base db.ckpt to chain a delta onto".to_string(),
+            })?;
+        let mut chain = self.db_chain()?.unwrap_or(DbChain {
+            base_hash: base.hash,
+            deltas: Vec::new(),
+        });
+        let k = chain.deltas.len() as u64 + 1;
+        let prev = chain.deltas.last().copied().unwrap_or(chain.base_hash);
+        let mut out = format!(
+            "{DELTA_HEADER}\n=base\t{:016x}\n=prev\t{prev:016x}\n=seq\t{k}\n",
+            chain.base_hash
+        );
+        for name in dropped {
+            out.push_str(&format!("~{}\n", esc(name)));
+        }
+        for name in dirty {
+            serialize_relation(db, name, &mut out)?;
+        }
+        write_atomic(&self.dir.join(delta_file(k)), out.as_bytes())?;
+        chain.deltas.push(fnv1a64(out.as_bytes()));
+        write_atomic(&self.dir.join(CHAIN_FILE), chain.render().as_bytes())?;
+        Ok(k)
     }
 
     /// Restore every checkpointed relation into `db`, replacing existing
-    /// tables of the same name.
+    /// tables of the same name: the base `db.ckpt` first, then each chained
+    /// delta in sequence, verifying every artifact's content hash and each
+    /// delta's embedded base/prev/seq links.
     pub fn restore_db(&self, db: &Database) -> Result<(), CheckpointError> {
         let text = self.read_verified(Phase::Extract)?;
         restore_db(&text, db).map_err(|reason| CheckpointError::Corrupt {
             file: "db.ckpt".to_string(),
             reason,
-        })
+        })?;
+        let Some(chain) = self.db_chain()? else {
+            return Ok(());
+        };
+        let mut prev = chain.base_hash;
+        for (i, &hash) in chain.deltas.iter().enumerate() {
+            let k = i as u64 + 1;
+            let file = delta_file(k);
+            let text = std::fs::read_to_string(self.dir.join(&file))?;
+            if fnv1a64(text.as_bytes()) != hash {
+                return Err(CheckpointError::Corrupt {
+                    file,
+                    reason: "content hash disagrees with chain".to_string(),
+                });
+            }
+            apply_db_delta(&text, db, chain.base_hash, prev, k)
+                .map_err(|reason| CheckpointError::Corrupt { file, reason })?;
+            prev = hash;
+        }
+        Ok(())
     }
 
     // ---- ground: the grounding state ----
@@ -366,6 +575,26 @@ impl Checkpoint {
         duration_secs: f64,
     ) -> Result<(), CheckpointError> {
         self.commit(Phase::Ground, &serialize_state(state, delta), duration_secs)
+    }
+
+    /// [`Self::save_state`] that skips the commit when the serialized
+    /// content hashes to `prev_hash` (the value a previous call returned).
+    /// Returns `(content_hash, written)` — the incremental flush path uses
+    /// the hash to decide, and report, what it actually rewrote.
+    pub fn save_state_hashed(
+        &self,
+        state: &GroundingState,
+        delta: &GroundingDelta,
+        prev_hash: Option<u64>,
+        duration_secs: f64,
+    ) -> Result<(u64, bool), CheckpointError> {
+        let text = serialize_state(state, delta);
+        let hash = fnv1a64(text.as_bytes());
+        if prev_hash == Some(hash) {
+            return Ok((hash, false));
+        }
+        self.commit(Phase::Ground, &text, duration_secs)?;
+        Ok((hash, true))
     }
 
     pub fn restore_state(&self) -> Result<(GroundingState, GroundingDelta), CheckpointError> {
@@ -384,11 +613,30 @@ impl Checkpoint {
         weights: &WeightStore,
         duration_secs: f64,
     ) -> Result<(), CheckpointError> {
+        self.save_weights_hashed(weights, None, duration_secs)
+            .map(|_| ())
+    }
+
+    /// [`Self::save_weights`] that skips the commit when the serialized
+    /// content hashes to `prev_hash`. Returns `(content_hash, written)`.
+    /// Serving never relearns weights on ingest, so this skip turns the
+    /// weights artifact into a one-time cost per daemon lifetime.
+    pub fn save_weights_hashed(
+        &self,
+        weights: &WeightStore,
+        prev_hash: Option<u64>,
+        duration_secs: f64,
+    ) -> Result<(u64, bool), CheckpointError> {
         let mut out = String::from("#deepdive-weights-v1\n");
         for v in weights.values() {
             out.push_str(&format!("{v:?}\n"));
         }
-        self.commit(Phase::Learn, &out, duration_secs)
+        let hash = fnv1a64(out.as_bytes());
+        if prev_hash == Some(hash) {
+            return Ok((hash, false));
+        }
+        self.commit(Phase::Learn, &out, duration_secs)?;
+        Ok((hash, true))
     }
 
     /// The dense weight vector, in `WeightId` order.
@@ -528,18 +776,70 @@ fn parse_type(s: &str) -> Result<ValueType, String> {
 fn serialize_db(db: &Database) -> Result<String, CheckpointError> {
     let mut out = String::from("#deepdive-db-v1\n");
     for name in db.relation_names() {
-        let schema = db.schema(&name)?;
-        out.push_str(&format!("@{}\n", esc(&name)));
-        for col in &schema.columns {
-            out.push_str(&format!("!{}\t{}\n", esc(&col.name), type_name(col.ty)));
-        }
-        let mut rows = db.rows_counted(&name)?;
-        rows.sort();
-        for (row, count) in rows {
-            out.push_str(&format!("{count}\t{}\n", row_cells(&row)));
-        }
+        serialize_relation(db, &name, &mut out)?;
     }
     Ok(out)
+}
+
+/// One `@relation` section (schema + sorted counted rows) — the unit shared
+/// by the full `db.ckpt` and each chained delta.
+fn serialize_relation(db: &Database, name: &str, out: &mut String) -> Result<(), CheckpointError> {
+    let schema = db.schema(name)?;
+    out.push_str(&format!("@{}\n", esc(name)));
+    for col in &schema.columns {
+        out.push_str(&format!("!{}\t{}\n", esc(&col.name), type_name(col.ty)));
+    }
+    let mut rows = db.rows_counted(name)?;
+    rows.sort();
+    for (row, count) in rows {
+        out.push_str(&format!("{count}\t{}\n", row_cells(&row)));
+    }
+    Ok(())
+}
+
+/// Apply one `db.delta-<k>.ckpt` onto `db`: verify the embedded
+/// base/prev/seq links against the chain's expectations, drop `~`
+/// tombstoned relations, then replace each `@relation` section wholesale
+/// (same grammar, and the same code path, as the base artifact).
+fn apply_db_delta(text: &str, db: &Database, base: u64, prev: u64, seq: u64) -> Result<(), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(DELTA_HEADER) => {}
+        Some(h) if h.starts_with("#deepdive-db-delta-v") => {
+            return Err(format!("delta format `{h}` is newer than supported"));
+        }
+        _ => return Err(format!("missing `{DELTA_HEADER}` header")),
+    }
+    let mut body = String::new();
+    let mut drops: Vec<String> = Vec::new();
+    for line in lines {
+        if let Some(rest) = line.strip_prefix('=') {
+            let (key, val) = rest
+                .split_once('\t')
+                .ok_or_else(|| format!("bad meta line `={rest}`"))?;
+            let expect = match key {
+                "base" => format!("{base:016x}"),
+                "prev" => format!("{prev:016x}"),
+                "seq" => seq.to_string(),
+                other => return Err(format!("unknown meta key `{other}`")),
+            };
+            if val != expect {
+                return Err(format!(
+                    "delta {key} `{val}` does not chain (expected `{expect}`)"
+                ));
+            }
+        } else if let Some(name) = line.strip_prefix('~') {
+            drops.push(unesc(name)?);
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    for name in &drops {
+        // Already-absent relations are fine: a tombstone is idempotent.
+        let _ = db.drop_relation(name);
+    }
+    restore_db(&body, db)
 }
 
 fn restore_db(text: &str, db: &Database) -> Result<(), String> {
@@ -963,6 +1263,107 @@ mod tests {
         assert_eq!(db2.schema("R").unwrap(), db.schema("R").unwrap());
         // Determinism: serializing the restored db yields identical bytes.
         assert_eq!(serialize_db(&db).unwrap(), serialize_db(&db2).unwrap());
+    }
+
+    #[test]
+    fn delta_chain_composes_base_plus_deltas() {
+        let db = Database::new();
+        db.create_relation(
+            Schema::build("R")
+                .col("x", ValueType::Int)
+                .col("t", ValueType::Text)
+                .finish(),
+        )
+        .unwrap();
+        db.create_relation(Schema::build("Doomed").col("x", ValueType::Int).finish())
+            .unwrap();
+        db.adjust("R", row![1, "a"], 1).unwrap();
+        db.adjust("Doomed", row![9], 1).unwrap();
+        let ckpt = Checkpoint::new(tmpdir("chain")).unwrap();
+        ckpt.save_db(&db, 0.0).unwrap();
+        assert_eq!(ckpt.db_chain_len(), 0);
+
+        // Delta 1: mutate R (full per-relation replacement).
+        db.adjust("R", row![2, "b"], 2).unwrap();
+        assert_eq!(ckpt.save_db_delta(&db, &["R".to_string()], &[]).unwrap(), 1);
+        // Delta 2: drop Doomed, touch R again.
+        db.drop_relation("Doomed").unwrap();
+        db.adjust("R", row![1, "a"], -1).unwrap();
+        assert_eq!(
+            ckpt.save_db_delta(&db, &["R".to_string()], &["Doomed".to_string()])
+                .unwrap(),
+            2
+        );
+        assert_eq!(ckpt.db_chain_len(), 2);
+        ckpt.verify().unwrap();
+
+        let db2 = Database::new();
+        ckpt.restore_db(&db2).unwrap();
+        assert!(db2.schema("Doomed").is_err(), "tombstone must drop Doomed");
+        assert_eq!(db2.count("R", &row![2, "b"]).unwrap(), 2);
+        assert_eq!(db2.count("R", &row![1, "a"]).unwrap(), 0);
+        // The composed restore equals the live db, byte for byte.
+        assert_eq!(serialize_db(&db).unwrap(), serialize_db(&db2).unwrap());
+    }
+
+    #[test]
+    fn full_rewrite_clears_chain_and_stale_chain_is_ignored() {
+        let db = Database::new();
+        db.create_relation(Schema::build("R").col("x", ValueType::Int).finish())
+            .unwrap();
+        db.adjust("R", row![1], 1).unwrap();
+        let ckpt = Checkpoint::new(tmpdir("stale")).unwrap();
+        ckpt.save_db(&db, 0.0).unwrap();
+        db.adjust("R", row![2], 1).unwrap();
+        ckpt.save_db_delta(&db, &["R".to_string()], &[]).unwrap();
+        let stale_chain = std::fs::read(ckpt.dir().join("CHAIN.tsv")).unwrap();
+        let stale_delta = std::fs::read(ckpt.dir().join("db.delta-0001.ckpt")).unwrap();
+
+        // A full rewrite drops the chain files...
+        db.adjust("R", row![3], 1).unwrap();
+        ckpt.save_db(&db, 0.0).unwrap();
+        assert!(!ckpt.dir().join("CHAIN.tsv").exists());
+        assert!(!ckpt.dir().join("db.delta-0001.ckpt").exists());
+
+        // ...and residue from a crash between commit and cleanup (the old
+        // chain reappearing on disk) is ignored because its base hash no
+        // longer matches the manifest's extract entry.
+        std::fs::write(ckpt.dir().join("CHAIN.tsv"), &stale_chain).unwrap();
+        std::fs::write(ckpt.dir().join("db.delta-0001.ckpt"), &stale_delta).unwrap();
+        assert!(ckpt.db_chain().unwrap().is_none());
+        ckpt.verify().unwrap();
+        let db2 = Database::new();
+        ckpt.restore_db(&db2).unwrap();
+        assert_eq!(serialize_db(&db).unwrap(), serialize_db(&db2).unwrap());
+    }
+
+    #[test]
+    fn corrupt_or_missing_delta_fails_loudly() {
+        let db = Database::new();
+        db.create_relation(Schema::build("R").col("x", ValueType::Int).finish())
+            .unwrap();
+        db.adjust("R", row![1], 1).unwrap();
+        let ckpt = Checkpoint::new(tmpdir("corrupt-delta")).unwrap();
+        ckpt.save_db(&db, 0.0).unwrap();
+        db.adjust("R", row![2], 1).unwrap();
+        ckpt.save_db_delta(&db, &["R".to_string()], &[]).unwrap();
+
+        let delta_path = ckpt.dir().join("db.delta-0001.ckpt");
+        let good = std::fs::read(&delta_path).unwrap();
+        std::fs::write(&delta_path, b"#deepdive-db-delta-v1\ntampered\n").unwrap();
+        assert!(matches!(
+            ckpt.restore_db(&Database::new()),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        assert!(ckpt.verify().is_err());
+
+        std::fs::remove_file(&delta_path).unwrap();
+        assert!(ckpt.restore_db(&Database::new()).is_err());
+        assert!(ckpt.verify().is_err());
+
+        std::fs::write(&delta_path, &good).unwrap();
+        ckpt.verify().unwrap();
+        ckpt.restore_db(&Database::new()).unwrap();
     }
 
     #[test]

@@ -120,6 +120,17 @@ pub mod points {
     /// The follower sleeps 50 ms before applying each replicated record,
     /// widening the window chaos tests kill it in.
     pub const REPL_APPLY_STALL: &str = "repl_apply_stall";
+    /// `Wal::compact` errors out after unlinking only a prefix of the
+    /// stale segments — exactly what `kill -9` mid-compaction leaves
+    /// behind; the next compaction (or open) finishes the job.
+    pub const WAL_COMPACT_CRASH: &str = "wal_compact_crash";
+    /// The serve-side checkpoint flusher sleeps 200 ms before compacting,
+    /// widening the in-flight-compaction window so tests can assert
+    /// `/readyz` stays steady throughout.
+    pub const WAL_COMPACT_STALL: &str = "wal_compact_stall";
+    /// Segment rotation fails before the new segment is created; the
+    /// in-flight batch rolls back whole.
+    pub const WAL_ROTATE_FAIL: &str = "wal_rotate_fail";
 }
 
 /// One armed fault point: skip the first `skip` hits, then trip the next

@@ -31,12 +31,13 @@ pub mod mindtagger;
 pub mod report;
 
 pub use app::{
-    DeepDive, DeepDiveBuilder, DeepDiveError, PhaseTimings, RunConfig, RunResult, WeightSummary,
+    CheckpointTracker, DeepDive, DeepDiveBuilder, DeepDiveError, IncrementalSaveReport,
+    PhaseTimings, RunConfig, RunResult, WeightSummary,
 };
 pub use calibration::{
     calibration_plot, figure5, histogram, render_calibration, u_shape_score, CalibrationData,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, Manifest, ManifestEntry, Phase};
+pub use checkpoint::{Checkpoint, CheckpointError, DbChain, Manifest, ManifestEntry, Phase};
 pub use error_analysis::{analyze, ErrorAnalysis, ErrorAnalysisConfig, Judgment};
 pub use faults::{
     corrupt_tsv, flaky_udf, render_args, stalled_client, FaultCounter, FaultInjector, FaultPlan,

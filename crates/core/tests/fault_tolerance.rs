@@ -814,3 +814,77 @@ fn kill_mid_epoch_keeps_indexes_scan_consistent() {
     );
     check(&dd.db, "after the recovery epoch");
 }
+
+/// Incremental checkpoint flushes skip clean artifacts, chain deltas for
+/// dirty relations, reset the chain on a full rewrite, and restore to the
+/// exact live state at every step.
+#[test]
+fn incremental_checkpoint_skips_clean_artifacts_and_chains_dirty_ones() {
+    use deepdive_core::CheckpointTracker;
+    use deepdive_storage::row;
+
+    let (sentences, mentions, el, married) = corpus(40);
+    let mut dd = DeepDive::builder(PROGRAM)
+        .udf("f_feat", feature)
+        .config(base_config(7))
+        .build()
+        .unwrap();
+    dd.db.load_tsv("Sentence", &sentences).unwrap();
+    dd.db.load_tsv("Mention", &mentions).unwrap();
+    dd.db.load_tsv("EL", &el).unwrap();
+    dd.db.load_tsv("Married", &married).unwrap();
+    dd.run().unwrap();
+
+    let ckpt = Checkpoint::new(tmpdir("incr")).unwrap();
+    let mut tracker = CheckpointTracker::default();
+
+    // Flush 1: a fresh tracker forces the full base rewrite.
+    let r = dd
+        .save_checkpoint_incremental(&ckpt, &mut tracker, 16)
+        .unwrap();
+    assert!(r.full);
+    assert_eq!((r.artifacts_written, r.chain_len), (3, 0));
+
+    // Flush 2: nothing changed — every artifact is skipped.
+    let r = dd
+        .save_checkpoint_incremental(&ckpt, &mut tracker, 16)
+        .unwrap();
+    assert!(!r.full);
+    assert_eq!(r.artifacts_written, 0, "clean flush must write nothing");
+    assert_eq!(r.artifacts_skipped, 3);
+    assert_eq!(r.chain_len, 0);
+
+    // Flush 3: one relation dirtied — exactly one delta artifact chains,
+    // the untouched grounding state and weights are still skipped.
+    dd.db.adjust("Married", row!["Xa", "Xb"], 1).unwrap();
+    let r = dd
+        .save_checkpoint_incremental(&ckpt, &mut tracker, 16)
+        .unwrap();
+    assert_eq!(r.artifacts_written, 1, "only the db delta is written");
+    assert_eq!(r.artifacts_skipped, 2);
+    assert_eq!(r.chain_len, 1);
+
+    // The composed restore equals the live db.
+    let dd2 = DeepDive::builder(PROGRAM)
+        .udf("f_feat", feature)
+        .config(base_config(7))
+        .build()
+        .unwrap();
+    ckpt.restore_db(&dd2.db).unwrap();
+    assert_eq!(dd2.db.count("Married", &row!["Xa", "Xb"]).unwrap(), 1);
+    assert_eq!(
+        dd2.db.rows_counted("MarriedCandidate").unwrap().len(),
+        dd.db.rows_counted("MarriedCandidate").unwrap().len()
+    );
+
+    // Flush 4 with full_every=1: the chain is at its bound, so this is a
+    // chain-resetting full rewrite even though nothing changed.
+    dd.db.adjust("Married", row!["Ya", "Yb"], 1).unwrap();
+    let r = dd
+        .save_checkpoint_incremental(&ckpt, &mut tracker, 1)
+        .unwrap();
+    assert!(r.full, "chain bound forces the full rewrite");
+    assert_eq!(r.chain_len, 0);
+    assert_eq!(ckpt.db_chain_len(), 0, "full rewrite dropped the chain");
+    ckpt.verify().unwrap();
+}

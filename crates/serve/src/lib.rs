@@ -53,4 +53,4 @@ pub use metrics::ServeMetrics;
 pub use replication::ReplicationStats;
 pub use server::{DrainSummary, Lifecycle, ServeConfig, ServeState, Server, ServerHandle};
 pub use snapshot::{ServeSnapshot, SnapshotCell};
-pub use wal::{Wal, WalRecovery};
+pub use wal::{Wal, WalOptions, WalRecovery, DEFAULT_SEGMENT_BYTES};

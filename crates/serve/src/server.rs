@@ -40,9 +40,9 @@ use crate::http::{ParseError, ParseLimits, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::replication::{self, jittered_retry_secs, ReplicationStats};
 use crate::snapshot::{ServeSnapshot, SnapshotCell};
-use crate::wal::{Wal, WalOptions, WalRecovery, DEFAULT_RETAIN_RECORDS};
+use crate::wal::{Wal, WalOptions, WalRecovery, DEFAULT_RETAIN_RECORDS, DEFAULT_SEGMENT_BYTES};
 use deepdive_core::faults::{points, FaultInjector};
-use deepdive_core::{Checkpoint, DeepDive};
+use deepdive_core::{Checkpoint, CheckpointTracker, DeepDive};
 use deepdive_inference::{bounded_options, RefreshBudget};
 use deepdive_sampler::GibbsOptions;
 use deepdive_storage::{
@@ -55,7 +55,7 @@ use std::collections::HashSet;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -111,6 +111,24 @@ pub struct ServeConfig {
     /// Checkpointed records kept in the WAL for followers to fetch before
     /// compaction trims them (compacted-away offsets answer 410).
     pub wal_retain: u64,
+    /// Group-commit linger window: how long the committer thread collects
+    /// concurrent `POST /documents` bodies before fsyncing them as one WAL
+    /// batch. `Duration::ZERO` disables group commit entirely (every
+    /// request pays its own fsync — the pre-batching behavior, and the
+    /// bench baseline).
+    pub linger: Duration,
+    /// WAL segment rotation threshold: a segment that reaches this many
+    /// payload bytes is sealed and a new one started. Compaction later
+    /// unlinks whole checkpointed segments past the retention horizon.
+    pub wal_segment_bytes: u64,
+    /// Full-rewrite cadence for incremental checkpoints: once this many
+    /// database deltas are chained onto the base, the next flush rewrites
+    /// the base and resets the chain. 0 = never (the first flush is always
+    /// a full rewrite regardless).
+    pub checkpoint_full_every: u64,
+    /// How often the background flusher checkpoints pending WAL records and
+    /// compacts checkpointed segments. Not a CLI flag; tests shrink it.
+    pub flush_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +151,10 @@ impl Default for ServeConfig {
             max_lag_epochs: 16,
             stream_window: 1 << 20,
             wal_retain: DEFAULT_RETAIN_RECORDS,
+            linger: Duration::from_millis(2),
+            wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            checkpoint_full_every: 16,
+            flush_interval: Duration::from_secs(5),
         }
     }
 }
@@ -217,6 +239,35 @@ struct WalStats {
     replay_skipped: u64,
 }
 
+/// Group-commit counters (monotonic; `/metrics` derives `avg_batch` and
+/// `fsyncs_saved` from them).
+#[derive(Debug, Default)]
+struct GroupCommitStats {
+    /// WAL batches durably committed (one fsync each).
+    batches: AtomicU64,
+    /// Records across those batches.
+    records: AtomicU64,
+}
+
+/// Incremental-checkpoint bookkeeping surfaced in `/metrics` and
+/// `report.json` (cumulative except `chain_len`, which is the current
+/// chain depth).
+#[derive(Debug, Default, Clone)]
+struct CheckpointStats {
+    flushes: u64,
+    full_rewrites: u64,
+    artifacts_written: u64,
+    artifacts_skipped: u64,
+    chain_len: u64,
+}
+
+/// One ingest handed to the committer thread: the raw body plus the
+/// channel its worker is parked on awaiting the batch's fate.
+struct CommitRequest {
+    body: Vec<u8>,
+    reply: mpsc::Sender<Response>,
+}
+
 /// Everything a request handler can reach, shared across workers.
 pub struct ServeState {
     snapshot: SnapshotCell,
@@ -243,6 +294,20 @@ pub struct ServeState {
     wal_stats: Mutex<WalStats>,
     wal_dir: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
+    /// Group-commit ingress: workers send [`CommitRequest`]s here and park
+    /// on the reply. `None` until the committer thread spawns (and again
+    /// once shutdown tears it down — senders observing a closed channel
+    /// fall back to the inline single-request path).
+    committer: Mutex<Option<mpsc::Sender<CommitRequest>>>,
+    /// Group-commit linger window (the committer's batching horizon).
+    linger: Duration,
+    group_commit: GroupCommitStats,
+    /// Dirty-tracking state threaded between incremental checkpoint
+    /// flushes; lives beside the writer because a flush holds the writer
+    /// lock anyway.
+    ckpt_tracker: Mutex<CheckpointTracker>,
+    ckpt_stats: Mutex<CheckpointStats>,
+    checkpoint_full_every: u64,
     faults: Arc<FaultInjector>,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -303,6 +368,23 @@ impl ServeState {
     /// True when this node tails a primary instead of taking writes.
     pub fn is_follower(&self) -> bool {
         self.follow.is_some()
+    }
+
+    /// The `group_commit` gauge object shared by `/metrics` and
+    /// `report.json`: committed batches, mean records per batch, and the
+    /// fsyncs batching avoided versus one-fsync-per-request.
+    fn group_commit_json(&self) -> Json {
+        let batches = self.group_commit.batches.load(Ordering::Relaxed);
+        let records = self.group_commit.records.load(Ordering::Relaxed);
+        json!({
+            "batches": batches,
+            "avg_batch": if batches > 0 {
+                records as f64 / batches as f64
+            } else {
+                0.0
+            },
+            "fsyncs_saved": records.saturating_sub(batches),
+        })
     }
 
     /// Replication books (`/metrics`, `/readyz`, the CLI's divergence exit).
@@ -396,7 +478,21 @@ impl ServeState {
         };
         let dd = self.writer.lock();
         let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
-        dd.save_checkpoint(&ckpt).map_err(io::Error::other)?;
+        let report = {
+            let mut tracker = self.ckpt_tracker.lock();
+            dd.save_checkpoint_incremental(&ckpt, &mut tracker, self.checkpoint_full_every)
+                .map_err(io::Error::other)?
+        };
+        {
+            let mut stats = self.ckpt_stats.lock();
+            stats.flushes += 1;
+            if report.full {
+                stats.full_rewrites += 1;
+            }
+            stats.artifacts_written += report.artifacts_written;
+            stats.artifacts_skipped += report.artifacts_skipped;
+            stats.chain_len = report.chain_len;
+        }
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock();
             let through = if self.is_follower() {
@@ -424,6 +520,18 @@ impl ServeState {
         let Some(dir) = &self.wal_dir else { return };
         let stats = self.wal_stats.lock().clone();
         let (records, bytes) = self.wal_gauges();
+        let (segments, segment_bytes, compactions) = match &self.wal {
+            Some(wal) => {
+                let wal = wal.lock();
+                (
+                    wal.segments() as u64,
+                    wal.segment_target(),
+                    wal.compactions(),
+                )
+            }
+            None => (0, 0, 0),
+        };
+        let ck = self.ckpt_stats.lock().clone();
         let report = json!({
             "wal": json!({
                 "wal_torn_tail": stats.torn_tail_recovered,
@@ -432,6 +540,20 @@ impl ServeState {
                 "records_skipped": stats.replay_skipped,
                 "records_pending": records,
                 "bytes": bytes,
+                "segments": segments,
+                "segment_bytes": segment_bytes,
+                "compactions": compactions,
+                "group_commit": self.group_commit_json(),
+            }),
+            "checkpoint": json!({
+                "enabled": self.checkpoint_dir.is_some(),
+                "flushes": ck.flushes,
+                "full_rewrites": ck.full_rewrites,
+                "incremental": json!({
+                    "artifacts_written": ck.artifacts_written,
+                    "artifacts_skipped": ck.artifacts_skipped,
+                    "chain_len": ck.chain_len,
+                }),
             }),
             "replication": self.replication.to_json(self.is_follower()),
         });
@@ -448,6 +570,7 @@ pub struct Server {
     state: Arc<ServeState>,
     workers: usize,
     drain: Duration,
+    flush_interval: Duration,
     /// Intact WAL records recovered at open, pending replay on `start`.
     pending_replay: Vec<Vec<u8>>,
 }
@@ -488,6 +611,7 @@ impl Server {
                     // A follower's log carries the *primary's* stream id; a
                     // fresh one stays unadopted (0) until the handshake.
                     fresh_stream: config.follow.is_none(),
+                    segment_bytes: config.wal_segment_bytes,
                 };
                 let (mut wal, recovery): (Wal, WalRecovery) =
                     Wal::open_with(dir, config.faults.clone(), options)?;
@@ -557,6 +681,12 @@ impl Server {
                 wal_stats: Mutex::new(wal_stats),
                 wal_dir: config.wal_dir.clone(),
                 checkpoint_dir: config.checkpoint_dir.clone(),
+                committer: Mutex::new(None),
+                linger: config.linger,
+                group_commit: GroupCommitStats::default(),
+                ckpt_tracker: Mutex::new(CheckpointTracker::default()),
+                ckpt_stats: Mutex::new(CheckpointStats::default()),
+                checkpoint_full_every: config.checkpoint_full_every,
                 faults: config.faults.clone(),
                 read_timeout: config.read_timeout,
                 write_timeout: config.write_timeout,
@@ -569,6 +699,7 @@ impl Server {
             }),
             workers: config.workers.max(1),
             drain: config.drain,
+            flush_interval: config.flush_interval,
             pending_replay,
         })
     }
@@ -639,6 +770,34 @@ impl Server {
             std::thread::spawn(move || replication::run_follower(state, primary))
         });
 
+        // Group committer: the single consumer that turns concurrent POSTs
+        // into one WAL fsync per linger window. Only a primary with a WAL
+        // and a nonzero linger gets one; otherwise `POST /documents` stays
+        // on the inline one-fsync-per-request path.
+        let committer = (!self.state.is_follower()
+            && self.state.wal.is_some()
+            && self.state.linger > Duration::ZERO)
+            .then(|| {
+                let (commit_tx, commit_rx) = mpsc::channel::<CommitRequest>();
+                *self.state.committer.lock() = Some(commit_tx);
+                let state = self.state.clone();
+                std::thread::spawn(move || committer_loop(&state, &commit_rx))
+            });
+
+        // Background flusher: periodic incremental checkpoint + WAL
+        // compaction, off the committer thread so neither ever holds up an
+        // in-flight ack (and compaction never blocks reads at all — it only
+        // takes the wal lock, briefly).
+        let flusher = (!self.state.is_follower()
+            && self.state.wal.is_some()
+            && self.state.checkpoint_dir.is_some()
+            && self.flush_interval > Duration::ZERO)
+            .then(|| {
+                let state = self.state.clone();
+                let interval = self.flush_interval;
+                std::thread::spawn(move || flusher_loop(&state, interval))
+            });
+
         Ok(ServerHandle {
             addr,
             state: self.state,
@@ -647,8 +806,223 @@ impl Server {
             accept: Some(accept),
             replay,
             tailer,
+            committer,
+            flusher,
             drain: self.drain,
         })
+    }
+}
+
+/// Largest batch one group commit will take — past this the committer
+/// commits immediately rather than lingering (bounds both ack latency under
+/// saturation and the size of a rollback should a batch-mate fail to apply).
+const MAX_COMMIT_BATCH: usize = 256;
+
+/// The committer thread: park on the channel, gather one linger window's
+/// worth of requests, commit them as a unit. Exits when every sender is
+/// gone (shutdown drops the one in `ServeState` after the workers drain);
+/// a blocking `recv` still yields all queued requests first, so nothing
+/// enqueued is ever abandoned.
+fn committer_loop(state: &ServeState, rx: &mpsc::Receiver<CommitRequest>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(req) => req,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + state.linger;
+        while batch.len() < MAX_COMMIT_BATCH {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        commit_batch(state, batch);
+    }
+}
+
+/// Commit one batch: parse every body, fsync them as a single WAL append,
+/// apply each through DRed/IVM, publish one snapshot swap, and answer every
+/// request — 200 only after both its batch's fsync and its own apply
+/// succeeded, exactly the per-request ack semantics, amortized.
+fn commit_batch(state: &ServeState, batch: Vec<CommitRequest>) {
+    let mut dd = state.writer.lock();
+
+    // Validation failures drop out of the batch with a 400 before anything
+    // touches the log.
+    let mut parsed = Vec::with_capacity(batch.len());
+    for req in batch {
+        match parse_ingest_body(&dd, &state.derived, &req.body) {
+            Ok(changes) => parsed.push((req, changes)),
+            Err(resp) => {
+                let _ = req.reply.send(resp);
+            }
+        }
+    }
+    if parsed.is_empty() {
+        return;
+    }
+
+    // Durability first, one fsync for the whole batch. A failed append is a
+    // failed batch: nothing was applied yet, nobody is acknowledged.
+    let wal = state.wal.as_ref().expect("committer runs only with a WAL");
+    let mark = wal.lock().mark();
+    {
+        let bodies: Vec<&[u8]> = parsed.iter().map(|(req, _)| req.body.as_slice()).collect();
+        if let Err(e) = wal.lock().append_batch(&bodies) {
+            let msg = format!("ingest not applied: WAL append failed: {e}");
+            for (req, _) in parsed {
+                let _ = req.reply.send(Response::error(500, &msg));
+            }
+            return;
+        }
+    }
+    state.group_commit.batches.fetch_add(1, Ordering::Relaxed);
+    state
+        .group_commit
+        .records
+        .fetch_add(parsed.len() as u64, Ordering::Relaxed);
+
+    // Apply each record on its own: one bad batch-mate must not fail its
+    // neighbors.
+    let mut applied: Vec<(CommitRequest, usize, Json, usize)> = Vec::with_capacity(parsed.len());
+    let mut failed: Vec<(CommitRequest, String)> = Vec::new();
+    for (req, changes) in parsed {
+        let inserted = changes.len();
+        match dd.apply_base_changes(changes) {
+            Ok(delta) => {
+                let delta_json = json!({
+                    "added_variables": delta.added_variables,
+                    "removed_variables": delta.removed_variables,
+                    "added_factors": delta.added_factors,
+                    "removed_factors": delta.removed_factors,
+                    "evidence_changes": delta.evidence_changes,
+                    "total": delta.total(),
+                });
+                applied.push((req, inserted, delta_json, delta.total()));
+            }
+            Err(e) => failed.push((req, e.to_string())),
+        }
+    }
+
+    if !failed.is_empty() {
+        // The 500s promise "no durable trace": cut the whole batch off the
+        // log and re-append only the applied records, so a restart can
+        // never replay a record whose client was told it failed. The writer
+        // lock is still held, so nothing appended after the batch.
+        let rewrite = {
+            let mut wal = wal.lock();
+            wal.rollback_to(&mark).and_then(|()| {
+                let keep: Vec<&[u8]> = applied
+                    .iter()
+                    .map(|(req, ..)| req.body.as_slice())
+                    .collect();
+                wal.append_batch(&keep).map(|_| ())
+            })
+        };
+        if let Err(re) = rewrite {
+            // The log no longer matches what was applied and is poisoned
+            // until the next checkpoint flush repairs it. Nobody gets an
+            // ack: the durability half of the promise is gone for the
+            // applied records too. (Their in-memory effects surface in a
+            // later epoch — the same poison-window caveat as the
+            // single-request path, see DESIGN §13.)
+            eprintln!(
+                "deepdive serve: WARNING: could not roll failed ingests off the WAL \
+                 ({re}); log poisoned until the next checkpoint flush"
+            );
+            let msg = "ingest not applied: WAL rewrite failed after a batch-mate's apply \
+                       failure; log poisoned until the next checkpoint flush";
+            for (req, ..) in applied {
+                let _ = req.reply.send(Response::error(500, msg));
+            }
+            for (req, e) in failed {
+                let _ = req
+                    .reply
+                    .send(Response::error(500, &format!("ingest not applied: {e}")));
+            }
+            return;
+        }
+        for (req, e) in failed {
+            let _ = req
+                .reply
+                .send(Response::error(500, &format!("ingest not applied: {e}")));
+        }
+    }
+    if applied.is_empty() {
+        return;
+    }
+
+    // One bounded refresh sized by the batch's summed grounding delta, one
+    // snapshot swap, one epoch advance per applied record (epoch stays in
+    // lockstep with the WAL seq, exactly as the inline path keeps it).
+    let changed_total: usize = applied.iter().map(|(.., total)| *total).sum();
+    let opts = bounded_options(&state.inference, &state.refresh, changed_total);
+    let epoch = state.snapshot.load().epoch + applied.len() as u64;
+    let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
+    let fingerprint = snapshot.fingerprint;
+    state.snapshot.store(snapshot);
+    let next = wal.lock().next_seq();
+    state.replication.applied_seq.store(next, Ordering::SeqCst);
+    state.replication.observe_watermark(next);
+    let (wal_records, wal_bytes) = state.wal_gauges();
+
+    for (req, inserted, delta_json, _) in applied {
+        let _ = req.reply.send(Response::json(
+            200,
+            &json!({
+                "epoch": epoch,
+                "fingerprint": format!("{fingerprint:016x}"),
+                "inserted": inserted,
+                "durable": true,
+                "wal_records": wal_records,
+                "wal_bytes": wal_bytes,
+                "delta": delta_json,
+                "refresh_samples": opts.samples,
+            }),
+        ));
+    }
+}
+
+/// The background flusher: every `interval`, checkpoint pending WAL records
+/// incrementally and compact checkpointed segments past the retention
+/// horizon. Runs on its own thread — an in-flight flush or compaction never
+/// sits between a request and its ack, and `/readyz` never leaves `Ready`
+/// for either.
+fn flusher_loop(state: &ServeState, interval: Duration) {
+    let mut last = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        if state.stop_requested() {
+            break;
+        }
+        if last.elapsed() < interval || state.lifecycle() != Lifecycle::Ready {
+            continue;
+        }
+        last = Instant::now();
+        if state.faults.trips(points::WAL_COMPACT_STALL) {
+            // Deterministically widen the in-flight window so tests can
+            // watch `/readyz` hold steady across a slow flush cycle.
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        if state.wal_gauges().0 > 0 {
+            if let Err(e) = state.flush_checkpoint() {
+                eprintln!(
+                    "deepdive serve: WARNING: periodic checkpoint flush failed ({e}); \
+                     keeping the WAL for the next attempt"
+                );
+                continue;
+            }
+        }
+        if let Some(wal) = &state.wal {
+            if let Err(e) = wal.lock().compact() {
+                eprintln!("deepdive serve: WARNING: WAL compaction failed: {e}");
+            }
+        }
     }
 }
 
@@ -814,6 +1188,8 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     replay: Option<JoinHandle<()>>,
     tailer: Option<JoinHandle<()>>,
+    committer: Option<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
     drain: Duration,
 }
 
@@ -879,6 +1255,21 @@ impl ServerHandle {
             self.workers.clear();
         }
 
+        // The committer outlives the workers — an in-flight POST may be
+        // parked on its reply channel. Once they are gone, dropping the
+        // stored sender disconnects the channel and the committer exits
+        // after draining anything still queued. A detached straggler may
+        // hold a sender clone, so only join when the drain was clean.
+        *self.state.committer.lock() = None;
+        if let Some(committer) = self.committer.take() {
+            if stragglers == 0 {
+                let _ = committer.join();
+            }
+        }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+
         let checkpoint_flushed = match self.state.flush_checkpoint() {
             Ok(()) => true,
             Err(e) => {
@@ -923,6 +1314,13 @@ impl ServerHandle {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        *self.state.committer.lock() = None;
+        if let Some(committer) = self.committer.take() {
+            let _ = committer.join();
+        }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
     }
 
     /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT)
@@ -952,6 +1350,13 @@ impl ServerHandle {
         }
         for t in self.workers.drain(..) {
             let _ = t.join();
+        }
+        *self.state.committer.lock() = None;
+        if let Some(committer) = self.committer.take() {
+            let _ = committer.join();
+        }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
         }
     }
 }
@@ -1114,17 +1519,27 @@ fn metrics(state: &ServeState) -> Response {
     let (wal_records, wal_bytes) = state.wal_gauges();
     let wal_stats = state.wal_stats.lock().clone();
     // Stream geometry for operators watching replication: where the log
-    // starts (compaction floor), ends, and is checkpointed through.
-    let wal_stream = state.wal.as_ref().map(|wal| {
-        let wal = wal.lock();
-        json!({
-            "stream_id": format!("{:016x}", wal.stream_id()),
-            "base_seq": wal.base_seq(),
-            "next_seq": wal.next_seq(),
-            "checkpoint_seq": wal.checkpoint_seq(),
-            "physical_records": wal.physical_records(),
-        })
-    });
+    // starts (compaction floor), ends, and is checkpointed through — plus
+    // the segment layout compaction works in.
+    let (wal_stream, wal_segments, wal_segment_bytes, wal_compactions) = match &state.wal {
+        Some(wal) => {
+            let wal = wal.lock();
+            (
+                Some(json!({
+                    "stream_id": format!("{:016x}", wal.stream_id()),
+                    "base_seq": wal.base_seq(),
+                    "next_seq": wal.next_seq(),
+                    "checkpoint_seq": wal.checkpoint_seq(),
+                    "physical_records": wal.physical_records(),
+                })),
+                wal.segments() as u64,
+                wal.segment_target(),
+                wal.compactions(),
+            )
+        }
+        None => (None, 0, 0, 0),
+    };
+    let ck = state.ckpt_stats.lock().clone();
     Response::json(
         200,
         &json!({
@@ -1146,6 +1561,20 @@ fn metrics(state: &ServeState) -> Response {
                 "replayed_records": wal_stats.replayed_records,
                 "replay_skipped": wal_stats.replay_skipped,
                 "stream": wal_stream,
+                "segments": wal_segments,
+                "segment_bytes": wal_segment_bytes,
+                "compactions": wal_compactions,
+                "group_commit": state.group_commit_json(),
+            }),
+            "checkpoint": json!({
+                "enabled": state.checkpoint_dir.is_some(),
+                "flushes": ck.flushes,
+                "full_rewrites": ck.full_rewrites,
+                "incremental": json!({
+                    "artifacts_written": ck.artifacts_written,
+                    "artifacts_skipped": ck.artifacts_skipped,
+                    "chain_len": ck.chain_len,
+                }),
             }),
             "replication": state.replication().to_json(state.is_follower()),
             "storage": json!({
@@ -1501,6 +1930,28 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
             state.metrics.record_rate_limited();
             return Response::error(429, "ingest rate limit exceeded")
                 .with_retry_after(jittered_retry_secs(retry_secs));
+        }
+    }
+
+    // Group commit: hand the body to the committer and park until this
+    // record's batch fsyncs and applies — the response carries the same
+    // promise as the inline path below, amortized over the batch. Falls
+    // through to the inline path when no committer runs (no WAL, zero
+    // linger, a follower) or the channel is already torn down by shutdown.
+    let committer = state.committer.lock().clone();
+    if let Some(tx) = committer {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = tx
+            .send(CommitRequest {
+                body: req.body.clone(),
+                reply: reply_tx,
+            })
+            .is_ok();
+        if sent {
+            return match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::error(500, "ingest not applied: committer exited mid-batch"),
+            };
         }
     }
 

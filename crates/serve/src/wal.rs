@@ -7,13 +7,24 @@
 //! On startup the daemon restores the checkpoint, then replays the pending
 //! suffix of the log through the same DRed/IVM path a live `POST` takes.
 //!
-//! ## On-disk format v2 (`ingest.wal`)
+//! ## On-disk layout: manifest + segments
 //!
-//! A 36-byte file header:
+//! The log is a directory of size-rotated segment files plus a tiny
+//! manifest:
+//!
+//! ```text
+//! wal.manifest              # "#deepdive-wal-manifest-v1" + stream id +
+//!                           # checkpoint seq (atomically replaced)
+//! seg-00000000000000000000.wal
+//! seg-00000000000000000417.wal   # first seq of each segment in the name
+//! ```
+//!
+//! Every segment starts with the same 36-byte v2 header a single-file WAL
+//! used:
 //!
 //! ```text
 //! [8B magic "DDWAL2\n\0"][u32 LE format version = 2]
-//! [u64 LE stream id][u64 LE base seq][u64 LE checkpoint seq]
+//! [u64 LE stream id][u64 LE first seq][u64 LE checkpoint seq snapshot]
 //! ```
 //!
 //! followed by versioned, length-prefixed, checksummed frames:
@@ -22,30 +33,43 @@
 //! [u8 record version = 1][u32 LE payload length][u64 LE FNV-1a64(payload)][payload]
 //! ```
 //!
+//! The manifest is authoritative for the mutable header fields (stream id,
+//! checkpoint seq); segment headers carry a snapshot for debuggability and
+//! pin the segment's first seq. A legacy single-file `ingest.wal` (v1 or
+//! v2) migrates on open: the manifest is written from its header, then the
+//! file is renamed into place as the first segment — each crash window in
+//! between recovers on the next open.
+//!
 //! * **stream id** names the WAL's history. A primary mints a random
 //!   nonzero id when it creates a fresh log; a follower's log starts at the
 //!   `0` sentinel ("unadopted") and adopts the primary's id on first
 //!   contact. Replication refuses to mix records across stream ids.
-//! * **seqs are logical and monotonic.** The first frame in the file is
-//!   `base seq`; a checkpoint flush no longer truncates the file — it
-//!   advances `checkpoint seq` (records at lower seqs are owned by the
-//!   checkpoint) and compaction trims the *retained* prefix down to a
-//!   bounded window so followers can still fetch recent history after the
-//!   primary checkpointed it. `records()` reports the *pending* count
-//!   (`next seq − checkpoint seq`), which is what replay and drain care
-//!   about.
-//! * **version bytes fail loud.** Opening a future *format* version, or
-//!   meeting a checksum-valid frame with an unknown *record* version,
-//!   produces a clear "newer than supported" error instead of a
-//!   checksum/torn-tail misdiagnosis. A v1 log (`DDWAL1\n\0`, unversioned
-//!   12-byte frame headers) is upgraded in place on open.
+//! * **seqs are logical and monotonic.** The oldest frame on disk is
+//!   `base seq` (the first segment's first seq); a checkpoint flush does
+//!   not delete anything — it advances `checkpoint seq` in the manifest
+//!   (records at lower seqs are owned by the checkpoint) and
+//!   [`Wal::compact`] later unlinks *whole segments* that fall entirely
+//!   below the follower-retention horizon. Deleting oldest-first keeps the
+//!   remaining set contiguous across any crash, so compaction needs no
+//!   prefix rewrite and never copies a byte. `records()` reports the
+//!   *pending* count (`next seq − checkpoint seq`), which is what replay
+//!   and drain care about.
+//! * **group commit batches share one fsync.** [`Wal::append_batch`]
+//!   writes every frame of a batch (rotating segments as the size
+//!   threshold crosses) and syncs once; the batch acks together or rolls
+//!   back together.
+//! * **version bytes fail loud.** Opening a future *format* or *manifest*
+//!   version, or meeting a checksum-valid frame with an unknown *record*
+//!   version, produces a clear "newer than supported" error instead of a
+//!   checksum/torn-tail misdiagnosis.
 //!
-//! A crash mid-append leaves a torn tail. [`Wal::open`] detects it, and —
+//! A crash mid-append leaves a torn tail — necessarily in the *final*
+//! segment, the only one ever written to. [`Wal::open`] detects it, and —
 //! only when the tear sits in the *pending* region, whose records were by
 //! construction never acknowledged — drops it and truncates back to the
-//! last intact frame. Corruption inside the checkpointed (retained) region
-//! is a hard error: those records were acked and shipped, so silently
-//! dropping them would fork history under a follower.
+//! last intact frame. Corruption in a sealed (non-final) segment or inside
+//! the checkpointed region is a hard error: those records were acked and
+//! shipped, so silently dropping them would fork history under a follower.
 
 use deepdive_core::checkpoint::fnv1a64;
 use deepdive_core::faults::{points, FaultInjector};
@@ -54,7 +78,7 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File magic for format v2.
+/// File magic for format v2 (single-file logs and segment files alike).
 const MAGIC_V2: &[u8; 8] = b"DDWAL2\n\0";
 /// File magic of the legacy v1 format (auto-upgraded on open).
 const MAGIC_V1: &[u8; 8] = b"DDWAL1\n\0";
@@ -62,13 +86,9 @@ const MAGIC_V1: &[u8; 8] = b"DDWAL1\n\0";
 const FORMAT_VERSION: u32 = 2;
 /// The frame (record) version this build writes and reads.
 pub const RECORD_VERSION: u8 = 1;
-/// File header: magic + format version + stream id + base seq + checkpoint
-/// seq.
+/// Segment header: magic + format version + stream id + first seq +
+/// checkpoint seq snapshot.
 const HEADER_LEN: u64 = 36;
-/// Byte offsets of the mutable header fields.
-const OFF_STREAM_ID: u64 = 12;
-const OFF_BASE_SEQ: u64 = 20;
-const OFF_CHECKPOINT_SEQ: u64 = 28;
 /// Per-frame framing overhead: version byte + u32 length + u64 checksum.
 const FRAME_HEADER_BYTES: u64 = 13;
 /// v1 framing overhead: u32 length + u64 checksum (no version byte).
@@ -78,16 +98,26 @@ const V1_HEADER_BYTES: u64 = 12;
 /// this by the HTTP layer).
 const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
 /// Default number of checkpointed records retained for followers before
-/// compaction trims the prefix.
+/// compaction unlinks whole segments.
 pub const DEFAULT_RETAIN_RECORDS: u64 = 1024;
+/// Default segment rotation threshold (frame bytes per segment).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+/// The manifest file name inside the WAL directory.
+const MANIFEST_FILE: &str = "wal.manifest";
+/// First line of the manifest.
+const MANIFEST_HEADER: &str = "#deepdive-wal-manifest-v1";
+/// The legacy single-file log migrated into segments on open.
+const LEGACY_FILE: &str = "ingest.wal";
 
-/// Wire/disk framing shared by the WAL file and the replication stream.
+/// Wire/disk framing shared by the WAL segments and the replication
+/// stream.
 ///
 /// The streaming endpoint ships frames byte-for-byte as they sit in the
-/// file; the follower runs them through [`frame::FrameDecoder`], which
-/// re-verifies every checksum on arrival, tolerates arbitrary chunk
+/// segment files; the follower runs them through [`frame::FrameDecoder`],
+/// which re-verifies every checksum on arrival, tolerates arbitrary chunk
 /// boundaries, and skips the single-byte heartbeats the primary interleaves
-/// to keep an idle connection alive.
+/// to keep an idle connection alive. Segment boundaries do not exist on
+/// the wire: frames from consecutive segments concatenate seamlessly.
 pub mod frame {
     use super::{fnv1a64, FRAME_HEADER_BYTES, MAX_RECORD_BYTES, RECORD_VERSION};
 
@@ -212,13 +242,15 @@ pub mod frame {
 /// Tunables for [`Wal::open_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct WalOptions {
-    /// Checkpointed records kept for followers before compaction trims the
-    /// retained prefix.
+    /// Checkpointed records kept for followers before compaction unlinks
+    /// whole segments below the horizon.
     pub retain_records: u64,
     /// When creating a brand-new log: mint a random nonzero stream id
     /// (primary) vs. the `0` "unadopted" sentinel (follower, which adopts
     /// the primary's id on first contact).
     pub fresh_stream: bool,
+    /// Frame bytes per segment before the active segment rotates.
+    pub segment_bytes: u64,
 }
 
 impl Default for WalOptions {
@@ -226,6 +258,7 @@ impl Default for WalOptions {
         WalOptions {
             retain_records: DEFAULT_RETAIN_RECORDS,
             fresh_stream: true,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -240,11 +273,11 @@ pub struct WalRecovery {
     pub first_pending_seq: u64,
     /// True when a torn/corrupt tail was detected and dropped.
     pub torn_tail: bool,
-    /// Bytes of intact log retained (the offset the tail was cut at).
+    /// Bytes of intact log retained across all segments.
     pub good_bytes: u64,
     /// Bytes of torn tail discarded.
     pub torn_bytes: u64,
-    /// True when a legacy v1 log was upgraded to v2 in place.
+    /// True when a legacy v1 log was upgraded on open.
     pub upgraded_v1: bool,
     /// Checkpoint-owned records still retained for followers.
     pub retained: u64,
@@ -254,128 +287,164 @@ pub struct WalRecovery {
 /// [`Wal::rollback_to`]).
 #[derive(Debug, Clone, Copy)]
 pub struct WalMark {
+    /// Segment count at the mark (later segments are deleted whole).
+    segments: usize,
+    /// Byte length of the then-active segment.
     bytes: u64,
     next_seq: u64,
 }
 
-/// An open, appendable write-ahead log.
+/// One on-disk segment file and its frame index.
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    /// Seq of this segment's first frame (also encoded in the file name).
+    first_seq: u64,
+    /// Intact bytes (header + frames).
+    bytes: u64,
+    /// Byte offset of each frame; `index[i]` is seq `first_seq + i`.
+    index: Vec<u64>,
+}
+
+impl Segment {
+    fn end_seq(&self) -> u64 {
+        self.first_seq + self.index.len() as u64
+    }
+}
+
+/// An open, appendable, segmented write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
-    path: PathBuf,
-    /// Append handle, cursor parked at the end of the intact log.
+    dir: PathBuf,
+    /// Ordered, seq-contiguous segments; the last one is active.
+    segments: Vec<Segment>,
+    /// Append handle on the active segment, cursor parked at its end.
     file: File,
-    /// Read handle for [`Wal::read_frames`]; seeks freely without
-    /// disturbing the append cursor.
-    reader: File,
     stream_id: u64,
-    base_seq: u64,
     next_seq: u64,
     checkpoint_seq: u64,
-    /// Byte offset of each frame currently in the file, seq-ordered
-    /// (`index[i]` is the frame for seq `base_seq + i`).
-    index: Vec<u64>,
-    /// Bytes of intact log on disk (header + frames).
-    bytes: u64,
     retain: u64,
+    segment_target: u64,
     /// Set when an append failed in a way that leaves the on-disk tail
     /// unknown (torn write, failed rollback): further appends are refused
     /// until a checkpoint flush repairs the tail.
     poisoned: bool,
+    /// Compaction runs that unlinked at least one segment.
+    compactions: u64,
     faults: Arc<FaultInjector>,
 }
 
 impl Wal {
-    /// Open (creating if needed) `dir/ingest.wal` with default options.
+    /// Open (creating if needed) the segmented log in `dir` with default
+    /// options.
     pub fn open(dir: &Path, faults: Arc<FaultInjector>) -> io::Result<(Wal, WalRecovery)> {
         Wal::open_with(dir, faults, WalOptions::default())
     }
 
-    /// Open (creating if needed) `dir/ingest.wal`, scan it for intact
-    /// frames, drop a torn *pending* tail, refuse corruption in the
-    /// checkpointed region, upgrade a v1 log, and position the write
-    /// cursor after the last intact frame.
+    /// Open (creating if needed) the segmented log in `dir`: migrate a
+    /// legacy single-file `ingest.wal`, scan every segment for intact
+    /// frames, drop a torn *pending* tail in the final segment, refuse
+    /// corruption anywhere else, and position the write cursor after the
+    /// last intact frame.
     pub fn open_with(
         dir: &Path,
         faults: Arc<FaultInjector>,
         options: WalOptions,
     ) -> io::Result<(Wal, WalRecovery)> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join("ingest.wal");
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let legacy = dir.join(LEGACY_FILE);
         let mut upgraded_v1 = false;
         let mut v1_torn = (false, 0u64); // (torn, torn_bytes)
 
-        // Peek at the magic to decide: fresh file, v1 upgrade, v2, or junk.
-        let existing_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        if existing_len == 0 {
-            let stream_id = if options.fresh_stream {
-                random_stream_id()
+        if !manifest_path.exists() {
+            if legacy.exists() {
+                // Migrate the single-file log. Manifest first (derived from
+                // the legacy header), then rename the file into place as
+                // the first segment: a crash in between leaves the
+                // manifest + legacy file, which the branch below finishes.
+                let mut magic = [0u8; 8];
+                let mut f = File::open(&legacy)?;
+                let got = read_fully(&mut f, &mut magic)?;
+                drop(f);
+                if got == magic.len() && &magic == MAGIC_V1 {
+                    // Segment first, manifest second, legacy removal last:
+                    // a crash after the manifest write lands in the
+                    // "manifest + legacy" branch below, which must find the
+                    // migrated segment already in place.
+                    let (records, torn, torn_bytes) = read_v1(&legacy)?;
+                    let stream_id = if options.fresh_stream {
+                        random_stream_id()
+                    } else {
+                        0
+                    };
+                    write_fresh_segment(&dir.join(segment_name(0)), stream_id, 0, 0, &records)?;
+                    write_manifest(dir, stream_id, 0)?;
+                    std::fs::remove_file(&legacy)?;
+                    sync_dir(dir)?;
+                    upgraded_v1 = true;
+                    v1_torn = (torn, torn_bytes);
+                } else if got == magic.len() && &magic == MAGIC_V2 {
+                    let (stream_id, base_seq, checkpoint_seq) = read_v2_header(&legacy)?;
+                    write_manifest(dir, stream_id, checkpoint_seq)?;
+                    std::fs::rename(&legacy, dir.join(segment_name(base_seq)))?;
+                    sync_dir(dir)?;
+                } else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{} is not a deepdive WAL (bad magic)", legacy.display()),
+                    ));
+                }
             } else {
-                0
-            };
-            write_fresh(&path, stream_id, 0, 0, &[])?;
-        } else {
-            let mut magic = [0u8; 8];
-            let mut f = File::open(&path)?;
-            let got = read_fully(&mut f, &mut magic)?;
-            drop(f);
-            if got == magic.len() && &magic == MAGIC_V1 {
-                let (records, torn, torn_bytes) = read_v1(&path)?;
                 let stream_id = if options.fresh_stream {
                     random_stream_id()
                 } else {
                     0
                 };
-                write_fresh(&path, stream_id, 0, 0, &records)?;
-                upgraded_v1 = true;
-                v1_torn = (torn, torn_bytes);
-            } else if got < magic.len() || &magic != MAGIC_V2 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{} is not a deepdive WAL (bad magic)", path.display()),
-                ));
+                write_manifest(dir, stream_id, 0)?;
+            }
+        } else if legacy.exists() {
+            // A crash interrupted a migration after the manifest write:
+            // finish it. A v2 legacy still needs its rename; a v1 legacy
+            // was already rewritten into a segment (segment-then-manifest
+            // ordering above), so only the removal is left.
+            let mut magic = [0u8; 8];
+            let mut f = File::open(&legacy)?;
+            let got = read_fully(&mut f, &mut magic)?;
+            drop(f);
+            if got == magic.len() && &magic == MAGIC_V2 {
+                let (_, base_seq, _) = read_v2_header(&legacy)?;
+                std::fs::rename(&legacy, dir.join(segment_name(base_seq)))?;
+            } else {
+                std::fs::remove_file(&legacy)?;
+            }
+            sync_dir(dir)?;
+        }
+
+        let (stream_id, checkpoint_seq) = read_manifest(&manifest_path)?;
+
+        // Enumerate segments by the first seq in their file names.
+        let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(first_seq) = parse_segment_name(&name.to_string_lossy()) {
+                seg_files.push((first_seq, entry.path()));
             }
         }
-
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .truncate(false)
-            .open(&path)?;
-        let total = file.metadata()?.len();
-
-        // Parse and validate the header.
-        let mut header = [0u8; HEADER_LEN as usize];
-        let got = read_fully(&mut file, &mut header)?;
-        if got < header.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: truncated WAL header", path.display()),
-            ));
-        }
-        let format = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        if format != FORMAT_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{}: WAL format version {format} is newer than supported \
-                     ({FORMAT_VERSION}); refusing to guess at its layout",
-                    path.display()
-                ),
-            ));
-        }
-        let stream_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-        let base_seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
-        let checkpoint_seq = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
-        if checkpoint_seq < base_seq {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: checkpoint seq below base seq", path.display()),
-            ));
+        seg_files.sort();
+        if seg_files.is_empty() {
+            // Fresh log (or a crash between manifest creation and the
+            // first segment): start an empty segment at the checkpoint
+            // seq.
+            let path = dir.join(segment_name(checkpoint_seq));
+            write_fresh_segment(&path, stream_id, checkpoint_seq, checkpoint_seq, &[])?;
+            seg_files.push((checkpoint_seq, path));
         }
 
-        // Scan frames. A tear in the pending region is survivable (those
-        // records were never acked); anything wrong in the checkpointed
-        // region is fatal — acked history must not silently shrink.
+        // Scan every segment. A tear is survivable only in the final
+        // segment's pending region; anything else is fatal — acked
+        // history must not silently shrink.
         let mut recovery = WalRecovery {
             records: Vec::new(),
             first_pending_seq: checkpoint_seq,
@@ -385,148 +454,254 @@ impl Wal {
             upgraded_v1,
             retained: 0,
         };
-        let mut index = Vec::new();
-        let mut offset = HEADER_LEN;
+        let base_seq = seg_files[0].0;
+        if checkpoint_seq < base_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: checkpoint seq below base seq", dir.display()),
+            ));
+        }
+        let mut segments: Vec<Segment> = Vec::with_capacity(seg_files.len());
         let mut seq = base_seq;
-        loop {
-            match read_disk_frame(&mut file) {
-                Ok(Some(payload)) => {
-                    index.push(offset);
-                    offset += FRAME_HEADER_BYTES + payload.len() as u64;
-                    if seq >= checkpoint_seq {
-                        recovery.records.push(payload);
+        let last_i = seg_files.len() - 1;
+        for (i, (first_seq, path)) in seg_files.into_iter().enumerate() {
+            if first_seq != seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: segment starts at seq {first_seq} but the \
+                         previous segment ends at seq {seq}",
+                        path.display()
+                    ),
+                ));
+            }
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .truncate(false)
+                .open(&path)?;
+            let total = file.metadata()?.len();
+            let (header_stream, header_first, _) = parse_v2_header(&mut file, &path)?;
+            if header_stream != stream_id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: segment stream id {header_stream:016x} does not \
+                         match the manifest's {stream_id:016x}",
+                        path.display()
+                    ),
+                ));
+            }
+            if header_first != first_seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: segment header claims first seq {header_first} \
+                         but the file is named for seq {first_seq}",
+                        path.display()
+                    ),
+                ));
+            }
+            let mut index = Vec::new();
+            let mut offset = HEADER_LEN;
+            loop {
+                match read_disk_frame(&mut file) {
+                    Ok(Some(payload)) => {
+                        index.push(offset);
+                        offset += FRAME_HEADER_BYTES + payload.len() as u64;
+                        if seq >= checkpoint_seq {
+                            recovery.records.push(payload);
+                        }
+                        seq += 1;
                     }
-                    seq += 1;
-                }
-                Ok(None) => break, // clean EOF
-                Err(e) => {
-                    let future_version = e.kind() == io::ErrorKind::InvalidData
-                        && e.to_string().contains("newer than supported");
-                    if seq < checkpoint_seq || future_version {
-                        // Checkpointed history is damaged, or a newer
-                        // writer's record sits in the log: both are
-                        // refuse-loudly, not truncate-silently.
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("{}: {e} at seq {seq}", path.display()),
-                        ));
+                    Ok(None) => break, // clean EOF
+                    Err(e) => {
+                        let future_version = e.kind() == io::ErrorKind::InvalidData
+                            && e.to_string().contains("newer than supported");
+                        if i < last_i || seq < checkpoint_seq || future_version {
+                            // A sealed segment, checkpointed history, or a
+                            // newer writer's record: all refuse-loudly,
+                            // not truncate-silently.
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("{}: {e} at seq {seq}", path.display()),
+                            ));
+                        }
+                        recovery.torn_tail = true;
+                        break;
                     }
-                    recovery.torn_tail = true;
-                    break;
                 }
             }
+            recovery.good_bytes += offset;
+            recovery.torn_bytes += total.saturating_sub(offset);
+            if total > offset {
+                file.set_len(offset)?;
+                file.sync_data()?;
+            }
+            segments.push(Segment {
+                path,
+                first_seq,
+                bytes: offset,
+                index,
+            });
         }
         if seq < checkpoint_seq {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "{}: log ends at seq {seq} but the header claims seqs \
+                    "{}: log ends at seq {seq} but the manifest claims seqs \
                      through {checkpoint_seq} were checkpointed",
-                    path.display()
+                    dir.display()
                 ),
             ));
         }
-        recovery.good_bytes = offset;
-        recovery.torn_bytes += total.saturating_sub(offset);
-        recovery.retained = checkpoint_seq - base_seq;
-        if total > offset {
-            file.set_len(offset)?;
-            file.sync_data()?;
-        }
-        file.seek(SeekFrom::Start(offset))?;
 
-        let reader = File::open(&path)?;
+        let active = segments.last().expect("at least one segment");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&active.path)?;
+        file.seek(SeekFrom::Start(active.bytes))?;
+
         let mut wal = Wal {
-            path,
+            dir: dir.to_path_buf(),
+            segments,
             file,
-            reader,
             stream_id,
-            base_seq,
             next_seq: seq,
             checkpoint_seq,
-            index,
-            bytes: offset,
             retain: options.retain_records,
+            segment_target: options.segment_bytes.max(1),
             poisoned: false,
+            compactions: 0,
             faults,
         };
-        // An oversized retained prefix (e.g. the retention knob shrank
-        // between runs) compacts on open.
-        wal.maybe_compact()?;
-        recovery.retained = wal.checkpoint_seq - wal.base_seq;
+        // Segments stranded below a shrunk retention window (e.g. the
+        // knob changed between runs, or a compaction was cut short by a
+        // crash) unlink on open — compaction is idempotent.
+        wal.compact()?;
+        recovery.retained = wal.checkpoint_seq - wal.base_seq();
         Ok((wal, recovery))
     }
 
     /// Append one record, fsync it, and return its seq. Returns only after
     /// the bytes are durable — the caller may acknowledge the ingest iff
-    /// this returns `Ok`. On failure the append is rolled back (the file
-    /// is truncated to its pre-append length) so the log stays parseable;
-    /// if even the rollback fails the log is poisoned and refuses further
-    /// appends.
+    /// this returns `Ok`. On failure the append is rolled back so the log
+    /// stays parseable; if even the rollback fails the log is poisoned and
+    /// refuses further appends.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        self.append_batch(&[payload])
+    }
+
+    /// Append a batch of records under a single fsync and return the seq
+    /// of the first. The active segment rotates mid-batch when it crosses
+    /// the size threshold (each sealed segment is synced before the
+    /// rotation). The batch is atomic: either every record is durable when
+    /// this returns `Ok`, or none survives — a failure rolls the log back
+    /// to its pre-batch state (poisoning it if even that fails).
+    pub fn append_batch(&mut self, payloads: &[&[u8]]) -> io::Result<u64> {
         if self.poisoned {
             return Err(io::Error::other(
                 "WAL is poisoned by an earlier failed append; \
                  a checkpoint flush is required to repair it",
             ));
         }
-        if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "WAL record over the 64 MiB cap",
-            ));
-        }
-        let before = self.bytes;
-        let buf = frame::encode(payload);
-
-        // Fault point: a crash mid-write leaves a torn prefix on disk and
-        // the client never hears an ack.
-        if self.faults.trips(points::WAL_TORN_WRITE) {
-            let half = buf.len() / 2;
-            let _ = self.file.write_all(&buf[..half]);
-            let _ = self.file.flush();
-            self.poisoned = true;
-            return Err(io::Error::other("injected torn WAL write"));
-        }
-
-        let result = self
-            .file
-            .write_all(&buf)
-            .and_then(|()| {
-                if self.faults.trips(points::WAL_FSYNC) {
-                    Err(io::Error::other("injected fsync failure"))
-                } else {
-                    Ok(())
-                }
-            })
-            .and_then(|()| self.file.sync_data());
-        match result {
-            Ok(()) => {
-                let seq = self.next_seq;
-                self.index.push(before);
-                self.bytes += buf.len() as u64;
-                self.next_seq += 1;
-                Ok(seq)
+        for p in payloads {
+            if p.len() as u64 > MAX_RECORD_BYTES as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "WAL record over the 64 MiB cap",
+                ));
             }
+        }
+        let first = self.next_seq;
+        if payloads.is_empty() {
+            return Ok(first);
+        }
+        let mark = self.mark();
+        match self.write_batch(payloads) {
+            Ok(()) => Ok(first),
             Err(e) => {
-                // Cut the partial record back off so the log stays intact.
-                let rolled_back = self
-                    .file
-                    .set_len(before)
-                    .and_then(|()| self.file.seek(SeekFrom::Start(before)).map(|_| ()))
-                    .and_then(|()| self.file.sync_data());
-                if rolled_back.is_err() {
-                    self.poisoned = true;
+                // Cut the partial batch back off so the log stays intact
+                // and no negatively-acked record can replay. A torn write
+                // already poisoned the log (the on-disk tail is unknown);
+                // the best-effort cleanup below still runs at repair time.
+                if !self.poisoned && self.rollback_to(&mark).is_err() {
+                    // rollback_to poisoned the log.
                 }
                 Err(e)
             }
         }
     }
 
+    /// Write + fsync the batch frames, updating in-memory state eagerly
+    /// (the caller rolls back on error).
+    fn write_batch(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
+        for payload in payloads {
+            let active = self.segments.last().expect("at least one segment");
+            if !active.index.is_empty() && active.bytes - HEADER_LEN >= self.segment_target {
+                self.rotate()?;
+            }
+            // Fault point: a crash mid-write leaves a torn prefix on disk
+            // and the client never hears an ack.
+            if self.faults.trips(points::WAL_TORN_WRITE) {
+                let buf = frame::encode(payload);
+                let half = buf.len() / 2;
+                let _ = self.file.write_all(&buf[..half]);
+                let _ = self.file.flush();
+                self.poisoned = true;
+                return Err(io::Error::other("injected torn WAL write"));
+            }
+            let buf = frame::encode(payload);
+            self.file.write_all(&buf)?;
+            let active = self.segments.last_mut().expect("at least one segment");
+            active.index.push(active.bytes);
+            active.bytes += buf.len() as u64;
+            self.next_seq += 1;
+        }
+        if self.faults.trips(points::WAL_FSYNC) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()
+    }
+
+    /// Seal the active segment (sync it) and start a fresh one at the
+    /// current head seq.
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.faults.trips(points::WAL_ROTATE_FAIL) {
+            return Err(io::Error::other("injected segment rotation failure"));
+        }
+        self.file.sync_data()?;
+        let first_seq = self.segments.last().expect("active segment").end_seq();
+        let path = self.dir.join(segment_name(first_seq));
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        f.write_all(&header_bytes(
+            self.stream_id,
+            first_seq,
+            self.checkpoint_seq,
+        ))?;
+        f.sync_data()?;
+        sync_dir(&self.dir)?;
+        self.segments.push(Segment {
+            path,
+            first_seq,
+            bytes: HEADER_LEN,
+            index: Vec::new(),
+        });
+        self.file = f;
+        Ok(())
+    }
+
     /// Capture the current append position for a later [`Wal::rollback_to`].
     pub fn mark(&self) -> WalMark {
         WalMark {
-            bytes: self.bytes,
+            segments: self.segments.len(),
+            bytes: self.segments.last().expect("active segment").bytes,
             next_seq: self.next_seq,
         }
     }
@@ -534,26 +709,45 @@ impl Wal {
     /// Cut the log back to a previously captured mark, discarding every
     /// record appended since — the negative-ack path: a record whose apply
     /// failed is answered 5xx, so it must not linger in the log and
-    /// materialize on replay. Never cuts below the checkpoint seq. If the
-    /// cut itself fails the on-disk state is unknown and the log is
-    /// poisoned.
+    /// materialize on replay. Segments created since the mark are deleted
+    /// whole (newest first, so a crash mid-rollback leaves a contiguous
+    /// set); the then-active segment is truncated back. Never cuts below
+    /// the checkpoint seq. If the cut itself fails the on-disk state is
+    /// unknown and the log is poisoned.
     pub fn rollback_to(&mut self, mark: &WalMark) -> io::Result<()> {
-        debug_assert!(mark.bytes <= self.bytes && mark.next_seq <= self.next_seq);
+        debug_assert!(mark.segments <= self.segments.len() && mark.next_seq <= self.next_seq);
         debug_assert!(
             mark.next_seq >= self.checkpoint_seq,
             "cannot roll back checkpointed records"
         );
-        let result = self
-            .file
-            .set_len(mark.bytes)
-            .and_then(|()| self.file.seek(SeekFrom::Start(mark.bytes)).map(|_| ()))
-            .and_then(|()| self.file.sync_data());
+        let result = (|| -> io::Result<()> {
+            let deleted = self.segments.len() > mark.segments;
+            while self.segments.len() > mark.segments {
+                let seg = self.segments.last().expect("non-empty");
+                std::fs::remove_file(&seg.path)?;
+                self.segments.pop();
+            }
+            if deleted {
+                sync_dir(&self.dir)?;
+                let active = self.segments.last().expect("mark'd segment");
+                self.file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .truncate(false)
+                    .open(&active.path)?;
+            }
+            self.file.set_len(mark.bytes)?;
+            self.file.seek(SeekFrom::Start(mark.bytes))?;
+            self.file.sync_data()
+        })();
         match result {
             Ok(()) => {
-                self.bytes = mark.bytes;
+                let active = self.segments.last_mut().expect("active segment");
+                active.bytes = mark.bytes;
+                active
+                    .index
+                    .truncate((mark.next_seq - active.first_seq) as usize);
                 self.next_seq = mark.next_seq;
-                self.index
-                    .truncate((mark.next_seq - self.base_seq) as usize);
                 Ok(())
             }
             Err(e) => {
@@ -564,44 +758,121 @@ impl Wal {
     }
 
     /// A checkpoint now owns every record below `through_seq`: advance the
-    /// durable checkpoint seq, repair a poisoned tail (the unknown bytes
-    /// were never acked and the checkpoint supersedes the log anyway), and
-    /// compact the retained prefix down to the retention window. The
-    /// records themselves stay fetchable by followers until compaction
-    /// trims them.
+    /// durable checkpoint seq in the manifest and repair a poisoned tail
+    /// (the unknown bytes were never acked and the checkpoint supersedes
+    /// the log anyway). The records themselves stay on disk and fetchable
+    /// by followers until [`Wal::compact`] unlinks their segments — the
+    /// serve layer runs compaction off the ingest path.
     pub fn mark_checkpointed(&mut self, through_seq: u64) -> io::Result<()> {
         let through = through_seq.clamp(self.checkpoint_seq, self.next_seq);
         if self.poisoned {
-            // Everything acked sits at or below `self.bytes`; the tail
-            // beyond it is an unacknowledged unknown — cut it.
-            self.file.set_len(self.bytes)?;
-            self.file.seek(SeekFrom::Start(self.bytes))?;
+            // Everything acked sits at or below the active segment's
+            // intact length; anything beyond it — stray bytes or whole
+            // stray segments from a torn batch — is an unacknowledged
+            // unknown. Cut it.
+            let active_first = self.segments.last().expect("active segment").first_seq;
+            for entry in std::fs::read_dir(&self.dir)? {
+                let entry = entry?;
+                if let Some(first_seq) = parse_segment_name(&entry.file_name().to_string_lossy()) {
+                    if first_seq > active_first {
+                        std::fs::remove_file(entry.path())?;
+                    }
+                }
+            }
+            let active = self.segments.last().expect("active segment");
+            self.file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .truncate(false)
+                .open(&active.path)?;
+            self.file.set_len(active.bytes)?;
+            self.file.seek(SeekFrom::Start(active.bytes))?;
             self.file.sync_data()?;
+            sync_dir(&self.dir)?;
             self.poisoned = false;
         }
         if through != self.checkpoint_seq {
-            self.write_header_u64(OFF_CHECKPOINT_SEQ, through)?;
+            write_manifest(&self.dir, self.stream_id, through)?;
             self.checkpoint_seq = through;
         }
-        self.maybe_compact()
+        Ok(())
+    }
+
+    /// Unlink whole segments that fall entirely below the retention
+    /// horizon (`checkpoint_seq − retain`), oldest first. The active
+    /// segment rotates out first when even it is fully below the horizon,
+    /// so a long-quiet log still frees its disk. Returns the number of
+    /// segments removed. Idempotent and crash-safe: a partial run leaves a
+    /// contiguous suffix that the next run (or open) finishes.
+    pub fn compact(&mut self) -> io::Result<usize> {
+        if self.poisoned {
+            return Ok(0); // the on-disk tail is unknown; don't touch it
+        }
+        let horizon = self.checkpoint_seq.saturating_sub(self.retain);
+        if horizon >= self.next_seq
+            && !self
+                .segments
+                .last()
+                .expect("active segment")
+                .index
+                .is_empty()
+        {
+            self.rotate()?;
+        }
+        let mut removed = 0usize;
+        while self.segments.len() > 1 {
+            if self.segments[0].end_seq() > horizon {
+                break;
+            }
+            if removed > 0 && self.faults.trips(points::WAL_COMPACT_CRASH) {
+                sync_dir(&self.dir)?;
+                self.compactions += 1;
+                return Err(io::Error::other("injected compaction crash"));
+            }
+            std::fs::remove_file(&self.segments[0].path)?;
+            self.segments.remove(0);
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+            self.compactions += 1;
+        }
+        Ok(removed)
     }
 
     /// Adopt a replication stream: legal only while the log holds no
     /// frames (a fresh follower, or one re-seeded from a copied
-    /// checkpoint). Sets the stream id and positions the log at
-    /// `start_seq`.
+    /// checkpoint). Rewrites the manifest and re-seeds the single empty
+    /// segment at `start_seq`.
     pub fn adopt_stream(&mut self, stream_id: u64, start_seq: u64) -> io::Result<()> {
-        if self.next_seq != self.base_seq {
+        if self.next_seq != self.base_seq() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "cannot adopt a stream over a WAL that already holds records",
             ));
         }
-        self.write_header_u64(OFF_STREAM_ID, stream_id)?;
+        // Drop the empty placeholder segment first (nothing is lost), then
+        // persist the manifest, then seed the new segment: every crash
+        // window in between re-opens as an adoptable (or freshly adopted)
+        // log.
+        let old = self.segments.pop().expect("placeholder segment");
+        std::fs::remove_file(&old.path)?;
+        write_manifest(&self.dir, stream_id, start_seq)?;
+        let path = self.dir.join(segment_name(start_seq));
+        write_fresh_segment(&path, stream_id, start_seq, start_seq, &[])?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.segments.push(Segment {
+            path,
+            first_seq: start_seq,
+            bytes: HEADER_LEN,
+            index: Vec::new(),
+        });
         self.stream_id = stream_id;
-        self.write_header_u64(OFF_BASE_SEQ, start_seq)?;
-        self.write_header_u64(OFF_CHECKPOINT_SEQ, start_seq)?;
-        self.base_seq = start_seq;
         self.next_seq = start_seq;
         self.checkpoint_seq = start_seq;
         Ok(())
@@ -609,42 +880,52 @@ impl Wal {
 
     /// Read frames `[from_seq, …)` as raw wire bytes, stopping at
     /// `max_bytes` (always includes at least one frame when any exists so
-    /// a single large record cannot stall the stream). Returns the bytes
-    /// and the seq one past the last frame included. `from_seq` must lie
-    /// in `[base_seq, next_seq]`.
+    /// a single large record cannot stall the stream). Segment boundaries
+    /// are invisible to the caller: frames concatenate across them exactly
+    /// as a single file would lay them out. Returns the bytes and the seq
+    /// one past the last frame included. `from_seq` must lie in
+    /// `[base_seq, next_seq]`.
     pub fn read_frames(&mut self, from_seq: u64, max_bytes: usize) -> io::Result<(Vec<u8>, u64)> {
-        if from_seq < self.base_seq || from_seq > self.next_seq {
+        if from_seq < self.base_seq() || from_seq > self.next_seq {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!(
                     "seq {from_seq} outside the log's [{}, {}] window",
-                    self.base_seq, self.next_seq
+                    self.base_seq(),
+                    self.next_seq
                 ),
             ));
         }
-        if from_seq == self.next_seq {
-            return Ok((Vec::new(), from_seq));
-        }
-        let start_idx = (from_seq - self.base_seq) as usize;
-        let start_off = self.index[start_idx];
-        let mut end_seq = from_seq;
-        let mut end_off = start_off;
-        while end_seq < self.next_seq {
-            let idx = (end_seq - self.base_seq) as usize + 1;
-            let next_off = self.index.get(idx).copied().unwrap_or(self.bytes);
-            if end_seq > from_seq && (next_off - start_off) as usize > max_bytes {
+        let mut out = Vec::new();
+        let mut seq = from_seq;
+        let mut reader: Option<(usize, File)> = None;
+        while seq < self.next_seq {
+            let si = self
+                .segments
+                .partition_point(|s| s.first_seq <= seq)
+                .saturating_sub(1);
+            let seg = &self.segments[si];
+            let li = (seq - seg.first_seq) as usize;
+            let off = seg.index[li];
+            let end = seg.index.get(li + 1).copied().unwrap_or(seg.bytes);
+            let frame_len = (end - off) as usize;
+            if seq > from_seq && out.len() + frame_len > max_bytes {
                 break;
             }
-            end_off = next_off;
-            end_seq += 1;
-            if (end_off - start_off) as usize >= max_bytes {
+            if reader.as_ref().map(|(i, _)| *i) != Some(si) {
+                reader = Some((si, File::open(&seg.path)?));
+            }
+            let (_, f) = reader.as_mut().expect("reader just set");
+            f.seek(SeekFrom::Start(off))?;
+            let at = out.len();
+            out.resize(at + frame_len, 0);
+            f.read_exact(&mut out[at..])?;
+            seq += 1;
+            if out.len() >= max_bytes {
                 break;
             }
         }
-        let mut buf = vec![0u8; (end_off - start_off) as usize];
-        self.reader.seek(SeekFrom::Start(start_off))?;
-        self.reader.read_exact(&mut buf)?;
-        Ok((buf, end_seq))
+        Ok((out, seq))
     }
 
     /// *Pending* records: appended (or recovered) but not yet owned by a
@@ -653,14 +934,14 @@ impl Wal {
         self.next_seq - self.checkpoint_seq
     }
 
-    /// All frames physically in the file, retained + pending.
+    /// All frames physically on disk, retained + pending.
     pub fn physical_records(&self) -> u64 {
-        self.next_seq - self.base_seq
+        self.next_seq - self.base_seq()
     }
 
-    /// Intact bytes on disk (including the file header).
+    /// Intact bytes on disk across all segments (including headers).
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.segments.iter().map(|s| s.bytes).sum()
     }
 
     /// The replication stream this log belongs to (`0` = not yet adopted).
@@ -668,9 +949,12 @@ impl Wal {
         self.stream_id
     }
 
-    /// Seq of the oldest frame still in the file.
+    /// Seq of the oldest frame still on disk.
     pub fn base_seq(&self) -> u64 {
-        self.base_seq
+        self.segments
+            .first()
+            .expect("at least one segment")
+            .first_seq
     }
 
     /// Seq the next append will receive.
@@ -688,90 +972,177 @@ impl Wal {
         self.poisoned
     }
 
+    /// Number of segment files currently on disk.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The configured rotation threshold (frame bytes per segment).
+    pub fn segment_target(&self) -> u64 {
+        self.segment_target
+    }
+
+    /// Compaction runs (this process) that unlinked at least one segment.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The log's directory.
     pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    fn write_header_u64(&mut self, offset: u64, value: u64) -> io::Result<()> {
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(&value.to_le_bytes())?;
-        self.file.sync_data()?;
-        self.file.seek(SeekFrom::Start(self.bytes))?;
-        Ok(())
-    }
-
-    /// Trim the retained (checkpoint-owned) prefix down to the retention
-    /// window by rewriting the file via temp + rename. Pending frames are
-    /// always kept.
-    fn maybe_compact(&mut self) -> io::Result<()> {
-        if self.checkpoint_seq - self.base_seq <= self.retain {
-            return Ok(());
-        }
-        let new_base = self.checkpoint_seq - self.retain;
-        let start_idx = (new_base - self.base_seq) as usize;
-        let start_off = self.index[start_idx];
-
-        let tmp = self.path.with_extension("wal.tmp");
-        {
-            let mut out = File::create(&tmp)?;
-            out.write_all(&header_bytes(self.stream_id, new_base, self.checkpoint_seq))?;
-            self.reader.seek(SeekFrom::Start(start_off))?;
-            let mut remaining = self.bytes - start_off;
-            let mut chunk = vec![0u8; 64 * 1024];
-            while remaining > 0 {
-                let want = chunk.len().min(remaining as usize);
-                self.reader.read_exact(&mut chunk[..want])?;
-                out.write_all(&chunk[..want])?;
-                remaining -= want as u64;
-            }
-            out.sync_data()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-
-        // The rename replaced the inode both handles point at: reopen.
-        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        let shifted = start_off - HEADER_LEN;
-        self.index.drain(..start_idx);
-        for off in &mut self.index {
-            *off -= shifted;
-        }
-        self.bytes -= shifted;
-        self.base_seq = new_base;
-        file.seek(SeekFrom::Start(self.bytes))?;
-        self.file = file;
-        self.reader = File::open(&self.path)?;
-        Ok(())
+        &self.dir
     }
 }
 
-fn header_bytes(stream_id: u64, base_seq: u64, checkpoint_seq: u64) -> [u8; HEADER_LEN as usize] {
+/// `seg-<first_seq:020>.wal`.
+fn segment_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.wal")
+}
+
+/// Parse a segment file name back to its first seq.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn header_bytes(stream_id: u64, first_seq: u64, checkpoint_seq: u64) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
     h[0..8].copy_from_slice(MAGIC_V2);
     h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     h[12..20].copy_from_slice(&stream_id.to_le_bytes());
-    h[20..28].copy_from_slice(&base_seq.to_le_bytes());
+    h[20..28].copy_from_slice(&first_seq.to_le_bytes());
     h[28..36].copy_from_slice(&checkpoint_seq.to_le_bytes());
     h
 }
 
-/// Write a fresh v2 log (atomically, via temp + rename when replacing an
-/// upgraded v1 file) holding `records` as pending frames.
-fn write_fresh(
+/// Parse + validate a v2 header from an open file positioned at 0; leaves
+/// the cursor after the header. Returns (stream id, first/base seq,
+/// checkpoint seq snapshot).
+fn parse_v2_header(file: &mut File, path: &Path) -> io::Result<(u64, u64, u64)> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    let got = read_fully(file, &mut header)?;
+    if got < header.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: truncated WAL header", path.display()),
+        ));
+    }
+    if &header[0..8] != MAGIC_V2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a deepdive WAL (bad magic)", path.display()),
+        ));
+    }
+    let format = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if format != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: WAL format version {format} is newer than supported \
+                 ({FORMAT_VERSION}); refusing to guess at its layout",
+                path.display()
+            ),
+        ));
+    }
+    let stream_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let base_seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+    let checkpoint_seq = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
+    Ok((stream_id, base_seq, checkpoint_seq))
+}
+
+/// Read just the v2 header of a closed file.
+fn read_v2_header(path: &Path) -> io::Result<(u64, u64, u64)> {
+    let mut f = File::open(path)?;
+    parse_v2_header(&mut f, path)
+}
+
+/// Atomically (re)write the manifest: temp + fsync + rename + dir fsync.
+fn write_manifest(dir: &Path, stream_id: u64, checkpoint_seq: u64) -> io::Result<()> {
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let text =
+        format!("{MANIFEST_HEADER}\nstream_id\t{stream_id}\ncheckpoint_seq\t{checkpoint_seq}\n");
+    {
+        let mut out = File::create(&tmp)?;
+        out.write_all(text.as_bytes())?;
+        out.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+/// Parse the manifest: (stream id, checkpoint seq).
+fn read_manifest(path: &Path) -> io::Result<(u64, u64)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        Some(l) if l.starts_with("#deepdive-wal-manifest-v") => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: WAL manifest version {l:?} is newer than supported \
+                     ({MANIFEST_HEADER})",
+                    path.display()
+                ),
+            ));
+        }
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a deepdive WAL manifest", path.display()),
+            ));
+        }
+    }
+    let mut stream_id = None;
+    let mut checkpoint_seq = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let corrupt = |why: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {why}: {line:?}", path.display()),
+            )
+        };
+        let (key, value) = line
+            .split_once('\t')
+            .ok_or_else(|| corrupt("manifest line is not key<TAB>value"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| corrupt("manifest value is not a u64"))?;
+        match key {
+            "stream_id" => stream_id = Some(value),
+            "checkpoint_seq" => checkpoint_seq = Some(value),
+            _ => return Err(corrupt("unrecognized manifest key")),
+        }
+    }
+    match (stream_id, checkpoint_seq) {
+        (Some(s), Some(c)) => Ok((s, c)),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: manifest is missing a required key", path.display()),
+        )),
+    }
+}
+
+/// Write a fresh segment (atomically, via temp + rename) holding `records`
+/// as its frames.
+fn write_fresh_segment(
     path: &Path,
     stream_id: u64,
-    base_seq: u64,
+    first_seq: u64,
     checkpoint_seq: u64,
     records: &[Vec<u8>],
 ) -> io::Result<()> {
     let tmp = path.with_extension("wal.tmp");
     {
         let mut out = File::create(&tmp)?;
-        out.write_all(&header_bytes(stream_id, base_seq, checkpoint_seq))?;
+        out.write_all(&header_bytes(stream_id, first_seq, checkpoint_seq))?;
         for r in records {
             out.write_all(&frame::encode(r))?;
         }
@@ -779,9 +1150,15 @@ fn write_fresh(
     }
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// fsync a directory so renames/creations/unlinks inside it are durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
     }
     Ok(())
 }
@@ -921,6 +1298,35 @@ mod tests {
         Arc::new(FaultInjector::new())
     }
 
+    /// The on-disk path of the newest (active) segment.
+    fn active_segment(dir: &Path) -> PathBuf {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| parse_segment_name(&p.file_name().unwrap().to_string_lossy()).is_some())
+            .collect();
+        segs.sort();
+        segs.pop().expect("at least one segment")
+    }
+
+    fn segment_count(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| {
+                parse_segment_name(&e.as_ref().unwrap().file_name().to_string_lossy()).is_some()
+            })
+            .count()
+    }
+
+    /// Options that rotate after every record (any frame crosses 1 byte).
+    fn tiny_segments(retain: u64) -> WalOptions {
+        WalOptions {
+            retain_records: retain,
+            fresh_stream: true,
+            segment_bytes: 1,
+        }
+    }
+
     #[test]
     fn append_and_recover_round_trips() {
         let dir = tmpdir("roundtrip");
@@ -952,6 +1358,116 @@ mod tests {
     }
 
     #[test]
+    fn append_batch_is_one_durable_unit() {
+        let dir = tmpdir("batch");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        let first = wal
+            .append_batch(&[b"one".as_slice(), b"two", b"three"])
+            .unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(wal.next_seq(), 3, "seqs are contiguous across the batch");
+        assert_eq!(wal.append_batch(&[]).unwrap(), 3, "empty batch is a no-op");
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+    }
+
+    #[test]
+    fn batch_fsync_failure_rolls_back_the_whole_batch() {
+        let dir = tmpdir("batch-fsync");
+        let faults = injector();
+        let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
+        wal.append(b"durable").unwrap();
+
+        faults.arm(points::WAL_FSYNC, 1);
+        let err = wal
+            .append_batch(&[b"a".as_slice(), b"b", b"c"])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"));
+        assert_eq!(wal.records(), 1, "no batch record was counted");
+        assert!(!wal.poisoned(), "rollback succeeded");
+
+        wal.append(b"after the failure").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(
+            rec.records,
+            vec![b"durable".to_vec(), b"after the failure".to_vec()]
+        );
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_reads_span_them() {
+        let dir = tmpdir("rotate");
+        let (mut wal, _) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        for i in 0..5u32 {
+            wal.append(format!("record {i}").as_bytes()).unwrap();
+        }
+        assert_eq!(wal.segments(), 5, "one record per segment at threshold 1");
+
+        // One read_frames call crosses every segment boundary.
+        let (frames, next) = wal.read_frames(0, usize::MAX).unwrap();
+        assert_eq!(next, 5);
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&frames);
+        for i in 0..5u32 {
+            assert_eq!(
+                dec.next().unwrap().unwrap(),
+                format!("record {i}").as_bytes()
+            );
+        }
+        assert_eq!(dec.next().unwrap(), None);
+
+        // max_bytes still honored mid-stream.
+        let (_, next) = wal.read_frames(1, 1).unwrap();
+        assert_eq!(next, 2, "at least one frame ships");
+
+        drop(wal);
+        let (wal, rec) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        assert_eq!(rec.records.len(), 5, "recovery scans all segments");
+        assert_eq!(wal.next_seq(), 5);
+    }
+
+    #[test]
+    fn batch_rotation_keeps_the_batch_atomic() {
+        let dir = tmpdir("batch-rotate");
+        let (mut wal, _) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        wal.append_batch(&[b"a".as_slice(), b"b", b"c", b"d"])
+            .unwrap();
+        assert!(wal.segments() >= 4, "the batch rotated mid-write");
+        drop(wal);
+        let (_, rec) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        assert_eq!(rec.records.len(), 4);
+    }
+
+    #[test]
+    fn rollback_across_a_rotation_deletes_the_new_segments() {
+        let dir = tmpdir("rollback-rotate");
+        let (mut wal, _) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        wal.append(b"keep me").unwrap();
+        let mark = wal.mark();
+        let segs_before = wal.segments();
+        wal.append_batch(&[b"x".as_slice(), b"y"]).unwrap();
+        assert!(wal.segments() > segs_before);
+        wal.rollback_to(&mark).unwrap();
+        assert_eq!(wal.segments(), segs_before, "new segments unlinked");
+        assert_eq!(wal.next_seq(), 1);
+        assert_eq!(segment_count(&dir), segs_before, "on disk too");
+
+        assert_eq!(wal.append(b"after the rollback").unwrap(), 1);
+        drop(wal);
+        let (_, rec) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"keep me".to_vec(), b"after the rollback".to_vec()]
+        );
+    }
+
+    #[test]
     fn truncated_final_record_is_dropped_not_fatal() {
         let dir = tmpdir("torn");
         let good_bytes;
@@ -962,9 +1478,9 @@ mod tests {
             good_bytes = wal.bytes();
             wal.append(b"third record, about to be torn").unwrap();
         }
-        // Simulate a crash mid-append: cut the file inside the third
-        // record's payload.
-        let path = dir.join("ingest.wal");
+        // Simulate a crash mid-append: cut the active segment inside the
+        // third record's payload.
+        let path = active_segment(&dir);
         let full = std::fs::metadata(&path).unwrap().len();
         let cut = good_bytes + FRAME_HEADER_BYTES + 4;
         assert!(cut < full);
@@ -980,7 +1496,7 @@ mod tests {
         assert_eq!(rec.good_bytes, good_bytes);
         assert_eq!(rec.torn_bytes, cut - good_bytes);
 
-        // The file was truncated back to the last intact record, so new
+        // The segment was truncated back to the last intact record, so new
         // appends land cleanly after it — and reuse the torn record's seq.
         assert_eq!(wal.append(b"post-recovery record").unwrap(), 2);
         drop(wal);
@@ -998,7 +1514,7 @@ mod tests {
             wal.append(b"keep me").unwrap();
             wal.append(b"flip a bit in me").unwrap();
         }
-        let path = dir.join("ingest.wal");
+        let path = active_segment(&dir);
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
@@ -1018,7 +1534,7 @@ mod tests {
             wal.append(b"pending").unwrap();
             wal.mark_checkpointed(1).unwrap();
         }
-        let path = dir.join("ingest.wal");
+        let path = active_segment(&dir);
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip a payload byte of the first (checkpoint-owned) record.
         let idx = HEADER_LEN as usize + FRAME_HEADER_BYTES as usize;
@@ -1029,6 +1545,38 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(
             err.to_string().contains("seq 0"),
+            "the error names the damaged seq: {err}"
+        );
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_is_fatal() {
+        let dir = tmpdir("sealed-corrupt");
+        {
+            let (mut wal, _) = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap();
+            wal.append(b"sealed by rotation").unwrap();
+            wal.append(b"also sealed").unwrap();
+            wal.append(b"active").unwrap();
+        }
+        // Corrupt the middle (sealed, still pending) segment: even a
+        // pending record must not silently vanish from the middle of the
+        // log.
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| parse_segment_name(&p.file_name().unwrap().to_string_lossy()).is_some())
+            .collect();
+        segs.sort();
+        let mid = &segs[1];
+        let mut bytes = std::fs::read(mid).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(mid, &bytes).unwrap();
+
+        let err = Wal::open_with(&dir, injector(), tiny_segments(1024)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("seq 1"),
             "the error names the damaged seq: {err}"
         );
     }
@@ -1060,19 +1608,22 @@ mod tests {
     }
 
     #[test]
-    fn retention_compacts_the_checkpointed_prefix() {
+    fn compaction_unlinks_whole_checkpointed_segments() {
         let dir = tmpdir("retain");
-        let opts = WalOptions {
-            retain_records: 2,
-            fresh_stream: true,
-        };
+        let opts = tiny_segments(2);
         let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
         for i in 0..5u32 {
             wal.append(format!("record {i}").as_bytes()).unwrap();
         }
+        assert_eq!(wal.segments(), 5);
         wal.mark_checkpointed(5).unwrap();
+        assert_eq!(wal.base_seq(), 0, "the flush itself deletes nothing");
+        let removed = wal.compact().unwrap();
+        assert_eq!(removed, 3, "segments below the horizon unlink whole");
         assert_eq!(wal.base_seq(), 3, "only the last 2 checkpointed remain");
         assert_eq!(wal.next_seq(), 5);
+        assert_eq!(wal.compactions(), 1);
+        assert_eq!(segment_count(&dir), 2, "the files are gone");
 
         let (frames, next) = wal.read_frames(3, usize::MAX).unwrap();
         assert_eq!(next, 5);
@@ -1093,6 +1644,112 @@ mod tests {
         assert_eq!(rec.records, vec![b"record 5".to_vec()]);
         assert_eq!(wal.base_seq(), 3);
         assert_eq!(wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn compaction_rotates_out_a_fully_checkpointed_active_segment() {
+        let dir = tmpdir("compact-active");
+        let opts = WalOptions {
+            retain_records: 0,
+            fresh_stream: true,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        };
+        let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.mark_checkpointed(2).unwrap();
+        let removed = wal.compact().unwrap();
+        assert_eq!(removed, 1, "the sealed-then-stale segment is unlinked");
+        assert_eq!(wal.base_seq(), 2);
+        assert_eq!(wal.physical_records(), 0);
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert_eq!(rec.records, vec![b"three".to_vec()]);
+    }
+
+    #[test]
+    fn crash_mid_compaction_recovers_the_contiguous_suffix() {
+        let dir = tmpdir("compact-crash");
+        let faults = injector();
+        let opts = tiny_segments(0);
+        let (mut wal, _) = Wal::open_with(&dir, faults.clone(), opts).unwrap();
+        for i in 0..4u32 {
+            wal.append(format!("record {i}").as_bytes()).unwrap();
+        }
+        wal.mark_checkpointed(4).unwrap();
+        faults.arm(points::WAL_COMPACT_CRASH, 1);
+        let err = wal.compact().unwrap_err();
+        assert!(err.to_string().contains("injected compaction crash"));
+        // Only a prefix of the stale segments was unlinked; the remainder
+        // is contiguous, so a reopen (restart) completes the compaction.
+        drop(wal);
+        let (wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(wal.base_seq(), 4, "open finished the compaction");
+        assert_eq!(wal.next_seq(), 4);
+    }
+
+    #[test]
+    fn crash_mid_rotation_with_empty_tail_segment_recovers() {
+        let dir = tmpdir("rotate-crash");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        wal.append(b"sealed").unwrap();
+        drop(wal);
+        // Simulate a crash right after rotation created the new segment
+        // but before anything was appended to it: an empty header-only
+        // tail segment.
+        let (stream_id, _) = read_manifest(&dir.join(MANIFEST_FILE)).unwrap();
+        let path = dir.join(segment_name(1));
+        std::fs::write(&path, header_bytes(stream_id, 1, 0)).unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(rec.records, vec![b"sealed".to_vec()]);
+        assert!(!rec.torn_tail);
+        assert_eq!(wal.segments(), 2);
+        assert_eq!(wal.append(b"lands in the empty tail").unwrap(), 1);
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(rec.records.len(), 2);
+    }
+
+    #[test]
+    fn single_file_v2_log_migrates_to_segments() {
+        let dir = tmpdir("migrate-v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-write a single-file v2 log: header + two frames, one
+        // checkpointed.
+        let mut bytes = header_bytes(0xFEED, 0, 1).to_vec();
+        bytes.extend_from_slice(&frame::encode(b"checkpointed"));
+        bytes.extend_from_slice(&frame::encode(b"pending"));
+        std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
+
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(wal.stream_id(), 0xFEED, "stream id carried over");
+        assert_eq!(wal.checkpoint_seq(), 1);
+        assert_eq!(rec.records, vec![b"pending".to_vec()]);
+        assert_eq!(rec.retained, 1);
+        assert!(!dir.join(LEGACY_FILE).exists(), "legacy file renamed away");
+        assert_eq!(segment_count(&dir), 1);
+        drop(wal);
+        let (wal, _) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(wal.stream_id(), 0xFEED);
+    }
+
+    #[test]
+    fn interrupted_migration_completes_on_reopen() {
+        let dir = tmpdir("migrate-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = header_bytes(0xFEED, 0, 0).to_vec();
+        bytes.extend_from_slice(&frame::encode(b"survives"));
+        std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
+        // The crash window: manifest written, rename not yet done.
+        write_manifest(&dir, 0xFEED, 0).unwrap();
+
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(rec.records, vec![b"survives".to_vec()]);
+        assert_eq!(wal.stream_id(), 0xFEED);
+        assert!(!dir.join(LEGACY_FILE).exists());
     }
 
     #[test]
@@ -1117,7 +1774,7 @@ mod tests {
     }
 
     #[test]
-    fn v1_log_upgrades_in_place() {
+    fn v1_log_upgrades_to_segments() {
         let dir = tmpdir("v1");
         std::fs::create_dir_all(&dir).unwrap();
         let mut bytes = Vec::new();
@@ -1129,7 +1786,7 @@ mod tests {
         }
         // Torn v1 tail: half a header.
         bytes.extend_from_slice(&[0x05, 0x00]);
-        std::fs::write(dir.join("ingest.wal"), &bytes).unwrap();
+        std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
 
         let (wal, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(rec.upgraded_v1);
@@ -1143,8 +1800,9 @@ mod tests {
         assert_ne!(wal.stream_id(), 0);
         drop(wal);
 
-        // The file on disk is now v2.
-        let on_disk = std::fs::read(dir.join("ingest.wal")).unwrap();
+        // The log on disk is now segmented v2.
+        assert!(!dir.join(LEGACY_FILE).exists());
+        let on_disk = std::fs::read(active_segment(&dir)).unwrap();
         assert_eq!(&on_disk[0..8], MAGIC_V2);
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(!rec.upgraded_v1);
@@ -1157,7 +1815,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let mut header = header_bytes(42, 0, 0);
         header[8..12].copy_from_slice(&3u32.to_le_bytes());
-        std::fs::write(dir.join("ingest.wal"), header).unwrap();
+        std::fs::write(dir.join(LEGACY_FILE), header).unwrap();
 
         let err = Wal::open(&dir, injector()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -1166,6 +1824,23 @@ mod tests {
             "names the version: {err}"
         );
         assert!(err.to_string().contains("newer than supported"));
+    }
+
+    #[test]
+    fn future_manifest_version_fails_with_a_clear_error() {
+        let dir = tmpdir("future-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            "#deepdive-wal-manifest-v9\nstream_id\t1\ncheckpoint_seq\t0\n",
+        )
+        .unwrap();
+        let err = Wal::open(&dir, injector()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("newer than supported"),
+            "names the problem: {err}"
+        );
     }
 
     #[test]
@@ -1178,7 +1853,7 @@ mod tests {
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        std::fs::write(dir.join("ingest.wal"), &bytes).unwrap();
+        std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
 
         let err = Wal::open(&dir, injector()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -1248,8 +1923,8 @@ mod tests {
             faults.arm(points::WAL_TORN_WRITE, 1);
             assert!(wal.append(b"torn mid-write").is_err());
         }
-        // Reopening (a restart) recovers the intact prefix and drops the
-        // tear.
+        // Reopening (a restart) recovers the acked prefix; the torn,
+        // never-acknowledged record does not materialize.
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.records, vec![b"acked".to_vec()]);
@@ -1281,8 +1956,8 @@ mod tests {
     fn adopt_stream_only_on_an_empty_log() {
         let dir = tmpdir("adopt");
         let opts = WalOptions {
-            retain_records: DEFAULT_RETAIN_RECORDS,
             fresh_stream: false,
+            ..WalOptions::default()
         };
         let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
         assert_eq!(wal.stream_id(), 0, "follower WAL starts unadopted");
@@ -1342,7 +2017,73 @@ mod tests {
     fn non_wal_file_is_refused() {
         let dir = tmpdir("magic");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("ingest.wal"), b"definitely not a WAL file").unwrap();
+        std::fs::write(dir.join(LEGACY_FILE), b"definitely not a WAL file").unwrap();
         assert!(Wal::open(&dir, injector()).is_err());
+
+        let dir = tmpdir("manifest-junk");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), b"not a manifest").unwrap();
+        assert!(Wal::open(&dir, injector()).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Replay parity is invariant to where segment boundaries fall:
+        /// whatever the segment size, a checkpoint position, and a
+        /// compaction pass, reopening recovers exactly the pending suffix
+        /// and `read_frames` serves every retained record to a follower.
+        #[test]
+        fn replay_parity_across_arbitrary_segment_boundaries(
+            lens in proptest::collection::vec(0usize..96, 1..20),
+            segment_bytes in 1u64..400,
+            ckpt_pick in 0u64..1000,
+            compact_before_reopen in any::<bool>(),
+        ) {
+            let dir = tmpdir("prop-seg");
+            let opts = WalOptions {
+                retain_records: 0,
+                fresh_stream: true,
+                segment_bytes,
+            };
+            let payloads: Vec<Vec<u8>> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    (0..n).map(|j| (i * 31 + j) as u8).collect()
+                })
+                .collect();
+            let n = payloads.len() as u64;
+            let through = ckpt_pick % (n + 1);
+            {
+                let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+                for p in &payloads {
+                    wal.append(p).unwrap();
+                }
+                wal.mark_checkpointed(through).unwrap();
+                if compact_before_reopen {
+                    wal.compact().unwrap();
+                }
+            }
+            let (mut wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+            prop_assert!(!rec.torn_tail);
+            prop_assert_eq!(&rec.records, &payloads[through as usize..]);
+            prop_assert_eq!(rec.first_pending_seq, through);
+            prop_assert_eq!(wal.next_seq(), n);
+            // Every record still on disk streams back byte-identically,
+            // wherever the segment boundaries landed.
+            let from = wal.base_seq();
+            let (bytes, served_through) = wal.read_frames(from, usize::MAX).unwrap();
+            prop_assert_eq!(served_through, n);
+            let mut dec = frame::FrameDecoder::new();
+            dec.feed(&bytes);
+            let mut streamed = Vec::new();
+            while let Some(p) = dec.next().unwrap() {
+                streamed.push(p);
+            }
+            prop_assert_eq!(&streamed[..], &payloads[from as usize..]);
+        }
     }
 }

@@ -312,7 +312,12 @@ fn torn_wal_tail_is_dropped_and_flagged_on_restart() {
     // The torn tail is visible to a raw recovery scan — run it on a copy,
     // because opening the WAL truncates the tear away.
     let scan_dir = tmpdir("torn-scan");
-    std::fs::copy(wal_dir.join("ingest.wal"), scan_dir.join("ingest.wal")).expect("copy wal");
+    for entry in std::fs::read_dir(&wal_dir).expect("list wal dir") {
+        let entry = entry.expect("wal dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), scan_dir.join(entry.file_name())).expect("copy wal file");
+        }
+    }
     let (wal, recovery) =
         Wal::open(&scan_dir, Arc::new(FaultInjector::new())).expect("recovery scan");
     assert!(recovery.torn_tail, "torn tail detected");

@@ -228,6 +228,29 @@ impl Database {
         v
     }
 
+    /// Every relation's mutation generation, sorted by name — the dirty
+    /// set for an incremental checkpoint flush: a relation whose
+    /// generation matches the one recorded at the previous flush has not
+    /// been touched and its artifact can be skipped.
+    pub fn relation_generations(&self) -> Vec<(String, u64)> {
+        let handles: Vec<(String, Arc<Mutex<Table>>)> = {
+            let tables = self.tables.read();
+            tables
+                .iter()
+                .map(|(name, t)| (name.clone(), Arc::clone(t)))
+                .collect()
+        };
+        let mut v: Vec<(String, u64)> = handles
+            .into_iter()
+            .map(|(name, t)| {
+                let generation = t.lock().generation();
+                (name, generation)
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
     pub fn schema(&self, name: &str) -> Result<Schema, StorageError> {
         self.with_table(name, |t| t.schema().clone())
     }

@@ -202,6 +202,11 @@ pub trait TableStore: Send + fmt::Debug {
     /// segment). Called at phase boundaries.
     fn flush(&mut self);
 
+    /// Rows sitting in the unsealed open group — the dirty residue a
+    /// [`Self::flush`] would seal. Incremental checkpointing uses this to
+    /// tell clean relations from ones with buffered appends.
+    fn open_rows(&self) -> usize;
+
     /// Drop all rows (and any segment files).
     fn clear(&mut self);
 
@@ -366,6 +371,10 @@ impl TableStore for ColumnarStore {
 
     fn flush(&mut self) {
         self.seal_open();
+    }
+
+    fn open_rows(&self) -> usize {
+        bufs_rows(&self.open)
     }
 
     fn clear(&mut self) {
@@ -834,6 +843,10 @@ impl TableStore for SpillStore {
 
     fn flush(&mut self) {
         self.seal_open();
+    }
+
+    fn open_rows(&self) -> usize {
+        bufs_rows(&self.open)
     }
 
     fn clear(&mut self) {

@@ -59,6 +59,9 @@ pub struct Table {
     /// Sorted (range) indexes by column, maintained the same way.
     sorted: HashMap<usize, SortedIndex>,
     generation: u64,
+    /// Generation at the last storage flush; lets [`Table::flush_storage`]
+    /// skip clean relations so a database-wide flush is O(dirty).
+    flushed_generation: u64,
 }
 
 impl Table {
@@ -79,6 +82,7 @@ impl Table {
             indexes: HashMap::new(),
             sorted: HashMap::new(),
             generation: 0,
+            flushed_generation: 0,
         }
     }
 
@@ -100,7 +104,9 @@ impl Table {
     }
 
     /// Monotonically increasing mutation counter; used by readers to detect
-    /// staleness (e.g. cached grounding plans).
+    /// staleness (e.g. cached grounding plans) and by incremental
+    /// checkpoints to skip relations untouched since the last flush
+    /// (see [`crate::Database::relation_generations`]).
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -604,9 +610,16 @@ impl Table {
 
     /// Seal the open row group (and write its segment, for spilling
     /// engines). A phase-boundary hook: no logical mutation, so indexes and
-    /// the generation counter are untouched.
+    /// the generation counter are untouched. Clean relations — no mutation
+    /// since the previous flush and no rows waiting in the open group — are
+    /// skipped outright, so flushing the whole database costs O(dirty
+    /// relations), not O(relations).
     pub fn flush_storage(&mut self) {
+        if self.generation == self.flushed_generation && self.store.open_rows() == 0 {
+            return;
+        }
         self.store.flush();
+        self.flushed_generation = self.generation;
     }
 
     /// Storage footprint of this relation's payload store. `rows` reports
