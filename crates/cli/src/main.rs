@@ -81,6 +81,13 @@
 //!                            (default: unlimited)
 //!     --drain-secs <n>       graceful-shutdown budget for in-flight
 //!                            requests (default 5)
+//!     --max-subscriptions <n> cap on live subscriptions registered via
+//!                            POST /subscriptions; beyond it new ones are
+//!                            refused with 429 (default 64)
+//!     --sub-queue-bytes <n>  per-subscriber delta-queue budget; a consumer
+//!                            that falls further behind is shed with a
+//!                            `lagged` frame and re-based, never blocking
+//!                            ingest (default 1 MiB)
 //!     plus `run`'s inference options (`--samples`, `--seed`, `--threads`,
 //!     ...), which size the marginal refresh after each ingest.
 //!
@@ -169,6 +176,7 @@ fn usage() {
     eprintln!("                    [--linger-ms n] [--wal-segment-bytes n]");
     eprintln!("                    [--checkpoint-full-every n]");
     eprintln!("                    [--max-inflight n] [--ingest-rate r] [--drain-secs n]");
+    eprintln!("                    [--max-subscriptions n] [--sub-queue-bytes n]");
     eprintln!("                    [--follow <primary-url>] [--max-lag-epochs n]");
     eprintln!("                    [run options]");
 }
@@ -248,6 +256,8 @@ struct RunArgs {
     max_inflight: usize,
     ingest_rate: Option<f64>,
     drain_secs: f64,
+    max_subscriptions: usize,
+    sub_queue_bytes: usize,
     follow: Option<String>,
     max_lag_epochs: u64,
 }
@@ -281,6 +291,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut max_inflight = 64usize;
     let mut ingest_rate = None;
     let mut drain_secs = 5.0f64;
+    let mut max_subscriptions = 64usize;
+    let mut sub_queue_bytes = 1usize << 20;
     let mut follow = None;
     let mut max_lag_epochs = 16u64;
 
@@ -428,6 +440,22 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                     return Err(format!("--drain-secs: {drain_secs} must be non-negative"));
                 }
             }
+            "--max-subscriptions" => {
+                max_subscriptions = take("--max-subscriptions")?
+                    .parse()
+                    .map_err(|e| format!("--max-subscriptions: {e}"))?;
+                if max_subscriptions == 0 {
+                    return Err("--max-subscriptions: must be at least 1".into());
+                }
+            }
+            "--sub-queue-bytes" => {
+                sub_queue_bytes = take("--sub-queue-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--sub-queue-bytes: {e}"))?;
+                if sub_queue_bytes < 1024 {
+                    return Err("--sub-queue-bytes: must be at least 1024".into());
+                }
+            }
             "--follow" => follow = Some(take("--follow")?),
             "--max-lag-epochs" => {
                 max_lag_epochs = take("--max-lag-epochs")?
@@ -494,6 +522,8 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         max_inflight,
         ingest_rate,
         drain_secs,
+        max_subscriptions,
+        sub_queue_bytes,
         follow,
         max_lag_epochs,
     })
@@ -662,6 +692,8 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         faults: std::sync::Arc::new(deepdive_core::FaultInjector::from_env()),
         follow: args.follow.clone(),
         max_lag_epochs: args.max_lag_epochs,
+        max_subscriptions: args.max_subscriptions,
+        sub_queue_bytes: args.sub_queue_bytes,
         ..Default::default()
     };
     let server = Server::new(dd, &serve_config).map_err(|e| RunFailure::Other(e.to_string()))?;

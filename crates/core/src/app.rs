@@ -13,7 +13,7 @@ use deepdive_sampler::{
 };
 use deepdive_storage::{
     default_threads, threads_from_env, BaseChange, Database, ExecutionContext, FailurePolicy,
-    RequeueReport, Row, StorageConfig, StorageError, Value,
+    MaintenanceResult, RequeueReport, Row, StorageConfig, StorageError, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -621,9 +621,20 @@ impl DeepDive {
         &mut self,
         changes: Vec<BaseChange>,
     ) -> Result<GroundingDelta, DeepDiveError> {
-        let delta = self.grounder.apply_update(&self.db, changes)?;
+        self.apply_base_changes_traced(changes).map(|(d, _)| d)
+    }
+
+    /// Like [`DeepDive::apply_base_changes`], but also surfaces the
+    /// membership-level [`MaintenanceResult`] (which derived tuples appeared
+    /// and disappeared) instead of dropping it after the epoch swap — the
+    /// serve layer routes it to live subscribers.
+    pub fn apply_base_changes_traced(
+        &mut self,
+        changes: Vec<BaseChange>,
+    ) -> Result<(GroundingDelta, MaintenanceResult), DeepDiveError> {
+        let traced = self.grounder.apply_update_traced(&self.db, changes)?;
         self.db.flush_storage();
-        Ok(delta)
+        Ok(traced)
     }
 
     /// Marginals for the current grounding state under the current weights:

@@ -131,6 +131,10 @@ pub mod points {
     /// Segment rotation fails before the new segment is created; the
     /// in-flight batch rolls back whole.
     pub const WAL_ROTATE_FAIL: &str = "wal_rotate_fail";
+    /// The serve request router panics at dispatch — a stand-in for any
+    /// latent handler bug; the connection worker must catch it, answer 500,
+    /// and keep serving.
+    pub const SERVE_HANDLER_PANIC: &str = "serve_handler_panic";
 }
 
 /// One armed fault point: skip the first `skip` hits, then trip the next

@@ -17,8 +17,8 @@ use deepdive_ddlog::{DdlogProgram, FactorRule, WeightSpec};
 use deepdive_factorgraph::{FactorArg, VariableId};
 use deepdive_storage::{
     Atom, AtomDeltas, BaseChange, CompiledRule, Database, DeltaRelation, ExecutionContext,
-    IncrementalEngine, Program, Row, Rule, Schema, Source, StorageError, StratifiedProgram, Term,
-    Value, ValueType,
+    IncrementalEngine, MaintenanceResult, Program, Row, Rule, Schema, Source, StorageError,
+    StratifiedProgram, Term, Value, ValueType,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -294,6 +294,18 @@ impl Grounder {
         db: &Database,
         changes: Vec<BaseChange>,
     ) -> Result<GroundingDelta, StorageError> {
+        self.apply_update_traced(db, changes).map(|(d, _)| d)
+    }
+
+    /// Like [`Grounder::apply_update`], but also returns the membership-level
+    /// [`MaintenanceResult`] from the storage IVM layer instead of dropping
+    /// it — consumers (the serve subscription router) need the per-epoch
+    /// appeared/disappeared trace.
+    pub fn apply_update_traced(
+        &mut self,
+        db: &Database,
+        changes: Vec<BaseChange>,
+    ) -> Result<(GroundingDelta, MaintenanceResult), StorageError> {
         let result = self.engine.apply_update(db, changes)?;
         let mut delta = GroundingDelta::default();
         let mut orphan_candidates: Vec<deepdive_factorgraph::VariableId> = Vec::new();
@@ -428,7 +440,7 @@ impl Grounder {
                 delta.removed_variables += 1;
             }
         }
-        Ok(delta)
+        Ok((delta, result))
     }
 
     /// Exact counting delta for one factor rule (same per-atom formula as the

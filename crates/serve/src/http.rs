@@ -287,6 +287,10 @@ pub struct Response {
     /// Emitted as a `Retry-After: <secs>` header — load-shed (503) and
     /// rate-limited (429) responses tell the client when to come back.
     pub retry_after: Option<u64>,
+    /// Extra response headers, emitted verbatim in order (RFC 7231 hints
+    /// like `Allow` on 405, or `X-DD-Primary` forwarding a follower's
+    /// rejected write).
+    pub headers: Vec<(String, String)>,
     content_type: &'static str,
 }
 
@@ -296,6 +300,7 @@ impl Response {
             status,
             body: serde_json::to_string_pretty(value).expect("a Value renders infallibly"),
             retry_after: None,
+            headers: Vec::new(),
             content_type: "application/json",
         }
     }
@@ -311,6 +316,12 @@ impl Response {
         self
     }
 
+    /// Attach an arbitrary response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
@@ -322,6 +333,9 @@ impl Response {
         )?;
         if let Some(secs) = self.retry_after {
             write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
         }
         write!(w, "\r\n{}", self.body)?;
         w.flush()

@@ -36,7 +36,14 @@
 //!   per-endpoint latency histograms, admission/WAL/replication gauges,
 //!   and storage/execution gauges;
 //! * `GET /wal?from=<seq>&stream=<id>` — the chunked WAL frame stream a
-//!   follower tails (not for interactive use).
+//!   follower tails (not for interactive use);
+//! * `POST /subscriptions` ([`subscriptions`]) — live queries: register a
+//!   relation filter and/or marginal threshold band and receive one delta
+//!   frame per published epoch, either streamed on the same connection
+//!   (chunked ndjson with heartbeats) or fetched by cursor with
+//!   `GET /subscriptions/{id}?from=<epoch>&wait_ms=` long-polls. Slow
+//!   consumers are shed with an explicit `lagged` frame and re-based on a
+//!   fresh snapshot rather than blocking ingest.
 //!
 //! Everything is hand-rolled over `std::net` — the offline build takes no
 //! HTTP or runtime dependencies.
@@ -47,10 +54,12 @@ pub mod replication;
 pub mod server;
 pub mod signals;
 pub mod snapshot;
+pub mod subscriptions;
 pub mod wal;
 
 pub use metrics::ServeMetrics;
 pub use replication::ReplicationStats;
 pub use server::{DrainSummary, Lifecycle, ServeConfig, ServeState, Server, ServerHandle};
 pub use snapshot::{ServeSnapshot, SnapshotCell};
+pub use subscriptions::{SubscriptionRegistry, SubscriptionSpec};
 pub use wal::{Wal, WalOptions, WalRecovery, DEFAULT_SEGMENT_BYTES};

@@ -13,7 +13,7 @@ const BUCKET_BOUNDS_MICROS: [u64; 6] = [1_000, 5_000, 25_000, 100_000, 500_000, 
 const NUM_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
 
 /// The endpoints we keep separate books for.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 9] = [
     "healthz",
     "readyz",
     "metrics",
@@ -21,6 +21,7 @@ pub const ENDPOINTS: [&str; 8] = [
     "marginals",
     "documents",
     "wal",
+    "subscriptions",
     "other",
 ];
 
@@ -82,6 +83,9 @@ pub struct ServeMetrics {
     pub rate_limited_total: AtomicU64,
     /// Requests answered 408 after a header/body read stalled.
     pub timeout_total: AtomicU64,
+    /// Handler panics caught at the connection boundary (answered 500
+    /// instead of killing the worker).
+    pub panic_total: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -125,6 +129,14 @@ impl ServeMetrics {
 
     pub fn timeout_total(&self) -> u64 {
         self.timeout_total.load(Ordering::Relaxed)
+    }
+
+    pub fn record_panic(&self) {
+        self.panic_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn panic_total(&self) -> u64 {
+        self.panic_total.load(Ordering::Relaxed)
     }
 
     pub fn to_json(&self) -> Value {

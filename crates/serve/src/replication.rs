@@ -175,7 +175,7 @@ fn jitter_duration(rng: &mut XorShift, upto: Duration) -> Duration {
 // Primary side: `GET /wal` streaming.
 // ---------------------------------------------------------------------------
 
-fn write_chunk(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_chunk(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
     write!(w, "{:x}\r\n", bytes.len())?;
     w.write_all(bytes)?;
     w.write_all(b"\r\n")?;

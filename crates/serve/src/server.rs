@@ -40,19 +40,23 @@ use crate::http::{ParseError, ParseLimits, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::replication::{self, jittered_retry_secs, ReplicationStats};
 use crate::snapshot::{ServeSnapshot, SnapshotCell};
+use crate::subscriptions::{
+    render_snapshot_frame, value_to_json, EpochDelta, IvmTrace, RowFilter, Subscriber,
+    SubscriptionRegistry, SubscriptionSpec, RESERVED_QUERY_KEYS,
+};
 use crate::wal::{Wal, WalOptions, WalRecovery, DEFAULT_RETAIN_RECORDS, DEFAULT_SEGMENT_BYTES};
 use deepdive_core::faults::{points, FaultInjector};
 use deepdive_core::{Checkpoint, CheckpointTracker, DeepDive};
 use deepdive_inference::{bounded_options, RefreshBudget};
 use deepdive_sampler::GibbsOptions;
 use deepdive_storage::{
-    value_from_tsv, value_to_tsv, BaseChange, ExecutionContext, MemoryBudget, Row, Schema,
-    Value as DbValue, ValueType,
+    value_from_tsv, BaseChange, ExecutionContext, MemoryBudget, Row, Schema, Value as DbValue,
+    ValueType,
 };
 use parking_lot::Mutex;
 use serde_json::{json, Map, Value as Json};
 use std::collections::HashSet;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -129,6 +133,13 @@ pub struct ServeConfig {
     /// How often the background flusher checkpoints pending WAL records and
     /// compacts checkpointed segments. Not a CLI flag; tests shrink it.
     pub flush_interval: Duration,
+    /// Most live subscriptions registered at once; registration beyond this
+    /// answers 429.
+    pub max_subscriptions: usize,
+    /// Byte budget for each subscriber's pending-frame queue. A consumer
+    /// that falls further behind than this is shed (queue cleared, `lagged`
+    /// frame, snapshot re-base) rather than allowed to block ingest.
+    pub sub_queue_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +166,8 @@ impl Default for ServeConfig {
             wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
             checkpoint_full_every: 16,
             flush_interval: Duration::from_secs(5),
+            max_subscriptions: 64,
+            sub_queue_bytes: 1 << 20,
         }
     }
 }
@@ -320,6 +333,8 @@ pub struct ServeState {
     /// follower's tailer, which otherwise run forever.
     stopping: AtomicBool,
     replication: ReplicationStats,
+    /// Live subscriptions and the delta router that feeds them.
+    subs: SubscriptionRegistry,
 }
 
 impl ServeState {
@@ -392,6 +407,42 @@ impl ServeState {
         &self.replication
     }
 
+    /// The live-subscription registry (tests and `/metrics`).
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.subs
+    }
+
+    /// Capture and publish the next snapshot — the single epoch swap every
+    /// ingest path funnels through — and fan the exact delta out to live
+    /// subscribers. The diff against the outgoing snapshot is computed only
+    /// while subscribers exist, and routing happens strictly *after* the
+    /// swap: a consumer that re-bases on `snapshot.load()` is therefore
+    /// always at-or-ahead of any frame it may have missed while shed.
+    ///
+    /// Callers hold the writer lock, which orders concurrent publications
+    /// (and thus frame epochs) totally. Returns `(epoch, fingerprint)`.
+    fn publish_epoch(
+        &self,
+        dd: &DeepDive,
+        advance: u64,
+        opts: &GibbsOptions,
+        trace: IvmTrace,
+    ) -> (u64, u64) {
+        let prev = self.snapshot.load();
+        let epoch = prev.epoch + advance;
+        let snapshot = ServeSnapshot::capture(dd, epoch, opts);
+        let fingerprint = snapshot.fingerprint;
+        let delta = self
+            .subs
+            .is_active()
+            .then(|| EpochDelta::diff(&prev, &snapshot, trace));
+        self.snapshot.store(snapshot);
+        if let Some(delta) = delta {
+            self.subs.route(&delta);
+        }
+        (epoch, fingerprint)
+    }
+
     pub(crate) fn wal_handle(&self) -> Option<&Mutex<Wal>> {
         self.wal.as_ref()
     }
@@ -433,13 +484,13 @@ impl ServeState {
                 format!("replicated record failed validation: {}", resp.body),
             )
         })?;
-        let delta = dd.apply_base_changes(changes).map_err(|e| {
+        let (delta, result) = dd.apply_base_changes_traced(changes).map_err(|e| {
             io::Error::new(io::ErrorKind::InvalidData, format!("DRed/IVM refused: {e}"))
         })?;
+        let mut trace = IvmTrace::default();
+        trace.absorb(&result);
         let opts = bounded_options(&self.inference, &self.refresh, delta.total());
-        let epoch = self.snapshot.load().epoch + 1;
-        let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
-        self.snapshot.store(snapshot);
+        self.publish_epoch(&dd, 1, &opts, trace);
         // Advance the applied offset while still holding the writer lock so
         // a concurrent checkpoint flush can never mark past what the
         // checkpoint it just saved actually contains.
@@ -696,6 +747,7 @@ impl Server {
                 stream_window: config.stream_window.max(1),
                 stopping: AtomicBool::new(false),
                 replication,
+                subs: SubscriptionRegistry::new(config.max_subscriptions, config.sub_queue_bytes),
             }),
             workers: config.workers.max(1),
             drain: config.drain,
@@ -891,10 +943,12 @@ fn commit_batch(state: &ServeState, batch: Vec<CommitRequest>) {
     // neighbors.
     let mut applied: Vec<(CommitRequest, usize, Json, usize)> = Vec::with_capacity(parsed.len());
     let mut failed: Vec<(CommitRequest, String)> = Vec::new();
+    let mut trace = IvmTrace::default();
     for (req, changes) in parsed {
         let inserted = changes.len();
-        match dd.apply_base_changes(changes) {
-            Ok(delta) => {
+        match dd.apply_base_changes_traced(changes) {
+            Ok((delta, result)) => {
+                trace.absorb(&result);
                 let delta_json = json!({
                     "added_variables": delta.added_variables,
                     "removed_variables": delta.removed_variables,
@@ -960,12 +1014,10 @@ fn commit_batch(state: &ServeState, batch: Vec<CommitRequest>) {
     // One bounded refresh sized by the batch's summed grounding delta, one
     // snapshot swap, one epoch advance per applied record (epoch stays in
     // lockstep with the WAL seq, exactly as the inline path keeps it).
+    // Subscribers see the whole batch as one delta set.
     let changed_total: usize = applied.iter().map(|(.., total)| *total).sum();
     let opts = bounded_options(&state.inference, &state.refresh, changed_total);
-    let epoch = state.snapshot.load().epoch + applied.len() as u64;
-    let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
-    let fingerprint = snapshot.fingerprint;
-    state.snapshot.store(snapshot);
+    let (epoch, fingerprint) = state.publish_epoch(&dd, applied.len() as u64, &opts, trace);
     let next = wal.lock().next_seq();
     state.replication.applied_seq.store(next, Ordering::SeqCst);
     state.replication.observe_watermark(next);
@@ -1098,6 +1150,7 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
     let mut replayed = 0u64;
     let mut skipped = 0u64;
     let mut changed_total = 0usize;
+    let mut trace = IvmTrace::default();
     {
         let mut dd = state.writer.lock();
         for (i, record) in records.iter().enumerate() {
@@ -1119,8 +1172,9 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
                     continue;
                 }
             };
-            match dd.apply_base_changes(changes) {
-                Ok(delta) => {
+            match dd.apply_base_changes_traced(changes) {
+                Ok((delta, result)) => {
+                    trace.absorb(&result);
                     changed_total += delta.total();
                     replayed += 1;
                 }
@@ -1139,9 +1193,7 @@ fn replay_wal(state: &ServeState, records: Vec<Vec<u8>>) {
         // The epoch advances by the *applied* records only, matching the
         // live path's one-epoch-per-successful-POST.
         let opts = bounded_options(&state.inference, &state.refresh, changed_total);
-        let epoch = state.snapshot.load().epoch + replayed;
-        let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
-        state.snapshot.store(snapshot);
+        state.publish_epoch(&dd, replayed, &opts, trace);
         // Every pending record is now consumed (applied or skipped): the
         // served state covers the whole local log.
         if let Some(wal) = &state.wal {
@@ -1219,8 +1271,10 @@ impl ServerHandle {
         self.state.set_lifecycle(Lifecycle::Draining);
         // Stop replication first: `GET /wal` streamers end their chunked
         // bodies cleanly, and the follower's tailer (which would otherwise
-        // reconnect forever) winds down.
+        // reconnect forever) winds down. Subscription streamers end their
+        // bodies the same way once the registry closes and wakes them.
         self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.subs.close_all();
         if let Some(tailer) = self.tailer.take() {
             let _ = tailer.join();
         }
@@ -1302,6 +1356,7 @@ impl ServerHandle {
     pub fn abort(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.subs.close_all();
         if let Some(tailer) = self.tailer.take() {
             let _ = tailer.join();
         }
@@ -1378,15 +1433,49 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
     match Request::parse_with(&mut reader, &limits) {
         Ok(req) => {
             let start = Instant::now();
-            // `GET /wal` owns the socket: it long-polls the WAL and writes
-            // an unbounded chunked stream, which the Response type (one
+            // A handler panic must cost one connection, not one worker: the
+            // dispatch below runs under `catch_unwind`, and an unwound
+            // request is answered 500 (best-effort — a stream that already
+            // wrote its header just drops) and counted in `/metrics`.
+            // `GET /wal` and `POST /subscriptions` own the socket: they
+            // write unbounded chunked streams, which the Response type (one
             // buffered body) cannot express.
             if req.method == "GET" && req.path == "/wal" {
-                let ok = replication::serve_wal_stream(&req, &mut write_half, state);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    replication::serve_wal_stream(&req, &mut write_half, state)
+                }));
+                let ok = outcome.unwrap_or_else(|_| {
+                    state.metrics.record_panic();
+                    false
+                });
                 state.metrics.record("wal", start.elapsed(), ok);
                 return;
             }
-            let (endpoint, response) = route(&req, state);
+            if req.method == "POST" && req.path == "/subscriptions" {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    post_subscriptions(&req, &mut write_half, state)
+                }));
+                let ok = outcome.unwrap_or_else(|_| {
+                    state.metrics.record_panic();
+                    let _ = Response::error(500, "handler panicked; the worker survived")
+                        .write_to(&mut write_half);
+                    false
+                });
+                state.metrics.record("subscriptions", start.elapsed(), ok);
+                return;
+            }
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&req, state)));
+            let (endpoint, response) = match outcome {
+                Ok(routed) => routed,
+                Err(_) => {
+                    state.metrics.record_panic();
+                    (
+                        "other",
+                        Response::error(500, "handler panicked; the worker survived"),
+                    )
+                }
+            };
             state
                 .metrics
                 .record(endpoint, start.elapsed(), response.status < 400);
@@ -1403,35 +1492,86 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
 }
 
 fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
+    if state.faults.trips(points::SERVE_HANDLER_PANIC) {
+        // The regression stand-in for any latent handler bug: prove the
+        // worker catches the unwind, answers 500, and keeps serving.
+        panic!("armed serve_handler_panic fault point");
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(state)),
         ("GET", "/readyz") => ("readyz", readyz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state)),
         ("POST", "/documents") if state.is_follower() => (
             "documents",
+            // RFC 7231 §6.5.5: a 405 names the methods that *are* allowed;
+            // the forwarding hint tells the client where writes do land.
             Response::error(
                 405,
                 "this node is a read-only replica; POST /documents to the primary",
-            ),
+            )
+            .with_header("Allow", "GET, HEAD")
+            .with_header("X-DD-Primary", state.follow.clone().unwrap_or_default()),
         ),
         ("POST", "/documents") => ("documents", post_documents(req, state)),
-        (_, "/healthz" | "/readyz" | "/metrics") => ("other", Response::error(405, "use GET")),
-        (_, "/documents") => ("other", Response::error(405, "use POST")),
+        (_, "/healthz" | "/readyz" | "/metrics") => (
+            "other",
+            Response::error(405, "use GET").with_header("Allow", "GET"),
+        ),
+        (_, "/documents") => (
+            "other",
+            Response::error(405, "use POST").with_header("Allow", "POST"),
+        ),
         // `GET /wal` is intercepted in `handle_connection` (it streams);
         // any other method on it lands here.
-        (_, "/wal") => ("other", Response::error(405, "use GET")),
+        (_, "/wal") => (
+            "other",
+            Response::error(405, "use GET").with_header("Allow", "GET"),
+        ),
+        // `POST /subscriptions` is likewise intercepted (stream mode owns
+        // the socket); the cursor/list/cancel forms are plain responses.
+        ("GET", "/subscriptions") => (
+            "subscriptions",
+            Response::json(200, &state.subs.list_json()),
+        ),
+        (_, "/subscriptions") => (
+            "other",
+            Response::error(405, "use POST to subscribe, GET to list")
+                .with_header("Allow", "GET, POST"),
+        ),
         ("GET", path) => {
             if let Some(name) = path.strip_prefix("/relations/") {
                 ("relations", get_relation(req, name, state))
             } else if let Some(name) = path.strip_prefix("/marginals/") {
                 ("marginals", get_marginals(req, name, state))
+            } else if let Some(id) = path.strip_prefix("/subscriptions/") {
+                ("subscriptions", poll_subscription(req, id, state))
             } else {
                 ("other", Response::error(404, "no such route"))
             }
         }
-        (_, path) if path.starts_with("/relations/") || path.starts_with("/marginals/") => {
-            ("other", Response::error(405, "use GET"))
+        ("DELETE", path) => {
+            if let Some(id) = path.strip_prefix("/subscriptions/") {
+                (
+                    "subscriptions",
+                    if state.subs.remove(id) {
+                        Response::json(200, &json!({ "removed": id }))
+                    } else {
+                        Response::error(404, &format!("no subscription `{id}`"))
+                    },
+                )
+            } else {
+                ("other", Response::error(404, "no such route"))
+            }
         }
+        (_, path) if path.starts_with("/subscriptions/") => (
+            "other",
+            Response::error(405, "use GET to poll, DELETE to cancel")
+                .with_header("Allow", "GET, DELETE"),
+        ),
+        (_, path) if path.starts_with("/relations/") || path.starts_with("/marginals/") => (
+            "other",
+            Response::error(405, "use GET").with_header("Allow", "GET"),
+        ),
         _ => ("other", Response::error(404, "no such route")),
     }
 }
@@ -1552,7 +1692,17 @@ fn metrics(state: &ServeState) -> Response {
                 "shed_total": state.metrics.shed_total(),
                 "rate_limited_total": state.metrics.rate_limited_total(),
                 "timeout_total": state.metrics.timeout_total(),
+                "panic_total": state.metrics.panic_total(),
             }),
+            "subscriptions": {
+                let g = state.subs.gauges();
+                json!({
+                    "active": g.active,
+                    "max": g.max,
+                    "frames_routed": g.frames_routed,
+                    "sheds": g.sheds,
+                })
+            },
             "wal": json!({
                 "enabled": state.wal.is_some(),
                 "records": wal_records,
@@ -1591,17 +1741,6 @@ fn metrics(state: &ServeState) -> Response {
     )
 }
 
-fn value_to_json(v: &DbValue) -> Json {
-    match v {
-        DbValue::Null => Json::Null,
-        DbValue::Bool(b) => json!(*b),
-        DbValue::Int(i) => json!(*i),
-        DbValue::Float(f) => json!(*f),
-        DbValue::Text(t) => json!(t.as_ref()),
-        DbValue::Id(id) => json!(*id),
-    }
-}
-
 fn row_to_json(schema: Option<&Schema>, row: &Row) -> Json {
     let mut obj = Map::new();
     for (i, v) in row.iter().enumerate() {
@@ -1631,7 +1770,37 @@ fn paging(req: &Request, page_limit: usize) -> Result<(usize, usize), Response> 
 }
 
 fn get_relation(req: &Request, name: &str, state: &ServeState) -> Response {
-    let snap = state.snapshot.load();
+    // Pagination is positional within one epoch's snapshot, so a cursor
+    // must stay pinned to the epoch it started on: page 1 reports the
+    // epoch, later pages pass `?epoch=` back and keep reading the *same*
+    // frozen snapshot even while ingest swaps new ones in. A pinned epoch
+    // that has fallen out of the retention ring answers `410 Gone` with the
+    // current epoch so the client restarts its scan coherently — strictly
+    // better than silently skipping or double-seeing rows across a swap.
+    let snap = match req.query_param("epoch") {
+        None => state.snapshot.load(),
+        Some(raw) => {
+            let Ok(epoch) = raw.parse::<u64>() else {
+                return Response::error(400, &format!("epoch: `{raw}` is not an integer"));
+            };
+            match state.snapshot.at_epoch(epoch) {
+                Some(snap) => snap,
+                None => {
+                    let current = state.snapshot.load().epoch;
+                    return Response::json(
+                        410,
+                        &json!({
+                            "error": format!(
+                                "epoch {epoch} is no longer retained; restart from the \
+                                 current epoch"
+                            ),
+                            "current_epoch": current,
+                        }),
+                    );
+                }
+            }
+        }
+    };
     let Some(rel) = snap.db.relation(name) else {
         return Response::error(404, &format!("no relation `{name}`"));
     };
@@ -1642,54 +1811,27 @@ fn get_relation(req: &Request, name: &str, state: &ServeState) -> Response {
 
     // Any query key naming a column filters on that column (`?m1=7`,
     // `?mtext=Barack+Obama`). Each raw value is parsed ONCE against the
-    // column's declared type into a typed predicate, so matching compares
-    // `Value`s directly instead of re-rendering every cell to TSV.
-    // `Any`-typed columns (grounding scratch relations) keep the rendering
-    // comparison — they have no declared type to parse against.
-    enum Pred {
-        Typed(usize, DbValue),
-        Rendered(usize, String),
-    }
-    let mut filters: Vec<Pred> = Vec::new();
-    let mut unsatisfiable = false;
-    for (key, value) in &req.query {
-        if key == "offset" || key == "limit" {
-            continue;
-        }
-        let Some(idx) = rel.schema().columns.iter().position(|c| &c.name == key) else {
-            return Response::error(400, &format!("`{key}` is not a column of `{name}`"));
-        };
-        let ty = rel.schema().columns[idx].ty;
-        if matches!(ty, ValueType::Any | ValueType::Null) {
-            filters.push(Pred::Rendered(idx, value.clone()));
-            continue;
-        }
-        match value_from_tsv(value, ty) {
-            // Stored cells render canonically, so a non-canonical input
-            // (`?x=07`) can never equal any rendered cell. Match nothing,
-            // exactly as the rendering comparison did.
-            Ok(v) if value_to_tsv(&v) == *value => filters.push(Pred::Typed(idx, v)),
-            _ => {
-                unsatisfiable = true;
-                break;
-            }
-        }
-    }
-    let keep = |row: &Row| -> bool {
-        filters.iter().all(|p| match p {
-            Pred::Typed(i, v) => row[*i] == *v,
-            Pred::Rendered(i, s) => value_to_tsv(&row[*i]) == *s,
-        })
+    // column's declared type into a typed predicate (see
+    // [`crate::subscriptions::RowFilter`], shared with subscriptions), so
+    // matching compares `Value`s directly instead of re-rendering every
+    // cell to TSV.
+    let pairs = req
+        .query
+        .iter()
+        .filter(|(k, _)| !RESERVED_QUERY_KEYS.contains(&k.as_str()))
+        .map(|(k, v)| (k.as_str(), v.as_str()));
+    let filter = match RowFilter::parse(rel.schema(), pairs) {
+        Ok(f) => f,
+        Err(e) => return Response::error(400, &e),
     };
 
     // Snapshot rows are sorted ascending by full row, so an equality filter
     // on the leading column selects one contiguous range — binary-search it
     // instead of scanning the whole relation.
     let all = rel.rows();
-    let scan: &[(Row, i64)] = if unsatisfiable {
+    let scan: &[(Row, i64)] = if filter.unsatisfiable {
         &[]
-    } else if let Some(Pred::Typed(0, v)) = filters.iter().find(|p| matches!(p, Pred::Typed(0, _)))
-    {
+    } else if let Some(v) = filter.leading_eq() {
         let lo = all.partition_point(|(r, _)| r[0] < *v);
         let hi = all[lo..].partition_point(|(r, _)| r[0] == *v) + lo;
         &all[lo..hi]
@@ -1699,7 +1841,7 @@ fn get_relation(req: &Request, name: &str, state: &ServeState) -> Response {
 
     let mut total = 0usize;
     let mut rows = Vec::new();
-    for (row, count) in scan.iter().filter(|(row, _)| keep(row)) {
+    for (row, count) in scan.iter().filter(|(row, _)| filter.matches(row)) {
         if total >= offset && rows.len() < limit {
             let mut obj = match row_to_json(Some(rel.schema()), row) {
                 Json::Object(o) => o,
@@ -1981,7 +2123,7 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
     }
 
     // DRed/IVM: derive exactly what the new rows imply, nothing else.
-    let delta = match dd.apply_base_changes(changes) {
+    let (delta, ivm_result) = match dd.apply_base_changes_traced(changes) {
         Ok(d) => d,
         Err(e) => {
             // The 500 promises "no durable trace", so the just-appended
@@ -2004,10 +2146,9 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
 
     // Bounded refresh sized to the touched region, then one atomic swap.
     let opts = bounded_options(&state.inference, &state.refresh, delta.total());
-    let epoch = state.snapshot.load().epoch + 1;
-    let snapshot = ServeSnapshot::capture(&dd, epoch, &opts);
-    let fingerprint = snapshot.fingerprint;
-    state.snapshot.store(snapshot);
+    let mut trace = IvmTrace::default();
+    trace.absorb(&ivm_result);
+    let (epoch, fingerprint) = state.publish_epoch(&dd, 1, &opts, trace);
     if let Some(seq) = appended_seq {
         // Keep the primary's replication books current so `/metrics`
         // reports the same offsets followers resume from.
@@ -2037,6 +2178,332 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
                 "total": delta.total(),
             }),
             "refresh_samples": opts.samples,
+        }),
+    )
+}
+
+/// Subscription stream cadence: a heartbeat frame goes out after this much
+/// silence (the `GET /wal` discipline), and the frame-wait wakes at least
+/// this often to notice shutdown.
+const SUB_HEARTBEAT_EVERY: Duration = Duration::from_secs(1);
+const SUB_WAIT_TICK: Duration = Duration::from_millis(100);
+/// Longest long-poll wait a client may request (`?wait_ms=`).
+const SUB_MAX_WAIT: Duration = Duration::from_secs(30);
+
+/// `POST /subscriptions`: register a subscriber and either stream delta
+/// frames on this connection (chunked, heartbeats, `mode: "stream"` — the
+/// default) or return its id for cursor polling (`mode: "poll"`).
+///
+/// Body: `{"relation": {"name": R, "where": {col: val}},
+///         "marginals": {"name": Q, "min_p": .., "max_p": ..},
+///         "mode": "stream"|"poll", "id": optional, "snapshot": bool}`.
+///
+/// Owns the socket (like `GET /wal`) because stream mode writes an
+/// unbounded chunked body. Returns the `ok` bit for the metrics book.
+fn post_subscriptions(req: &Request, w: &mut TcpStream, state: &ServeState) -> bool {
+    let respond = |w: &mut TcpStream, resp: Response| -> bool {
+        let ok = resp.status < 400;
+        let _ = resp.write_to(w);
+        ok
+    };
+    match state.lifecycle() {
+        Lifecycle::Ready => {}
+        Lifecycle::Replaying => {
+            return respond(
+                w,
+                Response::error(503, "not ready: WAL replay in progress")
+                    .with_retry_after(jittered_retry_secs(1)),
+            );
+        }
+        Lifecycle::Draining => {
+            return respond(
+                w,
+                Response::error(503, "draining for shutdown")
+                    .with_retry_after(jittered_retry_secs(1)),
+            );
+        }
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return respond(w, Response::error(400, "body is not UTF-8"));
+    };
+    let body: Json = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return respond(w, Response::error(400, &format!("bad JSON: {e}"))),
+    };
+    let mode = body.get("mode").and_then(Json::as_str).unwrap_or("stream");
+    if !matches!(mode, "stream" | "poll") {
+        return respond(w, Response::error(400, "mode must be `stream` or `poll`"));
+    }
+    let snap0 = state.snapshot.load();
+    let spec = match SubscriptionSpec::parse(&body, &snap0) {
+        Ok(spec) => spec,
+        Err((status, msg)) => return respond(w, Response::error(status, &msg)),
+    };
+    let id = body.get("id").and_then(Json::as_str).map(|s| s.to_string());
+    let sub = match state.subs.create(spec, id, snap0.epoch) {
+        Ok(sub) => sub,
+        Err((status, msg)) => {
+            let resp = Response::error(status, &msg);
+            let resp = if status == 429 || status == 503 {
+                resp.with_retry_after(jittered_retry_secs(1))
+            } else {
+                resp
+            };
+            return respond(w, resp);
+        }
+    };
+
+    // Registration-then-load closes the race with a concurrent publish:
+    // any delta routed before the subscriber existed is covered by this
+    // snapshot, and any frame at-or-below its epoch is dropped as already
+    // incorporated.
+    let snap = state.snapshot.load();
+    sub.ack_through(snap.epoch);
+
+    if mode == "poll" {
+        let mut resp = Map::new();
+        resp.insert("id".into(), json!(sub.id));
+        resp.insert("epoch".into(), json!(snap.epoch));
+        if sub.spec.initial_snapshot {
+            let frame: Json = serde_json::from_str(&render_snapshot_frame(&sub.spec, &snap))
+                .expect("frames render as valid JSON");
+            resp.insert("snapshot".into(), frame);
+        }
+        return respond(w, Response::json(201, &Json::Object(resp)));
+    }
+
+    let ok = stream_subscription(w, state, &sub, &snap);
+    // A stream-mode subscription lives exactly as long as its connection.
+    state.subs.remove(&sub.id);
+    ok
+}
+
+/// Write one ndjson frame as an HTTP chunk.
+fn write_frame(w: &mut TcpStream, frame: &str) -> io::Result<()> {
+    let mut line = String::with_capacity(frame.len() + 1);
+    line.push_str(frame);
+    line.push('\n');
+    replication::write_chunk(w, line.as_bytes())
+}
+
+/// The streaming half of a subscription: initial snapshot frame, then one
+/// delta frame per epoch, 1 s heartbeats through silence, shed/re-base on
+/// lag — until the client hangs up or the daemon drains.
+fn stream_subscription(
+    w: &mut TcpStream,
+    state: &ServeState,
+    sub: &Arc<Subscriber>,
+    first: &Arc<ServeSnapshot>,
+) -> bool {
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\
+         X-DD-Sub: {}\r\nX-DD-Epoch: {}\r\n\r\n",
+        sub.id, first.epoch
+    );
+    if w.write_all(header.as_bytes()).is_err() {
+        return false;
+    }
+    if sub.spec.initial_snapshot
+        && write_frame(w, &render_snapshot_frame(&sub.spec, first)).is_err()
+    {
+        return false;
+    }
+    // Everything at or below the cursor is already reflected in the
+    // client's base state; frames there would be (idempotent) duplicates.
+    let mut cursor = first.epoch;
+    let mut last_write = Instant::now();
+    loop {
+        if state.stop_requested() || state.lifecycle() == Lifecycle::Draining {
+            break;
+        }
+        enum Action {
+            Frames(Vec<(u64, String)>),
+            Lagged(u64),
+            Closed,
+            Idle,
+        }
+        let action = {
+            let mut q = sub.q.lock();
+            if q.closed {
+                Action::Closed
+            } else if let Some(at) = q.lagged.take() {
+                q.frames.clear();
+                q.bytes = 0;
+                Action::Lagged(at)
+            } else if q.frames.is_empty() {
+                drop(sub.wait_on(q, SUB_WAIT_TICK));
+                Action::Idle
+            } else {
+                let frames: Vec<(u64, String)> =
+                    q.frames.drain(..).map(|f| (f.epoch, f.body)).collect();
+                q.bytes = 0;
+                let through = frames.last().expect("nonempty").0;
+                q.acked_through = q.acked_through.max(through);
+                Action::Frames(frames)
+            }
+        };
+        match action {
+            Action::Closed => break,
+            Action::Frames(frames) => {
+                for (epoch, body) in frames {
+                    if epoch <= cursor {
+                        continue;
+                    }
+                    if write_frame(w, &body).is_err() {
+                        return false;
+                    }
+                    cursor = epoch;
+                }
+                last_write = Instant::now();
+            }
+            Action::Lagged(shed_at) => {
+                // The queue overflowed and was cleared: tell the client
+                // exactly where continuity broke, then re-base it on the
+                // current snapshot. Because routing happens after the swap,
+                // this snapshot covers every frame dropped while lagged.
+                let snap = state.snapshot.load();
+                sub.ack_through(snap.epoch);
+                let lag = json!({
+                    "type": "lagged",
+                    "shed_at": shed_at,
+                    "resume_epoch": snap.epoch,
+                })
+                .to_string();
+                if write_frame(w, &lag).is_err()
+                    || write_frame(w, &render_snapshot_frame(&sub.spec, &snap)).is_err()
+                {
+                    return false;
+                }
+                cursor = snap.epoch;
+                last_write = Instant::now();
+            }
+            Action::Idle => {
+                if last_write.elapsed() >= SUB_HEARTBEAT_EVERY {
+                    let hb = json!({ "type": "heartbeat", "epoch": cursor }).to_string();
+                    if write_frame(w, &hb).is_err() {
+                        return false;
+                    }
+                    last_write = Instant::now();
+                }
+            }
+        }
+    }
+    let _ = w.write_all(b"0\r\n\r\n");
+    let _ = w.flush();
+    true
+}
+
+/// `GET /subscriptions/<id>?from=<epoch>&wait_ms=<ms>`: the long-poll
+/// cursor mode. Frames strictly above `from` are returned *without* being
+/// consumed — the next poll's `from` acknowledges them, so a lost response
+/// is re-fetched, not lost. A cursor the queue can no longer serve
+/// contiguously (shed while away, `from` before the acked floor, or ahead
+/// of the server after a restart) gets `reset: true` with a full snapshot
+/// frame at the current epoch instead of a silent gap.
+fn poll_subscription(req: &Request, id: &str, state: &ServeState) -> Response {
+    let current = state.snapshot.load();
+    let Some(sub) = state.subs.get(id) else {
+        return Response::json(
+            404,
+            &json!({
+                "error": format!("no subscription `{id}` (re-subscribe and re-base)"),
+                "current_epoch": current.epoch,
+            }),
+        );
+    };
+    let from = match req.query_param("from") {
+        None => sub.q.lock().acked_through,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => return Response::error(400, &format!("from: `{raw}` is not an integer")),
+        },
+    };
+    let wait = match req.query_param("wait_ms") {
+        None => Duration::ZERO,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms).min(SUB_MAX_WAIT),
+            Err(_) => return Response::error(400, &format!("wait_ms: `{raw}` is not an integer")),
+        },
+    };
+
+    let needs_reset = {
+        let q = sub.q.lock();
+        // A queued frame whose `from_epoch` is above the cursor means the
+        // chain between them is gone (frames route contiguously, so this
+        // only happens across a shed/restart) — deltas alone can't bridge it.
+        let gap = q
+            .frames
+            .iter()
+            .find(|f| f.epoch > from)
+            .map(|f| f.from_epoch > from)
+            .unwrap_or(false);
+        q.lagged.is_some() || from < q.acked_through || from > current.epoch || gap
+    };
+    if needs_reset {
+        {
+            let mut q = sub.q.lock();
+            q.lagged = None;
+        }
+        // `ack_through` (not clear): frames beyond the re-base epoch stay
+        // queued, so continuity holds from the snapshot forward.
+        sub.ack_through(current.epoch);
+        let frame: Json = serde_json::from_str(&render_snapshot_frame(&sub.spec, &current))
+            .expect("frames render as valid JSON");
+        return Response::json(
+            200,
+            &json!({
+                "id": sub.id,
+                "reset": true,
+                "from": current.epoch,
+                "through": current.epoch,
+                "frames": [frame],
+            }),
+        );
+    }
+    sub.ack_through(from);
+
+    if wait > Duration::ZERO {
+        let deadline = Instant::now() + wait;
+        while !sub.wait_actionable(SUB_WAIT_TICK.min(wait)) {
+            if Instant::now() >= deadline || state.stop_requested() {
+                break;
+            }
+        }
+    }
+
+    let (frames, through, lagged_now) = {
+        let q = sub.q.lock();
+        let mut frames = Vec::new();
+        let mut through = from;
+        for f in q.frames.iter().filter(|f| f.epoch > from) {
+            frames.push(serde_json::from_str(&f.body).expect("frames render as valid JSON"));
+            through = f.epoch;
+        }
+        (frames, through, q.lagged.is_some())
+    };
+    if lagged_now {
+        // Shed while we were waiting: surface it now rather than making the
+        // client discover the gap next poll.
+        let lag = json!({ "type": "lagged", "resume_epoch": current.epoch });
+        return Response::json(
+            200,
+            &json!({
+                "id": sub.id,
+                "from": from,
+                "through": from,
+                "frames": [lag],
+                "lagged": true,
+            }),
+        );
+    }
+    Response::json(
+        200,
+        &json!({
+            "id": sub.id,
+            "from": from,
+            "through": through,
+            "frames": frames,
         }),
     )
 }

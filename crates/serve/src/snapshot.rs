@@ -12,8 +12,8 @@
 use deepdive_core::DeepDive;
 use deepdive_sampler::GibbsOptions;
 use deepdive_storage::{value_to_tsv, DatabaseSnapshot, Row};
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// FNV-1a over the snapshot's logical content; two snapshots with the same
@@ -104,27 +104,67 @@ impl ServeSnapshot {
     }
 }
 
+/// How many retired snapshots [`SnapshotCell`] keeps reachable by epoch.
+/// Pinned-epoch pagination (`/relations?epoch=N`) works within this window;
+/// older epochs answer `410 Gone`. Snapshots are `Arc`s over mostly-shared
+/// column storage, so the ring holds references, not copies.
+pub const RETAINED_EPOCHS: usize = 8;
+
 /// The epoch-swap cell: readers `load` an `Arc` under a briefly held read
 /// lock; the writer `store`s the next snapshot under the write lock. Readers
 /// hold the lock only for the pointer clone, never for request handling, so
 /// a slow response cannot block publication (and vice versa).
+///
+/// A short history ring of retired snapshots backs pinned-epoch pagination:
+/// a client that captured epoch N on page 1 can keep paging epoch N across
+/// swaps until it falls out of the ring.
 #[derive(Debug)]
-pub struct SnapshotCell(RwLock<Arc<ServeSnapshot>>);
+pub struct SnapshotCell {
+    current: RwLock<Arc<ServeSnapshot>>,
+    retired: Mutex<VecDeque<Arc<ServeSnapshot>>>,
+}
 
 impl SnapshotCell {
     pub fn new(snapshot: ServeSnapshot) -> Self {
-        SnapshotCell(RwLock::new(Arc::new(snapshot)))
+        SnapshotCell {
+            current: RwLock::new(Arc::new(snapshot)),
+            retired: Mutex::new(VecDeque::with_capacity(RETAINED_EPOCHS)),
+        }
     }
 
     /// The current snapshot; the returned `Arc` stays valid (and immutable)
     /// across any number of subsequent swaps.
     pub fn load(&self) -> Arc<ServeSnapshot> {
-        self.0.read().clone()
+        self.current.read().clone()
     }
 
-    /// Publish a new snapshot. All loads strictly after this return it.
+    /// Publish a new snapshot. All loads strictly after this return it; the
+    /// outgoing snapshot is retired into the history ring.
     pub fn store(&self, snapshot: ServeSnapshot) {
-        *self.0.write() = Arc::new(snapshot);
+        let next = Arc::new(snapshot);
+        let prev = {
+            let mut cur = self.current.write();
+            std::mem::replace(&mut *cur, next)
+        };
+        let mut ring = self.retired.lock();
+        if ring.len() >= RETAINED_EPOCHS {
+            ring.pop_front();
+        }
+        ring.push_back(prev);
+    }
+
+    /// The snapshot at `epoch`, if it is the current one or still retained.
+    pub fn at_epoch(&self, epoch: u64) -> Option<Arc<ServeSnapshot>> {
+        let cur = self.load();
+        if cur.epoch == epoch {
+            return Some(cur);
+        }
+        self.retired
+            .lock()
+            .iter()
+            .rev()
+            .find(|s| s.epoch == epoch)
+            .cloned()
     }
 }
 
@@ -183,5 +223,33 @@ mod tests {
         assert_eq!(before.db.relation("R").unwrap().len(), 1);
         assert_eq!(after.db.relation("R").unwrap().len(), 2);
         assert_ne!(before.fingerprint, after.fingerprint);
+    }
+
+    #[test]
+    fn retired_epochs_stay_reachable_within_the_ring() {
+        let db = Database::new();
+        db.create_relation(Schema::build("R").col("x", ValueType::Int).finish())
+            .unwrap();
+        let cell = SnapshotCell::new(snapshot_of(&db, 0));
+        for e in 1..=(RETAINED_EPOCHS as u64 + 3) {
+            db.insert("R", row![e as i64]).unwrap();
+            cell.store(snapshot_of(&db, e));
+        }
+        let newest = RETAINED_EPOCHS as u64 + 3;
+        assert_eq!(cell.at_epoch(newest).unwrap().epoch, newest, "current");
+        // The oldest retained epoch is newest - RETAINED_EPOCHS.
+        let oldest_kept = newest - RETAINED_EPOCHS as u64;
+        assert!(cell.at_epoch(oldest_kept).is_some(), "inside the ring");
+        assert!(cell.at_epoch(oldest_kept - 1).is_none(), "retired for good");
+        // A retained epoch serves its own frozen row count.
+        assert_eq!(
+            cell.at_epoch(oldest_kept)
+                .unwrap()
+                .db
+                .relation("R")
+                .unwrap()
+                .len(),
+            oldest_kept as usize
+        );
     }
 }

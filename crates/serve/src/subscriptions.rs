@@ -1,0 +1,955 @@
+//! Live subscriptions: the registry and delta router behind
+//! `POST /subscriptions`.
+//!
+//! The daemon computes exact DRed/IVM deltas on every ingest and, until
+//! now, dropped them after the epoch swap. This module turns them into a
+//! CDC-style feed: a subscriber registers a relation filter (the same
+//! typed predicate grammar `/relations` uses) and/or a marginal-threshold
+//! query, and receives one delta frame per published epoch — retractions
+//! carried explicitly, group-commit batches fanned out as one frame per
+//! swap.
+//!
+//! Delta derivation is a sorted merge of consecutive [`ServeSnapshot`]s:
+//! both relation rows and marginals are sorted, so the diff is exact
+//! (including count-only changes and Gibbs-refresh probability movement)
+//! and O(total rows) — strictly cheaper than the snapshot capture that
+//! already runs per epoch. The membership trace surfaced by
+//! `apply_base_changes_traced` rides along as `ivm` metadata on each
+//! frame. The router runs *after* the swap, so a consumer that loads the
+//! current snapshot is always at-or-ahead of every frame it might have
+//! missed — the invariant the shed/resume protocol leans on.
+//!
+//! Slow consumers never block ingest: each subscriber owns a bounded
+//! byte-budgeted queue, and an overflowing queue is cleared and marked
+//! lagged. The consumer is told via a `lagged` frame and re-based on a
+//! fresh snapshot frame instead of silently missing deltas.
+
+use crate::snapshot::ServeSnapshot;
+use deepdive_storage::{
+    value_from_tsv, value_to_tsv, MaintenanceResult, Row, Schema, Value as DbValue, ValueType,
+};
+use parking_lot::{Mutex, MutexGuard};
+// The vendored `parking_lot` is a std shim whose `MutexGuard` *is*
+// `std::sync::MutexGuard`, so std's `Condvar` pairs with it directly.
+use serde_json::{json, Map, Value as Json};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Condvar;
+use std::time::{Duration, Instant};
+
+/// Query keys on `/relations` that are paging/pinning controls, not column
+/// filters. Shared with the subscription spec parser.
+pub const RESERVED_QUERY_KEYS: [&str; 3] = ["offset", "limit", "epoch"];
+
+/// One typed column predicate: parsed once against the column's declared
+/// type so matching compares `Value`s directly. `Any`/`Null` columns fall
+/// back to comparing the rendered TSV cell.
+pub(crate) enum Pred {
+    Typed(usize, DbValue),
+    Rendered(usize, String),
+}
+
+/// A conjunction of column-equality predicates over one relation — the
+/// `/relations` filter grammar, reusable by subscriptions.
+pub struct RowFilter {
+    pub(crate) preds: Vec<Pred>,
+    /// A well-formed filter no stored row can ever match (e.g. `?x=07`
+    /// against canonical integer rendering): match nothing, not an error.
+    pub(crate) unsatisfiable: bool,
+}
+
+impl RowFilter {
+    pub(crate) fn empty() -> RowFilter {
+        RowFilter {
+            preds: Vec::new(),
+            unsatisfiable: false,
+        }
+    }
+
+    /// Parse `(column, raw value)` pairs against the schema. `Err` carries
+    /// the offending key for a 400.
+    pub(crate) fn parse<'a>(
+        schema: &Schema,
+        pairs: impl Iterator<Item = (&'a str, &'a str)>,
+    ) -> Result<RowFilter, String> {
+        let mut filter = RowFilter::empty();
+        for (key, value) in pairs {
+            let Some(idx) = schema.columns.iter().position(|c| c.name == key) else {
+                return Err(format!("`{key}` is not a column of `{}`", schema.name));
+            };
+            let ty = schema.columns[idx].ty;
+            if matches!(ty, ValueType::Any | ValueType::Null) {
+                filter.preds.push(Pred::Rendered(idx, value.to_string()));
+                continue;
+            }
+            match value_from_tsv(value, ty) {
+                // Stored cells render canonically, so a non-canonical input
+                // can never equal any rendered cell.
+                Ok(v) if value_to_tsv(&v) == *value => filter.preds.push(Pred::Typed(idx, v)),
+                _ => {
+                    filter.unsatisfiable = true;
+                    break;
+                }
+            }
+        }
+        Ok(filter)
+    }
+
+    pub(crate) fn matches(&self, row: &Row) -> bool {
+        !self.unsatisfiable
+            && self.preds.iter().all(|p| match p {
+                Pred::Typed(i, v) => row[*i] == *v,
+                Pred::Rendered(i, s) => value_to_tsv(&row[*i]) == *s,
+            })
+    }
+
+    /// The typed equality on the leading column, if any — `/relations`
+    /// binary-searches the sorted snapshot with it.
+    pub(crate) fn leading_eq(&self) -> Option<&DbValue> {
+        self.preds.iter().find_map(|p| match p {
+            Pred::Typed(0, v) => Some(v),
+            _ => None,
+        })
+    }
+}
+
+/// Aggregate counts from the storage IVM layer's [`MaintenanceResult`] —
+/// the per-epoch effort/impact trace carried on every delta frame.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IvmTrace {
+    pub appeared: u64,
+    pub disappeared: u64,
+    pub rule_evaluations: u64,
+}
+
+impl IvmTrace {
+    pub fn absorb(&mut self, result: &MaintenanceResult) {
+        self.appeared += result.appeared.values().map(Vec::len).sum::<usize>() as u64;
+        self.disappeared += result.disappeared.values().map(Vec::len).sum::<usize>() as u64;
+        self.rule_evaluations += result.rule_evaluations as u64;
+    }
+
+    fn to_json(self) -> Json {
+        json!({
+            "appeared": self.appeared,
+            "disappeared": self.disappeared,
+            "rule_evaluations": self.rule_evaluations,
+        })
+    }
+}
+
+/// Row-level changes to one relation between two consecutive snapshots.
+#[derive(Debug, Default)]
+pub struct RelationDelta {
+    /// Rows whose multiplicity changed or that are new: `(row, new count)`.
+    pub upserts: Vec<(Row, i64)>,
+    /// Rows retracted entirely.
+    pub deletes: Vec<Row>,
+}
+
+/// Marginal changes for one query relation. Old probabilities ride along so
+/// threshold subscriptions can tell "entered the band" from "left it".
+#[derive(Debug, Default)]
+pub struct MarginalDelta {
+    /// `(row, old p if the row existed, new p)` for every changed row.
+    pub changed: Vec<(Row, Option<f64>, f64)>,
+    /// `(row, old p)` for rows whose variable was retracted.
+    pub removed: Vec<(Row, f64)>,
+}
+
+/// Everything that changed between epoch `from_epoch` and `epoch`: the
+/// unit the router fans out (one per snapshot swap, so a group-commit
+/// batch is one delta set).
+pub struct EpochDelta {
+    pub from_epoch: u64,
+    pub epoch: u64,
+    pub relations: BTreeMap<String, RelationDelta>,
+    pub marginals: BTreeMap<String, MarginalDelta>,
+    pub trace: IvmTrace,
+}
+
+impl EpochDelta {
+    /// Exact diff of two snapshots by sorted merge. Probabilities compare
+    /// by bit pattern — a subscriber replaying frames reconstructs the new
+    /// snapshot bit-identically.
+    pub fn diff(prev: &ServeSnapshot, next: &ServeSnapshot, trace: IvmTrace) -> EpochDelta {
+        let mut relations = BTreeMap::new();
+        let names: std::collections::BTreeSet<&str> = prev
+            .db
+            .relation_names()
+            .chain(next.db.relation_names())
+            .collect();
+        for name in names {
+            let old = prev.db.relation(name).map(|r| r.rows()).unwrap_or(&[]);
+            let new = next.db.relation(name).map(|r| r.rows()).unwrap_or(&[]);
+            let mut delta = RelationDelta::default();
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some((or, oc)), Some((nr, nc))) => match or.cmp(nr) {
+                        std::cmp::Ordering::Equal => {
+                            if oc != nc {
+                                delta.upserts.push((nr.clone(), *nc));
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Less => {
+                            delta.deletes.push(or.clone());
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            delta.upserts.push((nr.clone(), *nc));
+                            j += 1;
+                        }
+                    },
+                    (Some((or, _)), None) => {
+                        delta.deletes.push(or.clone());
+                        i += 1;
+                    }
+                    (None, Some((nr, nc))) => {
+                        delta.upserts.push((nr.clone(), *nc));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            if !delta.upserts.is_empty() || !delta.deletes.is_empty() {
+                relations.insert(name.to_string(), delta);
+            }
+        }
+
+        let mut marginals = BTreeMap::new();
+        let names: std::collections::BTreeSet<&str> = prev
+            .marginals
+            .keys()
+            .map(String::as_str)
+            .chain(next.marginals.keys().map(String::as_str))
+            .collect();
+        for name in names {
+            let old = prev.marginal_rows(name);
+            let new = next.marginal_rows(name);
+            let mut delta = MarginalDelta::default();
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some((or, op)), Some((nr, np))) => match or.cmp(nr) {
+                        std::cmp::Ordering::Equal => {
+                            if op.to_bits() != np.to_bits() {
+                                delta.changed.push((nr.clone(), Some(*op), *np));
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Less => {
+                            delta.removed.push((or.clone(), *op));
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            delta.changed.push((nr.clone(), None, *np));
+                            j += 1;
+                        }
+                    },
+                    (Some((or, op)), None) => {
+                        delta.removed.push((or.clone(), *op));
+                        i += 1;
+                    }
+                    (None, Some((nr, np))) => {
+                        delta.changed.push((nr.clone(), None, *np));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            if !delta.changed.is_empty() || !delta.removed.is_empty() {
+                marginals.insert(name.to_string(), delta);
+            }
+        }
+
+        EpochDelta {
+            from_epoch: prev.epoch,
+            epoch: next.epoch,
+            relations,
+            marginals,
+            trace,
+        }
+    }
+}
+
+/// The relation half of a subscription: a name plus a row filter.
+pub struct RelationSub {
+    pub relation: String,
+    pub filter: RowFilter,
+}
+
+/// The marginal-threshold half: rows of one query relation whose
+/// probability lies in `[min_p, max_p]`.
+pub struct MarginalSub {
+    pub relation: String,
+    pub min_p: f64,
+    pub max_p: f64,
+}
+
+impl MarginalSub {
+    fn in_band(&self, p: f64) -> bool {
+        p >= self.min_p && p <= self.max_p
+    }
+}
+
+/// What one subscriber asked for: at least one of the two halves.
+pub struct SubscriptionSpec {
+    pub relation: Option<RelationSub>,
+    pub marginals: Option<MarginalSub>,
+    /// Stream mode sends an initial snapshot frame unless the client opted
+    /// out (it already has the state, e.g. a reconnect at a known epoch).
+    pub initial_snapshot: bool,
+}
+
+impl SubscriptionSpec {
+    /// Parse and validate a `POST /subscriptions` body against the current
+    /// snapshot's schemas. `Err` is a `(status, message)` for the response.
+    pub fn parse(body: &Json, snap: &ServeSnapshot) -> Result<SubscriptionSpec, (u16, String)> {
+        let obj = body
+            .as_object()
+            .ok_or((400, "body must be a JSON object".to_string()))?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "relation" | "marginals" | "mode" | "id" | "snapshot"
+            ) {
+                return Err((400, format!("unknown subscription field `{key}`")));
+            }
+        }
+        let relation = match obj.get("relation") {
+            None => None,
+            Some(r) => {
+                let name = r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or((400, "relation.name must be a string".to_string()))?;
+                let rel = snap
+                    .db
+                    .relation(name)
+                    .ok_or((404, format!("no relation `{name}`")))?;
+                let mut pairs: Vec<(String, String)> = Vec::new();
+                if let Some(w) = r.get("where") {
+                    let w = w
+                        .as_object()
+                        .ok_or((400, "relation.where must be an object".to_string()))?;
+                    for (k, v) in w {
+                        let raw = match v {
+                            Json::String(s) => s.clone(),
+                            Json::Number(n) => n.to_string(),
+                            Json::Bool(b) => b.to_string(),
+                            _ => return Err((400, format!("relation.where.{k} must be a scalar"))),
+                        };
+                        pairs.push((k.clone(), raw));
+                    }
+                }
+                let filter = RowFilter::parse(
+                    rel.schema(),
+                    pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+                )
+                .map_err(|e| (400, e))?;
+                Some(RelationSub {
+                    relation: name.to_string(),
+                    filter,
+                })
+            }
+        };
+        let marginals = match obj.get("marginals") {
+            None => None,
+            Some(m) => {
+                let name = m
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or((400, "marginals.name must be a string".to_string()))?;
+                if !snap.marginals.contains_key(name) {
+                    return Err((
+                        404,
+                        format!("no marginals for `{name}` (not a query relation)"),
+                    ));
+                }
+                let band = |key: &str, default: f64| -> Result<f64, (u16, String)> {
+                    match m.get(key) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_f64()
+                            .ok_or((400, format!("marginals.{key} must be a number"))),
+                    }
+                };
+                Some(MarginalSub {
+                    relation: name.to_string(),
+                    min_p: band("min_p", 0.0)?,
+                    max_p: band("max_p", 1.0)?,
+                })
+            }
+        };
+        if relation.is_none() && marginals.is_none() {
+            return Err((
+                400,
+                "subscribe to something: a `relation` filter and/or a `marginals` threshold"
+                    .to_string(),
+            ));
+        }
+        Ok(SubscriptionSpec {
+            relation,
+            marginals,
+            initial_snapshot: obj.get("snapshot").and_then(Json::as_bool).unwrap_or(true),
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut out = Map::new();
+        if let Some(r) = &self.relation {
+            out.insert(
+                "relation".into(),
+                json!({ "name": r.relation, "filters": r.filter.preds.len() }),
+            );
+        }
+        if let Some(m) = &self.marginals {
+            out.insert(
+                "marginals".into(),
+                json!({ "name": m.relation, "min_p": m.min_p, "max_p": m.max_p }),
+            );
+        }
+        Json::Object(out)
+    }
+}
+
+pub(crate) fn value_to_json(v: &DbValue) -> Json {
+    match v {
+        DbValue::Null => Json::Null,
+        DbValue::Bool(b) => json!(*b),
+        DbValue::Int(i) => json!(*i),
+        DbValue::Float(f) => json!(*f),
+        DbValue::Text(t) => json!(t.as_ref()),
+        DbValue::Id(id) => json!(*id),
+    }
+}
+
+fn row_to_array(row: &Row) -> Json {
+    Json::Array(row.iter().map(value_to_json).collect())
+}
+
+/// Render the delta frame one subscriber sees for one epoch: only the
+/// slices its spec covers, retractions explicit. Empty frames are still
+/// emitted — epoch continuity is what lets a client trust its cursor.
+fn render_delta_frame(spec: &SubscriptionSpec, delta: &EpochDelta) -> String {
+    let mut frame = Map::new();
+    frame.insert("type".into(), json!("delta"));
+    frame.insert("from".into(), json!(delta.from_epoch));
+    frame.insert("epoch".into(), json!(delta.epoch));
+    if let Some(sub) = &spec.relation {
+        let mut upserts = Vec::new();
+        let mut deletes = Vec::new();
+        if let Some(rd) = delta.relations.get(&sub.relation) {
+            for (row, count) in &rd.upserts {
+                if sub.filter.matches(row) {
+                    upserts.push(json!({ "row": row_to_array(row), "count": count }));
+                }
+            }
+            for row in &rd.deletes {
+                if sub.filter.matches(row) {
+                    deletes.push(row_to_array(row));
+                }
+            }
+        }
+        frame.insert(
+            "relation".into(),
+            json!({ "name": sub.relation, "upserts": upserts, "deletes": deletes }),
+        );
+    }
+    if let Some(sub) = &spec.marginals {
+        let mut upserts = Vec::new();
+        let mut deletes = Vec::new();
+        if let Some(md) = delta.marginals.get(&sub.relation) {
+            for (row, old, new) in &md.changed {
+                let was_in = old.map(|p| sub.in_band(p)).unwrap_or(false);
+                let is_in = sub.in_band(*new);
+                if is_in {
+                    // New to the band, or moved within it: either way the
+                    // client upserts the fresh probability.
+                    upserts.push(json!({ "row": row_to_array(row), "p": new }));
+                } else if was_in {
+                    deletes.push(row_to_array(row));
+                }
+            }
+            for (row, old) in &md.removed {
+                if sub.in_band(*old) {
+                    deletes.push(row_to_array(row));
+                }
+            }
+        }
+        frame.insert(
+            "marginals".into(),
+            json!({ "name": sub.relation, "upserts": upserts, "deletes": deletes }),
+        );
+    }
+    frame.insert("ivm".into(), delta.trace.to_json());
+    Json::Object(frame).to_string()
+}
+
+/// Render the full-state frame a subscriber re-bases on: its filtered view
+/// of one snapshot. Sent at stream start, after a shed, and embedded in a
+/// long-poll reset.
+pub(crate) fn render_snapshot_frame(spec: &SubscriptionSpec, snap: &ServeSnapshot) -> String {
+    let mut frame = Map::new();
+    frame.insert("type".into(), json!("snapshot"));
+    frame.insert("epoch".into(), json!(snap.epoch));
+    if let Some(sub) = &spec.relation {
+        let mut rows = Vec::new();
+        if let Some(rel) = snap.db.relation(&sub.relation) {
+            for (row, count) in rel.rows() {
+                if sub.filter.matches(row) {
+                    rows.push(json!({ "row": row_to_array(row), "count": count }));
+                }
+            }
+        }
+        frame.insert(
+            "relation".into(),
+            json!({ "name": sub.relation, "rows": rows }),
+        );
+    }
+    if let Some(sub) = &spec.marginals {
+        let mut rows = Vec::new();
+        for (row, p) in snap.marginal_rows(&sub.relation) {
+            if sub.in_band(*p) {
+                rows.push(json!({ "row": row_to_array(row), "p": p }));
+            }
+        }
+        frame.insert(
+            "marginals".into(),
+            json!({ "name": sub.relation, "rows": rows }),
+        );
+    }
+    Json::Object(frame).to_string()
+}
+
+/// One rendered frame waiting in a subscriber's queue.
+pub(crate) struct Frame {
+    pub(crate) from_epoch: u64,
+    pub(crate) epoch: u64,
+    pub(crate) body: String,
+}
+
+/// The bounded per-subscriber queue. `lagged` replaces the frames when the
+/// byte budget overflows: the consumer is re-based on a snapshot instead
+/// of blocking the router.
+pub(crate) struct SubQueue {
+    pub(crate) frames: VecDeque<Frame>,
+    pub(crate) bytes: usize,
+    /// Epoch at which the queue overflowed and was cleared; cleared when
+    /// the consumer re-bases.
+    pub(crate) lagged: Option<u64>,
+    /// Last epoch routed to this subscriber (frames queued, shed, or
+    /// acked — the heartbeat's cursor).
+    pub(crate) last_epoch: u64,
+    /// Long-poll cursor floor: frames at or below this were delivered and
+    /// dropped. A `from` below it is a gap → snapshot reset.
+    pub(crate) acked_through: u64,
+    pub(crate) closed: bool,
+}
+
+/// One registered subscriber.
+pub struct Subscriber {
+    pub id: String,
+    pub spec: SubscriptionSpec,
+    pub(crate) q: Mutex<SubQueue>,
+    pub(crate) cv: Condvar,
+    pub created_epoch: u64,
+}
+
+impl Subscriber {
+    /// Drop queued frames at or below `through` (the consumer has them).
+    pub(crate) fn ack_through(&self, through: u64) {
+        let mut q = self.q.lock();
+        while q
+            .frames
+            .front()
+            .map(|f| f.epoch <= through)
+            .unwrap_or(false)
+        {
+            let f = q.frames.pop_front().expect("checked front");
+            q.bytes -= f.body.len();
+        }
+        q.acked_through = q.acked_through.max(through);
+    }
+
+    /// Block on the condvar with `timeout`, returning the re-acquired
+    /// guard (poisoning is ignored — panics never leave partial queue
+    /// state, every mutation is a single push/pop/assign).
+    pub(crate) fn wait_on<'a>(
+        &self,
+        guard: MutexGuard<'a, SubQueue>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, SubQueue> {
+        let (guard, _) = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard
+    }
+
+    /// Wait until a frame is queued, the subscriber is shed/closed, or the
+    /// timeout passes. Returns whether anything is actionable.
+    pub(crate) fn wait_actionable(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.q.lock();
+        loop {
+            if !q.frames.is_empty() || q.lagged.is_some() || q.closed {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            q = self.wait_on(q, deadline - now);
+        }
+    }
+}
+
+/// Counter snapshot for `/metrics`.
+pub struct SubscriptionGauges {
+    pub active: usize,
+    pub max: usize,
+    pub frames_routed: u64,
+    pub sheds: u64,
+}
+
+/// The registry: id → subscriber, plus the router that fans each
+/// [`EpochDelta`] out. Shared by the publish path (any thread swapping an
+/// epoch) and every subscription connection.
+pub struct SubscriptionRegistry {
+    max_subscriptions: usize,
+    queue_bytes: usize,
+    inner: Mutex<HashMap<String, Arc<Subscriber>>>,
+    next_id: AtomicU64,
+    frames_routed: AtomicU64,
+    sheds: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl SubscriptionRegistry {
+    pub fn new(max_subscriptions: usize, queue_bytes: usize) -> SubscriptionRegistry {
+        SubscriptionRegistry {
+            max_subscriptions: max_subscriptions.max(1),
+            queue_bytes: queue_bytes.max(1024),
+            inner: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            frames_routed: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Cheap check the publish path takes before paying for a diff.
+    pub fn is_active(&self) -> bool {
+        !self.inner.lock().is_empty()
+    }
+
+    /// Register a subscriber. `Err` is `(status, message)`.
+    pub fn create(
+        &self,
+        spec: SubscriptionSpec,
+        id: Option<String>,
+        current_epoch: u64,
+    ) -> Result<Arc<Subscriber>, (u16, String)> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err((503, "shutting down".to_string()));
+        }
+        let mut inner = self.inner.lock();
+        if inner.len() >= self.max_subscriptions {
+            return Err((
+                429,
+                format!(
+                    "subscription limit reached ({}); raise --max-subscriptions",
+                    self.max_subscriptions
+                ),
+            ));
+        }
+        let id = match id {
+            Some(id) => {
+                if id.is_empty()
+                    || id.len() > 128
+                    || !id
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+                {
+                    return Err((400, "id must be 1-128 chars of [A-Za-z0-9_-]".to_string()));
+                }
+                if inner.contains_key(&id) {
+                    return Err((409, format!("subscription `{id}` already exists")));
+                }
+                id
+            }
+            None => loop {
+                let id = format!("sub-{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+                if !inner.contains_key(&id) {
+                    break id;
+                }
+            },
+        };
+        let sub = Arc::new(Subscriber {
+            id: id.clone(),
+            spec,
+            q: Mutex::new(SubQueue {
+                frames: VecDeque::new(),
+                bytes: 0,
+                lagged: None,
+                last_epoch: current_epoch,
+                acked_through: current_epoch,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            created_epoch: current_epoch,
+        });
+        inner.insert(id, sub.clone());
+        Ok(sub)
+    }
+
+    pub fn get(&self, id: &str) -> Option<Arc<Subscriber>> {
+        self.inner.lock().get(id).cloned()
+    }
+
+    pub fn remove(&self, id: &str) -> bool {
+        match self.inner.lock().remove(id) {
+            Some(sub) => {
+                let mut q = sub.q.lock();
+                q.closed = true;
+                drop(q);
+                sub.cv.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fan one epoch's delta out: render each subscriber's frame (empty
+    /// frames included — continuity), enqueue without ever blocking, shed
+    /// queues that overflow their byte budget.
+    pub fn route(&self, delta: &EpochDelta) {
+        let subs: Vec<Arc<Subscriber>> = self.inner.lock().values().cloned().collect();
+        for sub in subs {
+            let body = render_delta_frame(&sub.spec, delta);
+            let mut q = sub.q.lock();
+            q.last_epoch = delta.epoch;
+            if q.closed {
+                continue;
+            }
+            if q.lagged.is_some() {
+                // Already shed; drop frames until the consumer re-bases
+                // (its snapshot will be at-or-ahead of this delta).
+                q.lagged = Some(delta.epoch);
+                continue;
+            }
+            if q.bytes + body.len() > self.queue_bytes {
+                q.frames.clear();
+                q.bytes = 0;
+                q.lagged = Some(delta.epoch);
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+            } else {
+                q.bytes += body.len();
+                q.frames.push_back(Frame {
+                    from_epoch: delta.from_epoch,
+                    epoch: delta.epoch,
+                    body,
+                });
+                self.frames_routed.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(q);
+            sub.cv.notify_all();
+        }
+    }
+
+    /// Shutdown: refuse new subscriptions, close and wake every consumer.
+    pub fn close_all(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let subs: Vec<Arc<Subscriber>> = self.inner.lock().drain().map(|(_, s)| s).collect();
+        for sub in subs {
+            sub.q.lock().closed = true;
+            sub.cv.notify_all();
+        }
+    }
+
+    pub fn gauges(&self) -> SubscriptionGauges {
+        SubscriptionGauges {
+            active: self.inner.lock().len(),
+            max: self.max_subscriptions,
+            frames_routed: self.frames_routed.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Debug listing for `GET /subscriptions`.
+    pub fn list_json(&self) -> Json {
+        let inner = self.inner.lock();
+        let mut subs: Vec<Json> = inner
+            .values()
+            .map(|s| {
+                let q = s.q.lock();
+                json!({
+                    "id": s.id,
+                    "spec": s.spec.to_json(),
+                    "created_epoch": s.created_epoch,
+                    "last_epoch": q.last_epoch,
+                    "acked_through": q.acked_through,
+                    "queued_frames": q.frames.len(),
+                    "queued_bytes": q.bytes,
+                    "lagged": q.lagged,
+                })
+            })
+            .collect();
+        subs.sort_by_key(|s| s.get("id").and_then(Json::as_str).map(String::from));
+        json!({ "subscriptions": subs, "max": self.max_subscriptions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdive_storage::{row, Database, DatabaseSnapshot};
+
+    fn snap_with(rows: &[(&str, Vec<(Row, i64)>)], epoch: u64) -> ServeSnapshot {
+        // Build a real database so the snapshot is sorted the same way the
+        // serve path's captures are.
+        let db = Database::new();
+        for (name, tuples) in rows {
+            db.create_relation(
+                Schema::build(*name)
+                    .col("x", ValueType::Int)
+                    .col("y", ValueType::Int)
+                    .finish(),
+            )
+            .unwrap();
+            for (r, c) in tuples {
+                for _ in 0..*c {
+                    db.insert(name, r.clone()).unwrap();
+                }
+            }
+        }
+        let db: DatabaseSnapshot = db.snapshot();
+        ServeSnapshot {
+            epoch,
+            db,
+            marginals: BTreeMap::new(),
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn diff_emits_upserts_deletes_and_count_changes() {
+        let prev = snap_with(&[("R", vec![(row![1, 1], 1), (row![2, 2], 2)])], 0);
+        let next = snap_with(&[("R", vec![(row![2, 2], 1), (row![3, 3], 1)])], 1);
+        let d = EpochDelta::diff(&prev, &next, IvmTrace::default());
+        let rd = d.relations.get("R").unwrap();
+        assert_eq!(rd.deletes, vec![row![1, 1]]);
+        assert_eq!(
+            rd.upserts,
+            vec![(row![2, 2], 1), (row![3, 3], 1)],
+            "count change and brand-new row both upsert"
+        );
+    }
+
+    #[test]
+    fn diff_is_empty_for_identical_snapshots() {
+        let a = snap_with(&[("R", vec![(row![1, 1], 1)])], 0);
+        let b = snap_with(&[("R", vec![(row![1, 1], 1)])], 1);
+        let d = EpochDelta::diff(&a, &b, IvmTrace::default());
+        assert!(d.relations.is_empty());
+        assert!(d.marginals.is_empty());
+    }
+
+    #[test]
+    fn marginal_diff_tracks_band_membership() {
+        let mut prev = snap_with(&[], 0);
+        prev.marginals.insert(
+            "Q".into(),
+            vec![(row![1], 0.95), (row![2], 0.5), (row![3], 0.92)],
+        );
+        let mut next = snap_with(&[], 1);
+        next.marginals
+            .insert("Q".into(), vec![(row![1], 0.85), (row![2], 0.97)]);
+        let d = EpochDelta::diff(&prev, &next, IvmTrace::default());
+        let spec = SubscriptionSpec {
+            relation: None,
+            marginals: Some(MarginalSub {
+                relation: "Q".into(),
+                min_p: 0.9,
+                max_p: 1.0,
+            }),
+            initial_snapshot: true,
+        };
+        let frame: Json = serde_json::from_str(&render_delta_frame(&spec, &d)).unwrap();
+        let m = frame.get("marginals").unwrap();
+        // row 2 entered the band; row 1 left it; row 3's variable retracted.
+        let upserts = m.get("upserts").unwrap().as_array().unwrap();
+        assert_eq!(upserts.len(), 1);
+        assert_eq!(upserts[0].get("row").unwrap().to_string(), "[2]");
+        let deletes: Vec<String> = m
+            .get("deletes")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(Json::to_string)
+            .collect();
+        assert_eq!(deletes.len(), 2);
+        assert!(deletes.contains(&"[1]".to_string()));
+        assert!(deletes.contains(&"[3]".to_string()));
+    }
+
+    #[test]
+    fn queue_sheds_instead_of_growing() {
+        let reg = SubscriptionRegistry::new(4, 1024);
+        let spec = SubscriptionSpec {
+            relation: Some(RelationSub {
+                relation: "R".into(),
+                filter: RowFilter::empty(),
+            }),
+            marginals: None,
+            initial_snapshot: true,
+        };
+        let sub = reg.create(spec, None, 0).unwrap();
+        let prev = snap_with(&[("R", vec![])], 0);
+        let mut epoch = 0;
+        // Route epochs until the 1 KiB budget overflows.
+        loop {
+            epoch += 1;
+            let next = snap_with(
+                &[("R", (0..20).map(|i| (row![i, epoch as i64], 1)).collect())],
+                epoch,
+            );
+            let d = EpochDelta::diff(&prev, &next, IvmTrace::default());
+            reg.route(&d);
+            if sub.q.lock().lagged.is_some() {
+                break;
+            }
+            assert!(epoch < 100, "never shed");
+        }
+        let q = sub.q.lock();
+        assert!(q.frames.is_empty(), "shed clears the queue");
+        assert_eq!(q.lagged, Some(epoch));
+        assert_eq!(reg.gauges().sheds, 1);
+    }
+
+    #[test]
+    fn registry_enforces_capacity_and_unique_ids() {
+        let reg = SubscriptionRegistry::new(1, 4096);
+        let spec = || SubscriptionSpec {
+            relation: Some(RelationSub {
+                relation: "R".into(),
+                filter: RowFilter::empty(),
+            }),
+            marginals: None,
+            initial_snapshot: true,
+        };
+        let status = |r: Result<_, (u16, String)>| r.err().map(|e| e.0);
+        assert!(reg.create(spec(), Some("a".into()), 0).is_ok());
+        assert_eq!(status(reg.create(spec(), Some("a".into()), 0)), Some(429));
+        assert!(reg.remove("a"));
+        assert!(reg.create(spec(), Some("a".into()), 0).is_ok());
+        assert_eq!(status(reg.create(spec(), Some("a".into()), 0)), Some(429));
+    }
+}
