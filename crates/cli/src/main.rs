@@ -103,6 +103,23 @@
 //!     --max-lag-epochs <n>   follower readiness gate: `/readyz` answers
 //!                            503 while the replica trails the primary by
 //!                            more than n epochs (default 16)
+//!     --scrub-secs <n>       anti-entropy scrubber interval: re-verify
+//!                            every WAL frame checksum and checkpoint
+//!                            artifact hash in the background every n
+//!                            seconds, quarantine + repair what fails
+//!                            (followers resync from the primary, the
+//!                            primary rewrites from resident state), and
+//!                            degrade to read-only `/readyz` "corrupt" when
+//!                            repair is impossible (default: off)
+//!
+//! deepdive promote <url> [--force]
+//!     Ask the follower at `http://host:port` to become the primary
+//!     (`POST /promote`): it stops tailing, bumps the replication term,
+//!     and starts accepting writes. The deposed primary, on seeing the
+//!     higher term, fences itself and must be restarted with --follow
+//!     pointing at the new primary. Refused with 409 while the follower
+//!     still lags its primary unless --force is given (--force may drop
+//!     the unreplicated suffix). Exits 0 on success, 1 otherwise.
 //!
 //! deepdive requeue <program.ddl> --resume <dir> [options]
 //!     Restore the database and grounding state from a run directory's
@@ -120,7 +137,10 @@
 //! corrupt (an artifact is missing or its content hash disagrees with the
 //! manifest — `requeue` and `serve` refuse rather than restore bad state);
 //! 7 replication diverged (a follower's history forked from its primary's —
-//! the replica drains, keeps its state for inspection, and must be re-seeded).
+//! the replica drains, keeps its state for inspection, and must be re-seeded);
+//! 8 durable storage failure (the disk under the WAL or checkpoint returned
+//! ENOSPC/EIO — the daemon refuses further writes, drains, and reports the
+//! failing path; restart it once the disk is healthy).
 //!
 //! The standard feature library (`f_phrase`, `f_words_between`, `f_dist`,
 //! `f_left`, `f_right`, `f_neg`, `f_context`) is pre-registered; programs
@@ -145,6 +165,7 @@ const EXIT_INGEST: u8 = 4;
 const EXIT_DEGRADED: u8 = 5;
 const EXIT_CHECKPOINT: u8 = 6;
 const EXIT_DIVERGED: u8 = 7;
+const EXIT_STORAGE: u8 = 8;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -153,6 +174,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..], Mode::Run),
         Some("requeue") => run(&args[1..], Mode::Requeue),
         Some("serve") => serve(&args[1..]),
+        Some("promote") => promote_cmd(&args[1..]),
         _ => {
             usage();
             ExitCode::from(EXIT_USAGE)
@@ -178,7 +200,9 @@ fn usage() {
     eprintln!("                    [--max-inflight n] [--ingest-rate r] [--drain-secs n]");
     eprintln!("                    [--max-subscriptions n] [--sub-queue-bytes n]");
     eprintln!("                    [--follow <primary-url>] [--max-lag-epochs n]");
+    eprintln!("                    [--scrub-secs n]");
     eprintln!("                    [run options]");
+    eprintln!("       deepdive promote <url> [--force]");
 }
 
 fn check(path: Option<&String>) -> ExitCode {
@@ -260,6 +284,7 @@ struct RunArgs {
     sub_queue_bytes: usize,
     follow: Option<String>,
     max_lag_epochs: u64,
+    scrub_secs: f64,
 }
 
 fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
@@ -295,6 +320,7 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
     let mut sub_queue_bytes = 1usize << 20;
     let mut follow = None;
     let mut max_lag_epochs = 16u64;
+    let mut scrub_secs = 0.0f64;
 
     let mut i = 0;
     while i < args.len() {
@@ -462,6 +488,14 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|e| format!("--max-lag-epochs: {e}"))?;
             }
+            "--scrub-secs" => {
+                scrub_secs = take("--scrub-secs")?
+                    .parse()
+                    .map_err(|e| format!("--scrub-secs: {e}"))?;
+                if scrub_secs < 0.0 {
+                    return Err(format!("--scrub-secs: {scrub_secs} must be non-negative"));
+                }
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(take("--checkpoint")?)),
             "--resume" => {
                 checkpoint = Some(PathBuf::from(take("--resume")?));
@@ -526,6 +560,7 @@ fn parse_run_args(args: &[String], mode: Mode) -> Result<RunArgs, String> {
         sub_queue_bytes,
         follow,
         max_lag_epochs,
+        scrub_secs,
     })
 }
 
@@ -538,6 +573,9 @@ enum RunFailure {
     /// A follower's history forked from its primary's (or the primary
     /// compacted past its resume point): the replica must be re-seeded.
     Diverged(String),
+    /// The disk under the WAL or checkpoint failed (ENOSPC/EIO): durable
+    /// writes cannot be trusted, so the daemon stops taking them.
+    Storage(String),
     Other(String),
 }
 
@@ -548,6 +586,7 @@ impl RunFailure {
             RunFailure::Ingest(_) => EXIT_INGEST,
             RunFailure::Checkpoint(_) => EXIT_CHECKPOINT,
             RunFailure::Diverged(_) => EXIT_DIVERGED,
+            RunFailure::Storage(_) => EXIT_STORAGE,
             RunFailure::Other(_) => EXIT_OTHER,
         }
     }
@@ -558,6 +597,7 @@ impl RunFailure {
             | RunFailure::Ingest(m)
             | RunFailure::Checkpoint(m)
             | RunFailure::Diverged(m)
+            | RunFailure::Storage(m)
             | RunFailure::Other(m) => m,
         }
     }
@@ -633,6 +673,42 @@ fn serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `deepdive promote <url> [--force]` — ask a follower to become primary.
+fn promote_cmd(args: &[String]) -> ExitCode {
+    let mut url = None;
+    let mut force = false;
+    for a in args {
+        match a.as_str() {
+            "--force" => force = true,
+            other if !other.starts_with("--") && url.is_none() => url = Some(other.to_string()),
+            other => {
+                eprintln!("deepdive promote: unknown argument `{other}`");
+                usage();
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let Some(url) = url else {
+        eprintln!("deepdive promote: missing follower url");
+        usage();
+        return ExitCode::from(EXIT_USAGE);
+    };
+    match deepdive_serve::promote(&url, force) {
+        Ok((200, body)) => {
+            println!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, body)) => {
+            eprintln!("deepdive promote: {url} answered {status}: {body}");
+            ExitCode::from(EXIT_OTHER)
+        }
+        Err(e) => {
+            eprintln!("deepdive promote: cannot reach {url}: {e}");
+            ExitCode::from(EXIT_OTHER)
+        }
+    }
+}
+
 /// Build the program, restore (and verify) the checkpoint, serve forever.
 fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
     let src = std::fs::read_to_string(&args.program)
@@ -676,6 +752,16 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
     } else {
         Some(args.wal_dir.clone().unwrap_or_else(|| dir.join("wal")))
     };
+    let faults = std::sync::Arc::new(deepdive_core::FaultInjector::from_env());
+    // Bridge the injector into the storage engine's process-global spill
+    // hook so DEEPDIVE_FAULTS=disk_* also bites spilled segments (one
+    // server per process in the CLI, so the global is unambiguous).
+    {
+        let faults = std::sync::Arc::clone(&faults);
+        deepdive_storage::install_spill_fault_hook(std::sync::Arc::new(move |point, _path| {
+            faults.trips(point)
+        }));
+    }
     let serve_config = ServeConfig {
         addr: args.addr.clone(),
         workers: args.workers,
@@ -689,11 +775,12 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
         max_inflight: args.max_inflight,
         ingest_rate: args.ingest_rate,
         drain: Duration::from_secs_f64(args.drain_secs),
-        faults: std::sync::Arc::new(deepdive_core::FaultInjector::from_env()),
+        faults,
         follow: args.follow.clone(),
         max_lag_epochs: args.max_lag_epochs,
         max_subscriptions: args.max_subscriptions,
         sub_queue_bytes: args.sub_queue_bytes,
+        scrub_interval: Duration::from_secs_f64(args.scrub_secs),
         ..Default::default()
     };
     let server = Server::new(dd, &serve_config).map_err(|e| RunFailure::Other(e.to_string()))?;
@@ -733,6 +820,10 @@ fn serve_inner(args: &RunArgs) -> Result<(), RunFailure> {
     let summary = handle
         .run_until(deepdive_serve::signals::shutdown_flag())
         .map_err(|e| RunFailure::Other(e.to_string()))?;
+    if let Some(msg) = state.storage_fatal_error() {
+        // The state message already names the failure class and path.
+        return Err(RunFailure::Storage(msg));
+    }
     if let Some(msg) = state.replication().fatal_error() {
         return Err(RunFailure::Diverged(format!(
             "replication stopped permanently: {msg}"

@@ -299,6 +299,10 @@ impl DbChain {
 /// Handle to one run directory.
 pub struct Checkpoint {
     dir: PathBuf,
+    /// When set, every artifact write consults the injector's disk fault
+    /// points (`disk_enospc`, `disk_eio`, `disk_bitflip`) — how the serve
+    /// layer's chaos tests exercise checkpoint-commit failure paths.
+    faults: Option<std::sync::Arc<crate::faults::FaultInjector>>,
 }
 
 const MANIFEST_FILE: &str = "MANIFEST.tsv";
@@ -316,11 +320,40 @@ impl Checkpoint {
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Checkpoint { dir })
+        Ok(Checkpoint { dir, faults: None })
+    }
+
+    /// Route this handle's artifact writes through `faults` (see the
+    /// `faults` field).
+    pub fn set_faults(&mut self, faults: std::sync::Arc<crate::faults::FaultInjector>) {
+        self.faults = Some(faults);
     }
 
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// [`write_atomic`] with this handle's disk fault points applied: fail
+    /// with a realistic `ENOSPC`/`EIO`, or silently flip one bit of what
+    /// lands on disk (the hash recorded by the caller is of the *intended*
+    /// bytes, so only a later [`Checkpoint::verify`] notices).
+    fn write_artifact(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(faults) = &self.faults {
+            use crate::faults::{disk_eio_error, disk_full_error, points};
+            if faults.trips(points::DISK_ENOSPC) {
+                return Err(disk_full_error(path));
+            }
+            if faults.trips(points::DISK_EIO) {
+                return Err(disk_eio_error(path));
+            }
+            if faults.trips(points::DISK_BITFLIP) && !bytes.is_empty() {
+                let mut flipped = bytes.to_vec();
+                let last = flipped.len() - 1;
+                flipped[last] ^= 0x01;
+                return write_atomic(path, &flipped);
+            }
+        }
+        write_atomic(path, bytes)
     }
 
     /// Read the manifest; a missing manifest is an empty one (fresh run dir).
@@ -403,14 +436,14 @@ impl Checkpoint {
         // write is atomic + fsync'd, so a crash mid-commit can also never
         // corrupt a previously committed artifact in place.
         let path = self.dir.join(phase.artifact());
-        write_atomic(&path, content.as_bytes())?;
+        self.write_artifact(&path, content.as_bytes())?;
         let mut manifest = self.manifest()?;
         manifest.upsert(ManifestEntry {
             phase,
             hash: fnv1a64(content.as_bytes()),
             duration_secs,
         });
-        write_atomic(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+        self.write_artifact(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
         Ok(())
     }
 
@@ -527,9 +560,9 @@ impl Checkpoint {
         for name in dirty {
             serialize_relation(db, name, &mut out)?;
         }
-        write_atomic(&self.dir.join(delta_file(k)), out.as_bytes())?;
+        self.write_artifact(&self.dir.join(delta_file(k)), out.as_bytes())?;
         chain.deltas.push(fnv1a64(out.as_bytes()));
-        write_atomic(&self.dir.join(CHAIN_FILE), chain.render().as_bytes())?;
+        self.write_artifact(&self.dir.join(CHAIN_FILE), chain.render().as_bytes())?;
         Ok(k)
     }
 

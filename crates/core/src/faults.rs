@@ -135,6 +135,44 @@ pub mod points {
     /// latent handler bug; the connection worker must catch it, answer 500,
     /// and keep serving.
     pub const SERVE_HANDLER_PANIC: &str = "serve_handler_panic";
+    /// A durable write fails with `ENOSPC` (disk full). Consulted by the
+    /// WAL append path, checkpoint artifact writes, and the spill store;
+    /// the CLI maps it to exit code 8 ("durable storage failure").
+    pub const DISK_ENOSPC: &str = "disk_enospc";
+    /// A durable write fails with `EIO` (media error). Same consumers and
+    /// classification as [`DISK_ENOSPC`].
+    pub const DISK_EIO: &str = "disk_eio";
+    /// A durable write *succeeds* but one bit on disk flips — silent
+    /// corruption that only a later re-read (the anti-entropy scrubber, a
+    /// follower re-verifying frame checksums, `Checkpoint::verify`) can
+    /// catch.
+    pub const DISK_BITFLIP: &str = "disk_bitflip";
+}
+
+/// `ENOSPC` as an [`io::Error`] naming the path that could not be written.
+/// Built from the real errno so `is_durable_storage_error` (and anything
+/// else inspecting `raw_os_error`) treats injected and genuine disk-full
+/// conditions identically.
+pub fn disk_full_error(path: &std::path::Path) -> std::io::Error {
+    let e = std::io::Error::from_raw_os_error(28); // ENOSPC
+    std::io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+/// `EIO` as an [`io::Error`] naming the failing path.
+pub fn disk_eio_error(path: &std::path::Path) -> std::io::Error {
+    let e = std::io::Error::from_raw_os_error(5); // EIO
+    std::io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+/// True when an I/O error means the durable medium itself failed (disk
+/// full, media error) rather than a logical problem — the class the CLI
+/// surfaces as exit code 8. Checks the errno when present and falls back
+/// to the `ErrorKind` for wrapped errors that lost it.
+pub fn is_durable_storage_error(e: &std::io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(28) | Some(5))
+        || matches!(e.kind(), std::io::ErrorKind::StorageFull)
+        || e.to_string().contains("(os error 28)")
+        || e.to_string().contains("(os error 5)")
 }
 
 /// One armed fault point: skip the first `skip` hits, then trip the next

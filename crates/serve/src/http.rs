@@ -310,6 +310,19 @@ impl Response {
         Response::json(status, &serde_json::json!({ "error": message }))
     }
 
+    /// A raw (non-JSON) payload — the checkpoint bundle `GET /checkpoint`
+    /// returns. The body is still UTF-8 text (every checkpoint artifact
+    /// is), but framed for byte-exact reassembly, not for parsing as JSON.
+    pub fn octet(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            retry_after: None,
+            headers: Vec::new(),
+            content_type: "application/octet-stream",
+        }
+    }
+
     /// Attach a `Retry-After` header (seconds).
     pub fn with_retry_after(mut self, secs: u64) -> Response {
         self.retry_after = Some(secs);

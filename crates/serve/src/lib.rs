@@ -58,8 +58,10 @@ pub mod subscriptions;
 pub mod wal;
 
 pub use metrics::ServeMetrics;
-pub use replication::ReplicationStats;
-pub use server::{DrainSummary, Lifecycle, ServeConfig, ServeState, Server, ServerHandle};
+pub use replication::{http_request_json, promote, ReplicationStats};
+pub use server::{
+    DrainSummary, Lifecycle, ScrubStats, ServeConfig, ServeState, Server, ServerHandle,
+};
 pub use snapshot::{ServeSnapshot, SnapshotCell};
 pub use subscriptions::{SubscriptionRegistry, SubscriptionSpec};
 pub use wal::{Wal, WalOptions, WalRecovery, DEFAULT_SEGMENT_BYTES};

@@ -13,7 +13,7 @@ const BUCKET_BOUNDS_MICROS: [u64; 6] = [1_000, 5_000, 25_000, 100_000, 500_000, 
 const NUM_BUCKETS: usize = BUCKET_BOUNDS_MICROS.len() + 1;
 
 /// The endpoints we keep separate books for.
-pub const ENDPOINTS: [&str; 9] = [
+pub const ENDPOINTS: [&str; 11] = [
     "healthz",
     "readyz",
     "metrics",
@@ -22,6 +22,8 @@ pub const ENDPOINTS: [&str; 9] = [
     "documents",
     "wal",
     "subscriptions",
+    "promote",
+    "checkpoint",
     "other",
 ];
 

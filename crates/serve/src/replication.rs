@@ -37,10 +37,11 @@
 use crate::http::Response;
 use crate::server::{Lifecycle, ServeState};
 use crate::wal::frame::{self, FrameDecoder, FrameError};
+use deepdive_core::checkpoint::fnv1a64;
 use deepdive_core::faults::points;
 use parking_lot::Mutex;
 use serde_json::{json, Value as Json};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +81,9 @@ pub struct ReplicationStats {
     pub streams_served: AtomicU64,
     /// Primary: frames shipped across all streams.
     pub frames_shipped: AtomicU64,
+    /// Follower: checkpoint resyncs completed after a 410 (compacted
+    /// history) or a scrub-detected corruption repaired from the primary.
+    pub resyncs: AtomicU64,
     /// Set when replication cannot continue (divergence, compacted
     /// history, future record version). The CLI exits nonzero on this.
     fatal: Mutex<Option<String>>,
@@ -126,6 +130,7 @@ impl ReplicationStats {
             "diverged": self.diverged.load(Ordering::SeqCst),
             "streams_served": self.streams_served.load(Ordering::SeqCst),
             "frames_shipped": self.frames_shipped.load(Ordering::SeqCst),
+            "resyncs": self.resyncs.load(Ordering::SeqCst),
             "fatal": self.fatal_error(),
         })
     }
@@ -222,11 +227,38 @@ pub(crate) fn serve_wal_stream(
             }
         },
     };
+    let peer_term = match req.query_param("term") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                let _ = Response::error(400, "term: not an integer").write_to(sock);
+                return false;
+            }
+        },
+    };
 
     let (stream_id, base_seq, head) = {
         let w = wal.lock();
         (w.stream_id(), w.base_seq(), w.next_seq())
     };
+    let term = state.term();
+    if peer_term > term {
+        // Fencing: the peer has seen a later election than we have. We are
+        // a stale primary — stop taking writes immediately and tell the
+        // peer; serving it frames from a dead term would split the brain.
+        state.fence(peer_term);
+        let _ = Response::error(
+            409,
+            &format!(
+                "stale term: this node is at term {term} but the peer has \
+                 seen term {peer_term}; this node is fenced"
+            ),
+        )
+        .with_header("X-DD-Term", peer_term.to_string())
+        .write_to(sock);
+        return false;
+    }
     if peer_stream != 0 && peer_stream != stream_id {
         let _ = Response::error(
             409,
@@ -267,7 +299,8 @@ pub(crate) fn serve_wal_stream(
     let head_line = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\
          Transfer-Encoding: chunked\r\nConnection: close\r\n\
-         X-DD-Stream: {stream_id:016x}\r\nX-DD-From: {from}\r\nX-DD-End: {head}\r\n\r\n"
+         X-DD-Stream: {stream_id:016x}\r\nX-DD-From: {from}\r\nX-DD-End: {head}\r\n\
+         X-DD-Term: {term}\r\n\r\n"
     );
     if sock.write_all(head_line.as_bytes()).is_err() {
         return false;
@@ -277,9 +310,10 @@ pub(crate) fn serve_wal_stream(
     let mut pos = from;
     let mut last_send = Instant::now();
     loop {
-        if state.stop_requested() || state.lifecycle() == Lifecycle::Draining {
+        if state.stop_requested() || state.lifecycle() == Lifecycle::Draining || state.fenced() {
             // Clean end-of-stream: the follower reconnects (with backoff)
-            // and finds the restarted primary, or its successor.
+            // and finds the restarted primary, or its successor. A fenced
+            // node must stop shipping frames from its dead term.
             let _ = sock.write_all(b"0\r\n\r\n");
             return true;
         }
@@ -328,8 +362,12 @@ enum TailError {
     /// Reconnect with backoff (network trouble, primary restarting,
     /// corrupt frame on the wire).
     Transient(String),
-    /// Stop replicating (divergence, compacted history, future versions).
-    /// The bool marks true divergence for the stats flag.
+    /// The primary compacted history below our resume point (410): fetch
+    /// its latest checkpoint over `GET /checkpoint` and resume tailing
+    /// from the checkpoint's seq instead of dying.
+    Resync(String),
+    /// Stop replicating (divergence, future versions). The bool marks
+    /// true divergence for the stats flag.
     Fatal(bool, String),
 }
 
@@ -348,6 +386,12 @@ pub(crate) fn run_follower(state: Arc<ServeState>, primary: String) {
             std::thread::sleep(Duration::from_millis(20));
             continue;
         }
+        if state.replication_paused() {
+            // Promotion in flight (or completed): idle without touching
+            // the stream. The pause is cleared if promotion aborts.
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
         if !first_attempt {
             stats.reconnects.fetch_add(1, Ordering::SeqCst);
         }
@@ -359,6 +403,25 @@ pub(crate) fn run_follower(state: Arc<ServeState>, primary: String) {
                 // Clean end of stream (primary drained). Reset backoff —
                 // its successor should be picked up promptly.
                 backoff = BACKOFF_FLOOR;
+            }
+            Err(TailError::Resync(message)) => {
+                eprintln!("deepdive serve: {message}; resyncing from the primary's checkpoint");
+                match state.resync_from_primary(&primary) {
+                    Ok(seq) => {
+                        stats.resyncs.fetch_add(1, Ordering::SeqCst);
+                        eprintln!(
+                            "deepdive serve: resync complete; resuming the tail at seq {seq}"
+                        );
+                        backoff = BACKOFF_FLOOR;
+                        continue; // reconnect immediately from the new offset
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "deepdive serve: checkpoint resync failed ({e}); \
+                             retrying with backoff"
+                        );
+                    }
+                }
             }
             Err(TailError::Fatal(diverged, message)) => {
                 eprintln!("deepdive serve: replication failed permanently: {message}");
@@ -398,9 +461,9 @@ fn tail_once(state: &ServeState, primary: &str) -> Result<(), TailError> {
     let wal = state
         .wal_handle()
         .expect("follower mode requires a WAL (checked at construction)");
-    let (my_stream, from) = {
+    let (my_stream, from, my_term) = {
         let w = wal.lock();
-        (w.stream_id(), w.next_seq())
+        (w.stream_id(), w.next_seq(), w.term())
     };
     let stats = state.replication();
 
@@ -414,7 +477,7 @@ fn tail_once(state: &ServeState, primary: &str) -> Result<(), TailError> {
     sock.set_write_timeout(Some(Duration::from_secs(5)))
         .map_err(transient)?;
     let request = format!(
-        "GET /wal?from={from}&stream={my_stream:016x} HTTP/1.1\r\n\
+        "GET /wal?from={from}&stream={my_stream:016x}&term={my_term} HTTP/1.1\r\n\
          Host: {addr}\r\nConnection: close\r\n\r\n"
     );
     sock.write_all(request.as_bytes()).map_err(transient)?;
@@ -424,23 +487,25 @@ fn tail_once(state: &ServeState, primary: &str) -> Result<(), TailError> {
     match status {
         200 => {}
         409 => {
+            let body = response_error_body(&mut reader, &headers);
+            if body.contains("stale term") {
+                // Not divergence: we fenced a deposed primary that is
+                // still answering on the old address. Keep retrying —
+                // the operator (or failover tooling) will repoint us.
+                return Err(TailError::Transient(format!(
+                    "peer is a fenced, stale-term primary (409): {body}"
+                )));
+            }
             return Err(TailError::Fatal(
                 true,
-                format!(
-                    "primary refused our history as divergent (409): {}",
-                    response_error_body(&mut reader, &headers)
-                ),
-            ))
+                format!("primary refused our history as divergent (409): {body}"),
+            ));
         }
         410 => {
-            return Err(TailError::Fatal(
-                false,
-                format!(
-                    "primary compacted history below seq {from} (410): {}; \
-                     re-seed this follower from a fresh primary checkpoint",
-                    response_error_body(&mut reader, &headers)
-                ),
-            ))
+            return Err(TailError::Resync(format!(
+                "primary compacted history below seq {from} (410): {}",
+                response_error_body(&mut reader, &headers)
+            )))
         }
         404 => {
             return Err(TailError::Fatal(
@@ -462,6 +527,23 @@ fn tail_once(state: &ServeState, primary: &str) -> Result<(), TailError> {
         .find(|(k, _)| k == "x-dd-end")
         .and_then(|(_, v)| v.parse::<u64>().ok())
         .ok_or_else(|| transient("handshake missing X-DD-End"))?;
+    // Term fencing, follower side: adopt a newer term (a promotion
+    // happened upstream); refuse frames from an older one (we already
+    // follow a newer primary than this peer ever was).
+    let primary_term = headers
+        .iter()
+        .find(|(k, _)| k == "x-dd-term")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    if primary_term < my_term {
+        return Err(TailError::Transient(format!(
+            "peer serves term {primary_term} but we have seen term {my_term}; \
+             refusing frames from a stale term"
+        )));
+    }
+    if primary_term > my_term {
+        state.adopt_term(primary_term).map_err(transient)?;
+    }
 
     if my_stream == 0 {
         let mut w = wal.lock();
@@ -498,7 +580,7 @@ fn tail_once(state: &ServeState, primary: &str) -> Result<(), TailError> {
     let mut decoder = FrameDecoder::new();
     let mut fetched = from;
     loop {
-        if state.stop_requested() {
+        if state.stop_requested() || state.replication_paused() {
             return Ok(());
         }
         match read_chunk(&mut reader) {
@@ -663,6 +745,156 @@ fn read_chunk(r: &mut impl BufRead) -> io::Result<Option<Vec<u8>>> {
     let mut crlf = [0u8; 2];
     r.read_exact(&mut crlf)?;
     Ok(Some(data))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint resync + control-plane HTTP helpers.
+// ---------------------------------------------------------------------------
+
+fn connect_peer(peer: &str, read_timeout: Duration) -> io::Result<(String, TcpStream)> {
+    let addr = peer
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string();
+    let sock = TcpStream::connect(&addr)?;
+    sock.set_read_timeout(Some(read_timeout))?;
+    sock.set_write_timeout(Some(Duration::from_secs(5)))?;
+    Ok((addr, sock))
+}
+
+fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Fetch the primary's current checkpoint bundle (`GET /checkpoint`) and
+/// install it into `dest`, hash-verifying every file and writing each via
+/// tmp + fsync + rename so a cut mid-transfer never leaves a torn
+/// artifact. Returns the number of files installed.
+///
+/// The bundle is a sequence of text frames over a Content-Length body:
+///
+/// ```text
+/// FILE <name> <len> <fnv1a64-hex>\n<len raw bytes>\n
+/// ...
+/// END\n
+/// ```
+pub(crate) fn fetch_checkpoint_bundle(primary: &str, dest: &std::path::Path) -> io::Result<usize> {
+    let (addr, mut sock) = connect_peer(primary, Duration::from_secs(30))?;
+    let request = format!("GET /checkpoint HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    sock.write_all(request.as_bytes())?;
+    let mut reader = BufReader::new(sock);
+    let (status, headers) = read_response_head(&mut reader)?;
+    if status != 200 {
+        return Err(io::Error::other(format!(
+            "primary answered {status} to GET /checkpoint: {}",
+            response_error_body(&mut reader, &headers)
+        )));
+    }
+
+    let bad = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
+    let mut installed = 0usize;
+    loop {
+        let line = read_crlf_line(&mut reader)?;
+        if line == "END" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let (tag, name, len, hash) = (
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+        );
+        if tag != "FILE" {
+            return Err(bad(format!("bad bundle frame header: {line:?}")));
+        }
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains('\\')
+            || name.contains("..")
+            || name.starts_with('.')
+        {
+            return Err(bad(format!("unsafe bundle file name: {name:?}")));
+        }
+        let len: usize = len
+            .parse()
+            .map_err(|_| bad(format!("bad bundle length in {line:?}")))?;
+        if len > 256 * 1024 * 1024 {
+            return Err(bad(format!("bundle file {name} over the 256 MiB cap")));
+        }
+        let want = u64::from_str_radix(hash, 16)
+            .map_err(|_| bad(format!("bad bundle hash in {line:?}")))?;
+        let mut content = vec![0u8; len];
+        reader.read_exact(&mut content)?;
+        let mut nl = [0u8; 1];
+        reader.read_exact(&mut nl)?;
+        if nl[0] != b'\n' {
+            return Err(bad(format!("bundle frame for {name} missing terminator")));
+        }
+        let got = fnv1a64(&content);
+        if got != want {
+            return Err(bad(format!(
+                "bundle file {name} failed its hash check \
+                 (got {got:016x}, want {want:016x})"
+            )));
+        }
+        let tmp = dest.join(format!(".resync-{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&content)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dest.join(name))?;
+        installed += 1;
+    }
+    if let Ok(dir) = std::fs::File::open(dest) {
+        let _ = dir.sync_all();
+    }
+    Ok(installed)
+}
+
+/// Minimal one-shot HTTP request returning `(status, parsed JSON body)`.
+/// Used by the promote CLI, the scrubber's cross-node fingerprint check,
+/// and the failover tests — all against this crate's own server.
+pub fn http_request_json(method: &str, peer: &str, path: &str) -> io::Result<(u16, Json)> {
+    let (addr, mut sock) = connect_peer(peer, Duration::from_secs(30))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: 0\r\n\r\n"
+    );
+    sock.write_all(request.as_bytes())?;
+    let mut reader = BufReader::new(sock);
+    let (status, headers) = read_response_head(&mut reader)?;
+    let body = match header_value(&headers, "content-length").and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(len) => {
+            let mut buf = vec![0u8; len.min(16 * 1024 * 1024)];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    let text = String::from_utf8_lossy(&body);
+    Ok((status, serde_json::from_str(&text).unwrap_or(Json::Null)))
+}
+
+/// Ask the node at `peer` to promote itself to primary (`POST /promote`).
+/// Returns the HTTP status and response body; 200 with `"promoted": true`
+/// means the node now serves writes under a new term.
+pub fn promote(peer: &str, force: bool) -> io::Result<(u16, Json)> {
+    let path = if force {
+        "/promote?force=1"
+    } else {
+        "/promote"
+    };
+    http_request_json("POST", peer, path)
 }
 
 #[cfg(test)]

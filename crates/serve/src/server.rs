@@ -45,7 +45,7 @@ use crate::subscriptions::{
     SubscriptionRegistry, SubscriptionSpec, RESERVED_QUERY_KEYS,
 };
 use crate::wal::{Wal, WalOptions, WalRecovery, DEFAULT_RETAIN_RECORDS, DEFAULT_SEGMENT_BYTES};
-use deepdive_core::faults::{points, FaultInjector};
+use deepdive_core::faults::{is_durable_storage_error, points, FaultInjector};
 use deepdive_core::{Checkpoint, CheckpointTracker, DeepDive};
 use deepdive_inference::{bounded_options, RefreshBudget};
 use deepdive_sampler::GibbsOptions;
@@ -140,6 +140,11 @@ pub struct ServeConfig {
     /// that falls further behind than this is shed (queue cleared, `lagged`
     /// frame, snapshot re-base) rather than allowed to block ingest.
     pub sub_queue_bytes: usize,
+    /// Anti-entropy scrub cadence: how often the background scrubber
+    /// re-verifies every WAL frame checksum and the whole checkpoint chain,
+    /// quarantining and repairing what fails. `Duration::ZERO` (the
+    /// default) disables the scrubber.
+    pub scrub_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -168,6 +173,7 @@ impl Default for ServeConfig {
             flush_interval: Duration::from_secs(5),
             max_subscriptions: 64,
             sub_queue_bytes: 1 << 20,
+            scrub_interval: Duration::ZERO,
         }
     }
 }
@@ -325,7 +331,9 @@ pub struct ServeState {
     read_timeout: Duration,
     write_timeout: Duration,
     request_deadline: Duration,
-    /// The primary this node follows (`None` = it *is* a primary).
+    /// The primary this node follows (`None` = it started as a primary).
+    /// The *current* role is [`ServeState::is_follower`] — `POST /promote`
+    /// flips a follower to primary at runtime.
     follow: Option<String>,
     max_lag_epochs: u64,
     stream_window: usize,
@@ -335,6 +343,36 @@ pub struct ServeState {
     replication: ReplicationStats,
     /// Live subscriptions and the delta router that feeds them.
     subs: SubscriptionRegistry,
+    /// This node's fencing term — the election counter persisted in the
+    /// WAL v3 header. Mirrors `Wal::term` so handlers read it lock-free.
+    term: AtomicU64,
+    /// Dynamic role. Starts as `follow.is_some()`; a successful
+    /// `POST /promote` flips it to false.
+    follower: AtomicBool,
+    /// Pauses just the follower's tailer (promotion in flight). Cleared
+    /// again if the promotion aborts; permanent once promoted.
+    repl_paused: AtomicBool,
+    /// Set when a peer's higher term revealed this node is a deposed
+    /// primary: writes are refused, `GET /wal` streams end, `/readyz`
+    /// answers "fenced".
+    fenced: Mutex<Option<String>>,
+    /// Set when the WAL or checkpoint hit a durable-storage failure
+    /// (ENOSPC/EIO): writes are refused and the CLI exits 8.
+    storage_fatal: Mutex<Option<String>>,
+    /// Set when the scrubber found corruption it could not repair: the
+    /// node degrades to read-only and `/readyz` answers "corrupt".
+    corrupt: Mutex<Option<String>>,
+    /// Anti-entropy scrubber books (`/metrics`, report.json).
+    scrub: ScrubStats,
+}
+
+/// Scrub counters: passes run, corruptions found (WAL frames, checkpoint
+/// artifacts, cross-node fingerprint mismatches), and repairs completed.
+#[derive(Debug, Default)]
+pub struct ScrubStats {
+    pub runs: AtomicU64,
+    pub corrupt_found: AtomicU64,
+    pub repaired: AtomicU64,
 }
 
 impl ServeState {
@@ -381,8 +419,181 @@ impl ServeState {
     }
 
     /// True when this node tails a primary instead of taking writes.
+    /// Dynamic: a follower stops being one the moment `POST /promote`
+    /// succeeds.
     pub fn is_follower(&self) -> bool {
-        self.follow.is_some()
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// The node's current fencing term (0 = no WAL / never elected).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::SeqCst)
+    }
+
+    /// `"primary"` or `"follower"`, for status bodies.
+    pub fn role_str(&self) -> &'static str {
+        if self.is_follower() {
+            "follower"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Adopt a term learned from a peer (never lowers). Persists it in the
+    /// WAL manifest so a restart still refuses stale-term primaries.
+    pub(crate) fn adopt_term(&self, term: u64) -> io::Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().set_term(term)?;
+        }
+        self.term.fetch_max(term, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// A peer proved a newer term exists: this node is a deposed primary.
+    /// Refuse writes from here on — acking them would split the brain.
+    pub(crate) fn fence(&self, peer_term: u64) {
+        let mut slot = self.fenced.lock();
+        if slot.is_none() {
+            let msg = format!(
+                "fenced: a peer has seen term {peer_term}, newer than ours ({}); this \
+                 deposed primary refuses writes — restart it with --follow pointing \
+                 at the new primary",
+                self.term()
+            );
+            eprintln!("deepdive serve: {msg}");
+            *slot = Some(msg);
+        }
+    }
+
+    pub(crate) fn fenced(&self) -> bool {
+        self.fenced.lock().is_some()
+    }
+
+    pub fn fenced_reason(&self) -> Option<String> {
+        self.fenced.lock().clone()
+    }
+
+    /// True while the tailer must stay off the stream (promote in flight,
+    /// or this node was promoted).
+    pub(crate) fn replication_paused(&self) -> bool {
+        self.repl_paused.load(Ordering::SeqCst)
+    }
+
+    /// The durable-storage failure (ENOSPC/EIO) that stopped writes, when
+    /// one happened. The CLI maps this to exit 8.
+    pub fn storage_fatal_error(&self) -> Option<String> {
+        self.storage_fatal.lock().clone()
+    }
+
+    /// Classify an I/O error from the WAL or checkpoint path: a
+    /// durable-storage failure (disk full, I/O error) latches the node
+    /// into refusing writes, and the CLI exits 8.
+    fn note_storage_error(&self, e: &io::Error, what: &str) {
+        if !is_durable_storage_error(e) {
+            return;
+        }
+        let mut slot = self.storage_fatal.lock();
+        if slot.is_none() {
+            let msg = format!("durable storage failure during {what}: {e}");
+            eprintln!("deepdive serve: FATAL: {msg}");
+            *slot = Some(msg);
+        }
+    }
+
+    /// The unrepairable corruption that degraded this node to read-only,
+    /// when the scrubber found one.
+    pub fn corrupt_reason(&self) -> Option<String> {
+        self.corrupt.lock().clone()
+    }
+
+    fn set_corrupt(&self, why: String) {
+        let mut slot = self.corrupt.lock();
+        if slot.is_none() {
+            eprintln!(
+                "deepdive serve: scrub: degrading to read-only: {why} \
+                 (reads keep serving the last good epoch)"
+            );
+            *slot = Some(why);
+        }
+    }
+
+    /// Why writes are currently refused, if they are (fencing, unrepaired
+    /// corruption, or a durable-storage failure).
+    fn write_block_reason(&self) -> Option<String> {
+        self.fenced_reason()
+            .or_else(|| self.corrupt_reason())
+            .or_else(|| self.storage_fatal_error())
+    }
+
+    pub(crate) fn checkpoint_dir(&self) -> Option<&std::path::Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// The scrub counters as the JSON gauge object `/metrics` and
+    /// `report.json` share.
+    fn scrub_json(&self) -> Json {
+        json!({
+            "runs": self.scrub.runs.load(Ordering::SeqCst),
+            "corrupt_found": self.scrub.corrupt_found.load(Ordering::SeqCst),
+            "repaired": self.scrub.repaired.load(Ordering::SeqCst),
+        })
+    }
+
+    /// Run one scrub pass right now (tests; the scrubber thread calls the
+    /// same path on its interval).
+    pub fn scrub_now(&self) {
+        scrub_once(self);
+    }
+
+    /// Re-seed this node's entire state from the primary's live checkpoint:
+    /// fetch the bundle (hash-verified, tmp+rename installed), verify the
+    /// chain, load it over the served state, publish the restored epoch,
+    /// and rewrite the local WAL to resume at the checkpoint's position.
+    /// Returns the seq the tail resumes from.
+    ///
+    /// This is the 410 (compacted-history) recovery path and the
+    /// follower's scrub-repair path.
+    pub(crate) fn resync_from_primary(&self, primary: &str) -> io::Result<u64> {
+        let dir = self.checkpoint_dir.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint resync requires a checkpoint dir (nowhere to \
+                 install the primary's checkpoint); re-seed this follower manually",
+            )
+        })?;
+        let files = replication::fetch_checkpoint_bundle(primary, dir)?;
+        let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
+        ckpt.verify().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("fetched checkpoint failed verification: {e}"),
+            )
+        })?;
+        let (stream_id, seq, term) = read_wal_position(Some(dir)).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "fetched checkpoint carries no wal_position.json; the primary \
+                 must flush at least one checkpoint with a WAL attached",
+            )
+        })?;
+        {
+            let mut dd = self.writer.lock();
+            dd.load_checkpoint(&ckpt).map_err(io::Error::other)?;
+            *self.ckpt_tracker.lock() = CheckpointTracker::default();
+            self.publish_epoch(&dd, 1, &self.inference, IvmTrace::default());
+            let new_term = term.max(self.term());
+            if let Some(wal) = &self.wal {
+                wal.lock().reset_stream(stream_id, seq, new_term)?;
+            }
+            self.term.fetch_max(new_term, Ordering::SeqCst);
+            self.replication.applied_seq.store(seq, Ordering::SeqCst);
+            self.replication.observe_watermark(seq);
+        }
+        eprintln!(
+            "deepdive serve: installed {files} checkpoint file(s) from the primary; \
+             local WAL reset to stream {stream_id:016x} seq {seq}"
+        );
+        Ok(seq)
     }
 
     /// The `group_commit` gauge object shared by `/metrics` and
@@ -476,7 +687,13 @@ impl ServeState {
     /// but never deadlock.
     pub(crate) fn ingest_replicated(&self, payload: &[u8]) -> io::Result<()> {
         let wal = self.wal.as_ref().expect("follower mode requires a WAL");
-        let seq = wal.lock().append(payload)?;
+        let seq = match wal.lock().append(payload) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.note_storage_error(&e, "replicated WAL append");
+                return Err(e);
+            }
+        };
         let mut dd = self.writer.lock();
         let changes = parse_ingest_body(&dd, &self.derived, payload).map_err(|resp| {
             io::Error::new(
@@ -521,14 +738,25 @@ impl ServeState {
     /// before applying.
     ///
     /// The checkpoint directory also gets `wal_position.json` (stream id +
-    /// seq), so copying the directory to seed a new follower carries the
-    /// exact offset it should resume the stream from.
+    /// seq + term), so copying the directory to seed a new follower carries
+    /// the exact offset it should resume the stream from.
     fn flush_checkpoint(&self) -> io::Result<()> {
+        let flushed = self.flush_checkpoint_inner();
+        if let Err(e) = &flushed {
+            // ENOSPC/EIO here means acked durability can no longer be
+            // honored; latch the failure so writes stop and the CLI exits 8.
+            self.note_storage_error(e, "checkpoint flush");
+        }
+        flushed
+    }
+
+    fn flush_checkpoint_inner(&self) -> io::Result<()> {
         let Some(dir) = &self.checkpoint_dir else {
             return Ok(());
         };
         let dd = self.writer.lock();
-        let ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
+        let mut ckpt = Checkpoint::new(dir.clone()).map_err(io::Error::other)?;
+        ckpt.set_faults(self.faults.clone());
         let report = {
             let mut tracker = self.ckpt_tracker.lock();
             dd.save_checkpoint_incremental(&ckpt, &mut tracker, self.checkpoint_full_every)
@@ -555,6 +783,7 @@ impl ServeState {
             let position = json!({
                 "stream_id": format!("{:016x}", wal.stream_id()),
                 "seq": through,
+                "term": wal.term(),
             });
             std::fs::write(
                 dir.join("wal_position.json"),
@@ -607,6 +836,8 @@ impl ServeState {
                 }),
             }),
             "replication": self.replication.to_json(self.is_follower()),
+            "term": self.term(),
+            "scrub": self.scrub_json(),
         });
         let text = serde_json::to_string_pretty(&report).expect("report renders");
         if let Err(e) = std::fs::write(dir.join("report.json"), text) {
@@ -622,6 +853,7 @@ pub struct Server {
     workers: usize,
     drain: Duration,
     flush_interval: Duration,
+    scrub_interval: Duration,
     /// Intact WAL records recovered at open, pending replay on `start`.
     pending_replay: Vec<Vec<u8>>,
 }
@@ -655,6 +887,7 @@ impl Server {
         let mut pending_replay = Vec::new();
         let mut wal_stats = WalStats::default();
         let replication = ReplicationStats::default();
+        let mut initial_term = 0u64;
         let wal = match &config.wal_dir {
             Some(dir) => {
                 let options = WalOptions {
@@ -664,7 +897,7 @@ impl Server {
                     fresh_stream: config.follow.is_none(),
                     segment_bytes: config.wal_segment_bytes,
                 };
-                let (mut wal, recovery): (Wal, WalRecovery) =
+                let (mut wal, mut recovery): (Wal, WalRecovery) =
                     Wal::open_with(dir, config.faults.clone(), options)?;
                 if recovery.torn_tail {
                     eprintln!(
@@ -678,14 +911,50 @@ impl Server {
                     // A checkpoint copied from the primary carries the
                     // stream position it was cut at; adopt it so the tail
                     // starts exactly where the seed state ends.
-                    if let Some((stream_id, seq)) =
+                    if let Some((stream_id, seq, term)) =
                         read_wal_position(config.checkpoint_dir.as_deref())
                     {
                         wal.adopt_stream(stream_id, seq)?;
+                        if term > wal.term() {
+                            wal.set_term(term)?;
+                        }
                         eprintln!(
                             "deepdive serve: follower adopted stream {stream_id:016x} at seq \
-                             {seq} from the seed checkpoint"
+                             {seq} (term {term}) from the seed checkpoint"
                         );
+                    }
+                }
+                if recovery.manifest_rebuilt {
+                    // The manifest was rebuilt from segment headers, so its
+                    // checkpoint mark can be *behind* the truth (the segment
+                    // snapshot only moves on rotation). `wal_position.json`
+                    // records what the checkpoint actually holds — skip
+                    // those records instead of double-applying them, and
+                    // restore the persisted term if the headers lost it.
+                    eprintln!(
+                        "deepdive serve: WARNING: WAL manifest was missing or corrupt; \
+                         rebuilt it from segment headers"
+                    );
+                    if let Some((stream_id, seq, term)) =
+                        read_wal_position(config.checkpoint_dir.as_deref())
+                    {
+                        if stream_id == wal.stream_id() {
+                            if term > wal.term() {
+                                wal.set_term(term)?;
+                            }
+                            let through = seq.min(wal.next_seq());
+                            if through > recovery.first_pending_seq {
+                                let skip = ((through - recovery.first_pending_seq) as usize)
+                                    .min(recovery.records.len());
+                                recovery.records.drain(..skip);
+                                recovery.first_pending_seq = through;
+                                wal.mark_checkpointed(through)?;
+                                eprintln!(
+                                    "deepdive serve: skipped {skip} record(s) already held by \
+                                     the checkpoint (wal_position.json says seq {seq})"
+                                );
+                            }
+                        }
                     }
                 }
                 wal_stats.torn_tail_recovered = recovery.torn_tail;
@@ -697,6 +966,7 @@ impl Server {
                     .applied_seq
                     .store(recovery.first_pending_seq, Ordering::SeqCst);
                 replication.observe_watermark(wal.next_seq());
+                initial_term = wal.term();
                 Some(Mutex::new(wal))
             }
             None => None,
@@ -748,10 +1018,18 @@ impl Server {
                 stopping: AtomicBool::new(false),
                 replication,
                 subs: SubscriptionRegistry::new(config.max_subscriptions, config.sub_queue_bytes),
+                term: AtomicU64::new(initial_term),
+                follower: AtomicBool::new(config.follow.is_some()),
+                repl_paused: AtomicBool::new(false),
+                fenced: Mutex::new(None),
+                storage_fatal: Mutex::new(None),
+                corrupt: Mutex::new(None),
+                scrub: ScrubStats::default(),
             }),
             workers: config.workers.max(1),
             drain: config.drain,
             flush_interval: config.flush_interval,
+            scrub_interval: config.scrub_interval,
             pending_replay,
         })
     }
@@ -839,9 +1117,10 @@ impl Server {
         // Background flusher: periodic incremental checkpoint + WAL
         // compaction, off the committer thread so neither ever holds up an
         // in-flight ack (and compaction never blocks reads at all — it only
-        // takes the wal lock, briefly).
-        let flusher = (!self.state.is_follower()
-            && self.state.wal.is_some()
+        // takes the wal lock, briefly). Followers flush too: their local
+        // checkpoint is what a crash restarts from, what `GET /checkpoint`
+        // serves after a promotion, and what bounds their own WAL growth.
+        let flusher = (self.state.wal.is_some()
             && self.state.checkpoint_dir.is_some()
             && self.flush_interval > Duration::ZERO)
             .then(|| {
@@ -849,6 +1128,14 @@ impl Server {
                 let interval = self.flush_interval;
                 std::thread::spawn(move || flusher_loop(&state, interval))
             });
+
+        // Anti-entropy scrubber: re-verify WAL frame checksums and the
+        // checkpoint chain on interval, quarantine + repair what fails.
+        let scrubber = (self.scrub_interval > Duration::ZERO).then(|| {
+            let state = self.state.clone();
+            let interval = self.scrub_interval;
+            std::thread::spawn(move || scrubber_loop(&state, interval))
+        });
 
         Ok(ServerHandle {
             addr,
@@ -860,6 +1147,7 @@ impl Server {
             tailer,
             committer,
             flusher,
+            scrubber,
             drain: self.drain,
         })
     }
@@ -926,6 +1214,7 @@ fn commit_batch(state: &ServeState, batch: Vec<CommitRequest>) {
     {
         let bodies: Vec<&[u8]> = parsed.iter().map(|(req, _)| req.body.as_slice()).collect();
         if let Err(e) = wal.lock().append_batch(&bodies) {
+            state.note_storage_error(&e, "WAL batch append");
             let msg = format!("ingest not applied: WAL append failed: {e}");
             for (req, _) in parsed {
                 let _ = req.reply.send(Response::error(500, &msg));
@@ -1078,15 +1367,207 @@ fn flusher_loop(state: &ServeState, interval: Duration) {
     }
 }
 
+/// The anti-entropy scrubber thread: every `interval`, run one scrub pass
+/// (WAL frame checksums, checkpoint chain hashes, cross-node fingerprint).
+fn scrubber_loop(state: &ServeState, interval: Duration) {
+    let mut last = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        if state.stop_requested() {
+            break;
+        }
+        if last.elapsed() < interval || state.lifecycle() != Lifecycle::Ready {
+            continue;
+        }
+        last = Instant::now();
+        scrub_once(state);
+    }
+}
+
+/// One scrub pass: re-verify every WAL frame checksum (fresh reads, not
+/// cached state), re-verify the whole checkpoint chain, repair what fails
+/// (from the primary for a follower, from a fresh flush for a primary),
+/// and — on a caught-up follower — compare served fingerprints with the
+/// primary to catch silent divergence no checksum can see.
+fn scrub_once(state: &ServeState) {
+    state.scrub.runs.fetch_add(1, Ordering::SeqCst);
+    if state.corrupt_reason().is_some() {
+        // Already degraded; nothing more a scrub can do.
+        return;
+    }
+
+    // 1. WAL: every frame, every segment, read back from disk.
+    if let Some(wal) = state.wal_handle() {
+        let verified = wal.lock().verify();
+        if let Err(e) = verified {
+            state.scrub.corrupt_found.fetch_add(1, Ordering::SeqCst);
+            eprintln!("deepdive serve: scrub: WAL corruption: {e}");
+            repair_wal(state, &e);
+        }
+    }
+
+    // 2. Checkpoint chain: every artifact against its manifest hash, every
+    // delta against the chain.
+    if let Some(dir) = state.checkpoint_dir() {
+        if dir.join("MANIFEST.tsv").exists() {
+            let verified =
+                Checkpoint::new(dir.to_path_buf()).and_then(|ckpt| ckpt.verify().map(|_| ()));
+            if let Err(e) = verified {
+                state.scrub.corrupt_found.fetch_add(1, Ordering::SeqCst);
+                eprintln!("deepdive serve: scrub: checkpoint corruption: {e}");
+                let file = match &e {
+                    deepdive_core::CheckpointError::Corrupt { file, .. } => Some(file.clone()),
+                    _ => None,
+                };
+                repair_checkpoint(state, file.as_deref(), &e.to_string());
+            }
+        }
+    }
+
+    // 3. Cross-node anti-entropy: a caught-up follower compares its served
+    // (epoch, fingerprint) with the primary's. Checksums catch bit-rot;
+    // this catches state divergence with intact checksums. A node that has
+    // ever resynced from a checkpoint bundle is excluded: the resync
+    // re-based its epoch counter, so an epoch collision with the primary
+    // no longer implies comparable histories.
+    if state.is_follower() && !state.replication.diverged.load(Ordering::SeqCst) {
+        if let Some(primary) = &state.follow {
+            if state.replication.connected.load(Ordering::SeqCst)
+                && state.replication.lag_epochs() == 0
+                && state.replication.resyncs.load(Ordering::SeqCst) == 0
+            {
+                scrub_fingerprint(state, primary);
+            }
+        }
+    }
+}
+
+/// Compare this follower's `(epoch, fingerprint)` with the primary's; a
+/// different fingerprint at the *same* epoch is divergence — mark it fatal
+/// exactly as a refused record would be.
+fn scrub_fingerprint(state: &ServeState, primary: &str) {
+    let Ok((200, body)) = replication::http_request_json("GET", primary, "/healthz") else {
+        return; // primary unreachable or unhealthy: the tailer's problem
+    };
+    let snap = state.snapshot.load();
+    let (Some(p_epoch), Some(p_fp)) = (
+        body.get("epoch").and_then(Json::as_u64),
+        body.get("fingerprint").and_then(Json::as_str),
+    ) else {
+        return;
+    };
+    let ours = format!("{:016x}", snap.fingerprint);
+    // Only a stable comparison counts: same epoch before *and* after, so a
+    // concurrent ingest cannot fake a mismatch.
+    if p_epoch == snap.epoch && p_fp != ours && state.snapshot.load().epoch == snap.epoch {
+        state.scrub.corrupt_found.fetch_add(1, Ordering::SeqCst);
+        state.replication.set_fatal(
+            true,
+            format!(
+                "scrub: fingerprint mismatch at epoch {p_epoch} (ours {ours}, \
+                 primary {p_fp}): silent divergence — re-seed this follower"
+            ),
+        );
+    }
+}
+
+/// Repair a corrupt WAL. A follower re-seeds from the primary's checkpoint
+/// (peer repair); a primary's applied state is intact in memory, so it
+/// flushes a fresh checkpoint and rewrites the log empty at the same
+/// stream and term (followers that still needed the dropped records get
+/// 410 → resync). When neither works the node degrades to read-only.
+fn repair_wal(state: &ServeState, err: &io::Error) {
+    if state.is_follower() {
+        if let Some(primary) = state.follow.clone() {
+            match state.resync_from_primary(&primary) {
+                Ok(_) => {
+                    state.scrub.repaired.fetch_add(1, Ordering::SeqCst);
+                    state.replication.resyncs.fetch_add(1, Ordering::SeqCst);
+                    eprintln!("deepdive serve: scrub: WAL repaired from the primary");
+                    return;
+                }
+                Err(re) => {
+                    eprintln!("deepdive serve: scrub: peer repair failed: {re}")
+                }
+            }
+        }
+        state.set_corrupt(format!("WAL corrupt and peer repair failed: {err}"));
+        return;
+    }
+    let repaired = state.flush_checkpoint().and_then(|()| {
+        let wal = state.wal_handle().expect("repair runs only with a WAL");
+        let mut w = wal.lock();
+        let (stream, next, term) = (w.stream_id(), w.next_seq(), w.term());
+        w.reset_stream(stream, next, term)
+    });
+    match repaired {
+        Ok(()) => {
+            state.scrub.repaired.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "deepdive serve: scrub: WAL repaired — state checkpointed and the \
+                 log rewritten clean"
+            );
+        }
+        Err(re) => state.set_corrupt(format!("WAL corrupt ({err}) and local repair failed: {re}")),
+    }
+}
+
+/// Repair a corrupt checkpoint: quarantine the named artifact (rename to
+/// `<file>.quarantine` so nothing ever loads it again), then rebuild — a
+/// follower fetches the primary's bundle, a primary rewrites the full
+/// checkpoint from its live state.
+fn repair_checkpoint(state: &ServeState, file: Option<&str>, reason: &str) {
+    if let (Some(dir), Some(file)) = (state.checkpoint_dir(), file) {
+        let bad = dir.join(file);
+        if bad.exists() {
+            match std::fs::rename(&bad, dir.join(format!("{file}.quarantine"))) {
+                Ok(()) => eprintln!("deepdive serve: scrub: quarantined {file}"),
+                Err(e) => eprintln!("deepdive serve: scrub: could not quarantine {file}: {e}"),
+            }
+        }
+    }
+    if state.is_follower() {
+        if let Some(primary) = state.follow.clone() {
+            match state.resync_from_primary(&primary) {
+                Ok(_) => {
+                    state.scrub.repaired.fetch_add(1, Ordering::SeqCst);
+                    state.replication.resyncs.fetch_add(1, Ordering::SeqCst);
+                    eprintln!("deepdive serve: scrub: checkpoint repaired from the primary");
+                    return;
+                }
+                Err(re) => eprintln!("deepdive serve: scrub: peer repair failed: {re}"),
+            }
+        }
+        state.set_corrupt(format!(
+            "checkpoint corrupt and peer repair failed: {reason}"
+        ));
+        return;
+    }
+    // Primary: the served state is the source of truth; force the next
+    // flush to be a full rewrite and take it now.
+    *state.ckpt_tracker.lock() = CheckpointTracker::default();
+    match state.flush_checkpoint() {
+        Ok(()) => {
+            state.scrub.repaired.fetch_add(1, Ordering::SeqCst);
+            eprintln!("deepdive serve: scrub: checkpoint repaired by a full rewrite");
+        }
+        Err(re) => state.set_corrupt(format!(
+            "checkpoint corrupt ({reason}) and rewrite failed: {re}"
+        )),
+    }
+}
+
 /// Read the `wal_position.json` a checkpoint flush leaves beside the
-/// checkpoint: `(stream_id, seq)`. Absent or unreadable simply means "no
-/// recorded position" (e.g. a pre-replication checkpoint).
-fn read_wal_position(dir: Option<&std::path::Path>) -> Option<(u64, u64)> {
+/// checkpoint: `(stream_id, seq, term)`. Absent or unreadable simply means
+/// "no recorded position" (e.g. a pre-replication checkpoint); a position
+/// written before terms existed reads as term 0.
+fn read_wal_position(dir: Option<&std::path::Path>) -> Option<(u64, u64, u64)> {
     let text = std::fs::read_to_string(dir?.join("wal_position.json")).ok()?;
     let v: Json = serde_json::from_str(&text).ok()?;
     let stream_id = u64::from_str_radix(v.get("stream_id")?.as_str()?, 16).ok()?;
     let seq = v.get("seq")?.as_u64()?;
-    (stream_id != 0).then_some((stream_id, seq))
+    let term = v.get("term").and_then(Json::as_u64).unwrap_or(0);
+    (stream_id != 0).then_some((stream_id, seq, term))
 }
 
 /// Nonblocking accept + admission control: beyond `max_inflight` admitted
@@ -1242,6 +1723,7 @@ pub struct ServerHandle {
     tailer: Option<JoinHandle<()>>,
     committer: Option<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
     drain: Duration,
 }
 
@@ -1323,6 +1805,9 @@ impl ServerHandle {
         if let Some(flusher) = self.flusher.take() {
             let _ = flusher.join();
         }
+        if let Some(scrubber) = self.scrubber.take() {
+            let _ = scrubber.join();
+        }
 
         let checkpoint_flushed = match self.state.flush_checkpoint() {
             Ok(()) => true,
@@ -1376,15 +1861,21 @@ impl ServerHandle {
         if let Some(flusher) = self.flusher.take() {
             let _ = flusher.join();
         }
+        if let Some(scrubber) = self.scrubber.take() {
+            let _ = scrubber.join();
+        }
     }
 
-    /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT)
-    /// or replication fails permanently (the CLI inspects
-    /// [`ReplicationStats::fatal_error`] afterwards and exits nonzero),
+    /// Serve until `stop` flips true (the CLI sets it from SIGTERM/SIGINT),
+    /// replication fails permanently, or durable storage fails (the CLI
+    /// inspects [`ReplicationStats::fatal_error`] /
+    /// [`ServeState::storage_fatal_error`] afterwards and exits nonzero),
     /// then drain gracefully.
     pub fn run_until(self, stop: &AtomicBool) -> io::Result<DrainSummary> {
         while !stop.load(Ordering::SeqCst) {
-            if self.state.replication.fatal_error().is_some() {
+            if self.state.replication.fatal_error().is_some()
+                || self.state.storage_fatal_error().is_some()
+            {
                 break;
             }
             std::thread::sleep(Duration::from_millis(50));
@@ -1412,6 +1903,9 @@ impl ServerHandle {
         }
         if let Some(flusher) = self.flusher.take() {
             let _ = flusher.join();
+        }
+        if let Some(scrubber) = self.scrubber.take() {
+            let _ = scrubber.join();
         }
     }
 }
@@ -1513,6 +2007,16 @@ fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
             .with_header("X-DD-Primary", state.follow.clone().unwrap_or_default()),
         ),
         ("POST", "/documents") => ("documents", post_documents(req, state)),
+        ("POST", "/promote") => ("promote", post_promote(req, state)),
+        (_, "/promote") => (
+            "other",
+            Response::error(405, "use POST").with_header("Allow", "POST"),
+        ),
+        ("GET", "/checkpoint") => ("checkpoint", get_checkpoint_bundle(state)),
+        (_, "/checkpoint") => (
+            "other",
+            Response::error(405, "use GET").with_header("Allow", "GET"),
+        ),
         (_, "/healthz" | "/readyz" | "/metrics") => (
             "other",
             Response::error(405, "use GET").with_header("Allow", "GET"),
@@ -1576,6 +2080,163 @@ fn route(req: &Request, state: &ServeState) -> (&'static str, Response) {
     }
 }
 
+/// `POST /promote`: atomically flip this caught-up follower to primary
+/// under a new, strictly higher term. Idempotent on a node that is already
+/// primary. Refuses (409) a diverged follower, or one that still trails
+/// the last known primary head — unless `?force=1` accepts losing the
+/// unfetched records.
+///
+/// The flip is fencing-safe: the new term is persisted in the WAL manifest
+/// *before* the role flips, so the deposed primary — should it come back —
+/// sees the higher term in the very first handshake and fences itself.
+fn post_promote(req: &Request, state: &ServeState) -> Response {
+    let force = matches!(req.query_param("force"), Some("1") | Some("true"));
+    if !state.is_follower() {
+        return Response::json(
+            200,
+            &json!({
+                "promoted": false,
+                "role": "primary",
+                "term": state.term(),
+                "note": "already primary",
+            }),
+        );
+    }
+    if state.lifecycle() != Lifecycle::Ready {
+        return Response::error(503, "cannot promote: node is not ready")
+            .with_retry_after(jittered_retry_secs(1));
+    }
+    let repl = state.replication();
+    if repl.diverged.load(Ordering::SeqCst) || repl.fatal_error().is_some() {
+        return Response::error(
+            409,
+            "cannot promote a diverged follower; re-seed it from a fresh checkpoint first",
+        );
+    }
+    let Some(wal) = &state.wal else {
+        return Response::error(400, "promote requires a WAL (--wal-dir)");
+    };
+
+    // Park the tailer and wait for it to let go of the stream; records it
+    // already fetched are applied before it pauses, so `applied_seq` is
+    // final once `connected` drops.
+    state.repl_paused.store(true, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while repl.connected.load(Ordering::SeqCst) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if repl.connected.load(Ordering::SeqCst) {
+        state.repl_paused.store(false, Ordering::SeqCst);
+        return Response::error(
+            503,
+            "cannot promote: the tailer did not release the stream in time",
+        )
+        .with_retry_after(jittered_retry_secs(1));
+    }
+
+    let new_term;
+    {
+        // The writer lock orders the flip against any in-flight apply.
+        let _dd = state.writer.lock();
+        let lag = repl.lag_epochs();
+        if lag > 0 && !force {
+            state.repl_paused.store(false, Ordering::SeqCst);
+            return Response::error(
+                409,
+                &format!(
+                    "cannot promote: this follower trails the last known primary head \
+                     by {lag} record(s); let it catch up, or pass ?force=1 to accept \
+                     losing them"
+                ),
+            );
+        }
+        let mut w = wal.lock();
+        new_term = w.term() + 1;
+        if let Err(e) = w.set_term(new_term) {
+            state.repl_paused.store(false, Ordering::SeqCst);
+            return Response::error(
+                500,
+                &format!("cannot promote: persisting term {new_term} failed: {e}"),
+            );
+        }
+        state.term.store(new_term, Ordering::SeqCst);
+        state.follower.store(false, Ordering::SeqCst);
+        // A forced promotion abandons the unfetched records; the books
+        // must not report them as lag forever.
+        let applied = repl.applied_seq.load(Ordering::SeqCst);
+        repl.watermark_seq.store(applied, Ordering::SeqCst);
+    }
+    eprintln!("deepdive serve: promoted to primary at term {new_term}");
+    // Record the new term in wal_position.json (best effort — the term is
+    // already durable in the WAL manifest).
+    if let Err(e) = state.flush_checkpoint() {
+        eprintln!("deepdive serve: WARNING: post-promote checkpoint flush failed ({e})");
+    }
+    let snap = state.snapshot.load();
+    Response::json(
+        200,
+        &json!({
+            "promoted": true,
+            "role": "primary",
+            "term": new_term,
+            "epoch": snap.epoch,
+            "fingerprint": format!("{:016x}", snap.fingerprint),
+            "wal_offset": state.replication().applied_seq.load(Ordering::SeqCst),
+        }),
+    )
+}
+
+/// `GET /checkpoint`: the node's current checkpoint directory as a
+/// hash-framed bundle (see [`replication::fetch_checkpoint_bundle`] for
+/// the frame format). Flushes first so the bundle is current through every
+/// applied record. This is what a 410'd follower resyncs from.
+fn get_checkpoint_bundle(state: &ServeState) -> Response {
+    let Some(dir) = state.checkpoint_dir().map(|d| d.to_path_buf()) else {
+        return Response::error(404, "this node keeps no checkpoint (no checkpoint dir)");
+    };
+    if state.lifecycle() != Lifecycle::Ready {
+        return Response::error(503, "not ready").with_retry_after(jittered_retry_secs(1));
+    }
+    if let Some(why) = state.write_block_reason() {
+        // A fenced or corrupt node must not seed peers from suspect state.
+        return Response::error(503, &format!("refusing to serve a checkpoint: {why}"));
+    }
+    if let Err(e) = state.flush_checkpoint() {
+        return Response::error(500, &format!("checkpoint flush failed: {e}"));
+    }
+    // Hold the writer lock while reading: a flush holds it too, so no
+    // half-written chain can be bundled.
+    let _dd = state.writer.lock();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => return Response::error(500, &format!("cannot read checkpoint dir: {e}")),
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| !n.starts_with('.') && !n.ends_with(".tmp") && !n.ends_with(".quarantine"))
+        .collect();
+    names.sort();
+    let mut body = String::new();
+    for name in &names {
+        let content = match std::fs::read_to_string(dir.join(name)) {
+            Ok(c) => c,
+            Err(e) => {
+                return Response::error(500, &format!("cannot read checkpoint file {name}: {e}"))
+            }
+        };
+        let hash = deepdive_core::checkpoint::fnv1a64(content.as_bytes());
+        body.push_str(&format!("FILE {name} {} {hash:016x}\n", content.len()));
+        body.push_str(&content);
+        body.push('\n');
+    }
+    body.push_str("END\n");
+    Response::octet(200, body)
+        .with_header("X-DD-Term", state.term().to_string())
+        .with_header("X-DD-Files", names.len().to_string())
+}
+
 fn healthz(state: &ServeState) -> Response {
     let snap = state.snapshot.load();
     Response::json(
@@ -1583,8 +2244,11 @@ fn healthz(state: &ServeState) -> Response {
         &json!({
             "status": "ok",
             "lifecycle": state.lifecycle().as_str(),
+            "role": state.role_str(),
+            "term": state.term(),
             "epoch": snap.epoch,
             "fingerprint": format!("{:016x}", snap.fingerprint),
+            "wal_offset": state.replication().applied_seq.load(Ordering::SeqCst),
             "uptime_secs": state.started.elapsed().as_secs_f64(),
             "relations": snap.db.len(),
             "total_rows": snap.db.total_rows(),
@@ -1619,6 +2283,22 @@ fn readyz(state: &ServeState) -> Response {
             "diverged": repl.diverged.load(Ordering::SeqCst),
         })
     });
+    // Self-healing storage gates, in severity order: unrepaired corruption
+    // beats fencing beats a dead disk — all three make this node a bad
+    // routing target for anything but last-resort reads.
+    let mut detail: Option<String> = None;
+    if not_ready.is_none() {
+        if let Some(why) = state.corrupt_reason() {
+            not_ready = Some("corrupt");
+            detail = Some(why);
+        } else if let Some(why) = state.fenced_reason() {
+            not_ready = Some("fenced");
+            detail = Some(why);
+        } else if let Some(why) = state.storage_fatal_error() {
+            not_ready = Some("storage_failed");
+            detail = Some(why);
+        }
+    }
     if not_ready.is_none() && state.is_follower() {
         not_ready = if repl.fatal_error().is_some() {
             Some("diverged")
@@ -1632,7 +2312,16 @@ fn readyz(state: &ServeState) -> Response {
     }
     let mut body = Map::new();
     body.insert("status".into(), json!(not_ready.unwrap_or("ready")));
+    body.insert("role".into(), json!(state.role_str()));
+    body.insert("term".into(), json!(state.term()));
     body.insert("epoch".into(), json!(snap.epoch));
+    body.insert(
+        "wal_offset".into(),
+        json!(repl.applied_seq.load(Ordering::SeqCst)),
+    );
+    if let Some(detail) = detail {
+        body.insert("detail".into(), json!(detail));
+    }
     if let Some(replication) = replication {
         body.insert("replication".into(), replication);
     }
@@ -1727,6 +2416,8 @@ fn metrics(state: &ServeState) -> Response {
                 }),
             }),
             "replication": state.replication().to_json(state.is_follower()),
+            "term": state.term(),
+            "scrub": state.scrub_json(),
             "storage": json!({
                 "resident_bytes": state.budget.resident(),
                 "peak_resident_bytes": state.budget.peak_resident(),
@@ -2067,6 +2758,12 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
                 .with_retry_after(jittered_retry_secs(1));
         }
     }
+    if let Some(why) = state.write_block_reason() {
+        // Fenced (a newer primary exists), corrupt (scrub found rot it
+        // could not repair), or dead disk: acking a write here would break
+        // the durability promise or split the brain.
+        return Response::error(503, &why).with_retry_after(jittered_retry_secs(2));
+    }
     if let Some(bucket) = &state.ingest_bucket {
         if let Err(retry_secs) = bucket.lock().try_take() {
             state.metrics.record_rate_limited();
@@ -2117,7 +2814,11 @@ fn post_documents(req: &Request, state: &ServeState) -> Response {
         match wal.lock().append(&req.body) {
             Ok(seq) => appended_seq = Some(seq),
             Err(e) => {
-                return Response::error(500, &format!("ingest not applied: WAL append failed: {e}"))
+                state.note_storage_error(&e, "WAL append");
+                return Response::error(
+                    500,
+                    &format!("ingest not applied: WAL append failed: {e}"),
+                );
             }
         }
     }

@@ -14,17 +14,19 @@
 //!
 //! ```text
 //! wal.manifest              # "#deepdive-wal-manifest-v1" + stream id +
-//!                           # checkpoint seq (atomically replaced)
+//!                           # checkpoint seq + term + checksum
 //! seg-00000000000000000000.wal
 //! seg-00000000000000000417.wal   # first seq of each segment in the name
 //! ```
 //!
-//! Every segment starts with the same 36-byte v2 header a single-file WAL
-//! used:
+//! New segments start with a 44-byte v3 header; v2's 36-byte header is
+//! still read (term = 0), so a log written by an older build opens in
+//! place:
 //!
 //! ```text
-//! [8B magic "DDWAL2\n\0"][u32 LE format version = 2]
+//! [8B magic "DDWAL3\n\0"][u32 LE format version = 3]
 //! [u64 LE stream id][u64 LE first seq][u64 LE checkpoint seq snapshot]
+//! [u64 LE term snapshot]                       # v3 only
 //! ```
 //!
 //! followed by versioned, length-prefixed, checksummed frames:
@@ -72,23 +74,29 @@
 //! shipped, so silently dropping them would fork history under a follower.
 
 use deepdive_core::checkpoint::fnv1a64;
-use deepdive_core::faults::{points, FaultInjector};
+use deepdive_core::faults::{disk_eio_error, disk_full_error, points, FaultInjector};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File magic for format v2 (single-file logs and segment files alike).
+/// File magic for format v3 (segment files carrying a term snapshot).
+const MAGIC_V3: &[u8; 8] = b"DDWAL3\n\0";
+/// File magic for format v2 (read-compatible; term taken as 0).
 const MAGIC_V2: &[u8; 8] = b"DDWAL2\n\0";
 /// File magic of the legacy v1 format (auto-upgraded on open).
 const MAGIC_V1: &[u8; 8] = b"DDWAL1\n\0";
-/// The file format version this build writes and reads.
-const FORMAT_VERSION: u32 = 2;
+/// The file format version this build writes.
+const FORMAT_VERSION: u32 = 3;
+/// The newest format version this build still reads in place.
+const COMPAT_FORMAT_VERSION: u32 = 2;
 /// The frame (record) version this build writes and reads.
 pub const RECORD_VERSION: u8 = 1;
-/// Segment header: magic + format version + stream id + first seq +
-/// checkpoint seq snapshot.
-const HEADER_LEN: u64 = 36;
+/// v3 segment header: magic + format version + stream id + first seq +
+/// checkpoint seq snapshot + term snapshot.
+const HEADER_LEN: u64 = 44;
+/// v2 segment header (no term snapshot).
+const HEADER_LEN_V2: u64 = 36;
 /// Per-frame framing overhead: version byte + u32 length + u64 checksum.
 const FRAME_HEADER_BYTES: u64 = 13;
 /// v1 framing overhead: u32 length + u64 checksum (no version byte).
@@ -281,6 +289,9 @@ pub struct WalRecovery {
     pub upgraded_v1: bool,
     /// Checkpoint-owned records still retained for followers.
     pub retained: u64,
+    /// True when `wal.manifest` was missing or corrupt and was rebuilt by
+    /// scanning the segment headers (see [`Wal::open_with`]).
+    pub manifest_rebuilt: bool,
 }
 
 /// A rollback point captured before a speculative append (see
@@ -323,6 +334,9 @@ pub struct Wal {
     stream_id: u64,
     next_seq: u64,
     checkpoint_seq: u64,
+    /// Fencing term (monotonic, bumped by promotion). Persisted in the
+    /// manifest and snapshotted into every new segment header.
+    term: u64,
     retain: u64,
     segment_target: u64,
     /// Set when an append failed in a way that leaves the on-disk tail
@@ -378,16 +392,16 @@ impl Wal {
                     } else {
                         0
                     };
-                    write_fresh_segment(&dir.join(segment_name(0)), stream_id, 0, 0, &records)?;
-                    write_manifest(dir, stream_id, 0)?;
+                    write_fresh_segment(&dir.join(segment_name(0)), stream_id, 0, 0, 0, &records)?;
+                    write_manifest(dir, stream_id, 0, 0)?;
                     std::fs::remove_file(&legacy)?;
                     sync_dir(dir)?;
                     upgraded_v1 = true;
                     v1_torn = (torn, torn_bytes);
                 } else if got == magic.len() && &magic == MAGIC_V2 {
-                    let (stream_id, base_seq, checkpoint_seq) = read_v2_header(&legacy)?;
-                    write_manifest(dir, stream_id, checkpoint_seq)?;
-                    std::fs::rename(&legacy, dir.join(segment_name(base_seq)))?;
+                    let h = read_header(&legacy)?;
+                    write_manifest(dir, h.stream_id, h.checkpoint_seq, h.term)?;
+                    std::fs::rename(&legacy, dir.join(segment_name(h.first_seq)))?;
                     sync_dir(dir)?;
                 } else {
                     return Err(io::Error::new(
@@ -396,12 +410,23 @@ impl Wal {
                     ));
                 }
             } else {
-                let stream_id = if options.fresh_stream {
-                    random_stream_id()
-                } else {
-                    0
-                };
-                write_manifest(dir, stream_id, 0)?;
+                // No legacy log. If segments already exist, the manifest
+                // was lost (crash mid-resync, operator damage): leave it
+                // absent and let the rebuild path below reconstruct it
+                // from the segment headers. Otherwise mint a new log.
+                let has_segments = std::fs::read_dir(dir)?.any(|e| {
+                    e.ok()
+                        .map(|e| parse_segment_name(&e.file_name().to_string_lossy()).is_some())
+                        .unwrap_or(false)
+                });
+                if !has_segments {
+                    let stream_id = if options.fresh_stream {
+                        random_stream_id()
+                    } else {
+                        0
+                    };
+                    write_manifest(dir, stream_id, 0, 0)?;
+                }
             }
         } else if legacy.exists() {
             // A crash interrupted a migration after the manifest write:
@@ -413,15 +438,31 @@ impl Wal {
             let got = read_fully(&mut f, &mut magic)?;
             drop(f);
             if got == magic.len() && &magic == MAGIC_V2 {
-                let (_, base_seq, _) = read_v2_header(&legacy)?;
-                std::fs::rename(&legacy, dir.join(segment_name(base_seq)))?;
+                let h = read_header(&legacy)?;
+                std::fs::rename(&legacy, dir.join(segment_name(h.first_seq)))?;
             } else {
                 std::fs::remove_file(&legacy)?;
             }
             sync_dir(dir)?;
         }
 
-        let (stream_id, checkpoint_seq) = read_manifest(&manifest_path)?;
+        // A missing or corrupt manifest is rebuilt from the segment
+        // headers — never a refusal to start. Only a well-formed future
+        // manifest version stays fatal.
+        let (stream_id, checkpoint_seq, term, manifest_rebuilt) =
+            match read_manifest(&manifest_path) {
+                Ok((s, c, t)) => (s, c, t, false),
+                Err(e)
+                    if (e.kind() == io::ErrorKind::NotFound
+                        || e.kind() == io::ErrorKind::InvalidData)
+                        && !e.to_string().contains("newer than supported") =>
+                {
+                    let (s, c, t) = rebuild_manifest(dir, &options)?;
+                    write_manifest(dir, s, c, t)?;
+                    (s, c, t, true)
+                }
+                Err(e) => return Err(e),
+            };
 
         // Enumerate segments by the first seq in their file names.
         let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
@@ -438,7 +479,7 @@ impl Wal {
             // first segment): start an empty segment at the checkpoint
             // seq.
             let path = dir.join(segment_name(checkpoint_seq));
-            write_fresh_segment(&path, stream_id, checkpoint_seq, checkpoint_seq, &[])?;
+            write_fresh_segment(&path, stream_id, checkpoint_seq, checkpoint_seq, term, &[])?;
             seg_files.push((checkpoint_seq, path));
         }
 
@@ -453,6 +494,7 @@ impl Wal {
             torn_bytes: v1_torn.1,
             upgraded_v1,
             retained: 0,
+            manifest_rebuilt,
         };
         let base_seq = seg_files[0].0;
         if checkpoint_seq < base_seq {
@@ -481,29 +523,31 @@ impl Wal {
                 .truncate(false)
                 .open(&path)?;
             let total = file.metadata()?.len();
-            let (header_stream, header_first, _) = parse_v2_header(&mut file, &path)?;
-            if header_stream != stream_id {
+            let header = parse_header(&mut file, &path)?;
+            if header.stream_id != stream_id {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
-                        "{}: segment stream id {header_stream:016x} does not \
+                        "{}: segment stream id {:016x} does not \
                          match the manifest's {stream_id:016x}",
-                        path.display()
+                        path.display(),
+                        header.stream_id
                     ),
                 ));
             }
-            if header_first != first_seq {
+            if header.first_seq != first_seq {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
-                        "{}: segment header claims first seq {header_first} \
+                        "{}: segment header claims first seq {} \
                          but the file is named for seq {first_seq}",
-                        path.display()
+                        path.display(),
+                        header.first_seq
                     ),
                 ));
             }
             let mut index = Vec::new();
-            let mut offset = HEADER_LEN;
+            let mut offset = header.len;
             loop {
                 match read_disk_frame(&mut file) {
                     Ok(Some(payload)) => {
@@ -571,6 +615,7 @@ impl Wal {
             stream_id,
             next_seq: seq,
             checkpoint_seq,
+            term,
             retain: options.retain_records,
             segment_target: options.segment_bytes.max(1),
             poisoned: false,
@@ -640,7 +685,9 @@ impl Wal {
     fn write_batch(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
         for payload in payloads {
             let active = self.segments.last().expect("at least one segment");
-            if !active.index.is_empty() && active.bytes - HEADER_LEN >= self.segment_target {
+            if !active.index.is_empty()
+                && active.bytes.saturating_sub(HEADER_LEN) >= self.segment_target
+            {
                 self.rotate()?;
             }
             // Fault point: a crash mid-write leaves a torn prefix on disk
@@ -653,7 +700,25 @@ impl Wal {
                 self.poisoned = true;
                 return Err(io::Error::other("injected torn WAL write"));
             }
-            let buf = frame::encode(payload);
+            // Fault points: the disk itself fails the append. The error
+            // carries the real errno so the serve layer can classify it as
+            // a durable-storage failure (CLI exit code 8).
+            if self.faults.trips(points::DISK_ENOSPC) {
+                let active = self.segments.last().expect("at least one segment");
+                return Err(disk_full_error(&active.path));
+            }
+            if self.faults.trips(points::DISK_EIO) {
+                let active = self.segments.last().expect("at least one segment");
+                return Err(disk_eio_error(&active.path));
+            }
+            let mut buf = frame::encode(payload);
+            // Fault point: silent media corruption — the write "succeeds"
+            // but a bit on disk flips. Nothing notices until the scrubber
+            // (or a follower) re-verifies the frame checksum.
+            if self.faults.trips(points::DISK_BITFLIP) {
+                let last = buf.len() - 1;
+                buf[last] ^= 0x01;
+            }
             self.file.write_all(&buf)?;
             let active = self.segments.last_mut().expect("at least one segment");
             active.index.push(active.bytes);
@@ -684,6 +749,7 @@ impl Wal {
             self.stream_id,
             first_seq,
             self.checkpoint_seq,
+            self.term,
         ))?;
         f.sync_data()?;
         sync_dir(&self.dir)?;
@@ -792,7 +858,7 @@ impl Wal {
             self.poisoned = false;
         }
         if through != self.checkpoint_seq {
-            write_manifest(&self.dir, self.stream_id, through)?;
+            write_manifest(&self.dir, self.stream_id, through, self.term)?;
             self.checkpoint_seq = through;
         }
         Ok(())
@@ -857,9 +923,9 @@ impl Wal {
         // log.
         let old = self.segments.pop().expect("placeholder segment");
         std::fs::remove_file(&old.path)?;
-        write_manifest(&self.dir, stream_id, start_seq)?;
+        write_manifest(&self.dir, stream_id, start_seq, self.term)?;
         let path = self.dir.join(segment_name(start_seq));
-        write_fresh_segment(&path, stream_id, start_seq, start_seq, &[])?;
+        write_fresh_segment(&path, stream_id, start_seq, start_seq, self.term, &[])?;
         self.file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -876,6 +942,132 @@ impl Wal {
         self.next_seq = start_seq;
         self.checkpoint_seq = start_seq;
         Ok(())
+    }
+
+    /// Raise the fencing term (promotion, or a follower learning a higher
+    /// term from its primary's handshake). Persists the manifest; future
+    /// segment headers snapshot the new value. Terms never move backwards.
+    pub fn set_term(&mut self, term: u64) -> io::Result<()> {
+        if term <= self.term {
+            if term < self.term {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("term cannot move backwards ({} -> {term})", self.term),
+                ));
+            }
+            return Ok(());
+        }
+        write_manifest(&self.dir, self.stream_id, self.checkpoint_seq, term)?;
+        self.term = term;
+        Ok(())
+    }
+
+    /// Re-seed the log for a checkpoint resync: discard *everything* on
+    /// disk and restart as an empty log on `stream_id` at `start_seq`
+    /// (records below it are owned by the just-installed checkpoint),
+    /// under `term`. Unlike [`Wal::adopt_stream`] this is legal over a log
+    /// that holds records — the caller has already replaced that history
+    /// with a verified checkpoint fetched from the primary.
+    ///
+    /// Crash-safe without a journal: the manifest is unlinked first, then
+    /// segments newest-first, then the new manifest + segment are written.
+    /// Every intermediate state either rebuilds the old log from its
+    /// segment headers (and re-triggers the resync) or opens as the fresh
+    /// post-resync log.
+    pub fn reset_stream(&mut self, stream_id: u64, start_seq: u64, term: u64) -> io::Result<()> {
+        let manifest = self.dir.join(MANIFEST_FILE);
+        if manifest.exists() {
+            std::fs::remove_file(&manifest)?;
+        }
+        sync_dir(&self.dir)?;
+        while let Some(seg) = self.segments.pop() {
+            std::fs::remove_file(&seg.path)?;
+        }
+        sync_dir(&self.dir)?;
+        write_manifest(&self.dir, stream_id, start_seq, term)?;
+        let path = self.dir.join(segment_name(start_seq));
+        write_fresh_segment(&path, stream_id, start_seq, start_seq, term, &[])?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.segments.push(Segment {
+            path,
+            first_seq: start_seq,
+            bytes: HEADER_LEN,
+            index: Vec::new(),
+        });
+        self.stream_id = stream_id;
+        self.next_seq = start_seq;
+        self.checkpoint_seq = start_seq;
+        self.term = term;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Anti-entropy scrub: re-read every segment from disk and re-verify
+    /// headers and frame checksums against the in-memory index. Returns
+    /// the number of frames verified; the error names the first corrupt
+    /// file and seq. Detects silent bit-rot that the append path (which
+    /// never re-reads) cannot see. Takes `&mut self` so it runs under the
+    /// same lock as appends — the on-disk bytes it reads are quiescent.
+    pub fn verify(&mut self) -> io::Result<u64> {
+        let mut frames = 0u64;
+        for seg in &self.segments {
+            let mut file = File::open(&seg.path)?;
+            let header = parse_header(&mut file, &seg.path)?;
+            if header.stream_id != self.stream_id || header.first_seq != seg.first_seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: segment header does not match the log",
+                        seg.path.display()
+                    ),
+                ));
+            }
+            let mut seq = seg.first_seq;
+            let mut offset = header.len;
+            while offset < seg.bytes {
+                match read_disk_frame(&mut file) {
+                    Ok(Some(payload)) => {
+                        offset += FRAME_HEADER_BYTES + payload.len() as u64;
+                        frames += 1;
+                        seq += 1;
+                    }
+                    Ok(None) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "{}: segment ends at seq {seq} but the index \
+                                 expects frames through seq {}",
+                                seg.path.display(),
+                                seg.end_seq()
+                            ),
+                        ));
+                    }
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: {e} at seq {seq}", seg.path.display()),
+                        ));
+                    }
+                }
+            }
+            if seq != seg.end_seq() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: {} intact frames on disk but the index holds {}",
+                        seg.path.display(),
+                        seq - seg.first_seq,
+                        seg.index.len()
+                    ),
+                ));
+            }
+        }
+        Ok(frames)
     }
 
     /// Read frames `[from_seq, …)` as raw wire bytes, stopping at
@@ -967,6 +1159,11 @@ impl Wal {
         self.checkpoint_seq
     }
 
+    /// The fencing term this log last heard (see [`Wal::set_term`]).
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
     /// True when a failed append left the on-disk tail unknown.
     pub fn poisoned(&self) -> bool {
         self.poisoned
@@ -1007,36 +1204,70 @@ fn parse_segment_name(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-fn header_bytes(stream_id: u64, first_seq: u64, checkpoint_seq: u64) -> [u8; HEADER_LEN as usize] {
+fn header_bytes(
+    stream_id: u64,
+    first_seq: u64,
+    checkpoint_seq: u64,
+    term: u64,
+) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
-    h[0..8].copy_from_slice(MAGIC_V2);
+    h[0..8].copy_from_slice(MAGIC_V3);
     h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     h[12..20].copy_from_slice(&stream_id.to_le_bytes());
     h[20..28].copy_from_slice(&first_seq.to_le_bytes());
     h[28..36].copy_from_slice(&checkpoint_seq.to_le_bytes());
+    h[36..44].copy_from_slice(&term.to_le_bytes());
     h
 }
 
-/// Parse + validate a v2 header from an open file positioned at 0; leaves
-/// the cursor after the header. Returns (stream id, first/base seq,
-/// checkpoint seq snapshot).
-fn parse_v2_header(file: &mut File, path: &Path) -> io::Result<(u64, u64, u64)> {
+/// What a segment header says about itself.
+#[derive(Debug, Clone, Copy)]
+struct SegmentHeader {
+    stream_id: u64,
+    first_seq: u64,
+    /// Checkpoint seq at the moment the segment was created (lags the
+    /// live manifest value; never ahead of the log).
+    checkpoint_seq: u64,
+    /// Term at the moment the segment was created (v2 headers carry 0).
+    term: u64,
+    /// Bytes the header occupies (36 for v2, 44 for v3).
+    len: u64,
+}
+
+/// Parse + validate a v2 or v3 header from an open file positioned at 0;
+/// leaves the cursor after the header.
+fn parse_header(file: &mut File, path: &Path) -> io::Result<SegmentHeader> {
     let mut header = [0u8; HEADER_LEN as usize];
     let got = read_fully(file, &mut header)?;
-    if got < header.len() {
+    if got < HEADER_LEN_V2 as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{}: truncated WAL header", path.display()),
         ));
     }
-    if &header[0..8] != MAGIC_V2 {
+    let len = match &header[0..8] {
+        m if m == MAGIC_V3 => HEADER_LEN,
+        m if m == MAGIC_V2 => HEADER_LEN_V2,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a deepdive WAL (bad magic)", path.display()),
+            ));
+        }
+    };
+    if len == HEADER_LEN && got < HEADER_LEN as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{} is not a deepdive WAL (bad magic)", path.display()),
+            format!("{}: truncated WAL header", path.display()),
         ));
     }
     let format = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if format != FORMAT_VERSION {
+    let expected = if len == HEADER_LEN {
+        FORMAT_VERSION
+    } else {
+        COMPAT_FORMAT_VERSION
+    };
+    if format != expected {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
@@ -1046,24 +1277,39 @@ fn parse_v2_header(file: &mut File, path: &Path) -> io::Result<(u64, u64, u64)> 
             ),
         ));
     }
-    let stream_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-    let base_seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
-    let checkpoint_seq = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
-    Ok((stream_id, base_seq, checkpoint_seq))
+    let term = if len == HEADER_LEN {
+        u64::from_le_bytes(header[36..44].try_into().expect("8 bytes"))
+    } else {
+        // A v2 header: position the cursor right after the 36 bytes.
+        file.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+        0
+    };
+    Ok(SegmentHeader {
+        stream_id: u64::from_le_bytes(header[12..20].try_into().expect("8 bytes")),
+        first_seq: u64::from_le_bytes(header[20..28].try_into().expect("8 bytes")),
+        checkpoint_seq: u64::from_le_bytes(header[28..36].try_into().expect("8 bytes")),
+        term,
+        len,
+    })
 }
 
-/// Read just the v2 header of a closed file.
-fn read_v2_header(path: &Path) -> io::Result<(u64, u64, u64)> {
+/// Read just the header of a closed file.
+fn read_header(path: &Path) -> io::Result<SegmentHeader> {
     let mut f = File::open(path)?;
-    parse_v2_header(&mut f, path)
+    parse_header(&mut f, path)
 }
 
 /// Atomically (re)write the manifest: temp + fsync + rename + dir fsync.
-fn write_manifest(dir: &Path, stream_id: u64, checkpoint_seq: u64) -> io::Result<()> {
+/// The trailing `check` line is an fnv1a64 over everything before it, so
+/// truncation or bit-rot anywhere in the file is detectable (and triggers
+/// the rebuild-from-segments path rather than a refusal to start).
+fn write_manifest(dir: &Path, stream_id: u64, checkpoint_seq: u64, term: u64) -> io::Result<()> {
     let path = dir.join(MANIFEST_FILE);
     let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-    let text =
-        format!("{MANIFEST_HEADER}\nstream_id\t{stream_id}\ncheckpoint_seq\t{checkpoint_seq}\n");
+    let body = format!(
+        "{MANIFEST_HEADER}\nstream_id\t{stream_id}\ncheckpoint_seq\t{checkpoint_seq}\nterm\t{term}\n"
+    );
+    let text = format!("{body}check\t{:016x}\n", fnv1a64(body.as_bytes()));
     {
         let mut out = File::create(&tmp)?;
         out.write_all(text.as_bytes())?;
@@ -1074,13 +1320,25 @@ fn write_manifest(dir: &Path, stream_id: u64, checkpoint_seq: u64) -> io::Result
     Ok(())
 }
 
-/// Parse the manifest: (stream id, checkpoint seq).
-fn read_manifest(path: &Path) -> io::Result<(u64, u64)> {
+/// Parse the manifest: (stream id, checkpoint seq, term).
+///
+/// Anything malformed — bad key, bad value, missing key, checksum
+/// mismatch — comes back as `InvalidData`, which [`Wal::open_with`] treats
+/// as "rebuild from the segment headers", not a hard failure. Only a
+/// *future manifest version* stays fatal ("newer than supported"), since
+/// that is a healthy file this build must not reinterpret.
+fn read_manifest(path: &Path) -> io::Result<(u64, u64, u64)> {
     let text = std::fs::read_to_string(path)?;
     let mut lines = text.lines();
     match lines.next() {
         Some(MANIFEST_HEADER) => {}
-        Some(l) if l.starts_with("#deepdive-wal-manifest-v") => {
+        // A *well-formed* future version header stays fatal; a mangled one
+        // (random corruption that happens to keep the prefix) is treated
+        // as corruption like any other.
+        Some(l)
+            if l.strip_prefix("#deepdive-wal-manifest-v")
+                .is_some_and(|v| !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit())) =>
+        {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
@@ -1099,6 +1357,9 @@ fn read_manifest(path: &Path) -> io::Result<(u64, u64)> {
     }
     let mut stream_id = None;
     let mut checkpoint_seq = None;
+    let mut term = 0u64; // absent in pre-term manifests
+    let mut checked = false;
+    let mut consumed = MANIFEST_HEADER.len() + 1;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -1112,22 +1373,107 @@ fn read_manifest(path: &Path) -> io::Result<(u64, u64)> {
         let (key, value) = line
             .split_once('\t')
             .ok_or_else(|| corrupt("manifest line is not key<TAB>value"))?;
+        if key == "check" {
+            let want = u64::from_str_radix(value, 16)
+                .map_err(|_| corrupt("manifest checksum is not hex"))?;
+            if fnv1a64(&text.as_bytes()[..consumed]) != want {
+                return Err(corrupt("manifest checksum mismatch"));
+            }
+            checked = true;
+            continue;
+        }
+        consumed += line.len() + 1;
         let value: u64 = value
             .parse()
             .map_err(|_| corrupt("manifest value is not a u64"))?;
         match key {
             "stream_id" => stream_id = Some(value),
             "checkpoint_seq" => checkpoint_seq = Some(value),
+            "term" => term = value,
             _ => return Err(corrupt("unrecognized manifest key")),
         }
     }
+    if !checked {
+        // Without a verified checksum the values cannot be trusted over
+        // the segment headers — this also migrates pre-checksum manifests
+        // through the rebuild path exactly once.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: manifest is missing its checksum line", path.display()),
+        ));
+    }
     match (stream_id, checkpoint_seq) {
-        (Some(s), Some(c)) => Ok((s, c)),
+        (Some(s), Some(c)) => Ok((s, c, term)),
         _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{}: manifest is missing a required key", path.display()),
         )),
     }
+}
+
+/// Reconstruct manifest state by scanning `seg-*.wal` headers: stream id
+/// from the (unanimous) headers, checkpoint seq and term from the maximum
+/// snapshots, checkpoint clamped up to the base seq (records below the
+/// base were compacted away, which only happens once checkpointed). With
+/// no segments at all there is no history to protect, so a fresh identity
+/// is minted. The caller re-persists the result.
+fn rebuild_manifest(dir: &Path, options: &WalOptions) -> io::Result<(u64, u64, u64)> {
+    let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(first_seq) = parse_segment_name(&entry.file_name().to_string_lossy()) {
+            seg_files.push((first_seq, entry.path()));
+        }
+    }
+    seg_files.sort();
+    if seg_files.is_empty() {
+        let stream_id = if options.fresh_stream {
+            random_stream_id()
+        } else {
+            0
+        };
+        return Ok((stream_id, 0, 0));
+    }
+    let base_seq = seg_files[0].0;
+    let mut stream_id = None;
+    let mut checkpoint_seq = 0u64;
+    let mut term = 0u64;
+    for (first_seq, path) in &seg_files {
+        let header = read_header(path)?;
+        if header.first_seq != *first_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: segment header claims first seq {} but the file is \
+                     named for seq {first_seq}",
+                    path.display(),
+                    header.first_seq
+                ),
+            ));
+        }
+        match stream_id {
+            None => stream_id = Some(header.stream_id),
+            Some(prev) if prev != header.stream_id => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: segment stream id {:016x} disagrees with a \
+                         sibling's {prev:016x}; cannot rebuild the manifest",
+                        path.display(),
+                        header.stream_id
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+        checkpoint_seq = checkpoint_seq.max(header.checkpoint_seq);
+        term = term.max(header.term);
+    }
+    Ok((
+        stream_id.expect("at least one segment"),
+        checkpoint_seq.max(base_seq),
+        term,
+    ))
 }
 
 /// Write a fresh segment (atomically, via temp + rename) holding `records`
@@ -1137,12 +1483,13 @@ fn write_fresh_segment(
     stream_id: u64,
     first_seq: u64,
     checkpoint_seq: u64,
+    term: u64,
     records: &[Vec<u8>],
 ) -> io::Result<()> {
     let tmp = path.with_extension("wal.tmp");
     {
         let mut out = File::create(&tmp)?;
-        out.write_all(&header_bytes(stream_id, first_seq, checkpoint_seq))?;
+        out.write_all(&header_bytes(stream_id, first_seq, checkpoint_seq, term))?;
         for r in records {
             out.write_all(&frame::encode(r))?;
         }
@@ -1296,6 +1643,17 @@ mod tests {
 
     fn injector() -> Arc<FaultInjector> {
         Arc::new(FaultInjector::new())
+    }
+
+    /// Hand-write a 36-byte v2 header, as an older build would have.
+    fn header_bytes_v2(stream_id: u64, first_seq: u64, checkpoint_seq: u64) -> [u8; 36] {
+        let mut h = [0u8; 36];
+        h[0..8].copy_from_slice(MAGIC_V2);
+        h[8..12].copy_from_slice(&COMPAT_FORMAT_VERSION.to_le_bytes());
+        h[12..20].copy_from_slice(&stream_id.to_le_bytes());
+        h[20..28].copy_from_slice(&first_seq.to_le_bytes());
+        h[28..36].copy_from_slice(&checkpoint_seq.to_le_bytes());
+        h
     }
 
     /// The on-disk path of the newest (active) segment.
@@ -1699,9 +2057,9 @@ mod tests {
         // Simulate a crash right after rotation created the new segment
         // but before anything was appended to it: an empty header-only
         // tail segment.
-        let (stream_id, _) = read_manifest(&dir.join(MANIFEST_FILE)).unwrap();
+        let (stream_id, _, _) = read_manifest(&dir.join(MANIFEST_FILE)).unwrap();
         let path = dir.join(segment_name(1));
-        std::fs::write(&path, header_bytes(stream_id, 1, 0)).unwrap();
+        std::fs::write(&path, header_bytes(stream_id, 1, 0, 0)).unwrap();
 
         let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
         assert_eq!(rec.records, vec![b"sealed".to_vec()]);
@@ -1719,7 +2077,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // Hand-write a single-file v2 log: header + two frames, one
         // checkpointed.
-        let mut bytes = header_bytes(0xFEED, 0, 1).to_vec();
+        let mut bytes = header_bytes_v2(0xFEED, 0, 1).to_vec();
         bytes.extend_from_slice(&frame::encode(b"checkpointed"));
         bytes.extend_from_slice(&frame::encode(b"pending"));
         std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
@@ -1740,11 +2098,11 @@ mod tests {
     fn interrupted_migration_completes_on_reopen() {
         let dir = tmpdir("migrate-crash");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut bytes = header_bytes(0xFEED, 0, 0).to_vec();
+        let mut bytes = header_bytes_v2(0xFEED, 0, 0).to_vec();
         bytes.extend_from_slice(&frame::encode(b"survives"));
         std::fs::write(dir.join(LEGACY_FILE), &bytes).unwrap();
         // The crash window: manifest written, rename not yet done.
-        write_manifest(&dir, 0xFEED, 0).unwrap();
+        write_manifest(&dir, 0xFEED, 0, 0).unwrap();
 
         let (wal, rec) = Wal::open(&dir, injector()).unwrap();
         assert_eq!(rec.records, vec![b"survives".to_vec()]);
@@ -1800,10 +2158,10 @@ mod tests {
         assert_ne!(wal.stream_id(), 0);
         drop(wal);
 
-        // The log on disk is now segmented v2.
+        // The log on disk is now segmented v3.
         assert!(!dir.join(LEGACY_FILE).exists());
         let on_disk = std::fs::read(active_segment(&dir)).unwrap();
-        assert_eq!(&on_disk[0..8], MAGIC_V2);
+        assert_eq!(&on_disk[0..8], MAGIC_V3);
         let (_, rec) = Wal::open(&dir, injector()).unwrap();
         assert!(!rec.upgraded_v1);
         assert_eq!(rec.records.len(), 2);
@@ -1813,14 +2171,14 @@ mod tests {
     fn future_format_version_fails_with_a_clear_error() {
         let dir = tmpdir("future-format");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut header = header_bytes(42, 0, 0);
-        header[8..12].copy_from_slice(&3u32.to_le_bytes());
+        let mut header = header_bytes_v2(42, 0, 0);
+        header[8..12].copy_from_slice(&4u32.to_le_bytes());
         std::fs::write(dir.join(LEGACY_FILE), header).unwrap();
 
         let err = Wal::open(&dir, injector()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(
-            err.to_string().contains("format version 3"),
+            err.to_string().contains("format version 4"),
             "names the version: {err}"
         );
         assert!(err.to_string().contains("newer than supported"));
@@ -1847,7 +2205,7 @@ mod tests {
     fn future_record_version_fails_loud_not_torn() {
         let dir = tmpdir("future-record");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut bytes = header_bytes(42, 0, 0).to_vec();
+        let mut bytes = header_bytes_v2(42, 0, 0).to_vec();
         let payload = b"from the future";
         bytes.push(2); // unknown record version
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -2020,10 +2378,232 @@ mod tests {
         std::fs::write(dir.join(LEGACY_FILE), b"definitely not a WAL file").unwrap();
         assert!(Wal::open(&dir, injector()).is_err());
 
+        // A junk manifest is *not* refused: with no segments to contradict
+        // it, the log rebuilds as fresh (see the corruption tests below).
         let dir = tmpdir("manifest-junk");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join(MANIFEST_FILE), b"not a manifest").unwrap();
-        assert!(Wal::open(&dir, injector()).is_err());
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(rec.manifest_rebuilt);
+        assert_ne!(wal.stream_id(), 0);
+    }
+
+    #[test]
+    fn terms_persist_and_stamp_new_segments() {
+        let dir = tmpdir("terms");
+        let (mut wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(wal.term(), 0);
+        assert!(!rec.manifest_rebuilt);
+        wal.append(b"one").unwrap();
+        wal.set_term(3).unwrap();
+        assert!(wal.set_term(2).is_err(), "terms never move backwards");
+        wal.set_term(3).unwrap(); // idempotent
+        drop(wal);
+
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(wal.term(), 3, "term survives reopen via the manifest");
+        // A checkpoint mark keeps the term.
+        wal.mark_checkpointed(1).unwrap();
+        drop(wal);
+        let (wal, _) = Wal::open(&dir, injector()).unwrap();
+        assert_eq!(wal.term(), 3);
+        assert_eq!(wal.checkpoint_seq(), 1);
+    }
+
+    #[test]
+    fn corrupt_manifest_rebuilds_from_segment_headers() {
+        let dir = tmpdir("manifest-rebuild");
+        let opts = WalOptions {
+            segment_bytes: 1, // rotate every record
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+        let stream = wal.stream_id();
+        for p in [b"a".as_slice(), b"b", b"c", b"d"] {
+            wal.append(p).unwrap();
+        }
+        wal.set_term(2).unwrap();
+        wal.mark_checkpointed(2).unwrap();
+        // Force new segments *after* the checkpoint mark so at least one
+        // header snapshots checkpoint_seq = 2 and term = 2.
+        wal.append(b"e").unwrap();
+        wal.append(b"f").unwrap();
+        drop(wal);
+
+        for junk in [
+            &b"#deepdive-wal-manifest-v1\nstream_id\tnope\n"[..],
+            b"#deepdive-wal-manifest-v1\nstream_id\t1\ncheckpoint_seq\t1\nterm\t1\ncheck\t0000000000000000\n",
+            b"\xff\xfe garbage",
+            b"",
+        ] {
+            std::fs::write(dir.join(MANIFEST_FILE), junk).unwrap();
+            let (wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+            assert!(rec.manifest_rebuilt, "rebuilt for {junk:?}");
+            assert_eq!(wal.stream_id(), stream, "stream id from the headers");
+            assert_eq!(wal.term(), 2, "term from the newest header snapshot");
+            assert_eq!(wal.next_seq(), 6);
+            assert!(
+                wal.checkpoint_seq() <= 2,
+                "rebuilt checkpoint never overshoots the true mark"
+            );
+            drop(wal);
+            // The rebuilt manifest is durable: the next open is clean.
+            let (_, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+            assert!(!rec.manifest_rebuilt);
+        }
+
+        // A *missing* manifest rebuilds too (crash mid-resync).
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let (wal, rec) = Wal::open_with(&dir, injector(), opts).unwrap();
+        assert!(rec.manifest_rebuilt);
+        assert_eq!(wal.stream_id(), stream);
+        assert_eq!(wal.next_seq(), 6);
+    }
+
+    #[test]
+    fn reset_stream_reseeds_over_existing_records() {
+        let dir = tmpdir("reset-stream");
+        let (mut wal, _) = Wal::open(&dir, injector()).unwrap();
+        for p in [b"a".as_slice(), b"b", b"c"] {
+            wal.append(p).unwrap();
+        }
+        // Resync: a verified checkpoint now owns everything through seq
+        // 41; the log restarts empty on the primary's stream and term.
+        wal.reset_stream(0xC0FFEE, 42, 5).unwrap();
+        assert_eq!(wal.stream_id(), 0xC0FFEE);
+        assert_eq!(wal.next_seq(), 42);
+        assert_eq!(wal.checkpoint_seq(), 42);
+        assert_eq!(wal.term(), 5);
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.append(b"post-resync").unwrap(), 42);
+        drop(wal);
+        let (wal, rec) = Wal::open(&dir, injector()).unwrap();
+        assert!(!rec.manifest_rebuilt);
+        assert_eq!(wal.stream_id(), 0xC0FFEE);
+        assert_eq!(wal.term(), 5);
+        assert_eq!(rec.records, vec![b"post-resync".to_vec()]);
+    }
+
+    #[test]
+    fn verify_passes_clean_and_catches_bitrot() {
+        let dir = tmpdir("scrub");
+        let opts = WalOptions {
+            segment_bytes: 32,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+        for i in 0..8u8 {
+            wal.append(&[i; 24]).unwrap();
+        }
+        assert_eq!(wal.verify().unwrap(), 8);
+
+        // Flip one payload bit in the *first* (sealed) segment, behind the
+        // append path's back.
+        let path = dir.join(segment_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = wal.verify().unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "names the corruption: {err}"
+        );
+        assert!(err.to_string().contains("seg-"), "names the file: {err}");
+    }
+
+    #[test]
+    fn injected_disk_faults_fail_appends_with_real_errnos() {
+        let dir = tmpdir("disk-faults");
+        let faults = injector();
+        let (mut wal, _) = Wal::open(&dir, faults.clone()).unwrap();
+        wal.append(b"fine").unwrap();
+
+        faults.arm(points::DISK_ENOSPC, 1);
+        let err = wal.append(b"no space").unwrap_err();
+        assert!(deepdive_core::faults::is_durable_storage_error(&err));
+        assert!(err.to_string().contains("seg-"), "names the path: {err}");
+        assert!(!wal.poisoned(), "a refused write rolls back clean");
+
+        faults.arm(points::DISK_EIO, 1);
+        let err = wal.append(b"io error").unwrap_err();
+        assert!(deepdive_core::faults::is_durable_storage_error(&err));
+
+        // The log still works, and a bit-flip is silent until verify.
+        wal.append(b"healthy again").unwrap();
+        faults.arm(points::DISK_BITFLIP, 1);
+        wal.append(b"silently corrupted").unwrap();
+        let err = wal.verify().unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary manifest corruption — truncation, bit flips, garbage
+        /// splices — never panics and never loses log records: open always
+        /// succeeds and recovers every appended payload (give or take
+        /// where the rebuilt checkpoint mark lands, never *above* the true
+        /// one).
+        #[test]
+        fn arbitrary_manifest_corruption_recovers(
+            flips in proptest::collection::vec((0usize..256, 0u8..=255), 1..8),
+            truncate_to in prop_oneof![Just(None), (0usize..128).prop_map(Some)],
+            ckpt_pick in 0u64..6,
+        ) {
+            let dir = tmpdir("prop-manifest");
+            let opts = WalOptions {
+                segment_bytes: 16,
+                ..WalOptions::default()
+            };
+            let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 12]).collect();
+            {
+                let (mut wal, _) = Wal::open_with(&dir, injector(), opts).unwrap();
+                for p in &payloads {
+                    wal.append(p).unwrap();
+                }
+                wal.mark_checkpointed(ckpt_pick.min(5)).unwrap();
+            }
+            let path = dir.join(MANIFEST_FILE);
+            let mut bytes = std::fs::read(&path).unwrap();
+            if let Some(t) = truncate_to {
+                bytes.truncate(t);
+            }
+            for (pos, val) in flips {
+                if !bytes.is_empty() {
+                    let i = pos % bytes.len();
+                    bytes[i] ^= val;
+                }
+            }
+            std::fs::write(&path, &bytes).unwrap();
+
+            let opened = Wal::open_with(&dir, injector(), opts);
+            // The only legal refusal is a *well-formed* future manifest
+            // version (corruption can craft one by flipping the digit).
+            let (mut wal, rec) = match opened {
+                Ok(ok) => ok,
+                Err(e) => {
+                    prop_assert!(
+                        e.to_string().contains("newer than supported"),
+                        "only future versions may be refused, got: {e}"
+                    );
+                    return Ok(());
+                }
+            };
+            prop_assert_eq!(wal.next_seq(), 5);
+            prop_assert!(wal.checkpoint_seq() <= ckpt_pick.min(5));
+            // Every payload is still intact on disk.
+            let (bytes, through) = wal.read_frames(wal.base_seq(), usize::MAX).unwrap();
+            prop_assert_eq!(through, 5);
+            let mut dec = frame::FrameDecoder::new();
+            dec.feed(&bytes);
+            let mut streamed = Vec::new();
+            while let Some(p) = dec.next().unwrap() {
+                streamed.push(p);
+            }
+            prop_assert_eq!(&streamed[..], &payloads[..]);
+            let _ = rec;
+        }
     }
 
     use proptest::prelude::*;

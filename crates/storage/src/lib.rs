@@ -98,8 +98,8 @@ pub use program::{Program, StratifiedProgram, Stratum};
 pub use schema::{Column, Schema, SchemaBuilder};
 pub use snapshot::{DatabaseSnapshot, RelationSnapshot};
 pub use store::{
-    read_segment, write_segment, ColumnarStore, MemoryBudget, RelationStorageStats, SpillStore,
-    StorageConfig, TableStore,
+    install_spill_fault_hook, read_segment, write_segment, ColumnarStore, MemoryBudget,
+    RelationStorageStats, SpillFaultHook, SpillStore, StorageConfig, TableStore,
 };
 pub use table::{Membership, Table};
 pub use value::{hash_values, Row, Value, ValueType};

@@ -428,10 +428,51 @@ pub fn write_segment(path: &Path, cols: &[ColumnBuf]) -> std::io::Result<u64> {
     }
     let sum = fnv1a64(&bytes);
     bytes.extend_from_slice(&sum.to_le_bytes());
+    if spill_fault("disk_enospc", path) {
+        let e = std::io::Error::from_raw_os_error(28); // ENOSPC
+        return Err(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ));
+    }
+    if spill_fault("disk_eio", path) {
+        let e = std::io::Error::from_raw_os_error(5); // EIO
+        return Err(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ));
+    }
+    if spill_fault("disk_bitflip", path) {
+        // Silent media corruption: the checksum footer was computed over
+        // the intended bytes, so a later `read_segment` refuses the file.
+        let i = bytes.len() - 9; // last body byte, before the footer
+        bytes[i] ^= 0x01;
+    }
     let tmp = path.with_extension("seg.tmp");
     std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, path)?;
     Ok(bytes.len() as u64)
+}
+
+/// Disk fault hook consulted by [`write_segment`]: `(point, path) -> trip?`
+/// with the points named `disk_enospc`, `disk_eio`, `disk_bitflip` (the
+/// same vocabulary as the core fault injector, which the serve layer
+/// bridges in). Process-global because spill stores are constructed deep
+/// inside the storage engine where no injector handle reaches; the hook
+/// receives the segment path so tests can scope faults to their own
+/// directories.
+pub type SpillFaultHook = Arc<dyn Fn(&str, &Path) -> bool + Send + Sync>;
+
+static SPILL_FAULT_HOOK: std::sync::RwLock<Option<SpillFaultHook>> = std::sync::RwLock::new(None);
+
+/// Install (or replace) the process-global spill fault hook.
+pub fn install_spill_fault_hook(hook: SpillFaultHook) {
+    *SPILL_FAULT_HOOK.write().unwrap() = Some(hook);
+}
+
+fn spill_fault(point: &str, path: &Path) -> bool {
+    let guard = SPILL_FAULT_HOOK.read().unwrap();
+    guard.as_ref().map(|h| h(point, path)).unwrap_or(false)
 }
 
 /// Read a segment written by [`write_segment`]. Returns `None` — never a
@@ -1131,6 +1172,78 @@ mod tests {
         assert_eq!(s.stats().segments, 0);
         assert_eq!(s.stats().bytes_spilled, spilled, "cumulative counter");
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The fault hook is process-global, so this single test covers every
+    /// scenario and scopes trips to its own directory — parallel tests in
+    /// this binary never see a fault.
+    #[test]
+    fn spill_disk_faults_degrade_and_detect() {
+        let dir = tmpdir("spill-faults");
+        let armed: Arc<Mutex<std::collections::HashMap<String, u32>>> =
+            Arc::new(Mutex::new(std::collections::HashMap::new()));
+        {
+            let armed = Arc::clone(&armed);
+            let scope = dir.clone();
+            install_spill_fault_hook(Arc::new(move |point, path| {
+                if !path.starts_with(&scope) {
+                    return false;
+                }
+                let mut armed = armed.lock();
+                match armed.get_mut(point) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }));
+        }
+
+        // ENOSPC: write_segment fails with the real errno and names the
+        // path; the spill store degrades to resident instead of losing
+        // rows.
+        armed.lock().insert("disk_enospc".into(), 1);
+        let mut col = ColumnBuf::for_type(ValueType::Int);
+        col.push(&Value::Int(1));
+        col.push(&Value::Int(2));
+        let cols = vec![col];
+        let err = write_segment(&dir.join("fail.seg"), &cols).unwrap_err();
+        assert!(err.to_string().contains("fail.seg"), "{err}");
+        assert!(err.to_string().contains("os error 28"), "{err}");
+
+        armed.lock().insert("disk_enospc".into(), 1);
+        let budget = MemoryBudget::new(Some(1)); // pressure: spill eagerly
+        let mut s = SpillStore::new(types(), "rel".into(), dir.clone(), budget);
+        for i in 0..5i64 {
+            s.push(&row![i, "x"]);
+        }
+        s.flush();
+        assert_eq!(rows_of(&s).len(), 5, "no rows lost to the failed spill");
+        assert!(
+            s.groups
+                .iter()
+                .any(|g| g.file.is_none() && g.cols.is_some()),
+            "the failed segment's group stays resident"
+        );
+
+        // EIO: same degrade path.
+        armed.lock().insert("disk_eio".into(), 1);
+        let err = write_segment(&dir.join("eio.seg"), &cols).unwrap_err();
+        assert!(err.to_string().contains("os error 5"), "{err}");
+
+        // Bit-flip: the write "succeeds" but the checksum footer no longer
+        // matches, so a re-read refuses the file instead of misreading it.
+        armed.lock().insert("disk_bitflip".into(), 1);
+        let path = dir.join("flipped.seg");
+        write_segment(&path, &cols).unwrap();
+        assert!(read_segment(&path).is_none(), "bit-rot is detected");
+        armed.lock().clear();
+        write_segment(&path, &cols).unwrap();
+        assert!(read_segment(&path).is_some(), "clean write reads back");
+
+        install_spill_fault_hook(Arc::new(|_, _| false));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
